@@ -1,0 +1,66 @@
+//! Ablation A2: power-aware policy sweep — the (bill, utilization,
+//! slowdown) Pareto front behind DESIGN.md's design-choice table. This
+//! bench times the full policy-evaluation pipeline; the Pareto assertions
+//! live in `tests/ablation.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcgrid_bench::scenarios::{meter_step, reference_site, typical_contract};
+use hpcgrid_workload::trace::WorkloadBuilder;
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_scheduler::policy::{CapSchedule, Policy, PowerConstraints};
+use hpcgrid_scheduler::sim::ScheduleSimulator;
+use hpcgrid_units::Calendar;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let site = reference_site();
+    // Jobs capped at 400 nodes so the constant-cap policy cannot deadlock
+    // on a full-machine job.
+    let trace = WorkloadBuilder::new(2)
+        .nodes(512)
+        .days(30)
+        .arrivals_per_hour(18.0)
+        .deferrable_fraction(0.25)
+        .max_job_nodes(400)
+        .build();
+    let contract = typical_contract();
+    let engine = BillingEngine::new(Calendar::default());
+
+    let eval = |constraints: PowerConstraints| {
+        let out = ScheduleSimulator::with_constraints(
+            trace.machine_nodes,
+            Policy::EasyBackfill,
+            constraints,
+        )
+        .run(&trace);
+        let load = out.to_load_series_with_step(&site, meter_step());
+        let bill = engine.bill(&contract, &load).unwrap().total().as_dollars();
+        (bill, out.utilization(), out.mean_bounded_slowdown())
+    };
+
+    let mut g = c.benchmark_group("ablation_policy_pipeline");
+    g.sample_size(10);
+    g.bench_function("unconstrained", |b| {
+        b.iter(|| black_box(eval(PowerConstraints::none())))
+    });
+    g.bench_function("cap_450", |b| {
+        b.iter(|| {
+            black_box(eval(PowerConstraints {
+                cap: CapSchedule::constant(450),
+                ..Default::default()
+            }))
+        })
+    });
+    g.bench_function("shutdown_idle", |b| {
+        b.iter(|| {
+            black_box(eval(PowerConstraints {
+                shutdown_idle: true,
+                ..Default::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation A1: metering resolution vs billing cost and accuracy.
+//!
+//! Demand charges and powerbands are resolution-sensitive (a 1-minute meter
+//! sees spikes a 1-hour meter averages away). This bench measures the
+//! billing cost at each resolution; the companion accuracy check lives in
+//! `tests/ablation.rs` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::demand_charge::DemandCharge;
+use hpcgrid_core::powerband::Powerband;
+use hpcgrid_core::tariff::Tariff;
+use hpcgrid_timeseries::resample::downsample_mean;
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime};
+use std::hint::black_box;
+
+/// 30 days of 1-minute data with diurnal structure and short spikes.
+fn minute_load() -> PowerSeries {
+    let n = 30 * 1440;
+    Series::from_fn(SimTime::EPOCH, Duration::from_minutes(1.0), n, |t| {
+        let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+        let base = 6.0 + 2.0 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        // A 3-minute spike at 13:00 every day.
+        let into_day = t.as_secs() % 86_400;
+        let spike = if (46_800..47_000).contains(&into_day) { 4.0 } else { 0.0 };
+        Power::from_megawatts(base + spike)
+    })
+    .unwrap()
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let fine = minute_load();
+    let contract = Contract::builder("a1")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .powerband(Powerband::ceiling(
+            Power::from_megawatts(9.0),
+            EnergyPrice::per_kilowatt_hour(0.35),
+        ))
+        .build()
+        .unwrap();
+    let engine = BillingEngine::new(Calendar::default());
+
+    let mut g = c.benchmark_group("ablation_resolution_bill_30d");
+    g.sample_size(10);
+    for minutes in [1u64, 15, 60] {
+        let step = Duration::from_minutes(minutes as f64);
+        let load = downsample_mean(&fine, step).unwrap();
+        g.bench_function(format!("{minutes}min"), |b| {
+            b.iter(|| black_box(engine.bill(&contract, &load).unwrap().total()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Bench: the billing engine hot path (harness behind experiments E1/E2/E5).
+//!
+//! Prices one year of 15-minute interval data under each tariff leaf and
+//! under the full typical contract (tariff + demand charge + powerband).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::demand_charge::DemandCharge;
+use hpcgrid_core::powerband::Powerband;
+use hpcgrid_core::tariff::Tariff;
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
+use hpcgrid_units::{
+    Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime,
+};
+use std::hint::black_box;
+
+fn year_load() -> PowerSeries {
+    let n = 365 * 96; // one year of 15-min intervals
+    Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), n, |t| {
+        let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+        let diurnal = 1.0 + 0.3 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        Power::from_megawatts(8.0 * diurnal)
+    })
+    .unwrap()
+}
+
+fn year_strip() -> PriceSeries {
+    let n = 365 * 96;
+    Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), n, |t| {
+        let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+        EnergyPrice::per_kilowatt_hour(0.05 + 0.03 * (h / 24.0 * std::f64::consts::TAU).sin().abs())
+    })
+    .unwrap()
+}
+
+fn bench_billing(c: &mut Criterion) {
+    let load = year_load();
+    let cal = Calendar::default();
+    let engine = BillingEngine::new(cal);
+
+    let fixed = Contract::builder("fixed")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .build()
+        .unwrap();
+    let tou = Contract::builder("tou")
+        .tariff(Tariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.10),
+            EnergyPrice::per_kilowatt_hour(0.04),
+        ))
+        .build()
+        .unwrap();
+    let dynamic = Contract::builder("dynamic")
+        .tariff(Tariff::dynamic(
+            year_strip(),
+            EnergyPrice::per_kilowatt_hour(0.01),
+            EnergyPrice::per_kilowatt_hour(0.07),
+        ))
+        .build()
+        .unwrap();
+    let full = Contract::builder("full")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .powerband(Powerband::symmetric(
+            Power::from_megawatts(8.0),
+            Power::from_megawatts(2.0),
+            EnergyPrice::per_kilowatt_hour(0.35),
+        ))
+        .build()
+        .unwrap();
+
+    let mut g = c.benchmark_group("billing_year_15min");
+    g.sample_size(20);
+    for (name, contract) in [
+        ("fixed", &fixed),
+        ("tou", &tou),
+        ("dynamic", &dynamic),
+        ("full_contract", &full),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || load.clone(),
+                |l| black_box(engine.bill(contract, &l).unwrap().total()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_billing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench: the extension hot paths — forecaster backtests (X4) and SWF
+//! parsing/serialization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcgrid_bench::scenarios::reference_run;
+use hpcgrid_timeseries::forecast::{backtest, daily_seasonal, Forecaster};
+use hpcgrid_workload::swf::{parse_swf, to_swf};
+use hpcgrid_workload::trace::WorkloadBuilder;
+use std::hint::black_box;
+
+fn bench_forecast(c: &mut Criterion) {
+    let (_, load) = reference_run(1);
+    let mut g = c.benchmark_group("forecast_backtest_30d_15min");
+    g.sample_size(20);
+    g.bench_function("persistence", |b| {
+        b.iter(|| black_box(backtest(Forecaster::Persistence, &load).unwrap().mae_kw))
+    });
+    g.bench_function("moving_average_24", |b| {
+        b.iter(|| {
+            black_box(
+                backtest(Forecaster::MovingAverage { window: 24 }, &load)
+                    .unwrap()
+                    .mae_kw,
+            )
+        })
+    });
+    g.bench_function("seasonal_daily", |b| {
+        b.iter(|| black_box(backtest(daily_seasonal(load.step()), &load).unwrap().mae_kw))
+    });
+    g.finish();
+}
+
+fn bench_swf(c: &mut Criterion) {
+    let trace = WorkloadBuilder::new(7)
+        .nodes(1024)
+        .days(30)
+        .arrivals_per_hour(20.0)
+        .build();
+    let text = to_swf(&trace);
+    let mut g = c.benchmark_group("swf_io");
+    g.sample_size(20);
+    g.bench_function(format!("serialize_{}_jobs", trace.len()), |b| {
+        b.iter(|| black_box(to_swf(&trace).len()))
+    });
+    g.bench_function(format!("parse_{}_jobs", trace.len()), |b| {
+        b.iter(|| black_box(parse_swf(&text, 1024).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forecast, bench_swf);
+criterion_main!(benches);

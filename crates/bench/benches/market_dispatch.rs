@@ -1,0 +1,65 @@
+//! Bench: merit-order dispatch over a year of hourly data (substrate of
+//! experiments E1 and E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcgrid_grid::demand::{demand_series, DemandParams};
+use hpcgrid_grid::dispatch::MeritOrderMarket;
+use hpcgrid_grid::generation::GeneratorFleet;
+use hpcgrid_grid::renewables::{solar_series, wind_series, SolarParams, WindParams};
+use hpcgrid_units::{Calendar, Duration, Power, SimTime};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let cal = Calendar::default();
+    let n = 365 * 24;
+    let step = Duration::from_hours(1.0);
+    let demand = demand_series(&DemandParams::default(), &cal, SimTime::EPOCH, step, n, 1)
+        .unwrap();
+    let solar = solar_series(&SolarParams::default(), &cal, SimTime::EPOCH, step, n, 1).unwrap();
+    let wind = wind_series(&WindParams::default(), SimTime::EPOCH, step, n, 1).unwrap();
+    let renewables = solar.add_series(&wind).unwrap();
+    let fleet = GeneratorFleet::synthetic_regional(Power::from_megawatts(3_000.0), 0.1).unwrap();
+    let market = MeritOrderMarket::new(fleet);
+
+    let mut g = c.benchmark_group("dispatch_year_hourly");
+    g.sample_size(20);
+    g.bench_function("no_renewables", |b| {
+        b.iter(|| black_box(market.dispatch(&demand, None).unwrap().prices.len()))
+    });
+    g.bench_function("with_renewables", |b| {
+        b.iter(|| {
+            black_box(
+                market
+                    .dispatch(&demand, Some(&renewables))
+                    .unwrap()
+                    .renewable_share(),
+            )
+        })
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("renewable_generation_year");
+    g2.sample_size(20);
+    g2.bench_function("solar", |b| {
+        b.iter(|| {
+            black_box(
+                solar_series(&SolarParams::default(), &cal, SimTime::EPOCH, step, n, 2)
+                    .unwrap()
+                    .total_energy(),
+            )
+        })
+    });
+    g2.bench_function("wind", |b| {
+        b.iter(|| {
+            black_box(
+                wind_series(&WindParams::default(), SimTime::EPOCH, step, n, 2)
+                    .unwrap()
+                    .total_energy(),
+            )
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

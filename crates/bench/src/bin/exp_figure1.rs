@@ -1,0 +1,20 @@
+//! Experiment F1 — regenerate Figure 1: the contract typology tree, with
+//! each leaf's encouraged demand-side behaviour.
+
+use hpcgrid_core::typology::{ContractComponentKind, Typology};
+
+fn main() {
+    println!("== F1: Figure 1 — contract typology ==\n");
+    print!("{}", Typology::render());
+    println!();
+    // Structural checks mirroring the figure: three branches, six leaves.
+    assert_eq!(Typology::branches().len(), 3);
+    let leaves: usize = Typology::branches()
+        .iter()
+        .map(|b| Typology::leaves(*b).len())
+        .sum();
+    assert_eq!(leaves, ContractComponentKind::ALL.len());
+    println!("branches: 3 (Tariffs/kWh, Demand charges/kW, Other) — as in Figure 1");
+    println!("leaves:   {leaves} component kinds");
+    println!("F1 OK");
+}

@@ -1,0 +1,71 @@
+//! Experiment X4 (extension) — forecasting SC load for the ESP.
+//!
+//! §3.4/§2: ESPs value SC "forecasting of deviations from normal power
+//! consumption patterns". This experiment backtests the reference
+//! forecasters on simulated SC load and prices their errors as imbalance
+//! cost. The (perhaps surprising) result: SC load is event-driven rather
+//! than calendar-shaped, so persistence beats seasonal models — which is
+//! precisely why announcing events ("good neighbor") is where the
+//! forecasting value lives.
+
+use hpcgrid_bench::scenarios::*;
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_grid::balancing::{settle, ImbalancePricing};
+use hpcgrid_timeseries::forecast::{backtest, daily_seasonal, Forecaster};
+
+fn main() {
+    println!("== X4: forecasting SC load for the ESP ==\n");
+    let (_, load) = reference_run(53);
+    let step = load.step();
+
+    let forecasters: Vec<(&str, Forecaster)> = vec![
+        ("persistence", Forecaster::Persistence),
+        (
+            "moving-average (6h)",
+            Forecaster::MovingAverage { window: 24 },
+        ),
+        ("seasonal-naive (1d)", daily_seasonal(step)),
+    ];
+
+    let pricing = ImbalancePricing::default();
+    let mut t = TextTable::new(vec![
+        "forecaster",
+        "MAE (kW)",
+        "RMSE (kW)",
+        "MAPE",
+        "imbalance cost (30d)",
+    ]);
+    let mut costs = Vec::new();
+    for (name, f) in &forecasters {
+        let err = backtest(*f, &load).unwrap();
+        let forecast = f.one_step(&load).unwrap();
+        let actual = f.actuals(&load).unwrap();
+        let settlement = settle(&forecast, &actual, &pricing).unwrap();
+        costs.push((name.to_string(), settlement.total()));
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", err.mae_kw),
+            format!("{:.1}", err.rmse_kw),
+            format!("{:.1}%", err.mape * 100.0),
+            settlement.total().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let persistence_cost = costs[0].1;
+    let seasonal_cost = costs[2].1;
+    println!(
+        "finding: unlike building load, SC load is NOT calendar-shaped — it is \
+         slow occupancy dynamics punctuated by discrete events (benchmarks, \
+         maintenance). Short-horizon persistence beats the seasonal model by \
+         {} per month here, and no calendar forecaster can predict the events \
+         themselves. That is exactly why the paper's 'good neighbor' \
+         announcements (exp_good_neighbor) carry the real forecasting value.",
+        seasonal_cost - persistence_cost
+    );
+    assert!(
+        persistence_cost < seasonal_cost,
+        "event-driven SC load favors persistence at short horizons"
+    );
+    println!("X4 OK");
+}

@@ -1,0 +1,66 @@
+//! Experiment X3 (extension) — how large would the next survey have to be?
+//!
+//! E9 established that the published 10-site sample cannot resolve US/EU
+//! differences. This experiment computes the exact power of Fisher's test
+//! at the paper's sample, then the per-region sample size required to
+//! detect differences of several magnitudes with 80 % power.
+
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::survey::power_analysis::{exact_power, required_sample_size};
+
+fn main() {
+    println!("== X3: statistical power of SC-survey geography comparisons ==\n");
+
+    println!("power at the paper's sample (4 US / 6 EU), alpha = 0.05:");
+    let mut t = TextTable::new(vec!["true US rate", "true EU rate", "power"]);
+    for (pa, pb) in [(0.9, 0.1), (0.8, 0.2), (0.7, 0.3), (0.6, 0.4)] {
+        let power = exact_power(pa, 4, pb, 6, 0.05);
+        t.row(vec![
+            format!("{:.0}%", pa * 100.0),
+            format!("{:.0}%", pb * 100.0),
+            format!("{:.2}", power),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("per-region sample size for 80% power:");
+    let mut t2 = TextTable::new(vec![
+        "effect (US vs EU)",
+        "required n per region",
+        "achieved power",
+    ]);
+    let mut sizes = Vec::new();
+    for (pa, pb) in [(0.9, 0.1), (0.8, 0.2), (0.7, 0.3)] {
+        match required_sample_size(pa, pb, 0.05, 0.8, 120) {
+            Some(r) => {
+                sizes.push(r.n_per_region);
+                t2.row(vec![
+                    format!("{:.0}% vs {:.0}%", pa * 100.0, pb * 100.0),
+                    r.n_per_region.to_string(),
+                    format!("{:.2}", r.power),
+                ]);
+            }
+            None => {
+                t2.row(vec![
+                    format!("{:.0}% vs {:.0}%", pa * 100.0, pb * 100.0),
+                    ">120".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", t2.render());
+    println!(
+        "Even the most extreme plausible contract-prevalence difference needs \
+         ~{}+ sites per region; the Top50 pool the paper sampled from contains \
+         only ~33 candidates in total. The 'no geographic trends' finding is a \
+         property of the population size, not just of this survey.",
+        sizes.first().copied().unwrap_or(8)
+    );
+    // Shape assertions.
+    assert!(exact_power(0.8, 4, 0.2, 6, 0.05) < 0.45);
+    for w in sizes.windows(2) {
+        assert!(w[1] >= w[0], "smaller effects need larger samples");
+    }
+    println!("\nX3 OK");
+}

@@ -1,0 +1,58 @@
+//! Experiment E5 — the CSCS procurement case study (§4): a public auction
+//! with a 4-variable price formula, an 80 % renewable-mix floor, and demand
+//! charges removed; compared against the site's prior demand-charge
+//! contract.
+
+use hpcgrid_bench::scenarios::*;
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_dr::procurement::{random_bids, run_auction, ProcurementSpec};
+use hpcgrid_units::{Calendar, Ratio};
+
+fn main() {
+    println!("== E5: CSCS-style procurement auction ==\n");
+    let (_, load) = reference_run(17);
+    let cal = Calendar::default();
+    let spec = ProcurementSpec {
+        min_renewable: Ratio::from_percent(80.0),
+    };
+    let bids = random_bids(99, 12);
+    let result = run_auction(&bids, &spec, &cal, &load).unwrap();
+
+    let mut t = TextTable::new(vec!["rank", "bidder", "renewable", "annual-rate cost (30d)"]);
+    for (i, b) in result.ranking.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            b.bidder.clone(),
+            b.renewable_share.to_string(),
+            b.annual_cost.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("disqualified (renewable floor):");
+    for (name, why) in &result.disqualified {
+        println!("  {name}: {why}");
+    }
+    assert!(!result.disqualified.is_empty(), "some bids should fail the floor");
+    let winner = result.winner().expect("someone must win");
+    assert!(winner.renewable_share >= Ratio::from_percent(80.0));
+
+    // Compare with the site's prior contract (fixed tariff + demand charge).
+    let old = typical_contract();
+    let old_bill = bill(&old, &load);
+    println!("\nprior contract (fixed + demand charges): {}", old_bill.total());
+    println!(
+        "  of which demand charges: {} ({:.1}% of bill)",
+        old_bill.demand_cost(),
+        old_bill.demand_share() * 100.0
+    );
+    println!("auction winner ({}): {}", winner.bidder, winner.annual_cost);
+    let savings = old_bill.total() - winner.annual_cost;
+    println!("savings from the procurement redesign: {savings}");
+    println!(
+        "\npaper: CSCS 'transformed from being a passive electricity consumer' and \
+         the process 'yield[ed] a direct economic benefit' — reproduced: the \
+         winning demand-charge-free formula beats the legacy contract."
+    );
+    assert!(savings.is_positive(), "redesign should save money");
+    println!("E5 OK");
+}

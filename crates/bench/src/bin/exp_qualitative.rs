@@ -1,0 +1,122 @@
+//! Experiment X6 (extension) — the survey's actual method, reproduced:
+//! coding *free-text interview answers* into Table 2.
+//!
+//! Ten synthetic interview transcripts (one per site, phrased differently
+//! on purpose) are pushed through the rule-lexicon coder; the recovered
+//! matrix must equal the published Table 2 row for row, and the per-
+//! component Cohen's kappa against the published coding must be 1.0.
+
+use hpcgrid_core::survey::coding::{cohens_kappa, render_table2};
+use hpcgrid_core::survey::corpus::{SiteId, SurveyCorpus};
+use hpcgrid_core::survey::qualitative::code_interview;
+use hpcgrid_core::typology::ContractComponentKind;
+
+/// Synthetic transcripts: (Q1 answer, Q2/Q3 answer) per site, written to
+/// paraphrase rather than quote the lexicon where possible.
+fn transcripts() -> Vec<(&'static str, &'static str)> {
+    vec![
+        // Site 1: DC + fixed + TOU, external RNP.
+        (
+            "Electricity is bought centrally by our parent agency for several sites.",
+            "We are on a fixed rate for energy, with a time-of-use service \
+             charge layered on top; the bill also carries a demand charge on \
+             the monthly peak.",
+        ),
+        // Site 2: DC + PB + fixed, internal.
+        (
+            "The university facilities department negotiates with the provider.",
+            "A fixed price per kWh. We committed to a power band, and demand \
+             charges apply to peaks.",
+        ),
+        // Site 3: DC + fixed + emergency, internal.
+        (
+            "Our institute's administration owns the contract.",
+            "Fixed rate energy with demand charges. During grid emergencies \
+             we are obliged to reduce consumption to a contractual limit.",
+        ),
+        // Site 4: DC + dynamic, internal.
+        (
+            "Contract matters sit with the campus energy office of the university.",
+            "Our energy is settled at the hourly market price — a real-time \
+             price pass-through — and we pay demand charges on peaks.",
+        ),
+        // Site 5: DC + PB + fixed, internal.
+        (
+            "An internal organization of the lab handles procurement.",
+            "Fixed kWh tariff. There is an agreed band for consumption and a \
+             demand charge component.",
+        ),
+        // Site 6: PB + fixed, SC negotiates.
+        (
+            "We negotiate directly with the utility ourselves; the site is \
+             geographically isolated from the parent organization.",
+            "A fixed price, plus a powerband obligation — staying inside the \
+             corridor avoids extra costs. No demand charges in this contract.",
+        ),
+        // Site 7: DC + PB + dynamic + emergency, internal.
+        (
+            "Negotiation is run by our institute's utility division.",
+            "Pricing follows the spot market in real time. We hold a power \
+             band with upper and lower limit, pay demand charges on monthly \
+             peaks, and during grid emergencies we must curtail when called.",
+        ),
+        // Site 8: dynamic only, internal.
+        (
+            "The university administration signs the electricity contract.",
+            "Everything is indexed to the real-time market price; there are \
+             no demand charges and no power band obligations.",
+        ),
+        // Site 9: DC + PB + fixed + TOU, external.
+        (
+            "A national procurement body contracts electricity for many \
+             public institutions including ours.",
+            "Base energy is a fixed rate with day and night rates applied as \
+             a variable component; obligations include a power band and \
+             demand charges.",
+        ),
+        // Site 10: fixed only, external.
+        (
+            "The Department of Energy negotiates utility contracts for all \
+             its laboratories.",
+            "We simply pay a fixed price per kWh. No demand charges, no \
+             power band, no market exposure.",
+        ),
+    ]
+}
+
+fn main() {
+    println!("== X6: free-text interviews → Table 2 ==\n");
+    let published = SurveyCorpus::published();
+    let mut recovered_rows = Vec::new();
+    for (i, (q1, contract_text)) in transcripts().iter().enumerate() {
+        let site = SiteId(i as u8 + 1);
+        let row = code_interview(site, q1, contract_text)
+            .unwrap_or_else(|| panic!("site {site}: RNP not codable"));
+        recovered_rows.push(row);
+    }
+    let recovered = SurveyCorpus::from_rows(recovered_rows);
+    print!("{}", render_table2(&recovered));
+
+    let mut mismatches = 0;
+    for (a, b) in published.responses().iter().zip(recovered.responses()) {
+        if a != b {
+            mismatches += 1;
+            println!("MISMATCH at {}: published {a:?} vs coded {b:?}", a.site);
+        }
+    }
+    println!("\nrows recovered exactly: {}/10", 10 - mismatches);
+    println!("per-component Cohen's kappa vs published coding:");
+    for kind in ContractComponentKind::ALL {
+        let k = cohens_kappa(&published, &recovered, kind).unwrap();
+        println!("  {:<24} κ = {k:.2}", kind.label());
+        assert!((k - 1.0).abs() < 1e-12, "{kind:?} disagrees");
+    }
+    assert_eq!(mismatches, 0, "free-text coding must recover Table 2");
+    println!(
+        "\nThe lexicon coder recovers the published matrix from paraphrased \
+         transcripts with κ = 1.0 on every component — the paper's coding \
+         step, reproducible and auditable (every assignment carries matched \
+         evidence)."
+    );
+    println!("X6 OK");
+}

@@ -1,0 +1,50 @@
+//! Experiment C4 — §1's site-scale anchors checked against the synthetic
+//! catalog: Top500 load span 40 kW–>10 MW, four US flagships above 10 MW,
+//! theoretical feeder peaks up to 60 MW.
+
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_facility::catalog::{all_sites, load_span, max_theoretical_peak};
+use hpcgrid_facility::site::Region;
+use hpcgrid_units::Power;
+
+fn main() {
+    println!("== C4: synthetic site catalog vs §1 anchors ==\n");
+    let mut t = TextTable::new(vec![
+        "site",
+        "country",
+        "nodes",
+        "peak facility",
+        "feeder (theoretical peak)",
+    ]);
+    for s in all_sites() {
+        t.row(vec![
+            s.name.clone(),
+            format!("{:?}", s.country),
+            s.node_count.to_string(),
+            s.peak_facility_power().to_string(),
+            s.feeder_rating.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let (min, max) = load_span();
+    println!("paper: site electricity use spans ~40 kW to >10 MW");
+    println!("measured span: {min} .. {max}");
+    assert!(min < Power::from_kilowatts(60.0));
+    assert!(max > Power::from_megawatts(10.0));
+
+    let us_flagships = all_sites()
+        .iter()
+        .filter(|s| {
+            s.region() == Region::UnitedStates
+                && s.peak_facility_power() > Power::from_megawatts(10.0)
+        })
+        .count();
+    println!("paper: four US sites with loads well above 10 MW | measured: {us_flagships}");
+    assert_eq!(us_flagships, 4);
+
+    let peak = max_theoretical_peak();
+    println!("paper: theoretical peak (feeders) as high as 60 MW | measured max: {peak}");
+    assert_eq!(peak.as_megawatts(), 60.0);
+    println!("\nC4 OK");
+}

@@ -1,0 +1,23 @@
+//! Experiment T1 — regenerate Table 1: interview sites and countries.
+//!
+//! Paper: ten government/academic SC sites, four in the United States and
+//! six in Europe (four of those in Germany).
+
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::survey::corpus::SurveyCorpus;
+
+fn main() {
+    println!("== T1: Table 1 — interview sites ==\n");
+    let mut t = TextTable::new(vec!["Interview Site", "Country"]);
+    for s in SurveyCorpus::interview_sites() {
+        t.row(vec![s.name.to_string(), s.country.to_string()]);
+    }
+    println!("{}", t.render());
+
+    let sites = SurveyCorpus::interview_sites();
+    let us = sites.iter().filter(|s| s.country == "United States").count();
+    let eu = sites.len() - us;
+    println!("paper: 4 US sites, 6 European sites | measured: {us} US, {eu} European");
+    assert_eq!((us, eu), (4, 6));
+    println!("T1 OK");
+}

@@ -1,0 +1,162 @@
+//! Canonical scenarios shared by experiments and benches.
+//!
+//! One reference facility, one reference workload, one reference market —
+//! so every experiment sweeps parameters against the same baseline world
+//! and results are comparable across experiment binaries.
+
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::demand_charge::DemandCharge;
+use hpcgrid_core::tariff::Tariff;
+use hpcgrid_facility::node::NodeSpec;
+use hpcgrid_facility::site::{Country, SiteSpec};
+use hpcgrid_grid::demand::{demand_series, DemandParams};
+use hpcgrid_grid::dispatch::MeritOrderMarket;
+use hpcgrid_grid::generation::GeneratorFleet;
+use hpcgrid_grid::renewables::{solar_series, wind_series, SolarParams, WindParams};
+use hpcgrid_scheduler::metrics::SimOutcome;
+use hpcgrid_scheduler::policy::Policy;
+use hpcgrid_scheduler::sim::ScheduleSimulator;
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
+use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
+use hpcgrid_workload::trace::{JobTrace, WorkloadBuilder};
+
+/// The default experiment horizon: 30 days.
+pub const HORIZON_DAYS: u64 = 30;
+/// Metering resolution for experiment load series.
+pub fn meter_step() -> Duration {
+    Duration::from_minutes(15.0)
+}
+
+/// The reference 512-node experiment site (small enough for fast sweeps,
+/// same shape as the flagship sites).
+pub fn reference_site() -> SiteSpec {
+    SiteSpec::new(
+        "exp-site",
+        Country::UnitedStates,
+        512,
+        NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_megawatts(1.0),
+        Power::from_kilowatts(20.0),
+    )
+    .expect("reference experiment site is valid")
+}
+
+/// The reference workload: 30 busy days on 512 nodes with deferrable jobs
+/// and a weekly full-machine benchmark.
+pub fn reference_trace(seed: u64) -> JobTrace {
+    WorkloadBuilder::new(seed)
+        .nodes(512)
+        .days(HORIZON_DAYS)
+        .arrivals_per_hour(18.0)
+        .deferrable_fraction(0.25)
+        .benchmark_every_days(7)
+        .build()
+}
+
+/// Run the reference trace and return (outcome, facility load).
+pub fn reference_run(seed: u64) -> (SimOutcome, PowerSeries) {
+    let site = reference_site();
+    let trace = reference_trace(seed);
+    let outcome = ScheduleSimulator::new(trace.machine_nodes, Policy::EasyBackfill).run(&trace);
+    let load = outcome.to_load_series_with_step(&site, meter_step());
+    (outcome, load)
+}
+
+/// The reference wholesale market: a 3 GW region with renewables, cleared
+/// hourly over the horizon. Returns the dynamic price strip.
+pub fn reference_market_prices(seed: u64, days: u64) -> PriceSeries {
+    let cal = Calendar::default();
+    let n = (days * 24) as usize;
+    let step = Duration::from_hours(1.0);
+    let start = SimTime::EPOCH;
+    let peak = Power::from_megawatts(3_000.0);
+    let demand = demand_series(&DemandParams::default(), &cal, start, step, n, seed)
+        .expect("valid demand");
+    let solar = solar_series(
+        &SolarParams {
+            capacity: Power::from_megawatts(400.0),
+            ..Default::default()
+        },
+        &cal,
+        start,
+        step,
+        n,
+        seed,
+    )
+    .expect("valid solar");
+    let wind = wind_series(
+        &WindParams {
+            capacity: Power::from_megawatts(500.0),
+            ..Default::default()
+        },
+        start,
+        step,
+        n,
+        seed,
+    )
+    .expect("valid wind");
+    let renewables = solar.add_series(&wind).expect("aligned renewables");
+    let fleet = GeneratorFleet::synthetic_regional(peak, 0.10).expect("valid fleet");
+    let market = MeritOrderMarket::new(fleet);
+    market
+        .dispatch(&demand, Some(&renewables))
+        .expect("dispatch succeeds")
+        .prices
+}
+
+/// The baseline "survey-typical" contract: fixed tariff + monthly demand
+/// charge (the most common Table 2 combination).
+pub fn typical_contract() -> Contract {
+    Contract::builder("typical")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .monthly_fee(Money::from_dollars(1_000.0))
+        .build()
+        .expect("typical contract is valid")
+}
+
+/// Bill a load under a contract with the default calendar.
+pub fn bill(contract: &Contract, load: &PowerSeries) -> hpcgrid_core::billing::Bill {
+    BillingEngine::new(Calendar::default())
+        .bill(contract, load)
+        .expect("billing succeeds on experiment loads")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_run_produces_busy_machine() {
+        let (outcome, load) = reference_run(1);
+        assert!(outcome.utilization() > 0.3, "util {}", outcome.utilization());
+        assert!(load.peak().unwrap() > Power::from_kilowatts(100.0));
+        assert!(load.peak().unwrap() <= reference_site().feeder_rating);
+    }
+
+    #[test]
+    fn reference_market_prices_vary() {
+        let prices = reference_market_prices(3, 7);
+        assert_eq!(prices.len(), 7 * 24);
+        let min = prices
+            .values()
+            .iter()
+            .fold(f64::INFINITY, |a, p| a.min(p.as_dollars_per_kilowatt_hour()));
+        let max = prices
+            .values()
+            .iter()
+            .fold(0.0f64, |a, p| a.max(p.as_dollars_per_kilowatt_hour()));
+        assert!(max > min, "prices should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn typical_bill_is_positive() {
+        let (_, load) = reference_run(2);
+        let b = bill(&typical_contract(), &load);
+        assert!(b.total() > Money::ZERO);
+        assert!(b.demand_share() > 0.0);
+    }
+}

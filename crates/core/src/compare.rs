@@ -1,0 +1,212 @@
+//! Contract comparison and negotiation what-ifs.
+//!
+//! §4: sites with procurement influence "could have extended options to
+//! influence the design of their power procurement contracts", and CSCS
+//! shows shopping contract *structures* pays. This module ranks candidate
+//! contracts on a site's own metered load and quantifies two negotiation
+//! levers: removing kW-domain components, and flattening the load itself.
+
+use crate::billing::{Bill, BillingEngine};
+use crate::contract::Contract;
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Calendar, Money};
+use serde::Serialize;
+
+/// One contract's evaluation in a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComparisonEntry {
+    /// Contract name.
+    pub name: String,
+    /// Total bill on the reference load.
+    pub total: Money,
+    /// kW-domain share of that bill.
+    pub demand_share: f64,
+    /// The full bill (line items).
+    pub bill: Bill,
+}
+
+/// A ranked comparison of candidate contracts on one load.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComparisonReport {
+    /// Entries sorted cheapest first.
+    pub entries: Vec<ComparisonEntry>,
+}
+
+impl ComparisonReport {
+    /// The cheapest candidate.
+    pub fn best(&self) -> &ComparisonEntry {
+        self.entries.first().expect("non-empty by construction")
+    }
+
+    /// The most expensive candidate.
+    pub fn worst(&self) -> &ComparisonEntry {
+        self.entries.last().expect("non-empty by construction")
+    }
+
+    /// Spread between worst and best — what contract shopping is worth on
+    /// this load.
+    pub fn shopping_value(&self) -> Money {
+        self.worst().total - self.best().total
+    }
+
+    /// Saving of the best candidate versus the named current contract.
+    pub fn switching_value(&self, current: &str) -> Option<Money> {
+        self.entries
+            .iter()
+            .find(|e| e.name == current)
+            .map(|e| e.total - self.best().total)
+    }
+
+    /// Render as a ranked table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("contract comparison (cheapest first):\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}. {:<24} {:>14}  (kW-domain {:.0}%)\n",
+                i + 1,
+                e.name,
+                e.total.to_string(),
+                e.demand_share * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Rank candidate contracts on a load. Errors if `contracts` is empty or
+/// the load cannot be billed.
+pub fn compare(
+    contracts: &[Contract],
+    load: &PowerSeries,
+    cal: &Calendar,
+) -> Result<ComparisonReport> {
+    if contracts.is_empty() {
+        return Err(CoreError::BadComponent(
+            "comparison needs at least one contract".into(),
+        ));
+    }
+    let engine = BillingEngine::new(*cal);
+    let mut entries = Vec::with_capacity(contracts.len());
+    for c in contracts {
+        let bill = engine.bill(c, load)?;
+        entries.push(ComparisonEntry {
+            name: c.name.clone(),
+            total: bill.total(),
+            demand_share: bill.demand_share(),
+            bill,
+        });
+    }
+    entries.sort_by(|a, b| a.total.partial_cmp(&b.total).expect("finite totals"));
+    Ok(ComparisonReport { entries })
+}
+
+/// The value of perfectly flattening the load (same energy, delivered at
+/// constant power) under a contract — the upper bound on what peak
+/// management can ever save, and the number to weigh against demand-charge
+/// negotiation.
+pub fn flattening_value(
+    contract: &Contract,
+    load: &PowerSeries,
+    cal: &Calendar,
+) -> Result<Money> {
+    let engine = BillingEngine::new(*cal);
+    let actual = engine.bill(contract, load)?.total();
+    let mean = load
+        .mean_power()
+        .map_err(|e| CoreError::BadSeries(e.to_string()))?;
+    let flat = load.map(|_| mean);
+    let flattened = engine.bill(contract, &flat)?.total();
+    Ok(actual - flattened)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand_charge::DemandCharge;
+    use crate::tariff::Tariff;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Power, SimTime};
+
+    fn peaky_load() -> PowerSeries {
+        Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), 96 * 30, |t| {
+            let h = (t.as_secs() % 86_400) / 3_600;
+            Power::from_megawatts(if (12..16).contains(&h) { 10.0 } else { 4.0 })
+        })
+        .unwrap()
+    }
+
+    fn candidates() -> Vec<Contract> {
+        vec![
+            Contract::builder("flat-rate")
+                .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.085)))
+                .build()
+                .unwrap(),
+            Contract::builder("dc-heavy")
+                .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.05)))
+                .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(18.0)))
+                .build()
+                .unwrap(),
+            Contract::builder("tou")
+                .tariff(Tariff::day_night(
+                    EnergyPrice::per_kilowatt_hour(0.11),
+                    EnergyPrice::per_kilowatt_hour(0.05),
+                ))
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let r = compare(&candidates(), &peaky_load(), &Calendar::default()).unwrap();
+        assert_eq!(r.entries.len(), 3);
+        for w in r.entries.windows(2) {
+            assert!(w[0].total <= w[1].total);
+        }
+        assert!(r.shopping_value() >= Money::ZERO);
+        assert_eq!(r.best().total, r.entries[0].total);
+    }
+
+    #[test]
+    fn switching_value_vs_named_contract() {
+        let r = compare(&candidates(), &peaky_load(), &Calendar::default()).unwrap();
+        let v = r.switching_value("dc-heavy").unwrap();
+        assert!(v >= Money::ZERO);
+        assert_eq!(r.switching_value(r.best().name.as_str()).unwrap(), Money::ZERO);
+        assert!(r.switching_value("nonexistent").is_none());
+    }
+
+    #[test]
+    fn flattening_value_positive_under_demand_charges_zero_without() {
+        let cal = Calendar::default();
+        let load = peaky_load();
+        let dc = &candidates()[1];
+        let flat_rate = &candidates()[0];
+        let v_dc = flattening_value(dc, &load, &cal).unwrap();
+        let v_flat = flattening_value(flat_rate, &load, &cal).unwrap();
+        assert!(v_dc > Money::ZERO, "flattening must help under a demand charge");
+        // Same energy at a fixed tariff: flattening changes nothing.
+        assert!(v_flat.abs() < Money::from_dollars(1e-6));
+        // The flattening bound is the demand-charge delta between peak and
+        // mean demand.
+        let expected = (Power::from_megawatts(10.0)
+            - load.mean_power().unwrap())
+        .as_kilowatts()
+            * 18.0;
+        assert!((v_dc.as_dollars() - expected).abs() < 1.0, "{v_dc} vs {expected}");
+    }
+
+    #[test]
+    fn empty_comparison_rejected() {
+        assert!(compare(&[], &peaky_load(), &Calendar::default()).is_err());
+    }
+
+    #[test]
+    fn render_lists_ranked_names() {
+        let r = compare(&candidates(), &peaky_load(), &Calendar::default()).unwrap();
+        let s = r.render();
+        assert!(s.contains("1. "));
+        assert!(s.contains("flat-rate") && s.contains("dc-heavy") && s.contains("tou"));
+    }
+}

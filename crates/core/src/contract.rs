@@ -1,0 +1,222 @@
+//! Composable electricity service contracts.
+//!
+//! A contract is a bundle of typology components: one or more tariffs (two
+//! surveyed sites stack a variable service charge on a fixed tariff), an
+//! optional demand charge, an optional powerband, an optional emergency-DR
+//! clause, and a fixed monthly service fee. Location-specific taxes are out
+//! of scope, as in the paper's typology (§3.2: "these are not included in
+//! the typology as they cannot be generalized").
+
+use crate::demand_charge::DemandCharge;
+use crate::emergency::EmergencyDrClause;
+use crate::powerband::Powerband;
+use crate::tariff::Tariff;
+use crate::typology::ContractComponentKind;
+use crate::{CoreError, Result};
+use hpcgrid_units::Money;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An SC–ESP electricity service contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// Contract name (for reports).
+    pub name: String,
+    /// Energy tariff components (costs add; at least one).
+    pub tariffs: Vec<Tariff>,
+    /// Optional demand-charge component.
+    pub demand_charge: Option<DemandCharge>,
+    /// Optional powerband component.
+    pub powerband: Option<Powerband>,
+    /// Optional mandatory emergency-DR clause.
+    pub emergency: Option<EmergencyDrClause>,
+    /// Fixed service fee per billing month.
+    pub monthly_fee: Money,
+}
+
+impl Contract {
+    /// Start building a contract.
+    pub fn builder(name: impl Into<String>) -> ContractBuilder {
+        ContractBuilder {
+            name: name.into(),
+            tariffs: Vec::new(),
+            demand_charge: None,
+            powerband: None,
+            emergency: None,
+            monthly_fee: Money::ZERO,
+        }
+    }
+
+    /// The typology classification of this contract: the set of component
+    /// kinds present (one row of Table 2).
+    pub fn component_kinds(&self) -> BTreeSet<ContractComponentKind> {
+        let mut set = BTreeSet::new();
+        for t in &self.tariffs {
+            set.insert(t.kind());
+        }
+        if self.demand_charge.is_some() {
+            set.insert(ContractComponentKind::DemandCharge);
+        }
+        if self.powerband.is_some() {
+            set.insert(ContractComponentKind::Powerband);
+        }
+        if self.emergency.is_some() {
+            set.insert(ContractComponentKind::EmergencyDr);
+        }
+        set
+    }
+
+    /// Does the contract contain a component of `kind`?
+    pub fn has(&self, kind: ContractComponentKind) -> bool {
+        self.component_kinds().contains(&kind)
+    }
+
+    /// Does any component encourage real-time DR (paper §3.2)?
+    pub fn encourages_dynamic_dr(&self) -> bool {
+        self.component_kinds()
+            .iter()
+            .any(|k| k.encourages().dynamic_dr)
+    }
+}
+
+/// Builder for [`Contract`].
+#[derive(Debug, Clone)]
+pub struct ContractBuilder {
+    name: String,
+    tariffs: Vec<Tariff>,
+    demand_charge: Option<DemandCharge>,
+    powerband: Option<Powerband>,
+    emergency: Option<EmergencyDrClause>,
+    monthly_fee: Money,
+}
+
+impl ContractBuilder {
+    /// Add a tariff component (may be called multiple times; costs add).
+    pub fn tariff(mut self, t: Tariff) -> Self {
+        self.tariffs.push(t);
+        self
+    }
+
+    /// Set the demand-charge component.
+    pub fn demand_charge(mut self, dc: DemandCharge) -> Self {
+        self.demand_charge = Some(dc);
+        self
+    }
+
+    /// Set the powerband component.
+    pub fn powerband(mut self, pb: Powerband) -> Self {
+        self.powerband = Some(pb);
+        self
+    }
+
+    /// Set the emergency-DR clause.
+    pub fn emergency(mut self, e: EmergencyDrClause) -> Self {
+        self.emergency = Some(e);
+        self
+    }
+
+    /// Set the fixed monthly service fee.
+    pub fn monthly_fee(mut self, fee: Money) -> Self {
+        self.monthly_fee = fee;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Contract> {
+        if self.tariffs.is_empty() {
+            return Err(CoreError::NoTariff);
+        }
+        if let Some(dc) = &self.demand_charge {
+            dc.validate()?;
+        }
+        if let Some(pb) = &self.powerband {
+            pb.validate()?;
+        }
+        if let Some(e) = &self.emergency {
+            e.validate()?;
+        }
+        if self.monthly_fee < Money::ZERO {
+            return Err(CoreError::BadComponent(
+                "monthly fee must be non-negative".into(),
+            ));
+        }
+        Ok(Contract {
+            name: self.name,
+            tariffs: self.tariffs,
+            demand_charge: self.demand_charge,
+            powerband: self.powerband,
+            emergency: self.emergency,
+            monthly_fee: self.monthly_fee,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::{DemandPrice, EnergyPrice, Power};
+
+    #[test]
+    fn builder_requires_tariff() {
+        assert_eq!(
+            Contract::builder("empty").build().unwrap_err(),
+            CoreError::NoTariff
+        );
+    }
+
+    #[test]
+    fn classification_matches_components() {
+        use ContractComponentKind as K;
+        let c = Contract::builder("site-like")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08)))
+            .tariff(Tariff::day_night(
+                EnergyPrice::per_kilowatt_hour(0.02),
+                EnergyPrice::ZERO,
+            ))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .powerband(Powerband::ceiling(
+                Power::from_megawatts(12.0),
+                EnergyPrice::per_kilowatt_hour(0.5),
+            ))
+            .build()
+            .unwrap();
+        let kinds = c.component_kinds();
+        assert!(kinds.contains(&K::FixedTariff));
+        assert!(kinds.contains(&K::TimeOfUseTariff));
+        assert!(kinds.contains(&K::DemandCharge));
+        assert!(kinds.contains(&K::Powerband));
+        assert!(!kinds.contains(&K::DynamicTariff));
+        assert!(!kinds.contains(&K::EmergencyDr));
+        assert!(c.has(K::FixedTariff));
+        assert!(!c.has(K::EmergencyDr));
+    }
+
+    #[test]
+    fn dynamic_dr_encouragement() {
+        let plain = Contract::builder("plain")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08)))
+            .build()
+            .unwrap();
+        assert!(!plain.encourages_dynamic_dr());
+        let with_emergency = Contract::builder("em")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08)))
+            .emergency(EmergencyDrClause::reference(Power::from_megawatts(5.0)))
+            .build()
+            .unwrap();
+        assert!(with_emergency.encourages_dynamic_dr());
+    }
+
+    #[test]
+    fn builder_validates_components() {
+        let bad_band = Contract::builder("bad")
+            .tariff(Tariff::fixed(EnergyPrice::ZERO))
+            .powerband(Powerband::ceiling(Power::ZERO, EnergyPrice::ZERO))
+            .build();
+        assert!(bad_band.is_err());
+        let bad_fee = Contract::builder("bad-fee")
+            .tariff(Tariff::fixed(EnergyPrice::ZERO))
+            .monthly_fee(Money::from_dollars(-1.0))
+            .build();
+        assert!(bad_fee.is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Emergency-DR clauses: the "Other" branch of the typology.
+//!
+//! Paper §3.2.3: some contracts contain *mandatory* emergency-response
+//! elements — "a specific type of incentive-based DR program which imposes a
+//! reduction in consumption or a consumption up to a certain limit in order
+//! to preserve grid reliability... as opposed to commercial DR programs,
+//! these are mandatory and imposed upon the SCs."
+//!
+//! A clause is evaluated against the load the site actually ran during the
+//! ESP's emergency windows: staying under the emergency limit complies;
+//! exceeding it incurs a per-event penalty.
+
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::intervals::IntervalSet;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Duration, Money, Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A mandatory emergency-DR clause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyDrClause {
+    /// Consumption limit the site must stay under during an emergency event.
+    pub limit: Power,
+    /// Penalty per non-compliant event.
+    pub penalty_per_event: Money,
+    /// Maximum events the ESP may call per contract year (informational;
+    /// checked when evaluating a generated event set).
+    pub max_events_per_year: u32,
+    /// Advance notice the ESP must give.
+    pub notice: Duration,
+}
+
+/// Compliance result of one emergency event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventCompliance {
+    /// Event window start.
+    pub start: SimTime,
+    /// Worst observed load during the event.
+    pub worst_load: Power,
+    /// Whether the site stayed under the limit.
+    pub compliant: bool,
+    /// Penalty assessed (zero if compliant).
+    pub penalty: Money,
+}
+
+/// The clause's assessment over a load series and a set of event windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyAssessment {
+    /// Per-event outcomes.
+    pub events: Vec<EventCompliance>,
+    /// Total penalties.
+    pub total_penalty: Money,
+}
+
+impl EmergencyDrClause {
+    /// A stylized clause: stay under `limit`, $50k per violated event, at
+    /// most 10 events/year, 30 minutes notice.
+    pub fn reference(limit: Power) -> EmergencyDrClause {
+        EmergencyDrClause {
+            limit,
+            penalty_per_event: Money::from_dollars(50_000.0),
+            max_events_per_year: 10,
+            notice: Duration::from_minutes(30.0),
+        }
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.limit < Power::ZERO {
+            return Err(CoreError::BadComponent(
+                "emergency limit must be non-negative".into(),
+            ));
+        }
+        if self.penalty_per_event < Money::ZERO {
+            return Err(CoreError::BadComponent(
+                "emergency penalty must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Assess compliance of `load` during `events` windows.
+    pub fn assess(&self, load: &PowerSeries, events: &IntervalSet) -> Result<EmergencyAssessment> {
+        self.validate()?;
+        let mut out = Vec::new();
+        let mut total = Money::ZERO;
+        for window in events.intervals() {
+            let slice = load.slice_time(window.start, window.end);
+            let worst = slice.peak().unwrap_or(Power::ZERO);
+            let compliant = worst <= self.limit;
+            let penalty = if compliant {
+                Money::ZERO
+            } else {
+                self.penalty_per_event
+            };
+            total += penalty;
+            out.push(EventCompliance {
+                start: window.start,
+                worst_load: worst,
+                compliant,
+                penalty,
+            });
+        }
+        Ok(EmergencyAssessment {
+            events: out,
+            total_penalty: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::intervals::Interval;
+    use hpcgrid_timeseries::series::Series;
+
+    fn load(values_mw: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            values_mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    }
+
+    fn events(windows: Vec<(u64, u64)>) -> IntervalSet {
+        IntervalSet::from_intervals(
+            windows
+                .into_iter()
+                .map(|(a, b)| Interval::new(SimTime::from_hours(a as f64), SimTime::from_hours(b as f64)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn compliant_event_no_penalty() {
+        let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        // Event during hours 2–4; site dropped to 4 MW.
+        let l = load(vec![10.0, 10.0, 4.0, 4.0, 10.0]);
+        let a = clause.assess(&l, &events(vec![(2, 4)])).unwrap();
+        assert_eq!(a.events.len(), 1);
+        assert!(a.events[0].compliant);
+        assert_eq!(a.total_penalty, Money::ZERO);
+    }
+
+    #[test]
+    fn violation_pays_per_event() {
+        let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        let l = load(vec![10.0, 10.0, 9.0, 4.0, 10.0, 12.0, 3.0]);
+        // Two events: first violated (9 MW), second violated (12 MW at hour 5).
+        let a = clause.assess(&l, &events(vec![(2, 4), (5, 6)])).unwrap();
+        assert_eq!(a.events.len(), 2);
+        assert!(!a.events[0].compliant);
+        assert_eq!(a.events[0].worst_load.as_megawatts(), 9.0);
+        assert!(!a.events[1].compliant);
+        assert_eq!(a.total_penalty.as_dollars(), 100_000.0);
+    }
+
+    #[test]
+    fn no_events_no_penalty() {
+        let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        let a = clause.assess(&load(vec![10.0]), &IntervalSet::empty()).unwrap();
+        assert!(a.events.is_empty());
+        assert_eq!(a.total_penalty, Money::ZERO);
+    }
+
+    #[test]
+    fn event_outside_load_counts_compliant() {
+        // No data during the event → worst load 0 → compliant (site was off).
+        let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        let a = clause
+            .assess(&load(vec![10.0]), &events(vec![(100, 101)]))
+            .unwrap();
+        assert!(a.events[0].compliant);
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        c.limit = Power::from_kilowatts(-1.0);
+        assert!(c.validate().is_err());
+        let mut c2 = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+        c2.penalty_per_event = Money::from_dollars(-5.0);
+        assert!(c2.validate().is_err());
+    }
+}

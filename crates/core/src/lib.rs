@@ -1,0 +1,71 @@
+//! # hpcgrid-core
+//!
+//! The paper's primary contribution, made executable.
+//!
+//! *"An Analysis of Contracts and Relationships between Supercomputing
+//! Centers and Electricity Service Providers"* (ICPP 2019) contributes a
+//! **contract typology** (Figure 1), a **survey corpus** of ten SC sites
+//! (Tables 1–2), and an analysis of responsible negotiating parties and
+//! ESP–SC interaction. This crate encodes all three:
+//!
+//! * [`typology`] — the typology tree as types, with the
+//!   demand-side-management properties each component encourages;
+//! * [`tariff`], [`demand_charge`], [`powerband`], [`emergency`] — each
+//!   contract component as a priced, testable object;
+//! * [`contract`] — composable contracts built from those components;
+//! * [`billing`] — the billing engine that prices a metered load series
+//!   under any contract;
+//! * [`survey`] — the survey instrument, the encoded ten-site corpus, the
+//!   coding step that regenerates Table 2 from per-site contracts, and the
+//!   statistical analysis (component counts, text-vs-table consistency,
+//!   geographic-trend permutation tests).
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod compare;
+pub mod contract;
+pub mod demand_charge;
+pub mod emergency;
+pub mod powerband;
+pub mod report;
+pub mod survey;
+pub mod tariff;
+pub mod typology;
+
+pub use billing::{Bill, BillingEngine};
+pub use contract::{Contract, ContractBuilder};
+pub use demand_charge::DemandCharge;
+pub use emergency::EmergencyDrClause;
+pub use powerband::Powerband;
+pub use tariff::Tariff;
+pub use typology::{ContractComponentKind, Typology};
+
+/// Errors from contract construction and billing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid contract component parameter.
+    BadComponent(String),
+    /// A contract must have at least one energy-pricing component.
+    NoTariff,
+    /// Billing input problem (empty or misaligned series).
+    BadSeries(String),
+    /// Survey analysis error.
+    BadSurvey(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadComponent(d) => write!(f, "bad contract component: {d}"),
+            CoreError::NoTariff => write!(f, "contract has no tariff component"),
+            CoreError::BadSeries(d) => write!(f, "bad series: {d}"),
+            CoreError::BadSurvey(d) => write!(f, "bad survey data: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

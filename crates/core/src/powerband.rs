@@ -1,0 +1,267 @@
+//! Powerbands: continuous consumption corridors.
+//!
+//! Paper §3.2.2: *"A powerband dictates electricity consumption boundaries
+//! (upper and, optionally, lower). Consumption outside the specified
+//! powerband limits is associated with high additional electricity costs.
+//! Thus, powerbands may be considered as a variation over demand charges
+//! with upper- and lower limit and continuous sampling of consumption as
+//! opposed to measuring a fixed number of peaks."*
+//!
+//! We price excursions as energy outside the corridor (kWh above the upper
+//! bound or below the lower bound) at a penalty price — "continuous
+//! sampling" in interval-data terms.
+
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Duration, Energy, EnergyPrice, Money, Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A powerband component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Powerband {
+    /// Upper consumption bound.
+    pub upper: Power,
+    /// Optional lower consumption bound.
+    pub lower: Option<Power>,
+    /// Penalty price on excursion energy (both directions).
+    pub penalty: EnergyPrice,
+}
+
+/// The compliance report of a load series against a powerband.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandReport {
+    /// Energy above the upper bound.
+    pub over_energy: Energy,
+    /// Energy below the lower bound (zero if no lower bound).
+    pub under_energy: Energy,
+    /// Time spent above the upper bound (whole intervals).
+    pub over_time: Duration,
+    /// Time spent below the lower bound (whole intervals).
+    pub under_time: Duration,
+    /// Timestamps of excursion intervals (for operator reports).
+    pub violations: Vec<SimTime>,
+    /// Total penalty cost.
+    pub penalty_cost: Money,
+}
+
+impl BandReport {
+    /// True if the load never left the corridor.
+    pub fn compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Powerband {
+    /// A symmetric band `nominal ± width`.
+    pub fn symmetric(nominal: Power, width: Power, penalty: EnergyPrice) -> Powerband {
+        Powerband {
+            upper: nominal + width,
+            lower: Some((nominal - width).max(Power::ZERO)),
+            penalty,
+        }
+    }
+
+    /// An upper-bound-only band.
+    pub fn ceiling(upper: Power, penalty: EnergyPrice) -> Powerband {
+        Powerband {
+            upper,
+            lower: None,
+            penalty,
+        }
+    }
+
+    /// Validate the corridor.
+    pub fn validate(&self) -> Result<()> {
+        if self.upper <= Power::ZERO {
+            return Err(CoreError::BadComponent(
+                "powerband upper bound must be positive".into(),
+            ));
+        }
+        if let Some(lower) = self.lower {
+            if lower < Power::ZERO {
+                return Err(CoreError::BadComponent(
+                    "powerband lower bound must be non-negative".into(),
+                ));
+            }
+            if lower >= self.upper {
+                return Err(CoreError::BadComponent(format!(
+                    "powerband lower bound {lower} must be below upper bound {}",
+                    self.upper
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a load series against the band.
+    pub fn evaluate(&self, load: &PowerSeries) -> Result<BandReport> {
+        self.validate()?;
+        let step_h = load.step().as_hours();
+        let mut over_kwh = 0.0f64;
+        let mut under_kwh = 0.0f64;
+        let mut over_n = 0u64;
+        let mut under_n = 0u64;
+        let mut violations = Vec::new();
+        for (t, &p) in load.iter() {
+            if p > self.upper {
+                over_kwh += (p - self.upper).as_kilowatts() * step_h;
+                over_n += 1;
+                violations.push(t);
+            } else if let Some(lower) = self.lower {
+                if p < lower {
+                    under_kwh += (lower - p).as_kilowatts() * step_h;
+                    under_n += 1;
+                    violations.push(t);
+                }
+            }
+        }
+        let over_energy = Energy::from_kilowatt_hours(over_kwh);
+        let under_energy = Energy::from_kilowatt_hours(under_kwh);
+        let penalty_cost = (over_energy + under_energy) * self.penalty;
+        Ok(BandReport {
+            over_energy,
+            under_energy,
+            over_time: load.step() * over_n,
+            under_time: load.step() * under_n,
+            violations,
+            penalty_cost,
+        })
+    }
+
+    /// Total penalty of a load series (shortcut).
+    pub fn penalty_cost(&self, load: &PowerSeries) -> Result<Money> {
+        Ok(self.evaluate(load)?.penalty_cost)
+    }
+
+    /// Band width (upper − lower), if a lower bound exists.
+    pub fn width(&self) -> Option<Power> {
+        self.lower.map(|l| self.upper - l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+
+    fn load(values_mw: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            values_mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    }
+
+    fn band() -> Powerband {
+        Powerband::symmetric(
+            Power::from_megawatts(10.0),
+            Power::from_megawatts(2.0),
+            EnergyPrice::per_kilowatt_hour(0.50),
+        )
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let b = band();
+        assert_eq!(b.upper.as_megawatts(), 12.0);
+        assert_eq!(b.lower.unwrap().as_megawatts(), 8.0);
+        assert_eq!(b.width().unwrap().as_megawatts(), 4.0);
+        // Width wider than nominal floors the lower bound at zero.
+        let wide = Powerband::symmetric(
+            Power::from_megawatts(1.0),
+            Power::from_megawatts(5.0),
+            EnergyPrice::ZERO,
+        );
+        assert_eq!(wide.lower.unwrap(), Power::ZERO);
+    }
+
+    #[test]
+    fn compliant_load_pays_nothing() {
+        let r = band().evaluate(&load(vec![9.0, 10.0, 11.0, 12.0])).unwrap();
+        assert!(r.compliant());
+        assert_eq!(r.penalty_cost, Money::ZERO);
+        assert_eq!(r.over_time, Duration::ZERO);
+        assert_eq!(r.under_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn excursions_priced_both_directions() {
+        // 14 MW (2 over) for 1 h and 6 MW (2 under) for 1 h.
+        let r = band().evaluate(&load(vec![14.0, 6.0, 10.0])).unwrap();
+        assert!(!r.compliant());
+        assert_eq!(r.violations.len(), 2);
+        assert!((r.over_energy.as_megawatt_hours() - 2.0).abs() < 1e-9);
+        assert!((r.under_energy.as_megawatt_hours() - 2.0).abs() < 1e-9);
+        assert_eq!(r.over_time, Duration::from_hours(1.0));
+        assert_eq!(r.under_time, Duration::from_hours(1.0));
+        // 4 MWh × $0.50/kWh = $2000/MWh × 4 = $2000... (4000 kWh × 0.5).
+        assert!((r.penalty_cost.as_dollars() - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ceiling_band_ignores_low_load() {
+        let b = Powerband::ceiling(
+            Power::from_megawatts(12.0),
+            EnergyPrice::per_kilowatt_hour(0.50),
+        );
+        let r = b.evaluate(&load(vec![0.0, 5.0, 12.0])).unwrap();
+        assert!(r.compliant());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Powerband::ceiling(Power::ZERO, EnergyPrice::ZERO)
+            .validate()
+            .is_err());
+        let bad = Powerband {
+            upper: Power::from_megawatts(5.0),
+            lower: Some(Power::from_megawatts(6.0)),
+            penalty: EnergyPrice::ZERO,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = Powerband {
+            upper: Power::from_megawatts(5.0),
+            lower: Some(Power::from_kilowatts(-1.0)),
+            penalty: EnergyPrice::ZERO,
+        };
+        assert!(bad2.validate().is_err());
+        assert!(band().validate().is_ok());
+    }
+
+    #[test]
+    fn penalty_monotone_in_excursion() {
+        let b = band();
+        let mild = b.penalty_cost(&load(vec![13.0])).unwrap();
+        let severe = b.penalty_cost(&load(vec![16.0])).unwrap();
+        assert!(severe > mild);
+    }
+
+    #[test]
+    fn narrower_band_costs_more() {
+        // The E3 experiment's core relationship.
+        let wiggly = load(vec![8.0, 12.0, 9.0, 11.0, 7.0, 13.0]);
+        let narrow = Powerband::symmetric(
+            Power::from_megawatts(10.0),
+            Power::from_megawatts(1.0),
+            EnergyPrice::per_kilowatt_hour(0.5),
+        );
+        let wide = Powerband::symmetric(
+            Power::from_megawatts(10.0),
+            Power::from_megawatts(3.0),
+            EnergyPrice::per_kilowatt_hour(0.5),
+        );
+        let c_narrow = narrow.penalty_cost(&wiggly).unwrap();
+        let c_wide = wide.penalty_cost(&wiggly).unwrap();
+        assert!(c_narrow > c_wide);
+        assert_eq!(c_wide, Money::ZERO);
+    }
+
+    #[test]
+    fn empty_load_compliant() {
+        let r = band()
+            .evaluate(&PowerSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap())
+            .unwrap();
+        assert!(r.compliant());
+    }
+}

@@ -1,0 +1,266 @@
+//! Site energy-contract reports: the §4 guidance, mechanized.
+//!
+//! The discussion section's advice to SCs is rule-shaped: focus on energy
+//! efficiency when demand charges dominate; honor powerbands with capping;
+//! treat dynamic tariffs as an opportunity only if the scheduler acts on
+//! them; consider contingency planning as the landscape evolves. This
+//! module runs a site's load and contract through the billing engine and
+//! emits that advice with the numbers attached.
+
+use crate::billing::{Bill, BillingEngine};
+use crate::contract::Contract;
+use crate::typology::ContractComponentKind;
+use crate::Result;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_timeseries::stats::{load_stats, LoadStats};
+use hpcgrid_units::Calendar;
+use serde::Serialize;
+
+/// A single recommendation with its trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Recommendation {
+    /// Short identifier (stable across versions, for tooling).
+    pub code: &'static str,
+    /// Human-readable advice.
+    pub text: String,
+}
+
+/// The full report for one site.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SiteReport {
+    /// Site / contract name.
+    pub name: String,
+    /// Load statistics.
+    pub stats: LoadStats,
+    /// The computed bill.
+    pub bill: Bill,
+    /// Rule-based recommendations (§4).
+    pub recommendations: Vec<Recommendation>,
+}
+
+/// Generate a report for a load under a contract.
+pub fn generate(
+    name: impl Into<String>,
+    contract: &Contract,
+    load: &PowerSeries,
+    cal: &Calendar,
+) -> Result<SiteReport> {
+    let stats = load_stats(load).map_err(|e| crate::CoreError::BadSeries(e.to_string()))?;
+    let bill = BillingEngine::new(*cal).bill(contract, load)?;
+    let mut recs = Vec::new();
+
+    // §4: "SCs should continue to focus on energy efficiency in order to
+    // reduce job costs with respect to demand charges and powerbands."
+    let demand_share = bill.demand_share();
+    if demand_share > 0.25 {
+        recs.push(Recommendation {
+            code: "efficiency-first",
+            text: format!(
+                "kW-domain components are {:.0}% of the bill (peak-to-average \
+                 {:.2}); energy-efficiency and peak-management measures have \
+                 first-order value here.",
+                demand_share * 100.0,
+                stats.peak_to_average
+            ),
+        });
+    }
+
+    // Powerband compliance.
+    if let Some(band) = &contract.powerband {
+        let report = band.evaluate(load)?;
+        if !report.compliant() {
+            recs.push(Recommendation {
+                code: "powerband-capping",
+                text: format!(
+                    "the load left its powerband in {} intervals (penalty {}); \
+                     a facility power cap at {} would remove the ceiling-side \
+                     excursions.",
+                    report.violations.len(),
+                    report.penalty_cost,
+                    band.upper
+                ),
+            });
+        }
+    }
+
+    // Dynamic tariff present but (by assumption of this static report) not
+    // acted upon — the survey's §3.4 observation.
+    if contract.has(ContractComponentKind::DynamicTariff) {
+        recs.push(Recommendation {
+            code: "act-on-dynamic-price",
+            text: "the contract carries a dynamically variable tariff; unless \
+                   the scheduler shifts deferrable work against the price \
+                   signal, the exposure is pure risk with no upside."
+                .into(),
+        });
+    }
+
+    // Emergency clause: contingency planning (the paper's future work).
+    if contract.has(ContractComponentKind::EmergencyDr) {
+        recs.push(Recommendation {
+            code: "contingency-plan",
+            text: "a mandatory emergency-DR clause is in force; maintain a \
+                   staged contingency plan (shift, shed office load, cap, \
+                   generators) and rehearse it against grid-stress scenarios."
+                .into(),
+        });
+    }
+
+    // High ramping: the good-neighbor advice.
+    if stats.max_ramp_kw_per_hour > stats.mean.as_kilowatts() {
+        recs.push(Recommendation {
+            code: "good-neighbor",
+            text: format!(
+                "load ramps up to {:.0} kW/h (mean level {:.0} kW); announcing \
+                 large swings (maintenance, benchmarks) to the ESP avoids \
+                 imbalance costs and builds the relationship the paper \
+                 recommends.",
+                stats.max_ramp_kw_per_hour,
+                stats.mean.as_kilowatts()
+            ),
+        });
+    }
+
+    if recs.is_empty() {
+        recs.push(Recommendation {
+            code: "steady-state",
+            text: "no pressing contractual exposure detected; revisit at the \
+                   next contract revision as tariff landscapes evolve."
+                .into(),
+        });
+    }
+
+    Ok(SiteReport {
+        name: name.into(),
+        stats,
+        bill,
+        recommendations: recs,
+    })
+}
+
+impl SiteReport {
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== Site report: {} ===\n\n", self.name);
+        out.push_str(&format!(
+            "load: mean {}, peak {} (P/A {:.2}, load factor {:.2})\n",
+            self.stats.mean, self.stats.peak, self.stats.peak_to_average, self.stats.load_factor
+        ));
+        out.push_str(&format!(
+            "ramps: max {:.0} kW/h, mean {:.0} kW/h\n\n",
+            self.stats.max_ramp_kw_per_hour, self.stats.mean_ramp_kw_per_hour
+        ));
+        out.push_str(&self.bill.render());
+        out.push_str("\nrecommendations:\n");
+        for r in &self.recommendations {
+            out.push_str(&format!("  [{}] {}\n", r.code, r.text));
+        }
+        out
+    }
+
+    /// True if a recommendation with `code` is present.
+    pub fn has_recommendation(&self, code: &str) -> bool {
+        self.recommendations.iter().any(|r| r.code == code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand_charge::DemandCharge;
+    use crate::emergency::EmergencyDrClause;
+    use crate::powerband::Powerband;
+    use crate::tariff::Tariff;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Power, SimTime};
+
+    fn peaky_load() -> PowerSeries {
+        Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), 96 * 7, |t| {
+            let h = (t.as_secs() % 86_400) / 3_600;
+            Power::from_megawatts(if (12..16).contains(&h) { 12.0 } else { 4.0 })
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn demand_heavy_contract_triggers_efficiency_advice() {
+        let c = Contract::builder("dc")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.03)))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(20.0)))
+            .build()
+            .unwrap();
+        let r = generate("t", &c, &peaky_load(), &Calendar::default()).unwrap();
+        assert!(r.has_recommendation("efficiency-first"));
+    }
+
+    #[test]
+    fn violated_band_triggers_capping_advice() {
+        let c = Contract::builder("pb")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .powerband(Powerband::ceiling(
+                Power::from_megawatts(10.0),
+                EnergyPrice::per_kilowatt_hour(0.5),
+            ))
+            .build()
+            .unwrap();
+        let r = generate("t", &c, &peaky_load(), &Calendar::default()).unwrap();
+        assert!(r.has_recommendation("powerband-capping"));
+    }
+
+    #[test]
+    fn dynamic_and_emergency_advice() {
+        use hpcgrid_timeseries::series::PriceSeries;
+        let strip: PriceSeries = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            EnergyPrice::per_kilowatt_hour(0.05),
+            24 * 7,
+        )
+        .unwrap();
+        let c = Contract::builder("dyn")
+            .tariff(Tariff::dynamic(
+                strip,
+                EnergyPrice::ZERO,
+                EnergyPrice::per_kilowatt_hour(0.07),
+            ))
+            .emergency(EmergencyDrClause::reference(Power::from_megawatts(5.0)))
+            .build()
+            .unwrap();
+        let r = generate("t", &c, &peaky_load(), &Calendar::default()).unwrap();
+        assert!(r.has_recommendation("act-on-dynamic-price"));
+        assert!(r.has_recommendation("contingency-plan"));
+    }
+
+    #[test]
+    fn calm_flat_site_gets_steady_state() {
+        let flat = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            Power::from_megawatts(5.0),
+            24 * 7,
+        )
+        .unwrap();
+        let c = Contract::builder("flat")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .build()
+            .unwrap();
+        let r = generate("t", &c, &flat, &Calendar::default()).unwrap();
+        assert!(r.has_recommendation("steady-state"));
+        assert_eq!(r.recommendations.len(), 1);
+    }
+
+    #[test]
+    fn render_includes_everything() {
+        let c = Contract::builder("full")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(20.0)))
+            .build()
+            .unwrap();
+        let r = generate("render-test", &c, &peaky_load(), &Calendar::default()).unwrap();
+        let s = r.render();
+        assert!(s.contains("Site report: render-test"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("recommendations:"));
+        assert!(s.contains("efficiency-first"));
+    }
+}

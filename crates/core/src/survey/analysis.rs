@@ -1,0 +1,347 @@
+//! Survey analysis: counts, consistency checks, and the geographic-trend
+//! question.
+//!
+//! Three analyses back the paper's findings:
+//!
+//! 1. **Component counts** (§3.2.4) — how many sites have each typology
+//!    component.
+//! 2. **Text-vs-table consistency** — the paper's prose counts and the
+//!    printed Table 2 disagree in four cells; rather than silently adopting
+//!    one, [`text_vs_table`] reports every discrepancy.
+//! 3. **Geographic trends** (§3) — the paper found "not a difference between
+//!    SCs in Europe and the United States". Table 2 does not publish the
+//!    row→country mapping, so [`geo_trend_feasibility`] asks the sharper
+//!    question the data *can* answer: with 4 US and 6 EU sites, could *any*
+//!    assignment of rows to regions make a component's US/EU split
+//!    statistically significant? (Exact hypergeometric tails.) The answer:
+//!    only the single most extreme split of a component can dip to
+//!    p ≈ 1/30; every realistic split is far from significance. The
+//!    paper's null finding is close to what the sample size guarantees.
+
+use crate::survey::corpus::{ProseFacts, SurveyCorpus};
+use crate::survey::rnp::Rnp;
+use crate::typology::ContractComponentKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Count of sites having each component kind.
+pub fn component_counts(corpus: &SurveyCorpus) -> BTreeMap<ContractComponentKind, usize> {
+    let mut map = BTreeMap::new();
+    for kind in ContractComponentKind::ALL {
+        let n = corpus.responses().iter().filter(|r| r.has(kind)).count();
+        map.insert(kind, n);
+    }
+    map
+}
+
+/// RNP distribution (§3.3).
+pub fn rnp_distribution(corpus: &SurveyCorpus) -> BTreeMap<Rnp, usize> {
+    let mut map = BTreeMap::new();
+    for rnp in Rnp::ALL {
+        map.insert(
+            rnp,
+            corpus.responses().iter().filter(|r| r.rnp == rnp).count(),
+        );
+    }
+    map
+}
+
+/// A 2×2 co-occurrence table between two components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossTab {
+    /// Sites with both components.
+    pub both: usize,
+    /// Sites with only the first.
+    pub only_a: usize,
+    /// Sites with only the second.
+    pub only_b: usize,
+    /// Sites with neither.
+    pub neither: usize,
+}
+
+/// Cross-tabulate two component kinds.
+pub fn cross_tab(
+    corpus: &SurveyCorpus,
+    a: ContractComponentKind,
+    b: ContractComponentKind,
+) -> CrossTab {
+    let mut t = CrossTab {
+        both: 0,
+        only_a: 0,
+        only_b: 0,
+        neither: 0,
+    };
+    for r in corpus.responses() {
+        match (r.has(a), r.has(b)) {
+            (true, true) => t.both += 1,
+            (true, false) => t.only_a += 1,
+            (false, true) => t.only_b += 1,
+            (false, false) => t.neither += 1,
+        }
+    }
+    t
+}
+
+/// One text-vs-table discrepancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Discrepancy {
+    /// The component concerned.
+    pub kind: ContractComponentKind,
+    /// Count of check marks in the printed Table 2.
+    pub table_count: usize,
+    /// Count stated in the paper's prose (§3.2.4).
+    pub text_count: usize,
+}
+
+/// Compare the printed Table 2 against the §3.2.4 prose counts; returns one
+/// entry per component, discrepant or not (callers filter).
+pub fn text_vs_table(corpus: &SurveyCorpus, facts: &ProseFacts) -> Vec<Discrepancy> {
+    let counts = component_counts(corpus);
+    let text = |kind: ContractComponentKind| match kind {
+        ContractComponentKind::FixedTariff => facts.fixed_count_text,
+        ContractComponentKind::TimeOfUseTariff => facts.tou_count_text,
+        ContractComponentKind::DynamicTariff => facts.dynamic_count_text,
+        ContractComponentKind::DemandCharge => facts.demand_charge_count_text,
+        ContractComponentKind::Powerband => facts.powerband_count_text,
+        ContractComponentKind::EmergencyDr => facts.emergency_count_text,
+    };
+    ContractComponentKind::ALL
+        .iter()
+        .map(|&kind| Discrepancy {
+            kind,
+            table_count: counts[&kind],
+            text_count: text(kind),
+        })
+        .collect()
+}
+
+/// Only the rows where table and text disagree.
+pub fn discrepancies(corpus: &SurveyCorpus, facts: &ProseFacts) -> Vec<Discrepancy> {
+    text_vs_table(corpus, facts)
+        .into_iter()
+        .filter(|d| d.table_count != d.text_count)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Exact hypergeometric machinery for the geographic-trend question.
+// ---------------------------------------------------------------------------
+
+/// Binomial coefficient as f64 (exact for the small arguments used here).
+pub fn choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Hypergeometric PMF: probability that `k` of the `draws` sampled sites
+/// (the US group) have the component, when `succ` of `pop` sites have it.
+pub fn hypergeom_pmf(pop: u64, succ: u64, draws: u64, k: u64) -> f64 {
+    if k > succ || draws > pop || k > draws || succ.saturating_sub(k) > pop - draws {
+        return 0.0;
+    }
+    choose(succ, k) * choose(pop - succ, draws - k) / choose(pop, draws)
+}
+
+/// Two-sided exact p-value for observing `k` component-positive sites in the
+/// US group: the total probability of outcomes at most as likely as `k`
+/// (Fisher's exact convention).
+pub fn fisher_two_sided(pop: u64, succ: u64, draws: u64, k: u64) -> f64 {
+    let p_obs = hypergeom_pmf(pop, succ, draws, k);
+    let mut total = 0.0;
+    let lo = succ.saturating_sub(pop - draws);
+    let hi = succ.min(draws);
+    for j in lo..=hi {
+        let pj = hypergeom_pmf(pop, succ, draws, j);
+        if pj <= p_obs * (1.0 + 1e-9) {
+            total += pj;
+        }
+    }
+    total.min(1.0)
+}
+
+/// For one component: the smallest two-sided p-value any row→region
+/// assignment could achieve, given only the marginal counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoFeasibility {
+    /// Component.
+    pub kind: ContractComponentKind,
+    /// Sites having the component (out of `pop`).
+    pub present: usize,
+    /// Total sites.
+    pub pop: usize,
+    /// US-group size.
+    pub us: usize,
+    /// Minimum achievable two-sided p-value over all assignments.
+    pub min_p_two_sided: f64,
+    /// Whether any assignment could reach p < 0.05.
+    pub significance_possible: bool,
+}
+
+/// Evaluate [`GeoFeasibility`] for every component of the corpus, with
+/// `us_sites` of the rows belonging to the United States (4 in the paper).
+pub fn geo_trend_feasibility(corpus: &SurveyCorpus, us_sites: usize) -> Vec<GeoFeasibility> {
+    let pop = corpus.len() as u64;
+    let draws = us_sites as u64;
+    component_counts(corpus)
+        .into_iter()
+        .map(|(kind, present)| {
+            let succ = present as u64;
+            let lo = succ.saturating_sub(pop - draws);
+            let hi = succ.min(draws);
+            let mut min_p = 1.0f64;
+            for k in lo..=hi {
+                min_p = min_p.min(fisher_two_sided(pop, succ, draws, k));
+            }
+            GeoFeasibility {
+                kind,
+                present,
+                pop: pop as usize,
+                us: us_sites,
+                min_p_two_sided: min_p,
+                significance_possible: min_p < 0.05,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> SurveyCorpus {
+        SurveyCorpus::published()
+    }
+
+    #[test]
+    fn counts_match_printed_table() {
+        let c = component_counts(&corpus());
+        assert_eq!(c[&ContractComponentKind::DemandCharge], 7);
+        assert_eq!(c[&ContractComponentKind::Powerband], 5);
+        assert_eq!(c[&ContractComponentKind::FixedTariff], 7);
+        assert_eq!(c[&ContractComponentKind::TimeOfUseTariff], 2);
+        assert_eq!(c[&ContractComponentKind::DynamicTariff], 3);
+        assert_eq!(c[&ContractComponentKind::EmergencyDr], 2);
+    }
+
+    #[test]
+    fn rnp_distribution_counts() {
+        let d = rnp_distribution(&corpus());
+        assert_eq!(d[&Rnp::SupercomputingCenter], 1);
+        assert_eq!(d[&Rnp::InternalOrganization], 6);
+        assert_eq!(d[&Rnp::ExternalOrganization], 3);
+    }
+
+    #[test]
+    fn cross_tab_demand_charge_vs_powerband() {
+        let t = cross_tab(
+            &corpus(),
+            ContractComponentKind::DemandCharge,
+            ContractComponentKind::Powerband,
+        );
+        // Sites with both: 2, 5, 7, 9 → 4. DC only: 1, 3, 4 → 3.
+        // PB only: 6 → 1. Neither: 8, 10 → 2.
+        assert_eq!(t.both, 4);
+        assert_eq!(t.only_a, 3);
+        assert_eq!(t.only_b, 1);
+        assert_eq!(t.neither, 2);
+        assert_eq!(t.both + t.only_a + t.only_b + t.neither, 10);
+    }
+
+    #[test]
+    fn paper_discrepancies_detected() {
+        let d = discrepancies(&corpus(), &ProseFacts::published());
+        // Four cells disagree between prose and table: demand charges
+        // (7 vs 8), fixed (7 vs 8), TOU (2 vs 3), dynamic (3 vs 2).
+        assert_eq!(d.len(), 4);
+        let get = |kind| d.iter().find(|x| x.kind == kind).unwrap();
+        let dc = get(ContractComponentKind::DemandCharge);
+        assert_eq!((dc.table_count, dc.text_count), (7, 8));
+        let f = get(ContractComponentKind::FixedTariff);
+        assert_eq!((f.table_count, f.text_count), (7, 8));
+        let v = get(ContractComponentKind::TimeOfUseTariff);
+        assert_eq!((v.table_count, v.text_count), (2, 3));
+        let dy = get(ContractComponentKind::DynamicTariff);
+        assert_eq!((dy.table_count, dy.text_count), (3, 2));
+        // Powerband and emergency agree.
+        assert!(!d
+            .iter()
+            .any(|x| x.kind == ContractComponentKind::Powerband
+                || x.kind == ContractComponentKind::EmergencyDr));
+    }
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(choose(10, 4), 210.0);
+        assert_eq!(choose(5, 0), 1.0);
+        assert_eq!(choose(5, 5), 1.0);
+        assert_eq!(choose(4, 7), 0.0);
+    }
+
+    #[test]
+    fn hypergeom_pmf_sums_to_one() {
+        let (pop, succ, draws) = (10u64, 5u64, 4u64);
+        let total: f64 = (0..=4).map(|k| hypergeom_pmf(pop, succ, draws, k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fisher_two_sided_properties() {
+        // Most extreme split for a 5-of-10 component: all 4 US sites have
+        // it. Both symmetric tails (k=4 and k=0) have pmf 5/210, so the
+        // two-sided p is 10/210 ≈ 0.0476.
+        let p_extreme = fisher_two_sided(10, 5, 4, 4);
+        let p_balanced = fisher_two_sided(10, 5, 4, 2);
+        assert!(p_extreme < p_balanced);
+        assert!(p_balanced > 0.5);
+        assert!((p_extreme - 10.0 / 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_significance_floor_is_one_thirtieth() {
+        // The sharper form of the "no geographic trends" finding: with 4 US
+        // and 6 EU sites, even the most extreme assignment of any component
+        // can only reach p = 7/210 = 1/30, and balanced splits (which is
+        // what the paper observed) are nowhere near significance.
+        let feas = geo_trend_feasibility(&corpus(), 4);
+        let get = |kind| {
+            feas.iter()
+                .find(|g| g.kind == kind)
+                .copied()
+                .unwrap()
+                .min_p_two_sided
+        };
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        // present=7 (demand charges, fixed): min p = 7/210.
+        assert!(close(get(ContractComponentKind::DemandCharge), 7.0 / 210.0));
+        assert!(close(get(ContractComponentKind::FixedTariff), 7.0 / 210.0));
+        // present=5 (powerband): min p = 10/210.
+        assert!(close(get(ContractComponentKind::Powerband), 10.0 / 210.0));
+        // present=3 (dynamic): min p = 7/210.
+        assert!(close(get(ContractComponentKind::DynamicTariff), 7.0 / 210.0));
+        // present=2 (TOU, emergency): min p = 28/210 — cannot be significant.
+        assert!(close(get(ContractComponentKind::TimeOfUseTariff), 28.0 / 210.0));
+        assert!(close(get(ContractComponentKind::EmergencyDr), 28.0 / 210.0));
+        // Global floor: nothing below 1/30.
+        for g in &feas {
+            assert!(g.min_p_two_sided >= 1.0 / 30.0 - 1e-9);
+        }
+        // A balanced split of a 5-of-10 component (2 US / 3 EU) is far from
+        // significant.
+        assert!(fisher_two_sided(10, 5, 4, 2) > 0.5);
+    }
+
+    #[test]
+    fn significance_possible_with_larger_samples() {
+        // Sanity: the same machinery does find significance achievable when
+        // the sample is larger (e.g. 40 sites, 16 US, component at 20).
+        let min_p = fisher_two_sided(40, 20, 16, 16);
+        assert!(min_p < 0.05, "large-sample extreme split p = {min_p}");
+    }
+}

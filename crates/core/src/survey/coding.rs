@@ -1,0 +1,189 @@
+//! Qualitative coding: from contracts to Table 2 rows.
+//!
+//! The paper's workflow was: open-ended answers → a common nomenclature
+//! (the typology) → the synthesis matrix of Table 2. With contracts as
+//! typed objects, the coding step is mechanical: classify the contract,
+//! attach the RNP answer, emit a row. This module implements that step and
+//! the rendering of the full matrix.
+
+use crate::contract::Contract;
+use crate::survey::corpus::{SiteId, SiteResponse, SurveyCorpus};
+use crate::survey::rnp::Rnp;
+use crate::typology::ContractComponentKind;
+
+/// Code a contract (plus the Q1 RNP answer) into a Table 2 row.
+pub fn code_contract(site: SiteId, contract: &Contract, rnp: Rnp) -> SiteResponse {
+    let kinds = contract.component_kinds();
+    SiteResponse {
+        site,
+        demand_charges: kinds.contains(&ContractComponentKind::DemandCharge),
+        powerband: kinds.contains(&ContractComponentKind::Powerband),
+        fixed: kinds.contains(&ContractComponentKind::FixedTariff),
+        variable: kinds.contains(&ContractComponentKind::TimeOfUseTariff),
+        dynamic: kinds.contains(&ContractComponentKind::DynamicTariff),
+        emergency_dr: kinds.contains(&ContractComponentKind::EmergencyDr),
+        rnp,
+    }
+}
+
+/// Regenerate the whole corpus by round-tripping every row through its
+/// reference contract and the coder. Equality with the published corpus is
+/// the coding-consistency check (tested below and in experiment T2).
+pub fn recode_corpus(corpus: &SurveyCorpus) -> SurveyCorpus {
+    SurveyCorpus::from_rows(
+        corpus
+            .responses()
+            .iter()
+            .map(|r| code_contract(r.site, &r.reference_contract(), r.rnp))
+            .collect(),
+    )
+}
+
+/// Render the corpus as the Table 2 check-mark matrix.
+pub fn render_table2(corpus: &SurveyCorpus) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "         | Demand Charges | Powerband | Fixed | Variable | Dynamic | Emergency DR | RNP\n",
+    );
+    out.push_str(
+        "---------+----------------+-----------+-------+----------+---------+--------------+---------\n",
+    );
+    let mark = |b: bool| if b { "✓" } else { " " };
+    for r in corpus.responses() {
+        out.push_str(&format!(
+            " Site {:>2} | {:^14} | {:^9} | {:^5} | {:^8} | {:^7} | {:^12} | {}\n",
+            r.site.0,
+            mark(r.demand_charges),
+            mark(r.powerband),
+            mark(r.fixed),
+            mark(r.variable),
+            mark(r.dynamic),
+            mark(r.emergency_dr),
+            r.rnp.label(),
+        ));
+    }
+    out
+}
+
+/// Per-component inter-rater agreement between two coders' matrices:
+/// Cohen's kappa over the ten yes/no judgements for `kind`.
+///
+/// Qualitative studies report kappa to show the coding is reproducible; our
+/// mechanical coder trivially achieves κ = 1 against the published matrix
+/// (tested below), and the function lets users validate *their own* manual
+/// codings against the classifier.
+pub fn cohens_kappa(
+    a: &SurveyCorpus,
+    b: &SurveyCorpus,
+    kind: ContractComponentKind,
+) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let n = a.len() as f64;
+    let (mut both_yes, mut both_no, mut a_yes, mut b_yes) = (0.0, 0.0, 0.0, 0.0);
+    for (ra, rb) in a.responses().iter().zip(b.responses()) {
+        let (ya, yb) = (ra.has(kind), rb.has(kind));
+        if ya {
+            a_yes += 1.0;
+        }
+        if yb {
+            b_yes += 1.0;
+        }
+        match (ya, yb) {
+            (true, true) => both_yes += 1.0,
+            (false, false) => both_no += 1.0,
+            _ => {}
+        }
+    }
+    let observed = (both_yes + both_no) / n;
+    let expected = (a_yes / n) * (b_yes / n) + (1.0 - a_yes / n) * (1.0 - b_yes / n);
+    if (1.0 - expected).abs() < 1e-12 {
+        // Degenerate marginals (all-yes or all-no on both sides): agreement
+        // is complete by construction.
+        return Some(if (observed - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+    }
+    Some((observed - expected) / (1.0 - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tariff::Tariff;
+    use hpcgrid_units::EnergyPrice;
+
+    #[test]
+    fn coding_round_trip_reproduces_table2() {
+        let published = SurveyCorpus::published();
+        let recoded = recode_corpus(&published);
+        assert_eq!(published, recoded);
+    }
+
+    #[test]
+    fn code_simple_contract() {
+        let c = Contract::builder("x")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.1)))
+            .build()
+            .unwrap();
+        let row = code_contract(SiteId(1), &c, Rnp::SupercomputingCenter);
+        assert!(row.fixed);
+        assert!(!row.demand_charges && !row.powerband && !row.variable);
+        assert!(!row.dynamic && !row.emergency_dr);
+        assert_eq!(row.rnp, Rnp::SupercomputingCenter);
+    }
+
+    #[test]
+    fn kappa_perfect_agreement() {
+        let published = SurveyCorpus::published();
+        let recoded = recode_corpus(&published);
+        for kind in ContractComponentKind::ALL {
+            let k = cohens_kappa(&published, &recoded, kind).unwrap();
+            assert!((k - 1.0).abs() < 1e-12, "{kind:?} kappa {k}");
+        }
+    }
+
+    #[test]
+    fn kappa_detects_disagreement() {
+        let a = SurveyCorpus::published();
+        // Flip every demand-charge judgement: agreement below chance.
+        let flipped = SurveyCorpus::from_rows(
+            a.responses()
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.demand_charges = !r.demand_charges;
+                    r
+                })
+                .collect(),
+        );
+        let k = cohens_kappa(&a, &flipped, ContractComponentKind::DemandCharge).unwrap();
+        assert!(k < 0.0, "flipped coding must score below chance, got {k}");
+        // Untouched components still agree perfectly.
+        let k2 = cohens_kappa(&a, &flipped, ContractComponentKind::Powerband).unwrap();
+        assert!((k2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_requires_matched_corpora() {
+        let a = SurveyCorpus::published();
+        let b = SurveyCorpus::from_rows(a.responses()[..5].to_vec());
+        assert!(cohens_kappa(&a, &b, ContractComponentKind::FixedTariff).is_none());
+        let empty = SurveyCorpus::from_rows(vec![]);
+        assert!(cohens_kappa(&empty, &empty, ContractComponentKind::FixedTariff).is_none());
+    }
+
+    #[test]
+    fn table2_render_shape() {
+        let s = render_table2(&SurveyCorpus::published());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 12); // header + separator + 10 rows
+        assert!(lines[0].contains("Demand Charges"));
+        assert!(lines[0].contains("RNP"));
+        // Site 7 row has 4 check marks.
+        let site7 = lines.iter().find(|l| l.contains("Site  7")).unwrap();
+        assert_eq!(site7.matches('✓').count(), 4);
+        // Site 10 row has exactly 1.
+        let site10 = lines.iter().find(|l| l.contains("Site 10")).unwrap();
+        assert_eq!(site10.matches('✓').count(), 1);
+    }
+}

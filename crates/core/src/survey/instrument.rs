@@ -1,0 +1,185 @@
+//! The survey instrument: the six open-ended questions of §3.1.
+//!
+//! The paper chose open-ended over multiple-choice questions "out of the
+//! concern that ESP contracts are all unique". Each question is encoded
+//! with its published motivation so downstream tools (and the experiment
+//! binaries) can print the instrument verbatim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One survey question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Question {
+    /// Question number (1–6).
+    pub number: u8,
+    /// Short name used in §3.1 subsection titles.
+    pub short_name: &'static str,
+    /// The question text (abridged to its operative sentence).
+    pub text: &'static str,
+    /// The stated motivation.
+    pub motivation: &'static str,
+}
+
+/// The full instrument.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SurveyInstrument {
+    /// The questions in order.
+    pub questions: Vec<Question>,
+}
+
+impl SurveyInstrument {
+    /// The instrument as published ("HPC power contracts and grid
+    /// integration", 2016).
+    pub fn standard() -> SurveyInstrument {
+        SurveyInstrument {
+            questions: vec![
+                Question {
+                    number: 1,
+                    short_name: "Contract Negotiation Responsibility",
+                    text: "In your institution, who is responsible for negotiating the \
+                           contract between your HPC facility and your ESP? What role do \
+                           you play, if any, in this contract negotiation?",
+                    motivation: "The more the SC participates in the negotiation, the \
+                                 greater the likelihood that the contract is tailored to \
+                                 its needs and abilities.",
+                },
+                Question {
+                    number: 2,
+                    short_name: "Details on Pricing Structure",
+                    text: "Could you elaborate on the details of the pricing structure of \
+                           your electricity? What are the basic pricing components?",
+                    motivation: "Knowing what sort of tariffs exist among SCs helps \
+                                 understand the degree to which SCs already participate in \
+                                 DR-like programs.",
+                },
+                Question {
+                    number: 3,
+                    short_name: "Obligations Towards the ESP",
+                    text: "Do you have any obligations towards your ESP, e.g. a \
+                           contractually agreed power band or requirement to deliver power \
+                           profiles? What is your incentive towards committing to these \
+                           obligations?",
+                    motivation: "Obligations range from none to very tightly coupled; they \
+                                 are static and 'pre-smart-grid' (no real-time \
+                                 communication).",
+                },
+                Question {
+                    number: 4,
+                    short_name: "Services Provided to ESP",
+                    text: "Do you offer any kind of services for your ESP (two-way \
+                           communication, e.g. load capping, powering up backup \
+                           generators)? What is your incentive for offering these \
+                           services?",
+                    motivation: "Extends the concept of obligation to opt-in services the \
+                                 SC actively offers.",
+                },
+                Question {
+                    number: 5,
+                    short_name: "Future Relationship with your ESP",
+                    text: "How do you envision your future relationship with your \
+                           electricity provider? Tighter (e.g. selling local generation \
+                           capacity) or looser (e.g. self-sufficiency)?",
+                    motivation: "Combined with the current relationship, describes SC \
+                                 readiness for the grid transition.",
+                },
+                Question {
+                    number: 6,
+                    short_name: "DR Potential",
+                    text: "Imagine your ESP offered a voluntary DR program. Is there load \
+                           you could shift or reduce for a time-span without negatively \
+                           impacting operations, how much, and what incentive would you \
+                           expect — including for shifts with tangible user impact?",
+                    motivation: "Understand how responsive SCs are to DR and what \
+                                 incentives or barrier removals would change behavior.",
+                },
+            ],
+        }
+    }
+
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// True if empty (never for the standard instrument).
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// Render the instrument as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for q in &self.questions {
+            out.push_str(&format!("Q{}. {} — {}\n", q.number, q.short_name, q.text));
+        }
+        out
+    }
+}
+
+/// Simulate a survey campaign: `invited` sites each respond independently
+/// with probability `response_rate`. Returns the responding site indices.
+/// Used to sanity-check the paper's stated "approximately 50 %" response
+/// rate against the listed ten respondents (see EXPERIMENTS.md, C5).
+pub fn simulate_campaign(seed: u64, invited: usize, response_rate: f64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..invited)
+        .filter(|_| rng.gen_bool(response_rate.clamp(0.0, 1.0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_questions_in_order() {
+        let i = SurveyInstrument::standard();
+        assert_eq!(i.len(), 6);
+        for (idx, q) in i.questions.iter().enumerate() {
+            assert_eq!(q.number as usize, idx + 1);
+            assert!(!q.text.is_empty());
+            assert!(!q.motivation.is_empty());
+        }
+    }
+
+    #[test]
+    fn question_names_match_section_titles() {
+        let i = SurveyInstrument::standard();
+        assert_eq!(i.questions[0].short_name, "Contract Negotiation Responsibility");
+        assert_eq!(i.questions[1].short_name, "Details on Pricing Structure");
+        assert_eq!(i.questions[2].short_name, "Obligations Towards the ESP");
+        assert_eq!(i.questions[3].short_name, "Services Provided to ESP");
+        assert_eq!(i.questions[4].short_name, "Future Relationship with your ESP");
+        assert_eq!(i.questions[5].short_name, "DR Potential");
+    }
+
+    #[test]
+    fn render_lists_all_questions() {
+        let s = SurveyInstrument::standard().render();
+        for n in 1..=6 {
+            assert!(s.contains(&format!("Q{n}.")));
+        }
+    }
+
+    #[test]
+    fn campaign_simulation_is_seeded_and_bounded() {
+        let a = simulate_campaign(7, 20, 0.5);
+        let b = simulate_campaign(7, 20, 0.5);
+        assert_eq!(a, b);
+        assert!(a.len() <= 20);
+        assert!(simulate_campaign(1, 10, 0.0).is_empty());
+        assert_eq!(simulate_campaign(1, 10, 1.0).len(), 10);
+    }
+
+    #[test]
+    fn campaign_rate_roughly_respected() {
+        let mut total = 0;
+        for seed in 0..200 {
+            total += simulate_campaign(seed, 10, 0.5).len();
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 5.0).abs() < 0.5, "mean {mean}");
+    }
+}

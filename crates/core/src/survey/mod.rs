@@ -1,0 +1,28 @@
+//! The survey: instrument, corpus, coding, and analysis.
+//!
+//! The paper's data is a qualitative survey of ten SC sites ("HPC power
+//! contracts and grid integration", 2016). This module encodes:
+//!
+//! * the **instrument** — the six questions of §3.1 with their stated
+//!   motivations;
+//! * the **corpus** — Table 1 (sites and countries) and Table 2 (per-site
+//!   contract-component matrix and responsible negotiating party), plus the
+//!   aggregate prose facts of §3.3–§3.4;
+//! * the **coding** step — deriving a Table 2 row from a typed [`crate::contract::Contract`],
+//!   so the published matrix is *regenerated* from contract objects rather
+//!   than transcribed;
+//! * the **analysis** — component counts, text-vs-table consistency checks
+//!   (the paper's own prose and table disagree in four cells), RNP
+//!   distribution, and the US-vs-EU permutation analysis behind the "no
+//!   geographic trends" finding.
+
+pub mod analysis;
+pub mod coding;
+pub mod corpus;
+pub mod instrument;
+pub mod power_analysis;
+pub mod qualitative;
+pub mod rnp;
+
+pub use corpus::{SiteResponse, SurveyCorpus};
+pub use rnp::Rnp;

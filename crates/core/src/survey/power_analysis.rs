@@ -1,0 +1,131 @@
+//! Statistical power analysis for the geographic-trend question.
+//!
+//! E9 showed the published 10-site sample can barely reach nominal
+//! significance under *any* assignment. The natural follow-up — useful to
+//! anyone designing the next EE HPC WG survey — is: **how many sites would
+//! a survey need** before a real US/EU difference of a given size becomes
+//! detectable? This module computes exact (enumerated) power for Fisher's
+//! exact test on two independent binomial samples.
+
+use crate::survey::analysis::{choose, fisher_two_sided};
+use serde::{Deserialize, Serialize};
+
+/// Binomial PMF.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    choose(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+/// Exact power of the two-sided Fisher test at level `alpha` to detect a
+/// difference between prevalence `p_a` (sample of `n_a`) and `p_b`
+/// (sample of `n_b`): the probability, over both binomials, that the
+/// conditional test rejects.
+pub fn exact_power(p_a: f64, n_a: u64, p_b: f64, n_b: u64, alpha: f64) -> f64 {
+    let mut power = 0.0;
+    for k_a in 0..=n_a {
+        let pa = binomial_pmf(n_a, k_a, p_a);
+        if pa == 0.0 {
+            continue;
+        }
+        for k_b in 0..=n_b {
+            let pb = binomial_pmf(n_b, k_b, p_b);
+            if pb == 0.0 {
+                continue;
+            }
+            let p_value = fisher_two_sided(n_a + n_b, k_a + k_b, n_a, k_a);
+            if p_value <= alpha {
+                power += pa * pb;
+            }
+        }
+    }
+    power.min(1.0)
+}
+
+/// Result of a sample-size search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSizeResult {
+    /// Per-region sample size found.
+    pub n_per_region: u64,
+    /// Power achieved at that size.
+    pub power: f64,
+}
+
+/// Smallest equal per-region sample size whose exact power reaches
+/// `target_power` at level `alpha`, searching up to `max_n`. `None` if even
+/// `max_n` is insufficient (e.g. when `p_a == p_b`).
+pub fn required_sample_size(
+    p_a: f64,
+    p_b: f64,
+    alpha: f64,
+    target_power: f64,
+    max_n: u64,
+) -> Option<SampleSizeResult> {
+    for n in 2..=max_n {
+        let power = exact_power(p_a, n, p_b, n, alpha);
+        if power >= target_power {
+            return Some(SampleSizeResult {
+                n_per_region: n,
+                power,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=10).map(|k| binomial_pmf(10, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_pmf(5, 7, 0.5), 0.0);
+    }
+
+    #[test]
+    fn power_at_the_papers_sample_is_negligible() {
+        // Even a huge true difference (80 % vs 20 %) is nearly undetectable
+        // with 4 US and 6 EU sites.
+        let power = exact_power(0.8, 4, 0.2, 6, 0.05);
+        assert!(power < 0.45, "power at n=10 was {power}");
+    }
+
+    #[test]
+    fn power_grows_with_sample_size() {
+        let p_small = exact_power(0.8, 5, 0.2, 5, 0.05);
+        let p_mid = exact_power(0.8, 15, 0.2, 15, 0.05);
+        let p_large = exact_power(0.8, 30, 0.2, 30, 0.05);
+        assert!(p_small < p_mid && p_mid < p_large);
+        assert!(p_large > 0.99);
+    }
+
+    #[test]
+    fn power_grows_with_effect_size() {
+        let weak = exact_power(0.6, 15, 0.4, 15, 0.05);
+        let strong = exact_power(0.9, 15, 0.1, 15, 0.05);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn no_effect_never_reaches_power() {
+        // Identical prevalences: the test's rejection rate stays ≈ alpha.
+        let p = exact_power(0.5, 20, 0.5, 20, 0.05);
+        assert!(p < 0.06, "type-I-rate-as-power was {p}");
+        assert!(required_sample_size(0.5, 0.5, 0.05, 0.8, 40).is_none());
+    }
+
+    #[test]
+    fn required_sample_size_for_large_effect() {
+        let r = required_sample_size(0.8, 0.2, 0.05, 0.8, 60).expect("detectable");
+        assert!(r.power >= 0.8);
+        // A survey would need well over the paper's 10 sites.
+        assert!(r.n_per_region > 5, "n = {}", r.n_per_region);
+        assert!(r.n_per_region <= 25, "n = {}", r.n_per_region);
+        // And the found n is minimal: one less fails.
+        let prev = exact_power(0.8, r.n_per_region - 1, 0.2, r.n_per_region - 1, 0.05);
+        assert!(prev < 0.8);
+    }
+}

@@ -1,0 +1,300 @@
+//! Qualitative coding of free-text survey answers.
+//!
+//! The survey used *open-ended* questions precisely because "ESP contracts
+//! are all unique" (§3); the analysis then coded the prose answers into the
+//! typology. This module implements that coding step as a transparent rule
+//! lexicon: phrase patterns vote for or against each component, negation
+//! phrases ("no demand charges") override assertions, and every decision is
+//! traceable to the matched evidence — the audit trail a qualitative-methods
+//! reviewer asks for.
+//!
+//! The lexicon is deliberately simple (no NLP dependencies); its job is to
+//! make the published coding *reproducible from text*, not to parse
+//! arbitrary English. [`code_answer`] returns matched evidence so a human
+//! coder can review every assignment.
+
+use crate::survey::corpus::{SiteId, SiteResponse};
+use crate::survey::rnp::Rnp;
+use crate::typology::ContractComponentKind;
+use serde::Serialize;
+
+/// One piece of matched evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Evidence {
+    /// The component concerned.
+    pub kind: ContractComponentKind,
+    /// The phrase that matched.
+    pub phrase: String,
+    /// Whether the phrase asserts (true) or negates (false) the component.
+    pub asserts: bool,
+}
+
+/// The coding of one free-text answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct AnswerCoding {
+    /// Components asserted by the text (net of negations).
+    pub present: Vec<ContractComponentKind>,
+    /// All matched evidence, in match order.
+    pub evidence: Vec<Evidence>,
+}
+
+impl AnswerCoding {
+    /// Whether a component was coded present.
+    pub fn has(&self, kind: ContractComponentKind) -> bool {
+        self.present.contains(&kind)
+    }
+}
+
+/// Assertion phrases per component (lower-case matching).
+fn assertion_lexicon() -> Vec<(ContractComponentKind, &'static str)> {
+    use ContractComponentKind::*;
+    vec![
+        (FixedTariff, "fixed price"),
+        (FixedTariff, "fixed rate"),
+        (FixedTariff, "fixed kwh tariff"),
+        (FixedTariff, "flat rate"),
+        (FixedTariff, "same price all year"),
+        (TimeOfUseTariff, "time-of-use"),
+        (TimeOfUseTariff, "time of use"),
+        (TimeOfUseTariff, "day/night"),
+        (TimeOfUseTariff, "day and night rates"),
+        (TimeOfUseTariff, "seasonal pricing"),
+        (TimeOfUseTariff, "peak hours cost more"),
+        (DynamicTariff, "real-time price"),
+        (DynamicTariff, "real-time market"),
+        (DynamicTariff, "spot price"),
+        (DynamicTariff, "spot market"),
+        (DynamicTariff, "hourly market price"),
+        (DynamicTariff, "dynamically variable"),
+        (DemandCharge, "demand charge"),
+        (DemandCharge, "demand charges"),
+        (DemandCharge, "peak demand charge"),
+        (DemandCharge, "billed on our peak"),
+        (DemandCharge, "capacity charge"),
+        (Powerband, "power band"),
+        (Powerband, "powerband"),
+        (Powerband, "consumption corridor"),
+        (Powerband, "agreed band"),
+        (Powerband, "upper and lower limit"),
+        (EmergencyDr, "emergency"),
+        (EmergencyDr, "grid emergencies"),
+        (EmergencyDr, "mandatory curtailment"),
+        (EmergencyDr, "interruptible"),
+    ]
+}
+
+/// Negation prefixes: if one of these immediately precedes (within
+/// `NEG_WINDOW` characters of) an assertion phrase, the phrase negates.
+const NEGATIONS: [&str; 6] = ["no ", "not ", "without ", "removed", "never", "do not have"];
+const NEG_WINDOW: usize = 48;
+
+/// Code one free-text answer (e.g. to Q2 "pricing structure" or Q3
+/// "obligations") into typology components.
+pub fn code_answer(text: &str) -> AnswerCoding {
+    let lower = text.to_lowercase();
+    let mut coding = AnswerCoding::default();
+    use std::collections::BTreeMap;
+    let mut votes: BTreeMap<ContractComponentKind, i32> = BTreeMap::new();
+    // Longest phrases first, so "demand charges" claims its span before the
+    // substring "demand charge" can double-count it.
+    let mut lexicon = assertion_lexicon();
+    lexicon.sort_by_key(|(_, p)| std::cmp::Reverse(p.len()));
+    let mut claimed: BTreeMap<ContractComponentKind, Vec<(usize, usize)>> = BTreeMap::new();
+    for (kind, phrase) in lexicon {
+        let mut from = 0;
+        while let Some(pos) = lower[from..].find(phrase) {
+            let abs = from + pos;
+            let end = abs + phrase.len();
+            from = end;
+            let spans = claimed.entry(kind).or_default();
+            if spans.iter().any(|(s, e)| abs < *e && end > *s) {
+                continue; // span already matched by a longer phrase
+            }
+            spans.push((abs, end));
+            let mut window_start = abs.saturating_sub(NEG_WINDOW);
+            while !lower.is_char_boundary(window_start) {
+                window_start -= 1;
+            }
+            let window = &lower[window_start..abs];
+            // A sentence boundary resets negation scope.
+            let window = window.rsplit(['.', ';']).next().unwrap_or(window);
+            let negated = NEGATIONS.iter().any(|n| window.contains(n));
+            coding.evidence.push(Evidence {
+                kind,
+                phrase: phrase.to_string(),
+                asserts: !negated,
+            });
+            *votes.entry(kind).or_insert(0) += if negated { -1 } else { 1 };
+        }
+    }
+    coding.present = votes
+        .into_iter()
+        .filter(|(_, v)| *v > 0)
+        .map(|(k, _)| k)
+        .collect();
+    coding
+}
+
+/// Code the Q1 answer (negotiation responsibility) into an RNP.
+pub fn code_rnp(text: &str) -> Option<Rnp> {
+    let lower = text.to_lowercase();
+    // Most specific first: external multi-site bodies, then internal
+    // campus/university organizations, then the center itself.
+    if ["department of energy", "doe", "ministry", "national procurement",
+        "external organization", "parent agency"]
+        .iter()
+        .any(|p| lower.contains(p))
+    {
+        return Some(Rnp::ExternalOrganization);
+    }
+    if ["university", "campus", "facilities department", "institute",
+        "internal organization", "utility division"]
+        .iter()
+        .any(|p| lower.contains(p))
+    {
+        return Some(Rnp::InternalOrganization);
+    }
+    if ["we negotiate", "the center negotiates", "ourselves", "our own staff",
+        "the hpc facility itself"]
+        .iter()
+        .any(|p| lower.contains(p))
+    {
+        return Some(Rnp::SupercomputingCenter);
+    }
+    None
+}
+
+/// Code a full interview (Q1 + Q2/Q3 text) into a Table 2 row.
+pub fn code_interview(site: SiteId, q1_answer: &str, contract_answers: &str) -> Option<SiteResponse> {
+    let rnp = code_rnp(q1_answer)?;
+    let coding = code_answer(contract_answers);
+    Some(SiteResponse {
+        site,
+        demand_charges: coding.has(ContractComponentKind::DemandCharge),
+        powerband: coding.has(ContractComponentKind::Powerband),
+        fixed: coding.has(ContractComponentKind::FixedTariff),
+        variable: coding.has(ContractComponentKind::TimeOfUseTariff),
+        dynamic: coding.has(ContractComponentKind::DynamicTariff),
+        emergency_dr: coding.has(ContractComponentKind::EmergencyDr),
+        rnp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ContractComponentKind::*;
+
+    #[test]
+    fn codes_simple_assertions() {
+        let c = code_answer(
+            "We pay a fixed price per kWh, and there is a demand charge based \
+             on our monthly peak.",
+        );
+        assert!(c.has(FixedTariff));
+        assert!(c.has(DemandCharge));
+        assert!(!c.has(Powerband));
+        assert!(!c.has(DynamicTariff));
+        assert!(c.evidence.len() >= 2);
+    }
+
+    #[test]
+    fn negation_flips_a_component() {
+        let c = code_answer(
+            "Our new contract has no demand charges; we pay a fixed rate and \
+             agreed to a power band with our provider.",
+        );
+        assert!(!c.has(DemandCharge), "negated demand charge coded present");
+        assert!(c.has(FixedTariff));
+        assert!(c.has(Powerband));
+        // The negated match is still in the evidence trail.
+        assert!(c
+            .evidence
+            .iter()
+            .any(|e| e.kind == DemandCharge && !e.asserts));
+    }
+
+    #[test]
+    fn sentence_boundary_limits_negation() {
+        let c = code_answer(
+            "There is no powerband. Demand charges apply every month.",
+        );
+        assert!(!c.has(Powerband));
+        assert!(c.has(DemandCharge), "negation must not leak past the period");
+    }
+
+    #[test]
+    fn codes_dynamic_and_emergency() {
+        let c = code_answer(
+            "Part of our consumption is billed at the hourly market price \
+             (spot market), and during grid emergencies we are obliged to \
+             curtail to a set limit.",
+        );
+        assert!(c.has(DynamicTariff));
+        assert!(c.has(EmergencyDr));
+    }
+
+    #[test]
+    fn rnp_coding() {
+        assert_eq!(
+            code_rnp("The Department of Energy negotiates for all our labs."),
+            Some(Rnp::ExternalOrganization)
+        );
+        assert_eq!(
+            code_rnp("The university facilities department handles the contract."),
+            Some(Rnp::InternalOrganization)
+        );
+        assert_eq!(
+            code_rnp("We negotiate directly with the utility ourselves."),
+            Some(Rnp::SupercomputingCenter)
+        );
+        assert_eq!(code_rnp("It is complicated."), None);
+    }
+
+    #[test]
+    fn full_interview_recovers_a_table2_row() {
+        // Site 7's row: demand charges + powerband + dynamic + emergency,
+        // internal RNP.
+        let row = code_interview(
+            SiteId(7),
+            "Contract negotiation is handled by our institute's utility division.",
+            "Pricing follows the real-time market. We have a contractually \
+             agreed band — consumption outside the upper and lower limit is \
+             penalized — plus demand charges on monthly peaks. In grid \
+             emergencies we must curtail when called.",
+        )
+        .expect("codable interview");
+        assert_eq!(row.rnp, Rnp::InternalOrganization);
+        assert!(row.demand_charges && row.powerband && row.dynamic && row.emergency_dr);
+        assert!(!row.fixed && !row.variable);
+        // Identical to the published Site 7 row.
+        let published = crate::survey::corpus::SurveyCorpus::published();
+        assert_eq!(&row, &published.responses()[6]);
+    }
+
+    #[test]
+    fn uncodable_rnp_yields_none() {
+        assert!(code_interview(SiteId(1), "unclear", "fixed price").is_none());
+    }
+
+    #[test]
+    fn multibyte_text_near_window_boundary() {
+        // Regression: the negation window must not split a multi-byte char.
+        let c = code_answer(
+            "our energy is settled at the hourly market price — a real-time \
+             price pass-through — and we pay demand charges on peaks.",
+        );
+        assert!(c.has(DynamicTariff));
+        assert!(c.has(DemandCharge));
+    }
+
+    #[test]
+    fn repeated_phrases_accumulate_votes() {
+        // One negation vs two assertions: assertions win.
+        let c = code_answer(
+            "We removed demand charges in 2014. They reintroduced a demand \
+             charge in 2016, and the demand charge has grown since.",
+        );
+        assert!(c.has(DemandCharge));
+    }
+}

@@ -1,0 +1,79 @@
+//! Responsible negotiating parties (paper §3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// The actor with main responsibility for negotiating the electricity
+/// procurement contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Rnp {
+    /// The supercomputing center itself negotiates (1 of 10 sites; a
+    /// geographically isolated data-center site).
+    SupercomputingCenter,
+    /// An internal organization of the same multi-function site — a
+    /// university or government organization (6 of 10 sites).
+    InternalOrganization,
+    /// An external organization responsible for more than one site, possibly
+    /// spanning regions and legal entities (3 of 10 sites; for two of them
+    /// the U.S. Department of Energy).
+    ExternalOrganization,
+}
+
+impl Rnp {
+    /// All variants.
+    pub const ALL: [Rnp; 3] = [
+        Rnp::SupercomputingCenter,
+        Rnp::InternalOrganization,
+        Rnp::ExternalOrganization,
+    ];
+
+    /// Label as used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rnp::SupercomputingCenter => "SC",
+            Rnp::InternalOrganization => "Internal",
+            Rnp::ExternalOrganization => "External",
+        }
+    }
+
+    /// The paper's qualitative ranking of how much operational domain
+    /// knowledge the negotiating party has about the SC (higher = more):
+    /// the SC itself knows most, an internal org "may have some insight",
+    /// an external org has "minimal" knowledge.
+    pub fn domain_knowledge_rank(self) -> u8 {
+        match self {
+            Rnp::SupercomputingCenter => 2,
+            Rnp::InternalOrganization => 1,
+            Rnp::ExternalOrganization => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Rnp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(Rnp::SupercomputingCenter.label(), "SC");
+        assert_eq!(Rnp::InternalOrganization.label(), "Internal");
+        assert_eq!(Rnp::ExternalOrganization.label(), "External");
+    }
+
+    #[test]
+    fn knowledge_ranking_is_strict() {
+        assert!(
+            Rnp::SupercomputingCenter.domain_knowledge_rank()
+                > Rnp::InternalOrganization.domain_knowledge_rank()
+        );
+        assert!(
+            Rnp::InternalOrganization.domain_knowledge_rank()
+                > Rnp::ExternalOrganization.domain_knowledge_rank()
+        );
+    }
+}

@@ -1,0 +1,588 @@
+//! Energy tariffs: the kWh-domain branch of the typology.
+//!
+//! Three leaves (paper §3.2.1):
+//!
+//! * **fixed** — one price for the whole contract period;
+//! * **time-of-use** — price varies over *contractually known* periods
+//!   (day/night, weekday/weekend, seasons);
+//! * **dynamically variable** — price set by real-time communication
+//!   (here: a wholesale price strip from `hpcgrid-grid`, plus a retail
+//!   markup).
+//!
+//! Two surveyed sites had both a fixed tariff *and* a variable component
+//! ("a variable service-charge is applied on top of their fixed rate
+//! tariff") — contracts therefore hold a *list* of tariff components whose
+//! costs add.
+
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
+use hpcgrid_units::{Calendar, Duration, EnergyPrice, Money, Month, SimTime, TimeOfDay, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// Which days a TOU window applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DayFilter {
+    /// Every day.
+    #[default]
+    All,
+    /// Monday–Friday.
+    WeekdaysOnly,
+    /// Saturday–Sunday.
+    WeekendsOnly,
+}
+
+impl DayFilter {
+    /// Does `w` match the filter?
+    pub fn matches(self, w: Weekday) -> bool {
+        match self {
+            DayFilter::All => true,
+            DayFilter::WeekdaysOnly => !w.is_weekend(),
+            DayFilter::WeekendsOnly => w.is_weekend(),
+        }
+    }
+}
+
+/// One time-of-use pricing window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TouWindow {
+    /// Months the window applies to (`None` = all year).
+    pub months: Option<Vec<Month>>,
+    /// Day filter.
+    pub days: DayFilter,
+    /// Window start (inclusive).
+    pub from: TimeOfDay,
+    /// Window end (exclusive). If `to <= from` the window wraps midnight.
+    pub to: TimeOfDay,
+    /// Price inside the window.
+    pub price: EnergyPrice,
+}
+
+impl TouWindow {
+    /// Does the window cover civil time `t` under `cal`?
+    pub fn covers(&self, cal: &Calendar, t: SimTime) -> bool {
+        if let Some(months) = &self.months {
+            if !months.contains(&cal.month(t)) {
+                return false;
+            }
+        }
+        if !self.days.matches(cal.weekday(t)) {
+            return false;
+        }
+        let tod = cal.time_of_day(t).seconds_into_day();
+        let from = self.from.seconds_into_day();
+        let to = self.to.seconds_into_day();
+        if from < to {
+            (from..to).contains(&tod)
+        } else {
+            // Wraps midnight (e.g. 22:00–06:00).
+            tod >= from || tod < to
+        }
+    }
+}
+
+/// A time-of-use tariff: ordered windows with a base (default) price.
+/// The first matching window wins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TouTariff {
+    /// Windows in priority order.
+    pub windows: Vec<TouWindow>,
+    /// Price when no window matches.
+    pub base: EnergyPrice,
+}
+
+impl TouTariff {
+    /// A classic day/night tariff: `day_price` 08:00–20:00 on weekdays,
+    /// `night_price` otherwise.
+    pub fn day_night(day_price: EnergyPrice, night_price: EnergyPrice) -> TouTariff {
+        TouTariff {
+            windows: vec![TouWindow {
+                months: None,
+                days: DayFilter::WeekdaysOnly,
+                from: TimeOfDay::new(8, 0),
+                to: TimeOfDay::new(20, 0),
+                price: day_price,
+            }],
+            base: night_price,
+        }
+    }
+
+    /// A summer-peak tariff: `peak` in June–September 12:00–18:00 weekdays,
+    /// `base` otherwise.
+    pub fn summer_peak(peak: EnergyPrice, base: EnergyPrice) -> TouTariff {
+        TouTariff {
+            windows: vec![TouWindow {
+                months: Some(vec![
+                    Month::June,
+                    Month::July,
+                    Month::August,
+                    Month::September,
+                ]),
+                days: DayFilter::WeekdaysOnly,
+                from: TimeOfDay::new(12, 0),
+                to: TimeOfDay::new(18, 0),
+                price: peak,
+            }],
+            base,
+        }
+    }
+
+    /// The price in force at `t`.
+    pub fn price_at(&self, cal: &Calendar, t: SimTime) -> EnergyPrice {
+        self.windows
+            .iter()
+            .find(|w| w.covers(cal, t))
+            .map_or(self.base, |w| w.price)
+    }
+}
+
+/// A dynamically variable tariff: an externally supplied price strip (e.g.
+/// wholesale market prices from `hpcgrid-grid`) with a retail markup, and a
+/// fallback price outside the strip's coverage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicTariff {
+    /// The real-time price strip.
+    pub prices: PriceSeries,
+    /// Additive retail markup on every interval.
+    pub markup: EnergyPrice,
+    /// Price applied outside the strip's time range.
+    pub fallback: EnergyPrice,
+}
+
+impl DynamicTariff {
+    /// The price in force at `t`.
+    pub fn price_at(&self, t: SimTime) -> EnergyPrice {
+        match self.prices.index_at(t) {
+            Some(i) => self.prices.values()[i] + self.markup,
+            None => self.fallback,
+        }
+    }
+}
+
+/// One step of a block (tiered) tariff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockStep {
+    /// Upper bound of the block in kWh per billing month (`None` for the
+    /// final, unbounded block).
+    pub up_to_kwh: Option<f64>,
+    /// Price inside the block.
+    pub price: EnergyPrice,
+}
+
+/// A block (tiered/declining-block) tariff: the marginal price depends on
+/// the *cumulative volume* consumed in the billing month, not on the time
+/// of day. Common in US industrial rates; in the paper's typology it is a
+/// variant of the **fixed** leaf — the schedule is fixed throughout the
+/// contract period and carries no time-of-use or real-time signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockTariff {
+    /// Blocks in ascending threshold order; the last must be unbounded.
+    pub blocks: Vec<BlockStep>,
+}
+
+impl BlockTariff {
+    /// Validate the block structure.
+    pub fn validate(&self) -> Result<()> {
+        if self.blocks.is_empty() {
+            return Err(CoreError::BadComponent("block tariff needs blocks".into()));
+        }
+        let mut last = 0.0f64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            match b.up_to_kwh {
+                Some(limit) => {
+                    if i + 1 == self.blocks.len() {
+                        return Err(CoreError::BadComponent(
+                            "final block must be unbounded".into(),
+                        ));
+                    }
+                    if limit <= last {
+                        return Err(CoreError::BadComponent(
+                            "block thresholds must be strictly increasing".into(),
+                        ));
+                    }
+                    last = limit;
+                }
+                None => {
+                    if i + 1 != self.blocks.len() {
+                        return Err(CoreError::BadComponent(
+                            "only the final block may be unbounded".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost of consuming `kwh` within one billing month (marginal blocks).
+    pub fn monthly_cost(&self, kwh: f64) -> Money {
+        let mut remaining = kwh.max(0.0);
+        let mut prev_limit = 0.0f64;
+        let mut total = 0.0f64;
+        for b in &self.blocks {
+            let width = match b.up_to_kwh {
+                Some(limit) => limit - prev_limit,
+                None => f64::INFINITY,
+            };
+            let take = remaining.min(width);
+            total += take * b.price.as_dollars_per_kilowatt_hour();
+            remaining -= take;
+            if let Some(limit) = b.up_to_kwh {
+                prev_limit = limit;
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        Money::from_dollars(total)
+    }
+}
+
+/// An energy tariff component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Tariff {
+    /// Fixed price per kWh.
+    Fixed(EnergyPrice),
+    /// Block (tiered) pricing — volume-dependent but fixed in time, so it
+    /// classifies under the typology's fixed leaf.
+    Block(BlockTariff),
+    /// Time-of-use pricing.
+    TimeOfUse(TouTariff),
+    /// Dynamically variable pricing.
+    Dynamic(DynamicTariff),
+}
+
+impl Tariff {
+    /// Convenience constructor for a fixed tariff.
+    pub fn fixed(price: EnergyPrice) -> Tariff {
+        Tariff::Fixed(price)
+    }
+
+    /// Convenience constructor for a day/night TOU tariff.
+    pub fn day_night(day: EnergyPrice, night: EnergyPrice) -> Tariff {
+        Tariff::TimeOfUse(TouTariff::day_night(day, night))
+    }
+
+    /// Convenience constructor for a dynamic tariff over a price strip.
+    pub fn dynamic(prices: PriceSeries, markup: EnergyPrice, fallback: EnergyPrice) -> Tariff {
+        Tariff::Dynamic(DynamicTariff {
+            prices,
+            markup,
+            fallback,
+        })
+    }
+
+    /// The typology leaf this tariff is.
+    pub fn kind(&self) -> crate::typology::ContractComponentKind {
+        match self {
+            Tariff::Fixed(_) | Tariff::Block(_) => {
+                crate::typology::ContractComponentKind::FixedTariff
+            }
+            Tariff::TimeOfUse(_) => crate::typology::ContractComponentKind::TimeOfUseTariff,
+            Tariff::Dynamic(_) => crate::typology::ContractComponentKind::DynamicTariff,
+        }
+    }
+
+    /// The price in force at `t`. For a block tariff — whose marginal price
+    /// depends on cumulative monthly volume, not the instant — this is the
+    /// opening-block price; use [`Tariff::cost`] for exact billing.
+    pub fn price_at(&self, cal: &Calendar, t: SimTime) -> EnergyPrice {
+        match self {
+            Tariff::Fixed(p) => *p,
+            Tariff::Block(b) => b.blocks.first().map_or(EnergyPrice::ZERO, |s| s.price),
+            Tariff::TimeOfUse(tou) => tou.price_at(cal, t),
+            Tariff::Dynamic(d) => d.price_at(t),
+        }
+    }
+
+    /// Materialize the tariff as a price strip on an arbitrary axis. Prices
+    /// are sampled at interval starts.
+    pub fn price_series(
+        &self,
+        cal: &Calendar,
+        start: SimTime,
+        step: Duration,
+        n: usize,
+    ) -> Result<PriceSeries> {
+        Series::from_fn(start, step, n, |t| self.price_at(cal, t))
+            .map_err(|e| CoreError::BadSeries(e.to_string()))
+    }
+
+    /// Energy cost of a load series under this tariff. Time-based tariffs
+    /// price each interval at its start time; block tariffs accumulate
+    /// volume per billing month and price through the marginal blocks.
+    pub fn cost(&self, cal: &Calendar, load: &PowerSeries) -> Result<Money> {
+        if load.is_empty() {
+            return Ok(Money::ZERO);
+        }
+        if let Tariff::Block(b) = self {
+            b.validate()?;
+            let step_h = load.step().as_hours();
+            let mut month_kwh: std::collections::BTreeMap<u64, f64> =
+                std::collections::BTreeMap::new();
+            for (t, p) in load.iter() {
+                *month_kwh.entry(cal.billing_month(t)).or_insert(0.0) +=
+                    p.as_kilowatts() * step_h;
+            }
+            return Ok(month_kwh
+                .values()
+                .map(|kwh| b.monthly_cost(*kwh))
+                .fold(Money::ZERO, |a, m| a + m));
+        }
+        let prices = self.price_series(cal, load.start(), load.step(), load.len())?;
+        load.cost_against(&prices)
+            .map_err(|e| CoreError::BadSeries(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::Power;
+
+    fn cal() -> Calendar {
+        Calendar::default()
+    }
+
+    fn flat_load(hours: usize, mw: f64) -> PowerSeries {
+        Series::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            Power::from_megawatts(mw),
+            hours,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_tariff_cost() {
+        let t = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.10));
+        // 1 MW for 10 h at $0.10/kWh = $1000.
+        let cost = t.cost(&cal(), &flat_load(10, 1.0)).unwrap();
+        assert!((cost.as_dollars() - 1_000.0).abs() < 1e-6);
+        assert_eq!(t.kind(), crate::typology::ContractComponentKind::FixedTariff);
+    }
+
+    #[test]
+    fn day_night_windows() {
+        let t = TouTariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.20),
+            EnergyPrice::per_kilowatt_hour(0.05),
+        );
+        let c = cal();
+        // Monday 10:00 → day price; Monday 22:00 → night; Saturday 10:00 → night.
+        let mon_10 = SimTime::from_hours(10.0);
+        let mon_22 = SimTime::from_hours(22.0);
+        let sat_10 = SimTime::from_days(5) + Duration::from_hours(10.0);
+        assert_eq!(t.price_at(&c, mon_10).as_dollars_per_kilowatt_hour(), 0.20);
+        assert_eq!(t.price_at(&c, mon_22).as_dollars_per_kilowatt_hour(), 0.05);
+        assert_eq!(t.price_at(&c, sat_10).as_dollars_per_kilowatt_hour(), 0.05);
+        // Boundaries: 08:00 in, 20:00 out.
+        assert_eq!(
+            t.price_at(&c, SimTime::from_hours(8.0)).as_dollars_per_kilowatt_hour(),
+            0.20
+        );
+        assert_eq!(
+            t.price_at(&c, SimTime::from_hours(20.0)).as_dollars_per_kilowatt_hour(),
+            0.05
+        );
+    }
+
+    #[test]
+    fn midnight_wrapping_window() {
+        let tou = TouTariff {
+            windows: vec![TouWindow {
+                months: None,
+                days: DayFilter::All,
+                from: TimeOfDay::new(22, 0),
+                to: TimeOfDay::new(6, 0),
+                price: EnergyPrice::per_kilowatt_hour(0.03),
+            }],
+            base: EnergyPrice::per_kilowatt_hour(0.10),
+        };
+        let c = cal();
+        assert_eq!(
+            tou.price_at(&c, SimTime::from_hours(23.0)).as_dollars_per_kilowatt_hour(),
+            0.03
+        );
+        assert_eq!(
+            tou.price_at(&c, SimTime::from_hours(3.0)).as_dollars_per_kilowatt_hour(),
+            0.03
+        );
+        assert_eq!(
+            tou.price_at(&c, SimTime::from_hours(12.0)).as_dollars_per_kilowatt_hour(),
+            0.10
+        );
+    }
+
+    #[test]
+    fn summer_peak_applies_only_in_summer() {
+        let t = TouTariff::summer_peak(
+            EnergyPrice::per_kilowatt_hour(0.30),
+            EnergyPrice::per_kilowatt_hour(0.08),
+        );
+        let c = cal();
+        // July 1 (day 181) is a... day 181 % 7 = 6 → Sunday. Use July 2 (Monday).
+        let july_weekday_2pm = SimTime::from_days(182) + Duration::from_hours(14.0);
+        assert_eq!(c.month(july_weekday_2pm), Month::July);
+        assert!(!c.weekday(july_weekday_2pm).is_weekend());
+        assert_eq!(
+            t.price_at(&c, july_weekday_2pm).as_dollars_per_kilowatt_hour(),
+            0.30
+        );
+        // January 2 pm weekday → base.
+        let jan_2pm = SimTime::from_hours(14.0);
+        assert_eq!(t.price_at(&c, jan_2pm).as_dollars_per_kilowatt_hour(), 0.08);
+    }
+
+    #[test]
+    fn tou_cost_integrates_windows() {
+        // Day/night: 0.20 day (08:00–20:00 weekdays), 0.05 night.
+        let t = Tariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.20),
+            EnergyPrice::per_kilowatt_hour(0.05),
+        );
+        // Monday 24 h at 1 MW: 12 h day × 200 + 12 h night × 50 = 3000.
+        let cost = t.cost(&cal(), &flat_load(24, 1.0)).unwrap();
+        assert!((cost.as_dollars() - 3_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_tariff_tracks_strip() {
+        let strip = PriceSeries::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            vec![
+                EnergyPrice::per_kilowatt_hour(0.02),
+                EnergyPrice::per_kilowatt_hour(0.50),
+            ],
+        )
+        .unwrap();
+        let t = Tariff::dynamic(
+            strip,
+            EnergyPrice::per_kilowatt_hour(0.01),
+            EnergyPrice::per_kilowatt_hour(0.10),
+        );
+        let c = cal();
+        assert!(
+            (t.price_at(&c, SimTime::EPOCH).as_dollars_per_kilowatt_hour() - 0.03).abs() < 1e-12
+        );
+        assert!(
+            (t.price_at(&c, SimTime::from_hours(1.5)).as_dollars_per_kilowatt_hour() - 0.51)
+                .abs()
+                < 1e-12
+        );
+        // Outside the strip: fallback.
+        assert!(
+            (t.price_at(&c, SimTime::from_hours(5.0)).as_dollars_per_kilowatt_hour() - 0.10)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_load_costs_zero() {
+        let t = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.10));
+        let empty = PowerSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        assert_eq!(t.cost(&cal(), &empty).unwrap(), Money::ZERO);
+    }
+
+    #[test]
+    fn price_series_materializes() {
+        let t = Tariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.2),
+            EnergyPrice::per_kilowatt_hour(0.1),
+        );
+        let strip = t
+            .price_series(&cal(), SimTime::EPOCH, Duration::from_hours(1.0), 24)
+            .unwrap();
+        assert_eq!(strip.len(), 24);
+        assert_eq!(strip.values()[12].as_dollars_per_kilowatt_hour(), 0.2);
+        assert_eq!(strip.values()[2].as_dollars_per_kilowatt_hour(), 0.1);
+    }
+
+    #[test]
+    fn block_tariff_validation() {
+        let ok = BlockTariff {
+            blocks: vec![
+                BlockStep { up_to_kwh: Some(1_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
+                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+            ],
+        };
+        assert!(ok.validate().is_ok());
+        let empty = BlockTariff { blocks: vec![] };
+        assert!(empty.validate().is_err());
+        let bounded_last = BlockTariff {
+            blocks: vec![BlockStep { up_to_kwh: Some(10.0), price: EnergyPrice::ZERO }],
+        };
+        assert!(bounded_last.validate().is_err());
+        let non_increasing = BlockTariff {
+            blocks: vec![
+                BlockStep { up_to_kwh: Some(100.0), price: EnergyPrice::ZERO },
+                BlockStep { up_to_kwh: Some(100.0), price: EnergyPrice::ZERO },
+                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
+            ],
+        };
+        assert!(non_increasing.validate().is_err());
+        let middle_unbounded = BlockTariff {
+            blocks: vec![
+                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
+                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
+            ],
+        };
+        assert!(middle_unbounded.validate().is_err());
+    }
+
+    #[test]
+    fn block_monthly_cost_marginal() {
+        // 0.12 $/kWh for the first 1 000 kWh, 0.06 after (declining block).
+        let b = BlockTariff {
+            blocks: vec![
+                BlockStep { up_to_kwh: Some(1_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
+                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+            ],
+        };
+        assert!((b.monthly_cost(500.0).as_dollars() - 60.0).abs() < 1e-9);
+        assert!((b.monthly_cost(1_000.0).as_dollars() - 120.0).abs() < 1e-9);
+        assert!((b.monthly_cost(2_000.0).as_dollars() - 180.0).abs() < 1e-9);
+        assert_eq!(b.monthly_cost(0.0), Money::ZERO);
+        assert_eq!(b.monthly_cost(-5.0), Money::ZERO);
+    }
+
+    #[test]
+    fn block_tariff_cost_accumulates_per_month() {
+        let b = BlockTariff {
+            blocks: vec![
+                BlockStep { up_to_kwh: Some(1_000_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
+                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+            ],
+        };
+        let t = Tariff::Block(b.clone());
+        // 40 days of 2 MW: Jan gets 31d × 48 MWh = 1 488 MWh; Feb 9d × 48.
+        let load = flat_load(40 * 24, 2.0);
+        let cost = t.cost(&cal(), &load).unwrap();
+        let jan = b.monthly_cost(31.0 * 48.0 * 1_000.0);
+        let feb = b.monthly_cost(9.0 * 48.0 * 1_000.0);
+        assert!((cost.as_dollars() - (jan + feb).as_dollars()).abs() < 1e-6);
+        // Declining block: the marginal month is cheaper than the opening
+        // price would suggest.
+        let naive = load.total_energy().as_kilowatt_hours() * 0.12;
+        assert!(cost.as_dollars() < naive);
+        // Classification: still the typology's fixed leaf.
+        assert_eq!(t.kind(), crate::typology::ContractComponentKind::FixedTariff);
+    }
+
+    #[test]
+    fn kinds_map_to_typology() {
+        use crate::typology::ContractComponentKind::*;
+        assert_eq!(
+            Tariff::day_night(EnergyPrice::ZERO, EnergyPrice::ZERO).kind(),
+            TimeOfUseTariff
+        );
+        let strip =
+            PriceSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        assert_eq!(
+            Tariff::dynamic(strip, EnergyPrice::ZERO, EnergyPrice::ZERO).kind(),
+            DynamicTariff
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The contract typology of Figure 1, as types.
+//!
+//! The paper's typology has three branches:
+//!
+//! ```text
+//! SC electricity service contract
+//! ├── Tariffs (mapped to kWh)
+//! │   ├── Fixed
+//! │   ├── Time-of-use (variable)
+//! │   └── Dynamically variable
+//! ├── Demand charges (mapped to kW)
+//! │   ├── Peak demand charges
+//! │   └── Powerband
+//! └── Other
+//!     └── Emergency DR
+//! ```
+//!
+//! Each leaf *encourages* a particular demand-side behaviour (paper
+//! §3.2.1–§3.2.3): fixed tariffs encourage energy efficiency but not
+//! demand-side management; TOU tariffs encourage static DSM; dynamic tariffs
+//! encourage DR proper; demand charges and powerbands encourage DSM but are
+//! not real-time DR; emergency DR is mandatory incentive-based DR.
+
+use serde::{Deserialize, Serialize};
+
+/// The three branches of the typology diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypologyBranch {
+    /// Components priced per kWh.
+    TariffsKwh,
+    /// Components priced on peak kW.
+    DemandChargesKw,
+    /// Components outside both domains.
+    Other,
+}
+
+impl TypologyBranch {
+    /// Human-readable label as used in Figure 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            TypologyBranch::TariffsKwh => "Tariffs (kWh-domain)",
+            TypologyBranch::DemandChargesKw => "Demand charges (kW-domain)",
+            TypologyBranch::Other => "Other",
+        }
+    }
+}
+
+/// The leaves of the typology: every contract-component kind the survey
+/// identified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum ContractComponentKind {
+    /// Fixed price per kWh for the contract period.
+    FixedTariff,
+    /// Time-of-use tariff: price varies over contractually known periods.
+    TimeOfUseTariff,
+    /// Dynamically variable tariff: price set by real-time communication.
+    DynamicTariff,
+    /// Demand charge on billing-period peak consumption.
+    DemandCharge,
+    /// Powerband: upper (and optionally lower) consumption bounds with
+    /// continuous sampling.
+    Powerband,
+    /// Mandatory emergency demand-response clause.
+    EmergencyDr,
+}
+
+/// The demand-side behaviours a component encourages (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Encourages {
+    /// Rewards using less energy overall.
+    pub energy_efficiency: bool,
+    /// Rewards shaping load against a *static*, known-in-advance structure.
+    pub static_dsm: bool,
+    /// Rewards responding to *real-time* signals (DR proper).
+    pub dynamic_dr: bool,
+}
+
+impl ContractComponentKind {
+    /// All kinds, in Figure 1 / Table 2 order.
+    pub const ALL: [ContractComponentKind; 6] = [
+        ContractComponentKind::DemandCharge,
+        ContractComponentKind::Powerband,
+        ContractComponentKind::FixedTariff,
+        ContractComponentKind::TimeOfUseTariff,
+        ContractComponentKind::DynamicTariff,
+        ContractComponentKind::EmergencyDr,
+    ];
+
+    /// The branch this kind belongs to.
+    pub fn branch(self) -> TypologyBranch {
+        match self {
+            ContractComponentKind::FixedTariff
+            | ContractComponentKind::TimeOfUseTariff
+            | ContractComponentKind::DynamicTariff => TypologyBranch::TariffsKwh,
+            ContractComponentKind::DemandCharge | ContractComponentKind::Powerband => {
+                TypologyBranch::DemandChargesKw
+            }
+            ContractComponentKind::EmergencyDr => TypologyBranch::Other,
+        }
+    }
+
+    /// Label as used in Table 2 / Figure 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContractComponentKind::FixedTariff => "Fixed",
+            ContractComponentKind::TimeOfUseTariff => "Variable (time-of-use)",
+            ContractComponentKind::DynamicTariff => "Dynamic",
+            ContractComponentKind::DemandCharge => "Demand charges",
+            ContractComponentKind::Powerband => "Powerband",
+            ContractComponentKind::EmergencyDr => "Emergency DR",
+        }
+    }
+
+    /// The behaviours this component encourages (paper §3.2.1–§3.2.3).
+    pub fn encourages(self) -> Encourages {
+        match self {
+            ContractComponentKind::FixedTariff => Encourages {
+                energy_efficiency: true,
+                static_dsm: false,
+                dynamic_dr: false,
+            },
+            ContractComponentKind::TimeOfUseTariff => Encourages {
+                energy_efficiency: true,
+                static_dsm: true,
+                dynamic_dr: false,
+            },
+            ContractComponentKind::DynamicTariff => Encourages {
+                energy_efficiency: true,
+                static_dsm: true,
+                dynamic_dr: true,
+            },
+            ContractComponentKind::DemandCharge | ContractComponentKind::Powerband => Encourages {
+                energy_efficiency: false,
+                static_dsm: true,
+                dynamic_dr: false,
+            },
+            ContractComponentKind::EmergencyDr => Encourages {
+                energy_efficiency: false,
+                static_dsm: false,
+                dynamic_dr: true,
+            },
+        }
+    }
+}
+
+/// The full typology tree (Figure 1), renderable and iterable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Typology;
+
+impl Typology {
+    /// The branches in diagram order.
+    pub fn branches() -> [TypologyBranch; 3] {
+        [
+            TypologyBranch::TariffsKwh,
+            TypologyBranch::DemandChargesKw,
+            TypologyBranch::Other,
+        ]
+    }
+
+    /// The leaves under a branch, in diagram order.
+    pub fn leaves(branch: TypologyBranch) -> Vec<ContractComponentKind> {
+        ContractComponentKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.branch() == branch)
+            .collect()
+    }
+
+    /// Render the typology tree as ASCII (the reproduction of Figure 1).
+    pub fn render() -> String {
+        let mut out = String::from("SC electricity service contract\n");
+        let branches = Self::branches();
+        for (bi, branch) in branches.iter().enumerate() {
+            let last_branch = bi + 1 == branches.len();
+            let bprefix = if last_branch { "└── " } else { "├── " };
+            out.push_str(bprefix);
+            out.push_str(branch.label());
+            out.push('\n');
+            let leaves = Self::leaves(*branch);
+            for (li, leaf) in leaves.iter().enumerate() {
+                let last_leaf = li + 1 == leaves.len();
+                out.push_str(if last_branch { "    " } else { "│   " });
+                out.push_str(if last_leaf { "└── " } else { "├── " });
+                out.push_str(leaf.label());
+                let enc = leaf.encourages();
+                let mut tags: Vec<&str> = Vec::new();
+                if enc.energy_efficiency {
+                    tags.push("energy efficiency");
+                }
+                if enc.static_dsm {
+                    tags.push("static DSM");
+                }
+                if enc.dynamic_dr {
+                    tags.push("dynamic DR");
+                }
+                out.push_str(&format!("  [encourages: {}]", tags.join(", ")));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_exactly_one_branch() {
+        let mut total = 0;
+        for branch in Typology::branches() {
+            total += Typology::leaves(branch).len();
+        }
+        assert_eq!(total, ContractComponentKind::ALL.len());
+    }
+
+    #[test]
+    fn branch_assignment_matches_figure1() {
+        use ContractComponentKind::*;
+        assert_eq!(FixedTariff.branch(), TypologyBranch::TariffsKwh);
+        assert_eq!(TimeOfUseTariff.branch(), TypologyBranch::TariffsKwh);
+        assert_eq!(DynamicTariff.branch(), TypologyBranch::TariffsKwh);
+        assert_eq!(DemandCharge.branch(), TypologyBranch::DemandChargesKw);
+        assert_eq!(Powerband.branch(), TypologyBranch::DemandChargesKw);
+        assert_eq!(EmergencyDr.branch(), TypologyBranch::Other);
+    }
+
+    #[test]
+    fn encouragement_matrix_matches_paper() {
+        use ContractComponentKind::*;
+        // Fixed: efficiency only ("do not provide an incentive for DSM").
+        let f = FixedTariff.encourages();
+        assert!(f.energy_efficiency && !f.static_dsm && !f.dynamic_dr);
+        // TOU: static DSM.
+        let t = TimeOfUseTariff.encourages();
+        assert!(t.static_dsm && !t.dynamic_dr);
+        // Dynamic: DR proper.
+        assert!(DynamicTariff.encourages().dynamic_dr);
+        // Demand charges & powerband: "encourage demand-side management,
+        // but are not DR (real-time) programs".
+        for k in [DemandCharge, Powerband] {
+            let e = k.encourages();
+            assert!(e.static_dsm && !e.dynamic_dr);
+        }
+        // Emergency DR is an incentive-based DR program.
+        assert!(EmergencyDr.encourages().dynamic_dr);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let s = Typology::render();
+        for k in ContractComponentKind::ALL {
+            assert!(s.contains(k.label()), "missing {}", k.label());
+        }
+        for b in Typology::branches() {
+            assert!(s.contains(b.label()), "missing {}", b.label());
+        }
+        // Tree shape: 3 branches + 6 leaves + title = 10 lines.
+        assert_eq!(s.lines().count(), 10);
+    }
+
+    #[test]
+    fn kind_order_matches_table2_columns() {
+        use ContractComponentKind::*;
+        assert_eq!(
+            ContractComponentKind::ALL,
+            [
+                DemandCharge,
+                Powerband,
+                FixedTariff,
+                TimeOfUseTariff,
+                DynamicTariff,
+                EmergencyDr
+            ]
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the contract/billing invariants (DESIGN.md §5).
+
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::demand_charge::{DemandBasis, DemandCharge};
+use hpcgrid_core::powerband::Powerband;
+use hpcgrid_core::tariff::Tariff;
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
+use proptest::prelude::*;
+
+fn load_strategy() -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(0.0f64..20_000.0, 1..400).prop_map(|kw| {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            kw.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn engine() -> BillingEngine {
+    BillingEngine::new(Calendar::default())
+}
+
+proptest! {
+    /// A fixed-tariff bill equals energy × price exactly.
+    #[test]
+    fn fixed_bill_is_energy_times_price(load in load_strategy(), cents in 1u32..50) {
+        let price = EnergyPrice::per_kilowatt_hour(cents as f64 / 100.0);
+        let c = Contract::builder("p").tariff(Tariff::fixed(price)).build().unwrap();
+        let bill = engine().bill(&c, &load).unwrap();
+        let expected = load.total_energy().as_kilowatt_hours() * price.as_dollars_per_kilowatt_hour();
+        prop_assert!((bill.total().as_dollars() - expected).abs() <= 1e-6 * expected.abs().max(1.0));
+    }
+
+    /// Billing is monotone: scaling the load up never lowers any bill
+    /// component (tariff, demand charge, or ceiling-band penalty).
+    #[test]
+    fn billing_monotone_in_load(load in load_strategy(), scale in 1.0f64..3.0) {
+        let c = Contract::builder("m")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .powerband(Powerband::ceiling(
+                Power::from_megawatts(5.0),
+                EnergyPrice::per_kilowatt_hour(0.35),
+            ))
+            .build()
+            .unwrap();
+        let e = engine();
+        let b1 = e.bill(&c, &load).unwrap();
+        let b2 = e.bill(&c, &load.scale(scale)).unwrap();
+        prop_assert!(b2.total() >= b1.total() - Money::from_dollars(1e-9));
+        prop_assert!(b2.energy_cost() >= b1.energy_cost() - Money::from_dollars(1e-9));
+        prop_assert!(b2.demand_cost() >= b1.demand_cost() - Money::from_dollars(1e-9));
+    }
+
+    /// The bill decomposes exactly: total = sum of line items.
+    #[test]
+    fn bill_decomposition_is_exact(load in load_strategy()) {
+        let c = Contract::builder("d")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .tariff(Tariff::day_night(
+                EnergyPrice::per_kilowatt_hour(0.02),
+                EnergyPrice::ZERO,
+            ))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .monthly_fee(Money::from_dollars(100.0))
+            .build()
+            .unwrap();
+        let bill = engine().bill(&c, &load).unwrap();
+        let sum: f64 = bill.items.iter().map(|i| i.amount.as_dollars()).sum();
+        prop_assert!((bill.total().as_dollars() - sum).abs() < 1e-9);
+    }
+
+    /// Demand charge is invariant under permutation of intervals *within*
+    /// one billing month (it depends only on the max).
+    #[test]
+    fn demand_charge_permutation_invariant(
+        mut kw in prop::collection::vec(0.0f64..20_000.0, 2..96),
+        seed in 0u64..1000
+    ) {
+        let cal = Calendar::default();
+        let dc = DemandCharge {
+            demand_interval: Duration::from_minutes(15.0),
+            ..DemandCharge::monthly(DemandPrice::per_kilowatt_month(10.0))
+        };
+        let mk = |kw: &[f64]| {
+            Series::new(
+                SimTime::EPOCH,
+                Duration::from_minutes(15.0),
+                kw.iter().map(|k| Power::from_kilowatts(*k)).collect(),
+            )
+            .unwrap()
+        };
+        let before = dc.total(&cal, &mk(&kw)).unwrap();
+        // Deterministic shuffle.
+        let n = kw.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            kw.swap(i, j);
+        }
+        let after = dc.total(&cal, &mk(&kw)).unwrap();
+        prop_assert!((before.as_dollars() - after.as_dollars()).abs() < 1e-9);
+    }
+
+    /// Top-k-average demand never exceeds max-peak demand.
+    #[test]
+    fn top_k_is_dominated_by_max(load in load_strategy(), k in 1usize..5) {
+        let cal = Calendar::default();
+        let max_dc = DemandCharge::monthly(DemandPrice::per_kilowatt_month(10.0));
+        let topk_dc = DemandCharge {
+            basis: DemandBasis::TopKAverage(k),
+            ..max_dc
+        };
+        let max_total = max_dc.total(&cal, &load).unwrap();
+        let topk_total = topk_dc.total(&cal, &load).unwrap();
+        prop_assert!(topk_total <= max_total + Money::from_dollars(1e-9));
+    }
+
+    /// Powerband: zero cost inside the band; clipping at the ceiling can
+    /// only reduce the penalty; penalty grows with excursion scale.
+    #[test]
+    fn powerband_invariants(load in load_strategy(), width_pct in 5.0f64..60.0) {
+        let nominal = load.mean_power().unwrap();
+        prop_assume!(nominal > Power::ZERO);
+        let band = Powerband::symmetric(
+            nominal,
+            nominal * (width_pct / 100.0),
+            EnergyPrice::per_kilowatt_hour(0.35),
+        );
+        let report = band.evaluate(&load).unwrap();
+        // Clipped load never costs more on the ceiling side.
+        let clipped = load.clip_max(band.upper);
+        let clipped_report = band.evaluate(&clipped).unwrap();
+        prop_assert!(clipped_report.over_energy <= report.over_energy);
+        // A load fully inside the band costs zero.
+        let inside = load.map(|_| nominal);
+        prop_assert_eq!(band.penalty_cost(&inside).unwrap(), Money::ZERO);
+    }
+
+    /// TOU price lookup is total: every timestamp gets exactly one price,
+    /// and materialized strips agree with point lookups.
+    #[test]
+    fn tou_price_series_consistent(hours in 1usize..200) {
+        let cal = Calendar::default();
+        let t = Tariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.2),
+            EnergyPrice::per_kilowatt_hour(0.05),
+        );
+        let strip = t
+            .price_series(&cal, SimTime::EPOCH, Duration::from_hours(1.0), hours)
+            .unwrap();
+        for (ts, p) in strip.iter() {
+            prop_assert_eq!(*p, t.price_at(&cal, ts));
+        }
+    }
+
+    /// Emergency assessments never charge more than events × penalty.
+    #[test]
+    fn emergency_penalty_bounded(load in load_strategy(), n_events in 0usize..5) {
+        use hpcgrid_core::emergency::EmergencyDrClause;
+        use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+        let clause = EmergencyDrClause::reference(Power::from_megawatts(1.0));
+        let step = load.step();
+        let events = IntervalSet::from_intervals(
+            (0..n_events)
+                .map(|i| {
+                    let start = load.start() + step * (i as u64 * 7);
+                    Interval::from_duration(start, step * 2)
+                })
+                .collect(),
+        );
+        let a = clause.assess(&load, &events).unwrap();
+        let cap = clause.penalty_per_event * events.intervals().len() as f64;
+        prop_assert!(a.total_penalty <= cap + Money::from_dollars(1e-9));
+        prop_assert!(a.total_penalty >= Money::ZERO);
+    }
+}

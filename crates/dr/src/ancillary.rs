@@ -1,0 +1,165 @@
+//! Ancillary-service participation: the LANL case study (paper §4).
+//!
+//! LANL's procurement is negotiated institutionally; the site itself "has
+//! on-site generation and participates in generation and voltage control
+//! programs through coordination with their Balancing Authority", and has
+//! "identified DR potential in their general office buildings ... in the
+//! 15 min to 1 hour timescale." An [`AncillaryPlan`] combines those two
+//! resources into a capacity offer and prices a dispatch.
+
+use crate::program::CapacityProgram;
+use crate::{DrError, Result};
+use hpcgrid_facility::generator::OnsiteGenerator;
+use hpcgrid_units::{Duration, Money, Power};
+use serde::{Deserialize, Serialize};
+
+/// A site's ancillary-services participation plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AncillaryPlan {
+    /// Sheddable office/building load (no depreciation cost).
+    pub office_flex: Power,
+    /// On-site generators available for dispatch.
+    pub generators: Vec<OnsiteGenerator>,
+    /// The capacity product enrolled in.
+    pub program: CapacityProgram,
+}
+
+/// Outcome of one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchOutcome {
+    /// Capacity delivered (office shed + generator output).
+    pub delivered: Power,
+    /// Fuel cost incurred by generators.
+    pub fuel_cost: Money,
+    /// Dispatch duration.
+    pub duration: Duration,
+}
+
+impl AncillaryPlan {
+    /// Total capacity the plan can offer (office shed + generator rating).
+    pub fn offered_capacity(&self) -> Power {
+        self.office_flex + self.generators.iter().map(|g| g.capacity).sum::<Power>()
+    }
+
+    /// Availability revenue for holding the offer across `hours` of
+    /// availability.
+    pub fn availability_revenue(&self, availability: Duration) -> Money {
+        self.program.revenue(self.offered_capacity(), availability)
+    }
+
+    /// Execute one dispatch of length `d`.
+    ///
+    /// Errors if `d` falls outside the program's 15-min–1-h product window
+    /// or exceeds any generator's max runtime.
+    pub fn dispatch(&self, d: Duration) -> Result<DispatchOutcome> {
+        if !self.program.dispatch_ok(d) {
+            return Err(DrError::BadParameter(format!(
+                "dispatch of {d} outside product window [{}, {}]",
+                self.program.min_duration, self.program.max_duration
+            )));
+        }
+        let mut delivered = self.office_flex;
+        let mut fuel = Money::ZERO;
+        for g in &self.generators {
+            if d > g.max_runtime {
+                return Err(DrError::Infeasible(format!(
+                    "generator '{}' cannot sustain {d}",
+                    g.name
+                )));
+            }
+            // Mid-dispatch output (post-ramp if the dispatch outlasts startup).
+            delivered += g.output_at(d.min(g.startup.max(Duration::from_secs(1))));
+            fuel += g.run_cost(d);
+        }
+        Ok(DispatchOutcome {
+            delivered,
+            fuel_cost: fuel,
+            duration: d,
+        })
+    }
+
+    /// Net annual value: availability revenue minus fuel for `n_dispatches`
+    /// dispatches of `dispatch_len` each.
+    pub fn annual_net(
+        &self,
+        availability: Duration,
+        n_dispatches: usize,
+        dispatch_len: Duration,
+    ) -> Result<Money> {
+        let revenue = self.availability_revenue(availability);
+        let per = self.dispatch(dispatch_len)?;
+        Ok(revenue - per.fuel_cost * n_dispatches as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AncillaryPlan {
+        AncillaryPlan {
+            office_flex: Power::from_megawatts(1.0),
+            generators: vec![OnsiteGenerator::reference_diesel()],
+            program: CapacityProgram::reference(),
+        }
+    }
+
+    #[test]
+    fn offered_capacity_sums_resources() {
+        assert_eq!(plan().offered_capacity().as_megawatts(), 3.0);
+    }
+
+    #[test]
+    fn availability_revenue_scales() {
+        // 3 MW × 8760 h × $0.012/kW-h = $315 360.
+        let r = plan().availability_revenue(Duration::from_hours(8_760.0));
+        assert!((r.as_dollars() - 3_000.0 * 8_760.0 * 0.012).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dispatch_within_window_succeeds() {
+        let d = plan().dispatch(Duration::from_minutes(30.0)).unwrap();
+        assert!(d.delivered >= Power::from_megawatts(1.0));
+        assert!(d.fuel_cost > Money::ZERO);
+    }
+
+    #[test]
+    fn dispatch_outside_window_rejected() {
+        assert!(plan().dispatch(Duration::from_minutes(5.0)).is_err());
+        assert!(plan().dispatch(Duration::from_hours(3.0)).is_err());
+    }
+
+    #[test]
+    fn annual_net_positive_for_reference_plan() {
+        // The LANL-style insight: office flexibility plus generators makes
+        // ancillary participation economically attractive because none of
+        // the shed resources carry SC depreciation.
+        let net = plan()
+            .annual_net(Duration::from_hours(8_000.0), 20, Duration::from_hours(1.0))
+            .unwrap();
+        assert!(net > Money::ZERO, "net was {net}");
+    }
+
+    #[test]
+    fn dispatch_exceeding_generator_runtime_infeasible() {
+        let mut p = plan();
+        p.generators[0].max_runtime = Duration::from_minutes(20.0);
+        p.program.max_duration = Duration::from_hours(1.0);
+        assert!(matches!(
+            p.dispatch(Duration::from_minutes(30.0)),
+            Err(DrError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn office_only_plan_has_no_fuel_cost() {
+        let p = AncillaryPlan {
+            office_flex: Power::from_megawatts(0.5),
+            generators: vec![],
+            program: CapacityProgram::reference(),
+        };
+        let d = p.dispatch(Duration::from_minutes(15.0)).unwrap();
+        assert_eq!(d.fuel_cost, Money::ZERO);
+        assert_eq!(d.delivered.as_megawatts(), 0.5);
+    }
+}

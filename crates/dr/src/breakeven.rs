@@ -1,0 +1,211 @@
+//! Incentive break-even against hardware depreciation.
+//!
+//! The paper's core economic finding (§4): *"the economic incentive offered
+//! through tariffs and DR programs is not high enough to alter operation
+//! strategies in SCs, due to high hardware depreciation costs."* This module
+//! makes that claim quantitative: idling a node-hour forfeits depreciation
+//! value (capex spread over the machine's service life) plus lost science
+//! throughput; an incentive must beat that forfeited value per curtailed
+//! kWh before participation is rational.
+
+use crate::{DrError, Result};
+use hpcgrid_units::{Duration, EnergyPrice, Money, Power};
+use serde::{Deserialize, Serialize};
+
+/// The capital-cost model of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepreciationModel {
+    /// Machine capital cost.
+    pub capex: Money,
+    /// Service life over which capex depreciates.
+    pub lifetime: Duration,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Average node power while computing (for $/kWh conversion).
+    pub node_power: Power,
+}
+
+impl DepreciationModel {
+    /// A stylized flagship machine: $200 M capex, 5-year life, 18 000 nodes,
+    /// 550 W/node — the ">$100 M machine" class the paper's sites operate.
+    pub fn reference_flagship() -> DepreciationModel {
+        DepreciationModel {
+            capex: Money::from_dollars(200e6),
+            lifetime: Duration::from_days(5 * 365),
+            nodes: 18_000,
+            node_power: Power::from_watts(550.0),
+        }
+    }
+
+    /// Validate the model.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(DrError::BadParameter("nodes must be positive".into()));
+        }
+        if self.lifetime.is_zero() {
+            return Err(DrError::BadParameter("lifetime must be positive".into()));
+        }
+        if self.capex < Money::ZERO {
+            return Err(DrError::BadParameter("capex must be non-negative".into()));
+        }
+        if self.node_power <= Power::ZERO {
+            return Err(DrError::BadParameter(
+                "node power must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Depreciation value of one node-hour.
+    pub fn node_hour_value(&self) -> Result<Money> {
+        self.validate()?;
+        let total_node_hours = self.nodes as f64 * self.lifetime.as_hours();
+        Ok(self.capex / total_node_hours)
+    }
+
+    /// Depreciation value forfeited per kWh of curtailed IT load: idling a
+    /// node saves `node_power` kWh per hour but forfeits `node_hour_value`.
+    pub fn forfeit_per_kwh(&self) -> Result<EnergyPrice> {
+        let per_hour = self.node_hour_value()?;
+        Ok(EnergyPrice::per_kilowatt_hour(
+            per_hour.as_dollars() / self.node_power.as_kilowatts(),
+        ))
+    }
+}
+
+/// Break-even comparison of an offered incentive against the machine's
+/// depreciation economics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakevenReport {
+    /// Value forfeited per curtailed kWh (depreciation only).
+    pub forfeit_per_kwh: EnergyPrice,
+    /// The incentive offered per curtailed kWh.
+    pub offered: EnergyPrice,
+    /// Energy price the SC also *saves* while curtailed (it buys less).
+    pub avoided_energy_price: EnergyPrice,
+    /// Net value per curtailed kWh: offered + avoided − forfeited.
+    pub net_per_kwh: f64,
+    /// Whether participation is rational on depreciation grounds.
+    pub rational: bool,
+    /// Multiple by which the incentive would have to grow to break even
+    /// (1.0 = already break-even; ∞ if offered + avoided is zero).
+    pub required_multiple: f64,
+}
+
+/// Evaluate whether `offered` (plus avoided energy purchases at
+/// `energy_price`) beats depreciation.
+pub fn breakeven(
+    model: &DepreciationModel,
+    offered: EnergyPrice,
+    energy_price: EnergyPrice,
+) -> Result<BreakevenReport> {
+    let forfeit = model.forfeit_per_kwh()?;
+    let gain =
+        offered.as_dollars_per_kilowatt_hour() + energy_price.as_dollars_per_kilowatt_hour();
+    let cost = forfeit.as_dollars_per_kilowatt_hour();
+    let net = gain - cost;
+    let required_multiple = if gain > 0.0 { cost / gain } else { f64::INFINITY };
+    Ok(BreakevenReport {
+        forfeit_per_kwh: forfeit,
+        offered,
+        avoided_energy_price: energy_price,
+        net_per_kwh: net,
+        rational: net >= 0.0,
+        required_multiple,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_node_hour_value() {
+        let m = DepreciationModel::reference_flagship();
+        // $200 M / (18 000 × 43 800 h) ≈ $0.2537 per node-hour.
+        let v = m.node_hour_value().unwrap();
+        assert!((v.as_dollars() - 200e6 / (18_000.0 * 43_800.0)).abs() < 1e-9);
+        // Forfeit per kWh: ≈ $0.2537 / 0.55 kW ≈ $0.46/kWh.
+        let f = m.forfeit_per_kwh().unwrap();
+        assert!(f.as_dollars_per_kilowatt_hour() > 0.4);
+        assert!(f.as_dollars_per_kilowatt_hour() < 0.5);
+    }
+
+    #[test]
+    fn typical_dr_incentive_is_irrational_for_flagships() {
+        // The paper's conclusion: typical incentives (~$0.05–0.50/kWh) plus
+        // avoided retail energy (~$0.07/kWh) do not cover depreciation.
+        let m = DepreciationModel::reference_flagship();
+        let r = breakeven(
+            &m,
+            EnergyPrice::per_kilowatt_hour(0.10),
+            EnergyPrice::per_kilowatt_hour(0.07),
+        )
+        .unwrap();
+        assert!(!r.rational);
+        assert!(r.required_multiple > 1.0);
+        assert!(r.net_per_kwh < 0.0);
+    }
+
+    #[test]
+    fn large_enough_incentive_flips_rationality() {
+        let m = DepreciationModel::reference_flagship();
+        let r = breakeven(
+            &m,
+            EnergyPrice::per_kilowatt_hour(1.0),
+            EnergyPrice::per_kilowatt_hour(0.07),
+        )
+        .unwrap();
+        assert!(r.rational);
+        assert!(r.required_multiple <= 1.0);
+    }
+
+    #[test]
+    fn cheap_hardware_lowers_the_bar() {
+        // Office-building-style "hardware" (no depreciation pressure) makes
+        // even small incentives rational — the LANL office-load insight.
+        let office = DepreciationModel {
+            capex: Money::from_dollars(1e6),
+            lifetime: Duration::from_days(15 * 365),
+            nodes: 1_000,
+            node_power: Power::from_watts(500.0),
+        };
+        let r = breakeven(
+            &office,
+            EnergyPrice::per_kilowatt_hour(0.05),
+            EnergyPrice::per_kilowatt_hour(0.07),
+        )
+        .unwrap();
+        assert!(r.rational);
+    }
+
+    #[test]
+    fn breakeven_monotone_in_offer() {
+        let m = DepreciationModel::reference_flagship();
+        let lo = breakeven(&m, EnergyPrice::per_kilowatt_hour(0.1), EnergyPrice::ZERO).unwrap();
+        let hi = breakeven(&m, EnergyPrice::per_kilowatt_hour(0.4), EnergyPrice::ZERO).unwrap();
+        assert!(hi.net_per_kwh > lo.net_per_kwh);
+        assert!(hi.required_multiple < lo.required_multiple);
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = DepreciationModel::reference_flagship();
+        m.nodes = 0;
+        assert!(m.node_hour_value().is_err());
+        let mut m2 = DepreciationModel::reference_flagship();
+        m2.lifetime = Duration::ZERO;
+        assert!(m2.forfeit_per_kwh().is_err());
+        let mut m3 = DepreciationModel::reference_flagship();
+        m3.node_power = Power::ZERO;
+        assert!(m3.forfeit_per_kwh().is_err());
+    }
+
+    #[test]
+    fn zero_gain_requires_infinite_multiple() {
+        let m = DepreciationModel::reference_flagship();
+        let r = breakeven(&m, EnergyPrice::ZERO, EnergyPrice::ZERO).unwrap();
+        assert!(r.required_multiple.is_infinite());
+        assert!(!r.rational);
+    }
+}

@@ -1,0 +1,531 @@
+//! Contingency planning — the paper's stated future work, implemented.
+//!
+//! §5: *"we foresee a future need for contingency planning, where specific
+//! actions can be applied in SC operation, to adhere to grid conditions ...
+//! This approach will enable SCs to perform impact analysis of contingency
+//! planning on their operation."*
+//!
+//! A [`ContingencyPlan`] is an escalation ladder: each stage is armed by a
+//! grid-stress severity and bundles actions — shedding office load, capping
+//! the facility, shifting deferrable jobs, shutting down idle nodes,
+//! starting on-site generators. [`execute_plan`] applies the plan to a
+//! simulated horizon of grid events and returns the impact analysis: load
+//! relief delivered per event, emergency-clause penalties avoided, and the
+//! mission cost (utilization, wait) of having responded.
+
+use crate::event::{simulate_events, DrOutcome, ResponseStrategy};
+use crate::program::CurtailmentProgram;
+use crate::{DrError, Result};
+use hpcgrid_core::emergency::EmergencyDrClause;
+use hpcgrid_facility::generator::OnsiteGenerator;
+use hpcgrid_facility::site::SiteSpec;
+use hpcgrid_grid::events::{GridEvent, Severity};
+use hpcgrid_scheduler::policy::Policy;
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Duration, Money, Power, Ratio};
+use hpcgrid_workload::trace::JobTrace;
+use serde::{Deserialize, Serialize};
+
+/// One action in a contingency stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContingencyAction {
+    /// Shed a fraction of the office/sidecar load.
+    ShedOffice {
+        /// Fraction of office load shed.
+        fraction: Ratio,
+    },
+    /// Cap the facility at a power level (via the scheduler's node budget).
+    CapFacility {
+        /// The facility-level cap.
+        cap: Power,
+    },
+    /// Keep deferrable jobs from starting during the event.
+    ShiftDeferrable,
+    /// Power off idle nodes for the horizon (standing policy once armed).
+    ShutdownIdle,
+    /// Start on-site generators to offset grid draw during the event.
+    StartGenerators,
+}
+
+/// A stage of the escalation ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContingencyStage {
+    /// Grid severity at which this stage arms.
+    pub trigger: Severity,
+    /// Actions taken when armed.
+    pub actions: Vec<ContingencyAction>,
+}
+
+/// An SC's contingency plan: stages ordered by escalating trigger severity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContingencyPlan {
+    stages: Vec<ContingencyStage>,
+}
+
+impl ContingencyPlan {
+    /// Build a plan; stages are sorted by trigger severity and each severity
+    /// may appear at most once.
+    pub fn new(mut stages: Vec<ContingencyStage>) -> Result<ContingencyPlan> {
+        if stages.is_empty() {
+            return Err(DrError::BadParameter(
+                "contingency plan needs at least one stage".into(),
+            ));
+        }
+        stages.sort_by_key(|s| s.trigger);
+        for w in stages.windows(2) {
+            if w[0].trigger == w[1].trigger {
+                return Err(DrError::BadParameter(format!(
+                    "duplicate stage trigger {:?}",
+                    w[0].trigger
+                )));
+            }
+        }
+        Ok(ContingencyPlan { stages })
+    }
+
+    /// A sensible reference ladder for a site:
+    /// * Watch      → shift deferrable jobs, shed 50 % of office load;
+    /// * Emergency  → also cap the facility at `emergency_cap`;
+    /// * Shedding   → also start generators and shut down idle nodes.
+    pub fn reference(emergency_cap: Power) -> ContingencyPlan {
+        ContingencyPlan::new(vec![
+            ContingencyStage {
+                trigger: Severity::Watch,
+                actions: vec![
+                    ContingencyAction::ShiftDeferrable,
+                    ContingencyAction::ShedOffice {
+                        fraction: Ratio::from_percent(50.0),
+                    },
+                ],
+            },
+            ContingencyStage {
+                trigger: Severity::Emergency,
+                actions: vec![
+                    ContingencyAction::ShiftDeferrable,
+                    ContingencyAction::ShedOffice {
+                        fraction: Ratio::from_percent(100.0),
+                    },
+                    ContingencyAction::CapFacility { cap: emergency_cap },
+                ],
+            },
+            ContingencyStage {
+                trigger: Severity::Shedding,
+                actions: vec![
+                    ContingencyAction::ShiftDeferrable,
+                    ContingencyAction::ShedOffice {
+                        fraction: Ratio::from_percent(100.0),
+                    },
+                    ContingencyAction::CapFacility { cap: emergency_cap },
+                    ContingencyAction::StartGenerators,
+                    ContingencyAction::ShutdownIdle,
+                ],
+            },
+        ])
+        .expect("reference plan is valid")
+    }
+
+    /// The stages, sorted by trigger.
+    pub fn stages(&self) -> &[ContingencyStage] {
+        &self.stages
+    }
+
+    /// The stage armed by an event of `severity`: the highest-trigger stage
+    /// whose trigger is ≤ the severity.
+    pub fn stage_for(&self, severity: Severity) -> Option<&ContingencyStage> {
+        self.stages
+            .iter()
+            .rev()
+            .find(|s| s.trigger <= severity)
+    }
+}
+
+/// The site resources a plan can draw on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ContingencyResources {
+    /// On-site generators available to `StartGenerators`.
+    pub generators: Vec<OnsiteGenerator>,
+}
+
+/// Impact record for one grid event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventImpact {
+    /// The event window.
+    pub window: Interval,
+    /// Grid severity.
+    pub severity: Severity,
+    /// Index of the armed stage in the plan (None = plan not armed).
+    pub stage: Option<usize>,
+    /// Mean facility load during the event without the plan.
+    pub baseline_mean: Power,
+    /// Mean facility load during the event with the plan.
+    pub response_mean: Power,
+}
+
+impl EventImpact {
+    /// Mean relief delivered during the event.
+    pub fn relief(&self) -> Power {
+        self.baseline_mean.saturating_sub(self.response_mean)
+    }
+}
+
+/// The full impact analysis of executing a plan over a horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyOutcome {
+    /// The underlying DR simulation (baseline vs response schedules/loads).
+    pub dr: DrOutcome,
+    /// Final response load including office shed and generator offsets.
+    pub final_load: PowerSeries,
+    /// Per-event impacts.
+    pub impacts: Vec<EventImpact>,
+    /// Emergency-clause penalties without the plan.
+    pub baseline_penalty: Money,
+    /// Emergency-clause penalties with the plan.
+    pub response_penalty: Money,
+    /// Generator fuel spent.
+    pub fuel_cost: Money,
+}
+
+impl ContingencyOutcome {
+    /// Penalty avoided by running the plan.
+    pub fn penalty_avoided(&self) -> Money {
+        self.baseline_penalty - self.response_penalty
+    }
+
+    /// Mission cost: utilization sacrificed.
+    pub fn utilization_delta(&self) -> f64 {
+        self.dr.utilization_delta()
+    }
+}
+
+/// Execute a contingency plan against a horizon of grid events.
+///
+/// The scheduler-level actions (cap, shift, shutdown) use the *strictest*
+/// armed stage across the horizon (a standing configuration); office shed
+/// and generators are applied per event window to the metered load.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan(
+    site: &SiteSpec,
+    trace: &JobTrace,
+    policy: Policy,
+    grid_events: &[GridEvent],
+    plan: &ContingencyPlan,
+    resources: &ContingencyResources,
+    clause: Option<&EmergencyDrClause>,
+    step: Duration,
+) -> Result<ContingencyOutcome> {
+    // Collect armed stages and the event windows they cover.
+    let mut armed: Vec<(usize, &GridEvent)> = Vec::new();
+    for ev in grid_events {
+        if let Some(stage) = plan.stage_for(ev.severity) {
+            let idx = plan
+                .stages
+                .iter()
+                .position(|s| std::ptr::eq(s, stage))
+                .expect("stage from this plan");
+            armed.push((idx, ev));
+        }
+    }
+    let windows = IntervalSet::from_intervals(
+        armed.iter().map(|(_, ev)| ev.window).collect(),
+    );
+
+    // Derive the standing scheduler strategy from the strictest armed stage.
+    let mut strategy = ResponseStrategy::none();
+    for (idx, _) in &armed {
+        for action in &plan.stages[*idx].actions {
+            match action {
+                ContingencyAction::CapFacility { cap } => {
+                    strategy.cap = Some(match strategy.cap {
+                        Some(existing) => existing.min(*cap),
+                        None => *cap,
+                    });
+                }
+                ContingencyAction::ShiftDeferrable => strategy.shift_deferrable = true,
+                ContingencyAction::ShutdownIdle => strategy.shutdown_idle = true,
+                _ => {}
+            }
+        }
+    }
+
+    // A plan execution is not a curtailment-program enrollment; use a
+    // zero-incentive program purely to reuse the event machinery.
+    let program = CurtailmentProgram {
+        incentive: hpcgrid_units::EnergyPrice::ZERO,
+        notice: Duration::from_minutes(30.0),
+        min_reduction: Power::ZERO,
+        shortfall_penalty: Money::ZERO,
+    };
+    let dr = simulate_events(site, trace, policy, &windows, strategy, &program, step)?;
+
+    // Apply office shed and generator offsets per event window.
+    let mut final_load = dr.response_load.clone();
+    let mut fuel_cost = Money::ZERO;
+    for (idx, ev) in &armed {
+        let stage = &plan.stages[*idx];
+        let mut office_shed = Power::ZERO;
+        let mut run_generators = false;
+        for action in &stage.actions {
+            match action {
+                ContingencyAction::ShedOffice { fraction } => {
+                    office_shed = site.office_load * fraction.as_fraction();
+                }
+                ContingencyAction::StartGenerators => run_generators = true,
+                _ => {}
+            }
+        }
+        let gen_power: Power = if run_generators {
+            let d = ev.window.duration();
+            resources
+                .generators
+                .iter()
+                .map(|g| {
+                    fuel_cost += g.run_cost(d);
+                    // Conservative: post-startup steady output if the event
+                    // outlasts the ramp, else the mid-ramp output.
+                    g.output_at(g.startup.min(d))
+                })
+                .sum()
+        } else {
+            Power::ZERO
+        };
+        let relief = office_shed + gen_power;
+        if relief > Power::ZERO {
+            final_load = final_load.map_with_time(|t, p| {
+                if ev.window.contains(t) {
+                    p.saturating_sub(relief)
+                } else {
+                    *p
+                }
+            });
+        }
+    }
+
+    // Per-event impact records.
+    let impacts = grid_events
+        .iter()
+        .map(|ev| {
+            let base = dr.baseline_load.slice_time(ev.window.start, ev.window.end);
+            let resp = final_load.slice_time(ev.window.start, ev.window.end);
+            let stage = plan.stage_for(ev.severity).map(|s| {
+                plan.stages
+                    .iter()
+                    .position(|x| std::ptr::eq(x, s))
+                    .expect("stage from this plan")
+            });
+            EventImpact {
+                window: ev.window,
+                severity: ev.severity,
+                stage,
+                baseline_mean: base.mean_power().unwrap_or(Power::ZERO),
+                response_mean: resp.mean_power().unwrap_or(Power::ZERO),
+            }
+        })
+        .collect();
+
+    // Emergency-clause compliance with and without the plan.
+    let emergency_windows = IntervalSet::from_intervals(
+        grid_events
+            .iter()
+            .filter(|e| e.severity >= Severity::Emergency)
+            .map(|e| e.window)
+            .collect(),
+    );
+    let (baseline_penalty, response_penalty) = match clause {
+        Some(c) => {
+            let b = c
+                .assess(&dr.baseline_load, &emergency_windows)
+                .map_err(|e| DrError::Sim(e.to_string()))?;
+            let r = c
+                .assess(&final_load, &emergency_windows)
+                .map_err(|e| DrError::Sim(e.to_string()))?;
+            (b.total_penalty, r.total_penalty)
+        }
+        None => (Money::ZERO, Money::ZERO),
+    };
+
+    Ok(ContingencyOutcome {
+        dr,
+        final_load,
+        impacts,
+        baseline_penalty,
+        response_penalty,
+        fuel_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_facility::node::NodeSpec;
+    use hpcgrid_facility::site::Country;
+    use hpcgrid_units::SimTime;
+    use hpcgrid_workload::trace::WorkloadBuilder;
+
+    fn site() -> SiteSpec {
+        SiteSpec::new(
+            "cp-site",
+            Country::UnitedStates,
+            256,
+            NodeSpec::reference_hpc(),
+            1.1,
+            1.35,
+            Power::from_megawatts(1.0),
+            Power::from_kilowatts(40.0),
+        )
+        .unwrap()
+    }
+
+    fn trace() -> JobTrace {
+        WorkloadBuilder::new(8)
+            .nodes(256)
+            .days(4)
+            .arrivals_per_hour(15.0)
+            .deferrable_fraction(0.3)
+            .max_job_nodes(128)
+            .build()
+    }
+
+    fn events() -> Vec<GridEvent> {
+        vec![
+            GridEvent {
+                window: Interval::new(
+                    SimTime::from_days(1) + Duration::from_hours(10.0),
+                    SimTime::from_days(1) + Duration::from_hours(12.0),
+                ),
+                severity: Severity::Watch,
+                min_reserve: Power::from_megawatts(200.0),
+            },
+            GridEvent {
+                window: Interval::new(
+                    SimTime::from_days(2) + Duration::from_hours(14.0),
+                    SimTime::from_days(2) + Duration::from_hours(17.0),
+                ),
+                severity: Severity::Shedding,
+                min_reserve: Power::ZERO,
+            },
+        ]
+    }
+
+    #[test]
+    fn plan_validation_and_lookup() {
+        assert!(ContingencyPlan::new(vec![]).is_err());
+        let dup = ContingencyPlan::new(vec![
+            ContingencyStage {
+                trigger: Severity::Watch,
+                actions: vec![ContingencyAction::ShiftDeferrable],
+            },
+            ContingencyStage {
+                trigger: Severity::Watch,
+                actions: vec![ContingencyAction::ShutdownIdle],
+            },
+        ]);
+        assert!(dup.is_err());
+        let plan = ContingencyPlan::reference(Power::from_kilowatts(200.0));
+        assert_eq!(plan.stages().len(), 3);
+        assert_eq!(
+            plan.stage_for(Severity::Watch).unwrap().trigger,
+            Severity::Watch
+        );
+        assert_eq!(
+            plan.stage_for(Severity::Shedding).unwrap().trigger,
+            Severity::Shedding
+        );
+        // An emergency arms the emergency stage, not the shedding one.
+        assert_eq!(
+            plan.stage_for(Severity::Emergency).unwrap().trigger,
+            Severity::Emergency
+        );
+    }
+
+    #[test]
+    fn watch_only_plan_ignores_watch_events() {
+        let plan = ContingencyPlan::new(vec![ContingencyStage {
+            trigger: Severity::Emergency,
+            actions: vec![ContingencyAction::ShiftDeferrable],
+        }])
+        .unwrap();
+        assert!(plan.stage_for(Severity::Watch).is_none());
+    }
+
+    #[test]
+    fn execute_reference_plan_delivers_relief() {
+        let plan = ContingencyPlan::reference(Power::from_kilowatts(180.0));
+        let resources = ContingencyResources {
+            generators: vec![OnsiteGenerator::reference_diesel()],
+        };
+        let clause = EmergencyDrClause::reference(Power::from_kilowatts(200.0));
+        let out = execute_plan(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            &plan,
+            &resources,
+            Some(&clause),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        assert_eq!(out.impacts.len(), 2);
+        // The shedding event (stage 2) must show relief.
+        let shed_impact = out
+            .impacts
+            .iter()
+            .find(|i| i.severity == Severity::Shedding)
+            .unwrap();
+        assert_eq!(shed_impact.stage, Some(2));
+        assert!(shed_impact.relief() > Power::ZERO, "no relief delivered");
+        // Generators ran → fuel spent.
+        assert!(out.fuel_cost > Money::ZERO);
+        // Jobs all still complete.
+        assert_eq!(out.dr.response.records().len(), trace().len());
+    }
+
+    #[test]
+    fn plan_avoids_emergency_penalties() {
+        let plan = ContingencyPlan::reference(Power::from_kilowatts(150.0));
+        let resources = ContingencyResources::default();
+        // A clause the unresponsive baseline violates (limit below busy load).
+        let clause = EmergencyDrClause::reference(Power::from_kilowatts(250.0));
+        let out = execute_plan(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            &plan,
+            &resources,
+            Some(&clause),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        assert!(out.response_penalty <= out.baseline_penalty);
+        assert!(out.penalty_avoided() >= Money::ZERO);
+    }
+
+    #[test]
+    fn unarmed_plan_changes_nothing() {
+        // Only a Shedding stage; only Watch events occur.
+        let plan = ContingencyPlan::new(vec![ContingencyStage {
+            trigger: Severity::Shedding,
+            actions: vec![ContingencyAction::CapFacility {
+                cap: Power::from_kilowatts(100.0),
+            }],
+        }])
+        .unwrap();
+        let watch_only = vec![events()[0]];
+        let out = execute_plan(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &watch_only,
+            &plan,
+            &ContingencyResources::default(),
+            None,
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        assert_eq!(out.impacts[0].stage, None);
+        assert!(out.impacts[0].relief().as_kilowatts().abs() < 1e-9);
+        assert_eq!(out.fuel_cost, Money::ZERO);
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end DR event simulation: baseline vs responding schedule.
+//!
+//! This is the experiment the survey's question 6 imagines: the ESP calls
+//! events; the SC responds with some combination of the paper's strategies
+//! (power capping, shifting deferrable work, idle shutdown); the outcome is
+//! measured on both sides of the meter — curtailment achieved and incentive
+//! earned (grid side) vs utilization, wait, and slowdown sacrificed
+//! (mission side).
+
+use crate::program::{settle_curtailment, CurtailmentProgram, CurtailmentSettlement};
+use crate::{DrError, Result};
+use hpcgrid_facility::capping::{CapActuator, CapStrategy};
+use hpcgrid_facility::cooling::CoolingModel;
+use hpcgrid_facility::site::SiteSpec;
+use hpcgrid_scheduler::metrics::SimOutcome;
+use hpcgrid_scheduler::policy::{CapSchedule, DvfsThrottle, Policy, PowerConstraints};
+use hpcgrid_scheduler::sim::ScheduleSimulator;
+use hpcgrid_timeseries::intervals::IntervalSet;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Duration, Money, Power, SimTime};
+use hpcgrid_workload::trace::JobTrace;
+use serde::{Deserialize, Serialize};
+
+/// How the SC responds to called events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResponseStrategy {
+    /// Facility-level power cap during events (translated into a busy-node
+    /// budget via the site's cooling model).
+    pub cap: Option<Power>,
+    /// Keep deferrable jobs from starting during events (shifting).
+    pub shift_deferrable: bool,
+    /// Power off idle nodes (for the whole horizon — a standing policy).
+    pub shutdown_idle: bool,
+    /// DVFS-throttle jobs started during events to this intensity factor
+    /// (energy-aware scheduling; `(0, 1]`).
+    pub dvfs_factor: Option<f64>,
+}
+
+impl ResponseStrategy {
+    /// No response at all (the survey's status quo).
+    pub fn none() -> ResponseStrategy {
+        ResponseStrategy::default()
+    }
+}
+
+/// The two-sided outcome of a DR simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrOutcome {
+    /// Schedule without any response.
+    pub baseline: SimOutcome,
+    /// Schedule with the response strategy applied.
+    pub response: SimOutcome,
+    /// Facility load without response.
+    pub baseline_load: PowerSeries,
+    /// Facility load with response.
+    pub response_load: PowerSeries,
+    /// Settlements, one per event window.
+    pub settlements: Vec<CurtailmentSettlement>,
+}
+
+impl DrOutcome {
+    /// Total net DR revenue across events.
+    pub fn net_revenue(&self) -> Money {
+        self.settlements
+            .iter()
+            .map(CurtailmentSettlement::net)
+            .sum()
+    }
+
+    /// Utilization sacrificed (baseline − response).
+    pub fn utilization_delta(&self) -> f64 {
+        self.baseline.utilization() - self.response.utilization()
+    }
+
+    /// Extra mean wait imposed on jobs by responding.
+    pub fn wait_delta(&self) -> Duration {
+        self.response
+            .mean_wait()
+            .saturating_sub(self.baseline.mean_wait())
+    }
+
+    /// Extra mean bounded slowdown imposed by responding.
+    pub fn slowdown_delta(&self) -> f64 {
+        self.response.mean_bounded_slowdown() - self.baseline.mean_bounded_slowdown()
+    }
+}
+
+/// Simulate a DR participation scenario end to end.
+///
+/// `step` is the metering resolution for the produced load series.
+pub fn simulate_events(
+    site: &SiteSpec,
+    trace: &JobTrace,
+    policy: Policy,
+    events: &IntervalSet,
+    strategy: ResponseStrategy,
+    program: &CurtailmentProgram,
+    step: Duration,
+) -> Result<DrOutcome> {
+    let nodes = trace.machine_nodes;
+
+    // Baseline: no constraints.
+    let baseline = ScheduleSimulator::new(nodes, policy)
+        .try_run(trace)
+        .map_err(|e| DrError::Sim(e.to_string()))?;
+    let baseline_load = baseline.to_load_series_with_step(site, step);
+
+    // Response: translate the strategy into scheduler constraints.
+    let mut constraints = PowerConstraints {
+        shutdown_idle: strategy.shutdown_idle,
+        ..Default::default()
+    };
+    if strategy.shift_deferrable {
+        constraints.avoid_windows = events.clone();
+    }
+    if let Some(factor) = strategy.dvfs_factor {
+        constraints.dvfs = Some(DvfsThrottle {
+            windows: events.clone(),
+            factor,
+        });
+    }
+    if let Some(cap) = strategy.cap {
+        let fleet = site
+            .fleet()
+            .map_err(|e| DrError::Sim(e.to_string()))?;
+        let cooling = CoolingModel::new(site.pue_full, site.pue_idle, fleet.peak_it_power())
+            .map_err(|e| DrError::Sim(e.to_string()))?;
+        let actuator = CapActuator::new(fleet, cooling, CapStrategy::LimitNodes);
+        // Subtract the office load before inverting the cooling model.
+        let it_cap = cap.saturating_sub(site.office_load);
+        let decision = actuator
+            .decide(it_cap)
+            .map_err(|e| DrError::Sim(e.to_string()))?;
+        let mut entries: Vec<(SimTime, usize)> = Vec::new();
+        for w in events.intervals() {
+            entries.push((w.start, decision.max_busy_nodes));
+            entries.push((w.end, usize::MAX));
+        }
+        constraints.cap = CapSchedule::new(entries);
+    }
+    let response = ScheduleSimulator::with_constraints(nodes, policy, constraints)
+        .try_run(trace)
+        .map_err(|e| DrError::Sim(e.to_string()))?;
+    let response_load = response.to_load_series_with_step(site, step);
+
+    // Settle each event against the (aligned prefix of the) two series.
+    let n = baseline_load.len().min(response_load.len());
+    let base_al = baseline_load.slice_time(baseline_load.start(), baseline_load.time_at(n - 1) + step);
+    let resp_al =
+        response_load.slice_time(response_load.start(), response_load.time_at(n - 1) + step);
+    let mut settlements = Vec::new();
+    for w in events.intervals() {
+        if w.start >= base_al.end() {
+            continue;
+        }
+        settlements.push(settle_curtailment(program, &base_al, &resp_al, *w)?);
+    }
+    Ok(DrOutcome {
+        baseline,
+        response,
+        baseline_load,
+        response_load,
+        settlements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::intervals::Interval;
+    use hpcgrid_workload::trace::WorkloadBuilder;
+
+    fn site() -> SiteSpec {
+        // A site matching a 512-node trace.
+        SiteSpec::new(
+            "test-site",
+            hpcgrid_facility::site::Country::UnitedStates,
+            512,
+            hpcgrid_facility::node::NodeSpec::reference_hpc(),
+            1.1,
+            1.35,
+            Power::from_megawatts(1.0),
+            Power::from_kilowatts(20.0),
+        )
+        .unwrap()
+    }
+
+    fn trace() -> JobTrace {
+        WorkloadBuilder::new(42)
+            .nodes(512)
+            .days(4)
+            .arrivals_per_hour(20.0)
+            .deferrable_fraction(0.3)
+            .build()
+    }
+
+    fn events() -> IntervalSet {
+        IntervalSet::from_intervals(vec![Interval::new(
+            SimTime::from_days(1) + Duration::from_hours(14.0),
+            SimTime::from_days(1) + Duration::from_hours(18.0),
+        )])
+    }
+
+    #[test]
+    fn no_response_curtails_nothing() {
+        let out = simulate_events(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            ResponseStrategy::none(),
+            &CurtailmentProgram::reference(),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        assert_eq!(out.baseline, out.response);
+        for s in &out.settlements {
+            assert!(s.curtailed.as_kilowatt_hours() < 1e-9);
+        }
+        assert!(out.utilization_delta().abs() < 1e-12);
+    }
+
+    #[test]
+    fn capping_curtails_load_during_events() {
+        let cap = Power::from_kilowatts(150.0); // well under the ~330 kW peak
+        let out = simulate_events(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            ResponseStrategy {
+                cap: Some(cap),
+                shift_deferrable: false,
+                shutdown_idle: false,
+                dvfs_factor: None,
+            },
+            &CurtailmentProgram::reference(),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        let total_curtailed: f64 = out
+            .settlements
+            .iter()
+            .map(|s| s.curtailed.as_kilowatt_hours())
+            .sum();
+        assert!(total_curtailed > 0.0, "capping should curtail something");
+        // Mission impact: response should not improve utilization.
+        assert!(out.utilization_delta() >= -1e-9);
+    }
+
+    #[test]
+    fn shifting_moves_deferrable_load() {
+        let out = simulate_events(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            ResponseStrategy {
+                cap: None,
+                shift_deferrable: true,
+                shutdown_idle: false,
+                dvfs_factor: None,
+            },
+            &CurtailmentProgram::reference(),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        // No deferrable job starts inside the event window in the response.
+        let w = &events().intervals()[0].clone();
+        for r in out.response.records() {
+            if r.kind == hpcgrid_workload::job::JobKind::Deferrable {
+                assert!(!w.contains(r.start), "deferrable started inside window");
+            }
+        }
+        // All jobs still ran.
+        assert_eq!(out.response.records().len(), out.baseline.records().len());
+    }
+
+    #[test]
+    fn dvfs_curtails_during_events() {
+        let out = simulate_events(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            ResponseStrategy {
+                dvfs_factor: Some(0.5),
+                ..Default::default()
+            },
+            &CurtailmentProgram {
+                min_reduction: Power::ZERO,
+                shortfall_penalty: Money::ZERO,
+                ..CurtailmentProgram::reference()
+            },
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        // Jobs started during the event run throttled → less power drawn.
+        let total_curtailed: f64 = out
+            .settlements
+            .iter()
+            .map(|s| s.curtailed.as_kilowatt_hours())
+            .sum();
+        assert!(total_curtailed > 0.0, "DVFS should curtail event-window load");
+        // All work still completes (dilated, not dropped).
+        assert_eq!(out.response.records().len(), out.baseline.records().len());
+    }
+
+    #[test]
+    fn shutdown_lowers_load_everywhere() {
+        let out = simulate_events(
+            &site(),
+            &trace(),
+            Policy::EasyBackfill,
+            &events(),
+            ResponseStrategy {
+                cap: None,
+                shift_deferrable: false,
+                shutdown_idle: true,
+                dvfs_factor: None,
+            },
+            &CurtailmentProgram::reference(),
+            Duration::from_minutes(15.0),
+        )
+        .unwrap();
+        let base_energy = out.baseline_load.total_energy();
+        let resp_energy = out.response_load.total_energy();
+        assert!(resp_energy < base_energy);
+    }
+}

@@ -1,0 +1,178 @@
+//! "Good neighbor" load-swing communication (paper §3.4).
+//!
+//! *"By being good neighbors, SCs act proactively as allies towards the
+//! ESPs by reporting (i.e. via phone) maintenance periods, benchmarks and
+//! other events which make their power consumption deviate significantly
+//! from default operation."* Six of the ten surveyed sites do this.
+//!
+//! The economic content of the courtesy: the ESP schedules balancing energy
+//! against a forecast; announced deviations let it correct the schedule and
+//! avoid imbalance costs. This module builds the two forecasts (informed
+//! and uninformed) and prices the difference.
+
+use crate::{DrError, Result};
+use hpcgrid_grid::balancing::{settle, ImbalancePricing, ImbalanceSettlement};
+use hpcgrid_timeseries::intervals::IntervalSet;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Money, Power};
+use serde::{Deserialize, Serialize};
+
+/// The ESP's naive forecast: the mean of the load *outside* announced
+/// windows, held flat across the horizon (business-as-usual persistence).
+pub fn uninformed_forecast(actual: &PowerSeries, windows: &IntervalSet) -> Result<PowerSeries> {
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (t, p) in actual.iter() {
+        if !windows.contains(t) {
+            sum += p.as_kilowatts();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(DrError::BadParameter(
+            "no intervals outside announced windows".into(),
+        ));
+    }
+    let mean = Power::from_kilowatts(sum / n as f64);
+    Ok(actual.map(|_| mean))
+}
+
+/// The informed forecast: business-as-usual outside announced windows, the
+/// announced level inside them.
+pub fn informed_forecast(
+    actual: &PowerSeries,
+    windows: &IntervalSet,
+    announced_level: Power,
+) -> Result<PowerSeries> {
+    let bau = uninformed_forecast(actual, windows)?;
+    Ok(bau.map_with_time(|t, p| {
+        if windows.contains(t) {
+            announced_level
+        } else {
+            *p
+        }
+    }))
+}
+
+/// The value of being a good neighbor for one horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoodNeighborReport {
+    /// Imbalance settlement when the ESP was not told.
+    pub uninformed: ImbalanceSettlement,
+    /// Imbalance settlement with the announced schedule.
+    pub informed: ImbalanceSettlement,
+}
+
+impl GoodNeighborReport {
+    /// Cost avoided by announcing.
+    pub fn savings(&self) -> Money {
+        self.uninformed.total() - self.informed.total()
+    }
+}
+
+/// Price the value of announcing `windows` (e.g. maintenance periods,
+/// benchmark runs) at the level the site expects to run during them.
+pub fn good_neighbor_value(
+    actual: &PowerSeries,
+    windows: &IntervalSet,
+    announced_level: Power,
+    pricing: &ImbalancePricing,
+) -> Result<GoodNeighborReport> {
+    let unin = uninformed_forecast(actual, windows)?;
+    let inf = informed_forecast(actual, windows, announced_level)?;
+    let uninformed =
+        settle(&unin, actual, pricing).map_err(|e| DrError::Sim(e.to_string()))?;
+    let informed = settle(&inf, actual, pricing).map_err(|e| DrError::Sim(e.to_string()))?;
+    Ok(GoodNeighborReport {
+        uninformed,
+        informed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::intervals::Interval;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{Duration, SimTime};
+
+    fn load_with_maintenance() -> (PowerSeries, IntervalSet) {
+        // 10 MW steady, dipping to 2 MW during hours 10–14 (maintenance).
+        let mut v = vec![10.0; 24];
+        for item in v.iter_mut().take(14).skip(10) {
+            *item = 2.0;
+        }
+        let load = Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            v.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap();
+        let windows = IntervalSet::from_intervals(vec![Interval::new(
+            SimTime::from_hours(10.0),
+            SimTime::from_hours(14.0),
+        )]);
+        (load, windows)
+    }
+
+    #[test]
+    fn uninformed_forecast_is_bau_mean() {
+        let (load, windows) = load_with_maintenance();
+        let f = uninformed_forecast(&load, &windows).unwrap();
+        for v in f.values() {
+            assert!((v.as_megawatts() - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn informed_forecast_tracks_announcement() {
+        let (load, windows) = load_with_maintenance();
+        let f = informed_forecast(&load, &windows, Power::from_megawatts(2.0)).unwrap();
+        assert!((f.values()[11].as_megawatts() - 2.0).abs() < 1e-9);
+        assert!((f.values()[5].as_megawatts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn announcing_saves_imbalance_cost() {
+        let (load, windows) = load_with_maintenance();
+        let report = good_neighbor_value(
+            &load,
+            &windows,
+            Power::from_megawatts(2.0),
+            &ImbalancePricing::default(),
+        )
+        .unwrap();
+        assert!(report.savings() > Money::ZERO);
+        // A perfect announcement removes the entire imbalance.
+        assert_eq!(report.informed.total(), Money::ZERO);
+        // Uninformed: 4 h × 8 MW under-consumption at the surplus price.
+        assert!(
+            (report.uninformed.total().as_dollars() - 4.0 * 8_000.0 * 0.025).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn imperfect_announcement_still_helps() {
+        let (load, windows) = load_with_maintenance();
+        // Announced 3 MW, actually ran 2 MW.
+        let report = good_neighbor_value(
+            &load,
+            &windows,
+            Power::from_megawatts(3.0),
+            &ImbalancePricing::default(),
+        )
+        .unwrap();
+        assert!(report.savings() > Money::ZERO);
+        assert!(report.informed.total() > Money::ZERO);
+    }
+
+    #[test]
+    fn all_window_horizon_rejected() {
+        let (load, _) = load_with_maintenance();
+        let whole = IntervalSet::from_intervals(vec![Interval::new(
+            SimTime::EPOCH,
+            SimTime::from_days(2),
+        )]);
+        assert!(uninformed_forecast(&load, &whole).is_err());
+    }
+}

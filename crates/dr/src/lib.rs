@@ -1,0 +1,68 @@
+//! # hpcgrid-dr
+//!
+//! Demand-response programs and the SC-side economics of participating in
+//! them — the forward-looking half of the paper (§3.1.6, §4).
+//!
+//! * [`program`] — DR program models (economic curtailment, emergency,
+//!   regulation capacity) and their settlement arithmetic;
+//! * [`event`] — end-to-end DR event simulation: baseline schedule vs a
+//!   responding schedule, with bills and mission metrics for both;
+//! * [`shed`] — shed-potential analysis of a schedule (deferrable load,
+//!   idle-floor shutdown, capping headroom);
+//! * [`shift`] — price-aware shifting: choosing avoid-windows from a price
+//!   strip so deferrable jobs migrate out of expensive hours;
+//! * [`breakeven`] — the paper's central economic claim, quantified: the
+//!   incentive an SC must be paid before DR participation beats the cost of
+//!   idling depreciating hardware (§4: "the economic incentive offered
+//!   through tariffs and DR programs is not high enough");
+//! * [`procurement`] — the CSCS case study: a public procurement auction
+//!   with a price formula whose variables bidders choose, a renewable-mix
+//!   floor, and demand-charge removal;
+//! * [`ancillary`] — the LANL case study: regulation/voltage-control
+//!   capacity from office loads and on-site generation in the
+//!   15-minute-to-1-hour window;
+//! * [`forecast`] — "good neighbor" load-swing communication and the
+//!   imbalance cost it avoids;
+//! * [`contingency`] — the paper's stated future work: escalation-ladder
+//!   contingency plans triggered by grid severity, with impact analysis;
+//! * [`arbitrage`] — battery arbitrage and peak shaving against contract
+//!   prices (the "tighter relationship" of survey question 5).
+
+#![warn(missing_docs)]
+
+pub mod ancillary;
+pub mod arbitrage;
+pub mod breakeven;
+pub mod contingency;
+pub mod event;
+pub mod forecast;
+pub mod procurement;
+pub mod program;
+pub mod shed;
+pub mod shift;
+
+/// Errors from DR simulation and optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrError {
+    /// Invalid program or event parameter.
+    BadParameter(String),
+    /// Underlying simulation failed.
+    Sim(String),
+    /// No feasible bid / plan.
+    Infeasible(String),
+}
+
+impl std::fmt::Display for DrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrError::BadParameter(d) => write!(f, "bad parameter: {d}"),
+            DrError::Sim(d) => write!(f, "simulation error: {d}"),
+            DrError::Infeasible(d) => write!(f, "infeasible: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DrError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DrError>;

@@ -1,0 +1,228 @@
+//! DR program models and settlement arithmetic.
+//!
+//! The paper distinguishes price-based programs (dynamic tariffs), opt-in
+//! incentive-based programs ("services", §3.1.4), and mandatory emergency
+//! programs (§3.2.3). This module models the incentive-based kinds: a
+//! curtailment program paying per kWh shed against a baseline, and a
+//! capacity (regulation) program paying per MW held available.
+
+use crate::{DrError, Result};
+use hpcgrid_timeseries::intervals::Interval;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Duration, Energy, EnergyPrice, Money, Power};
+use serde::{Deserialize, Serialize};
+
+/// An incentive-based curtailment program: during called events, the
+/// consumer is paid for verified reduction below its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurtailmentProgram {
+    /// Payment per kWh of verified curtailment.
+    pub incentive: EnergyPrice,
+    /// Advance notice the ESP gives before an event.
+    pub notice: Duration,
+    /// Minimum average reduction for the event to count at all.
+    pub min_reduction: Power,
+    /// Penalty if enrolled but the event's reduction is below minimum.
+    pub shortfall_penalty: Money,
+}
+
+impl CurtailmentProgram {
+    /// A stylized economic-DR program: $0.50/kWh curtailed, 30 min notice,
+    /// 1 MW minimum, $5 000 shortfall penalty.
+    pub fn reference() -> CurtailmentProgram {
+        CurtailmentProgram {
+            incentive: EnergyPrice::per_kilowatt_hour(0.50),
+            notice: Duration::from_minutes(30.0),
+            min_reduction: Power::from_megawatts(1.0),
+            shortfall_penalty: Money::from_dollars(5_000.0),
+        }
+    }
+}
+
+/// Settlement of one curtailment event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurtailmentSettlement {
+    /// Verified curtailed energy (positive part of baseline − actual).
+    pub curtailed: Energy,
+    /// Average reduction across the event window.
+    pub avg_reduction: Power,
+    /// Whether the minimum reduction was met.
+    pub qualified: bool,
+    /// Incentive payment (zero if unqualified).
+    pub payment: Money,
+    /// Shortfall penalty (zero if qualified).
+    pub penalty: Money,
+}
+
+impl CurtailmentSettlement {
+    /// Net revenue to the SC (payment − penalty).
+    pub fn net(&self) -> Money {
+        self.payment - self.penalty
+    }
+}
+
+/// Settle a curtailment event: both series must be aligned and cover the
+/// event window.
+pub fn settle_curtailment(
+    program: &CurtailmentProgram,
+    baseline: &PowerSeries,
+    actual: &PowerSeries,
+    window: Interval,
+) -> Result<CurtailmentSettlement> {
+    baseline
+        .check_aligned(actual)
+        .map_err(|e| DrError::Sim(e.to_string()))?;
+    let base = baseline.slice_time(window.start, window.end);
+    let act = actual.slice_time(window.start, window.end);
+    if base.is_empty() {
+        return Err(DrError::BadParameter(
+            "event window does not overlap the series".into(),
+        ));
+    }
+    let step_h = base.step().as_hours();
+    let mut curtailed_kwh = 0.0f64;
+    for (b, a) in base.values().iter().zip(act.values()) {
+        let red = (*b - *a).max(Power::ZERO);
+        curtailed_kwh += red.as_kilowatts() * step_h;
+    }
+    let curtailed = Energy::from_kilowatt_hours(curtailed_kwh);
+    let hours = base.span().as_hours();
+    let avg_reduction = Power::from_kilowatts(curtailed_kwh / hours);
+    let qualified = avg_reduction >= program.min_reduction;
+    Ok(CurtailmentSettlement {
+        curtailed,
+        avg_reduction,
+        qualified,
+        payment: if qualified {
+            curtailed * program.incentive
+        } else {
+            Money::ZERO
+        },
+        penalty: if qualified {
+            Money::ZERO
+        } else {
+            program.shortfall_penalty
+        },
+    })
+}
+
+/// A capacity (regulation) program: the consumer is paid for each MW held
+/// available for grid control across an availability window, as in LANL's
+/// generation/voltage-control participation (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityProgram {
+    /// Payment per kW of offered capacity per hour of availability.
+    pub capacity_price_per_kw_hour: f64,
+    /// Shortest dispatch the consumer must sustain.
+    pub min_duration: Duration,
+    /// Longest dispatch the consumer must sustain.
+    pub max_duration: Duration,
+}
+
+impl CapacityProgram {
+    /// A stylized regulation product in the paper's 15-min-to-1-h window:
+    /// $0.012 per kW-hour of availability.
+    pub fn reference() -> CapacityProgram {
+        CapacityProgram {
+            capacity_price_per_kw_hour: 0.012,
+            min_duration: Duration::from_minutes(15.0),
+            max_duration: Duration::from_hours(1.0),
+        }
+    }
+
+    /// Revenue for offering `capacity` across `availability`.
+    pub fn revenue(&self, capacity: Power, availability: Duration) -> Money {
+        Money::from_dollars(
+            capacity.as_kilowatts() * self.capacity_price_per_kw_hour * availability.as_hours(),
+        )
+    }
+
+    /// Whether a dispatch of `d` falls inside the product's window.
+    pub fn dispatch_ok(&self, d: Duration) -> bool {
+        d >= self.min_duration && d <= self.max_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::SimTime;
+
+    fn series(values_mw: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            values_mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    }
+
+    fn window(a: f64, b: f64) -> Interval {
+        Interval::new(SimTime::from_hours(a), SimTime::from_hours(b))
+    }
+
+    #[test]
+    fn qualified_event_pays_for_curtailment() {
+        let p = CurtailmentProgram::reference();
+        let baseline = series(vec![10.0, 10.0, 10.0, 10.0]);
+        let actual = series(vec![10.0, 6.0, 6.0, 10.0]);
+        let s = settle_curtailment(&p, &baseline, &actual, window(1.0, 3.0)).unwrap();
+        assert!(s.qualified);
+        assert!((s.curtailed.as_megawatt_hours() - 8.0).abs() < 1e-9);
+        assert!((s.avg_reduction.as_megawatts() - 4.0).abs() < 1e-9);
+        // 8 000 kWh × $0.50 = $4 000.
+        assert!((s.payment.as_dollars() - 4_000.0).abs() < 1e-6);
+        assert_eq!(s.penalty, Money::ZERO);
+        assert!((s.net().as_dollars() - 4_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unqualified_event_pays_penalty() {
+        let p = CurtailmentProgram::reference();
+        let baseline = series(vec![10.0, 10.0]);
+        let actual = series(vec![10.0, 9.8]); // only 0.2 MW reduction
+        let s = settle_curtailment(&p, &baseline, &actual, window(1.0, 2.0)).unwrap();
+        assert!(!s.qualified);
+        assert_eq!(s.payment, Money::ZERO);
+        assert_eq!(s.penalty.as_dollars(), 5_000.0);
+        assert!(s.net() < Money::ZERO);
+    }
+
+    #[test]
+    fn increase_does_not_earn_negative_curtailment() {
+        let p = CurtailmentProgram::reference();
+        let baseline = series(vec![10.0, 10.0]);
+        let actual = series(vec![12.0, 4.0]); // +2 then −6
+        let s = settle_curtailment(&p, &baseline, &actual, window(0.0, 2.0)).unwrap();
+        // Only the positive-part reduction counts: 6 MWh, not 4.
+        assert!((s.curtailed.as_megawatt_hours() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_outside_series_rejected() {
+        let p = CurtailmentProgram::reference();
+        let baseline = series(vec![10.0]);
+        let actual = series(vec![10.0]);
+        assert!(settle_curtailment(&p, &baseline, &actual, window(5.0, 6.0)).is_err());
+    }
+
+    #[test]
+    fn misaligned_series_rejected() {
+        let p = CurtailmentProgram::reference();
+        let baseline = series(vec![10.0, 10.0]);
+        let actual = series(vec![10.0]);
+        assert!(settle_curtailment(&p, &baseline, &actual, window(0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn capacity_revenue_scales() {
+        let p = CapacityProgram::reference();
+        // 2 MW for 100 hours at $0.012/kW-h = $2 400.
+        let r = p.revenue(Power::from_megawatts(2.0), Duration::from_hours(100.0));
+        assert!((r.as_dollars() - 2_400.0).abs() < 1e-6);
+        assert!(p.dispatch_ok(Duration::from_minutes(30.0)));
+        assert!(!p.dispatch_ok(Duration::from_minutes(10.0)));
+        assert!(!p.dispatch_ok(Duration::from_hours(2.0)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Shed-potential analysis.
+//!
+//! Survey question 6 asked: *"Is there some part of the load that you can
+//! reduce (or increase) for a certain time-span (e.g., an hour) without
+//! negatively impacting your operations?"* For a scheduled machine the
+//! honest answer decomposes into:
+//!
+//! * **deferrable load** — node power of running deferrable jobs that could
+//!   be checkpointed/delayed;
+//! * **idle floor** — idle-node power removable by shutdown;
+//! * **office/sidecar load** — the non-IT flexibility the LANL case study
+//!   exploits.
+//!
+//! Capping regular jobs *does* impact operations, so it is reported
+//! separately as "impactful potential".
+
+use hpcgrid_facility::site::SiteSpec;
+use hpcgrid_scheduler::metrics::SimOutcome;
+use hpcgrid_timeseries::intervals::Interval;
+use hpcgrid_units::{Power, Ratio};
+use hpcgrid_workload::job::JobKind;
+use serde::{Deserialize, Serialize};
+
+/// Shed potential of a facility at a moment (or averaged over a window).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedPotential {
+    /// Facility-level power of running deferrable jobs (impact-free if
+    /// they can be checkpointed).
+    pub deferrable: Power,
+    /// Facility-level idle-floor power removable by shutdown.
+    pub idle_floor: Power,
+    /// Office/sidecar flexibility (fraction of office load assumed
+    /// sheddable).
+    pub office: Power,
+    /// Facility-level power of running *regular* jobs — sheddable only
+    /// with mission impact.
+    pub impactful: Power,
+}
+
+impl ShedPotential {
+    /// Total impact-free shed potential.
+    pub fn impact_free(&self) -> Power {
+        self.deferrable + self.idle_floor + self.office
+    }
+
+    /// Total potential including impactful shedding.
+    pub fn total(&self) -> Power {
+        self.impact_free() + self.impactful
+    }
+}
+
+/// Compute the average shed potential of a schedule during `window`.
+///
+/// `office_flex` is the fraction of the site's office load assumed
+/// sheddable (LANL identified DR potential "in their general office
+/// buildings").
+pub fn shed_potential(
+    outcome: &SimOutcome,
+    site: &SiteSpec,
+    window: Interval,
+    office_flex: Ratio,
+) -> ShedPotential {
+    let spec = &site.node_spec;
+    let full = spec.num_levels() - 1;
+    let window_secs = window.duration().as_secs().max(1) as f64;
+    let mut deferrable_kw = 0.0f64;
+    let mut regular_kw = 0.0f64;
+    let mut busy_node_seconds = 0.0f64;
+    for r in outcome.records() {
+        let overlap = Interval::new(r.start, r.end).intersect(&window);
+        if overlap.is_empty() {
+            continue;
+        }
+        let frac = overlap.duration().as_secs() as f64 / window_secs;
+        let active = spec.active_power(full, r.intensity).as_kilowatts() * r.nodes as f64 * frac;
+        busy_node_seconds += r.nodes as f64 * overlap.duration().as_secs() as f64;
+        match r.kind {
+            JobKind::Deferrable => deferrable_kw += active,
+            JobKind::Regular | JobKind::Benchmark => regular_kw += active,
+        }
+    }
+    let avg_busy_nodes = busy_node_seconds / window.duration().as_secs().max(1) as f64;
+    let idle_nodes = (outcome.machine_nodes() as f64 - avg_busy_nodes).max(0.0);
+    let idle_kw = if outcome.shutdown_idle() {
+        0.0 // already shut down; no further potential
+    } else {
+        idle_nodes * spec.idle.as_kilowatts()
+    };
+    // Translate IT-level shed into facility-level shed via the full-load PUE
+    // (conservative: cooling savings scale at least proportionally).
+    let pue = site.pue_full;
+    ShedPotential {
+        deferrable: Power::from_kilowatts(deferrable_kw * pue),
+        idle_floor: Power::from_kilowatts(idle_kw * pue),
+        office: site.office_load * office_flex.as_fraction(),
+        impactful: Power::from_kilowatts(regular_kw * pue),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_scheduler::metrics::JobRecord;
+    use hpcgrid_units::{Duration, SimTime};
+    use hpcgrid_workload::job::JobId;
+
+    fn rec(id: u64, start_h: f64, end_h: f64, nodes: usize, kind: JobKind) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            submit: SimTime::EPOCH,
+            start: SimTime::from_hours(start_h),
+            end: SimTime::from_hours(end_h),
+            nodes,
+            intensity: 1.0,
+            kind,
+        }
+    }
+
+    fn window(a: f64, b: f64) -> Interval {
+        Interval::new(SimTime::from_hours(a), SimTime::from_hours(b))
+    }
+
+    #[test]
+    fn decomposition_adds_up() {
+        let site = SiteSpec::reference_small(); // 64 nodes
+        let outcome = SimOutcome::new(
+            vec![
+                rec(0, 0.0, 4.0, 20, JobKind::Regular),
+                rec(1, 0.0, 4.0, 10, JobKind::Deferrable),
+            ],
+            64,
+            Duration::from_hours(4.0),
+            false,
+        );
+        let p = shed_potential(&outcome, &site, window(0.0, 4.0), Ratio::from_percent(50.0));
+        // Deferrable: 10 × 550 W × PUE 1.2 = 6.6 kW.
+        assert!((p.deferrable.as_kilowatts() - 10.0 * 0.55 * 1.2).abs() < 1e-9);
+        // Regular: 20 × 550 W × 1.2.
+        assert!((p.impactful.as_kilowatts() - 20.0 * 0.55 * 1.2).abs() < 1e-9);
+        // Idle: 34 nodes × 120 W × 1.2.
+        assert!((p.idle_floor.as_kilowatts() - 34.0 * 0.12 * 1.2).abs() < 1e-9);
+        // Office: 5 kW × 50 %.
+        assert!((p.office.as_kilowatts() - 2.5).abs() < 1e-9);
+        assert!((p.total().as_kilowatts()
+            - (p.impact_free() + p.impactful).as_kilowatts())
+        .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_scales() {
+        let site = SiteSpec::reference_small();
+        // Job covers half the window.
+        let outcome = SimOutcome::new(
+            vec![rec(0, 0.0, 1.0, 10, JobKind::Deferrable)],
+            64,
+            Duration::from_hours(2.0),
+            false,
+        );
+        let p = shed_potential(&outcome, &site, window(0.0, 2.0), Ratio::ZERO);
+        assert!((p.deferrable.as_kilowatts() - 10.0 * 0.55 * 1.2 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shutdown_machine_has_no_idle_potential() {
+        let site = SiteSpec::reference_small();
+        let outcome = SimOutcome::new(vec![], 64, Duration::from_hours(2.0), true);
+        let p = shed_potential(&outcome, &site, window(0.0, 2.0), Ratio::ZERO);
+        assert_eq!(p.idle_floor, Power::ZERO);
+        assert_eq!(p.impact_free(), Power::ZERO);
+    }
+
+    #[test]
+    fn empty_window_jobs_do_not_count() {
+        let site = SiteSpec::reference_small();
+        let outcome = SimOutcome::new(
+            vec![rec(0, 5.0, 6.0, 10, JobKind::Deferrable)],
+            64,
+            Duration::from_hours(8.0),
+            false,
+        );
+        let p = shed_potential(&outcome, &site, window(0.0, 1.0), Ratio::ZERO);
+        assert_eq!(p.deferrable, Power::ZERO);
+        // All 64 nodes idle during the window.
+        assert!((p.idle_floor.as_kilowatts() - 64.0 * 0.12 * 1.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Price-aware load shifting: choosing avoid-windows from a price strip.
+//!
+//! Time-of-use and dynamic tariffs only change behaviour if the scheduler
+//! acts on them (the survey found the three dynamically-priced sites do
+//! not, §3.4). The machinery here is what acting would look like: mark the
+//! expensive hours of a price strip as avoid-windows and let the scheduler
+//! shift deferrable jobs out of them.
+
+use crate::{DrError, Result};
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_timeseries::series::PriceSeries;
+use hpcgrid_units::EnergyPrice;
+
+/// Windows whose price is strictly above `threshold`.
+pub fn windows_above(prices: &PriceSeries, threshold: EnergyPrice) -> IntervalSet {
+    let step = prices.step();
+    IntervalSet::from_intervals(
+        prices
+            .iter()
+            .filter(|(_, p)| **p > threshold)
+            .map(|(t, _)| Interval::from_duration(t, step))
+            .collect(),
+    )
+}
+
+/// Windows covering the most expensive `fraction` of intervals
+/// (`0 < fraction < 1`). Ties broken toward fewer windows.
+pub fn expensive_windows(prices: &PriceSeries, fraction: f64) -> Result<IntervalSet> {
+    if !(0.0..1.0).contains(&fraction) {
+        return Err(DrError::BadParameter(format!(
+            "fraction must be in [0,1), got {fraction}"
+        )));
+    }
+    if prices.is_empty() {
+        return Ok(IntervalSet::empty());
+    }
+    let k = ((prices.len() as f64) * fraction).round() as usize;
+    if k == 0 {
+        return Ok(IntervalSet::empty());
+    }
+    let mut sorted: Vec<EnergyPrice> = prices.values().to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite prices"));
+    let threshold = sorted[k - 1];
+    // Use >= threshold but cap the number of windows at k by taking the
+    // first k qualifying intervals (stable under ties).
+    let step = prices.step();
+    let mut taken = 0usize;
+    let mut out = Vec::new();
+    for (t, p) in prices.iter() {
+        if *p >= threshold && taken < k {
+            out.push(Interval::from_duration(t, step));
+            taken += 1;
+        }
+    }
+    Ok(IntervalSet::from_intervals(out))
+}
+
+/// Mean price inside vs outside a window set — the spread that shifting
+/// captures.
+pub fn price_spread(
+    prices: &PriceSeries,
+    windows: &IntervalSet,
+) -> Result<(EnergyPrice, EnergyPrice)> {
+    if prices.is_empty() {
+        return Err(DrError::BadParameter("empty price strip".into()));
+    }
+    let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+    for (t, p) in prices.iter() {
+        if windows.contains(t) {
+            in_sum += p.as_dollars_per_kilowatt_hour();
+            in_n += 1;
+        } else {
+            out_sum += p.as_dollars_per_kilowatt_hour();
+            out_n += 1;
+        }
+    }
+    let inside = if in_n > 0 { in_sum / in_n as f64 } else { 0.0 };
+    let outside = if out_n > 0 { out_sum / out_n as f64 } else { 0.0 };
+    Ok((
+        EnergyPrice::per_kilowatt_hour(inside),
+        EnergyPrice::per_kilowatt_hour(outside),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{Duration, SimTime};
+
+    fn strip(cents: Vec<u32>) -> PriceSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            cents
+                .into_iter()
+                .map(|c| EnergyPrice::per_kilowatt_hour(c as f64 / 100.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_above_threshold() {
+        let s = strip(vec![5, 20, 25, 5, 30]);
+        let w = windows_above(&s, EnergyPrice::per_kilowatt_hour(0.10));
+        // Hours 1–2 coalesce; hour 4 separate.
+        assert_eq!(w.intervals().len(), 2);
+        assert_eq!(w.total_duration(), Duration::from_hours(3.0));
+        assert!(w.contains(SimTime::from_hours(1.0)));
+        assert!(!w.contains(SimTime::from_hours(3.0)));
+    }
+
+    #[test]
+    fn expensive_windows_take_top_fraction() {
+        let s = strip(vec![5, 20, 25, 5, 30, 5, 5, 5]);
+        let w = expensive_windows(&s, 0.25).unwrap(); // top 2 of 8
+        assert_eq!(w.total_duration(), Duration::from_hours(2.0));
+        assert!(w.contains(SimTime::from_hours(2.0))); // 25 c
+        assert!(w.contains(SimTime::from_hours(4.0))); // 30 c
+        assert!(!w.contains(SimTime::from_hours(1.0))); // 20 c not in top 2
+    }
+
+    #[test]
+    fn expensive_windows_handles_ties() {
+        let s = strip(vec![10, 10, 10, 10]);
+        let w = expensive_windows(&s, 0.5).unwrap();
+        // Exactly 2 intervals taken despite a 4-way tie.
+        assert_eq!(w.total_duration(), Duration::from_hours(2.0));
+    }
+
+    #[test]
+    fn zero_fraction_is_empty_and_bad_fraction_rejected() {
+        let s = strip(vec![5, 10]);
+        assert!(expensive_windows(&s, 0.0).unwrap().is_empty());
+        assert!(expensive_windows(&s, 1.0).is_err());
+        assert!(expensive_windows(&s, -0.5).is_err());
+        let empty = strip(vec![]);
+        assert!(expensive_windows(&empty, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn spread_separates_means() {
+        let s = strip(vec![10, 30, 10, 30]);
+        let w = windows_above(&s, EnergyPrice::per_kilowatt_hour(0.20));
+        let (inside, outside) = price_spread(&s, &w).unwrap();
+        assert!((inside.as_dollars_per_kilowatt_hour() - 0.30).abs() < 1e-12);
+        assert!((outside.as_dollars_per_kilowatt_hour() - 0.10).abs() < 1e-12);
+        assert!(price_spread(&strip(vec![]), &w).is_err());
+    }
+}

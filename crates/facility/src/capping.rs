@@ -1,0 +1,210 @@
+//! Facility power-cap actuation.
+//!
+//! "Power capping" is one of the coarse-grained strategies the EE HPC WG
+//! survey identified as most effective for responding to ESP programs
+//! (paper §2, citing \[7\]). Given a facility-level cap, the actuator
+//! translates it through the cooling model to an IT-level budget and
+//! decides how many nodes can run, and at which DVFS level.
+
+use crate::cooling::CoolingModel;
+use crate::node::NodeFleet;
+use crate::{FacilityError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// How the actuator reaches a cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapStrategy {
+    /// Throttle all running nodes to a common DVFS level.
+    Dvfs,
+    /// Keep nodes at full speed but limit how many may run.
+    LimitNodes,
+    /// Throttle first; if even the lowest level does not fit, limit nodes.
+    DvfsThenLimit,
+}
+
+/// The actuator's decision for a capped interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapDecision {
+    /// Maximum nodes that may run jobs.
+    pub max_busy_nodes: usize,
+    /// DVFS level index the running nodes must use.
+    pub dvfs_level: usize,
+    /// The resulting worst-case IT power.
+    pub it_power: Power,
+}
+
+/// Facility power-cap actuator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapActuator {
+    /// The node fleet being controlled.
+    pub fleet: NodeFleet,
+    /// Cooling model translating IT to facility power.
+    pub cooling: CoolingModel,
+    /// Strategy.
+    pub strategy: CapStrategy,
+}
+
+impl CapActuator {
+    /// Construct an actuator.
+    pub fn new(fleet: NodeFleet, cooling: CoolingModel, strategy: CapStrategy) -> CapActuator {
+        CapActuator {
+            fleet,
+            cooling,
+            strategy,
+        }
+    }
+
+    /// Convert a facility-level cap to an IT-level budget by inverting the
+    /// PUE model (conservatively, using the PUE at the budget point via a
+    /// few fixed-point iterations).
+    pub fn it_budget(&self, facility_cap: Power) -> Power {
+        let mut it = facility_cap / self.cooling.pue_at(facility_cap);
+        for _ in 0..8 {
+            it = facility_cap / self.cooling.pue_at(it);
+        }
+        it.min(self.fleet.peak_it_power())
+    }
+
+    /// Decide node count and DVFS level under a facility cap. Errors if the
+    /// cap cannot be met even with all nodes idle (the cap is below the
+    /// facility idle floor — shutdown territory).
+    pub fn decide(&self, facility_cap: Power) -> Result<CapDecision> {
+        let budget = self.it_budget(facility_cap);
+        let spec = &self.fleet.spec;
+        let idle_floor = self.fleet.idle_it_power();
+        if budget < idle_floor {
+            return Err(FacilityError::BadParameter(format!(
+                "cap {facility_cap} is below the idle floor {} — requires shutdown",
+                self.cooling.facility_power(idle_floor)
+            )));
+        }
+        let full_level = spec.num_levels() - 1;
+        let decide_limit = |level: usize| -> CapDecision {
+            // With n busy nodes at `level` and the rest idle:
+            // it = n*active + (N-n)*idle <= budget.
+            let active = spec.active_power(level, 1.0);
+            let n_total = self.fleet.count as f64;
+            let span = active - spec.idle;
+            let max_busy = if span <= Power::ZERO {
+                self.fleet.count
+            } else {
+                let headroom = budget - spec.idle * n_total;
+                ((headroom.as_kilowatts() / span.as_kilowatts()).floor() as usize)
+                    .min(self.fleet.count)
+            };
+            let it = spec.active_power(level, 1.0) * max_busy as f64
+                + spec.idle * (self.fleet.count - max_busy) as f64;
+            CapDecision {
+                max_busy_nodes: max_busy,
+                dvfs_level: level,
+                it_power: it,
+            }
+        };
+        let per_node_budget = Power::from_kilowatts(
+            (budget - idle_floor).as_kilowatts() / self.fleet.count as f64,
+        ) + spec.idle;
+        Ok(match self.strategy {
+            CapStrategy::LimitNodes => decide_limit(full_level),
+            CapStrategy::Dvfs => match spec.level_under_cap(per_node_budget) {
+                Some(level) => CapDecision {
+                    max_busy_nodes: self.fleet.count,
+                    dvfs_level: level,
+                    it_power: spec.active_power(level, 1.0) * self.fleet.count as f64,
+                },
+                // Even the lowest level does not fit with all nodes busy:
+                // run as many as fit at the lowest level.
+                None => decide_limit(0),
+            },
+            CapStrategy::DvfsThenLimit => match spec.level_under_cap(per_node_budget) {
+                Some(level) => CapDecision {
+                    max_busy_nodes: self.fleet.count,
+                    dvfs_level: level,
+                    it_power: spec.active_power(level, 1.0) * self.fleet.count as f64,
+                },
+                None => decide_limit(0),
+            },
+        })
+    }
+
+    /// Apply a facility cap to a facility-load series by clipping (the
+    /// simplest model of a perfectly responsive cap).
+    pub fn clip_series(&self, facility_load: &PowerSeries, cap: Power) -> PowerSeries {
+        facility_load.clip_max(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    fn actuator(strategy: CapStrategy) -> CapActuator {
+        let fleet = NodeFleet::new(NodeSpec::reference_hpc(), 1000).unwrap();
+        let cooling = CoolingModel::fixed(1.2, fleet.peak_it_power()).unwrap();
+        CapActuator::new(fleet, cooling, strategy)
+    }
+
+    #[test]
+    fn it_budget_inverts_pue() {
+        let a = actuator(CapStrategy::LimitNodes);
+        // Fixed PUE 1.2: facility 600 kW → IT 500 kW.
+        let b = a.it_budget(Power::from_kilowatts(600.0));
+        assert!((b.as_kilowatts() - 500.0).abs() < 1e-6);
+        // Budget never exceeds peak IT power.
+        let big = a.it_budget(Power::from_megawatts(100.0));
+        assert_eq!(big, a.fleet.peak_it_power());
+    }
+
+    #[test]
+    fn limit_nodes_respects_budget() {
+        let a = actuator(CapStrategy::LimitNodes);
+        // Facility cap 480 kW → IT 400 kW. idle floor 120 kW, span 430 W/node:
+        // max_busy = (400-120)/0.430 = 651 nodes.
+        let d = a.decide(Power::from_kilowatts(480.0)).unwrap();
+        assert_eq!(d.max_busy_nodes, 651);
+        assert_eq!(d.dvfs_level, 2);
+        assert!(d.it_power <= Power::from_kilowatts(400.0 + 1e-9));
+    }
+
+    #[test]
+    fn dvfs_throttles_whole_fleet() {
+        let a = actuator(CapStrategy::Dvfs);
+        // IT budget 464 kW = all nodes at level 1 (464 W each).
+        let d = a.decide(Power::from_kilowatts(464.0 * 1.2)).unwrap();
+        assert_eq!(d.dvfs_level, 1);
+        assert_eq!(d.max_busy_nodes, 1000);
+        assert!((d.it_power.as_kilowatts() - 464.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dvfs_falls_back_to_limiting_when_too_tight() {
+        let a = actuator(CapStrategy::DvfsThenLimit);
+        // IT budget 200 kW: even level 0 (378 W/node ×1000 = 378 kW) too much.
+        let d = a.decide(Power::from_kilowatts(240.0)).unwrap();
+        assert_eq!(d.dvfs_level, 0);
+        assert!(d.max_busy_nodes < 1000);
+        assert!(d.it_power <= Power::from_kilowatts(200.0 + 1e-6));
+    }
+
+    #[test]
+    fn cap_below_idle_floor_errors() {
+        let a = actuator(CapStrategy::LimitNodes);
+        // Idle floor IT = 120 kW → facility 144 kW. Cap below that fails.
+        assert!(a.decide(Power::from_kilowatts(100.0)).is_err());
+    }
+
+    #[test]
+    fn decisions_monotone_in_cap() {
+        let a = actuator(CapStrategy::LimitNodes);
+        let mut last = 0usize;
+        for kw in [200.0, 300.0, 400.0, 500.0, 600.0, 700.0] {
+            if let Ok(d) = a.decide(Power::from_kilowatts(kw)) {
+                assert!(d.max_busy_nodes >= last);
+                last = d.max_busy_nodes;
+            }
+        }
+        assert!(last > 0);
+    }
+}

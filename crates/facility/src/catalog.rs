@@ -1,0 +1,185 @@
+//! Synthetic reference-site catalog.
+//!
+//! Ten synthetic facilities standing in for the ten surveyed sites of
+//! Table 1 (paper §3). Real metered loads are confidential, so each site is
+//! calibrated only to the *public anchors* the paper gives:
+//!
+//! * flagship US sites with total loads well above 10 MW (2013) and
+//!   theoretical feeder peaks up to 60 MW (2017);
+//! * a Top500 electricity-use span of roughly 40 kW to >10 MW;
+//! * one representative smaller site (rank ~167 on the 2015 list).
+//!
+//! The names follow Table 1; every other number is synthetic (see
+//! DESIGN.md §4, substitutions).
+
+use crate::node::NodeSpec;
+use crate::site::{Country, SiteSpec};
+use hpcgrid_units::Power;
+
+/// Identifier of a catalog site, ordered as in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CatalogSite {
+    /// European Centre for Medium-range Weather Forecasts (England).
+    Ecmwf,
+    /// GSI Helmholtz Center (Germany) — the representative smaller site.
+    Gsi,
+    /// Jülich Supercomputing Centre (Germany).
+    Juelich,
+    /// High Performance Computing Center Stuttgart (Germany).
+    Hlrs,
+    /// Leibniz Supercomputing Centre (Germany).
+    Lrz,
+    /// Swiss National Supercomputing Centre (Switzerland).
+    Cscs,
+    /// Los Alamos National Laboratory (United States).
+    Lanl,
+    /// National Center for Supercomputing Applications (United States).
+    Ncsa,
+    /// Oak Ridge National Laboratory (United States).
+    Ornl,
+    /// Lawrence Livermore National Laboratory (United States).
+    Llnl,
+}
+
+impl CatalogSite {
+    /// All ten sites in Table 1 order.
+    pub const ALL: [CatalogSite; 10] = [
+        CatalogSite::Ecmwf,
+        CatalogSite::Gsi,
+        CatalogSite::Juelich,
+        CatalogSite::Hlrs,
+        CatalogSite::Lrz,
+        CatalogSite::Cscs,
+        CatalogSite::Lanl,
+        CatalogSite::Ncsa,
+        CatalogSite::Ornl,
+        CatalogSite::Llnl,
+    ];
+
+    /// The synthetic specification for this site.
+    pub fn spec(self) -> SiteSpec {
+        let node = NodeSpec::reference_hpc();
+        let mk = |name: &str,
+                  country: Country,
+                  nodes: usize,
+                  feeder_mw: f64,
+                  office_kw: f64| {
+            SiteSpec::new(
+                name,
+                country,
+                nodes,
+                node.clone(),
+                1.1,
+                1.35,
+                Power::from_megawatts(feeder_mw),
+                Power::from_kilowatts(office_kw),
+            )
+            .expect("catalog sites are valid")
+        };
+        match self {
+            // Peak facility ≈ nodes × 550 W × 1.1 + office.
+            CatalogSite::Ecmwf => mk("ECMWF", Country::England, 6_000, 6.0, 300.0),
+            CatalogSite::Gsi => mk("GSI", Country::Germany, 64, 0.12, 5.0),
+            CatalogSite::Juelich => mk("JSC", Country::Germany, 12_000, 12.0, 400.0),
+            CatalogSite::Hlrs => mk("HLRS", Country::Germany, 8_000, 8.0, 300.0),
+            CatalogSite::Lrz => mk("LRZ", Country::Germany, 9_000, 9.0, 350.0),
+            CatalogSite::Cscs => mk("CSCS", Country::Switzerland, 7_000, 7.0, 250.0),
+            CatalogSite::Lanl => mk("LANL", Country::UnitedStates, 19_000, 20.0, 900.0),
+            CatalogSite::Ncsa => mk("NCSA", Country::UnitedStates, 17_000, 18.0, 600.0),
+            CatalogSite::Ornl => mk("ORNL", Country::UnitedStates, 33_000, 60.0, 1_200.0),
+            CatalogSite::Llnl => mk("LLNL", Country::UnitedStates, 25_000, 30.0, 1_000.0),
+        }
+    }
+}
+
+/// All ten synthetic site specifications, Table 1 order.
+pub fn all_sites() -> Vec<SiteSpec> {
+    CatalogSite::ALL.iter().map(|s| s.spec()).collect()
+}
+
+/// The span of peak facility powers across the catalog (min, max) — used by
+/// experiment C4 to check the 40 kW…60 MW anchors.
+pub fn load_span() -> (Power, Power) {
+    let sites = all_sites();
+    let min = sites
+        .iter()
+        .map(|s| s.peak_facility_power())
+        .fold(Power::from_megawatts(f64::INFINITY), Power::min);
+    let max = sites
+        .iter()
+        .map(|s| s.peak_facility_power())
+        .fold(Power::ZERO, Power::max);
+    (min, max)
+}
+
+/// The largest theoretical feeder peak in the catalog.
+pub fn max_theoretical_peak() -> Power {
+    all_sites()
+        .iter()
+        .map(|s| s.feeder_rating)
+        .fold(Power::ZERO, Power::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Region;
+
+    #[test]
+    fn catalog_has_ten_sites_matching_table1_countries() {
+        let sites = all_sites();
+        assert_eq!(sites.len(), 10);
+        let us = sites
+            .iter()
+            .filter(|s| s.region() == Region::UnitedStates)
+            .count();
+        let eu = sites.iter().filter(|s| s.region() == Region::Europe).count();
+        assert_eq!(us, 4); // LANL, NCSA, ORNL, LLNL
+        assert_eq!(eu, 6); // ECMWF, GSI, JSC, HLRS, LRZ, CSCS
+        let german = sites
+            .iter()
+            .filter(|s| s.country == Country::Germany)
+            .count();
+        assert_eq!(german, 4);
+    }
+
+    #[test]
+    fn load_span_matches_paper_anchors() {
+        let (min, max) = load_span();
+        // Small end near 40 kW (the low end of the Top500 electricity span).
+        assert!(min < Power::from_kilowatts(60.0), "min was {min}");
+        assert!(min > Power::from_kilowatts(20.0), "min was {min}");
+        // Flagships above 10 MW.
+        assert!(max > Power::from_megawatts(10.0), "max was {max}");
+    }
+
+    #[test]
+    fn max_theoretical_peak_is_60mw() {
+        assert_eq!(max_theoretical_peak().as_megawatts(), 60.0);
+    }
+
+    #[test]
+    fn four_us_sites_above_10mw() {
+        // "Four major supercomputing centers in the United States had total
+        // electrical loads well above 10 MW" (§1).
+        let n = all_sites()
+            .iter()
+            .filter(|s| {
+                s.region() == Region::UnitedStates
+                    && s.peak_facility_power() > Power::from_megawatts(10.0)
+            })
+            .count();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn every_site_fits_its_feeder() {
+        for site in all_sites() {
+            assert!(
+                site.peak_facility_power() <= site.feeder_rating,
+                "{} exceeds feeder",
+                site.name
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Cooling and facility-overhead model (PUE).
+//!
+//! Total facility load = IT load × PUE(load) + fixed overheads. Real plants
+//! have a PUE that *improves* with utilization because fixed cooling
+//! overheads amortize over more IT work; we model PUE as
+//! `pue_full + (pue_idle − pue_full) · (1 − u)` where `u` is IT load as a
+//! fraction of peak IT load.
+
+use crate::{FacilityError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A load-dependent PUE model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingModel {
+    /// PUE at full IT load (best case), ≥ 1.
+    pub pue_full: f64,
+    /// PUE at idle IT load (worst case), ≥ `pue_full`.
+    pub pue_idle: f64,
+    /// Peak IT load used to normalize utilization.
+    pub peak_it: Power,
+}
+
+impl CoolingModel {
+    /// Construct and validate.
+    pub fn new(pue_full: f64, pue_idle: f64, peak_it: Power) -> Result<CoolingModel> {
+        if pue_full < 1.0 {
+            return Err(FacilityError::BadParameter(format!(
+                "pue_full must be >= 1, got {pue_full}"
+            )));
+        }
+        if pue_idle < pue_full {
+            return Err(FacilityError::BadParameter(format!(
+                "pue_idle ({pue_idle}) must be >= pue_full ({pue_full})"
+            )));
+        }
+        if peak_it <= Power::ZERO {
+            return Err(FacilityError::BadParameter(
+                "peak_it must be positive".into(),
+            ));
+        }
+        Ok(CoolingModel {
+            pue_full,
+            pue_idle,
+            peak_it,
+        })
+    }
+
+    /// A fixed-PUE model (same PUE at every load).
+    pub fn fixed(pue: f64, peak_it: Power) -> Result<CoolingModel> {
+        CoolingModel::new(pue, pue, peak_it)
+    }
+
+    /// A modern liquid-cooled SC: PUE 1.1 at full load, 1.35 idle.
+    pub fn reference_modern(peak_it: Power) -> CoolingModel {
+        CoolingModel::new(1.1, 1.35, peak_it).expect("reference is valid")
+    }
+
+    /// Effective PUE at an IT load.
+    pub fn pue_at(&self, it_load: Power) -> f64 {
+        let u = (it_load / self.peak_it).clamp(0.0, 1.0);
+        self.pue_full + (self.pue_idle - self.pue_full) * (1.0 - u)
+    }
+
+    /// Total facility power for an IT load.
+    pub fn facility_power(&self, it_load: Power) -> Power {
+        it_load * self.pue_at(it_load)
+    }
+
+    /// Apply to a whole IT-load series.
+    pub fn apply(&self, it_series: &PowerSeries) -> PowerSeries {
+        it_series.map(|p| self.facility_power(*p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{Duration, SimTime};
+
+    #[test]
+    fn validation() {
+        let peak = Power::from_megawatts(10.0);
+        assert!(CoolingModel::new(0.9, 1.2, peak).is_err());
+        assert!(CoolingModel::new(1.3, 1.1, peak).is_err());
+        assert!(CoolingModel::new(1.1, 1.3, Power::ZERO).is_err());
+        assert!(CoolingModel::new(1.1, 1.3, peak).is_ok());
+    }
+
+    #[test]
+    fn pue_improves_with_load() {
+        let m = CoolingModel::reference_modern(Power::from_megawatts(10.0));
+        let idle_pue = m.pue_at(Power::ZERO);
+        let full_pue = m.pue_at(Power::from_megawatts(10.0));
+        assert!((idle_pue - 1.35).abs() < 1e-12);
+        assert!((full_pue - 1.1).abs() < 1e-12);
+        let mid = m.pue_at(Power::from_megawatts(5.0));
+        assert!(mid > full_pue && mid < idle_pue);
+        // Loads above peak clamp.
+        assert!((m.pue_at(Power::from_megawatts(20.0)) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_pue_is_constant() {
+        let m = CoolingModel::fixed(1.2, Power::from_megawatts(10.0)).unwrap();
+        assert_eq!(m.pue_at(Power::ZERO), 1.2);
+        assert_eq!(m.pue_at(Power::from_megawatts(7.0)), 1.2);
+        let p = m.facility_power(Power::from_megawatts(5.0));
+        assert!((p.as_megawatts() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_maps_series() {
+        let m = CoolingModel::fixed(1.5, Power::from_megawatts(10.0)).unwrap();
+        let s = Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            vec![Power::from_megawatts(2.0), Power::from_megawatts(4.0)],
+        )
+        .unwrap();
+        let f = m.apply(&s);
+        assert!((f.values()[0].as_megawatts() - 3.0).abs() < 1e-12);
+        assert!((f.values()[1].as_megawatts() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facility_power_monotone_in_it_load() {
+        let m = CoolingModel::reference_modern(Power::from_megawatts(10.0));
+        let mut last = Power::ZERO;
+        for mw in [0.0, 1.0, 3.0, 5.0, 8.0, 10.0] {
+            let p = m.facility_power(Power::from_megawatts(mw));
+            assert!(p >= last);
+            last = p;
+        }
+    }
+}

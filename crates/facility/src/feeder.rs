@@ -1,0 +1,158 @@
+//! Utility feeders and theoretical peak power.
+//!
+//! The paper distinguishes *actual* load from the "theoretical peak power
+//! consumption (that is, feeders entering the facility)", quoting 60 MW at
+//! the largest 2017 sites (§1). A facility may have several redundant
+//! feeders; the theoretical peak is their combined rating, and a feeder
+//! overload is a hard operational violation, unlike a contract excursion.
+
+use crate::{FacilityError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A single utility feeder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Feeder {
+    /// Name for reporting.
+    pub name: String,
+    /// Rated capacity.
+    pub rating: Power,
+}
+
+/// The set of feeders entering a facility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeederBank {
+    feeders: Vec<Feeder>,
+}
+
+impl FeederBank {
+    /// Construct; errors on an empty bank or non-positive ratings.
+    pub fn new(feeders: Vec<Feeder>) -> Result<FeederBank> {
+        if feeders.is_empty() {
+            return Err(FacilityError::BadParameter(
+                "feeder bank must have at least one feeder".into(),
+            ));
+        }
+        for f in &feeders {
+            if f.rating <= Power::ZERO {
+                return Err(FacilityError::BadParameter(format!(
+                    "feeder '{}' must have positive rating",
+                    f.name
+                )));
+            }
+        }
+        Ok(FeederBank { feeders })
+    }
+
+    /// A single feeder rated at `rating`.
+    pub fn single(rating: Power) -> Result<FeederBank> {
+        FeederBank::new(vec![Feeder {
+            name: "feeder-1".into(),
+            rating,
+        }])
+    }
+
+    /// The feeders.
+    pub fn feeders(&self) -> &[Feeder] {
+        &self.feeders
+    }
+
+    /// Theoretical peak: combined rating of all feeders.
+    pub fn theoretical_peak(&self) -> Power {
+        self.feeders.iter().map(|f| f.rating).sum()
+    }
+
+    /// Check a load series against the theoretical peak; returns the
+    /// violating timestamps (empty = compliant).
+    pub fn overloads(&self, load: &PowerSeries) -> Vec<(SimTime, Power)> {
+        let cap = self.theoretical_peak();
+        load.iter()
+            .filter(|(_, p)| **p > cap)
+            .map(|(t, p)| (t, *p))
+            .collect()
+    }
+
+    /// Validate that a load series never exceeds the theoretical peak.
+    pub fn check(&self, load: &PowerSeries) -> Result<()> {
+        let v = self.overloads(load);
+        if let Some((t, p)) = v.first() {
+            return Err(FacilityError::FeederOverload {
+                detail: format!(
+                    "{} at {} exceeds theoretical peak {} ({} violations total)",
+                    p,
+                    t,
+                    self.theoretical_peak(),
+                    v.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Headroom between a load level and the theoretical peak.
+    pub fn headroom(&self, load: Power) -> Power {
+        self.theoretical_peak().saturating_sub(load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::Duration;
+
+    fn bank() -> FeederBank {
+        FeederBank::new(vec![
+            Feeder {
+                name: "A".into(),
+                rating: Power::from_megawatts(30.0),
+            },
+            Feeder {
+                name: "B".into(),
+                rating: Power::from_megawatts(30.0),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn theoretical_peak_sums_feeders() {
+        assert_eq!(bank().theoretical_peak().as_megawatts(), 60.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FeederBank::new(vec![]).is_err());
+        assert!(FeederBank::single(Power::ZERO).is_err());
+        assert!(FeederBank::single(Power::from_megawatts(10.0)).is_ok());
+    }
+
+    #[test]
+    fn overload_detection() {
+        let b = bank();
+        let load = Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            vec![
+                Power::from_megawatts(50.0),
+                Power::from_megawatts(65.0),
+                Power::from_megawatts(55.0),
+            ],
+        )
+        .unwrap();
+        let v = b.overloads(&load);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, SimTime::from_hours(1.0));
+        assert!(b.check(&load).is_err());
+        let ok_load = load.clip_max(Power::from_megawatts(60.0));
+        assert!(b.check(&ok_load).is_ok());
+    }
+
+    #[test]
+    fn headroom_saturates() {
+        let b = bank();
+        assert_eq!(b.headroom(Power::from_megawatts(40.0)).as_megawatts(), 20.0);
+        assert_eq!(b.headroom(Power::from_megawatts(70.0)), Power::ZERO);
+    }
+}

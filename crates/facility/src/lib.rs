@@ -1,0 +1,57 @@
+//! # hpcgrid-facility
+//!
+//! The supercomputing-center facility model: the physical plant that turns a
+//! scheduler's node-occupancy timeline into the electrical load an ESP
+//! meters at the feeder.
+//!
+//! * [`node`] — compute-node power model (idle/active/DVFS states);
+//! * [`cooling`] — PUE model mapping IT load to total facility load;
+//! * [`feeder`] — utility feeders and the "theoretical peak power" the paper
+//!   cites (60 MW at the largest 2017 sites, §1);
+//! * [`generator`] — on-site/backup generation (the LANL case study, §4);
+//! * [`capping`] — facility-level power-cap actuation;
+//! * [`site`] — a complete site specification;
+//! * [`catalog`] — synthetic reference sites calibrated to the paper's
+//!   anchors (40 kW – 60 MW span, >10 MW flagship loads).
+
+#![warn(missing_docs)]
+
+pub mod capping;
+pub mod catalog;
+pub mod cooling;
+pub mod feeder;
+pub mod generator;
+pub mod node;
+pub mod site;
+pub mod storage;
+
+pub use site::SiteSpec;
+
+/// Errors from facility modelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FacilityError {
+    /// Invalid model parameter.
+    BadParameter(String),
+    /// A series was empty or misaligned.
+    BadSeries(String),
+    /// Load exceeds the feeder's rated capacity.
+    FeederOverload {
+        /// Offending load.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FacilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FacilityError::BadParameter(d) => write!(f, "bad parameter: {d}"),
+            FacilityError::BadSeries(d) => write!(f, "bad series: {d}"),
+            FacilityError::FeederOverload { detail } => write!(f, "feeder overload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FacilityError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, FacilityError>;

@@ -1,0 +1,222 @@
+//! Compute-node power model.
+//!
+//! Nodes have an idle floor, a full-load draw, and optional intermediate
+//! DVFS states. The paper's cited response strategies — power capping and
+//! shutdown — act through exactly these levers: capping forces nodes into
+//! lower states; shutdown removes the idle floor.
+
+use crate::{FacilityError, Result};
+use hpcgrid_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// Power model of a single compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Draw when idle (powered on, no job).
+    pub idle: Power,
+    /// Draw at full load (highest DVFS state, 100 % utilization).
+    pub max: Power,
+    /// Available DVFS throttle levels as fractions of the idle→max span,
+    /// sorted ascending and ending at 1.0. `vec![1.0]` means no DVFS.
+    pub dvfs_levels: Vec<f64>,
+}
+
+impl NodeSpec {
+    /// Construct and validate a node spec.
+    pub fn new(idle: Power, max: Power, dvfs_levels: Vec<f64>) -> Result<NodeSpec> {
+        if idle < Power::ZERO || max < idle {
+            return Err(FacilityError::BadParameter(format!(
+                "need 0 <= idle <= max, got idle={idle}, max={max}"
+            )));
+        }
+        if dvfs_levels.is_empty() {
+            return Err(FacilityError::BadParameter(
+                "dvfs_levels must not be empty".into(),
+            ));
+        }
+        let mut last = 0.0;
+        for &l in &dvfs_levels {
+            if l <= last || l > 1.0 {
+                return Err(FacilityError::BadParameter(format!(
+                    "dvfs_levels must be strictly increasing in (0,1], got {dvfs_levels:?}"
+                )));
+            }
+            last = l;
+        }
+        if (last - 1.0).abs() > 1e-12 {
+            return Err(FacilityError::BadParameter(
+                "dvfs_levels must end at 1.0".into(),
+            ));
+        }
+        Ok(NodeSpec {
+            idle,
+            max,
+            dvfs_levels,
+        })
+    }
+
+    /// A stylized dual-socket HPC node: 120 W idle, 550 W peak, three DVFS
+    /// levels (60 %, 80 %, 100 %).
+    pub fn reference_hpc() -> NodeSpec {
+        NodeSpec::new(
+            Power::from_watts(120.0),
+            Power::from_watts(550.0),
+            vec![0.6, 0.8, 1.0],
+        )
+        .expect("reference spec is valid")
+    }
+
+    /// Power drawn running a job at DVFS level index `level` (clamped) and
+    /// computational intensity `intensity` in `[0, 1]`.
+    pub fn active_power(&self, level: usize, intensity: f64) -> Power {
+        let l = self.dvfs_levels[level.min(self.dvfs_levels.len() - 1)];
+        let span = self.max - self.idle;
+        self.idle + span * (l * intensity.clamp(0.0, 1.0))
+    }
+
+    /// The lowest DVFS level whose full-intensity draw fits under
+    /// `node_cap`, or `None` if even the lowest level exceeds it (the node
+    /// would have to be idled/shut down).
+    pub fn level_under_cap(&self, node_cap: Power) -> Option<usize> {
+        // Levels are ascending in power; pick the highest that fits. A small
+        // relative tolerance absorbs float noise from budget arithmetic.
+        let tol = 1.0 + 1e-9;
+        let mut chosen = None;
+        for (i, _) in self.dvfs_levels.iter().enumerate() {
+            if self.active_power(i, 1.0).as_kilowatts() <= node_cap.as_kilowatts() * tol {
+                chosen = Some(i);
+            }
+        }
+        chosen
+    }
+
+    /// Number of DVFS levels.
+    pub fn num_levels(&self) -> usize {
+        self.dvfs_levels.len()
+    }
+}
+
+/// A homogeneous fleet of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFleet {
+    /// Per-node power model.
+    pub spec: NodeSpec,
+    /// Number of nodes.
+    pub count: usize,
+}
+
+impl NodeFleet {
+    /// Construct a fleet.
+    pub fn new(spec: NodeSpec, count: usize) -> Result<NodeFleet> {
+        if count == 0 {
+            return Err(FacilityError::BadParameter(
+                "fleet must have at least one node".into(),
+            ));
+        }
+        Ok(NodeFleet { spec, count })
+    }
+
+    /// IT power with `busy` nodes at full load, the rest idle. `busy` is
+    /// clamped to the fleet size.
+    pub fn it_power(&self, busy: usize) -> Power {
+        let busy = busy.min(self.count);
+        let idle = self.count - busy;
+        self.spec.active_power(self.spec.num_levels() - 1, 1.0) * busy as f64
+            + self.spec.idle * idle as f64
+    }
+
+    /// IT power with `busy` nodes at full load, `off` nodes shut down, and
+    /// the rest idle.
+    pub fn it_power_with_shutdown(&self, busy: usize, off: usize) -> Power {
+        let busy = busy.min(self.count);
+        let off = off.min(self.count - busy);
+        let idle = self.count - busy - off;
+        self.spec.active_power(self.spec.num_levels() - 1, 1.0) * busy as f64
+            + self.spec.idle * idle as f64
+    }
+
+    /// Peak IT power (all nodes at full load).
+    pub fn peak_it_power(&self) -> Power {
+        self.it_power(self.count)
+    }
+
+    /// Idle-floor IT power (all nodes on, none busy).
+    pub fn idle_it_power(&self) -> Power {
+        self.it_power(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(NodeSpec::new(Power::from_watts(100.0), Power::from_watts(50.0), vec![1.0]).is_err());
+        assert!(NodeSpec::new(Power::from_watts(-1.0), Power::from_watts(50.0), vec![1.0]).is_err());
+        assert!(NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![]).is_err());
+        assert!(
+            NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![0.8, 0.8, 1.0])
+                .is_err()
+        );
+        assert!(
+            NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![0.5, 0.9]).is_err()
+        );
+        assert!(NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn active_power_interpolates() {
+        let spec = NodeSpec::reference_hpc();
+        let full = spec.active_power(2, 1.0);
+        assert!((full.as_watts() - 550.0).abs() < 1e-9);
+        let throttled = spec.active_power(0, 1.0);
+        // idle + 0.6 * (550-120) = 120 + 258 = 378 W.
+        assert!((throttled.as_watts() - 378.0).abs() < 1e-9);
+        let half_intensity = spec.active_power(2, 0.5);
+        assert!((half_intensity.as_watts() - 335.0).abs() < 1e-9);
+        // Out-of-range level clamps; out-of-range intensity clamps.
+        assert_eq!(spec.active_power(99, 1.0), full);
+        assert_eq!(spec.active_power(2, 7.0), full);
+    }
+
+    #[test]
+    fn level_under_cap_picks_highest_fitting() {
+        let spec = NodeSpec::reference_hpc();
+        // Full draw 550 W; level-1 draw 120+0.8*430=464 W; level-0 378 W.
+        assert_eq!(spec.level_under_cap(Power::from_watts(600.0)), Some(2));
+        assert_eq!(spec.level_under_cap(Power::from_watts(500.0)), Some(1));
+        assert_eq!(spec.level_under_cap(Power::from_watts(400.0)), Some(0));
+        assert_eq!(spec.level_under_cap(Power::from_watts(300.0)), None);
+    }
+
+    #[test]
+    fn fleet_power_accounting() {
+        let fleet = NodeFleet::new(NodeSpec::reference_hpc(), 1000).unwrap();
+        let idle = fleet.idle_it_power();
+        assert!((idle.as_kilowatts() - 120.0).abs() < 1e-9);
+        let peak = fleet.peak_it_power();
+        assert!((peak.as_kilowatts() - 550.0).abs() < 1e-9);
+        let half = fleet.it_power(500);
+        assert!((half.as_kilowatts() - (275.0 + 60.0)).abs() < 1e-9);
+        // Busy clamps to fleet size.
+        assert_eq!(fleet.it_power(2000), peak);
+    }
+
+    #[test]
+    fn shutdown_removes_idle_floor() {
+        let fleet = NodeFleet::new(NodeSpec::reference_hpc(), 100).unwrap();
+        let with_idle = fleet.it_power(50);
+        let with_shutdown = fleet.it_power_with_shutdown(50, 50);
+        assert!(with_shutdown < with_idle);
+        assert!((with_shutdown.as_kilowatts() - 0.5 * 55.0).abs() < 1e-9);
+        // off clamps so busy+off <= count.
+        let clamped = fleet.it_power_with_shutdown(80, 50);
+        assert!((clamped.as_kilowatts() - (0.8 * 550.0 / 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        assert!(NodeFleet::new(NodeSpec::reference_hpc(), 0).is_err());
+    }
+}

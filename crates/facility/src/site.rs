@@ -1,0 +1,269 @@
+//! Complete site specifications.
+//!
+//! A [`SiteSpec`] bundles the node fleet, cooling model, feeder bank, and
+//! non-IT base load of one supercomputing center, and converts an IT-load
+//! series (from the scheduler) into the facility load the ESP meters.
+
+use crate::cooling::CoolingModel;
+use crate::feeder::FeederBank;
+use crate::node::{NodeFleet, NodeSpec};
+use crate::{FacilityError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// Country of residence, as reported in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Country {
+    England,
+    Germany,
+    Switzerland,
+    UnitedStates,
+}
+
+/// Geographic region, the axis of the paper's US-vs-Europe comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Region {
+    UnitedStates,
+    Europe,
+}
+
+impl Country {
+    /// The region a country belongs to.
+    pub fn region(self) -> Region {
+        match self {
+            Country::UnitedStates => Region::UnitedStates,
+            _ => Region::Europe,
+        }
+    }
+}
+
+/// A complete supercomputing-center site specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Site name.
+    pub name: String,
+    /// Country of residence.
+    pub country: Country,
+    /// Number of compute nodes.
+    pub node_count: usize,
+    /// Per-node power model.
+    pub node_spec: NodeSpec,
+    /// PUE at full IT load.
+    pub pue_full: f64,
+    /// PUE at idle IT load.
+    pub pue_idle: f64,
+    /// Combined feeder rating (theoretical peak).
+    pub feeder_rating: Power,
+    /// Constant non-IT load (offices, labs, storage) behind the same meter.
+    pub office_load: Power,
+}
+
+impl SiteSpec {
+    /// Construct and validate a site. The argument list mirrors the spec's
+    /// fields one-to-one, which is clearer here than a builder would be.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        country: Country,
+        node_count: usize,
+        node_spec: NodeSpec,
+        pue_full: f64,
+        pue_idle: f64,
+        feeder_rating: Power,
+        office_load: Power,
+    ) -> Result<SiteSpec> {
+        let site = SiteSpec {
+            name: name.into(),
+            country,
+            node_count,
+            node_spec,
+            pue_full,
+            pue_idle,
+            feeder_rating,
+            office_load,
+        };
+        // Validate by constructing the component models.
+        let fleet = site.fleet()?;
+        site.cooling_for(&fleet)?;
+        site.feeders()?;
+        if office_load < Power::ZERO {
+            return Err(FacilityError::BadParameter(
+                "office load must be non-negative".into(),
+            ));
+        }
+        if site.peak_facility_power() > feeder_rating {
+            return Err(FacilityError::BadParameter(format!(
+                "site '{}' peak facility power {} exceeds feeder rating {}",
+                site.name,
+                site.peak_facility_power(),
+                feeder_rating
+            )));
+        }
+        Ok(site)
+    }
+
+    /// The node fleet.
+    pub fn fleet(&self) -> Result<NodeFleet> {
+        NodeFleet::new(self.node_spec.clone(), self.node_count)
+    }
+
+    fn cooling_for(&self, fleet: &NodeFleet) -> Result<CoolingModel> {
+        CoolingModel::new(self.pue_full, self.pue_idle, fleet.peak_it_power())
+    }
+
+    /// The cooling model.
+    pub fn cooling(&self) -> Result<CoolingModel> {
+        let fleet = self.fleet()?;
+        self.cooling_for(&fleet)
+    }
+
+    /// The feeder bank.
+    pub fn feeders(&self) -> Result<FeederBank> {
+        FeederBank::single(self.feeder_rating)
+    }
+
+    /// Region of the site.
+    pub fn region(&self) -> Region {
+        self.country.region()
+    }
+
+    /// Peak IT power (all nodes flat out).
+    pub fn peak_it_power(&self) -> Power {
+        self.node_spec
+            .active_power(self.node_spec.num_levels() - 1, 1.0)
+            * self.node_count as f64
+    }
+
+    /// Peak facility power: peak IT × full-load PUE + office load.
+    pub fn peak_facility_power(&self) -> Power {
+        self.peak_it_power() * self.pue_full + self.office_load
+    }
+
+    /// Facility idle floor: idle IT × idle PUE + office load.
+    pub fn idle_facility_power(&self) -> Power {
+        let idle_it = self.node_spec.idle * self.node_count as f64;
+        idle_it * self.pue_idle + self.office_load
+    }
+
+    /// Convert an IT-load series to the metered facility-load series.
+    pub fn facility_load(&self, it_series: &PowerSeries) -> Result<PowerSeries> {
+        let cooling = self.cooling()?;
+        Ok(cooling.apply(it_series).map(|p| *p + self.office_load))
+    }
+
+    /// A reference flagship site: ~11.6 MW peak facility power
+    /// (the ">10 MW total electrical loads" anchor, §1).
+    pub fn reference_large() -> SiteSpec {
+        SiteSpec::new(
+            "reference-large",
+            Country::UnitedStates,
+            18_000,
+            NodeSpec::reference_hpc(),
+            1.1,
+            1.35,
+            Power::from_megawatts(15.0),
+            Power::from_kilowatts(500.0),
+        )
+        .expect("reference is valid")
+    }
+
+    /// A reference small site: ~45 kW peak facility power (the low end of
+    /// the Top500 span quoted in §1).
+    pub fn reference_small() -> SiteSpec {
+        SiteSpec::new(
+            "reference-small",
+            Country::Germany,
+            64,
+            NodeSpec::reference_hpc(),
+            1.2,
+            1.5,
+            Power::from_kilowatts(80.0),
+            Power::from_kilowatts(5.0),
+        )
+        .expect("reference is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sites_hit_paper_anchors() {
+        let large = SiteSpec::reference_large();
+        assert!(large.peak_facility_power() > Power::from_megawatts(10.0));
+        let small = SiteSpec::reference_small();
+        assert!(small.peak_facility_power() < Power::from_kilowatts(60.0));
+        assert!(small.peak_facility_power() > Power::from_kilowatts(30.0));
+    }
+
+    #[test]
+    fn region_mapping() {
+        assert_eq!(Country::UnitedStates.region(), Region::UnitedStates);
+        assert_eq!(Country::Germany.region(), Region::Europe);
+        assert_eq!(Country::England.region(), Region::Europe);
+        assert_eq!(Country::Switzerland.region(), Region::Europe);
+        assert_eq!(SiteSpec::reference_small().region(), Region::Europe);
+    }
+
+    #[test]
+    fn facility_exceeding_feeder_rejected() {
+        let r = SiteSpec::new(
+            "overbuilt",
+            Country::UnitedStates,
+            18_000,
+            NodeSpec::reference_hpc(),
+            1.1,
+            1.35,
+            Power::from_megawatts(5.0), // too small a feeder
+            Power::ZERO,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn negative_office_load_rejected() {
+        let r = SiteSpec::new(
+            "bad",
+            Country::Germany,
+            64,
+            NodeSpec::reference_hpc(),
+            1.2,
+            1.5,
+            Power::from_megawatts(1.0),
+            Power::from_kilowatts(-1.0),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn facility_load_applies_pue_and_office() {
+        use hpcgrid_timeseries::series::Series;
+        use hpcgrid_units::{Duration, SimTime};
+        let site = SiteSpec::reference_small();
+        let fleet = site.fleet().unwrap();
+        let it = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            fleet.peak_it_power(),
+            3,
+        )
+        .unwrap();
+        let fac = site.facility_load(&it).unwrap();
+        let expected = fleet.peak_it_power() * 1.2 + Power::from_kilowatts(5.0);
+        for v in fac.values() {
+            assert!((v.as_kilowatts() - expected.as_kilowatts()).abs() < 1e-9);
+        }
+        assert!(fac.peak().unwrap() <= site.feeder_rating);
+    }
+
+    #[test]
+    fn idle_floor_below_peak() {
+        let site = SiteSpec::reference_large();
+        assert!(site.idle_facility_power() < site.peak_facility_power());
+        assert!(site.idle_facility_power() > site.office_load);
+    }
+}

@@ -1,0 +1,275 @@
+//! Battery / UPS energy storage.
+//!
+//! The survey's question 5 asks whether sites see a *tighter* future
+//! relationship with their ESP, "for example by selling local generation
+//! capacity". Behind most such offers sits storage: a battery can shave the
+//! demand-charge peak, arbitrage a dynamic tariff, or ride through an
+//! emergency-DR event without touching the compute load. This module models
+//! a simple but honest battery: energy capacity, power limits, round-trip
+//! efficiency, and a state-of-charge simulation over a load series.
+
+use crate::{FacilityError, Result};
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Duration, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// A battery energy-storage system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Usable energy capacity.
+    pub capacity: Energy,
+    /// Maximum charge power (grid → battery).
+    pub max_charge: Power,
+    /// Maximum discharge power (battery → load).
+    pub max_discharge: Power,
+    /// Round-trip efficiency in `(0, 1]` (applied on charge).
+    pub round_trip_efficiency: f64,
+}
+
+impl Battery {
+    /// Construct and validate.
+    pub fn new(
+        capacity: Energy,
+        max_charge: Power,
+        max_discharge: Power,
+        round_trip_efficiency: f64,
+    ) -> Result<Battery> {
+        if capacity <= Energy::ZERO {
+            return Err(FacilityError::BadParameter(
+                "battery capacity must be positive".into(),
+            ));
+        }
+        if max_charge <= Power::ZERO || max_discharge <= Power::ZERO {
+            return Err(FacilityError::BadParameter(
+                "battery power limits must be positive".into(),
+            ));
+        }
+        if !(0.0 < round_trip_efficiency && round_trip_efficiency <= 1.0) {
+            return Err(FacilityError::BadParameter(format!(
+                "round-trip efficiency must be in (0,1], got {round_trip_efficiency}"
+            )));
+        }
+        Ok(Battery {
+            capacity,
+            max_charge,
+            max_discharge,
+            round_trip_efficiency,
+        })
+    }
+
+    /// A stylized 2 MWh / 1 MW lithium system at 90 % round-trip efficiency.
+    pub fn reference() -> Battery {
+        Battery::new(
+            Energy::from_megawatt_hours(2.0),
+            Power::from_megawatts(1.0),
+            Power::from_megawatts(1.0),
+            0.90,
+        )
+        .expect("reference battery is valid")
+    }
+
+    /// Time to fully charge from empty at the maximum rate (ignoring
+    /// efficiency).
+    pub fn full_charge_time(&self) -> Duration {
+        Duration::from_hours(self.capacity.as_kilowatt_hours() / self.max_charge.as_kilowatts())
+    }
+}
+
+/// A per-interval battery command: positive = discharge (reduce grid draw),
+/// negative = charge (increase grid draw).
+pub type DispatchPlan = Vec<Power>;
+
+/// The result of running a battery plan against a load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageOutcome {
+    /// Grid draw after the battery acts (never negative: no grid export in
+    /// this model).
+    pub net_load: PowerSeries,
+    /// State of charge at the end of each interval.
+    pub soc: Vec<Energy>,
+    /// Energy lost to conversion inefficiency.
+    pub losses: Energy,
+}
+
+impl Battery {
+    /// Simulate a dispatch plan against a load.
+    ///
+    /// Commands are clipped to the battery's power limits, the available
+    /// state of charge, and the load itself (discharge can only offset
+    /// consumption, not export). Charging pays the efficiency penalty:
+    /// drawing `p` from the grid stores `p · η`.
+    pub fn simulate(
+        &self,
+        load: &PowerSeries,
+        plan: &DispatchPlan,
+        initial_soc: Energy,
+    ) -> Result<StorageOutcome> {
+        if plan.len() != load.len() {
+            return Err(FacilityError::BadSeries(format!(
+                "plan has {} intervals, load has {}",
+                plan.len(),
+                load.len()
+            )));
+        }
+        let step_h = load.step().as_hours();
+        let mut soc = initial_soc.min(self.capacity).max(Energy::ZERO);
+        let mut socs = Vec::with_capacity(load.len());
+        let mut net = Vec::with_capacity(load.len());
+        let mut losses = Energy::ZERO;
+        for (i, &l) in load.values().iter().enumerate() {
+            let cmd = plan[i];
+            if cmd >= Power::ZERO {
+                // Discharge: limited by rate, SoC, and the load itself.
+                let by_rate = cmd.min(self.max_discharge);
+                let by_soc = Power::from_kilowatts(soc.as_kilowatt_hours() / step_h);
+                let p = by_rate.min(by_soc).min(l);
+                soc -= p * load.step();
+                net.push(l - p);
+            } else {
+                // Charge: limited by rate and remaining headroom (post-
+                // efficiency).
+                let want = (-cmd).min(self.max_charge);
+                let headroom = self.capacity - soc;
+                let by_room = Power::from_kilowatts(
+                    headroom.as_kilowatt_hours() / (step_h * self.round_trip_efficiency),
+                );
+                let p = want.min(by_room);
+                let stored = p * load.step() * self.round_trip_efficiency;
+                losses += p * load.step() - stored;
+                soc += stored;
+                net.push(l + p);
+            }
+            socs.push(soc);
+        }
+        Ok(StorageOutcome {
+            net_load: Series::new(load.start(), load.step(), net)
+                .map_err(|e| FacilityError::BadSeries(e.to_string()))?,
+            soc: socs,
+            losses,
+        })
+    }
+
+    /// Greedy peak-shaving plan: discharge whenever the load exceeds
+    /// `threshold`, recharge whenever it is below `recharge_below`.
+    pub fn peak_shave_plan(
+        &self,
+        load: &PowerSeries,
+        threshold: Power,
+        recharge_below: Power,
+    ) -> DispatchPlan {
+        load.values()
+            .iter()
+            .map(|&l| {
+                if l > threshold {
+                    (l - threshold).min(self.max_discharge)
+                } else if l < recharge_below {
+                    -(recharge_below - l).min(self.max_charge)
+                } else {
+                    Power::ZERO
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::SimTime;
+
+    fn load(mw: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Battery::new(Energy::ZERO, Power::from_megawatts(1.0), Power::from_megawatts(1.0), 0.9).is_err());
+        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::ZERO, Power::from_megawatts(1.0), 0.9).is_err());
+        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::from_megawatts(1.0), Power::from_megawatts(1.0), 0.0).is_err());
+        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::from_megawatts(1.0), Power::from_megawatts(1.0), 1.1).is_err());
+    }
+
+    #[test]
+    fn full_charge_time() {
+        let b = Battery::reference();
+        assert_eq!(b.full_charge_time(), Duration::from_hours(2.0));
+    }
+
+    #[test]
+    fn discharge_reduces_grid_draw_until_empty() {
+        let b = Battery::reference();
+        let l = load(vec![5.0, 5.0, 5.0, 5.0]);
+        // Ask for max discharge every hour starting from full (2 MWh).
+        let plan: DispatchPlan = vec![Power::from_megawatts(1.0); 4];
+        let out = b.simulate(&l, &plan, b.capacity).unwrap();
+        // Hours 0–1 discharge 1 MW each; then empty.
+        assert_eq!(out.net_load.values()[0].as_megawatts(), 4.0);
+        assert_eq!(out.net_load.values()[1].as_megawatts(), 4.0);
+        assert_eq!(out.net_load.values()[2].as_megawatts(), 5.0);
+        assert_eq!(out.soc[1], Energy::ZERO);
+        assert_eq!(out.losses, Energy::ZERO); // losses only on charge
+    }
+
+    #[test]
+    fn charge_pays_efficiency_and_respects_capacity() {
+        let b = Battery::reference();
+        let l = load(vec![5.0, 5.0, 5.0]);
+        let plan: DispatchPlan = vec![Power::from_megawatts(-1.0); 3];
+        let out = b.simulate(&l, &plan, Energy::ZERO).unwrap();
+        // Hour 0: draw 1 MW extra, store 0.9 MWh.
+        assert_eq!(out.net_load.values()[0].as_megawatts(), 6.0);
+        assert!((out.soc[0].as_megawatt_hours() - 0.9).abs() < 1e-9);
+        // Fills at 2.0 MWh; by hour 3 it caps out and draws less.
+        assert!(out.soc[2] <= b.capacity + Energy::from_kilowatt_hours(1e-9));
+        assert!(out.losses > Energy::ZERO);
+    }
+
+    #[test]
+    fn discharge_never_exports() {
+        let b = Battery::reference();
+        let l = load(vec![0.3]);
+        let plan: DispatchPlan = vec![Power::from_megawatts(1.0)];
+        let out = b.simulate(&l, &plan, b.capacity).unwrap();
+        assert_eq!(out.net_load.values()[0], Power::ZERO);
+    }
+
+    #[test]
+    fn peak_shave_plan_caps_peak() {
+        let b = Battery::reference();
+        let l = load(vec![3.0, 6.0, 3.0, 6.0, 3.0]);
+        let plan = b.peak_shave_plan(&l, Power::from_megawatts(5.0), Power::from_megawatts(4.0));
+        let out = b.simulate(&l, &plan, b.capacity).unwrap();
+        let peak = out.net_load.peak().unwrap();
+        assert!(peak <= Power::from_megawatts(5.0));
+        // Recharges during the troughs (draw rises above 3 MW there).
+        assert!(out.net_load.values()[2] > l.values()[2]);
+    }
+
+    #[test]
+    fn plan_length_mismatch_rejected() {
+        let b = Battery::reference();
+        let l = load(vec![1.0, 2.0]);
+        assert!(b.simulate(&l, &vec![Power::ZERO], Energy::ZERO).is_err());
+    }
+
+    #[test]
+    fn energy_conservation() {
+        // Grid energy in == load energy + losses + ΔSoC (+ unserved none).
+        let b = Battery::reference();
+        let l = load(vec![2.0, 5.0, 2.0, 5.0]);
+        let plan = b.peak_shave_plan(&l, Power::from_megawatts(4.0), Power::from_megawatts(3.0));
+        let initial = Energy::from_megawatt_hours(1.0);
+        let out = b.simulate(&l, &plan, initial).unwrap();
+        let grid_in = out.net_load.total_energy();
+        let load_served = l.total_energy();
+        let delta_soc = *out.soc.last().unwrap() - initial;
+        let balance = grid_in.as_kilowatt_hours()
+            - (load_served + delta_soc + out.losses).as_kilowatt_hours();
+        assert!(balance.abs() < 1e-6, "energy imbalance {balance} kWh");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the facility substrate (DESIGN.md §5).
+
+use hpcgrid_facility::capping::{CapActuator, CapStrategy};
+use hpcgrid_facility::cooling::CoolingModel;
+use hpcgrid_facility::node::{NodeFleet, NodeSpec};
+use hpcgrid_facility::storage::Battery;
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Duration, Energy, Power, SimTime};
+use proptest::prelude::*;
+
+fn node_spec() -> impl Strategy<Value = NodeSpec> {
+    (50.0f64..200.0, 250.0f64..800.0).prop_map(|(idle_w, max_w)| {
+        NodeSpec::new(
+            Power::from_watts(idle_w),
+            Power::from_watts(idle_w + max_w),
+            vec![0.6, 0.8, 1.0],
+        )
+        .unwrap()
+    })
+}
+
+fn load_series() -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(0.0f64..8_000.0, 1..100).prop_map(|kw| {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            kw.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    /// Fleet power is monotone in busy nodes and bounded by idle/peak.
+    #[test]
+    fn fleet_power_monotone(spec in node_spec(), count in 1usize..2000) {
+        let fleet = NodeFleet::new(spec, count).unwrap();
+        let idle = fleet.idle_it_power();
+        let peak = fleet.peak_it_power();
+        prop_assert!(idle <= peak);
+        let mut last = Power::ZERO;
+        for busy in [0, count / 4, count / 2, count] {
+            let p = fleet.it_power(busy);
+            prop_assert!(p >= last);
+            prop_assert!(p >= idle - Power::from_watts(1e-6));
+            prop_assert!(p <= peak + Power::from_watts(1e-6));
+            last = p;
+        }
+    }
+
+    /// Cooling: facility power ≥ IT power, PUE within [pue_full, pue_idle].
+    #[test]
+    fn cooling_bounds(it_kw in 0.0f64..10_000.0, pue_full in 1.0f64..1.5, extra in 0.0f64..0.8) {
+        let peak = Power::from_kilowatts(10_000.0);
+        let m = CoolingModel::new(pue_full, pue_full + extra, peak).unwrap();
+        let it = Power::from_kilowatts(it_kw);
+        let f = m.facility_power(it);
+        prop_assert!(f >= it - Power::from_watts(1e-6));
+        let pue = m.pue_at(it);
+        prop_assert!(pue >= pue_full - 1e-12);
+        prop_assert!(pue <= pue_full + extra + 1e-12);
+    }
+
+    /// Cap decisions never exceed the IT budget implied by the cap.
+    #[test]
+    fn cap_decisions_respect_budget(spec in node_spec(), count in 10usize..1500, cap_frac in 0.2f64..1.2) {
+        let fleet = NodeFleet::new(spec, count).unwrap();
+        let peak_it = fleet.peak_it_power();
+        let cooling = CoolingModel::new(1.1, 1.4, peak_it).unwrap();
+        let actuator = CapActuator::new(fleet, cooling, CapStrategy::DvfsThenLimit);
+        let cap = actuator.cooling.facility_power(peak_it) * cap_frac;
+        if let Ok(d) = actuator.decide(cap) {
+            let budget = actuator.it_budget(cap);
+            prop_assert!(
+                d.it_power <= budget * (1.0 + 1e-9) + Power::from_watts(1.0),
+                "decision {} exceeds budget {}",
+                d.it_power,
+                budget
+            );
+            prop_assert!(d.max_busy_nodes <= actuator.fleet.count);
+        }
+    }
+
+    /// Battery simulation conserves energy for arbitrary plans:
+    /// grid-in == load-served + losses + ΔSoC.
+    #[test]
+    fn battery_energy_conservation(
+        load in load_series(),
+        plan_kw in prop::collection::vec(-800.0f64..800.0, 1..100),
+        initial_frac in 0.0f64..1.0
+    ) {
+        let battery = Battery::reference();
+        let n = load.len();
+        let plan: Vec<Power> = plan_kw
+            .iter()
+            .cycle()
+            .take(n)
+            .map(|kw| Power::from_kilowatts(*kw))
+            .collect();
+        let initial = battery.capacity * initial_frac;
+        let out = battery.simulate(&load, &plan, initial).unwrap();
+        let grid_in = out.net_load.total_energy();
+        let served = load.total_energy();
+        let delta = *out.soc.last().unwrap() - initial;
+        let balance = grid_in.as_kilowatt_hours()
+            - (served + delta + out.losses).as_kilowatt_hours();
+        prop_assert!(balance.abs() < 1e-6, "imbalance {balance} kWh");
+        // SoC always within bounds; net load never negative.
+        for soc in &out.soc {
+            prop_assert!(*soc >= Energy::ZERO - Energy::from_kilowatt_hours(1e-9));
+            prop_assert!(*soc <= battery.capacity + Energy::from_kilowatt_hours(1e-9));
+        }
+        for v in out.net_load.values() {
+            prop_assert!(*v >= Power::ZERO);
+        }
+    }
+
+    /// Peak-shave plans never raise the peak above max(threshold, original
+    /// trough-recharge level).
+    #[test]
+    fn peak_shave_never_raises_peak_above_recharge_band(load in load_series()) {
+        let battery = Battery::reference();
+        let peak = load.peak().unwrap();
+        let threshold = peak * 0.8;
+        let recharge = peak * 0.5;
+        prop_assume!(recharge < threshold);
+        let plan = battery.peak_shave_plan(&load, threshold, recharge);
+        let out = battery.simulate(&load, &plan, battery.capacity).unwrap();
+        // Charging only happens below `recharge`, bounded by max_charge; so
+        // the new peak cannot exceed max(original peak, recharge + max_charge).
+        let bound = peak.max(recharge + battery.max_charge);
+        prop_assert!(out.net_load.peak().unwrap() <= bound + Power::from_watts(1.0));
+    }
+}

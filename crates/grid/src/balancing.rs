@@ -1,0 +1,160 @@
+//! Imbalance settlement between a scheduled and an actual load.
+//!
+//! §3.4 of the paper describes "good neighbor" SCs that phone their ESP
+//! ahead of maintenance periods and benchmark runs so the ESP can adjust its
+//! schedule. The economic value of that courtesy is the avoided *imbalance
+//! cost*: deviations between the load the ESP planned for and the load that
+//! materialized must be covered by balancing energy at a premium. This
+//! module prices those deviations.
+
+use crate::{GridError, Result};
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::{Energy, EnergyPrice, Money, Power};
+use serde::{Deserialize, Serialize};
+
+/// Imbalance pricing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalancePricing {
+    /// Premium paid on energy consumed above schedule ($/kWh).
+    pub shortfall_price: EnergyPrice,
+    /// Premium paid on energy consumed below schedule ($/kWh) — the ESP has
+    /// procured energy it must now sell back at a loss.
+    pub surplus_price: EnergyPrice,
+    /// Deadband: deviations within this band (kW) are not settled.
+    pub deadband: Power,
+}
+
+impl Default for ImbalancePricing {
+    fn default() -> Self {
+        ImbalancePricing {
+            shortfall_price: EnergyPrice::per_megawatt_hour(60.0),
+            surplus_price: EnergyPrice::per_megawatt_hour(25.0),
+            deadband: Power::ZERO,
+        }
+    }
+}
+
+/// Settlement of one schedule-vs-actual comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceSettlement {
+    /// Energy consumed above schedule (outside the deadband).
+    pub over_energy: Energy,
+    /// Energy consumed below schedule (outside the deadband).
+    pub under_energy: Energy,
+    /// Cost charged for over-consumption.
+    pub over_cost: Money,
+    /// Cost charged for under-consumption.
+    pub under_cost: Money,
+}
+
+impl ImbalanceSettlement {
+    /// Total imbalance cost.
+    pub fn total(&self) -> Money {
+        self.over_cost + self.under_cost
+    }
+}
+
+/// Settle an actual load series against a scheduled series.
+pub fn settle(
+    scheduled: &PowerSeries,
+    actual: &PowerSeries,
+    pricing: &ImbalancePricing,
+) -> Result<ImbalanceSettlement> {
+    scheduled
+        .check_aligned(actual)
+        .map_err(|e| GridError::BadSeries(e.to_string()))?;
+    let step_h = scheduled.step().as_hours();
+    let mut over_kwh = 0.0f64;
+    let mut under_kwh = 0.0f64;
+    for (s, a) in scheduled.values().iter().zip(actual.values()) {
+        let dev = *a - *s;
+        if dev > pricing.deadband {
+            over_kwh += (dev - pricing.deadband).as_kilowatts() * step_h;
+        } else if -dev > pricing.deadband {
+            under_kwh += ((-dev) - pricing.deadband).as_kilowatts() * step_h;
+        }
+    }
+    let over_energy = Energy::from_kilowatt_hours(over_kwh);
+    let under_energy = Energy::from_kilowatt_hours(under_kwh);
+    Ok(ImbalanceSettlement {
+        over_energy,
+        under_energy,
+        over_cost: over_energy * pricing.shortfall_price,
+        under_cost: under_energy * pricing.surplus_price,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{Duration, SimTime};
+
+    fn mk(values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            values.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_schedule_costs_nothing() {
+        let s = mk(vec![10.0, 12.0, 8.0]);
+        let settlement = settle(&s, &s.clone(), &ImbalancePricing::default()).unwrap();
+        assert_eq!(settlement.total(), Money::ZERO);
+        assert_eq!(settlement.over_energy, Energy::ZERO);
+        assert_eq!(settlement.under_energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn over_and_under_are_priced_separately() {
+        let scheduled = mk(vec![10.0, 10.0]);
+        let actual = mk(vec![12.0, 7.0]); // +2 MWh over, 3 MWh under
+        let p = ImbalancePricing::default();
+        let st = settle(&scheduled, &actual, &p).unwrap();
+        assert!((st.over_energy.as_megawatt_hours() - 2.0).abs() < 1e-9);
+        assert!((st.under_energy.as_megawatt_hours() - 3.0).abs() < 1e-9);
+        assert!((st.over_cost.as_dollars() - 2.0 * 60.0).abs() < 1e-6);
+        assert!((st.under_cost.as_dollars() - 3.0 * 25.0).abs() < 1e-6);
+        assert!((st.total().as_dollars() - 195.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadband_forgives_small_deviations() {
+        let scheduled = mk(vec![10.0, 10.0]);
+        let actual = mk(vec![10.4, 9.6]);
+        let p = ImbalancePricing {
+            deadband: Power::from_megawatts(0.5),
+            ..Default::default()
+        };
+        let st = settle(&scheduled, &actual, &p).unwrap();
+        assert_eq!(st.total(), Money::ZERO);
+        // Only the excess beyond the deadband is settled.
+        let actual2 = mk(vec![11.0, 10.0]);
+        let st2 = settle(&scheduled, &actual2, &p).unwrap();
+        assert!((st2.over_energy.as_megawatt_hours() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misaligned_series_rejected() {
+        let scheduled = mk(vec![10.0, 10.0]);
+        let actual = mk(vec![10.0]);
+        assert!(settle(&scheduled, &actual, &ImbalancePricing::default()).is_err());
+    }
+
+    #[test]
+    fn sharing_forecast_reduces_cost() {
+        // A maintenance dip the ESP was not told about...
+        let flat_schedule = mk(vec![10.0, 10.0, 10.0, 10.0]);
+        let actual = mk(vec![10.0, 2.0, 2.0, 10.0]);
+        let p = ImbalancePricing::default();
+        let uninformed = settle(&flat_schedule, &actual, &p).unwrap();
+        // ...versus a schedule updated after the "good neighbor" phone call.
+        let informed_schedule = mk(vec![10.0, 2.0, 2.0, 10.0]);
+        let informed = settle(&informed_schedule, &actual, &p).unwrap();
+        assert!(uninformed.total() > informed.total());
+        assert_eq!(informed.total(), Money::ZERO);
+    }
+}

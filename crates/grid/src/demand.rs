@@ -1,0 +1,202 @@
+//! System (balancing-area) demand model.
+//!
+//! A stylized regional demand curve with the structure wholesale prices
+//! inherit: a morning/evening double hump, lower weekends, a summer-peaking
+//! seasonal swing (air conditioning), and AR(1) weather noise. The paper's
+//! framing — "increases in peak electricity demands ... present new
+//! challenges" (§1) — is exercised by sweeping `peak` and adding SC loads
+//! on top of this baseline.
+
+use crate::{GridError, Result};
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Calendar, Duration, Power, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Parameters of the regional demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandParams {
+    /// Annual peak demand (the design point of the system).
+    pub peak: Power,
+    /// Base (overnight minimum) as a fraction of peak, in `(0, 1]`.
+    pub base_fraction: f64,
+    /// Weekend demand reduction as a fraction of the diurnal swing, `[0, 1]`.
+    pub weekend_dip: f64,
+    /// Amplitude of the seasonal swing as a fraction of peak, `[0, 1)`.
+    pub seasonal_amplitude: f64,
+    /// AR(1) persistence of weather noise, `[0, 1)`.
+    pub noise_persistence: f64,
+    /// Noise std-dev as a fraction of peak.
+    pub noise_scale: f64,
+}
+
+impl Default for DemandParams {
+    fn default() -> Self {
+        DemandParams {
+            peak: Power::from_megawatts(3_000.0),
+            base_fraction: 0.55,
+            weekend_dip: 0.25,
+            seasonal_amplitude: 0.12,
+            noise_persistence: 0.9,
+            noise_scale: 0.02,
+        }
+    }
+}
+
+/// Normalized diurnal shape in `[0, 1]`: double-hump weekday curve with a
+/// morning ramp, midday plateau, evening peak, and overnight trough.
+pub fn diurnal_shape(hour: f64) -> f64 {
+    // Sum of two Gaussians (09:00 and 19:00 peaks) over a base.
+    let g = |h0: f64, w: f64| (-((hour - h0) / w).powi(2)).exp();
+    let shape = 0.15 + 0.55 * g(9.0, 3.5) + 0.75 * g(19.0, 3.0);
+    shape.min(1.0)
+}
+
+/// Generate the regional demand series.
+pub fn demand_series(
+    params: &DemandParams,
+    cal: &Calendar,
+    start: SimTime,
+    step: Duration,
+    n: usize,
+    seed: u64,
+) -> Result<PowerSeries> {
+    if params.base_fraction <= 0.0 || params.base_fraction > 1.0 {
+        return Err(GridError::BadParameter(
+            "base_fraction must be in (0,1]".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&params.noise_persistence) {
+        return Err(GridError::BadParameter(
+            "noise_persistence must be in [0,1)".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&params.seasonal_amplitude) {
+        return Err(GridError::BadParameter(
+            "seasonal_amplitude must be in [0,1)".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE_A1D);
+    let base = params.peak * params.base_fraction;
+    let swing = params.peak - base;
+    let mut noise = 0.0f64;
+    let values = (0..n)
+        .map(|i| {
+            let t = start + step * i as u64;
+            let hour = (t.as_secs() % 86_400) as f64 / 3_600.0;
+            let mut d = diurnal_shape(hour);
+            if cal.weekday(t).is_weekend() {
+                d *= 1.0 - params.weekend_dip;
+            }
+            // Summer-peaking seasonality (max near day 200).
+            let doy = cal.day_of_year(t) as f64;
+            let season = 1.0 + params.seasonal_amplitude * ((doy - 200.0) / 365.0 * 2.0 * PI).cos();
+            let innov: f64 = rng.gen_range(-1.0..1.0) * params.noise_scale;
+            noise = params.noise_persistence * noise + innov;
+            let level = (base + swing * d) * season * (1.0 + noise);
+            level.max(Power::ZERO)
+        })
+        .collect();
+    Series::new(start, step, values).map_err(|e| GridError::BadSeries(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_shape_has_double_hump() {
+        let night = diurnal_shape(3.0);
+        let morning = diurnal_shape(9.0);
+        let midday = diurnal_shape(14.0);
+        let evening = diurnal_shape(19.0);
+        assert!(morning > night);
+        assert!(evening > midday);
+        assert!(evening > morning); // evening system peak
+        assert!((0.0..=1.0).contains(&night));
+    }
+
+    #[test]
+    fn demand_is_positive_and_near_peak_scale() {
+        let p = DemandParams::default();
+        let s = demand_series(
+            &p,
+            &Calendar::default(),
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            24 * 365,
+            11,
+        )
+        .unwrap();
+        let st = hpcgrid_timeseries::stats::load_stats(&s).unwrap();
+        assert!(st.trough > Power::ZERO);
+        // The annual max should be within ~25 % of the design peak.
+        assert!(st.peak.as_megawatts() > p.peak.as_megawatts() * 0.75);
+        assert!(st.peak.as_megawatts() < p.peak.as_megawatts() * 1.35);
+    }
+
+    #[test]
+    fn weekend_demand_lower_on_average() {
+        let p = DemandParams::default();
+        let cal = Calendar::default();
+        let s = demand_series(
+            &p,
+            &cal,
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            24 * 28,
+            3,
+        )
+        .unwrap();
+        let (mut wk, mut wkn, mut we, mut wen) = (0.0, 0, 0.0, 0);
+        for (t, v) in s.iter() {
+            if cal.weekday(t).is_weekend() {
+                we += v.as_megawatts();
+                wen += 1;
+            } else {
+                wk += v.as_megawatts();
+                wkn += 1;
+            }
+        }
+        assert!(we / (wen as f64) < wk / (wkn as f64));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = DemandParams::default();
+        let cal = Calendar::default();
+        let mk = |seed| {
+            demand_series(&p, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 48, seed).unwrap()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let cal = Calendar::default();
+        let p = DemandParams {
+            base_fraction: 0.0,
+            ..Default::default()
+        };
+        assert!(
+            demand_series(&p, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
+        );
+        let p2 = DemandParams {
+            noise_persistence: 1.0,
+            ..Default::default()
+        };
+        assert!(
+            demand_series(&p2, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
+        );
+        let p3 = DemandParams {
+            seasonal_amplitude: 1.0,
+            ..Default::default()
+        };
+        assert!(
+            demand_series(&p3, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
+        );
+    }
+}

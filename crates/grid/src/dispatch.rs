@@ -1,0 +1,281 @@
+//! Merit-order dispatch and real-time price formation.
+//!
+//! The "dynamically variable tariff" leaf of the paper's typology (§3.2.1)
+//! exposes consumers to a real-time market price. This module produces that
+//! price: renewables serve demand first (zero marginal cost), the
+//! dispatchable fleet is stacked in merit order, and the clearing price is
+//! the marginal unit's cost — or an administrative scarcity price when
+//! demand exceeds available capacity.
+
+use crate::generation::GeneratorFleet;
+use crate::{GridError, Result};
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
+use hpcgrid_units::{Energy, EnergyPrice, Power, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// A merit-order energy market over a generation fleet.
+#[derive(Debug, Clone)]
+pub struct MeritOrderMarket {
+    fleet: GeneratorFleet,
+    /// Administrative price cap applied when load cannot be served
+    /// (value-of-lost-load proxy).
+    pub scarcity_price: EnergyPrice,
+}
+
+/// The result of clearing a single interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clearing {
+    /// Clearing price for the interval.
+    pub price: EnergyPrice,
+    /// Demand served by dispatchable units.
+    pub dispatched: Power,
+    /// Demand served by renewables.
+    pub renewable_served: Power,
+    /// Unserved demand (zero unless scarcity).
+    pub unserved: Power,
+    /// Remaining available dispatchable capacity (reserve).
+    pub reserve: Power,
+}
+
+/// Aggregate outcome of dispatching a whole horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchOutcome {
+    /// Per-interval clearing prices (the dynamic-tariff strip).
+    pub prices: PriceSeries,
+    /// Per-interval reserve capacity.
+    pub reserve: PowerSeries,
+    /// Per-interval unserved demand.
+    pub unserved: PowerSeries,
+    /// Energy served by renewables over the horizon.
+    pub renewable_energy: Energy,
+    /// Total energy demanded over the horizon.
+    pub total_energy: Energy,
+}
+
+impl DispatchOutcome {
+    /// Share of demanded energy served by renewables.
+    pub fn renewable_share(&self) -> Ratio {
+        if self.total_energy.as_kilowatt_hours() <= 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::from_fraction(self.renewable_energy / self.total_energy)
+    }
+
+    /// Total unserved energy (scarcity) over the horizon.
+    pub fn unserved_energy(&self) -> Energy {
+        self.unserved.total_energy()
+    }
+}
+
+impl MeritOrderMarket {
+    /// Create a market over `fleet` with a default 1 $/kWh scarcity price
+    /// (a stylized value-of-lost-load).
+    pub fn new(fleet: GeneratorFleet) -> MeritOrderMarket {
+        MeritOrderMarket {
+            fleet,
+            scarcity_price: EnergyPrice::per_kilowatt_hour(1.0),
+        }
+    }
+
+    /// The underlying fleet.
+    pub fn fleet(&self) -> &GeneratorFleet {
+        &self.fleet
+    }
+
+    /// Clear one interval for `demand` with `renewable` output available.
+    pub fn clear_interval(&self, demand: Power, renewable: Power) -> Clearing {
+        let renewable_served = demand.min(renewable).max(Power::ZERO);
+        let mut residual = demand.saturating_sub(renewable);
+        let mut dispatched = Power::ZERO;
+        // Renewables at the margin set a zero-ish floor price.
+        let mut price = EnergyPrice::ZERO;
+        for unit in self.fleet.units() {
+            if residual <= Power::ZERO {
+                break;
+            }
+            let take = residual.min(unit.available_capacity());
+            if take > Power::ZERO {
+                dispatched += take;
+                residual = residual.saturating_sub(take);
+                price = unit.marginal_cost;
+            }
+        }
+        let unserved = residual;
+        if unserved > Power::ZERO {
+            price = self.scarcity_price;
+        }
+        let reserve = self.fleet.total_available().saturating_sub(dispatched);
+        Clearing {
+            price,
+            dispatched,
+            renewable_served,
+            unserved,
+            reserve,
+        }
+    }
+
+    /// Dispatch a whole horizon. `renewables`, if given, must be aligned
+    /// with `demand`.
+    pub fn dispatch(
+        &self,
+        demand: &PowerSeries,
+        renewables: Option<&PowerSeries>,
+    ) -> Result<DispatchOutcome> {
+        if demand.is_empty() {
+            return Err(GridError::BadSeries("demand series is empty".into()));
+        }
+        if let Some(r) = renewables {
+            demand
+                .check_aligned(r)
+                .map_err(|e| GridError::BadSeries(e.to_string()))?;
+        }
+        let n = demand.len();
+        let mut prices = Vec::with_capacity(n);
+        let mut reserve = Vec::with_capacity(n);
+        let mut unserved = Vec::with_capacity(n);
+        let mut renewable_energy = Energy::ZERO;
+        let step = demand.step();
+        for i in 0..n {
+            let d = demand.values()[i];
+            let r = renewables.map_or(Power::ZERO, |s| s.values()[i]);
+            let c = self.clear_interval(d, r);
+            prices.push(c.price);
+            reserve.push(c.reserve);
+            unserved.push(c.unserved);
+            renewable_energy += c.renewable_served * step;
+        }
+        Ok(DispatchOutcome {
+            prices: Series::new(demand.start(), step, prices)
+                .map_err(|e| GridError::BadSeries(e.to_string()))?,
+            reserve: Series::new(demand.start(), step, reserve)
+                .map_err(|e| GridError::BadSeries(e.to_string()))?,
+            unserved: Series::new(demand.start(), step, unserved)
+                .map_err(|e| GridError::BadSeries(e.to_string()))?,
+            renewable_energy,
+            total_energy: demand.total_energy(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::{FuelKind, Generator};
+    use hpcgrid_units::{Duration, SimTime};
+
+    fn small_fleet() -> GeneratorFleet {
+        GeneratorFleet::new(vec![
+            Generator::typical("nuke", FuelKind::Nuclear, Power::from_megawatts(100.0)),
+            Generator::typical("ccgt", FuelKind::GasCombinedCycle, Power::from_megawatts(100.0)),
+            Generator::typical("peaker", FuelKind::GasPeaker, Power::from_megawatts(50.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn price_is_marginal_unit_cost() {
+        let m = MeritOrderMarket::new(small_fleet());
+        // 50 MW: nuclear is marginal.
+        let c = m.clear_interval(Power::from_megawatts(50.0), Power::ZERO);
+        assert_eq!(c.price, FuelKind::Nuclear.typical_marginal_cost());
+        // 150 MW: CCGT is marginal.
+        let c = m.clear_interval(Power::from_megawatts(150.0), Power::ZERO);
+        assert_eq!(c.price, FuelKind::GasCombinedCycle.typical_marginal_cost());
+        // 230 MW: peaker marginal.
+        let c = m.clear_interval(Power::from_megawatts(230.0), Power::ZERO);
+        assert_eq!(c.price, FuelKind::GasPeaker.typical_marginal_cost());
+        assert_eq!(c.unserved, Power::ZERO);
+    }
+
+    #[test]
+    fn scarcity_sets_cap_price_and_unserved() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let c = m.clear_interval(Power::from_megawatts(300.0), Power::ZERO);
+        assert_eq!(c.price, m.scarcity_price);
+        assert_eq!(c.unserved.as_megawatts(), 50.0);
+        assert_eq!(c.reserve, Power::ZERO);
+    }
+
+    #[test]
+    fn renewables_displace_dispatch_and_lower_price() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let hi = m.clear_interval(Power::from_megawatts(150.0), Power::ZERO);
+        let lo = m.clear_interval(Power::from_megawatts(150.0), Power::from_megawatts(100.0));
+        assert!(lo.price < hi.price);
+        assert_eq!(lo.renewable_served.as_megawatts(), 100.0);
+        assert_eq!(lo.dispatched.as_megawatts(), 50.0);
+    }
+
+    #[test]
+    fn all_renewable_interval_prices_at_zero() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let c = m.clear_interval(Power::from_megawatts(80.0), Power::from_megawatts(200.0));
+        assert_eq!(c.price, EnergyPrice::ZERO);
+        assert_eq!(c.renewable_served.as_megawatts(), 80.0);
+        assert_eq!(c.dispatched, Power::ZERO);
+    }
+
+    #[test]
+    fn dispatch_over_horizon_accumulates() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let demand = PowerSeries::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            vec![
+                Power::from_megawatts(50.0),
+                Power::from_megawatts(150.0),
+                Power::from_megawatts(300.0),
+            ],
+        )
+        .unwrap();
+        let renew = PowerSeries::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            Power::from_megawatts(20.0),
+            3,
+        )
+        .unwrap();
+        let out = m.dispatch(&demand, Some(&renew)).unwrap();
+        assert_eq!(out.prices.len(), 3);
+        // Interval 3 is scarce even with renewables.
+        assert_eq!(out.prices.values()[2], m.scarcity_price);
+        assert!(out.unserved_energy() > Energy::ZERO);
+        // Renewables served 20 MW in every interval.
+        assert!((out.renewable_energy.as_megawatt_hours() - 60.0).abs() < 1e-9);
+        let share = out.renewable_share().as_fraction();
+        assert!((share - 60.0 / 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_validates_inputs() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let empty = PowerSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        assert!(m.dispatch(&empty, None).is_err());
+        let demand = PowerSeries::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            Power::from_megawatts(10.0),
+            4,
+        )
+        .unwrap();
+        let misaligned = PowerSeries::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            Power::ZERO,
+            3,
+        )
+        .unwrap();
+        assert!(m.dispatch(&demand, Some(&misaligned)).is_err());
+    }
+
+    #[test]
+    fn prices_monotone_in_demand() {
+        let m = MeritOrderMarket::new(small_fleet());
+        let mut last = EnergyPrice::ZERO;
+        for mw in [10.0, 60.0, 120.0, 180.0, 240.0, 400.0] {
+            let c = m.clear_interval(Power::from_megawatts(mw), Power::ZERO);
+            assert!(c.price >= last, "price dropped at {mw} MW");
+            last = c.price;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Grid stress detection and emergency events.
+//!
+//! Emergency DR programs "impose a reduction in consumption ... in order to
+//! preserve grid reliability" (paper §3.2.3). The trigger for such events is
+//! a thinning reserve margin; this module scans a dispatch outcome for
+//! intervals where the margin falls below a threshold and coalesces them
+//! into events an ESP would call.
+
+use crate::dispatch::DispatchOutcome;
+use crate::{GridError, Result};
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_units::{Duration, Power, Ratio, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Severity of a grid stress event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Reserve margin below the watch threshold.
+    Watch,
+    /// Reserve margin below the emergency threshold; emergency DR is called.
+    Emergency,
+    /// Load shedding occurred (unserved energy).
+    Shedding,
+}
+
+/// A contiguous period of grid stress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridEvent {
+    /// Event window.
+    pub window: Interval,
+    /// Worst severity reached during the window.
+    pub severity: Severity,
+    /// Minimum reserve observed during the window.
+    pub min_reserve: Power,
+}
+
+/// Thresholds for classifying reserve margins, as fractions of total
+/// available capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressThresholds {
+    /// Watch level (e.g. 10 % of capacity remaining).
+    pub watch: Ratio,
+    /// Emergency level (e.g. 4 % remaining).
+    pub emergency: Ratio,
+}
+
+impl Default for StressThresholds {
+    fn default() -> Self {
+        StressThresholds {
+            watch: Ratio::from_percent(10.0),
+            emergency: Ratio::from_percent(4.0),
+        }
+    }
+}
+
+/// Scan a dispatch outcome for stress events. `total_capacity` is the
+/// fleet's total available capacity (the basis for the thresholds).
+pub fn detect_events(
+    outcome: &DispatchOutcome,
+    total_capacity: Power,
+    thresholds: StressThresholds,
+) -> Result<Vec<GridEvent>> {
+    if total_capacity <= Power::ZERO {
+        return Err(GridError::BadParameter(
+            "total capacity must be positive".into(),
+        ));
+    }
+    if thresholds.emergency > thresholds.watch {
+        return Err(GridError::BadParameter(
+            "emergency threshold must not exceed watch threshold".into(),
+        ));
+    }
+    let watch_level = total_capacity * thresholds.watch.as_fraction();
+    let emerg_level = total_capacity * thresholds.emergency.as_fraction();
+    let step = outcome.reserve.step();
+    let mut events: Vec<GridEvent> = Vec::new();
+    let mut current: Option<GridEvent> = None;
+    for (i, (t, &reserve)) in outcome.reserve.iter().enumerate() {
+        let unserved = outcome.unserved.values()[i];
+        let severity = if unserved > Power::ZERO {
+            Some(Severity::Shedding)
+        } else if reserve < emerg_level {
+            Some(Severity::Emergency)
+        } else if reserve < watch_level {
+            Some(Severity::Watch)
+        } else {
+            None
+        };
+        match (severity, current.as_mut()) {
+            (Some(sev), Some(ev)) => {
+                ev.window.end = t + step;
+                ev.severity = ev.severity.max(sev);
+                ev.min_reserve = ev.min_reserve.min(reserve);
+            }
+            (Some(sev), None) => {
+                current = Some(GridEvent {
+                    window: Interval::from_duration(t, step),
+                    severity: sev,
+                    min_reserve: reserve,
+                });
+            }
+            (None, Some(_)) => {
+                events.push(current.take().expect("checked"));
+            }
+            (None, None) => {}
+        }
+    }
+    if let Some(ev) = current {
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// The set of emergency-or-worse windows, for intersecting with SC load.
+pub fn emergency_windows(events: &[GridEvent]) -> IntervalSet {
+    IntervalSet::from_intervals(
+        events
+            .iter()
+            .filter(|e| e.severity >= Severity::Emergency)
+            .map(|e| e.window)
+            .collect(),
+    )
+}
+
+/// Total stressed duration at or above a severity.
+pub fn stressed_duration(events: &[GridEvent], at_least: Severity) -> Duration {
+    events
+        .iter()
+        .filter(|e| e.severity >= at_least)
+        .fold(Duration::ZERO, |acc, e| acc + e.window.duration())
+}
+
+/// Convenience: the start times of all events (for scheduling DR calls).
+pub fn event_starts(events: &[GridEvent]) -> Vec<SimTime> {
+    events.iter().map(|e| e.window.start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::MeritOrderMarket;
+    use crate::generation::{FuelKind, Generator, GeneratorFleet};
+    use hpcgrid_timeseries::series::PowerSeries;
+
+    fn outcome_from_demand(mw: Vec<f64>) -> (DispatchOutcome, Power) {
+        let fleet = GeneratorFleet::new(vec![Generator::typical(
+            "ccgt",
+            FuelKind::GasCombinedCycle,
+            Power::from_megawatts(100.0),
+        )])
+        .unwrap();
+        let market = MeritOrderMarket::new(fleet);
+        let demand = PowerSeries::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap();
+        let cap = market.fleet().total_available();
+        (market.dispatch(&demand, None).unwrap(), cap)
+    }
+
+    #[test]
+    fn no_events_when_margin_healthy() {
+        let (out, cap) = outcome_from_demand(vec![10.0, 20.0, 30.0]);
+        let ev = detect_events(&out, cap, StressThresholds::default()).unwrap();
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn watch_emergency_shedding_ladder() {
+        // Reserve: 100-92=8 (watch), 100-97=3 (emergency), demand 120 (shedding).
+        let (out, cap) = outcome_from_demand(vec![92.0, 97.0, 120.0, 10.0]);
+        let ev = detect_events(&out, cap, StressThresholds::default()).unwrap();
+        // Contiguous stress coalesces into one event with worst severity.
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].severity, Severity::Shedding);
+        assert_eq!(ev[0].window.duration(), Duration::from_hours(3.0));
+        assert_eq!(ev[0].min_reserve, Power::ZERO);
+    }
+
+    #[test]
+    fn separate_events_split() {
+        let (out, cap) = outcome_from_demand(vec![95.0, 10.0, 95.0]);
+        let ev = detect_events(&out, cap, StressThresholds::default()).unwrap();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].severity, Severity::Watch);
+        assert_eq!(
+            stressed_duration(&ev, Severity::Watch),
+            Duration::from_hours(2.0)
+        );
+        assert_eq!(stressed_duration(&ev, Severity::Emergency), Duration::ZERO);
+    }
+
+    #[test]
+    fn trailing_event_is_closed() {
+        let (out, cap) = outcome_from_demand(vec![10.0, 99.0]);
+        let ev = detect_events(&out, cap, StressThresholds::default()).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].window.end, SimTime::from_hours(2.0));
+        assert_eq!(event_starts(&ev), vec![SimTime::from_hours(1.0)]);
+    }
+
+    #[test]
+    fn emergency_windows_filter() {
+        let (out, cap) = outcome_from_demand(vec![95.0, 10.0, 99.0]);
+        let ev = detect_events(&out, cap, StressThresholds::default()).unwrap();
+        let windows = emergency_windows(&ev);
+        assert_eq!(windows.total_duration(), Duration::from_hours(1.0));
+        assert!(windows.contains(SimTime::from_hours(2.0)));
+        assert!(!windows.contains(SimTime::EPOCH));
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let (out, cap) = outcome_from_demand(vec![10.0]);
+        let bad = StressThresholds {
+            watch: Ratio::from_percent(4.0),
+            emergency: Ratio::from_percent(10.0),
+        };
+        assert!(detect_events(&out, cap, bad).is_err());
+        assert!(detect_events(&out, Power::ZERO, StressThresholds::default()).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Dispatchable generation fleet with a merit order.
+
+use crate::{GridError, Result};
+use hpcgrid_units::{EnergyPrice, Power};
+use serde::{Deserialize, Serialize};
+
+/// The kind of generation unit, ordered roughly by typical marginal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuelKind {
+    /// Run-of-river / reservoir hydro: near-zero marginal cost, dispatchable.
+    Hydro,
+    /// Nuclear baseload: very low marginal cost, inflexible.
+    Nuclear,
+    /// Coal baseload.
+    Coal,
+    /// Combined-cycle gas turbine: mid-merit.
+    GasCombinedCycle,
+    /// Open-cycle gas peaker: expensive, fast.
+    GasPeaker,
+    /// Oil-fired peaker: most expensive.
+    OilPeaker,
+}
+
+impl FuelKind {
+    /// Representative marginal cost for the fuel kind, used by the synthetic
+    /// fleet builder (values are stylized US wholesale figures).
+    pub fn typical_marginal_cost(self) -> EnergyPrice {
+        let per_mwh = match self {
+            FuelKind::Hydro => 2.0,
+            FuelKind::Nuclear => 10.0,
+            FuelKind::Coal => 25.0,
+            FuelKind::GasCombinedCycle => 35.0,
+            FuelKind::GasPeaker => 80.0,
+            FuelKind::OilPeaker => 160.0,
+        };
+        EnergyPrice::per_megawatt_hour(per_mwh)
+    }
+}
+
+/// A dispatchable generation unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generator {
+    /// Unit name for reporting.
+    pub name: String,
+    /// Fuel / technology kind.
+    pub kind: FuelKind,
+    /// Nameplate capacity.
+    pub capacity: Power,
+    /// Marginal cost of energy.
+    pub marginal_cost: EnergyPrice,
+    /// Availability factor in `[0, 1]` (planned+forced outage derating).
+    pub availability: f64,
+}
+
+impl Generator {
+    /// Construct a unit with the fuel kind's typical marginal cost.
+    pub fn typical(name: impl Into<String>, kind: FuelKind, capacity: Power) -> Generator {
+        Generator {
+            name: name.into(),
+            kind,
+            capacity,
+            marginal_cost: kind.typical_marginal_cost(),
+            availability: 1.0,
+        }
+    }
+
+    /// Capacity available for dispatch after derating.
+    pub fn available_capacity(&self) -> Power {
+        self.capacity * self.availability
+    }
+}
+
+/// A fleet of dispatchable units, kept sorted by marginal cost (merit order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorFleet {
+    units: Vec<Generator>,
+}
+
+impl GeneratorFleet {
+    /// Build a fleet; units are sorted into merit order. Errors if empty or
+    /// if any unit has invalid parameters.
+    pub fn new(mut units: Vec<Generator>) -> Result<GeneratorFleet> {
+        if units.is_empty() {
+            return Err(GridError::EmptyFleet);
+        }
+        for u in &units {
+            if !(0.0..=1.0).contains(&u.availability) {
+                return Err(GridError::BadParameter(format!(
+                    "availability of '{}' must be in [0,1], got {}",
+                    u.name, u.availability
+                )));
+            }
+            if u.capacity < Power::ZERO || !u.capacity.is_finite() {
+                return Err(GridError::BadParameter(format!(
+                    "capacity of '{}' must be finite and non-negative",
+                    u.name
+                )));
+            }
+        }
+        units.sort_by(|a, b| {
+            a.marginal_cost
+                .partial_cmp(&b.marginal_cost)
+                .expect("finite marginal costs")
+        });
+        Ok(GeneratorFleet { units })
+    }
+
+    /// Units in merit order (cheapest first).
+    pub fn units(&self) -> &[Generator] {
+        &self.units
+    }
+
+    /// Total available (derated) capacity.
+    pub fn total_available(&self) -> Power {
+        self.units
+            .iter()
+            .map(Generator::available_capacity)
+            .sum()
+    }
+
+    /// A stylized regional fleet sized to `peak_demand`, with a generation
+    /// mix typical of a mixed US balancing area: ~15 % hydro+nuclear,
+    /// ~30 % coal, ~35 % CCGT, ~20 % peakers, plus `reserve_margin` headroom.
+    pub fn synthetic_regional(peak_demand: Power, reserve_margin: f64) -> Result<GeneratorFleet> {
+        if reserve_margin < 0.0 {
+            return Err(GridError::BadParameter(
+                "reserve margin must be non-negative".into(),
+            ));
+        }
+        let total = peak_demand * (1.0 + reserve_margin);
+        let mk = |name: &str, kind, share: f64| Generator::typical(name, kind, total * share);
+        GeneratorFleet::new(vec![
+            mk("hydro-1", FuelKind::Hydro, 0.05),
+            mk("nuclear-1", FuelKind::Nuclear, 0.10),
+            mk("coal-1", FuelKind::Coal, 0.15),
+            mk("coal-2", FuelKind::Coal, 0.15),
+            mk("ccgt-1", FuelKind::GasCombinedCycle, 0.20),
+            mk("ccgt-2", FuelKind::GasCombinedCycle, 0.15),
+            mk("peaker-1", FuelKind::GasPeaker, 0.12),
+            mk("peaker-2", FuelKind::GasPeaker, 0.05),
+            mk("oil-1", FuelKind::OilPeaker, 0.03),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_sorts_by_merit() {
+        let fleet = GeneratorFleet::new(vec![
+            Generator::typical("peaker", FuelKind::GasPeaker, Power::from_megawatts(100.0)),
+            Generator::typical("nuke", FuelKind::Nuclear, Power::from_megawatts(1000.0)),
+            Generator::typical("ccgt", FuelKind::GasCombinedCycle, Power::from_megawatts(400.0)),
+        ])
+        .unwrap();
+        let names: Vec<&str> = fleet.units().iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, vec!["nuke", "ccgt", "peaker"]);
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        assert_eq!(GeneratorFleet::new(vec![]).unwrap_err(), GridError::EmptyFleet);
+    }
+
+    #[test]
+    fn availability_derates_capacity() {
+        let mut g = Generator::typical("coal", FuelKind::Coal, Power::from_megawatts(500.0));
+        g.availability = 0.9;
+        assert_eq!(g.available_capacity().as_megawatts(), 450.0);
+    }
+
+    #[test]
+    fn invalid_availability_rejected() {
+        let mut g = Generator::typical("coal", FuelKind::Coal, Power::from_megawatts(500.0));
+        g.availability = 1.5;
+        assert!(GeneratorFleet::new(vec![g]).is_err());
+    }
+
+    #[test]
+    fn negative_capacity_rejected() {
+        let g = Generator::typical("bad", FuelKind::Coal, Power::from_megawatts(-5.0));
+        assert!(GeneratorFleet::new(vec![g]).is_err());
+    }
+
+    #[test]
+    fn synthetic_fleet_covers_peak_with_margin() {
+        let peak = Power::from_megawatts(2_000.0);
+        let fleet = GeneratorFleet::synthetic_regional(peak, 0.15).unwrap();
+        let total = fleet.total_available();
+        assert!(total >= peak);
+        assert!((total.as_megawatts() - 2_300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn synthetic_fleet_rejects_negative_margin() {
+        assert!(GeneratorFleet::synthetic_regional(Power::from_megawatts(100.0), -0.1).is_err());
+    }
+
+    #[test]
+    fn marginal_cost_ordering_matches_fuel_ladder() {
+        assert!(FuelKind::Hydro.typical_marginal_cost() < FuelKind::Nuclear.typical_marginal_cost());
+        assert!(FuelKind::Nuclear.typical_marginal_cost() < FuelKind::Coal.typical_marginal_cost());
+        assert!(FuelKind::Coal.typical_marginal_cost() < FuelKind::GasCombinedCycle.typical_marginal_cost());
+        assert!(
+            FuelKind::GasCombinedCycle.typical_marginal_cost()
+                < FuelKind::GasPeaker.typical_marginal_cost()
+        );
+        assert!(
+            FuelKind::GasPeaker.typical_marginal_cost() < FuelKind::OilPeaker.typical_marginal_cost()
+        );
+    }
+}

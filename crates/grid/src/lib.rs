@@ -1,0 +1,60 @@
+//! # hpcgrid-grid
+//!
+//! The electricity-service-provider (ESP) side of the world: everything the
+//! paper's introduction says ESPs contend with, built as a simulation
+//! substrate.
+//!
+//! * a **generation fleet** with heterogeneous marginal costs
+//!   ([`generation`]);
+//! * **renewable intermittency** — stochastic wind and solar output models
+//!   whose variability is the paper's stated driver for demand response
+//!   ([`renewables`]);
+//! * a **system demand** model with daily/weekly/seasonal structure
+//!   ([`demand`]);
+//! * **merit-order dispatch** producing real-time wholesale prices, the
+//!   substrate behind "dynamically variable tariffs" ([`dispatch`]);
+//! * **grid stress events** — reserve-margin monitoring that triggers the
+//!   emergency-DR conditions some surveyed contracts contain ([`events`]);
+//! * **balancing / imbalance pricing** — the cost of deviating from a
+//!   schedule, which the "good neighbor" communication behaviour of §3.4
+//!   mitigates ([`balancing`]).
+
+#![warn(missing_docs)]
+
+pub mod balancing;
+pub mod demand;
+pub mod dispatch;
+pub mod events;
+pub mod generation;
+pub mod outages;
+pub mod regulation;
+pub mod renewables;
+
+pub use dispatch::{DispatchOutcome, MeritOrderMarket};
+pub use generation::{FuelKind, Generator, GeneratorFleet};
+
+/// Errors from grid simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The generator fleet is empty.
+    EmptyFleet,
+    /// A series passed in was empty or misaligned.
+    BadSeries(String),
+    /// Invalid model parameter.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptyFleet => write!(f, "generator fleet is empty"),
+            GridError::BadSeries(d) => write!(f, "bad series: {d}"),
+            GridError::BadParameter(d) => write!(f, "bad parameter: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GridError>;

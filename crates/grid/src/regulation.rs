@@ -1,0 +1,192 @@
+//! Frequency-regulation (AGC-style) signal generation.
+//!
+//! The LANL case study participates in "generation and voltage control
+//! programs through coordination with their Balancing Authority" (§4).
+//! Testing a site's ability to follow such a program needs the signal the
+//! balancing authority sends: a zero-mean, mean-reverting, rate-limited
+//! command in `[-1, 1]` scaling the enrolled regulation capacity. This is a
+//! stylized RegD-like signal.
+
+use crate::{GridError, Result};
+use hpcgrid_timeseries::series::Series;
+use hpcgrid_units::{Duration, Power, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the regulation signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegulationParams {
+    /// Mean-reversion rate per step in `(0, 1]`.
+    pub reversion: f64,
+    /// Innovation standard deviation per step.
+    pub volatility: f64,
+    /// Maximum change per step (rate limit, in signal units).
+    pub ramp_limit: f64,
+}
+
+impl Default for RegulationParams {
+    fn default() -> Self {
+        RegulationParams {
+            reversion: 0.08,
+            volatility: 0.25,
+            ramp_limit: 0.35,
+        }
+    }
+}
+
+/// A normalized regulation signal in `[-1, 1]` (positive = consume less /
+/// inject more).
+pub type RegulationSignal = Series<f64>;
+
+/// Generate a regulation signal.
+pub fn regulation_signal(
+    params: &RegulationParams,
+    start: SimTime,
+    step: Duration,
+    n: usize,
+    seed: u64,
+) -> Result<RegulationSignal> {
+    if params.reversion <= 0.0 || params.reversion > 1.0 {
+        return Err(GridError::BadParameter(
+            "reversion must be in (0,1]".into(),
+        ));
+    }
+    if params.ramp_limit <= 0.0 {
+        return Err(GridError::BadParameter(
+            "ramp limit must be positive".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ AGC_SEED_SALT);
+    let mut x = 0.0f64;
+    let values = (0..n)
+        .map(|_| {
+            let innov: f64 = rng.gen_range(-1.0..1.0) * params.volatility;
+            let delta = (-params.reversion * x + innov)
+                .clamp(-params.ramp_limit, params.ramp_limit);
+            x = (x + delta).clamp(-1.0, 1.0);
+            x
+        })
+        .collect();
+    Series::new(start, step, values).map_err(|e| GridError::BadSeries(e.to_string()))
+}
+
+/// Score how well a follower tracked the signal: the mean absolute tracking
+/// error between the commanded power (`signal × capacity`) and the delivered
+/// response, as a fraction of capacity. PJM-style performance scores are
+/// `1 − error`.
+pub fn tracking_score(
+    signal: &RegulationSignal,
+    delivered: &[Power],
+    capacity: Power,
+) -> Result<f64> {
+    if delivered.len() != signal.len() {
+        return Err(GridError::BadSeries(format!(
+            "delivered has {} entries, signal {}",
+            delivered.len(),
+            signal.len()
+        )));
+    }
+    if capacity <= Power::ZERO {
+        return Err(GridError::BadParameter(
+            "capacity must be positive".into(),
+        ));
+    }
+    if signal.is_empty() {
+        return Err(GridError::BadSeries("empty signal".into()));
+    }
+    let cap = capacity.as_kilowatts();
+    let err: f64 = signal
+        .values()
+        .iter()
+        .zip(delivered)
+        .map(|(s, d)| ((s * cap) - d.as_kilowatts()).abs() / cap)
+        .sum::<f64>()
+        / signal.len() as f64;
+    Ok((1.0 - err).max(0.0))
+}
+
+/// Seed salt so regulation streams differ from other models at equal seeds.
+const AGC_SEED_SALT: u64 = 0xA6C5EED;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hourly(n: usize) -> (SimTime, Duration, usize) {
+        (SimTime::EPOCH, Duration::from_minutes(4.0), n)
+    }
+
+    #[test]
+    fn signal_is_bounded_and_varied() {
+        let (s, st, _) = hourly(0);
+        let sig = regulation_signal(&RegulationParams::default(), s, st, 2_000, 3).unwrap();
+        assert!(sig.values().iter().all(|x| (-1.0..=1.0).contains(x)));
+        let mean: f64 = sig.values().iter().sum::<f64>() / sig.len() as f64;
+        assert!(mean.abs() < 0.2, "roughly zero-mean, got {mean}");
+        let max = sig.values().iter().cloned().fold(f64::MIN, f64::max);
+        let min = sig.values().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.2 && min < -0.2, "should explore both directions");
+    }
+
+    #[test]
+    fn ramp_limit_respected() {
+        let params = RegulationParams {
+            ramp_limit: 0.1,
+            ..Default::default()
+        };
+        let (s, st, _) = hourly(0);
+        let sig = regulation_signal(&params, s, st, 1_000, 4).unwrap();
+        for w in sig.values().windows(2) {
+            assert!((w[1] - w[0]).abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, st, _) = hourly(0);
+        let a = regulation_signal(&RegulationParams::default(), s, st, 100, 7).unwrap();
+        let b = regulation_signal(&RegulationParams::default(), s, st, 100, 7).unwrap();
+        let c = regulation_signal(&RegulationParams::default(), s, st, 100, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let (s, st, _) = hourly(0);
+        let sig = regulation_signal(&RegulationParams::default(), s, st, 200, 5).unwrap();
+        let cap = Power::from_megawatts(2.0);
+        let perfect: Vec<Power> = sig.values().iter().map(|x| cap * *x).collect();
+        let score = tracking_score(&sig, &perfect, cap).unwrap();
+        assert!((score - 1.0).abs() < 1e-12);
+        // A dead follower scores lower.
+        let dead = vec![Power::ZERO; sig.len()];
+        let dead_score = tracking_score(&sig, &dead, cap).unwrap();
+        assert!(dead_score < score);
+    }
+
+    #[test]
+    fn validation() {
+        let (s, st, _) = hourly(0);
+        let bad = RegulationParams {
+            reversion: 0.0,
+            ..Default::default()
+        };
+        assert!(regulation_signal(&bad, s, st, 10, 1).is_err());
+        let bad2 = RegulationParams {
+            ramp_limit: 0.0,
+            ..Default::default()
+        };
+        assert!(regulation_signal(&bad2, s, st, 10, 1).is_err());
+        let sig = regulation_signal(&RegulationParams::default(), s, st, 10, 1).unwrap();
+        assert!(tracking_score(&sig, &[], Power::from_megawatts(1.0)).is_err());
+        let d = vec![Power::ZERO; 10];
+        assert!(tracking_score(&sig, &d, Power::ZERO).is_err());
+    }
+
+    #[test]
+    fn salt_is_defined() {
+        assert_ne!(AGC_SEED_SALT, u64::MAX);
+    }
+}

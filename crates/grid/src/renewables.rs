@@ -1,0 +1,280 @@
+//! Stochastic renewable-output models.
+//!
+//! The paper names "integration of renewable energy sources, which induce
+//! intermittency and variability in output generation" as a core ESP
+//! challenge (§1). These models provide that variability with the features
+//! that matter for dispatch and price formation:
+//!
+//! * **solar** — a deterministic diurnal/seasonal envelope modulated by an
+//!   AR(1) cloud-cover process;
+//! * **wind** — a mean-reverting (discretized Ornstein–Uhlenbeck) wind-speed
+//!   process pushed through a turbine power curve, producing the lulls and
+//!   ramps that stress reserve margins.
+//!
+//! All models are seeded and deterministic for a given seed.
+
+use crate::{GridError, Result};
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Calendar, Duration, Power, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Parameters of a solar PV plant model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolarParams {
+    /// Nameplate (clear-sky noon, summer) capacity.
+    pub capacity: Power,
+    /// AR(1) persistence of the cloud process in `[0, 1)`.
+    pub cloud_persistence: f64,
+    /// Std-dev of cloud innovations in `[0, 1]` of capacity.
+    pub cloud_volatility: f64,
+}
+
+impl Default for SolarParams {
+    fn default() -> Self {
+        SolarParams {
+            capacity: Power::from_megawatts(100.0),
+            cloud_persistence: 0.92,
+            cloud_volatility: 0.18,
+        }
+    }
+}
+
+/// Clear-sky envelope in `[0, 1]`: zero at night, sinusoidal hump peaking at
+/// local noon, scaled by a mild seasonal factor (longer/stronger days around
+/// day 172, the June solstice of the simplified calendar).
+pub fn clear_sky_factor(cal: &Calendar, t: SimTime) -> f64 {
+    let hour = (t.as_secs() % 86_400) as f64 / 3_600.0;
+    let doy = cal.day_of_year(t) as f64;
+    // Day length varies 8 h (winter) .. 16 h (summer).
+    let season = ((doy - 172.0) / 365.0 * 2.0 * PI).cos(); // 1 at solstice
+    let half_day = 4.0 + 2.0 * (1.0 + season); // hours around noon: 4..8
+    let dist = (hour - 12.0).abs();
+    if dist >= half_day {
+        return 0.0;
+    }
+    let x = (dist / half_day) * (PI / 2.0);
+    let amplitude = 0.75 + 0.25 * season; // weaker winter sun
+    (x.cos()).max(0.0) * amplitude
+}
+
+/// Generate a solar output series.
+pub fn solar_series(
+    params: &SolarParams,
+    cal: &Calendar,
+    start: SimTime,
+    step: Duration,
+    n: usize,
+    seed: u64,
+) -> Result<PowerSeries> {
+    validate_unit("cloud_persistence", params.cloud_persistence, true)?;
+    validate_unit("cloud_volatility", params.cloud_volatility, false)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5017A5);
+    let mut cloud: f64 = 0.0; // 0 = clear, 1 = fully overcast
+    let values = (0..n)
+        .map(|i| {
+            let t = start + step * i as u64;
+            let innov: f64 = rng.gen_range(-1.0..1.0) * params.cloud_volatility;
+            cloud = (params.cloud_persistence * cloud + innov).clamp(0.0, 1.0);
+            let f = clear_sky_factor(cal, t) * (1.0 - 0.85 * cloud);
+            params.capacity * f
+        })
+        .collect();
+    Series::new(start, step, values).map_err(|e| GridError::BadSeries(e.to_string()))
+}
+
+/// Parameters of a wind-farm model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindParams {
+    /// Nameplate capacity.
+    pub capacity: Power,
+    /// Long-run mean wind speed (m/s).
+    pub mean_speed: f64,
+    /// Mean-reversion rate per step in `(0, 1]`.
+    pub reversion: f64,
+    /// Innovation std-dev (m/s per step).
+    pub volatility: f64,
+    /// Cut-in speed (m/s): below this, zero output.
+    pub cut_in: f64,
+    /// Rated speed (m/s): at/above this, full output (until cut-out).
+    pub rated: f64,
+    /// Cut-out speed (m/s): above this the turbines feather to zero.
+    pub cut_out: f64,
+}
+
+impl Default for WindParams {
+    fn default() -> Self {
+        WindParams {
+            capacity: Power::from_megawatts(200.0),
+            mean_speed: 8.0,
+            reversion: 0.10,
+            volatility: 1.1,
+            cut_in: 3.0,
+            rated: 12.0,
+            cut_out: 25.0,
+        }
+    }
+}
+
+/// The standard cubic turbine power curve in `[0, 1]`.
+pub fn power_curve(speed: f64, p: &WindParams) -> f64 {
+    if speed < p.cut_in || speed >= p.cut_out {
+        0.0
+    } else if speed >= p.rated {
+        1.0
+    } else {
+        let x = (speed - p.cut_in) / (p.rated - p.cut_in);
+        x.powi(3)
+    }
+}
+
+/// Generate a wind output series.
+pub fn wind_series(
+    params: &WindParams,
+    start: SimTime,
+    step: Duration,
+    n: usize,
+    seed: u64,
+) -> Result<PowerSeries> {
+    if params.reversion <= 0.0 || params.reversion > 1.0 {
+        return Err(GridError::BadParameter(format!(
+            "reversion must be in (0,1], got {}",
+            params.reversion
+        )));
+    }
+    if !(params.cut_in < params.rated && params.rated <= params.cut_out) {
+        return Err(GridError::BadParameter(
+            "need cut_in < rated <= cut_out".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x111D);
+    let mut speed = params.mean_speed;
+    let values = (0..n)
+        .map(|_| {
+            let innov: f64 = rng.gen_range(-1.0..1.0) * params.volatility;
+            speed += params.reversion * (params.mean_speed - speed) + innov;
+            speed = speed.max(0.0);
+            params.capacity * power_curve(speed, params)
+        })
+        .collect();
+    Series::new(start, step, values).map_err(|e| GridError::BadSeries(e.to_string()))
+}
+
+fn validate_unit(name: &str, v: f64, strict_upper: bool) -> Result<()> {
+    let ok = if strict_upper {
+        (0.0..1.0).contains(&v)
+    } else {
+        (0.0..=1.0).contains(&v)
+    };
+    if !ok {
+        return Err(GridError::BadParameter(format!(
+            "{name} must be in [0,1{}, got {v}",
+            if strict_upper { ")" } else { "]" }
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hourly(n: usize) -> (SimTime, Duration, usize) {
+        (SimTime::EPOCH, Duration::from_hours(1.0), n)
+    }
+
+    #[test]
+    fn solar_is_zero_at_night_and_positive_at_noon() {
+        let cal = Calendar::default();
+        let (start, step, n) = hourly(24 * 30);
+        let s = solar_series(&SolarParams::default(), &cal, start, step, n, 7).unwrap();
+        // Midnight hours are zero.
+        for day in 0..30 {
+            assert_eq!(s.values()[day * 24].as_kilowatts(), 0.0, "midnight day {day}");
+        }
+        // At least some noon hours produce power.
+        let noon_total: f64 = (0..30).map(|d| s.values()[d * 24 + 12].as_kilowatts()).sum();
+        assert!(noon_total > 0.0);
+    }
+
+    #[test]
+    fn solar_never_exceeds_capacity_or_goes_negative() {
+        let cal = Calendar::default();
+        let p = SolarParams::default();
+        let (start, step, n) = hourly(24 * 90);
+        let s = solar_series(&p, &cal, start, step, n, 99).unwrap();
+        for v in s.values() {
+            assert!(*v >= Power::ZERO);
+            assert!(*v <= p.capacity);
+        }
+    }
+
+    #[test]
+    fn solar_seasonal_envelope_summer_stronger() {
+        let cal = Calendar::default();
+        // June 21 (doy ≈ 171) vs December 21 (doy ≈ 354), both at noon.
+        let june_noon = SimTime::from_days(171) + Duration::from_hours(12.0);
+        let dec_noon = SimTime::from_days(354) + Duration::from_hours(12.0);
+        assert!(clear_sky_factor(&cal, june_noon) > clear_sky_factor(&cal, dec_noon));
+    }
+
+    #[test]
+    fn solar_deterministic_per_seed() {
+        let cal = Calendar::default();
+        let (start, step, n) = hourly(48);
+        let a = solar_series(&SolarParams::default(), &cal, start, step, n, 5).unwrap();
+        let b = solar_series(&SolarParams::default(), &cal, start, step, n, 5).unwrap();
+        let c = solar_series(&SolarParams::default(), &cal, start, step, n, 6).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wind_respects_capacity_bounds() {
+        let p = WindParams::default();
+        let (start, step, n) = hourly(24 * 90);
+        let s = wind_series(&p, start, step, n, 3).unwrap();
+        for v in s.values() {
+            assert!(*v >= Power::ZERO);
+            assert!(*v <= p.capacity);
+        }
+        // Wind should actually vary.
+        let stats = hpcgrid_timeseries::stats::load_stats(&s).unwrap();
+        assert!(stats.std_dev > Power::ZERO);
+    }
+
+    #[test]
+    fn power_curve_shape() {
+        let p = WindParams::default();
+        assert_eq!(power_curve(0.0, &p), 0.0);
+        assert_eq!(power_curve(2.9, &p), 0.0);
+        assert!(power_curve(8.0, &p) > 0.0 && power_curve(8.0, &p) < 1.0);
+        assert_eq!(power_curve(12.0, &p), 1.0);
+        assert_eq!(power_curve(20.0, &p), 1.0);
+        assert_eq!(power_curve(25.0, &p), 0.0); // cut-out
+        // Monotone below rated.
+        assert!(power_curve(6.0, &p) < power_curve(9.0, &p));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let cal = Calendar::default();
+        let sp = SolarParams {
+            cloud_persistence: 1.0,
+            ..Default::default()
+        };
+        assert!(solar_series(&sp, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
+        let wp = WindParams {
+            reversion: 0.0,
+            ..Default::default()
+        };
+        assert!(wind_series(&wp, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
+        let wp2 = WindParams {
+            rated: WindParams::default().cut_in, // invalid ordering
+            ..Default::default()
+        };
+        assert!(wind_series(&wp2, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
+    }
+}

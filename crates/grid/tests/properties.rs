@@ -1,0 +1,118 @@
+//! Property-based tests for the grid substrate invariants (DESIGN.md §5).
+
+use hpcgrid_grid::balancing::{settle, ImbalancePricing};
+use hpcgrid_grid::dispatch::MeritOrderMarket;
+use hpcgrid_grid::generation::{FuelKind, Generator, GeneratorFleet};
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Duration, EnergyPrice, Money, Power, SimTime};
+use proptest::prelude::*;
+
+fn random_fleet() -> impl Strategy<Value = GeneratorFleet> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![
+                FuelKind::Hydro,
+                FuelKind::Nuclear,
+                FuelKind::Coal,
+                FuelKind::GasCombinedCycle,
+                FuelKind::GasPeaker,
+                FuelKind::OilPeaker,
+            ]),
+            10.0f64..500.0,
+        ),
+        1..8,
+    )
+    .prop_map(|units| {
+        GeneratorFleet::new(
+            units
+                .into_iter()
+                .enumerate()
+                .map(|(i, (kind, mw))| {
+                    Generator::typical(format!("u{i}"), kind, Power::from_megawatts(mw))
+                })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn demand_series_strategy() -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(0.0f64..3_000.0, 1..50).prop_map(|mw| {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            mw.into_iter().map(Power::from_megawatts).collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dispatch conservation: served (renewable + dispatched) + unserved
+    /// equals demand in every interval.
+    #[test]
+    fn dispatch_conserves_power(fleet in random_fleet(), demand_mw in 0.0f64..3_000.0, renew_mw in 0.0f64..1_000.0) {
+        let market = MeritOrderMarket::new(fleet);
+        let c = market.clear_interval(
+            Power::from_megawatts(demand_mw),
+            Power::from_megawatts(renew_mw),
+        );
+        let served = c.renewable_served + c.dispatched + c.unserved;
+        prop_assert!((served.as_megawatts() - demand_mw).abs() < 1e-6);
+        prop_assert!(c.reserve >= Power::ZERO);
+        prop_assert!(c.unserved >= Power::ZERO);
+    }
+
+    /// The clearing price is monotone non-decreasing in demand.
+    #[test]
+    fn price_monotone_in_demand(fleet in random_fleet()) {
+        let market = MeritOrderMarket::new(fleet);
+        let mut last = EnergyPrice::ZERO;
+        for mw in [0.0, 50.0, 150.0, 400.0, 900.0, 2_000.0, 5_000.0] {
+            let c = market.clear_interval(Power::from_megawatts(mw), Power::ZERO);
+            prop_assert!(c.price >= last);
+            last = c.price;
+        }
+    }
+
+    /// Renewables never raise the price.
+    #[test]
+    fn renewables_never_raise_price(fleet in random_fleet(), demand_mw in 0.0f64..3_000.0, renew_mw in 0.0f64..1_000.0) {
+        let market = MeritOrderMarket::new(fleet);
+        let without = market.clear_interval(Power::from_megawatts(demand_mw), Power::ZERO);
+        let with = market.clear_interval(
+            Power::from_megawatts(demand_mw),
+            Power::from_megawatts(renew_mw),
+        );
+        prop_assert!(with.price <= without.price);
+    }
+
+    /// Dispatch over a horizon: renewable share in [0, 1] and unserved
+    /// energy non-negative.
+    #[test]
+    fn horizon_dispatch_invariants(fleet in random_fleet(), demand in demand_series_strategy()) {
+        let market = MeritOrderMarket::new(fleet);
+        let out = market.dispatch(&demand, None).unwrap();
+        let share = out.renewable_share().as_fraction();
+        prop_assert!((0.0..=1.0).contains(&share));
+        prop_assert!(out.unserved_energy().as_kilowatt_hours() >= 0.0);
+        prop_assert_eq!(out.prices.len(), demand.len());
+    }
+
+    /// Imbalance settlement: zero for a perfect schedule, non-negative in
+    /// general, and monotone in the deviation scale.
+    #[test]
+    fn imbalance_properties(demand in demand_series_strategy(), scale in 1.0f64..2.0) {
+        let pricing = ImbalancePricing::default();
+        let perfect = settle(&demand, &demand, &pricing).unwrap();
+        prop_assert_eq!(perfect.total(), Money::ZERO);
+        let off = demand.scale(scale);
+        let s1 = settle(&demand, &off, &pricing).unwrap();
+        prop_assert!(s1.total() >= Money::ZERO);
+        let further = demand.scale(scale * 1.5);
+        let s2 = settle(&demand, &further, &pricing).unwrap();
+        prop_assert!(s2.total() >= s1.total() - Money::from_dollars(1e-9));
+    }
+}

@@ -1,0 +1,366 @@
+//! Schedule outcomes: mission metrics and load-series conversion.
+//!
+//! The paper's central tension is that SCs are "primarily concerned with
+//! ensuring high system utilization" (§3.4) while power-aware policies trade
+//! some of that mission performance for electrical flexibility. This module
+//! measures both sides: utilization/wait/slowdown on the mission side, and
+//! the facility load series (via `hpcgrid-facility`) on the electrical side.
+
+use hpcgrid_facility::site::SiteSpec;
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{Duration, Power, SimTime};
+use hpcgrid_workload::job::{JobId, JobKind};
+use serde::{Deserialize, Serialize};
+
+/// The schedule record of one completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Start time.
+    pub start: SimTime,
+    /// Actual end time.
+    pub end: SimTime,
+    /// Nodes occupied.
+    pub nodes: usize,
+    /// Power intensity while running.
+    pub intensity: f64,
+    /// Job kind.
+    pub kind: JobKind,
+}
+
+impl JobRecord {
+    /// Queueing delay.
+    pub fn wait(&self) -> Duration {
+        self.start.since(self.submit)
+    }
+
+    /// Actual runtime.
+    pub fn runtime(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Bounded slowdown with a 10-minute runtime floor (the standard
+    /// scheduling-literature metric).
+    pub fn bounded_slowdown(&self) -> f64 {
+        let floor = 600.0;
+        let run = self.runtime().as_secs() as f64;
+        let resp = (self.wait() + self.runtime()).as_secs() as f64;
+        (resp / run.max(floor)).max(1.0)
+    }
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    records: Vec<JobRecord>,
+    machine_nodes: usize,
+    trace_horizon: Duration,
+    shutdown_idle: bool,
+}
+
+impl SimOutcome {
+    /// Assemble an outcome (used by the simulator).
+    pub fn new(
+        records: Vec<JobRecord>,
+        machine_nodes: usize,
+        trace_horizon: Duration,
+        shutdown_idle: bool,
+    ) -> SimOutcome {
+        SimOutcome {
+            records,
+            machine_nodes,
+            trace_horizon,
+            shutdown_idle,
+        }
+    }
+
+    /// Per-job records.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Machine size.
+    pub fn machine_nodes(&self) -> usize {
+        self.machine_nodes
+    }
+
+    /// Whether idle nodes are powered off (the "shutdown" strategy).
+    pub fn shutdown_idle(&self) -> bool {
+        self.shutdown_idle
+    }
+
+    /// End of the last job, or the trace horizon if longer.
+    pub fn span_end(&self) -> SimTime {
+        let last = self
+            .records
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(SimTime::EPOCH);
+        last.max(SimTime::EPOCH + self.trace_horizon)
+    }
+
+    /// Time from the first submit to the last completion.
+    pub fn makespan(&self) -> Duration {
+        let first = self
+            .records
+            .iter()
+            .map(|r| r.submit)
+            .min()
+            .unwrap_or(SimTime::EPOCH);
+        self.records
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(first)
+            .since(first)
+    }
+
+    /// Machine utilization: delivered node-seconds over capacity across the
+    /// span (first submit → span end).
+    pub fn utilization(&self) -> f64 {
+        let span = self.span_end().since(SimTime::EPOCH).as_secs();
+        if span == 0 || self.machine_nodes == 0 {
+            return 0.0;
+        }
+        let delivered: u64 = self
+            .records
+            .iter()
+            .map(|r| r.nodes as u64 * r.runtime().as_secs())
+            .sum();
+        delivered as f64 / (self.machine_nodes as u64 * span) as f64
+    }
+
+    /// Mean queueing delay.
+    pub fn mean_wait(&self) -> Duration {
+        if self.records.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u64 = self.records.iter().map(|r| r.wait().as_secs()).sum();
+        Duration::from_secs(total / self.records.len() as u64)
+    }
+
+    /// Maximum queueing delay.
+    pub fn max_wait(&self) -> Duration {
+        self.records
+            .iter()
+            .map(|r| r.wait())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean bounded slowdown.
+    pub fn mean_bounded_slowdown(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records
+            .iter()
+            .map(JobRecord::bounded_slowdown)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Average busy-node count per interval of width `step`, covering
+    /// `[0, span_end)` rounded up to whole intervals.
+    pub fn node_occupancy(&self, step: Duration) -> Series<f64> {
+        let n = self.interval_count(step);
+        let mut occ = vec![0.0f64; n];
+        self.accumulate(step, &mut occ, |r| r.nodes as f64);
+        Series::new(SimTime::EPOCH, step, occ).expect("step validated by interval_count")
+    }
+
+    fn interval_count(&self, step: Duration) -> usize {
+        assert!(!step.is_zero(), "step must be positive");
+        let span = self.span_end().as_secs();
+        (span.div_ceil(step.as_secs())).max(1) as usize
+    }
+
+    /// Accumulate `weight(record) × overlap_fraction` into per-interval bins.
+    fn accumulate<F: Fn(&JobRecord) -> f64>(&self, step: Duration, bins: &mut [f64], weight: F) {
+        let step_s = step.as_secs();
+        for r in &self.records {
+            let w = weight(r);
+            let s = r.start.as_secs();
+            let e = r.end.as_secs();
+            let first = (s / step_s) as usize;
+            let last = (e.div_ceil(step_s) as usize).min(bins.len());
+            for (i, bin) in bins.iter_mut().enumerate().take(last).skip(first) {
+                let bin_start = i as u64 * step_s;
+                let bin_end = bin_start + step_s;
+                let overlap = e.min(bin_end).saturating_sub(s.max(bin_start));
+                if overlap > 0 {
+                    *bin += w * overlap as f64 / step_s as f64;
+                }
+            }
+        }
+    }
+
+    /// IT-load series for the machine described by `site`'s node spec.
+    ///
+    /// Each interval gets the sum of running jobs' active power (at their
+    /// intensity), plus the idle floor of unoccupied nodes — unless the
+    /// shutdown strategy is active, in which case idle nodes draw nothing.
+    pub fn it_power_series(&self, site: &SiteSpec, step: Duration) -> PowerSeries {
+        let spec = &site.node_spec;
+        let n = self.interval_count(step);
+        let full_level = spec.num_levels() - 1;
+        let mut active_kw = vec![0.0f64; n];
+        self.accumulate(step, &mut active_kw, |r| {
+            spec.active_power(full_level, r.intensity).as_kilowatts() * r.nodes as f64
+        });
+        let mut busy_nodes = vec![0.0f64; n];
+        self.accumulate(step, &mut busy_nodes, |r| r.nodes as f64);
+        let idle_kw = spec.idle.as_kilowatts();
+        let machine = self.machine_nodes as f64;
+        let values = active_kw
+            .iter()
+            .zip(&busy_nodes)
+            .map(|(&a, &b)| {
+                let idle_nodes = (machine - b).max(0.0);
+                let idle_draw = if self.shutdown_idle {
+                    0.0
+                } else {
+                    idle_nodes * idle_kw
+                };
+                Power::from_kilowatts(a + idle_draw)
+            })
+            .collect();
+        Series::new(SimTime::EPOCH, step, values).expect("step validated")
+    }
+
+    /// Metered facility-load series: IT load through the site's PUE model
+    /// plus its office base load.
+    pub fn to_load_series_with_step(
+        &self,
+        site: &SiteSpec,
+        step: Duration,
+    ) -> PowerSeries {
+        let it = self.it_power_series(site, step);
+        site.facility_load(&it)
+            .expect("site validated at construction")
+    }
+
+    /// Metered facility-load series at the conventional 15-minute demand
+    /// interval.
+    pub fn to_load_series(&self, site: &SiteSpec) -> PowerSeries {
+        self.to_load_series_with_step(site, Duration::from_minutes(15.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_workload::job::JobKind;
+
+    fn rec(id: u64, submit_h: f64, start_h: f64, end_h: f64, nodes: usize) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            submit: SimTime::from_hours(submit_h),
+            start: SimTime::from_hours(start_h),
+            end: SimTime::from_hours(end_h),
+            nodes,
+            intensity: 1.0,
+            kind: JobKind::Regular,
+        }
+    }
+
+    fn outcome(records: Vec<JobRecord>, nodes: usize, days: u64) -> SimOutcome {
+        SimOutcome::new(records, nodes, Duration::from_days(days), false)
+    }
+
+    #[test]
+    fn wait_and_slowdown() {
+        let r = rec(0, 0.0, 2.0, 4.0, 10);
+        assert_eq!(r.wait(), Duration::from_hours(2.0));
+        assert_eq!(r.runtime(), Duration::from_hours(2.0));
+        assert!((r.bounded_slowdown() - 2.0).abs() < 1e-9);
+        // Short job hits the 10-minute floor.
+        let short = rec(1, 0.0, 0.0, 0.05, 1); // 3 min runtime, no wait
+        assert_eq!(short.bounded_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        // One job: 50 nodes × 12 h on a 100-node machine over a 1-day span.
+        let out = outcome(vec![rec(0, 0.0, 0.0, 12.0, 50)], 100, 1);
+        assert!((out.utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(out.makespan(), Duration::from_hours(12.0));
+        assert_eq!(out.mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_outcome_metrics() {
+        let out = outcome(vec![], 100, 1);
+        assert_eq!(out.utilization(), 0.0);
+        assert_eq!(out.mean_wait(), Duration::ZERO);
+        assert_eq!(out.max_wait(), Duration::ZERO);
+        assert_eq!(out.mean_bounded_slowdown(), 1.0);
+        assert_eq!(out.span_end(), SimTime::from_days(1));
+    }
+
+    #[test]
+    fn occupancy_integrates_overlaps() {
+        // 10 nodes from 0:00–1:30 on hourly bins → [10, 5, ...].
+        let out = outcome(vec![rec(0, 0.0, 0.0, 1.5, 10)], 100, 1);
+        let occ = out.node_occupancy(Duration::from_hours(1.0));
+        assert_eq!(occ.len(), 24);
+        assert!((occ.values()[0] - 10.0).abs() < 1e-9);
+        assert!((occ.values()[1] - 5.0).abs() < 1e-9);
+        assert_eq!(occ.values()[2], 0.0);
+    }
+
+    #[test]
+    fn it_power_includes_idle_floor() {
+        let site = SiteSpec::reference_small(); // 64 nodes, 120 W idle, 550 W max
+        let out = SimOutcome::new(
+            vec![rec(0, 0.0, 0.0, 1.0, 32)],
+            64,
+            Duration::from_hours(2.0),
+            false,
+        );
+        let it = out.it_power_series(&site, Duration::from_hours(1.0));
+        // Hour 0: 32 × 550 W + 32 × 120 W = 21.44 kW.
+        assert!((it.values()[0].as_kilowatts() - (32.0 * 0.55 + 32.0 * 0.12)).abs() < 1e-9);
+        // Hour 1: all idle → 64 × 120 W.
+        assert!((it.values()[1].as_kilowatts() - 64.0 * 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shutdown_removes_idle_floor_from_series() {
+        let site = SiteSpec::reference_small();
+        let busy = SimOutcome::new(
+            vec![rec(0, 0.0, 0.0, 1.0, 32)],
+            64,
+            Duration::from_hours(2.0),
+            true,
+        );
+        let it = busy.it_power_series(&site, Duration::from_hours(1.0));
+        assert!((it.values()[0].as_kilowatts() - 32.0 * 0.55).abs() < 1e-9);
+        assert_eq!(it.values()[1].as_kilowatts(), 0.0);
+    }
+
+    #[test]
+    fn load_series_applies_site_model() {
+        let site = SiteSpec::reference_small();
+        let out = SimOutcome::new(vec![], 64, Duration::from_hours(1.0), false);
+        let load = out.to_load_series(&site);
+        // All idle: 64×120 W through the load-dependent PUE + 5 kW office.
+        let idle_it = Power::from_kilowatts(64.0 * 0.12);
+        let cooling = site.cooling().unwrap();
+        let expected = cooling.facility_power(idle_it).as_kilowatts() + 5.0;
+        assert!((load.values()[0].as_kilowatts() - expected).abs() < 1e-6);
+        assert_eq!(load.step(), Duration::from_minutes(15.0));
+    }
+
+    #[test]
+    fn partial_interval_weighting() {
+        // 30-minute job in a 1-hour bin → half weight.
+        let out = outcome(vec![rec(0, 0.0, 0.25, 0.75, 10)], 100, 1);
+        let occ = out.node_occupancy(Duration::from_hours(1.0));
+        assert!((occ.values()[0] - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests: scheduler conservation invariants (DESIGN.md §5)
+//! under randomized workloads and constraints.
+
+use hpcgrid_scheduler::policy::{CapSchedule, Policy, PowerConstraints};
+use hpcgrid_scheduler::sim::ScheduleSimulator;
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_units::SimTime;
+use hpcgrid_workload::trace::{JobTrace, WorkloadBuilder};
+use proptest::prelude::*;
+
+fn random_trace() -> impl Strategy<Value = JobTrace> {
+    (0u64..1000, 2u64..6, 2.0f64..25.0, 0.0f64..0.5).prop_map(
+        |(seed, days, rate, deferrable)| {
+            WorkloadBuilder::new(seed)
+                .nodes(128)
+                .days(days)
+                .arrivals_per_hour(rate)
+                .deferrable_fraction(deferrable)
+                .build()
+        },
+    )
+}
+
+fn check_conservation(trace: &JobTrace, outcome: &hpcgrid_scheduler::metrics::SimOutcome) {
+    // Every job runs exactly once.
+    assert_eq!(outcome.records().len(), trace.len());
+    let mut ids: Vec<u64> = outcome.records().iter().map(|r| r.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.len());
+    // Causality and duration fidelity.
+    for r in outcome.records() {
+        assert!(r.start >= r.submit);
+        let job = trace.jobs().iter().find(|j| j.id == r.id).unwrap();
+        assert_eq!(r.end.since(r.start), job.runtime);
+        assert_eq!(r.nodes, job.nodes);
+    }
+}
+
+fn check_no_oversubscription(outcome: &hpcgrid_scheduler::metrics::SimOutcome, nodes: usize) {
+    let mut events: Vec<(SimTime, i64)> = Vec::new();
+    for r in outcome.records() {
+        events.push((r.start, r.nodes as i64));
+        events.push((r.end, -(r.nodes as i64)));
+    }
+    events.sort_by_key(|(t, d)| (*t, *d));
+    let mut busy = 0i64;
+    for (_, d) in events {
+        busy += d;
+        assert!(busy <= nodes as i64);
+        assert!(busy >= 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three policies conserve jobs and never oversubscribe.
+    #[test]
+    fn conservation_both_policies(trace in random_trace()) {
+        for policy in [Policy::Fcfs, Policy::EasyBackfill, Policy::ConservativeBackfill] {
+            let out = ScheduleSimulator::new(128, policy).run(&trace);
+            check_conservation(&trace, &out);
+            check_no_oversubscription(&out, 128);
+        }
+    }
+
+    /// A busy-node cap is honored at every start instant.
+    #[test]
+    fn cap_is_honored(trace in random_trace(), cap in 64usize..128) {
+        let constraints = PowerConstraints {
+            cap: CapSchedule::constant(cap),
+            ..Default::default()
+        };
+        let out = match ScheduleSimulator::with_constraints(128, Policy::EasyBackfill, constraints)
+            .try_run(&trace)
+        {
+            Ok(o) => o,
+            Err(_) => return Ok(()), // a job larger than the cap: legitimate deadlock error
+        };
+        check_conservation(&trace, &out);
+        check_no_oversubscription(&out, cap);
+    }
+
+    /// Avoid-windows: no deferrable job starts inside one.
+    #[test]
+    fn avoid_windows_respected(trace in random_trace(), start_h in 0u64..48, len_h in 1u64..12) {
+        let windows = IntervalSet::from_intervals(vec![Interval::new(
+            SimTime::from_hours(start_h as f64),
+            SimTime::from_hours((start_h + len_h) as f64),
+        )]);
+        let constraints = PowerConstraints {
+            avoid_windows: windows.clone(),
+            ..Default::default()
+        };
+        let out = ScheduleSimulator::with_constraints(128, Policy::EasyBackfill, constraints)
+            .run(&trace);
+        check_conservation(&trace, &out);
+        for r in out.records() {
+            if r.kind == hpcgrid_workload::job::JobKind::Deferrable {
+                prop_assert!(!windows.contains(r.start), "deferrable started in window");
+            }
+        }
+    }
+
+    /// Backfill never lets a job start before its submission, and the
+    /// utilization metric stays in [0, 1].
+    #[test]
+    fn utilization_bounded(trace in random_trace()) {
+        let out = ScheduleSimulator::new(128, Policy::EasyBackfill).run(&trace);
+        let u = out.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        prop_assert!(out.mean_bounded_slowdown() >= 1.0);
+    }
+
+    /// Determinism: the same trace and policy produce the same schedule.
+    #[test]
+    fn deterministic(trace in random_trace()) {
+        let a = ScheduleSimulator::new(128, Policy::EasyBackfill).run(&trace);
+        let b = ScheduleSimulator::new(128, Policy::EasyBackfill).run(&trace);
+        prop_assert_eq!(a, b);
+    }
+}

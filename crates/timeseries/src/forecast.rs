@@ -1,0 +1,254 @@
+//! Load forecasting.
+//!
+//! §3.4 of the paper describes ESPs relying on SCs "for forecasting of
+//! deviations from normal power consumption patterns". These are the
+//! standard reference forecasters for interval load data:
+//!
+//! * **persistence** — tomorrow looks like right now;
+//! * **moving average** — tomorrow looks like the recent mean;
+//! * **seasonal naive** — tomorrow looks like the same time yesterday /
+//!   last week (the right baseline for strongly diurnal SC load);
+//!
+//! plus the error metrics used to compare them (MAE, RMSE, MAPE).
+
+use crate::series::{PowerSeries, Series};
+use crate::{Result, TsError};
+use hpcgrid_units::{Duration, Power};
+use serde::{Deserialize, Serialize};
+
+/// A forecasting method over regular-interval power data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Forecaster {
+    /// Repeat the last observed value.
+    Persistence,
+    /// Mean of the trailing window.
+    MovingAverage {
+        /// Window length in intervals.
+        window: usize,
+    },
+    /// Repeat the value observed one season ago (e.g. 96 intervals = one
+    /// day of 15-minute data).
+    SeasonalNaive {
+        /// Season length in intervals.
+        season: usize,
+    },
+}
+
+impl Forecaster {
+    /// One-step-ahead forecasts for `history`: output `i` forecasts input
+    /// `i` using only inputs `0..i`. The first forecastable index depends on
+    /// the method (1 for persistence, `window` / `season` otherwise); the
+    /// output series starts at that index's timestamp.
+    pub fn one_step(&self, history: &PowerSeries) -> Result<PowerSeries> {
+        let v = history.values();
+        let start_idx = match self {
+            Forecaster::Persistence => 1,
+            Forecaster::MovingAverage { window } => {
+                if *window == 0 {
+                    return Err(TsError::BadWindow {
+                        detail: "moving-average window must be positive".into(),
+                    });
+                }
+                *window
+            }
+            Forecaster::SeasonalNaive { season } => {
+                if *season == 0 {
+                    return Err(TsError::BadWindow {
+                        detail: "season must be positive".into(),
+                    });
+                }
+                *season
+            }
+        };
+        if v.len() <= start_idx {
+            return Err(TsError::BadWindow {
+                detail: format!(
+                    "history of {} intervals too short for forecaster needing {}",
+                    v.len(),
+                    start_idx + 1
+                ),
+            });
+        }
+        let forecasts: Vec<Power> = (start_idx..v.len())
+            .map(|i| match self {
+                Forecaster::Persistence => v[i - 1],
+                Forecaster::MovingAverage { window } => {
+                    let sum: f64 = v[i - window..i].iter().map(|p| p.as_kilowatts()).sum();
+                    Power::from_kilowatts(sum / *window as f64)
+                }
+                Forecaster::SeasonalNaive { season } => v[i - season],
+            })
+            .collect();
+        Series::new(history.time_at(start_idx), history.step(), forecasts)
+    }
+
+    /// The actual values aligned with [`Forecaster::one_step`]'s output.
+    pub fn actuals(&self, history: &PowerSeries) -> Result<PowerSeries> {
+        let f = self.one_step(history)?;
+        Ok(history.slice_time(f.start(), f.end()))
+    }
+}
+
+/// Forecast-error metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastError {
+    /// Mean absolute error (kW).
+    pub mae_kw: f64,
+    /// Root-mean-square error (kW).
+    pub rmse_kw: f64,
+    /// Mean absolute percentage error (fraction; only over non-zero
+    /// actuals).
+    pub mape: f64,
+}
+
+/// Compare a forecast against actuals (must be aligned).
+pub fn error(forecast: &PowerSeries, actual: &PowerSeries) -> Result<ForecastError> {
+    forecast.check_aligned(actual)?;
+    if forecast.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let n = forecast.len() as f64;
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut pct_sum = 0.0;
+    let mut pct_n = 0usize;
+    for (f, a) in forecast.values().iter().zip(actual.values()) {
+        let e = (f.as_kilowatts() - a.as_kilowatts()).abs();
+        abs_sum += e;
+        sq_sum += e * e;
+        if a.as_kilowatts().abs() > 1e-12 {
+            pct_sum += e / a.as_kilowatts().abs();
+            pct_n += 1;
+        }
+    }
+    Ok(ForecastError {
+        mae_kw: abs_sum / n,
+        rmse_kw: (sq_sum / n).sqrt(),
+        mape: if pct_n > 0 { pct_sum / pct_n as f64 } else { 0.0 },
+    })
+}
+
+/// Evaluate a forecaster on a history: one-step errors.
+pub fn backtest(forecaster: Forecaster, history: &PowerSeries) -> Result<ForecastError> {
+    let f = forecaster.one_step(history)?;
+    let a = forecaster.actuals(history)?;
+    error(&f, &a)
+}
+
+/// Convenience: a daily seasonal-naive forecaster for a series' step.
+pub fn daily_seasonal(step: Duration) -> Forecaster {
+    let per_day = (86_400 / step.as_secs().max(1)) as usize;
+    Forecaster::SeasonalNaive {
+        season: per_day.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::SimTime;
+
+    fn series(kw: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            kw.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn persistence_shifts_by_one() {
+        let h = series(vec![1.0, 2.0, 3.0, 4.0]);
+        let f = Forecaster::Persistence.one_step(&h).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.start(), SimTime::from_hours(1.0));
+        assert_eq!(
+            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+        let a = Forecaster::Persistence.actuals(&h).unwrap();
+        assert_eq!(
+            a.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn moving_average_uses_trailing_window() {
+        let h = series(vec![2.0, 4.0, 6.0, 8.0]);
+        let f = Forecaster::MovingAverage { window: 2 }.one_step(&h).unwrap();
+        assert_eq!(
+            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![3.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_season() {
+        // Two-interval season: forecast repeats values two steps back.
+        let h = series(vec![1.0, 9.0, 2.0, 8.0, 3.0]);
+        let f = Forecaster::SeasonalNaive { season: 2 }.one_step(&h).unwrap();
+        assert_eq!(
+            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![1.0, 9.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn seasonal_beats_persistence_on_diurnal_load() {
+        // A strongly diurnal load: day 800 kW, night 200 kW, hourly data.
+        let h = Series::from_fn(SimTime::EPOCH, Duration::from_hours(1.0), 24 * 7, |t| {
+            let hour = (t.as_secs() % 86_400) / 3_600;
+            Power::from_kilowatts(if (8..20).contains(&hour) { 800.0 } else { 200.0 })
+        })
+        .unwrap();
+        let e_persist = backtest(Forecaster::Persistence, &h).unwrap();
+        let e_seasonal = backtest(daily_seasonal(Duration::from_hours(1.0)), &h).unwrap();
+        assert!(e_seasonal.mae_kw < e_persist.mae_kw);
+        assert_eq!(e_seasonal.mae_kw, 0.0); // perfectly periodic
+    }
+
+    #[test]
+    fn error_metrics_basics() {
+        let f = series(vec![10.0, 10.0]);
+        let a = series(vec![12.0, 8.0]);
+        let e = error(&f, &a).unwrap();
+        assert!((e.mae_kw - 2.0).abs() < 1e-12);
+        assert!((e.rmse_kw - 2.0).abs() < 1e-12);
+        assert!((e.mape - (2.0 / 12.0 + 2.0 / 8.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_handles_zero_actuals() {
+        let f = series(vec![1.0]);
+        let a = series(vec![0.0]);
+        let e = error(&f, &a).unwrap();
+        assert_eq!(e.mape, 0.0); // no non-zero actuals to rate against
+        assert_eq!(e.mae_kw, 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        let h = series(vec![1.0, 2.0]);
+        assert!(Forecaster::MovingAverage { window: 0 }.one_step(&h).is_err());
+        assert!(Forecaster::SeasonalNaive { season: 0 }.one_step(&h).is_err());
+        assert!(Forecaster::SeasonalNaive { season: 5 }.one_step(&h).is_err());
+        let one = series(vec![1.0]);
+        assert!(Forecaster::Persistence.one_step(&one).is_err());
+        let misaligned = series(vec![1.0, 2.0, 3.0]);
+        assert!(error(&h, &misaligned).is_err());
+    }
+
+    #[test]
+    fn daily_seasonal_sizes_by_step() {
+        assert_eq!(
+            daily_seasonal(Duration::from_minutes(15.0)),
+            Forecaster::SeasonalNaive { season: 96 }
+        );
+        assert_eq!(
+            daily_seasonal(Duration::from_hours(1.0)),
+            Forecaster::SeasonalNaive { season: 24 }
+        );
+    }
+}

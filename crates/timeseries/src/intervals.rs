@@ -1,0 +1,280 @@
+//! Half-open time intervals and interval sets.
+//!
+//! Time-of-use tariff windows, maintenance periods, and DR events are all
+//! sets of `[start, end)` intervals; pricing needs membership tests, set
+//! algebra, and total-duration computation over them.
+
+use hpcgrid_units::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open time interval `[start, end)`. Intervals with `end <= start`
+/// are empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Construct an interval.
+    pub fn new(start: SimTime, end: SimTime) -> Interval {
+        Interval { start, end }
+    }
+
+    /// Construct from a start and length.
+    pub fn from_duration(start: SimTime, len: Duration) -> Interval {
+        Interval {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// True if the interval contains no time.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Length of the interval (zero if empty).
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Intersection with another interval (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// True if the two intervals overlap in a non-empty range.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A normalized set of disjoint, sorted, non-empty intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// Build from arbitrary intervals: drops empties, sorts, merges overlaps
+    /// and adjacencies.
+    pub fn from_intervals(mut intervals: Vec<Interval>) -> IntervalSet {
+        intervals.retain(|iv| !iv.is_empty());
+        intervals.sort_by_key(|iv| iv.start);
+        let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => merged.push(iv),
+            }
+        }
+        IntervalSet { intervals: merged }
+    }
+
+    /// The disjoint sorted intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// True if the set covers no time.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total covered duration.
+    pub fn total_duration(&self) -> Duration {
+        self.intervals
+            .iter()
+            .fold(Duration::ZERO, |acc, iv| acc + iv.duration())
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, t: SimTime) -> bool {
+        match self
+            .intervals
+            .binary_search_by(|iv| iv.start.cmp(&t))
+        {
+            Ok(_) => true,                       // t is exactly a start
+            Err(0) => false,                     // before the first interval
+            Err(i) => self.intervals[i - 1].contains(t),
+        }
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.intervals.clone();
+        all.extend_from_slice(&other.intervals);
+        IntervalSet::from_intervals(all)
+    }
+
+    /// Intersection with another set (linear merge of sorted interval lists).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = self.intervals[i];
+            let b = other.intervals[j];
+            let x = a.intersect(&b);
+            if !x.is_empty() {
+                out.push(x);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// Complement within a bounding interval.
+    pub fn complement_within(&self, bounds: Interval) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = bounds.start;
+        for iv in &self.intervals {
+            let clipped = iv.intersect(&bounds);
+            if clipped.is_empty() {
+                continue;
+            }
+            if clipped.start > cursor {
+                out.push(Interval::new(cursor, clipped.start));
+            }
+            cursor = cursor.max(clipped.end);
+        }
+        if cursor < bounds.end {
+            out.push(Interval::new(cursor, bounds.end));
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Overlap duration between this set and an arbitrary interval.
+    pub fn overlap_with(&self, iv: Interval) -> Duration {
+        self.intervals
+            .iter()
+            .map(|x| x.intersect(&iv).duration())
+            .fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let x = iv(10, 20);
+        assert!(!x.is_empty());
+        assert_eq!(x.duration().as_secs(), 10);
+        assert!(x.contains(SimTime::from_secs(10)));
+        assert!(x.contains(SimTime::from_secs(19)));
+        assert!(!x.contains(SimTime::from_secs(20)));
+        assert!(iv(5, 5).is_empty());
+        assert_eq!(iv(5, 3).duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn interval_intersect_overlap() {
+        assert_eq!(iv(0, 10).intersect(&iv(5, 15)), iv(5, 10));
+        assert!(iv(0, 10).overlaps(&iv(9, 11)));
+        assert!(!iv(0, 10).overlaps(&iv(10, 11))); // half-open: touching ≠ overlap
+    }
+
+    #[test]
+    fn set_normalizes() {
+        let s = IntervalSet::from_intervals(vec![iv(10, 20), iv(0, 5), iv(4, 12), iv(30, 30)]);
+        assert_eq!(s.intervals(), &[iv(0, 20)]);
+        assert_eq!(s.total_duration().as_secs(), 20);
+    }
+
+    #[test]
+    fn set_merges_adjacent() {
+        let s = IntervalSet::from_intervals(vec![iv(0, 5), iv(5, 10)]);
+        assert_eq!(s.intervals(), &[iv(0, 10)]);
+    }
+
+    #[test]
+    fn set_contains_binary_search() {
+        let s = IntervalSet::from_intervals(vec![iv(0, 5), iv(10, 15), iv(20, 25)]);
+        assert!(s.contains(SimTime::from_secs(0)));
+        assert!(s.contains(SimTime::from_secs(12)));
+        assert!(!s.contains(SimTime::from_secs(7)));
+        assert!(!s.contains(SimTime::from_secs(15)));
+        assert!(s.contains(SimTime::from_secs(10)));
+        assert!(!s.contains(SimTime::from_secs(99)));
+        assert!(!IntervalSet::empty().contains(SimTime::EPOCH));
+    }
+
+    #[test]
+    fn set_union_intersect() {
+        let a = IntervalSet::from_intervals(vec![iv(0, 10), iv(20, 30)]);
+        let b = IntervalSet::from_intervals(vec![iv(5, 25)]);
+        let u = a.union(&b);
+        assert_eq!(u.intervals(), &[iv(0, 30)]);
+        let x = a.intersect(&b);
+        assert_eq!(x.intervals(), &[iv(5, 10), iv(20, 25)]);
+    }
+
+    #[test]
+    fn set_complement() {
+        let a = IntervalSet::from_intervals(vec![iv(5, 10), iv(15, 20)]);
+        let c = a.complement_within(iv(0, 25));
+        assert_eq!(c.intervals(), &[iv(0, 5), iv(10, 15), iv(20, 25)]);
+        // Complement of empty set is the bounds.
+        let c2 = IntervalSet::empty().complement_within(iv(0, 10));
+        assert_eq!(c2.intervals(), &[iv(0, 10)]);
+        // Complement within bounds entirely covered is empty.
+        let c3 = IntervalSet::from_intervals(vec![iv(0, 50)]).complement_within(iv(10, 20));
+        assert!(c3.is_empty());
+    }
+
+    #[test]
+    fn overlap_with_interval() {
+        let a = IntervalSet::from_intervals(vec![iv(0, 10), iv(20, 30)]);
+        assert_eq!(a.overlap_with(iv(5, 25)).as_secs(), 10);
+        assert_eq!(a.overlap_with(iv(40, 50)).as_secs(), 0);
+    }
+
+    #[test]
+    fn complement_then_union_is_bounds() {
+        let a = IntervalSet::from_intervals(vec![iv(3, 7), iv(12, 18)]);
+        let bounds = iv(0, 20);
+        let c = a.complement_within(bounds);
+        let u = a.union(&c);
+        assert_eq!(u.intervals(), &[bounds]);
+        assert_eq!(
+            u.total_duration().as_secs(),
+            a.total_duration().as_secs() + c.total_duration().as_secs()
+        );
+    }
+}

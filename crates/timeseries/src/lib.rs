@@ -1,0 +1,81 @@
+//! # hpcgrid-timeseries
+//!
+//! A regular-interval time-series engine purpose-built for electricity
+//! billing and grid simulation.
+//!
+//! Everything a contract prices — energy tariffs per kWh, demand charges on
+//! billing-period peaks, powerband excursions sampled continuously — reduces
+//! to operations over *regular-interval series of mean power*: integration
+//! (kW → kWh), windowed peak extraction, interval masking (time-of-use
+//! periods), and resampling between meter resolutions. This crate provides
+//! those operations, together with summary statistics (peak-to-average ratio,
+//! load factor, ramp rates) and crossbeam-based parallel batch helpers for
+//! Monte-Carlo parameter sweeps.
+//!
+//! ## Semantics
+//!
+//! A [`series::Series`] holds values `v[0..n]` where `v[i]` is the *mean*
+//! value over the half-open interval `[start + i·step, start + (i+1)·step)`.
+//! This matches how revenue meters record load: as interval data, not
+//! instantaneous samples. Energy over the series is therefore exactly
+//! `Σ v[i] · step`.
+
+#![warn(missing_docs)]
+
+pub mod forecast;
+pub mod intervals;
+pub mod par;
+pub mod peaks;
+pub mod resample;
+pub mod series;
+pub mod stats;
+pub mod windows;
+
+pub use intervals::{Interval, IntervalSet};
+pub use series::{EnergySeries, PowerSeries, PriceSeries, Series};
+
+/// Errors from time-series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// Series step must be a positive number of seconds.
+    ZeroStep,
+    /// Two series that must be aligned (same start/step/len) were not.
+    Misaligned {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// Requested resample step is incompatible (not a multiple/divisor).
+    IncompatibleStep {
+        /// Source step in seconds.
+        from_secs: u64,
+        /// Requested step in seconds.
+        to_secs: u64,
+    },
+    /// An operation that needs a non-empty series got an empty one.
+    Empty,
+    /// A window length shorter than the step or zero.
+    BadWindow {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::ZeroStep => write!(f, "series step must be positive"),
+            TsError::Misaligned { detail } => write!(f, "series misaligned: {detail}"),
+            TsError::IncompatibleStep { from_secs, to_secs } => write!(
+                f,
+                "cannot resample from {from_secs}s to {to_secs}s: steps incompatible"
+            ),
+            TsError::Empty => write!(f, "operation requires a non-empty series"),
+            TsError::BadWindow { detail } => write!(f, "bad window: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TsError>;

@@ -1,0 +1,162 @@
+//! Parallel batch helpers for Monte-Carlo parameter sweeps.
+//!
+//! The experiment harness evaluates hundreds of scenarios (tariff × load ×
+//! policy combinations) that are mutually independent — classic
+//! embarrassingly-parallel fan-out. These helpers run a closure over a slice
+//! of inputs on scoped threads (`crossbeam::scope`), preserving input order
+//! in the output.
+//!
+//! Two scheduling modes are provided:
+//!
+//! * [`par_map`] — static chunking, lowest overhead, best when every task
+//!   costs about the same;
+//! * [`par_map_dynamic`] — an atomic work counter so threads steal the next
+//!   index when they finish, best when task costs are skewed (e.g. sweeps
+//!   where longer horizons cost more).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// clamped to the number of tasks, and at least 1.
+pub fn default_threads(tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(tasks).max(1)
+}
+
+/// Map `f` over `items` in parallel with static chunking; output order
+/// matches input order. Falls back to a sequential map for 0–1 items.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = default_threads(n);
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| s.spawn(|_| slice.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+/// Map `f` over `items` in parallel with dynamic (work-stealing-style)
+/// scheduling; output order matches input order.
+pub fn par_map_dynamic<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = default_threads(n);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                // Per-thread buffer so the shared lock is taken once per thread.
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut pairs = collected.into_inner();
+    pairs.sort_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel fold: map every item and combine the results with `combine`,
+/// starting from `init`. Combination order is unspecified, so `combine`
+/// should be associative and commutative.
+pub fn par_fold<T, A, F, C>(items: &[T], init: A, f: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send + Clone,
+    F: Fn(&T) -> A + Sync,
+    C: Fn(A, A) -> A + Sync,
+{
+    let partials = par_map(items, f);
+    partials.into_iter().fold(init, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_dynamic_preserves_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let out = par_map_dynamic(&items, |x| x + 1);
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_small_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7], |x| x * 3), vec![21]);
+        assert!(par_map_dynamic(&empty, |x| *x).is_empty());
+        assert_eq!(par_map_dynamic(&[7], |x| x * 3), vec![21]);
+    }
+
+    #[test]
+    fn par_fold_sums() {
+        let items: Vec<u64> = (1..=100).collect();
+        let total = par_fold(&items, 0u64, |x| *x, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn matches_sequential_on_skewed_work() {
+        // Tasks with wildly different costs still produce ordered results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_dynamic(&items, |x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 13) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (*x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0), 1);
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(1_000_000) >= 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Peak extraction: billing-period demand peaks and top-k peak events.
+//!
+//! Demand charges (paper §3.2.2) are computed from the *maximum metered
+//! demand* in a billing period — the max of interval means at the meter's
+//! demand-interval width. `billing_period_peaks` reproduces that measurement;
+//! `top_k_peaks` supports contracts that average the k highest demand
+//! intervals instead of taking the single max.
+
+use crate::series::PowerSeries;
+use crate::{resample, Result, TsError};
+use hpcgrid_units::{Duration, Power, SimTime};
+
+/// A detected demand peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Start of the demand interval in which the peak occurred.
+    pub at: SimTime,
+    /// Metered demand (mean power over the demand interval).
+    pub demand: Power,
+}
+
+/// Metered demand series: the load resampled to the meter's demand-interval
+/// width (e.g. 15 min). If the series is already at that width this is a copy.
+pub fn metered_demand(load: &PowerSeries, demand_interval: Duration) -> Result<PowerSeries> {
+    if demand_interval.as_secs() >= load.step().as_secs() {
+        resample::downsample_mean(load, demand_interval)
+    } else {
+        // A demand interval finer than the data adds no information: meter
+        // at the data's own resolution.
+        Ok(load.clone())
+    }
+}
+
+/// The single maximum demand interval over the whole series.
+pub fn max_demand(load: &PowerSeries, demand_interval: Duration) -> Result<Peak> {
+    let metered = metered_demand(load, demand_interval)?;
+    let (idx, &demand) = metered
+        .values()
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite power"))
+        .ok_or(TsError::Empty)?;
+    Ok(Peak {
+        at: metered.time_at(idx),
+        demand,
+    })
+}
+
+/// The demand peaks of each billing period, where periods are delimited by a
+/// caller-supplied boundary function mapping a timestamp to a period id
+/// (e.g. `Calendar::billing_month`). Returns `(period_id, Peak)` pairs in
+/// period order.
+pub fn billing_period_peaks<F: Fn(SimTime) -> u64>(
+    load: &PowerSeries,
+    demand_interval: Duration,
+    period_of: F,
+) -> Result<Vec<(u64, Peak)>> {
+    let metered = metered_demand(load, demand_interval)?;
+    if metered.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let mut out: Vec<(u64, Peak)> = Vec::new();
+    for (t, &demand) in metered.iter() {
+        let period = period_of(t);
+        match out.last_mut() {
+            Some((p, peak)) if *p == period => {
+                if demand > peak.demand {
+                    *peak = Peak { at: t, demand };
+                }
+            }
+            _ => out.push((period, Peak { at: t, demand })),
+        }
+    }
+    Ok(out)
+}
+
+/// The `k` highest demand intervals (descending). Useful for contracts that
+/// bill on an average of the top-k peaks, and for reporting "three 15 MW
+/// peaks in a billing period" as in the paper's demand-charge example.
+pub fn top_k_peaks(load: &PowerSeries, demand_interval: Duration, k: usize) -> Result<Vec<Peak>> {
+    let metered = metered_demand(load, demand_interval)?;
+    if metered.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let mut peaks: Vec<Peak> = metered
+        .iter()
+        .map(|(t, &demand)| Peak { at: t, demand })
+        .collect();
+    peaks.sort_by(|a, b| b.demand.partial_cmp(&a.demand).expect("finite power"));
+    peaks.truncate(k);
+    Ok(peaks)
+}
+
+/// Count intervals whose metered demand strictly exceeds `threshold`.
+pub fn count_exceedances(
+    load: &PowerSeries,
+    demand_interval: Duration,
+    threshold: Power,
+) -> Result<usize> {
+    let metered = metered_demand(load, demand_interval)?;
+    Ok(metered.values().iter().filter(|p| **p > threshold).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use hpcgrid_units::SimTime;
+
+    fn mk(values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            values.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_demand_finds_peak_interval() {
+        let s = mk(vec![1.0, 9.0, 3.0, 4.0]);
+        let p = max_demand(&s, Duration::from_minutes(15.0)).unwrap();
+        assert_eq!(p.demand.as_kilowatts(), 9.0);
+        assert_eq!(p.at, SimTime::from_secs(900));
+    }
+
+    #[test]
+    fn coarser_demand_interval_smooths_peak() {
+        // A 1-interval spike of 10 kW averaged into a 30-min window with 0 kW.
+        let s = mk(vec![0.0, 10.0, 0.0, 0.0]);
+        let fine = max_demand(&s, Duration::from_minutes(15.0)).unwrap();
+        let coarse = max_demand(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(fine.demand.as_kilowatts(), 10.0);
+        assert_eq!(coarse.demand.as_kilowatts(), 5.0);
+    }
+
+    #[test]
+    fn demand_interval_finer_than_data_uses_data_resolution() {
+        let s = mk(vec![2.0, 4.0]);
+        let p = max_demand(&s, Duration::from_minutes(1.0)).unwrap();
+        assert_eq!(p.demand.as_kilowatts(), 4.0);
+    }
+
+    #[test]
+    fn billing_period_peaks_split_on_boundary() {
+        // 8 intervals = 2 h; periods of 1 h each.
+        let s = mk(vec![1.0, 5.0, 2.0, 3.0, 7.0, 1.0, 6.0, 2.0]);
+        let peaks = billing_period_peaks(&s, Duration::from_minutes(15.0), |t| {
+            t.as_secs() / 3600
+        })
+        .unwrap();
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].0, 0);
+        assert_eq!(peaks[0].1.demand.as_kilowatts(), 5.0);
+        assert_eq!(peaks[1].0, 1);
+        assert_eq!(peaks[1].1.demand.as_kilowatts(), 7.0);
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let s = mk(vec![1.0, 5.0, 2.0, 3.0]);
+        let top = top_k_peaks(&s, Duration::from_minutes(15.0), 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].demand.as_kilowatts(), 5.0);
+        assert_eq!(top[1].demand.as_kilowatts(), 3.0);
+        // k larger than the series returns everything.
+        let all = top_k_peaks(&s, Duration::from_minutes(15.0), 10).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn exceedance_count() {
+        let s = mk(vec![1.0, 5.0, 2.0, 3.0]);
+        let n = count_exceedances(
+            &s,
+            Duration::from_minutes(15.0),
+            Power::from_kilowatts(2.5),
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn empty_series_errors() {
+        let s = mk(vec![]);
+        assert!(max_demand(&s, Duration::from_minutes(15.0)).is_err());
+        assert!(top_k_peaks(&s, Duration::from_minutes(15.0), 1).is_err());
+        assert!(
+            billing_period_peaks(&s, Duration::from_minutes(15.0), |_| 0).is_err()
+        );
+    }
+}

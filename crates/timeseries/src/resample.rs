@@ -1,0 +1,177 @@
+//! Resampling between meter resolutions.
+//!
+//! Utilities meter demand at specific interval widths (commonly 15 minutes in
+//! the US, sometimes 1 minute for powerband monitoring). Resampling mean-power
+//! interval data must conserve energy when coarsening; when refining, the
+//! best estimate without extra information is a hold (each fine interval
+//! inherits the coarse mean), which also conserves energy.
+
+use crate::series::{PowerSeries, Series};
+use crate::{Result, TsError};
+use hpcgrid_units::{Duration, Power};
+
+/// Coarsen a power series to a step that is an integer multiple of the
+/// current step, averaging the fine intervals inside each coarse interval.
+///
+/// A trailing partial window (fewer than `factor` fine intervals) is averaged
+/// over the intervals actually present, matching how a meter closes out a
+/// partial billing interval.
+pub fn downsample_mean(s: &PowerSeries, to_step: Duration) -> Result<PowerSeries> {
+    if to_step.is_zero() {
+        return Err(TsError::ZeroStep);
+    }
+    let from = s.step().as_secs();
+    let to = to_step.as_secs();
+    if !to.is_multiple_of(from) {
+        return Err(TsError::IncompatibleStep {
+            from_secs: from,
+            to_secs: to,
+        });
+    }
+    let factor = (to / from) as usize;
+    if factor == 1 {
+        return Ok(s.clone());
+    }
+    let mut out = Vec::with_capacity(s.len().div_ceil(factor));
+    for chunk in s.values().chunks(factor) {
+        let sum: f64 = chunk.iter().map(|p| p.as_kilowatts()).sum();
+        out.push(Power::from_kilowatts(sum / chunk.len() as f64));
+    }
+    Series::new(s.start(), to_step, out)
+}
+
+/// Refine a power series to a step that evenly divides the current step,
+/// holding each coarse mean across its fine intervals.
+pub fn upsample_hold(s: &PowerSeries, to_step: Duration) -> Result<PowerSeries> {
+    if to_step.is_zero() {
+        return Err(TsError::ZeroStep);
+    }
+    let from = s.step().as_secs();
+    let to = to_step.as_secs();
+    if !from.is_multiple_of(to) {
+        return Err(TsError::IncompatibleStep {
+            from_secs: from,
+            to_secs: to,
+        });
+    }
+    let factor = (from / to) as usize;
+    if factor == 1 {
+        return Ok(s.clone());
+    }
+    let mut out = Vec::with_capacity(s.len() * factor);
+    for p in s.values() {
+        for _ in 0..factor {
+            out.push(*p);
+        }
+    }
+    Series::new(s.start(), to_step, out)
+}
+
+/// Resample in either direction, choosing mean-downsample or hold-upsample.
+pub fn resample(s: &PowerSeries, to_step: Duration) -> Result<PowerSeries> {
+    if to_step.is_zero() {
+        return Err(TsError::ZeroStep);
+    }
+    let from = s.step().as_secs();
+    let to = to_step.as_secs();
+    if to >= from {
+        downsample_mean(s, to_step)
+    } else {
+        upsample_hold(s, to_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::SimTime;
+
+    fn mk(step_min: f64, values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(step_min),
+            values.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn downsample_averages_and_conserves_energy() {
+        let s = mk(15.0, vec![1.0, 3.0, 5.0, 7.0]);
+        let coarse = downsample_mean(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse.values()[0].as_kilowatts(), 2.0);
+        assert_eq!(coarse.values()[1].as_kilowatts(), 6.0);
+        assert!(
+            (coarse.total_energy().as_kilowatt_hours() - s.total_energy().as_kilowatt_hours())
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn downsample_partial_tail() {
+        let s = mk(15.0, vec![2.0, 4.0, 9.0]);
+        let coarse = downsample_mean(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse.values()[0].as_kilowatts(), 3.0);
+        // Tail window has a single interval; its mean is itself.
+        assert_eq!(coarse.values()[1].as_kilowatts(), 9.0);
+    }
+
+    #[test]
+    fn upsample_holds_and_conserves_energy() {
+        let s = mk(30.0, vec![2.0, 6.0]);
+        let fine = upsample_hold(&s, Duration::from_minutes(15.0)).unwrap();
+        assert_eq!(fine.len(), 4);
+        assert_eq!(
+            fine.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![2.0, 2.0, 6.0, 6.0]
+        );
+        assert!(
+            (fine.total_energy().as_kilowatt_hours() - s.total_energy().as_kilowatt_hours()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn incompatible_steps_rejected() {
+        let s = mk(15.0, vec![1.0, 2.0]);
+        assert!(matches!(
+            downsample_mean(&s, Duration::from_minutes(20.0)),
+            Err(TsError::IncompatibleStep { .. })
+        ));
+        assert!(matches!(
+            upsample_hold(&s, Duration::from_minutes(10.0)),
+            Err(TsError::IncompatibleStep { .. })
+        ));
+        assert!(matches!(
+            resample(&s, Duration::ZERO),
+            Err(TsError::ZeroStep)
+        ));
+    }
+
+    #[test]
+    fn identity_resample() {
+        let s = mk(15.0, vec![1.0, 2.0]);
+        let same = resample(&s, Duration::from_minutes(15.0)).unwrap();
+        assert_eq!(same, s);
+    }
+
+    #[test]
+    fn resample_dispatches_direction() {
+        let s = mk(15.0, vec![1.0, 3.0]);
+        let up = resample(&s, Duration::from_minutes(5.0)).unwrap();
+        assert_eq!(up.len(), 6);
+        let down = resample(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down.values()[0].as_kilowatts(), 2.0);
+    }
+
+    #[test]
+    fn downsampling_never_raises_peak() {
+        let s = mk(1.0, (0..60).map(|i| (i % 7) as f64).collect());
+        let down = downsample_mean(&s, Duration::from_minutes(15.0)).unwrap();
+        assert!(down.peak().unwrap() <= s.peak().unwrap());
+    }
+}

@@ -1,0 +1,472 @@
+//! The core regular-interval [`Series`] container and its typed aliases.
+
+use crate::{Result, TsError};
+use hpcgrid_units::{Duration, Energy, EnergyPrice, Money, Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A regular-interval time series.
+///
+/// `values[i]` is the mean value over `[start + i·step, start + (i+1)·step)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series<T> {
+    start: SimTime,
+    step: Duration,
+    values: Vec<T>,
+}
+
+/// Interval load series (mean kW per interval) — what a revenue meter records.
+pub type PowerSeries = Series<Power>;
+/// Price series ($/kWh per interval) — a dynamic tariff or market price strip.
+pub type PriceSeries = Series<EnergyPrice>;
+/// Per-interval energy series (kWh per interval).
+pub type EnergySeries = Series<Energy>;
+
+impl<T> Series<T> {
+    /// Create a series from raw interval values.
+    ///
+    /// # Errors
+    /// Returns [`TsError::ZeroStep`] if `step` is zero.
+    pub fn new(start: SimTime, step: Duration, values: Vec<T>) -> Result<Self> {
+        if step.is_zero() {
+            return Err(TsError::ZeroStep);
+        }
+        Ok(Series {
+            start,
+            step,
+            values,
+        })
+    }
+
+    /// Series start time (beginning of the first interval).
+    #[inline]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Interval width.
+    #[inline]
+    pub fn step(&self) -> Duration {
+        self.step
+    }
+
+    /// End time (exclusive) of the last interval.
+    #[inline]
+    pub fn end(&self) -> SimTime {
+        self.start + self.step * self.values.len() as u64
+    }
+
+    /// Total covered duration.
+    #[inline]
+    pub fn span(&self) -> Duration {
+        self.step * self.values.len() as u64
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series has no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw interval values.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable raw interval values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Consume into the raw value vector.
+    #[inline]
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+
+    /// Start time of interval `i`.
+    #[inline]
+    pub fn time_at(&self, i: usize) -> SimTime {
+        self.start + self.step * i as u64
+    }
+
+    /// Index of the interval containing `t`, or `None` if out of range.
+    pub fn index_at(&self, t: SimTime) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        let i = (t.as_secs() - self.start.as_secs()) / self.step.as_secs();
+        if (i as usize) < self.values.len() {
+            Some(i as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(interval_start, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        let start = self.start;
+        let step = self.step;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (start + step * i as u64, v))
+    }
+
+    /// Map every value, preserving the time axis.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Series<U> {
+        Series {
+            start: self.start,
+            step: self.step,
+            values: self.values.iter().map(f).collect(),
+        }
+    }
+
+    /// Map every `(time, value)` pair, preserving the time axis.
+    pub fn map_with_time<U, F: FnMut(SimTime, &T) -> U>(&self, mut f: F) -> Series<U> {
+        Series {
+            start: self.start,
+            step: self.step,
+            values: self
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| f(self.start + self.step * i as u64, v))
+                .collect(),
+        }
+    }
+
+    /// Check that `other` shares this series' start, step, and length.
+    pub fn check_aligned<U>(&self, other: &Series<U>) -> Result<()> {
+        if self.start != other.start || self.step != other.step || self.len() != other.len() {
+            return Err(TsError::Misaligned {
+                detail: format!(
+                    "self(start={}, step={}, len={}) vs other(start={}, step={}, len={})",
+                    self.start,
+                    self.step,
+                    self.len(),
+                    other.start,
+                    other.step,
+                    other.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Combine two aligned series element-wise.
+    pub fn zip_with<U, V, F: FnMut(&T, &U) -> V>(
+        &self,
+        other: &Series<U>,
+        mut f: F,
+    ) -> Result<Series<V>> {
+        self.check_aligned(other)?;
+        Ok(Series {
+            start: self.start,
+            step: self.step,
+            values: self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(a, b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sub-series covering `[from, to)` clipped to the series bounds.
+    /// Interval boundaries are preserved (the cut snaps outward is NOT done:
+    /// `from` snaps down to its containing interval, `to` snaps up).
+    pub fn slice_time(&self, from: SimTime, to: SimTime) -> Series<T>
+    where
+        T: Clone,
+    {
+        if self.values.is_empty() || to <= self.start || from >= self.end() {
+            return Series {
+                start: from.max(self.start),
+                step: self.step,
+                values: Vec::new(),
+            };
+        }
+        let from = from.max(self.start);
+        let to = to.min(self.end());
+        let i0 = (from.as_secs() - self.start.as_secs()) / self.step.as_secs();
+        let i1 = (to.as_secs() - self.start.as_secs()).div_ceil(self.step.as_secs());
+        Series {
+            start: self.start + self.step * i0,
+            step: self.step,
+            values: self.values[i0 as usize..i1 as usize].to_vec(),
+        }
+    }
+}
+
+impl<T: Clone> Series<T> {
+    /// A constant series: `n` intervals of the same value.
+    pub fn constant(start: SimTime, step: Duration, value: T, n: usize) -> Result<Self> {
+        Series::new(start, step, vec![value; n])
+    }
+}
+
+impl<T> Series<T> {
+    /// Build a series by evaluating `f` at the start of each interval.
+    pub fn from_fn<F: FnMut(SimTime) -> T>(
+        start: SimTime,
+        step: Duration,
+        n: usize,
+        mut f: F,
+    ) -> Result<Self> {
+        if step.is_zero() {
+            return Err(TsError::ZeroStep);
+        }
+        let values = (0..n)
+            .map(|i| f(start + step * i as u64))
+            .collect::<Vec<_>>();
+        Ok(Series {
+            start,
+            step,
+            values,
+        })
+    }
+}
+
+impl PowerSeries {
+    /// Total energy: `Σ v[i] · step` — the exact integral of the interval data.
+    pub fn total_energy(&self) -> Energy {
+        let sum_kw: f64 = self.values.iter().map(|p| p.as_kilowatts()).sum();
+        Energy::from_kilowatt_hours(sum_kw * self.step.as_hours())
+    }
+
+    /// Per-interval energy series.
+    pub fn energy_per_interval(&self) -> EnergySeries {
+        let h = self.step.as_hours();
+        self.map(|p| Energy::from_kilowatt_hours(p.as_kilowatts() * h))
+    }
+
+    /// Mean power over the whole series. Errors on empty series.
+    pub fn mean_power(&self) -> Result<Power> {
+        if self.values.is_empty() {
+            return Err(TsError::Empty);
+        }
+        let sum: f64 = self.values.iter().map(|p| p.as_kilowatts()).sum();
+        Ok(Power::from_kilowatts(sum / self.values.len() as f64))
+    }
+
+    /// Maximum interval value. Errors on empty series.
+    pub fn peak(&self) -> Result<Power> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<Power>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
+            .ok_or(TsError::Empty)
+    }
+
+    /// Minimum interval value. Errors on empty series.
+    pub fn trough(&self) -> Result<Power> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<Power>, p| {
+                Some(acc.map_or(p, |a| a.min(p)))
+            })
+            .ok_or(TsError::Empty)
+    }
+
+    /// Element-wise sum of two aligned load series (e.g. compute + cooling).
+    pub fn add_series(&self, other: &PowerSeries) -> Result<PowerSeries> {
+        self.zip_with(other, |a, b| *a + *b)
+    }
+
+    /// Scale every interval by a factor.
+    pub fn scale(&self, factor: f64) -> PowerSeries {
+        self.map(|p| *p * factor)
+    }
+
+    /// Clip every interval to at most `cap` (a power-capping actuation).
+    pub fn clip_max(&self, cap: Power) -> PowerSeries {
+        self.map(|p| p.min(cap))
+    }
+
+    /// Price the series against an aligned $/kWh strip: `Σ v[i]·step·price[i]`.
+    pub fn cost_against(&self, prices: &PriceSeries) -> Result<Money> {
+        self.check_aligned(prices)?;
+        let h = self.step.as_hours();
+        let dollars: f64 = self
+            .values
+            .iter()
+            .zip(prices.values())
+            .map(|(p, pr)| p.as_kilowatts() * h * pr.as_dollars_per_kilowatt_hour())
+            .sum();
+        Ok(Money::from_dollars(dollars))
+    }
+}
+
+impl EnergySeries {
+    /// Total energy across intervals.
+    pub fn total(&self) -> Energy {
+        self.values.iter().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            values.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_step() {
+        let r = PowerSeries::new(SimTime::EPOCH, Duration::ZERO, vec![]);
+        assert_eq!(r.unwrap_err(), TsError::ZeroStep);
+    }
+
+    #[test]
+    fn geometry() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.span(), Duration::from_hours(1.0));
+        assert_eq!(s.end(), SimTime::from_hours(1.0));
+        assert_eq!(s.time_at(2), SimTime::from_secs(1800));
+        assert_eq!(s.index_at(SimTime::from_secs(0)), Some(0));
+        assert_eq!(s.index_at(SimTime::from_secs(899)), Some(0));
+        assert_eq!(s.index_at(SimTime::from_secs(900)), Some(1));
+        assert_eq!(s.index_at(SimTime::from_hours(1.0)), None);
+    }
+
+    #[test]
+    fn index_before_start_is_none() {
+        let s = PowerSeries::new(
+            SimTime::from_hours(2.0),
+            Duration::from_minutes(15.0),
+            vec![Power::ZERO],
+        )
+        .unwrap();
+        assert_eq!(s.index_at(SimTime::EPOCH), None);
+        assert_eq!(s.index_at(SimTime::from_hours(2.0)), Some(0));
+    }
+
+    #[test]
+    fn total_energy_integrates() {
+        // Four 15-min intervals at 1,2,3,4 kW → (1+2+3+4)*0.25 = 2.5 kWh.
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((s.total_energy().as_kilowatt_hours() - 2.5).abs() < 1e-12);
+        assert!((s.energy_per_interval().total().as_kilowatt_hours() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_peak_trough() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean_power().unwrap().as_kilowatts(), 2.5);
+        assert_eq!(s.peak().unwrap().as_kilowatts(), 4.0);
+        assert_eq!(s.trough().unwrap().as_kilowatts(), 1.0);
+        let empty = mk(vec![]);
+        assert!(empty.mean_power().is_err());
+        assert!(empty.peak().is_err());
+        assert!(empty.trough().is_err());
+    }
+
+    #[test]
+    fn zip_requires_alignment() {
+        let a = mk(vec![1.0, 2.0]);
+        let b = mk(vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            a.add_series(&b),
+            Err(TsError::Misaligned { .. })
+        ));
+        let c = mk(vec![10.0, 20.0]);
+        let sum = a.add_series(&c).unwrap();
+        assert_eq!(sum.values()[1].as_kilowatts(), 22.0);
+    }
+
+    #[test]
+    fn scale_and_clip() {
+        let s = mk(vec![1.0, 5.0, 10.0]);
+        assert_eq!(s.scale(2.0).values()[2].as_kilowatts(), 20.0);
+        let clipped = s.clip_max(Power::from_kilowatts(4.0));
+        assert_eq!(
+            clipped
+                .values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
+            vec![1.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn cost_against_prices() {
+        let s = mk(vec![1000.0, 1000.0, 1000.0, 1000.0]); // 1 MW for 1 h
+        let prices = PriceSeries::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            vec![
+                EnergyPrice::per_kilowatt_hour(0.10),
+                EnergyPrice::per_kilowatt_hour(0.10),
+                EnergyPrice::per_kilowatt_hour(0.20),
+                EnergyPrice::per_kilowatt_hour(0.20),
+            ],
+        )
+        .unwrap();
+        // 250 kWh * 0.10 * 2 + 250 kWh * 0.20 * 2 = 50 + 100 = 150.
+        let cost = s.cost_against(&prices).unwrap();
+        assert!((cost.as_dollars() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_time_clips_and_snaps() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]); // covers [0, 1h)
+        let sub = s.slice_time(SimTime::from_secs(900), SimTime::from_secs(2700));
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.start(), SimTime::from_secs(900));
+        assert_eq!(sub.values()[0].as_kilowatts(), 2.0);
+        // Sub-interval boundaries snap outward to whole intervals.
+        let sub = s.slice_time(SimTime::from_secs(1000), SimTime::from_secs(1000 + 1));
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.values()[0].as_kilowatts(), 2.0);
+        // Fully outside → empty.
+        assert!(s
+            .slice_time(SimTime::from_hours(5.0), SimTime::from_hours(6.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn from_fn_and_constant() {
+        let s = PowerSeries::from_fn(SimTime::EPOCH, Duration::from_hours(1.0), 3, |t| {
+            Power::from_kilowatts(t.as_hours())
+        })
+        .unwrap();
+        assert_eq!(s.values()[2].as_kilowatts(), 2.0);
+        let c =
+            PowerSeries::constant(SimTime::EPOCH, Duration::from_hours(1.0), Power::ZERO, 5)
+                .unwrap();
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn map_with_time_passes_timestamps() {
+        let s = mk(vec![1.0, 1.0]);
+        let tagged = s.map_with_time(|t, p| (t.as_secs(), p.as_kilowatts()));
+        assert_eq!(tagged.values()[1], (900, 1.0));
+    }
+
+    #[test]
+    fn iter_yields_times() {
+        let s = mk(vec![1.0, 2.0]);
+        let times: Vec<u64> = s.iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![0, 900]);
+    }
+}

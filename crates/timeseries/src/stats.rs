@@ -1,0 +1,232 @@
+//! Summary statistics for load series.
+//!
+//! The quantities the paper's economics turn on: peak-to-average ratio (the
+//! driver of demand-charge share, §2 \[34\]), load factor, ramp rates ("fast
+//! ramping variability in the demand of these SCs can strain the grid", §1),
+//! and dispersion measures.
+
+use crate::series::PowerSeries;
+use crate::{Result, TsError};
+use hpcgrid_units::{Duration, Power};
+use serde::{Deserialize, Serialize};
+
+/// A bundle of summary statistics over a load series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Mean power.
+    pub mean: Power,
+    /// Maximum interval power.
+    pub peak: Power,
+    /// Minimum interval power.
+    pub trough: Power,
+    /// Standard deviation of interval power.
+    pub std_dev: Power,
+    /// Peak-to-average ratio (`peak / mean`), ∞ if mean is zero.
+    pub peak_to_average: f64,
+    /// Load factor (`mean / peak`), the utility-side inverse of P/A.
+    pub load_factor: f64,
+    /// Maximum absolute interval-to-interval change per hour (kW/h).
+    pub max_ramp_kw_per_hour: f64,
+    /// Mean absolute interval-to-interval change per hour (kW/h).
+    pub mean_ramp_kw_per_hour: f64,
+}
+
+/// Compute [`LoadStats`] for a series. Errors on an empty series.
+pub fn load_stats(s: &PowerSeries) -> Result<LoadStats> {
+    if s.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let n = s.len() as f64;
+    let kw: Vec<f64> = s.values().iter().map(|p| p.as_kilowatts()).collect();
+    let mean = kw.iter().sum::<f64>() / n;
+    let peak = kw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let trough = kw.iter().cloned().fold(f64::INFINITY, f64::min);
+    let var = kw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let step_h = s.step().as_hours();
+    let (mut max_ramp, mut sum_ramp) = (0.0f64, 0.0f64);
+    for w in kw.windows(2) {
+        let r = (w[1] - w[0]).abs() / step_h;
+        max_ramp = max_ramp.max(r);
+        sum_ramp += r;
+    }
+    let mean_ramp = if kw.len() > 1 {
+        sum_ramp / (kw.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(LoadStats {
+        mean: Power::from_kilowatts(mean),
+        peak: Power::from_kilowatts(peak),
+        trough: Power::from_kilowatts(trough),
+        std_dev: Power::from_kilowatts(var.sqrt()),
+        peak_to_average: if mean > 0.0 { peak / mean } else { f64::INFINITY },
+        load_factor: if peak > 0.0 { mean / peak } else { 0.0 },
+        max_ramp_kw_per_hour: max_ramp,
+        mean_ramp_kw_per_hour: mean_ramp,
+    })
+}
+
+/// Percentile of interval power (linear interpolation between order
+/// statistics). `q` in `[0, 1]`. Errors on empty input or out-of-range `q`.
+pub fn percentile(s: &PowerSeries, q: f64) -> Result<Power> {
+    if s.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(TsError::BadWindow {
+            detail: format!("percentile q={q} outside [0,1]"),
+        });
+    }
+    let mut kw: Vec<f64> = s.values().iter().map(|p| p.as_kilowatts()).collect();
+    kw.sort_by(|a, b| a.partial_cmp(b).expect("finite power"));
+    let pos = q * (kw.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(Power::from_kilowatts(kw[lo] + (kw[hi] - kw[lo]) * frac))
+}
+
+/// Ramp-rate series: signed kW/h change between consecutive intervals
+/// (length `n - 1`). Errors if the series has fewer than two intervals.
+pub fn ramp_rates(s: &PowerSeries) -> Result<Vec<f64>> {
+    if s.len() < 2 {
+        return Err(TsError::Empty);
+    }
+    let step_h = s.step().as_hours();
+    Ok(s.values()
+        .windows(2)
+        .map(|w| (w[1].as_kilowatts() - w[0].as_kilowatts()) / step_h)
+        .collect())
+}
+
+/// Duration spent above a threshold (counting whole intervals).
+pub fn time_above(s: &PowerSeries, threshold: Power) -> Duration {
+    let n = s.values().iter().filter(|p| **p > threshold).count();
+    s.step() * n as u64
+}
+
+/// The load-duration curve: interval values sorted descending, so index `i`
+/// answers "what load is exceeded for `i` intervals of the horizon?" — the
+/// classic power-systems view behind demand-charge and capacity planning.
+pub fn duration_curve(s: &PowerSeries) -> Vec<Power> {
+    let mut v: Vec<Power> = s.values().to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite power"));
+    v
+}
+
+/// Load exceeded for at least a fraction `q` of the horizon (`q` in `[0,1]`;
+/// `q = 0` gives the peak). Errors on empty input or out-of-range `q`.
+pub fn exceedance_level(s: &PowerSeries, q: f64) -> Result<Power> {
+    if s.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(TsError::BadWindow {
+            detail: format!("exceedance fraction q={q} outside [0,1]"),
+        });
+    }
+    let curve = duration_curve(s);
+    let idx = ((curve.len() as f64 - 1.0) * q).round() as usize;
+    Ok(curve[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use hpcgrid_units::SimTime;
+
+    fn mk(values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            values.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = mk(vec![2.0, 4.0, 6.0, 8.0]);
+        let st = load_stats(&s).unwrap();
+        assert_eq!(st.mean.as_kilowatts(), 5.0);
+        assert_eq!(st.peak.as_kilowatts(), 8.0);
+        assert_eq!(st.trough.as_kilowatts(), 2.0);
+        assert!((st.peak_to_average - 1.6).abs() < 1e-12);
+        assert!((st.load_factor - 0.625).abs() < 1e-12);
+        // Steps of 2 kW per 15 min = 8 kW/h.
+        assert!((st.max_ramp_kw_per_hour - 8.0).abs() < 1e-9);
+        assert!((st.mean_ramp_kw_per_hour - 8.0).abs() < 1e-9);
+        // Population std dev of 2,4,6,8 is sqrt(5).
+        assert!((st.std_dev.as_kilowatts() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_zero_mean() {
+        let s = mk(vec![0.0, 0.0]);
+        let st = load_stats(&s).unwrap();
+        assert!(st.peak_to_average.is_infinite());
+        assert_eq!(st.load_factor, 0.0);
+    }
+
+    #[test]
+    fn stats_single_interval_has_zero_ramp() {
+        let s = mk(vec![5.0]);
+        let st = load_stats(&s).unwrap();
+        assert_eq!(st.max_ramp_kw_per_hour, 0.0);
+        assert_eq!(st.mean_ramp_kw_per_hour, 0.0);
+    }
+
+    #[test]
+    fn empty_errors() {
+        let s = mk(vec![]);
+        assert!(load_stats(&s).is_err());
+        assert!(percentile(&s, 0.5).is_err());
+        assert!(ramp_rates(&s).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(percentile(&s, 0.0).unwrap().as_kilowatts(), 1.0);
+        assert_eq!(percentile(&s, 1.0).unwrap().as_kilowatts(), 4.0);
+        assert_eq!(percentile(&s, 0.5).unwrap().as_kilowatts(), 2.5);
+        assert!(percentile(&s, 1.5).is_err());
+    }
+
+    #[test]
+    fn ramp_rates_signed() {
+        let s = mk(vec![0.0, 4.0, 2.0]);
+        let r = ramp_rates(&s).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 16.0).abs() < 1e-9);
+        assert!((r[1] + 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_above_threshold() {
+        let s = mk(vec![1.0, 5.0, 6.0, 2.0]);
+        let d = time_above(&s, Power::from_kilowatts(4.0));
+        assert_eq!(d.as_secs(), 1800);
+        assert_eq!(time_above(&s, Power::from_kilowatts(10.0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_curve_sorts_descending() {
+        let s = mk(vec![2.0, 7.0, 4.0, 1.0]);
+        let c = duration_curve(&s);
+        let kw: Vec<f64> = c.iter().map(|p| p.as_kilowatts()).collect();
+        assert_eq!(kw, vec![7.0, 4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn exceedance_levels() {
+        let s = mk(vec![2.0, 7.0, 4.0, 1.0]);
+        assert_eq!(exceedance_level(&s, 0.0).unwrap().as_kilowatts(), 7.0);
+        assert_eq!(exceedance_level(&s, 1.0).unwrap().as_kilowatts(), 1.0);
+        // One-third of the way down a 4-point curve rounds to index 1.
+        assert_eq!(exceedance_level(&s, 0.33).unwrap().as_kilowatts(), 4.0);
+        assert!(exceedance_level(&s, 1.5).is_err());
+        assert!(exceedance_level(&mk(vec![]), 0.5).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Rolling-window aggregates over load series.
+//!
+//! Powerband compliance is monitored continuously (paper §3.2.2), which in
+//! interval-data terms means rolling means/extrema at the monitoring window
+//! width; forecasting experiments use rolling means as naive predictors.
+
+use crate::series::{PowerSeries, Series};
+use crate::{Result, TsError};
+use hpcgrid_units::{Duration, Power};
+
+fn window_len(s: &PowerSeries, window: Duration) -> Result<usize> {
+    if window.is_zero() {
+        return Err(TsError::BadWindow {
+            detail: "window must be positive".into(),
+        });
+    }
+    if !window.as_secs().is_multiple_of(s.step().as_secs()) {
+        return Err(TsError::BadWindow {
+            detail: format!(
+                "window {}s is not a multiple of step {}s",
+                window.as_secs(),
+                s.step().as_secs()
+            ),
+        });
+    }
+    let w = (window.as_secs() / s.step().as_secs()) as usize;
+    if w > s.len() {
+        return Err(TsError::BadWindow {
+            detail: format!("window of {w} intervals exceeds series length {}", s.len()),
+        });
+    }
+    Ok(w)
+}
+
+/// Rolling mean with a window that is a whole number of intervals. The result
+/// has `n - w + 1` values; value `i` covers input intervals `i .. i + w`.
+pub fn rolling_mean(s: &PowerSeries, window: Duration) -> Result<PowerSeries> {
+    let w = window_len(s, window)?;
+    let kw: Vec<f64> = s.values().iter().map(|p| p.as_kilowatts()).collect();
+    let mut out = Vec::with_capacity(kw.len() - w + 1);
+    let mut sum: f64 = kw[..w].iter().sum();
+    out.push(Power::from_kilowatts(sum / w as f64));
+    for i in w..kw.len() {
+        sum += kw[i] - kw[i - w];
+        out.push(Power::from_kilowatts(sum / w as f64));
+    }
+    Series::new(s.start(), s.step(), out)
+}
+
+/// Rolling maximum (monotone-deque algorithm, O(n)).
+pub fn rolling_max(s: &PowerSeries, window: Duration) -> Result<PowerSeries> {
+    let w = window_len(s, window)?;
+    let kw: Vec<f64> = s.values().iter().map(|p| p.as_kilowatts()).collect();
+    let mut out = Vec::with_capacity(kw.len() - w + 1);
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for i in 0..kw.len() {
+        while let Some(&back) = deque.back() {
+            if kw[back] <= kw[i] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        if let Some(&front) = deque.front() {
+            if front + w <= i {
+                deque.pop_front();
+            }
+        }
+        if i + 1 >= w {
+            out.push(Power::from_kilowatts(kw[*deque.front().expect("nonempty")]));
+        }
+    }
+    Series::new(s.start(), s.step(), out)
+}
+
+/// Rolling minimum (mirror of [`rolling_max`]).
+pub fn rolling_min(s: &PowerSeries, window: Duration) -> Result<PowerSeries> {
+    let neg = s.map(|p| Power::from_kilowatts(-p.as_kilowatts()));
+    let mx = rolling_max(&neg, window)?;
+    Ok(mx.map(|p| Power::from_kilowatts(-p.as_kilowatts())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcgrid_units::SimTime;
+
+    fn mk(values: Vec<f64>) -> PowerSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            values.into_iter().map(Power::from_kilowatts).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rolling_mean_basic() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        let m = rolling_mean(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(
+            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![1.5, 2.5, 3.5]
+        );
+    }
+
+    #[test]
+    fn rolling_max_deque() {
+        let s = mk(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]);
+        let m = rolling_max(&s, Duration::from_minutes(45.0)).unwrap();
+        assert_eq!(
+            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![4.0, 4.0, 5.0, 9.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn rolling_min_mirrors_max() {
+        let s = mk(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
+        let m = rolling_min(&s, Duration::from_minutes(30.0)).unwrap();
+        assert_eq!(
+            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            vec![1.0, 1.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn window_validation() {
+        let s = mk(vec![1.0, 2.0, 3.0]);
+        assert!(rolling_mean(&s, Duration::ZERO).is_err());
+        assert!(rolling_mean(&s, Duration::from_minutes(20.0)).is_err());
+        assert!(rolling_mean(&s, Duration::from_minutes(60.0)).is_err()); // > span
+        assert!(rolling_mean(&s, Duration::from_minutes(45.0)).is_ok());
+    }
+
+    #[test]
+    fn window_equal_to_series_gives_single_value() {
+        let s = mk(vec![2.0, 4.0, 6.0]);
+        let m = rolling_mean(&s, Duration::from_minutes(45.0)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.values()[0].as_kilowatts(), 4.0);
+    }
+}

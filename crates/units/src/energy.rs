@@ -1,0 +1,263 @@
+//! Electrical energy (kWh / MWh), the quantity tariffs are written against.
+
+use crate::{money::Money, power::Power, price::EnergyPrice, time::Duration, UnitError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An amount of electrical energy, stored internally in kilowatt-hours.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Construct from kilowatt-hours.
+    #[inline]
+    pub const fn from_kilowatt_hours(kwh: f64) -> Self {
+        Energy(kwh)
+    }
+
+    /// Construct from megawatt-hours.
+    #[inline]
+    pub fn from_megawatt_hours(mwh: f64) -> Self {
+        Energy(mwh * 1_000.0)
+    }
+
+    /// Construct from gigawatt-hours (annual SC consumption scale).
+    #[inline]
+    pub fn from_gigawatt_hours(gwh: f64) -> Self {
+        Energy(gwh * 1_000_000.0)
+    }
+
+    /// Checked constructor: rejects NaN/infinite values.
+    pub fn try_from_kilowatt_hours(kwh: f64) -> crate::Result<Self> {
+        if !kwh.is_finite() {
+            return Err(UnitError::NotFinite { what: "energy" });
+        }
+        Ok(Energy(kwh))
+    }
+
+    /// Value in kilowatt-hours.
+    #[inline]
+    pub const fn as_kilowatt_hours(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megawatt-hours.
+    #[inline]
+    pub fn as_megawatt_hours(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Value in gigawatt-hours.
+    #[inline]
+    pub fn as_gigawatt_hours(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Energy {
+        Energy(self.0.abs())
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, other: Energy) -> Energy {
+        Energy((self.0 - other.0).max(0.0))
+    }
+
+    /// Mean power over `d`: the inverse of [`Power`] × [`Duration`].
+    #[inline]
+    pub fn mean_power_over(self, d: Duration) -> Power {
+        Power::from_kilowatts(self.0 / d.as_hours())
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    #[inline]
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+/// Energy ÷ Energy → dimensionless ratio.
+impl Div<Energy> for Energy {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Energy × EnergyPrice → Money: the tariff billing step.
+impl Mul<EnergyPrice> for Energy {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: EnergyPrice) -> Money {
+        Money::from_dollars(self.0 * rhs.as_dollars_per_kilowatt_hour())
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Energy {
+    #[inline]
+    fn partial_cmp(&self, other: &Energy) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Energy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.abs() >= 1_000_000.0 {
+            write!(f, "{:.3} GWh", self.as_gigawatt_hours())
+        } else if self.0.abs() >= 1_000.0 {
+            write!(f, "{:.3} MWh", self.as_megawatt_hours())
+        } else {
+            write!(f, "{:.3} kWh", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e = Energy::from_gigawatt_hours(0.5);
+        assert_eq!(e.as_megawatt_hours(), 500.0);
+        assert_eq!(e.as_kilowatt_hours(), 500_000.0);
+    }
+
+    #[test]
+    fn mean_power_inverts_integration() {
+        let p = Power::from_kilowatts(250.0);
+        let d = Duration::from_hours(4.0);
+        let e = p * d;
+        let back = e.mean_power_over(d);
+        assert!((back.as_kilowatts() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_kilowatt_hours(10.0);
+        let b = Energy::from_kilowatt_hours(4.0);
+        assert_eq!((a + b).as_kilowatt_hours(), 14.0);
+        assert_eq!((a - b).as_kilowatt_hours(), 6.0);
+        assert_eq!((a * 3.0).as_kilowatt_hours(), 30.0);
+        assert_eq!((a / 2.0).as_kilowatt_hours(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-b).as_kilowatt_hours(), -4.0);
+        assert_eq!(b.saturating_sub(a), Energy::ZERO);
+    }
+
+    #[test]
+    fn billing_multiplication() {
+        let e = Energy::from_megawatt_hours(100.0);
+        let price = EnergyPrice::per_kilowatt_hour(0.10);
+        assert!(((e * price).as_dollars() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_and_order() {
+        let total: Energy = vec![
+            Energy::from_kilowatt_hours(1.0),
+            Energy::from_kilowatt_hours(2.0),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.as_kilowatt_hours(), 3.0);
+        assert!(Energy::from_kilowatt_hours(1.0) < Energy::from_kilowatt_hours(2.0));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Energy::from_kilowatt_hours(5.0).to_string(), "5.000 kWh");
+        assert_eq!(Energy::from_megawatt_hours(5.0).to_string(), "5.000 MWh");
+        assert_eq!(Energy::from_gigawatt_hours(5.0).to_string(), "5.000 GWh");
+    }
+
+    #[test]
+    fn checked_constructor() {
+        assert!(Energy::try_from_kilowatt_hours(f64::NAN).is_err());
+        assert!(Energy::try_from_kilowatt_hours(1.0).is_ok());
+    }
+}

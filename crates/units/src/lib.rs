@@ -1,0 +1,123 @@
+//! # hpcgrid-units
+//!
+//! Dimension-safe quantities for the `hpcgrid` toolkit.
+//!
+//! The ICPP 2019 contract-typology paper is, at its heart, about the
+//! distinction between contract components mapped to **energy** (kWh — tariffs),
+//! components mapped to **power** (kW — demand charges and powerbands), and
+//! monetary flows between a supercomputing center (SC) and its electricity
+//! service provider (ESP). Confusing kW with kWh, or a price-per-kWh with a
+//! price-per-kW, is exactly the class of bug a billing engine cannot afford,
+//! so every quantity in the workspace is a distinct newtype with only the
+//! physically meaningful arithmetic defined:
+//!
+//! * [`Power`] × [`Duration`] → [`Energy`]
+//! * [`Energy`] × [`EnergyPrice`] → [`Money`]
+//! * [`Power`] × [`DemandPrice`] → [`Money`]
+//!
+//! All quantities are thin wrappers over `f64`, `Copy`, and `#[repr(transparent)]`,
+//! so slices of them can be processed at full speed in the time-series engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpcgrid_units::{Power, Duration, EnergyPrice};
+//!
+//! let load = Power::from_megawatts(12.0);          // a mid-size SC
+//! let hour = Duration::from_hours(1.0);
+//! let tariff = EnergyPrice::per_kilowatt_hour(0.08);
+//!
+//! let energy = load * hour;                        // 12 MWh
+//! assert_eq!(energy.as_kilowatt_hours(), 12_000.0);
+//! let cost = energy * tariff;
+//! assert_eq!(cost.as_dollars(), 960.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod money;
+pub mod power;
+pub mod price;
+pub mod ratio;
+pub mod time;
+
+pub use energy::Energy;
+pub use money::Money;
+pub use power::Power;
+pub use price::{DemandPrice, EnergyPrice};
+pub use ratio::Ratio;
+pub use time::{Calendar, Duration, Month, SimTime, TimeOfDay, Weekday};
+
+/// Errors produced when constructing or combining quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitError {
+    /// A quantity that must be finite was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+    },
+    /// A quantity that must be non-negative was negative.
+    Negative {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+    },
+    /// A duration or interval that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitError::NotFinite { what } => write!(f, "{what} must be finite"),
+            UnitError::Negative { what } => write!(f, "{what} must be non-negative"),
+            UnitError::NonPositive { what } => write!(f, "{what} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Convenience result alias for unit construction.
+pub type Result<T> = std::result::Result<T, UnitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let p = Power::from_kilowatts(500.0);
+        let d = Duration::from_minutes(30.0);
+        let e = p * d;
+        assert!((e.as_kilowatt_hours() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_times_price_is_money() {
+        let e = Energy::from_megawatt_hours(2.0);
+        let price = EnergyPrice::per_megawatt_hour(35.0);
+        assert!((e * price).as_dollars() - 70.0 < 1e-9);
+    }
+
+    #[test]
+    fn demand_price_applies_to_peak_power() {
+        let peak = Power::from_megawatts(15.0);
+        let charge = DemandPrice::per_kilowatt_month(12.0);
+        // One month of a 15 MW peak at $12/kW-month.
+        assert!(((peak * charge).as_dollars() - 180_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = UnitError::NotFinite { what: "power" };
+        assert_eq!(e.to_string(), "power must be finite");
+        let e = UnitError::Negative { what: "energy" };
+        assert_eq!(e.to_string(), "energy must be non-negative");
+        let e = UnitError::NonPositive { what: "duration" };
+        assert_eq!(e.to_string(), "duration must be positive");
+    }
+}

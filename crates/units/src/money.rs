@@ -1,0 +1,222 @@
+//! Monetary amounts for electricity bills, incentive payments and penalties.
+
+use crate::UnitError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A monetary amount in an abstract "dollar" currency unit.
+///
+/// The paper's sites span the US and Europe; since we never convert between
+/// currencies (all experiments are within one contract), a single unit is
+/// sufficient and is labelled `$` in output.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero money.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Construct from dollars.
+    #[inline]
+    pub const fn from_dollars(d: f64) -> Self {
+        Money(d)
+    }
+
+    /// Checked constructor: rejects NaN/infinite values.
+    pub fn try_from_dollars(d: f64) -> crate::Result<Self> {
+        if !d.is_finite() {
+            return Err(UnitError::NotFinite { what: "money" });
+        }
+        Ok(Money(d))
+    }
+
+    /// Value in dollars.
+    #[inline]
+    pub const fn as_dollars(self) -> f64 {
+        self.0
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Money) -> Money {
+        Money(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Money) -> Money {
+        Money(self.0.max(other.0))
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Money {
+        Money(self.0.abs())
+    }
+
+    /// True if strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// True if the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, other: Money) -> Money {
+        Money((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    #[inline]
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    #[inline]
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    #[inline]
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    #[inline]
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: f64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Mul<Money> for f64 {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: Money) -> Money {
+        Money(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    #[inline]
+    fn div(self, rhs: f64) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+/// Money ÷ Money → dimensionless ratio (e.g. demand-charge share of a bill).
+impl Div<Money> for Money {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Money) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Money {
+    #[inline]
+    fn partial_cmp(&self, other: &Money) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Money {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 < 0.0 {
+            write!(f, "-${:.2}", -self.0)
+        } else {
+            write!(f, "${:.2}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(100.0);
+        let b = Money::from_dollars(30.0);
+        assert_eq!((a + b).as_dollars(), 130.0);
+        assert_eq!((a - b).as_dollars(), 70.0);
+        assert_eq!((a * 0.5).as_dollars(), 50.0);
+        assert_eq!((a / 4.0).as_dollars(), 25.0);
+        assert_eq!(a / b, 100.0 / 30.0);
+        assert_eq!((-a).as_dollars(), -100.0);
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(Money::from_dollars(-12.5).to_string(), "-$12.50");
+        assert_eq!(Money::from_dollars(12.5).to_string(), "$12.50");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Money::from_dollars(1.0).is_positive());
+        assert!(!Money::ZERO.is_positive());
+        assert!(Money::from_dollars(1.0).is_finite());
+    }
+
+    #[test]
+    fn saturating_sub() {
+        let a = Money::from_dollars(5.0);
+        let b = Money::from_dollars(9.0);
+        assert_eq!(a.saturating_sub(b), Money::ZERO);
+        assert_eq!(b.saturating_sub(a).as_dollars(), 4.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Money = (1..=3).map(|i| Money::from_dollars(i as f64)).sum();
+        assert_eq!(total.as_dollars(), 6.0);
+    }
+
+    #[test]
+    fn checked_constructor() {
+        assert!(Money::try_from_dollars(f64::INFINITY).is_err());
+        assert!(Money::try_from_dollars(0.0).is_ok());
+    }
+}

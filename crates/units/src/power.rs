@@ -1,0 +1,295 @@
+//! Electrical power (kW / MW), the quantity demand charges and powerbands
+//! are written against.
+
+use crate::{energy::Energy, time::Duration, UnitError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Instantaneous electrical power.
+///
+/// Stored internally in kilowatts. The paper's survey spans facility loads
+/// from 40 kW (small Top500 entries) to 60 MW theoretical feeder peaks, all of
+/// which are comfortably representable in `f64` kW.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Construct from kilowatts.
+    #[inline]
+    pub const fn from_kilowatts(kw: f64) -> Self {
+        Power(kw)
+    }
+
+    /// Construct from megawatts.
+    #[inline]
+    pub fn from_megawatts(mw: f64) -> Self {
+        Power(mw * 1_000.0)
+    }
+
+    /// Construct from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        Power(w / 1_000.0)
+    }
+
+    /// Checked constructor: rejects NaN/infinite values.
+    pub fn try_from_kilowatts(kw: f64) -> crate::Result<Self> {
+        if !kw.is_finite() {
+            return Err(UnitError::NotFinite { what: "power" });
+        }
+        Ok(Power(kw))
+    }
+
+    /// Value in kilowatts.
+    #[inline]
+    pub const fn as_kilowatts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megawatts.
+    #[inline]
+    pub fn as_megawatts(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Value in watts.
+    #[inline]
+    pub fn as_watts(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// True if the value is finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Power, hi: Power) -> Power {
+        Power(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Absolute value (useful for deviations from a scheduled band).
+    #[inline]
+    pub fn abs(self) -> Power {
+        Power(self.0.abs())
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`. Used for excursion
+    /// magnitudes above a powerband ceiling.
+    #[inline]
+    pub fn saturating_sub(self, other: Power) -> Power {
+        Power((self.0 - other.0).max(0.0))
+    }
+
+    /// Linear interpolation between two power levels.
+    #[inline]
+    pub fn lerp(self, other: Power, t: f64) -> Power {
+        Power(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    #[inline]
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    #[inline]
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    #[inline]
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Power {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Power) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Power {
+    type Output = Power;
+    #[inline]
+    fn neg(self) -> Power {
+        Power(-self.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Power) -> Power {
+        Power(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+/// Power ÷ Power → dimensionless ratio (e.g. peak-to-average ratio).
+impl Div<Power> for Power {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Power × Duration → Energy: the fundamental billing integration step.
+impl Mul<Duration> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Energy {
+        Energy::from_kilowatt_hours(self.0 * rhs.as_hours())
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Power {
+    #[inline]
+    fn partial_cmp(&self, other: &Power) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Power {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.abs() >= 1_000.0 {
+            write!(f, "{:.3} MW", self.as_megawatts())
+        } else {
+            write!(f, "{:.3} kW", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Power::from_megawatts(12.5);
+        assert_eq!(p.as_kilowatts(), 12_500.0);
+        assert_eq!(p.as_megawatts(), 12.5);
+        assert_eq!(Power::from_watts(1500.0).as_kilowatts(), 1.5);
+        assert_eq!(Power::from_kilowatts(2.0).as_watts(), 2000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Power::from_kilowatts(100.0);
+        let b = Power::from_kilowatts(40.0);
+        assert_eq!((a + b).as_kilowatts(), 140.0);
+        assert_eq!((a - b).as_kilowatts(), 60.0);
+        assert_eq!((a * 2.0).as_kilowatts(), 200.0);
+        assert_eq!((2.0 * a).as_kilowatts(), 200.0);
+        assert_eq!((a / 4.0).as_kilowatts(), 25.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).as_kilowatts(), -100.0);
+    }
+
+    #[test]
+    fn add_assign_sub_assign() {
+        let mut p = Power::from_kilowatts(10.0);
+        p += Power::from_kilowatts(5.0);
+        assert_eq!(p.as_kilowatts(), 15.0);
+        p -= Power::from_kilowatts(20.0);
+        assert_eq!(p.as_kilowatts(), -5.0);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = Power::from_kilowatts(5.0);
+        let b = Power::from_kilowatts(8.0);
+        assert_eq!(a.saturating_sub(b), Power::ZERO);
+        assert_eq!(b.saturating_sub(a).as_kilowatts(), 3.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Power::from_kilowatts(5.0);
+        let b = Power::from_kilowatts(8.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let c = Power::from_kilowatts(10.0);
+        assert_eq!(c.clamp(a, b), b);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Power::from_kilowatts(0.0);
+        let b = Power::from_kilowatts(10.0);
+        assert_eq!(a.lerp(b, 0.5).as_kilowatts(), 5.0);
+        assert_eq!(a.lerp(b, 0.0).as_kilowatts(), 0.0);
+        assert_eq!(a.lerp(b, 1.0).as_kilowatts(), 10.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Power = (1..=4).map(|i| Power::from_kilowatts(i as f64)).sum();
+        assert_eq!(total.as_kilowatts(), 10.0);
+    }
+
+    #[test]
+    fn try_from_rejects_nan() {
+        assert!(Power::try_from_kilowatts(f64::NAN).is_err());
+        assert!(Power::try_from_kilowatts(f64::INFINITY).is_err());
+        assert!(Power::try_from_kilowatts(-3.0).is_ok());
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Power::from_kilowatts(40.0).to_string(), "40.000 kW");
+        assert_eq!(Power::from_megawatts(60.0).to_string(), "60.000 MW");
+    }
+}

@@ -1,0 +1,241 @@
+//! Price types: $/kWh for tariffs (energy domain) and $/kW for demand
+//! charges (power domain).
+//!
+//! Keeping these as distinct types enforces the typology's central
+//! distinction between contract components "mapped to kWh" and components
+//! "mapped to kW" (paper §3.2.1–§3.2.2) at compile time.
+
+use crate::{money::Money, power::Power, UnitError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A price per unit of **energy** ($/kWh), the unit tariffs are quoted in.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct EnergyPrice(f64);
+
+impl EnergyPrice {
+    /// Zero price.
+    pub const ZERO: EnergyPrice = EnergyPrice(0.0);
+
+    /// Construct from $/kWh.
+    #[inline]
+    pub const fn per_kilowatt_hour(d: f64) -> Self {
+        EnergyPrice(d)
+    }
+
+    /// Construct from $/MWh (wholesale market convention).
+    #[inline]
+    pub fn per_megawatt_hour(d: f64) -> Self {
+        EnergyPrice(d / 1_000.0)
+    }
+
+    /// Checked constructor: rejects NaN/infinite and negative prices.
+    pub fn try_per_kilowatt_hour(d: f64) -> crate::Result<Self> {
+        if !d.is_finite() {
+            return Err(UnitError::NotFinite { what: "energy price" });
+        }
+        if d < 0.0 {
+            return Err(UnitError::Negative { what: "energy price" });
+        }
+        Ok(EnergyPrice(d))
+    }
+
+    /// Value in $/kWh.
+    #[inline]
+    pub const fn as_dollars_per_kilowatt_hour(self) -> f64 {
+        self.0
+    }
+
+    /// Value in $/MWh.
+    #[inline]
+    pub fn as_dollars_per_megawatt_hour(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: EnergyPrice) -> EnergyPrice {
+        EnergyPrice(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: EnergyPrice) -> EnergyPrice {
+        EnergyPrice(self.0.max(other.0))
+    }
+}
+
+impl Add for EnergyPrice {
+    type Output = EnergyPrice;
+    #[inline]
+    fn add(self, rhs: EnergyPrice) -> EnergyPrice {
+        EnergyPrice(self.0 + rhs.0)
+    }
+}
+
+impl Sub for EnergyPrice {
+    type Output = EnergyPrice;
+    #[inline]
+    fn sub(self, rhs: EnergyPrice) -> EnergyPrice {
+        EnergyPrice(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for EnergyPrice {
+    type Output = EnergyPrice;
+    #[inline]
+    fn mul(self, rhs: f64) -> EnergyPrice {
+        EnergyPrice(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for EnergyPrice {
+    type Output = EnergyPrice;
+    #[inline]
+    fn div(self, rhs: f64) -> EnergyPrice {
+        EnergyPrice(self.0 / rhs)
+    }
+}
+
+impl PartialOrd for EnergyPrice {
+    #[inline]
+    fn partial_cmp(&self, other: &EnergyPrice) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for EnergyPrice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${:.4}/kWh", self.0)
+    }
+}
+
+/// A price per unit of **peak power** ($/kW), the unit demand charges are
+/// quoted in (typically per billing month).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct DemandPrice(f64);
+
+impl DemandPrice {
+    /// Zero price.
+    pub const ZERO: DemandPrice = DemandPrice(0.0);
+
+    /// Construct from $/kW per billing month (US utility convention).
+    #[inline]
+    pub const fn per_kilowatt_month(d: f64) -> Self {
+        DemandPrice(d)
+    }
+
+    /// Checked constructor: rejects NaN/infinite and negative prices.
+    pub fn try_per_kilowatt_month(d: f64) -> crate::Result<Self> {
+        if !d.is_finite() {
+            return Err(UnitError::NotFinite { what: "demand price" });
+        }
+        if d < 0.0 {
+            return Err(UnitError::Negative { what: "demand price" });
+        }
+        Ok(DemandPrice(d))
+    }
+
+    /// Value in $/kW-month.
+    #[inline]
+    pub const fn as_dollars_per_kilowatt_month(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for DemandPrice {
+    type Output = DemandPrice;
+    #[inline]
+    fn add(self, rhs: DemandPrice) -> DemandPrice {
+        DemandPrice(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for DemandPrice {
+    type Output = DemandPrice;
+    #[inline]
+    fn mul(self, rhs: f64) -> DemandPrice {
+        DemandPrice(self.0 * rhs)
+    }
+}
+
+impl PartialOrd for DemandPrice {
+    #[inline]
+    fn partial_cmp(&self, other: &DemandPrice) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+/// Peak power × demand price → monthly demand charge.
+impl Mul<DemandPrice> for Power {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: DemandPrice) -> Money {
+        Money::from_dollars(self.as_kilowatts() * rhs.0)
+    }
+}
+
+impl std::fmt::Display for DemandPrice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${:.2}/kW-month", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_price_conversions() {
+        let p = EnergyPrice::per_megawatt_hour(50.0);
+        assert!((p.as_dollars_per_kilowatt_hour() - 0.05).abs() < 1e-12);
+        assert!((p.as_dollars_per_megawatt_hour() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_price_arithmetic() {
+        let a = EnergyPrice::per_kilowatt_hour(0.10);
+        let b = EnergyPrice::per_kilowatt_hour(0.04);
+        assert!(((a + b).as_dollars_per_kilowatt_hour()) - 0.14 < 1e-12);
+        assert!(((a - b).as_dollars_per_kilowatt_hour()) - 0.06 < 1e-12);
+        assert!(((a * 2.0).as_dollars_per_kilowatt_hour()) - 0.20 < 1e-12);
+        assert!(((a / 2.0).as_dollars_per_kilowatt_hour()) - 0.05 < 1e-12);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn demand_price_billing() {
+        let peak = Power::from_megawatts(10.0);
+        let dp = DemandPrice::per_kilowatt_month(15.0);
+        assert_eq!((peak * dp).as_dollars(), 150_000.0);
+    }
+
+    #[test]
+    fn checked_constructors_reject_bad() {
+        assert!(EnergyPrice::try_per_kilowatt_hour(-0.1).is_err());
+        assert!(EnergyPrice::try_per_kilowatt_hour(f64::NAN).is_err());
+        assert!(EnergyPrice::try_per_kilowatt_hour(0.1).is_ok());
+        assert!(DemandPrice::try_per_kilowatt_month(-1.0).is_err());
+        assert!(DemandPrice::try_per_kilowatt_month(f64::INFINITY).is_err());
+        assert!(DemandPrice::try_per_kilowatt_month(12.0).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EnergyPrice::per_kilowatt_hour(0.08).to_string(),
+            "$0.0800/kWh"
+        );
+        assert_eq!(
+            DemandPrice::per_kilowatt_month(12.0).to_string(),
+            "$12.00/kW-month"
+        );
+    }
+}

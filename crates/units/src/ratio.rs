@@ -1,0 +1,172 @@
+//! Dimensionless ratios and percentages (renewable shares, utilization,
+//! peak-to-average ratios).
+
+use crate::UnitError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::ops::{Add, Mul, Sub};
+
+/// A dimensionless ratio. `Ratio::from_percent(80.0)` is the "80 % renewable
+/// mix" requirement from the CSCS procurement case study (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// One (100 %).
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Construct from a plain fraction (1.0 = 100 %).
+    #[inline]
+    pub const fn from_fraction(f: f64) -> Self {
+        Ratio(f)
+    }
+
+    /// Construct from a percentage (100.0 = 100 %).
+    #[inline]
+    pub fn from_percent(p: f64) -> Self {
+        Ratio(p / 100.0)
+    }
+
+    /// Checked constructor for fractions that must lie in `[0, 1]`
+    /// (utilization, shares).
+    pub fn try_unit_fraction(f: f64) -> crate::Result<Self> {
+        if !f.is_finite() {
+            return Err(UnitError::NotFinite { what: "ratio" });
+        }
+        if f < 0.0 {
+            return Err(UnitError::Negative { what: "ratio" });
+        }
+        if f > 1.0 {
+            return Err(UnitError::NotFinite {
+                what: "unit-interval ratio (> 1)",
+            });
+        }
+        Ok(Ratio(f))
+    }
+
+    /// Value as a fraction.
+    #[inline]
+    pub const fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Value as a percentage.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Clamp into `[0, 1]`.
+    #[inline]
+    pub fn clamp_unit(self) -> Ratio {
+        Ratio(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Complement `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Ratio {
+        Ratio(1.0 - self.0)
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Ratio) -> Ratio {
+        Ratio(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Ratio) -> Ratio {
+        Ratio(self.0.max(other.0))
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl PartialOrd for Ratio {
+    #[inline]
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let r = Ratio::from_percent(80.0);
+        assert!((r.as_fraction() - 0.8).abs() < 1e-12);
+        assert!((r.as_percent() - 80.0).abs() < 1e-12);
+        assert_eq!(r.to_string(), "80.0%");
+    }
+
+    #[test]
+    fn complement_and_clamp() {
+        assert!((Ratio::from_fraction(0.3).complement().as_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(Ratio::from_fraction(1.4).clamp_unit(), Ratio::ONE);
+        assert_eq!(Ratio::from_fraction(-0.2).clamp_unit(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn unit_fraction_validation() {
+        assert!(Ratio::try_unit_fraction(0.5).is_ok());
+        assert!(Ratio::try_unit_fraction(-0.1).is_err());
+        assert!(Ratio::try_unit_fraction(1.1).is_err());
+        assert!(Ratio::try_unit_fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::from_fraction(0.5);
+        let b = Ratio::from_fraction(0.25);
+        assert!(((a + b).as_fraction()) - 0.75 < 1e-12);
+        assert!(((a - b).as_fraction()) - 0.25 < 1e-12);
+        assert!(((a * b).as_fraction()) - 0.125 < 1e-12);
+        assert!((a * 40.0) - 20.0 < 1e-12);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+}

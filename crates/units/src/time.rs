@@ -1,0 +1,703 @@
+//! Simulation time: timestamps, durations, and a simplified billing calendar.
+//!
+//! Time-of-use tariffs (paper §3.2.1) are defined over *known, contractually
+//! defined* time periods — day/night windows, weekday/weekend splits, and
+//! seasons. To price them we need a calendar, but nothing in the paper depends
+//! on leap years or daylight-saving transitions, so the calendar here is a
+//! deliberately simplified non-leap civil calendar: second-resolution
+//! timestamps, real month lengths, and a configurable weekday/month anchor
+//! for `t = 0`.
+
+use crate::UnitError;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Seconds in one minute.
+pub const SECS_PER_MIN: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+/// Days in the simplified (non-leap) year.
+pub const DAYS_PER_YEAR: u64 = 365;
+
+/// A span of time with one-second resolution.
+///
+/// Stored as whole seconds so interval arithmetic in the scheduler and the
+/// billing engine is exact; fractional constructors round to the nearest
+/// second.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s)
+    }
+
+    /// Construct from (possibly fractional) minutes, rounded to a second.
+    #[inline]
+    pub fn from_minutes(m: f64) -> Self {
+        Duration((m * SECS_PER_MIN as f64).round() as u64)
+    }
+
+    /// Construct from (possibly fractional) hours, rounded to a second.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Duration((h * SECS_PER_HOUR as f64).round() as u64)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        Duration(d * SECS_PER_DAY)
+    }
+
+    /// Checked constructor from hours: rejects NaN/∞/negative.
+    pub fn try_from_hours(h: f64) -> crate::Result<Self> {
+        if !h.is_finite() {
+            return Err(UnitError::NotFinite { what: "duration" });
+        }
+        if h < 0.0 {
+            return Err(UnitError::Negative { what: "duration" });
+        }
+        Ok(Self::from_hours(h))
+    }
+
+    /// Whole seconds.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / SECS_PER_MIN as f64
+    }
+
+    /// Fractional hours — the factor used when integrating kW into kWh.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// Fractional days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+
+    /// True if this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Integer division: how many times `step` fits into `self`.
+    #[inline]
+    pub const fn div_duration(self, step: Duration) -> u64 {
+        self.0 / step.0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.0 / SECS_PER_DAY;
+        let h = (self.0 % SECS_PER_DAY) / SECS_PER_HOUR;
+        let m = (self.0 % SECS_PER_HOUR) / SECS_PER_MIN;
+        let s = self.0 % SECS_PER_MIN;
+        if d > 0 {
+            write!(f, "{d}d{h:02}h{m:02}m{s:02}s")
+        } else if h > 0 {
+            write!(f, "{h}h{m:02}m{s:02}s")
+        } else if m > 0 {
+            write!(f, "{m}m{s:02}s")
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+/// A simulation timestamp: whole seconds since the simulation epoch (`t = 0`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole seconds since epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from fractional hours since epoch.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        SimTime((h * SECS_PER_HOUR as f64).round() as u64)
+    }
+
+    /// Construct from whole days since epoch.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * SECS_PER_DAY)
+    }
+
+    /// Seconds since epoch.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional hours since epoch.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// Elapsed duration since an earlier timestamp (saturates at zero).
+    #[inline]
+    pub const fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_secs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_secs())
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_secs();
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.as_secs())
+    }
+}
+
+impl SubAssign<Duration> for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.as_secs();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{}", Duration::from_secs(self.0))
+    }
+}
+
+/// Day of the week. `t = 0` falls on the calendar's configured start weekday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays in order, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Index in `0..7`, Monday = 0.
+    #[inline]
+    pub fn index(self) -> usize {
+        Weekday::ALL.iter().position(|w| *w == self).unwrap()
+    }
+
+    /// Weekday from an index modulo 7 (Monday = 0).
+    #[inline]
+    pub fn from_index(i: u64) -> Weekday {
+        Weekday::ALL[(i % 7) as usize]
+    }
+
+    /// True for Saturday and Sunday.
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+/// Month of the simplified non-leap year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Month {
+    January,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+    August,
+    September,
+    October,
+    November,
+    December,
+}
+
+impl Month {
+    /// All months in calendar order.
+    pub const ALL: [Month; 12] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// Number of days in this month (non-leap year).
+    pub const fn days(self) -> u64 {
+        match self {
+            Month::January => 31,
+            Month::February => 28,
+            Month::March => 31,
+            Month::April => 30,
+            Month::May => 31,
+            Month::June => 30,
+            Month::July => 31,
+            Month::August => 31,
+            Month::September => 30,
+            Month::October => 31,
+            Month::November => 30,
+            Month::December => 31,
+        }
+    }
+
+    /// Index in `0..12`, January = 0.
+    #[inline]
+    pub fn index(self) -> usize {
+        Month::ALL.iter().position(|m| *m == self).unwrap()
+    }
+
+    /// True for June–September, the typical peak-pricing summer season in
+    /// US utility tariffs.
+    #[inline]
+    pub fn is_summer(self) -> bool {
+        matches!(
+            self,
+            Month::June | Month::July | Month::August | Month::September
+        )
+    }
+}
+
+/// A time of day with minute resolution, for defining TOU windows.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TimeOfDay {
+    /// Hour in `0..24`.
+    pub hour: u8,
+    /// Minute in `0..60`.
+    pub minute: u8,
+}
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay { hour: 0, minute: 0 };
+
+    /// Construct a time of day; panics if out of range (programmer error in
+    /// a contract definition).
+    pub fn new(hour: u8, minute: u8) -> TimeOfDay {
+        assert!(hour < 24, "hour must be in 0..24, got {hour}");
+        assert!(minute < 60, "minute must be in 0..60, got {minute}");
+        TimeOfDay { hour, minute }
+    }
+
+    /// Seconds since midnight.
+    #[inline]
+    pub fn seconds_into_day(self) -> u64 {
+        self.hour as u64 * SECS_PER_HOUR + self.minute as u64 * SECS_PER_MIN
+    }
+}
+
+impl std::fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour, self.minute)
+    }
+}
+
+/// A simplified billing calendar anchoring `t = 0` to a civil date.
+///
+/// The calendar repeats every 365 days (no leap years). It answers the
+/// questions contracts need: which month, weekday, hour-of-day, and billing
+/// period a timestamp falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Calendar {
+    /// Weekday on which `t = 0` falls.
+    pub start_weekday: Weekday,
+    /// Month in which `t = 0` falls.
+    pub start_month: Month,
+    /// Day of month (1-based) on which `t = 0` falls.
+    pub start_day: u8,
+}
+
+impl Default for Calendar {
+    /// January 1st, a Monday — the convention used throughout the experiments.
+    fn default() -> Self {
+        Calendar {
+            start_weekday: Weekday::Monday,
+            start_month: Month::January,
+            start_day: 1,
+        }
+    }
+}
+
+impl Calendar {
+    /// Construct a calendar anchored at the given civil date.
+    pub fn new(start_weekday: Weekday, start_month: Month, start_day: u8) -> crate::Result<Self> {
+        if start_day == 0 || start_day as u64 > start_month.days() {
+            return Err(UnitError::NonPositive {
+                what: "calendar start day",
+            });
+        }
+        Ok(Calendar {
+            start_weekday,
+            start_month,
+            start_day,
+        })
+    }
+
+    /// Day-of-year (0-based) of `t = 0` within the anchor year.
+    fn start_day_of_year(&self) -> u64 {
+        let mut days = 0;
+        for m in &Month::ALL[..self.start_month.index()] {
+            days += m.days();
+        }
+        days + (self.start_day as u64 - 1)
+    }
+
+    /// Absolute day number of a timestamp (0-based from `t = 0`).
+    #[inline]
+    pub fn day_number(&self, t: SimTime) -> u64 {
+        t.as_secs() / SECS_PER_DAY
+    }
+
+    /// Day-of-year (0-based) of the timestamp.
+    pub fn day_of_year(&self, t: SimTime) -> u64 {
+        (self.start_day_of_year() + self.day_number(t)) % DAYS_PER_YEAR
+    }
+
+    /// Weekday of the timestamp.
+    pub fn weekday(&self, t: SimTime) -> Weekday {
+        Weekday::from_index(self.start_weekday.index() as u64 + self.day_number(t))
+    }
+
+    /// Month of the timestamp.
+    pub fn month(&self, t: SimTime) -> Month {
+        let mut doy = self.day_of_year(t);
+        for m in Month::ALL {
+            if doy < m.days() {
+                return m;
+            }
+            doy -= m.days();
+        }
+        unreachable!("day_of_year is always < 365")
+    }
+
+    /// Time of day (minute resolution) of the timestamp.
+    pub fn time_of_day(&self, t: SimTime) -> TimeOfDay {
+        let into_day = t.as_secs() % SECS_PER_DAY;
+        TimeOfDay {
+            hour: (into_day / SECS_PER_HOUR) as u8,
+            minute: ((into_day % SECS_PER_HOUR) / SECS_PER_MIN) as u8,
+        }
+    }
+
+    /// Hour-of-day in `0..24` of the timestamp.
+    #[inline]
+    pub fn hour_of_day(&self, t: SimTime) -> u8 {
+        ((t.as_secs() % SECS_PER_DAY) / SECS_PER_HOUR) as u8
+    }
+
+    /// Billing-month index (0-based) of the timestamp: the number of calendar
+    /// month boundaries crossed since `t = 0`.
+    pub fn billing_month(&self, t: SimTime) -> u64 {
+        // Walk whole months from the anchor. Months repeat with the 365-day
+        // year, so compute cheaply from day counts.
+        let mut day = self.start_day_of_year() + self.day_number(t);
+        let mut month_idx = 0u64;
+        // Fast-forward whole years (12 months each).
+        let years = day / DAYS_PER_YEAR;
+        month_idx += years * 12;
+        day %= DAYS_PER_YEAR;
+        for m in Month::ALL {
+            if day < m.days() {
+                break;
+            }
+            day -= m.days();
+            month_idx += 1;
+        }
+        // Subtract the months already elapsed before t=0 within the anchor year.
+        let mut anchor_day = self.start_day_of_year();
+        let mut anchor_month = 0u64;
+        for m in Month::ALL {
+            if anchor_day < m.days() {
+                break;
+            }
+            anchor_day -= m.days();
+            anchor_month += 1;
+        }
+        month_idx - anchor_month
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::from_minutes(15.0).as_secs(), 900);
+        assert_eq!(Duration::from_hours(1.5).as_secs(), 5_400);
+        assert_eq!(Duration::from_days(2).as_secs(), 172_800);
+        assert!((Duration::from_secs(1_800).as_hours() - 0.5).abs() < 1e-12);
+        assert!((Duration::from_secs(90).as_minutes() - 1.5).abs() < 1e-12);
+        assert!((Duration::from_days(3).as_days() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_secs(100);
+        let b = Duration::from_secs(40);
+        assert_eq!((a + b).as_secs(), 140);
+        assert_eq!((a - b).as_secs(), 60);
+        assert_eq!((a * 3).as_secs(), 300);
+        assert_eq!((a / 4).as_secs(), 25);
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+        assert_eq!(a.div_duration(b), 2);
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(Duration::from_secs(45).to_string(), "45s");
+        assert_eq!(Duration::from_secs(125).to_string(), "2m05s");
+        assert_eq!(Duration::from_hours(3.5).to_string(), "3h30m00s");
+        assert_eq!(
+            (Duration::from_days(1) + Duration::from_hours(2.0)).to_string(),
+            "1d02h00m00s"
+        );
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::from_days(1) + Duration::from_hours(6.0);
+        assert_eq!(t.as_secs(), 108_000);
+        let earlier = SimTime::from_secs(100_000);
+        assert_eq!(t.since(earlier).as_secs(), 8_000);
+        assert_eq!(earlier.since(t), Duration::ZERO);
+        assert_eq!((t - earlier).as_secs(), 8_000);
+    }
+
+    #[test]
+    fn weekday_cycle() {
+        assert_eq!(Weekday::from_index(0), Weekday::Monday);
+        assert_eq!(Weekday::from_index(6), Weekday::Sunday);
+        assert_eq!(Weekday::from_index(7), Weekday::Monday);
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(!Weekday::Friday.is_weekend());
+    }
+
+    #[test]
+    fn month_days_sum_to_year() {
+        let total: u64 = Month::ALL.iter().map(|m| m.days()).sum();
+        assert_eq!(total, DAYS_PER_YEAR);
+    }
+
+    #[test]
+    fn calendar_default_weekday_and_month() {
+        let cal = Calendar::default();
+        assert_eq!(cal.weekday(SimTime::EPOCH), Weekday::Monday);
+        assert_eq!(cal.month(SimTime::EPOCH), Month::January);
+        // 31 days later: February.
+        assert_eq!(cal.month(SimTime::from_days(31)), Month::February);
+        // Day 6 is Sunday with a Monday start.
+        assert_eq!(cal.weekday(SimTime::from_days(6)), Weekday::Sunday);
+    }
+
+    #[test]
+    fn calendar_time_of_day() {
+        let cal = Calendar::default();
+        let t = SimTime::from_secs(13 * SECS_PER_HOUR + 45 * SECS_PER_MIN + 12);
+        let tod = cal.time_of_day(t);
+        assert_eq!(tod, TimeOfDay::new(13, 45));
+        assert_eq!(cal.hour_of_day(t), 13);
+    }
+
+    #[test]
+    fn calendar_billing_month_boundaries() {
+        let cal = Calendar::default();
+        assert_eq!(cal.billing_month(SimTime::EPOCH), 0);
+        assert_eq!(cal.billing_month(SimTime::from_days(30)), 0); // Jan 31
+        assert_eq!(cal.billing_month(SimTime::from_days(31)), 1); // Feb 1
+        assert_eq!(cal.billing_month(SimTime::from_days(59)), 2); // Mar 1
+        assert_eq!(cal.billing_month(SimTime::from_days(365)), 12); // next Jan 1
+        assert_eq!(cal.billing_month(SimTime::from_days(365 + 31)), 13);
+    }
+
+    #[test]
+    fn calendar_mid_year_anchor() {
+        let cal = Calendar::new(Weekday::Wednesday, Month::June, 15).unwrap();
+        assert_eq!(cal.month(SimTime::EPOCH), Month::June);
+        assert_eq!(cal.weekday(SimTime::EPOCH), Weekday::Wednesday);
+        assert_eq!(cal.billing_month(SimTime::EPOCH), 0);
+        // June has 30 days; June 15 + 16 days = July 1.
+        assert_eq!(cal.billing_month(SimTime::from_days(16)), 1);
+        assert_eq!(cal.month(SimTime::from_days(16)), Month::July);
+        // A full year later we are back in June, 12 billing months on.
+        assert_eq!(cal.month(SimTime::from_days(365)), Month::June);
+        assert_eq!(cal.billing_month(SimTime::from_days(365)), 12);
+    }
+
+    #[test]
+    fn calendar_rejects_invalid_day() {
+        assert!(Calendar::new(Weekday::Monday, Month::February, 30).is_err());
+        assert!(Calendar::new(Weekday::Monday, Month::February, 0).is_err());
+        assert!(Calendar::new(Weekday::Monday, Month::February, 28).is_ok());
+    }
+
+    #[test]
+    fn time_of_day_ordering_and_seconds() {
+        let a = TimeOfDay::new(8, 0);
+        let b = TimeOfDay::new(20, 30);
+        assert!(a < b);
+        assert_eq!(a.seconds_into_day(), 8 * 3600);
+        assert_eq!(b.seconds_into_day(), 20 * 3600 + 30 * 60);
+        assert_eq!(b.to_string(), "20:30");
+    }
+
+    #[test]
+    #[should_panic(expected = "hour must be in 0..24")]
+    fn time_of_day_panics_on_bad_hour() {
+        TimeOfDay::new(24, 0);
+    }
+
+    #[test]
+    fn summer_months() {
+        assert!(Month::July.is_summer());
+        assert!(!Month::December.is_summer());
+    }
+}

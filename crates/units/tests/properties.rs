@@ -1,0 +1,100 @@
+//! Property-based tests for the unit system and the billing calendar.
+
+use hpcgrid_units::{
+    Calendar, Duration, Energy, EnergyPrice, Month, Power, SimTime, Weekday,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Power × Duration → Energy is exact w.r.t. the hour conversion.
+    #[test]
+    fn power_duration_energy_consistent(kw in 0.0f64..1e6, secs in 1u64..1_000_000) {
+        let p = Power::from_kilowatts(kw);
+        let d = Duration::from_secs(secs);
+        let e = p * d;
+        let expected = kw * (secs as f64 / 3600.0);
+        prop_assert!((e.as_kilowatt_hours() - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+        // And mean_power_over inverts it.
+        let back = e.mean_power_over(d);
+        prop_assert!((back.as_kilowatts() - kw).abs() <= 1e-9 * kw.max(1.0));
+    }
+
+    /// Energy × price → money is linear in both arguments.
+    #[test]
+    fn billing_multiplication_linear(kwh in 0.0f64..1e7, cents in 0u32..100, scale in 0.0f64..5.0) {
+        let e = Energy::from_kilowatt_hours(kwh);
+        let price = EnergyPrice::per_kilowatt_hour(cents as f64 / 100.0);
+        let m1 = (e * scale) * price;
+        let m2 = (e * price) * scale;
+        prop_assert!((m1.as_dollars() - m2.as_dollars()).abs() <= 1e-6 * m1.as_dollars().abs().max(1.0));
+    }
+
+    /// Calendar invariants across arbitrary anchors and times:
+    /// billing months are monotone non-decreasing, day-of-year < 365,
+    /// weekday cycles with period 7, month matches day-of-year.
+    #[test]
+    fn calendar_invariants(
+        anchor_month_idx in 0usize..12,
+        anchor_day in 1u8..28,
+        anchor_wd in 0usize..7,
+        t1 in 0u64..200_000_000,
+        dt in 0u64..10_000_000
+    ) {
+        let cal = Calendar::new(
+            Weekday::ALL[anchor_wd],
+            Month::ALL[anchor_month_idx],
+            anchor_day,
+        )
+        .unwrap();
+        let a = SimTime::from_secs(t1);
+        let b = SimTime::from_secs(t1 + dt);
+        prop_assert!(cal.billing_month(a) <= cal.billing_month(b));
+        prop_assert!(cal.day_of_year(a) < 365);
+        // Weekday advances one per day.
+        let next_day = a + Duration::from_days(1);
+        let wd_a = cal.weekday(a).index();
+        let wd_next = cal.weekday(next_day).index();
+        prop_assert_eq!((wd_a + 1) % 7, wd_next);
+        // A year later: same month and day-of-year, 12 billing months on.
+        let year_later = a + Duration::from_days(365);
+        prop_assert_eq!(cal.month(a), cal.month(year_later));
+        prop_assert_eq!(cal.day_of_year(a), cal.day_of_year(year_later));
+        prop_assert_eq!(cal.billing_month(a) + 12, cal.billing_month(year_later));
+    }
+
+    /// The billing month advances exactly at month boundaries: within one
+    /// day it never jumps by more than 1.
+    #[test]
+    fn billing_month_steps_by_one(t in 0u64..100_000_000) {
+        let cal = Calendar::default();
+        let a = SimTime::from_secs(t);
+        let b = a + Duration::from_days(1);
+        let diff = cal.billing_month(b) - cal.billing_month(a);
+        prop_assert!(diff <= 1);
+    }
+
+    /// Saturating operations never go negative.
+    #[test]
+    fn saturating_ops(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let pa = Power::from_kilowatts(a);
+        let pb = Power::from_kilowatts(b);
+        prop_assert!(pa.saturating_sub(pb) >= Power::ZERO);
+        let ea = Energy::from_kilowatt_hours(a);
+        let eb = Energy::from_kilowatt_hours(b);
+        prop_assert!(ea.saturating_sub(eb) >= Energy::ZERO);
+        let da = Duration::from_secs(a as u64);
+        let db = Duration::from_secs(b as u64);
+        prop_assert!(da.saturating_sub(db) >= Duration::ZERO);
+    }
+
+    /// SimTime arithmetic round-trips.
+    #[test]
+    fn simtime_roundtrip(t in 0u64..1_000_000_000, d in 0u64..1_000_000) {
+        let a = SimTime::from_secs(t);
+        let dur = Duration::from_secs(d);
+        let b = a + dur;
+        prop_assert_eq!(b - a, dur);
+        prop_assert_eq!(b.since(a), dur);
+        prop_assert_eq!(a.since(b), Duration::ZERO);
+    }
+}

@@ -1,0 +1,146 @@
+//! Job arrival processes.
+//!
+//! Submissions follow a Poisson process whose rate is modulated by a diurnal
+//! working-hours curve — users submit during the day, the queue drains
+//! overnight. This rhythm is what gives SC load its daily texture even at
+//! high utilization.
+
+use crate::distributions::exponential;
+use crate::{Result, WorkloadError};
+use hpcgrid_units::{Duration, SimTime};
+use rand::Rng;
+
+/// Diurnal modulation factor in `[min_factor, 1]`: ~1 during working hours
+/// (08:00–18:00), decaying to `min_factor` overnight.
+pub fn diurnal_rate_factor(t: SimTime, min_factor: f64) -> f64 {
+    let hour = (t.as_secs() % 86_400) as f64 / 3_600.0;
+    let working = if (8.0..18.0).contains(&hour) {
+        1.0
+    } else {
+        // Quadratic decay to the overnight floor within 4 h of working hours.
+        let dist = if hour < 8.0 { 8.0 - hour } else { hour - 18.0 };
+        let x = (dist / 4.0).min(1.0);
+        1.0 - x * x
+    };
+    min_factor + (1.0 - min_factor) * working
+}
+
+/// Generate Poisson arrival times in `[start, end)` with base rate
+/// `per_hour` (events/hour at peak) and diurnal thinning.
+///
+/// Uses the standard thinning algorithm: candidate arrivals at the peak rate,
+/// each kept with probability equal to the local rate factor.
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: SimTime,
+    end: SimTime,
+    per_hour: f64,
+    overnight_factor: f64,
+) -> Result<Vec<SimTime>> {
+    if per_hour <= 0.0 || !per_hour.is_finite() {
+        return Err(WorkloadError::BadParameter(format!(
+            "arrival rate must be positive, got {per_hour}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&overnight_factor) {
+        return Err(WorkloadError::BadParameter(
+            "overnight_factor must be in [0,1]".into(),
+        ));
+    }
+    if end <= start {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut t = start;
+    loop {
+        let gap_hours = exponential(rng, per_hour);
+        let gap = Duration::from_secs((gap_hours * 3600.0).ceil().max(1.0) as u64);
+        t += gap;
+        if t >= end {
+            break;
+        }
+        let keep_p = diurnal_rate_factor(t, overnight_factor);
+        if rng.gen_bool(keep_p.clamp(0.0, 1.0)) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_factor_shape() {
+        let noon = SimTime::from_secs(12 * 3600);
+        let midnight = SimTime::from_secs(2 * 3600);
+        assert!(diurnal_rate_factor(noon, 0.2) > diurnal_rate_factor(midnight, 0.2));
+        assert!((diurnal_rate_factor(noon, 0.2) - 1.0).abs() < 1e-12);
+        assert!(diurnal_rate_factor(midnight, 0.2) >= 0.2);
+    }
+
+    #[test]
+    fn arrivals_ordered_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = SimTime::EPOCH;
+        let end = SimTime::from_days(7);
+        let arr = poisson_arrivals(&mut rng, start, end, 5.0, 0.3).unwrap();
+        assert!(!arr.is_empty());
+        for w in arr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arr.iter().all(|t| *t >= start && *t < end));
+    }
+
+    #[test]
+    fn rate_scales_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let end = SimTime::from_days(14);
+        let slow = poisson_arrivals(&mut rng, SimTime::EPOCH, end, 1.0, 0.5)
+            .unwrap()
+            .len();
+        let fast = poisson_arrivals(&mut rng, SimTime::EPOCH, end, 10.0, 0.5)
+            .unwrap()
+            .len();
+        assert!(fast > slow * 4, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn daytime_has_more_arrivals_than_night() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let arr = poisson_arrivals(
+            &mut rng,
+            SimTime::EPOCH,
+            SimTime::from_days(30),
+            8.0,
+            0.1,
+        )
+        .unwrap();
+        let day = arr
+            .iter()
+            .filter(|t| {
+                let h = (t.as_secs() % 86_400) / 3600;
+                (8..18).contains(&h)
+            })
+            .count();
+        let night = arr.len() - day;
+        // 10 working hours vs 14 off hours, but the rate is much higher.
+        assert!(day > night, "day={day} night={night}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(1), 0.0, 0.5).is_err());
+        assert!(
+            poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(1), 5.0, 1.5).is_err()
+        );
+        // Empty window is fine.
+        let empty =
+            poisson_arrivals(&mut rng, SimTime::from_days(1), SimTime::EPOCH, 5.0, 0.5).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded samplers built on `rand`'s uniform source.
+//!
+//! The workspace's offline dependency set includes `rand` but not
+//! `rand_distr`, so the handful of distributions workload modelling needs
+//! are implemented here directly: Box–Muller normals, lognormals,
+//! inverse-CDF exponentials, and clamped/discretized variants.
+
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample `N(mean, std_dev²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Sample a lognormal with the given parameters of the underlying normal.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample an exponential with rate `lambda` (mean `1/lambda`) by inverse CDF.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Lognormal clamped into `[lo, hi]`.
+pub fn lognormal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    lognormal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Sample a job node-count: a power-of-two biased discrete distribution in
+/// `[1, max_nodes]`, reflecting the size mix of real HPC traces (many small
+/// jobs, few very large ones).
+pub fn job_node_count<R: Rng + ?Sized>(rng: &mut R, max_nodes: usize) -> usize {
+    debug_assert!(max_nodes >= 1);
+    let max_exp = (max_nodes as f64).log2().floor() as u32;
+    // Geometric-ish over exponents: P(exp = k) ∝ 0.7^k.
+    let mut exp = 0u32;
+    while exp < max_exp && rng.gen_bool(0.45) {
+        exp += 1;
+    }
+    let base = 1usize << exp;
+    // Jitter within the octave.
+    let hi = (base * 2).min(max_nodes.max(1));
+    rng.gen_range(base..=hi.max(base)).min(max_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        // Exponential samples are non-negative.
+        assert!((0..1000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| lognormal(&mut r, 0.0, 1.0)).collect();
+        assert!(samples.iter().all(|x| *x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "lognormal should be right-skewed");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = lognormal_clamped(&mut r, 0.0, 2.0, 0.5, 3.0);
+            assert!((0.5..=3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn node_counts_within_bounds_and_varied() {
+        let mut r = rng();
+        let max = 1024;
+        let samples: Vec<usize> = (0..5000).map(|_| job_node_count(&mut r, max)).collect();
+        assert!(samples.iter().all(|n| (1..=max).contains(n)));
+        let small = samples.iter().filter(|n| **n <= 8).count();
+        let large = samples.iter().filter(|n| **n > 256).count();
+        assert!(small > large, "small jobs should dominate");
+        assert!(samples.iter().any(|n| *n > 32), "some large jobs expected");
+    }
+
+    #[test]
+    fn node_count_handles_tiny_machines() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(job_node_count(&mut r, 1), 1);
+            assert!(job_node_count(&mut r, 3) <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+}

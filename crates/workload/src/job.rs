@@ -1,0 +1,116 @@
+//! The job record consumed by the scheduler simulator.
+
+use hpcgrid_units::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// The kind of job, which determines its power profile and schedulability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// A normal user job.
+    Regular,
+    /// A full-machine benchmark run (HPL-style): maximum intensity, the
+    /// load events §3.4 says good-neighbor sites announce to their ESP.
+    Benchmark,
+    /// A deadline-insensitive batch job the DR optimizer may shift.
+    Deferrable,
+}
+
+/// One batch job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Requested walltime (the scheduler's planning horizon for the job).
+    pub walltime: Duration,
+    /// Actual runtime (≤ walltime; known only when the job completes).
+    pub runtime: Duration,
+    /// Computational intensity in `[0, 1]`: fraction of the idle→max power
+    /// span the job drives while running.
+    pub intensity: f64,
+    /// Job kind.
+    pub kind: JobKind,
+}
+
+impl Job {
+    /// Node-seconds of actual compute (`nodes × runtime`).
+    pub fn node_seconds(&self) -> u64 {
+        self.nodes as u64 * self.runtime.as_secs()
+    }
+
+    /// Node-seconds of the request (`nodes × walltime`).
+    pub fn requested_node_seconds(&self) -> u64 {
+        self.nodes as u64 * self.walltime.as_secs()
+    }
+
+    /// True if the runtime fits the request (always true for generated
+    /// traces; checked as an invariant).
+    pub fn is_consistent(&self) -> bool {
+        self.runtime <= self.walltime
+            && self.nodes > 0
+            && (0.0..=1.0).contains(&self.intensity)
+            && !self.runtime.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            id: JobId(1),
+            submit: SimTime::EPOCH,
+            nodes: 4,
+            walltime: Duration::from_hours(2.0),
+            runtime: Duration::from_hours(1.5),
+            intensity: 0.8,
+            kind: JobKind::Regular,
+        }
+    }
+
+    #[test]
+    fn node_seconds() {
+        let j = job();
+        assert_eq!(j.node_seconds(), 4 * 5400);
+        assert_eq!(j.requested_node_seconds(), 4 * 7200);
+    }
+
+    #[test]
+    fn consistency_checks() {
+        assert!(job().is_consistent());
+        let mut j = job();
+        j.runtime = Duration::from_hours(3.0);
+        assert!(!j.is_consistent());
+        let mut j = job();
+        j.nodes = 0;
+        assert!(!j.is_consistent());
+        let mut j = job();
+        j.intensity = 1.5;
+        assert!(!j.is_consistent());
+        let mut j = job();
+        j.runtime = Duration::ZERO;
+        assert!(!j.is_consistent());
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(JobId(42).to_string(), "job#42");
+    }
+}

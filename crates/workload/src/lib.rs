@@ -1,0 +1,52 @@
+//! # hpcgrid-workload
+//!
+//! Synthetic HPC workload generation.
+//!
+//! The surveyed sites' job traces are confidential, so experiments run on
+//! synthetic workloads with the statistical features that drive electrical
+//! behaviour: heavy-tailed job sizes and runtimes, Poisson arrivals with a
+//! diurnal submission rhythm, per-job computational-intensity (power)
+//! fractions, occasional full-machine benchmark runs (the "HPL spike" whose
+//! announcement to the ESP the paper calls being a "good neighbor"), and
+//! scheduled maintenance windows.
+//!
+//! * [`distributions`] — seeded samplers (normal, lognormal, exponential,
+//!   bounded variants) built on `rand`'s uniform source;
+//! * [`job`] — the job record consumed by `hpcgrid-scheduler`;
+//! * [`arrival`] — Poisson arrival process with diurnal modulation;
+//! * [`profile`] — per-job power-intensity profiles;
+//! * [`trace`] — [`trace::WorkloadBuilder`], the one-stop generator;
+//! * [`maintenance`] — maintenance-window generation.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod distributions;
+pub mod job;
+pub mod maintenance;
+pub mod profile;
+pub mod swf;
+pub mod trace;
+
+pub use job::{Job, JobId, JobKind};
+pub use trace::{JobTrace, WorkloadBuilder};
+
+/// Errors from workload generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Invalid generation parameter.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadParameter(d) => write!(f, "bad parameter: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

@@ -1,0 +1,113 @@
+//! Maintenance-window generation.
+//!
+//! §3.4: good-neighbor SCs report "maintenance periods, benchmarks and other
+//! events which make their power consumption deviate significantly from
+//! default operation". Maintenance windows drop the machine to its idle (or
+//! off) floor; experiment E7 prices the imbalance cost of announcing vs not
+//! announcing them.
+
+use crate::{Result, WorkloadError};
+use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_units::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A recurring maintenance schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceSchedule {
+    /// Interval between maintenance windows (e.g. 28 days).
+    pub period: Duration,
+    /// Length of each window (e.g. 12 h).
+    pub window: Duration,
+    /// Offset of the first window from the horizon start.
+    pub first_at: Duration,
+}
+
+impl MaintenanceSchedule {
+    /// Monthly 12-hour maintenance starting on day 14.
+    pub fn reference_monthly() -> MaintenanceSchedule {
+        MaintenanceSchedule {
+            period: Duration::from_days(28),
+            window: Duration::from_hours(12.0),
+            first_at: Duration::from_days(14),
+        }
+    }
+
+    /// Materialize the windows within `[start, end)`.
+    pub fn windows(&self, start: SimTime, end: SimTime) -> Result<IntervalSet> {
+        if self.period.is_zero() {
+            return Err(WorkloadError::BadParameter(
+                "maintenance period must be positive".into(),
+            ));
+        }
+        if self.window >= self.period {
+            return Err(WorkloadError::BadParameter(
+                "maintenance window must be shorter than the period".into(),
+            ));
+        }
+        let mut out = Vec::new();
+        let mut t = start + self.first_at;
+        while t < end {
+            out.push(Interval::new(t, (t + self.window).min(end)));
+            t += self.period;
+        }
+        Ok(IntervalSet::from_intervals(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_windows_materialize() {
+        let sched = MaintenanceSchedule::reference_monthly();
+        let windows = sched
+            .windows(SimTime::EPOCH, SimTime::from_days(90))
+            .unwrap();
+        // Day 14, 42, 70 → three windows.
+        assert_eq!(windows.intervals().len(), 3);
+        assert_eq!(
+            windows.total_duration(),
+            Duration::from_hours(36.0)
+        );
+        assert!(windows.contains(SimTime::from_days(14)));
+        assert!(!windows.contains(SimTime::from_days(15)));
+    }
+
+    #[test]
+    fn windows_clip_at_horizon_end() {
+        let sched = MaintenanceSchedule {
+            period: Duration::from_days(10),
+            window: Duration::from_days(2),
+            first_at: Duration::from_days(9),
+        };
+        let windows = sched
+            .windows(SimTime::EPOCH, SimTime::from_days(10))
+            .unwrap();
+        assert_eq!(windows.intervals().len(), 1);
+        assert_eq!(windows.total_duration(), Duration::from_days(1));
+    }
+
+    #[test]
+    fn validation() {
+        let bad = MaintenanceSchedule {
+            period: Duration::ZERO,
+            window: Duration::from_hours(1.0),
+            first_at: Duration::ZERO,
+        };
+        assert!(bad.windows(SimTime::EPOCH, SimTime::from_days(1)).is_err());
+        let bad2 = MaintenanceSchedule {
+            period: Duration::from_hours(1.0),
+            window: Duration::from_hours(2.0),
+            first_at: Duration::ZERO,
+        };
+        assert!(bad2.windows(SimTime::EPOCH, SimTime::from_days(1)).is_err());
+    }
+
+    #[test]
+    fn empty_horizon_no_windows() {
+        let sched = MaintenanceSchedule::reference_monthly();
+        let w = sched.windows(SimTime::EPOCH, SimTime::from_days(7)).unwrap();
+        assert!(w.is_empty());
+    }
+}

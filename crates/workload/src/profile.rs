@@ -1,0 +1,140 @@
+//! Per-job power-intensity profiles.
+//!
+//! A running job drives its nodes at some fraction of the idle→max power
+//! span. Real applications have phases; we model a three-phase trapezoid
+//! (ramp-in, steady, ramp-out) plus the flat-out benchmark profile.
+
+use hpcgrid_units::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A job's power-intensity profile over its runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerProfile {
+    /// Constant intensity for the whole runtime.
+    Constant(f64),
+    /// Trapezoid: linear ramp from `floor` to `peak` over `ramp`, steady at
+    /// `peak`, then ramp back down over `ramp`.
+    Trapezoid {
+        /// Starting/ending intensity.
+        floor: f64,
+        /// Steady-phase intensity.
+        peak: f64,
+        /// Ramp duration on each side.
+        ramp: Duration,
+    },
+}
+
+impl PowerProfile {
+    /// The HPL-style benchmark profile: flat-out from start to finish.
+    pub fn benchmark() -> PowerProfile {
+        PowerProfile::Constant(1.0)
+    }
+
+    /// Intensity at `elapsed` into a run of `runtime`. Outside `[0, runtime)`
+    /// the intensity is zero.
+    pub fn intensity_at(&self, elapsed: Duration, runtime: Duration) -> f64 {
+        if elapsed >= runtime {
+            return 0.0;
+        }
+        match self {
+            PowerProfile::Constant(i) => i.clamp(0.0, 1.0),
+            PowerProfile::Trapezoid { floor, peak, ramp } => {
+                let floor = floor.clamp(0.0, 1.0);
+                let peak = peak.clamp(0.0, 1.0);
+                let ramp_s = ramp.as_secs().min(runtime.as_secs() / 2).max(1);
+                let e = elapsed.as_secs();
+                let r = runtime.as_secs();
+                let frac = if e < ramp_s {
+                    e as f64 / ramp_s as f64
+                } else if e >= r - ramp_s {
+                    (r - e) as f64 / ramp_s as f64
+                } else {
+                    1.0
+                };
+                floor + (peak - floor) * frac
+            }
+        }
+    }
+
+    /// Mean intensity over the whole runtime (closed form).
+    pub fn mean_intensity(&self, runtime: Duration) -> f64 {
+        match self {
+            PowerProfile::Constant(i) => i.clamp(0.0, 1.0),
+            PowerProfile::Trapezoid { floor, peak, ramp } => {
+                let floor = floor.clamp(0.0, 1.0);
+                let peak = peak.clamp(0.0, 1.0);
+                let r = runtime.as_secs().max(1) as f64;
+                let ramp_s = ramp.as_secs().min(runtime.as_secs() / 2).max(1) as f64;
+                // Two ramps average (floor+peak)/2 over 2·ramp; steady at peak.
+                let steady = (r - 2.0 * ramp_s).max(0.0);
+                ((floor + peak) / 2.0 * 2.0 * ramp_s + peak * steady) / r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = PowerProfile::Constant(0.7);
+        let rt = Duration::from_hours(1.0);
+        assert_eq!(p.intensity_at(Duration::from_minutes(30.0), rt), 0.7);
+        assert_eq!(p.intensity_at(rt, rt), 0.0); // finished
+        assert_eq!(p.mean_intensity(rt), 0.7);
+        // Out-of-range intensity clamps.
+        assert_eq!(PowerProfile::Constant(1.8).intensity_at(Duration::ZERO, rt), 1.0);
+    }
+
+    #[test]
+    fn benchmark_is_flat_out() {
+        let p = PowerProfile::benchmark();
+        assert_eq!(p.mean_intensity(Duration::from_hours(4.0)), 1.0);
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        let p = PowerProfile::Trapezoid {
+            floor: 0.2,
+            peak: 1.0,
+            ramp: Duration::from_minutes(10.0),
+        };
+        let rt = Duration::from_hours(1.0);
+        assert!((p.intensity_at(Duration::ZERO, rt) - 0.2).abs() < 1e-9);
+        assert!((p.intensity_at(Duration::from_minutes(5.0), rt) - 0.6).abs() < 1e-9);
+        assert!((p.intensity_at(Duration::from_minutes(30.0), rt) - 1.0).abs() < 1e-9);
+        assert!((p.intensity_at(Duration::from_minutes(55.0), rt) - 0.6).abs() < 1e-9);
+        assert_eq!(p.intensity_at(rt, rt), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_mean_between_floor_and_peak() {
+        let p = PowerProfile::Trapezoid {
+            floor: 0.2,
+            peak: 1.0,
+            ramp: Duration::from_minutes(10.0),
+        };
+        let rt = Duration::from_hours(1.0);
+        let mean = p.mean_intensity(rt);
+        assert!(mean > 0.2 && mean < 1.0);
+        // 2/6 of time ramping at mean 0.6, 4/6 steady at 1.0 → 0.8667.
+        assert!((mean - (0.6 * (1.0 / 3.0) + 1.0 * (2.0 / 3.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_runtime_clamps_ramp() {
+        let p = PowerProfile::Trapezoid {
+            floor: 0.0,
+            peak: 1.0,
+            ramp: Duration::from_hours(10.0),
+        };
+        let rt = Duration::from_minutes(10.0);
+        // Ramp clamps to half the runtime; profile is a pure triangle.
+        let mid = p.intensity_at(Duration::from_minutes(5.0), rt);
+        assert!((mid - 1.0).abs() < 1e-9);
+        let mean = p.mean_intensity(rt);
+        assert!((mean - 0.5).abs() < 1e-6);
+    }
+}

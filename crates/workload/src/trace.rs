@@ -1,0 +1,332 @@
+//! Workload trace generation: the one-stop [`WorkloadBuilder`].
+
+use crate::arrival::poisson_arrivals;
+use crate::distributions::{job_node_count, lognormal_clamped};
+use crate::job::{Job, JobId, JobKind};
+use hpcgrid_units::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generated workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Jobs sorted by submission time.
+    jobs: Vec<Job>,
+    /// Machine size the trace targets.
+    pub machine_nodes: usize,
+    /// Horizon covered by the trace.
+    pub horizon: Duration,
+}
+
+impl JobTrace {
+    /// Assemble a trace from parts (jobs are sorted by submit time; used by
+    /// importers such as [`crate::swf`]).
+    pub fn from_parts(mut jobs: Vec<Job>, machine_nodes: usize, horizon: Duration) -> JobTrace {
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        JobTrace {
+            jobs,
+            machine_nodes,
+            horizon,
+        }
+    }
+
+    /// The jobs, sorted by submission time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total compute demand in node-seconds.
+    pub fn total_node_seconds(&self) -> u64 {
+        self.jobs.iter().map(Job::node_seconds).sum()
+    }
+
+    /// Offered load: demanded node-seconds over machine capacity across the
+    /// horizon. Values near (or above) 1.0 saturate the scheduler.
+    pub fn offered_load(&self) -> f64 {
+        let capacity = self.machine_nodes as u64 * self.horizon.as_secs();
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.total_node_seconds() as f64 / capacity as f64
+    }
+
+    /// Submission times of all benchmark jobs (the events a good-neighbor SC
+    /// would announce).
+    pub fn benchmark_submits(&self) -> Vec<SimTime> {
+        self.jobs
+            .iter()
+            .filter(|j| j.kind == JobKind::Benchmark)
+            .map(|j| j.submit)
+            .collect()
+    }
+}
+
+/// Builder for synthetic workload traces.
+///
+/// All knobs have defaults producing a busy mid-size machine; invalid values
+/// are clamped into their sane ranges so `build` is infallible.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    seed: u64,
+    nodes: usize,
+    days: u64,
+    arrivals_per_hour: f64,
+    overnight_factor: f64,
+    mean_runtime_hours: f64,
+    runtime_sigma: f64,
+    walltime_slack: f64,
+    deferrable_fraction: f64,
+    benchmark_every_days: Option<u64>,
+    max_job_nodes: Option<usize>,
+}
+
+impl WorkloadBuilder {
+    /// Start a builder with the given RNG seed.
+    pub fn new(seed: u64) -> WorkloadBuilder {
+        WorkloadBuilder {
+            seed,
+            nodes: 1_024,
+            days: 7,
+            arrivals_per_hour: 12.0,
+            overnight_factor: 0.3,
+            mean_runtime_hours: 2.5,
+            runtime_sigma: 1.0,
+            walltime_slack: 1.5,
+            deferrable_fraction: 0.2,
+            benchmark_every_days: None,
+            max_job_nodes: None,
+        }
+    }
+
+    /// Machine size in nodes (≥ 1).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Horizon in days (≥ 1).
+    pub fn days(mut self, d: u64) -> Self {
+        self.days = d.max(1);
+        self
+    }
+
+    /// Peak submission rate (jobs/hour, clamped positive).
+    pub fn arrivals_per_hour(mut self, r: f64) -> Self {
+        self.arrivals_per_hour = if r.is_finite() && r > 0.0 { r } else { 1.0 };
+        self
+    }
+
+    /// Overnight submission-rate floor in `[0, 1]`.
+    pub fn overnight_factor(mut self, f: f64) -> Self {
+        self.overnight_factor = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Mean job runtime in hours (clamped positive).
+    pub fn mean_runtime_hours(mut self, h: f64) -> Self {
+        self.mean_runtime_hours = if h.is_finite() && h > 0.0 { h } else { 1.0 };
+        self
+    }
+
+    /// Runtime lognormal sigma (spread), clamped into `[0, 3]`.
+    pub fn runtime_sigma(mut self, s: f64) -> Self {
+        self.runtime_sigma = s.clamp(0.0, 3.0);
+        self
+    }
+
+    /// Fraction of jobs flagged deferrable (shiftable by DR), `[0, 1]`.
+    pub fn deferrable_fraction(mut self, f: f64) -> Self {
+        self.deferrable_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Schedule a full-machine benchmark every `d` days (HPL-style event).
+    pub fn benchmark_every_days(mut self, d: u64) -> Self {
+        self.benchmark_every_days = Some(d.max(1));
+        self
+    }
+
+    /// Cap regular jobs at `n` nodes (clamped to the machine size).
+    /// Benchmarks still use the whole machine.
+    pub fn max_job_nodes(mut self, n: usize) -> Self {
+        self.max_job_nodes = Some(n.max(1));
+        self
+    }
+
+    /// Generate the trace.
+    pub fn build(self) -> JobTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let start = SimTime::EPOCH;
+        let horizon = Duration::from_days(self.days);
+        let end = start + horizon;
+        let submits = poisson_arrivals(
+            &mut rng,
+            start,
+            end,
+            self.arrivals_per_hour,
+            self.overnight_factor,
+        )
+        .expect("builder clamps parameters into valid ranges");
+
+        // Lognormal runtime with the requested mean: mean = exp(mu + s²/2).
+        let sigma = self.runtime_sigma;
+        let mu = self.mean_runtime_hours.ln() - sigma * sigma / 2.0;
+
+        let mut jobs: Vec<Job> = Vec::with_capacity(submits.len() + self.days as usize);
+        let mut next_id = 0u64;
+        let size_cap = self.max_job_nodes.unwrap_or(self.nodes).min(self.nodes);
+        for submit in submits {
+            let nodes = job_node_count(&mut rng, size_cap);
+            let runtime_h = lognormal_clamped(&mut rng, mu, sigma, 0.05, 48.0);
+            let runtime = Duration::from_hours(runtime_h);
+            let walltime = Duration::from_hours(runtime_h * self.walltime_slack);
+            let intensity = rng.gen_range(0.4..1.0);
+            let kind = if rng.gen_bool(self.deferrable_fraction) {
+                JobKind::Deferrable
+            } else {
+                JobKind::Regular
+            };
+            jobs.push(Job {
+                id: JobId(next_id),
+                submit,
+                nodes,
+                walltime,
+                runtime,
+                intensity,
+                kind,
+            });
+            next_id += 1;
+        }
+
+        // Periodic full-machine benchmarks, submitted at 06:00 of their day.
+        if let Some(every) = self.benchmark_every_days {
+            let mut day = every;
+            while day < self.days {
+                let submit = SimTime::from_days(day) + Duration::from_hours(6.0);
+                let runtime = Duration::from_hours(4.0);
+                jobs.push(Job {
+                    id: JobId(next_id),
+                    submit,
+                    nodes: self.nodes,
+                    walltime: runtime * 2,
+                    runtime,
+                    intensity: 1.0,
+                    kind: JobKind::Benchmark,
+                });
+                next_id += 1;
+                day += every;
+            }
+        }
+
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        JobTrace {
+            jobs,
+            machine_nodes: self.nodes,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_consistent_jobs() {
+        let trace = WorkloadBuilder::new(1).nodes(512).days(7).build();
+        assert!(!trace.is_empty());
+        for j in trace.jobs() {
+            assert!(j.is_consistent(), "{j:?}");
+            assert!(j.nodes <= 512);
+            assert!(j.submit < SimTime::from_days(7));
+        }
+        // Sorted by submission.
+        for w in trace.jobs().windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadBuilder::new(9).days(3).build();
+        let b = WorkloadBuilder::new(9).days(3).build();
+        let c = WorkloadBuilder::new(10).days(3).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offered_load_scales_with_arrival_rate() {
+        let light = WorkloadBuilder::new(5)
+            .days(7)
+            .arrivals_per_hour(2.0)
+            .build();
+        let heavy = WorkloadBuilder::new(5)
+            .days(7)
+            .arrivals_per_hour(30.0)
+            .build();
+        assert!(heavy.offered_load() > light.offered_load());
+        assert!(light.offered_load() > 0.0);
+    }
+
+    #[test]
+    fn benchmarks_are_full_machine() {
+        let trace = WorkloadBuilder::new(2)
+            .nodes(256)
+            .days(14)
+            .benchmark_every_days(7)
+            .build();
+        let benches: Vec<&Job> = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.kind == JobKind::Benchmark)
+            .collect();
+        assert_eq!(benches.len(), 1); // day 7 only (day 14 = end)
+        assert_eq!(benches[0].nodes, 256);
+        assert_eq!(benches[0].intensity, 1.0);
+        assert_eq!(trace.benchmark_submits().len(), 1);
+    }
+
+    #[test]
+    fn deferrable_fraction_respected_roughly() {
+        let trace = WorkloadBuilder::new(3)
+            .days(30)
+            .deferrable_fraction(0.5)
+            .build();
+        let def = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.kind == JobKind::Deferrable)
+            .count();
+        let frac = def as f64 / trace.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn builder_clamps_bad_values() {
+        let trace = WorkloadBuilder::new(4)
+            .nodes(0)
+            .days(0)
+            .arrivals_per_hour(-3.0)
+            .mean_runtime_hours(f64::NAN)
+            .runtime_sigma(99.0)
+            .deferrable_fraction(7.0)
+            .build();
+        assert_eq!(trace.machine_nodes, 1);
+        assert_eq!(trace.horizon, Duration::from_days(1));
+        for j in trace.jobs() {
+            assert!(j.is_consistent());
+        }
+    }
+}

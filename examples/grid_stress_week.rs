@@ -1,0 +1,93 @@
+//! Grid-side view: a summer week in a tight balancing area — renewables,
+//! merit-order prices, stress events, and an SC's emergency-DR clause being
+//! exercised.
+//!
+//! ```sh
+//! cargo run --release --example grid_stress_week
+//! ```
+
+use hpcgrid::core::emergency::EmergencyDrClause;
+use hpcgrid::grid::demand::{demand_series, DemandParams};
+use hpcgrid::grid::dispatch::MeritOrderMarket;
+use hpcgrid::grid::events::{detect_events, emergency_windows, StressThresholds};
+use hpcgrid::grid::generation::GeneratorFleet;
+use hpcgrid::grid::renewables::{solar_series, wind_series, SolarParams, WindParams};
+use hpcgrid::prelude::*;
+
+fn main() {
+    let cal = Calendar::default();
+    let step = Duration::from_hours(1.0);
+    let n = 7 * 24;
+    let start = SimTime::from_days(180); // mid-summer week
+
+    // Regional demand and renewables.
+    let demand = demand_series(&DemandParams::default(), &cal, start, step, n, 8).unwrap();
+    let solar = solar_series(&SolarParams::default(), &cal, start, step, n, 8).unwrap();
+    let wind = wind_series(&WindParams::default(), start, step, n, 8).unwrap();
+    let renewables = solar.add_series(&wind).unwrap();
+
+    // A deliberately under-built fleet to provoke stress.
+    let fleet = GeneratorFleet::synthetic_regional(Power::from_megawatts(2_900.0), 0.0).unwrap();
+    let market = MeritOrderMarket::new(fleet);
+    let outcome = market.dispatch(&demand, Some(&renewables)).unwrap();
+
+    println!("summer week dispatch:");
+    println!(
+        "  renewable share: {}",
+        outcome.renewable_share()
+    );
+    let max_price = outcome
+        .prices
+        .values()
+        .iter()
+        .fold(EnergyPrice::ZERO, |a, p| a.max(*p));
+    println!("  max hourly price: {max_price}");
+    println!("  unserved energy:  {}", outcome.unserved_energy());
+
+    // Stress events.
+    let events = detect_events(
+        &outcome,
+        market.fleet().total_available(),
+        StressThresholds::default(),
+    )
+    .unwrap();
+    println!("\nstress events detected: {}", events.len());
+    for e in &events {
+        println!(
+            "  {:?} from {} for {} (min reserve {})",
+            e.severity,
+            e.window.start,
+            e.window.duration(),
+            e.min_reserve
+        );
+    }
+
+    // An SC with an emergency clause rides through the events.
+    let windows = emergency_windows(&events);
+    if windows.is_empty() {
+        println!("\nno emergency windows this week — the SC's clause lies dormant.");
+        return;
+    }
+    let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+    // Two SC behaviours: ignore the event vs shed to 4 MW.
+    let sc_ignore = PowerSeries::constant(start, step, Power::from_megawatts(9.0), n).unwrap();
+    let sc_shed = sc_ignore.map_with_time(|t, p| {
+        if windows.contains(t) {
+            Power::from_megawatts(4.0)
+        } else {
+            *p
+        }
+    });
+    let a_ignore = clause.assess(&sc_ignore, &windows).unwrap();
+    let a_shed = clause.assess(&sc_shed, &windows).unwrap();
+    println!(
+        "\nSC emergency clause (limit {}): ignoring events costs {}, shedding costs {}",
+        clause.limit,
+        a_ignore.total_penalty,
+        a_shed.total_penalty
+    );
+    println!(
+        "Mandatory emergency DR is the 'Other' branch of the typology: not a \
+         market program but a reliability obligation."
+    );
+}

@@ -1,0 +1,78 @@
+//! SWF import: run the billing pipeline on a Standard Workload Format
+//! trace (the Parallel Workloads Archive format), instead of a synthetic
+//! workload — the path a site would use with its own scheduler logs.
+//!
+//! ```sh
+//! cargo run --release --example swf_import [path/to/trace.swf]
+//! ```
+//!
+//! Without an argument a small embedded fragment is used.
+
+use hpcgrid::prelude::*;
+use hpcgrid::workload::swf::{parse_swf, to_swf};
+
+const EMBEDDED: &str = "\
+; embedded demo fragment (SWF)
+1  0      10 7200  64  -1 -1 64  10800 -1 1 -1 -1 -1 -1 -1 -1 -1
+2  1800   0  3600  32  -1 -1 32  5400  -1 1 -1 -1 -1 -1 -1 -1 -1
+3  3600   0  14400 128 -1 -1 128 21600 -1 1 -1 -1 -1 -1 -1 -1 -1
+4  7200   0  1800  16  -1 -1 16  2700  -1 1 -1 -1 -1 -1 -1 -1 -1
+5  10800  0  7200  96  -1 -1 96  10800 -1 1 -1 -1 -1 -1 -1 -1 -1
+6  14400  0  3600  256 -1 -1 256 7200  -1 1 -1 -1 -1 -1 -1 -1 -1
+7  18000  0  900   8   -1 -1 8   1800  -1 1 -1 -1 -1 -1 -1 -1 -1
+8  21600  0  10800 64  -1 -1 64  14400 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+
+fn main() {
+    let machine_nodes = 512;
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => EMBEDDED.to_string(),
+    };
+    let trace = parse_swf(&text, machine_nodes).expect("valid SWF");
+    println!(
+        "imported {} jobs over {} (offered load {:.2})",
+        trace.len(),
+        trace.horizon,
+        trace.offered_load()
+    );
+
+    let site = SiteSpec::new(
+        "swf-site",
+        hpcgrid::facility::site::Country::UnitedStates,
+        machine_nodes,
+        hpcgrid::facility::node::NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_megawatts(1.0),
+        Power::from_kilowatts(20.0),
+    )
+    .unwrap();
+    let outcome = ScheduleSimulator::new(machine_nodes, Policy::EasyBackfill)
+        .try_run(&trace)
+        .expect("schedulable trace");
+    let load = outcome.to_load_series(&site);
+    println!(
+        "scheduled: utilization {:.1}%, mean wait {}",
+        outcome.utilization() * 100.0,
+        outcome.mean_wait()
+    );
+
+    let contract = Contract::builder("swf-demo")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let bill = BillingEngine::new(Calendar::default())
+        .bill(&contract, &load)
+        .unwrap();
+    println!("\n{}", bill.render());
+
+    // Round-trip: re-export the trace for other simulators.
+    let exported = to_swf(&trace);
+    println!(
+        "re-exported {} SWF lines (header + jobs)",
+        exported.lines().count()
+    );
+}

@@ -1,0 +1,284 @@
+//! `hpcgrid` — command-line front end to the toolkit.
+//!
+//! ```text
+//! hpcgrid typology                        # print the Figure 1 typology tree
+//! hpcgrid survey table1|table2|claims     # print the survey artifacts
+//! hpcgrid simulate [--nodes N] [--days D] [--seed S] [--policy fcfs|easy]
+//! hpcgrid bill     [simulate flags] [--tariff $/kWh] [--demand-charge $/kW-mo]
+//!                  [--powerband-upper kW --powerband-penalty $/kWh]
+//! hpcgrid report   [bill flags]           # bill + §4 recommendations
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (`--key value` pairs).
+
+use hpcgrid::core::compare;
+use hpcgrid::core::report;
+use hpcgrid::core::survey::analysis::{discrepancies, rnp_distribution};
+use hpcgrid::core::survey::coding::render_table2;
+use hpcgrid::core::survey::corpus::{ProseFacts, SurveyCorpus};
+use hpcgrid::core::typology::Typology;
+use hpcgrid::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "hpcgrid — SC/ESP contract analysis toolkit (ICPP 2019 reproduction)
+
+USAGE:
+  hpcgrid typology
+  hpcgrid survey <table1|table2|claims>
+  hpcgrid simulate [--nodes N] [--days D] [--seed S] [--policy fcfs|easy]
+  hpcgrid bill     [simulate flags] [--tariff $/kWh] [--demand-charge $/kW-month]
+                   [--powerband-upper kW --powerband-penalty $/kWh]
+  hpcgrid report   [bill flags]
+  hpcgrid compare  [simulate flags]       # rank standard contract shapes on the load
+  hpcgrid help
+
+DEFAULTS: --nodes 512 --days 7 --seed 42 --policy easy --tariff 0.07
+          --demand-charge 12.0 (omit components by passing 0)"
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(rest: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = &rest[i];
+            if !key.starts_with("--") {
+                return Err(format!("unexpected argument '{key}'"));
+            }
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("flag '{key}' needs a value"))?;
+            flags.insert(key.trim_start_matches("--").to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+            None => Ok(default),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+            None => Ok(default),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn build_site(nodes: usize) -> Result<SiteSpec, String> {
+    SiteSpec::new(
+        "cli-site",
+        hpcgrid::facility::site::Country::UnitedStates,
+        nodes,
+        hpcgrid::facility::node::NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_kilowatts(nodes as f64 * 0.55 * 1.1 + 100.0),
+        Power::from_kilowatts(20.0),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run_simulation(args: &Args) -> Result<(SiteSpec, hpcgrid::scheduler::metrics::SimOutcome, PowerSeries), String> {
+    let nodes = args.get_u64("nodes", 512)? as usize;
+    let days = args.get_u64("days", 7)?;
+    let seed = args.get_u64("seed", 42)?;
+    let policy = match args.get_str("policy", "easy").as_str() {
+        "fcfs" => Policy::Fcfs,
+        "easy" => Policy::EasyBackfill,
+        other => return Err(format!("unknown policy '{other}' (use fcfs|easy)")),
+    };
+    let site = build_site(nodes)?;
+    let trace = WorkloadBuilder::new(seed).nodes(nodes).days(days).build();
+    let outcome = ScheduleSimulator::new(nodes, policy)
+        .try_run(&trace)
+        .map_err(|e| e.to_string())?;
+    let load = outcome.to_load_series(&site);
+    Ok((site, outcome, load))
+}
+
+fn build_contract(args: &Args) -> Result<Contract, String> {
+    let tariff = args.get_f64("tariff", 0.07)?;
+    let dc = args.get_f64("demand-charge", 12.0)?;
+    let pb_upper = args.get_f64("powerband-upper", 0.0)?;
+    let pb_penalty = args.get_f64("powerband-penalty", 0.35)?;
+    let mut b = Contract::builder("cli-contract").tariff(Tariff::fixed(
+        EnergyPrice::try_per_kilowatt_hour(tariff).map_err(|e| e.to_string())?,
+    ));
+    if dc > 0.0 {
+        b = b.demand_charge(DemandCharge::monthly(
+            DemandPrice::try_per_kilowatt_month(dc).map_err(|e| e.to_string())?,
+        ));
+    }
+    if pb_upper > 0.0 {
+        b = b.powerband(Powerband::ceiling(
+            Power::from_kilowatts(pb_upper),
+            EnergyPrice::try_per_kilowatt_hour(pb_penalty).map_err(|e| e.to_string())?,
+        ));
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let (site, outcome, load) = run_simulation(args)?;
+    println!("site: {} nodes, feeder {}", site.node_count, site.feeder_rating);
+    println!("jobs completed:   {}", outcome.records().len());
+    println!("utilization:      {:.1}%", outcome.utilization() * 100.0);
+    println!("mean wait:        {}", outcome.mean_wait());
+    println!("mean slowdown:    {:.2}", outcome.mean_bounded_slowdown());
+    println!("metered energy:   {}", load.total_energy());
+    println!("metered peak:     {}", load.peak().map_err(|e| e.to_string())?);
+    let stats = hpcgrid::timeseries::stats::load_stats(&load).map_err(|e| e.to_string())?;
+    println!("peak-to-average:  {:.2}", stats.peak_to_average);
+    println!("max ramp:         {:.0} kW/h", stats.max_ramp_kw_per_hour);
+    Ok(())
+}
+
+fn cmd_bill(args: &Args) -> Result<(), String> {
+    let (_, _, load) = run_simulation(args)?;
+    let contract = build_contract(args)?;
+    let bill = BillingEngine::new(Calendar::default())
+        .bill(&contract, &load)
+        .map_err(|e| e.to_string())?;
+    print!("{}", bill.render());
+    println!("\nkWh-domain share: {:.1}%", (1.0 - bill.demand_share()) * 100.0);
+    println!("kW-domain share:  {:.1}%", bill.demand_share() * 100.0);
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let (_, _, load) = run_simulation(args)?;
+    let contract = build_contract(args)?;
+    let r = report::generate("cli-site", &contract, &load, &Calendar::default())
+        .map_err(|e| e.to_string())?;
+    print!("{}", r.render());
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let (_, _, load) = run_simulation(args)?;
+    let peak = load.peak().map_err(|e| e.to_string())?;
+    let candidates = vec![
+        Contract::builder("flat-rate")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.085)))
+            .build()
+            .map_err(|e| e.to_string())?,
+        Contract::builder("fixed+demand-charge")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.06)))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .build()
+            .map_err(|e| e.to_string())?,
+        Contract::builder("day-night")
+            .tariff(Tariff::day_night(
+                EnergyPrice::per_kilowatt_hour(0.11),
+                EnergyPrice::per_kilowatt_hour(0.05),
+            ))
+            .build()
+            .map_err(|e| e.to_string())?,
+        Contract::builder("fixed+powerband")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.065)))
+            .powerband(Powerband::ceiling(
+                peak * 0.9,
+                EnergyPrice::per_kilowatt_hour(0.35),
+            ))
+            .build()
+            .map_err(|e| e.to_string())?,
+    ];
+    let report = compare::compare(&candidates, &load, &Calendar::default())
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    println!("shopping value (worst → best): {}", report.shopping_value());
+    let flattening = compare::flattening_value(
+        &candidates[1],
+        &load,
+        &Calendar::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("perfect-flattening value under the demand-charge contract: {flattening}");
+    Ok(())
+}
+
+fn cmd_survey(which: &str) -> Result<(), String> {
+    let corpus = SurveyCorpus::published();
+    match which {
+        "table1" => {
+            for s in SurveyCorpus::interview_sites() {
+                println!("{:<55} {}", s.name, s.country);
+            }
+        }
+        "table2" => print!("{}", render_table2(&corpus)),
+        "claims" => {
+            let facts = ProseFacts::published();
+            println!("RNP distribution:");
+            for (rnp, n) in rnp_distribution(&corpus) {
+                println!("  {:<10} {n}/10", rnp.label());
+            }
+            println!("\ntext-vs-table discrepancies:");
+            for d in discrepancies(&corpus, &facts) {
+                println!(
+                    "  {:<24} table {} vs text {}",
+                    d.kind.label(),
+                    d.table_count,
+                    d.text_count
+                );
+            }
+        }
+        other => return Err(format!("unknown survey artifact '{other}' (table1|table2|claims)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        println!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "typology" => {
+            print!("{}", Typology::render());
+            Ok(())
+        }
+        "survey" => match argv.get(1) {
+            Some(which) => cmd_survey(which),
+            None => Err("survey needs an artifact: table1|table2|claims".into()),
+        },
+        "simulate" => Args::parse(&argv[1..]).and_then(|a| cmd_simulate(&a)),
+        "bill" => Args::parse(&argv[1..]).and_then(|a| cmd_bill(&a)),
+        "report" => Args::parse(&argv[1..]).and_then(|a| cmd_report(&a)),
+        "compare" => Args::parse(&argv[1..]).and_then(|a| cmd_compare(&a)),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation correctness checks (A1/A2 of DESIGN.md §3): the assertions
+//! behind the `ablation_*` Criterion benches.
+
+use hpcgrid::core::billing::BillingEngine;
+use hpcgrid::prelude::*;
+use hpcgrid::scheduler::policy::{CapSchedule, PowerConstraints};
+use hpcgrid::timeseries::resample::downsample_mean;
+use hpcgrid::timeseries::series::Series;
+
+/// 14 days of 1-minute data with a daily 3-minute spike.
+fn minute_load() -> PowerSeries {
+    Series::from_fn(
+        SimTime::EPOCH,
+        Duration::from_minutes(1.0),
+        14 * 1440,
+        |t| {
+            let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+            let base = 6.0 + 2.0 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            let into_day = t.as_secs() % 86_400;
+            let spike = if (46_800..47_000).contains(&into_day) { 4.0 } else { 0.0 };
+            Power::from_megawatts(base + spike)
+        },
+    )
+    .unwrap()
+}
+
+fn a1_contract() -> Contract {
+    Contract::builder("a1")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn a1_energy_cost_is_resolution_invariant() {
+    // Downsampling conserves energy, so the kWh line item must match across
+    // resolutions (up to float noise).
+    let fine = minute_load();
+    let engine = BillingEngine::new(Calendar::default());
+    let c = a1_contract();
+    let e1 = engine.bill(&c, &fine).unwrap().energy_cost().as_dollars();
+    for minutes in [15.0, 60.0] {
+        let coarse = downsample_mean(&fine, Duration::from_minutes(minutes)).unwrap();
+        let e = engine.bill(&c, &coarse).unwrap().energy_cost().as_dollars();
+        assert!((e - e1).abs() < 1e-6 * e1, "{minutes}min energy cost {e} vs {e1}");
+    }
+}
+
+#[test]
+fn a1_demand_charge_shrinks_with_coarser_metering() {
+    // The spike is 3 minutes long: a 1-minute meter bills it in full, a
+    // 15-minute meter dilutes it, a 1-hour meter nearly erases it.
+    let fine = minute_load();
+    let engine = BillingEngine::new(Calendar::default());
+    let mut last = f64::INFINITY;
+    for minutes in [1.0, 15.0, 60.0] {
+        let load = downsample_mean(&fine, Duration::from_minutes(minutes)).unwrap();
+        let c = Contract::builder("a1")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .demand_charge(DemandCharge {
+                demand_interval: Duration::from_minutes(minutes),
+                ..DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0))
+            })
+            .build()
+            .unwrap();
+        let dc = engine.bill(&c, &load).unwrap().demand_cost().as_dollars();
+        assert!(dc <= last + 1e-9, "demand cost must not grow with coarser metering");
+        last = dc;
+    }
+}
+
+#[test]
+fn a2_policies_trace_a_pareto_front() {
+    let site = SiteSpec::new(
+        "a2-site",
+        hpcgrid::facility::site::Country::UnitedStates,
+        256,
+        hpcgrid::facility::node::NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_megawatts(1.0),
+        Power::from_kilowatts(10.0),
+    )
+    .unwrap();
+    // Jobs capped at 128 nodes so a standing 180-busy-node cap is feasible.
+    let trace = WorkloadBuilder::new(4)
+        .nodes(256)
+        .days(10)
+        .arrivals_per_hour(15.0)
+        .max_job_nodes(128)
+        .build();
+    let contract = Contract::builder("a2")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let engine = BillingEngine::new(Calendar::default());
+    let eval = |constraints: PowerConstraints| {
+        let out =
+            ScheduleSimulator::with_constraints(256, Policy::EasyBackfill, constraints).run(&trace);
+        let load = out.to_load_series(&site);
+        (
+            engine.bill(&contract, &load).unwrap().total(),
+            out.utilization(),
+            out.mean_wait(),
+        )
+    };
+    let (bill_free, util_free, _wait_free) = eval(PowerConstraints::none());
+    // Shutdown: cheaper bill, identical mission metrics (idle nodes carry
+    // no jobs).
+    let (bill_shut, util_shut, _) = eval(PowerConstraints {
+        shutdown_idle: true,
+        ..Default::default()
+    });
+    assert!(bill_shut < bill_free, "shutdown must cut the bill");
+    assert!((util_shut - util_free).abs() < 1e-9);
+    // A standing busy-node cap: cuts the monthly demand peak but delays
+    // jobs. The cap must exceed the largest job or scheduling deadlocks,
+    // hence the 128-node job cap above.
+    let (bill_cap, util_cap, wait_cap) = eval(PowerConstraints {
+        cap: CapSchedule::constant(180),
+        ..Default::default()
+    });
+    assert!(bill_cap < bill_free, "capping must cut the demand charge");
+    assert!(util_cap <= util_free + 1e-9);
+    let (_b, _u, wait_free2) = eval(PowerConstraints::none());
+    assert!(wait_cap >= wait_free2, "capping cannot reduce waiting");
+}

@@ -1,0 +1,88 @@
+//! End-to-end tests of the `hpcgrid` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcgrid"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn typology_prints_figure1() {
+    let (ok, stdout, _) = run(&["typology"]);
+    assert!(ok);
+    assert!(stdout.contains("SC electricity service contract"));
+    assert!(stdout.contains("Powerband"));
+    assert!(stdout.contains("Emergency DR"));
+}
+
+#[test]
+fn survey_artifacts() {
+    let (ok, stdout, _) = run(&["survey", "table1"]);
+    assert!(ok);
+    assert!(stdout.contains("Oak Ridge National Laboratory"));
+    let (ok, stdout, _) = run(&["survey", "table2"]);
+    assert!(ok);
+    assert!(stdout.contains("Site 10"));
+    let (ok, stdout, _) = run(&["survey", "claims"]);
+    assert!(ok);
+    assert!(stdout.contains("table 7 vs text 8"));
+    let (ok, _, stderr) = run(&["survey", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown survey artifact"));
+}
+
+#[test]
+fn simulate_bill_report_pipeline() {
+    let (ok, stdout, _) = run(&["simulate", "--nodes", "128", "--days", "2", "--seed", "7"]);
+    assert!(ok, "simulate failed: {stdout}");
+    assert!(stdout.contains("utilization:"));
+    let (ok, stdout, _) = run(&[
+        "bill", "--nodes", "128", "--days", "2", "--seed", "7", "--tariff", "0.08",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("TOTAL"));
+    let (ok, stdout, _) = run(&["report", "--nodes", "128", "--days", "2", "--seed", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("recommendations:"));
+}
+
+#[test]
+fn deterministic_output_per_seed() {
+    let a = run(&["bill", "--nodes", "128", "--days", "2", "--seed", "3"]);
+    let b = run(&["bill", "--nodes", "128", "--days", "2", "--seed", "3"]);
+    assert_eq!(a.1, b.1);
+    let c = run(&["bill", "--nodes", "128", "--days", "2", "--seed", "4"]);
+    assert_ne!(a.1, c.1);
+}
+
+#[test]
+fn bad_input_errors_cleanly() {
+    let (ok, _, stderr) = run(&["simulate", "--nodes", "abc"]);
+    assert!(!ok);
+    assert!(stderr.contains("expects an integer"));
+    let (ok, _, stderr) = run(&["simulate", "--policy", "random"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"));
+    let (ok, _, _) = run(&[]);
+    assert!(!ok);
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn compare_ranks_contracts() {
+    let (ok, stdout, _) = run(&["compare", "--nodes", "128", "--days", "2", "--seed", "5"]);
+    assert!(ok, "compare failed: {stdout}");
+    assert!(stdout.contains("contract comparison"));
+    assert!(stdout.contains("shopping value"));
+    assert!(stdout.contains("1. "));
+}

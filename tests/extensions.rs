@@ -1,0 +1,213 @@
+//! Integration tests for the extension modules working together:
+//! SWF import → schedule → bill; storage + contract; regulation + battery;
+//! contingency + grid events; block tariffs in comparisons.
+
+use hpcgrid::core::compare::{compare, flattening_value};
+use hpcgrid::core::tariff::{BlockStep, BlockTariff};
+use hpcgrid::dr::arbitrage::{run_arbitrage, threshold_plan};
+use hpcgrid::facility::storage::Battery;
+use hpcgrid::grid::regulation::{regulation_signal, tracking_score, RegulationParams};
+use hpcgrid::prelude::*;
+use hpcgrid::workload::swf::{parse_swf, to_swf};
+
+fn site(nodes: usize) -> SiteSpec {
+    SiteSpec::new(
+        "ext-site",
+        hpcgrid::facility::site::Country::Germany,
+        nodes,
+        hpcgrid::facility::node::NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_megawatts(1.0),
+        Power::from_kilowatts(20.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn swf_roundtrip_schedules_and_bills() {
+    // Synthetic trace → SWF text → re-import → schedule → bill.
+    let original = WorkloadBuilder::new(11).nodes(256).days(5).build();
+    let text = to_swf(&original);
+    let imported = parse_swf(&text, 256).unwrap();
+    assert_eq!(imported.len(), original.len());
+    let s = site(256);
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill)
+        .try_run(&imported)
+        .unwrap();
+    assert_eq!(outcome.records().len(), imported.len());
+    let load = outcome.to_load_series(&s);
+    let bill = hpcgrid::core::billing::BillingEngine::new(Calendar::default())
+        .bill(
+            &Contract::builder("swf")
+                .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+                .build()
+                .unwrap(),
+            &load,
+        )
+        .unwrap();
+    assert!(bill.total().is_positive());
+}
+
+#[test]
+fn block_tariff_in_contract_comparison() {
+    let s = site(256);
+    let trace = WorkloadBuilder::new(3).nodes(256).days(30).build();
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill).run(&trace);
+    let load = outcome.to_load_series(&s);
+    let monthly_kwh = load.total_energy().as_kilowatt_hours();
+    // A declining-block schedule that crosses into its second block.
+    let block = Contract::builder("declining-block")
+        .tariff(Tariff::Block(BlockTariff {
+            blocks: vec![
+                BlockStep {
+                    up_to_kwh: Some(monthly_kwh / 2.0),
+                    price: EnergyPrice::per_kilowatt_hour(0.10),
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::per_kilowatt_hour(0.05),
+                },
+            ],
+        }))
+        .build()
+        .unwrap();
+    let flat = Contract::builder("flat-0.10")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.10)))
+        .build()
+        .unwrap();
+    let report = compare(&[block, flat], &load, &Calendar::default()).unwrap();
+    // The declining block must beat the flat rate at its opening price.
+    assert_eq!(report.best().name, "declining-block");
+    assert!(report.shopping_value().is_positive());
+}
+
+#[test]
+fn battery_arbitrage_against_market_dispatch() {
+    use hpcgrid::grid::demand::{demand_series, DemandParams};
+    use hpcgrid::grid::dispatch::MeritOrderMarket;
+    use hpcgrid::grid::generation::GeneratorFleet;
+    let cal = Calendar::default();
+    let demand = demand_series(
+        &DemandParams::default(),
+        &cal,
+        SimTime::EPOCH,
+        Duration::from_hours(1.0),
+        24 * 14,
+        2,
+    )
+    .unwrap();
+    let market = MeritOrderMarket::new(
+        GeneratorFleet::synthetic_regional(Power::from_megawatts(3_000.0), 0.05).unwrap(),
+    );
+    let strip = market.dispatch(&demand, None).unwrap().prices;
+    let flat_load = PowerSeries::constant(
+        SimTime::EPOCH,
+        Duration::from_hours(1.0),
+        Power::from_megawatts(2.0),
+        strip.len(),
+    )
+    .unwrap();
+    let battery = Battery::reference();
+    let plan = threshold_plan(&battery, &strip, 0.1, 0.1).unwrap();
+    let out = run_arbitrage(&battery, &flat_load, &strip, &plan).unwrap();
+    // Whatever the sign of the saving, conservation holds and both costs
+    // are finite and positive.
+    assert!(out.cost_without.is_positive());
+    assert!(out.cost_with.is_positive());
+}
+
+#[test]
+fn battery_follows_regulation_signal_well() {
+    let step = Duration::from_minutes(4.0);
+    let params = RegulationParams {
+        reversion: 0.35,
+        ..Default::default()
+    };
+    let signal = regulation_signal(&params, SimTime::EPOCH, step, 240, 9).unwrap();
+    let capacity = Power::from_megawatts(1.0);
+    let battery = Battery::reference();
+    let mut soc = battery.capacity * 0.5;
+    let delivered: Vec<Power> = signal
+        .values()
+        .iter()
+        .map(|&sig| {
+            let want = capacity * sig;
+            if want >= Power::ZERO {
+                let by_soc = Power::from_kilowatts(soc.as_kilowatt_hours() / step.as_hours());
+                let p = want.min(battery.max_discharge).min(by_soc);
+                soc -= p * step;
+                p
+            } else {
+                let headroom = battery.capacity - soc;
+                let by_room = Power::from_kilowatts(
+                    headroom.as_kilowatt_hours()
+                        / (step.as_hours() * battery.round_trip_efficiency),
+                );
+                let p = (-want).min(battery.max_charge).min(by_room);
+                soc += p * step * battery.round_trip_efficiency;
+                -p
+            }
+        })
+        .collect();
+    let score = tracking_score(&signal, &delivered, capacity).unwrap();
+    assert!(score > 0.85, "battery tracking score {score}");
+}
+
+#[test]
+fn contingency_plan_with_battery_relief() {
+    use hpcgrid::dr::contingency::{
+        execute_plan, ContingencyPlan, ContingencyResources,
+    };
+    use hpcgrid::grid::events::{GridEvent, Severity};
+    use hpcgrid::timeseries::intervals::Interval;
+    let s = site(256);
+    let trace = WorkloadBuilder::new(8)
+        .nodes(256)
+        .days(3)
+        .max_job_nodes(128)
+        .build();
+    let events = vec![GridEvent {
+        window: Interval::new(
+            SimTime::from_days(1) + Duration::from_hours(12.0),
+            SimTime::from_days(1) + Duration::from_hours(14.0),
+        ),
+        severity: Severity::Emergency,
+        min_reserve: Power::from_megawatts(10.0),
+    }];
+    let plan = ContingencyPlan::reference(Power::from_kilowatts(200.0));
+    let out = execute_plan(
+        &s,
+        &trace,
+        Policy::ConservativeBackfill, // exercise the third policy end to end
+        &events,
+        &plan,
+        &ContingencyResources::default(),
+        None,
+        Duration::from_minutes(15.0),
+    )
+    .unwrap();
+    assert_eq!(out.dr.response.records().len(), trace.len());
+    assert_eq!(out.impacts.len(), 1);
+    assert!(out.impacts[0].stage.is_some());
+}
+
+#[test]
+fn flattening_value_bounded_by_demand_charge() {
+    let s = site(256);
+    let trace = WorkloadBuilder::new(21).nodes(256).days(20).build();
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill).run(&trace);
+    let load = outcome.to_load_series(&s);
+    let contract = Contract::builder("dc")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let v = flattening_value(&contract, &load, &Calendar::default()).unwrap();
+    assert!(v >= Money::ZERO);
+    // The bound: flattening cannot save more than the whole demand charge.
+    let bill = hpcgrid::core::billing::BillingEngine::new(Calendar::default())
+        .bill(&contract, &load)
+        .unwrap();
+    assert!(v <= bill.demand_cost());
+}

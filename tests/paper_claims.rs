@@ -1,0 +1,126 @@
+//! The paper's quantified claims as tests — the `cargo test` face of the
+//! `exp_*` binaries (see EXPERIMENTS.md for the full paper-vs-measured
+//! record).
+
+use hpcgrid::core::survey::analysis::{
+    component_counts, discrepancies, fisher_two_sided, geo_trend_feasibility, rnp_distribution,
+};
+use hpcgrid::core::survey::corpus::{ProseFacts, SurveyCorpus};
+use hpcgrid::core::survey::instrument::SurveyInstrument;
+use hpcgrid::core::survey::rnp::Rnp;
+use hpcgrid::core::typology::{ContractComponentKind, Typology, TypologyBranch};
+use hpcgrid::dr::breakeven::{breakeven, DepreciationModel};
+use hpcgrid::facility::catalog::{load_span, max_theoretical_peak};
+use hpcgrid::prelude::*;
+
+#[test]
+fn t1_ten_sites_four_us_six_eu() {
+    let sites = SurveyCorpus::interview_sites();
+    assert_eq!(sites.len(), 10);
+    let us = sites.iter().filter(|s| s.country == "United States").count();
+    assert_eq!(us, 4);
+    assert_eq!(sites.iter().filter(|s| s.country == "Germany").count(), 4);
+}
+
+#[test]
+fn t2_counts_and_rnp() {
+    let corpus = SurveyCorpus::published();
+    let counts = component_counts(&corpus);
+    // As printed in Table 2.
+    assert_eq!(counts[&ContractComponentKind::DemandCharge], 7);
+    assert_eq!(counts[&ContractComponentKind::Powerband], 5);
+    assert_eq!(counts[&ContractComponentKind::FixedTariff], 7);
+    assert_eq!(counts[&ContractComponentKind::TimeOfUseTariff], 2);
+    assert_eq!(counts[&ContractComponentKind::DynamicTariff], 3);
+    assert_eq!(counts[&ContractComponentKind::EmergencyDr], 2);
+    let rnp = rnp_distribution(&corpus);
+    assert_eq!(rnp[&Rnp::SupercomputingCenter], 1);
+    assert_eq!(rnp[&Rnp::InternalOrganization], 6);
+    assert_eq!(rnp[&Rnp::ExternalOrganization], 3);
+}
+
+#[test]
+fn f1_typology_structure() {
+    assert_eq!(Typology::branches().len(), 3);
+    assert_eq!(Typology::leaves(TypologyBranch::TariffsKwh).len(), 3);
+    assert_eq!(Typology::leaves(TypologyBranch::DemandChargesKw).len(), 2);
+    assert_eq!(Typology::leaves(TypologyBranch::Other).len(), 1);
+    // Fixed tariffs encourage efficiency but not DSM; demand charges the
+    // reverse; dynamic tariffs and emergency DR are the only DR leaves.
+    let dr_leaves: Vec<_> = ContractComponentKind::ALL
+        .iter()
+        .filter(|k| k.encourages().dynamic_dr)
+        .collect();
+    assert_eq!(dr_leaves.len(), 2);
+}
+
+#[test]
+fn c1_paper_internal_discrepancies() {
+    let d = discrepancies(&SurveyCorpus::published(), &ProseFacts::published());
+    assert_eq!(d.len(), 4, "prose and table disagree in exactly 4 components");
+}
+
+#[test]
+fn c4_catalog_anchors() {
+    let (min, max) = load_span();
+    assert!(min < Power::from_kilowatts(60.0));
+    assert!(max > Power::from_megawatts(10.0));
+    assert_eq!(max_theoretical_peak().as_megawatts(), 60.0);
+}
+
+#[test]
+fn c5_six_question_instrument() {
+    assert_eq!(SurveyInstrument::standard().len(), 6);
+}
+
+#[test]
+fn e4_flagship_dr_is_economically_irrational() {
+    // §4: "the economic incentive ... is not high enough to alter operation
+    // strategies in SCs, due to high hardware depreciation costs."
+    let flagship = DepreciationModel::reference_flagship();
+    let typical_incentive = EnergyPrice::per_kilowatt_hour(0.10);
+    let retail = EnergyPrice::per_kilowatt_hour(0.07);
+    let r = breakeven(&flagship, typical_incentive, retail).unwrap();
+    assert!(!r.rational);
+    assert!(r.forfeit_per_kwh > EnergyPrice::per_kilowatt_hour(0.25));
+}
+
+#[test]
+fn e9_geo_significance_floor() {
+    let feas = geo_trend_feasibility(&SurveyCorpus::published(), 4);
+    for g in feas {
+        assert!(g.min_p_two_sided >= 1.0 / 30.0 - 1e-9);
+    }
+    // Balanced splits (what the survey observed) are nowhere near p=0.05.
+    assert!(fisher_two_sided(10, 5, 4, 2) > 0.5);
+    assert!(fisher_two_sided(10, 7, 4, 3) > 0.5);
+}
+
+#[test]
+fn e2_demand_share_grows_with_peakiness() {
+    // Hold energy fixed, raise the peak: the demand share must rise.
+    use hpcgrid::timeseries::series::Series;
+    let contract = Contract::builder("e2")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let engine = hpcgrid::core::billing::BillingEngine::new(Calendar::default());
+    let mut shares = Vec::new();
+    for pa in [1.0, 2.0, 3.0] {
+        let peak: f64 = 500.0 * pa;
+        let floor = (500.0 - 0.25 * peak).max(0.0) / 0.75;
+        let load = Series::from_fn(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            30 * 96,
+            |t| {
+                let h = (t.as_secs() % 86_400) / 3_600;
+                Power::from_kilowatts(if (12..18).contains(&h) { peak } else { floor })
+            },
+        )
+        .unwrap();
+        shares.push(engine.bill(&contract, &load).unwrap().demand_share());
+    }
+    assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+}

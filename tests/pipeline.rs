@@ -1,0 +1,231 @@
+//! Cross-crate integration tests: the full pipelines every experiment
+//! binary relies on (DESIGN.md §5).
+
+use hpcgrid::core::billing::BillingEngine;
+use hpcgrid::core::survey::analysis::component_counts;
+use hpcgrid::core::survey::coding::recode_corpus;
+use hpcgrid::core::survey::corpus::SurveyCorpus;
+use hpcgrid::core::typology::ContractComponentKind;
+use hpcgrid::dr::event::{simulate_events, ResponseStrategy};
+use hpcgrid::dr::procurement::{random_bids, run_auction, ProcurementSpec};
+use hpcgrid::dr::program::CurtailmentProgram;
+use hpcgrid::prelude::*;
+use hpcgrid::timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid::units::Ratio;
+
+fn test_site(nodes: usize) -> SiteSpec {
+    SiteSpec::new(
+        "it-site",
+        hpcgrid::facility::site::Country::UnitedStates,
+        nodes,
+        hpcgrid::facility::node::NodeSpec::reference_hpc(),
+        1.1,
+        1.35,
+        Power::from_megawatts(1.0),
+        Power::from_kilowatts(20.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn workload_to_bill_pipeline() {
+    let site = test_site(256);
+    let trace = WorkloadBuilder::new(1).nodes(256).days(10).build();
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill).run(&trace);
+    assert_eq!(outcome.records().len(), trace.len());
+    let load = outcome.to_load_series(&site);
+    // The load never exceeds the feeder, never drops below the idle floor.
+    assert!(site.feeders().unwrap().check(&load).is_ok());
+    // The exact idle floor under the load-dependent PUE model.
+    let fleet = site.fleet().unwrap();
+    let cooling = site.cooling().unwrap();
+    let floor = cooling.facility_power(fleet.idle_it_power()) + site.office_load;
+    for v in load.values() {
+        assert!(*v >= floor * 0.999, "load {v} below idle floor {floor}");
+    }
+    // Billing it produces a strictly positive, decomposable bill.
+    let contract = Contract::builder("it")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let bill = BillingEngine::new(Calendar::default())
+        .bill(&contract, &load)
+        .unwrap();
+    assert!(bill.total().is_positive());
+    let sum: f64 = bill.items.iter().map(|i| i.amount.as_dollars()).sum();
+    assert!((bill.total().as_dollars() - sum).abs() < 1e-9);
+}
+
+#[test]
+fn corpus_contract_classification_reproduces_table2() {
+    let corpus = SurveyCorpus::published();
+    let recoded = recode_corpus(&corpus);
+    assert_eq!(corpus, recoded);
+    let counts = component_counts(&recoded);
+    assert_eq!(counts[&ContractComponentKind::DemandCharge], 7);
+    assert_eq!(counts[&ContractComponentKind::Powerband], 5);
+    assert_eq!(counts[&ContractComponentKind::FixedTariff], 7);
+}
+
+#[test]
+fn scaled_reference_contracts_still_classify_identically() {
+    // Scaling the kW-domain components must not change the typology row.
+    let corpus = SurveyCorpus::published();
+    for row in corpus.responses() {
+        let small = row.reference_contract_scaled(Power::from_kilowatts(300.0));
+        let big = row.reference_contract_scaled(Power::from_megawatts(25.0));
+        assert_eq!(small.component_kinds(), big.component_kinds());
+    }
+}
+
+#[test]
+fn dr_event_pipeline_conserves_work() {
+    let site = test_site(256);
+    let trace = WorkloadBuilder::new(3)
+        .nodes(256)
+        .days(5)
+        .deferrable_fraction(0.3)
+        .build();
+    let events = IntervalSet::from_intervals(vec![Interval::new(
+        SimTime::from_days(2),
+        SimTime::from_days(2) + Duration::from_hours(4.0),
+    )]);
+    let out = simulate_events(
+        &site,
+        &trace,
+        Policy::EasyBackfill,
+        &events,
+        ResponseStrategy {
+            cap: Some(Power::from_kilowatts(120.0)),
+            shift_deferrable: true,
+            shutdown_idle: false,
+            dvfs_factor: None,
+        },
+        &CurtailmentProgram {
+            min_reduction: Power::from_kilowatts(10.0),
+            shortfall_penalty: Money::ZERO,
+            ..CurtailmentProgram::reference()
+        },
+        Duration::from_minutes(15.0),
+    )
+    .unwrap();
+    // Responding never loses jobs — it only delays them.
+    assert_eq!(out.response.records().len(), trace.len());
+    // Energy during the event window is reduced, not increased.
+    let w = events.intervals()[0];
+    let base_evt = out.baseline_load.slice_time(w.start, w.end).total_energy();
+    let resp_evt = out.response_load.slice_time(w.start, w.end).total_energy();
+    assert!(resp_evt <= base_evt + Energy::from_kilowatt_hours(1e-6));
+}
+
+#[test]
+fn auction_pipeline_end_to_end() {
+    let site = test_site(256);
+    let trace = WorkloadBuilder::new(9).nodes(256).days(14).build();
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill).run(&trace);
+    let load = outcome.to_load_series(&site);
+    let bids = random_bids(77, 8);
+    let result = run_auction(
+        &bids,
+        &ProcurementSpec {
+            min_renewable: Ratio::from_percent(80.0),
+        },
+        &Calendar::default(),
+        &load,
+    )
+    .unwrap();
+    assert_eq!(result.ranking.len() + result.disqualified.len(), 8);
+    if let Some(w) = result.winner() {
+        assert!(w.renewable_share >= Ratio::from_percent(80.0));
+        for other in &result.ranking {
+            assert!(w.annual_cost <= other.annual_cost);
+        }
+    }
+}
+
+#[test]
+fn grid_dispatch_feeds_dynamic_tariff() {
+    use hpcgrid::grid::demand::{demand_series, DemandParams};
+    use hpcgrid::grid::dispatch::MeritOrderMarket;
+    use hpcgrid::grid::generation::GeneratorFleet;
+    let cal = Calendar::default();
+    let demand = demand_series(
+        &DemandParams::default(),
+        &cal,
+        SimTime::EPOCH,
+        Duration::from_hours(1.0),
+        24 * 14,
+        4,
+    )
+    .unwrap();
+    let market = MeritOrderMarket::new(
+        GeneratorFleet::synthetic_regional(Power::from_megawatts(3_000.0), 0.1).unwrap(),
+    );
+    let strip = market.dispatch(&demand, None).unwrap().prices;
+
+    // An SC billed on the market strip (as the dynamic-tariff sites are).
+    let site = test_site(256);
+    let trace = WorkloadBuilder::new(5).nodes(256).days(14).build();
+    let outcome = ScheduleSimulator::new(256, Policy::EasyBackfill).run(&trace);
+    let load = outcome.to_load_series(&site);
+    let contract = Contract::builder("dyn")
+        .tariff(Tariff::dynamic(
+            strip,
+            EnergyPrice::per_kilowatt_hour(0.01),
+            EnergyPrice::per_kilowatt_hour(0.07),
+        ))
+        .build()
+        .unwrap();
+    let bill = BillingEngine::new(cal).bill(&contract, &load).unwrap();
+    assert!(bill.total().is_positive());
+    assert!(contract.has(ContractComponentKind::DynamicTariff));
+}
+
+#[test]
+fn emergency_clause_with_detected_grid_events() {
+    use hpcgrid::core::emergency::EmergencyDrClause;
+    use hpcgrid::grid::demand::{demand_series, DemandParams};
+    use hpcgrid::grid::dispatch::MeritOrderMarket;
+    use hpcgrid::grid::events::{detect_events, emergency_windows, StressThresholds};
+    use hpcgrid::grid::generation::GeneratorFleet;
+    let cal = Calendar::default();
+    let demand = demand_series(
+        &DemandParams::default(),
+        &cal,
+        SimTime::from_days(180),
+        Duration::from_hours(1.0),
+        24 * 7,
+        8,
+    )
+    .unwrap();
+    // Under-built fleet so events occur.
+    let market = MeritOrderMarket::new(
+        GeneratorFleet::synthetic_regional(Power::from_megawatts(2_800.0), 0.0).unwrap(),
+    );
+    let out = market.dispatch(&demand, None).unwrap();
+    let events = detect_events(
+        &out,
+        market.fleet().total_available(),
+        StressThresholds::default(),
+    )
+    .unwrap();
+    let windows = emergency_windows(&events);
+    // The SC that sheds to its limit during emergencies pays nothing.
+    let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
+    let compliant = PowerSeries::from_fn(
+        SimTime::from_days(180),
+        Duration::from_hours(1.0),
+        24 * 7,
+        |t| {
+            if windows.contains(t) {
+                Power::from_megawatts(4.0)
+            } else {
+                Power::from_megawatts(9.0)
+            }
+        },
+    )
+    .unwrap();
+    let a = clause.assess(&compliant, &windows).unwrap();
+    assert_eq!(a.total_penalty, Money::ZERO);
+}
