@@ -5,11 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpcgrid_bench::scenarios::{meter_step, reference_site, typical_contract};
-use hpcgrid_workload::trace::WorkloadBuilder;
 use hpcgrid_core::billing::BillingEngine;
 use hpcgrid_scheduler::policy::{CapSchedule, Policy, PowerConstraints};
 use hpcgrid_scheduler::sim::ScheduleSimulator;
 use hpcgrid_units::Calendar;
+use hpcgrid_workload::trace::WorkloadBuilder;
 use std::hint::black_box;
 
 fn bench_policies(c: &mut Criterion) {

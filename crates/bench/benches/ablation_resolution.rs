@@ -24,7 +24,11 @@ fn minute_load() -> PowerSeries {
         let base = 6.0 + 2.0 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
         // A 3-minute spike at 13:00 every day.
         let into_day = t.as_secs() % 86_400;
-        let spike = if (46_800..47_000).contains(&into_day) { 4.0 } else { 0.0 };
+        let spike = if (46_800..47_000).contains(&into_day) {
+            4.0
+        } else {
+            0.0
+        };
         Power::from_megawatts(base + spike)
     })
     .unwrap()

@@ -10,9 +10,7 @@ use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::powerband::Powerband;
 use hpcgrid_core::tariff::Tariff;
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
-use hpcgrid_units::{
-    Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime,
-};
+use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime};
 use std::hint::black_box;
 
 fn year_load() -> PowerSeries {

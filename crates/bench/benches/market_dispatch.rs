@@ -13,8 +13,7 @@ fn bench_dispatch(c: &mut Criterion) {
     let cal = Calendar::default();
     let n = 365 * 24;
     let step = Duration::from_hours(1.0);
-    let demand = demand_series(&DemandParams::default(), &cal, SimTime::EPOCH, step, n, 1)
-        .unwrap();
+    let demand = demand_series(&DemandParams::default(), &cal, SimTime::EPOCH, step, n, 1).unwrap();
     let solar = solar_series(&SolarParams::default(), &cal, SimTime::EPOCH, step, n, 1).unwrap();
     let wind = wind_series(&WindParams::default(), SimTime::EPOCH, step, n, 1).unwrap();
     let renewables = solar.add_series(&wind).unwrap();

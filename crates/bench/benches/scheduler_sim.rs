@@ -20,8 +20,7 @@ fn bench_scheduler(c: &mut Criterion) {
     });
     g.bench_function("easy_backfill", |b| {
         b.iter(|| {
-            let out =
-                ScheduleSimulator::new(trace.machine_nodes, Policy::EasyBackfill).run(&trace);
+            let out = ScheduleSimulator::new(trace.machine_nodes, Policy::EasyBackfill).run(&trace);
             black_box(out.utilization())
         })
     });

@@ -3,9 +3,7 @@
 //! analyses (experiments T1/T2/F1/C1/E9).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hpcgrid_core::survey::analysis::{
-    component_counts, discrepancies, geo_trend_feasibility,
-};
+use hpcgrid_core::survey::analysis::{component_counts, discrepancies, geo_trend_feasibility};
 use hpcgrid_core::survey::coding::{recode_corpus, render_table2};
 use hpcgrid_core::survey::corpus::{ProseFacts, SurveyCorpus};
 use hpcgrid_core::typology::Typology;
@@ -28,7 +26,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table2_render", |b| {
         b.iter(|| black_box(render_table2(&corpus).len()))
     });
-    g.bench_function("figure1_render", |b| b.iter(|| black_box(Typology::render().len())));
+    g.bench_function("figure1_render", |b| {
+        b.iter(|| black_box(Typology::render().len()))
+    });
     g.bench_function("component_counts", |b| {
         b.iter(|| black_box(component_counts(&corpus).len()))
     });

@@ -40,9 +40,7 @@ fn main() {
 
     println!("== C2: §3.3 responsible negotiating parties ==\n");
     let rnp = rnp_distribution(&corpus);
-    println!(
-        "paper: SC 1/10, internal 6/10, external 3/10 (2 of the external = DOE)"
-    );
+    println!("paper: SC 1/10, internal 6/10, external 3/10 (2 of the external = DOE)");
     println!(
         "measured: SC {}/10, internal {}/10, external {}/10 (DOE count encoded: {})\n",
         rnp[&Rnp::SupercomputingCenter],

@@ -10,9 +10,7 @@
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
 use hpcgrid_core::emergency::EmergencyDrClause;
-use hpcgrid_dr::contingency::{
-    execute_plan, ContingencyPlan, ContingencyResources,
-};
+use hpcgrid_dr::contingency::{execute_plan, ContingencyPlan, ContingencyResources};
 use hpcgrid_facility::generator::OnsiteGenerator;
 use hpcgrid_grid::demand::{demand_series, DemandParams};
 use hpcgrid_grid::dispatch::MeritOrderMarket;
@@ -111,7 +109,10 @@ fn main() {
         out.dr.response.mean_wait()
     );
 
-    assert!(!grid_events.is_empty(), "the stressed grid must produce events");
+    assert!(
+        !grid_events.is_empty(),
+        "the stressed grid must produce events"
+    );
     assert!(out.response_penalty <= out.baseline_penalty);
     let any_relief = out.impacts.iter().any(|i| i.relief() > Power::ZERO);
     assert!(any_relief, "the plan must deliver relief somewhere");

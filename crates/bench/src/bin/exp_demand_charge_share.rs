@@ -66,7 +66,10 @@ fn main() {
     for w in shares.windows(2) {
         assert!(w[1] > w[0], "demand share must grow with P/A: {shares:?}");
     }
-    println!("measured: demand share rises monotonically from {:.1}% to {:.1}%",
-        shares[0] * 100.0, shares.last().unwrap() * 100.0);
+    println!(
+        "measured: demand share rises monotonically from {:.1}% to {:.1}%",
+        shares[0] * 100.0,
+        shares.last().unwrap() * 100.0
+    );
     println!("E2 OK");
 }

@@ -3,19 +3,86 @@
 //! not high enough to alter operation strategies in SCs, due to high
 //! hardware depreciation costs"*), plus the full event loop: capping during
 //! DR events, incentive revenue vs mission impact.
+//!
+//! Both parameter sweeps (incentive level × machine class, and DR response
+//! strategy) run through the `hpcgrid-engine` sweep runner: scenarios are
+//! content-addressed, executed in parallel with fault isolation, and cached
+//! (set `HPCGRID_SWEEP_CACHE` to persist across runs).
 
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
 use hpcgrid_dr::breakeven::{breakeven, DepreciationModel};
 use hpcgrid_dr::event::{simulate_events, ResponseStrategy};
 use hpcgrid_dr::program::CurtailmentProgram;
+use hpcgrid_engine::ScenarioSpec;
 use hpcgrid_scheduler::policy::Policy;
 use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
 use hpcgrid_units::{Duration, EnergyPrice, Money, Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One point of the E4a incentive sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BreakevenPoint {
+    forfeit_per_kwh: f64,
+    net_per_kwh: f64,
+    rational: bool,
+}
+
+/// One point of the E4b strategy sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EventResult {
+    revenue_dollars: f64,
+    utilization_delta: f64,
+    wait_delta_secs: u64,
+}
+
+fn depreciation_model(machine: &str) -> Result<DepreciationModel, String> {
+    let flagship = DepreciationModel::reference_flagship();
+    match machine {
+        "flagship" => Ok(flagship),
+        "commodity" => Ok(DepreciationModel {
+            capex: Money::from_dollars(5e6),
+            lifetime: Duration::from_days(7 * 365),
+            ..flagship
+        }),
+        other => Err(format!("unknown machine class `{other}`")),
+    }
+}
 
 fn main() {
     println!("== E4a: incentive break-even vs depreciation ==\n");
     let retail = EnergyPrice::per_kilowatt_hour(0.07);
+
+    // The sweep axis: six incentive levels for the flagship, one for
+    // commodity hardware. Each point is a content-addressed scenario.
+    let mut points: Vec<(&str, f64)> = [0.05, 0.10, 0.25, 0.50, 1.00, 2.00]
+        .iter()
+        .map(|c| ("flagship", *c))
+        .collect();
+    points.push(("commodity", 0.10));
+    let specs: Vec<ScenarioSpec> = points
+        .iter()
+        .map(|(machine, offered)| {
+            experiment_spec("dr_breakeven", 0)
+                .param("machine", *machine)
+                .param("offered", *offered)
+                .build()
+        })
+        .collect();
+    let mut runner = experiment_runner::<BreakevenPoint>();
+    let outcome = runner.run(&specs, |ctx| {
+        let model = depreciation_model(ctx.spec.param_str("machine")?)?;
+        let offered = EnergyPrice::per_kilowatt_hour(ctx.spec.param_f64("offered")?);
+        let r = breakeven(&model, offered, retail).map_err(|e| e.to_string())?;
+        Ok(BreakevenPoint {
+            forfeit_per_kwh: r.forfeit_per_kwh.as_dollars_per_kilowatt_hour(),
+            net_per_kwh: r.net_per_kwh,
+            rational: r.rational,
+        })
+    });
+    println!("sweep engine report:\n{}", outcome.report.summary_table());
+    let results = outcome.expect_all("breakeven sweep");
+
     let mut t = TextTable::new(vec![
         "machine",
         "forfeit $/kWh",
@@ -23,35 +90,23 @@ fn main() {
         "net $/kWh",
         "rational?",
     ]);
-    let flagship = DepreciationModel::reference_flagship();
-    let commodity = DepreciationModel {
-        capex: Money::from_dollars(5e6),
-        lifetime: Duration::from_days(7 * 365),
-        ..flagship
-    };
     let mut flagship_rational_at = None;
-    for offered_c in [0.05, 0.10, 0.25, 0.50, 1.00, 2.00] {
-        let offered = EnergyPrice::per_kilowatt_hour(offered_c);
-        let r = breakeven(&flagship, offered, retail).unwrap();
-        if r.rational && flagship_rational_at.is_none() {
-            flagship_rational_at = Some(offered_c);
+    for ((machine, offered), r) in points.iter().zip(results.iter()) {
+        if *machine == "flagship" && r.rational && flagship_rational_at.is_none() {
+            flagship_rational_at = Some(*offered);
         }
+        let label = match *machine {
+            "flagship" => "flagship ($200M/5y)",
+            _ => "commodity ($5M/7y)",
+        };
         t.row(vec![
-            "flagship ($200M/5y)".to_string(),
-            format!("{:.3}", r.forfeit_per_kwh.as_dollars_per_kilowatt_hour()),
-            format!("{offered_c:.2}"),
+            label.to_string(),
+            format!("{:.3}", r.forfeit_per_kwh),
+            format!("{offered:.2}"),
             format!("{:+.3}", r.net_per_kwh),
             if r.rational { "yes" } else { "no" }.to_string(),
         ]);
     }
-    let r_cheap = breakeven(&commodity, EnergyPrice::per_kilowatt_hour(0.10), retail).unwrap();
-    t.row(vec![
-        "commodity ($5M/7y)".to_string(),
-        format!("{:.3}", r_cheap.forfeit_per_kwh.as_dollars_per_kilowatt_hour()),
-        "0.10".to_string(),
-        format!("{:+.3}", r_cheap.net_per_kwh),
-        if r_cheap.rational { "yes" } else { "no" }.to_string(),
-    ]);
     println!("{}", t.render());
     let cross = flagship_rational_at.expect("some incentive must break even");
     println!(
@@ -59,7 +114,11 @@ fn main() {
          an order of magnitude above typical program incentives (~$0.05–0.50/kWh)."
     );
     assert!(cross >= 0.25, "crossover at {cross}");
-    assert!(r_cheap.rational, "commodity hardware should break even at $0.10");
+    let r_cheap = results.last().expect("commodity point present");
+    assert!(
+        r_cheap.rational,
+        "commodity hardware should break even at $0.10"
+    );
 
     println!("\n== E4b: full DR event loop (cap during events) ==\n");
     let site = reference_site();
@@ -84,47 +143,48 @@ fn main() {
         shortfall_penalty: Money::ZERO,
         ..CurtailmentProgram::reference()
     };
-    let mut t2 = TextTable::new(vec![
-        "strategy",
-        "net DR revenue",
-        "utilization Δ",
-        "mean-wait Δ",
-    ]);
-    let strategies: Vec<(&str, ResponseStrategy)> = vec![
-        ("none", ResponseStrategy::none()),
-        (
-            "cap 200 kW",
-            ResponseStrategy {
+    let strategy_names = [
+        "none",
+        "cap 200 kW",
+        "cap 200 kW + shift",
+        "shift only",
+        "dvfs 0.6 (energy-aware)",
+    ];
+    let strategy_for = |name: &str| -> Result<ResponseStrategy, String> {
+        Ok(match name {
+            "none" => ResponseStrategy::none(),
+            "cap 200 kW" => ResponseStrategy {
                 cap: Some(Power::from_kilowatts(200.0)),
                 ..Default::default()
             },
-        ),
-        (
-            "cap 200 kW + shift",
-            ResponseStrategy {
+            "cap 200 kW + shift" => ResponseStrategy {
                 cap: Some(Power::from_kilowatts(200.0)),
                 shift_deferrable: true,
                 shutdown_idle: false,
                 dvfs_factor: None,
             },
-        ),
-        (
-            "shift only",
-            ResponseStrategy {
+            "shift only" => ResponseStrategy {
                 shift_deferrable: true,
                 ..Default::default()
             },
-        ),
-        (
-            "dvfs 0.6 (energy-aware)",
-            ResponseStrategy {
+            "dvfs 0.6 (energy-aware)" => ResponseStrategy {
                 dvfs_factor: Some(0.6),
                 ..Default::default()
             },
-        ),
-    ];
-    let mut revenue_cap = Money::ZERO;
-    for (name, strat) in strategies {
+            other => return Err(format!("unknown strategy `{other}`")),
+        })
+    };
+    let event_specs: Vec<ScenarioSpec> = strategy_names
+        .iter()
+        .map(|name| {
+            experiment_spec("dr_event_loop", 13)
+                .param("strategy", *name)
+                .build()
+        })
+        .collect();
+    let mut event_runner = experiment_runner::<EventResult>();
+    let event_outcome = event_runner.run(&event_specs, |ctx| {
+        let strat = strategy_for(ctx.spec.param_str("strategy")?)?;
         let out = simulate_events(
             &site,
             &trace,
@@ -134,15 +194,35 @@ fn main() {
             &program,
             meter_step(),
         )
-        .unwrap();
-        if name == "cap 200 kW" {
-            revenue_cap = out.net_revenue();
+        .map_err(|e| e.to_string())?;
+        Ok(EventResult {
+            revenue_dollars: out.net_revenue().as_dollars(),
+            utilization_delta: out.utilization_delta(),
+            wait_delta_secs: out.wait_delta().as_secs(),
+        })
+    });
+    println!(
+        "sweep engine report:\n{}",
+        event_outcome.report.summary_table()
+    );
+    let event_results = event_outcome.expect_all("DR event-loop sweep");
+
+    let mut t2 = TextTable::new(vec![
+        "strategy",
+        "net DR revenue",
+        "utilization Δ",
+        "mean-wait Δ",
+    ]);
+    let mut revenue_cap = Money::ZERO;
+    for (name, out) in strategy_names.iter().zip(event_results.iter()) {
+        if *name == "cap 200 kW" {
+            revenue_cap = Money::from_dollars(out.revenue_dollars);
         }
         t2.row(vec![
             name.to_string(),
-            out.net_revenue().to_string(),
-            format!("{:+.4}", -out.utilization_delta()),
-            format!("+{}", out.wait_delta()),
+            Money::from_dollars(out.revenue_dollars).to_string(),
+            format!("{:+.4}", -out.utilization_delta),
+            format!("+{}", Duration::from_secs(out.wait_delta_secs)),
         ]);
     }
     println!("{}", t2.render());

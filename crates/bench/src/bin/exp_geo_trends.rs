@@ -26,8 +26,12 @@ fn main() {
             g.kind.label().to_string(),
             format!("{}/{}", g.present, g.pop),
             format!("{:.4}", g.min_p_two_sided),
-            if g.significance_possible { "only at the single most extreme split" } else { "no" }
-                .to_string(),
+            if g.significance_possible {
+                "only at the single most extreme split"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());

@@ -45,7 +45,12 @@ fn main() {
     let announce_level = site.peak_facility_power() * 0.95;
     let report = good_neighbor_value(&load, &announced, announce_level, &pricing).unwrap();
 
-    let mut t = TextTable::new(vec!["forecast", "over-energy", "under-energy", "imbalance cost"]);
+    let mut t = TextTable::new(vec![
+        "forecast",
+        "over-energy",
+        "under-energy",
+        "imbalance cost",
+    ]);
     t.row(vec![
         "uninformed (BAU persistence)".to_string(),
         format!("{}", report.uninformed.over_energy),

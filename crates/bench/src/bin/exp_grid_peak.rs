@@ -5,8 +5,14 @@
 //! enroll a fleet of DR-capable consumers covering a few percent of peak
 //! demand, call events on the top stress hours, and measure the peak
 //! reduction delivered.
+//!
+//! The (enrolled share × event hours) sweep runs through the
+//! `hpcgrid-engine` sweep runner with content-addressed caching (set
+//! `HPCGRID_SWEEP_CACHE` to persist results across runs).
 
+use hpcgrid_bench::scenarios::{experiment_runner, experiment_spec};
 use hpcgrid_bench::table::TextTable;
+use hpcgrid_engine::ScenarioSpec;
 use hpcgrid_grid::demand::{demand_series, DemandParams};
 use hpcgrid_grid::dispatch::MeritOrderMarket;
 use hpcgrid_grid::events::{detect_events, StressThresholds};
@@ -14,6 +20,7 @@ use hpcgrid_grid::generation::GeneratorFleet;
 use hpcgrid_timeseries::series::PowerSeries;
 use hpcgrid_timeseries::stats::load_stats;
 use hpcgrid_units::{Calendar, Duration, Power, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// Apply DR: during the top-`hours` demand hours, enrolled consumers shed
 /// `enrolled_share` of system load.
@@ -31,6 +38,13 @@ fn apply_dr(demand: &PowerSeries, enrolled_share: f64, hours: usize) -> PowerSer
     out
 }
 
+/// One point of the enrollment sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PeakPoint {
+    peak_mw: f64,
+    reduction: f64,
+}
+
 fn main() {
     println!("== E8: grid-scale DR peak reduction (FERC ≈6.6%) ==\n");
     let cal = Calendar::default();
@@ -46,6 +60,32 @@ fn main() {
     .unwrap();
     let base_stats = load_stats(&demand).unwrap();
 
+    // The (enrolled share × event hours) axis, one engine scenario per point.
+    let points = [(0.0, 0i64), (0.033, 40), (0.066, 40), (0.10, 40)];
+    let specs: Vec<ScenarioSpec> = points
+        .iter()
+        .map(|(share, hours)| {
+            experiment_spec("grid_peak", 5)
+                .horizon_days(365)
+                .param("enrolled_share", *share)
+                .param("event_hours", *hours)
+                .build()
+        })
+        .collect();
+    let mut runner = experiment_runner::<PeakPoint>();
+    let outcome = runner.run(&specs, |ctx| {
+        let share = ctx.spec.param_f64("enrolled_share")?;
+        let hours = ctx.spec.param_i64("event_hours")? as usize;
+        let dr = apply_dr(&demand, share, hours);
+        let stats = load_stats(&dr).map_err(|e| e.to_string())?;
+        Ok(PeakPoint {
+            peak_mw: stats.peak.as_megawatts(),
+            reduction: 1.0 - stats.peak.as_megawatts() / base_stats.peak.as_megawatts(),
+        })
+    });
+    println!("sweep engine report:\n{}", outcome.report.summary_table());
+    let results = outcome.expect_all("grid-peak sweep");
+
     let mut t = TextTable::new(vec![
         "enrolled share of load",
         "event hours/yr",
@@ -53,16 +93,13 @@ fn main() {
         "peak reduction",
     ]);
     let mut reductions = Vec::new();
-    for (share, hours) in [(0.0, 0), (0.033, 40), (0.066, 40), (0.10, 40)] {
-        let dr = apply_dr(&demand, share, hours);
-        let stats = load_stats(&dr).unwrap();
-        let reduction = 1.0 - stats.peak.as_megawatts() / base_stats.peak.as_megawatts();
-        reductions.push(reduction);
+    for ((share, hours), point) in points.iter().zip(results.iter()) {
+        reductions.push(point.reduction);
         t.row(vec![
             format!("{:.1}%", share * 100.0),
             hours.to_string(),
-            format!("{:.0} MW", stats.peak.as_megawatts()),
-            format!("{:.1}%", reduction * 100.0),
+            format!("{:.0} MW", point.peak_mw),
+            format!("{:.1}%", point.reduction * 100.0),
         ]);
     }
     println!("{}", t.render());
@@ -76,8 +113,11 @@ fn main() {
     assert!(reductions[2] >= reductions[1]);
     // 6.6% enrollment delivers a peak cut in the FERC range (bounded by the
     // next-highest uncalled hour).
-    assert!(reductions[2] > 0.03 && reductions[2] < 0.10,
-        "6.6% enrollment gave {:.3}", reductions[2]);
+    assert!(
+        reductions[2] > 0.03 && reductions[2] < 0.10,
+        "6.6% enrollment gave {:.3}",
+        reductions[2]
+    );
 
     // Reserve-margin view: DR removes stress events.
     let fleet = GeneratorFleet::synthetic_regional(base_stats.peak, 0.02).unwrap();

@@ -18,7 +18,12 @@ fn main() {
     let bids = random_bids(99, 12);
     let result = run_auction(&bids, &spec, &cal, &load).unwrap();
 
-    let mut t = TextTable::new(vec!["rank", "bidder", "renewable", "annual-rate cost (30d)"]);
+    let mut t = TextTable::new(vec![
+        "rank",
+        "bidder",
+        "renewable",
+        "annual-rate cost (30d)",
+    ]);
     for (i, b) in result.ranking.iter().enumerate() {
         t.row(vec![
             (i + 1).to_string(),
@@ -32,14 +37,20 @@ fn main() {
     for (name, why) in &result.disqualified {
         println!("  {name}: {why}");
     }
-    assert!(!result.disqualified.is_empty(), "some bids should fail the floor");
+    assert!(
+        !result.disqualified.is_empty(),
+        "some bids should fail the floor"
+    );
     let winner = result.winner().expect("someone must win");
     assert!(winner.renewable_share >= Ratio::from_percent(80.0));
 
     // Compare with the site's prior contract (fixed tariff + demand charge).
     let old = typical_contract();
     let old_bill = bill(&old, &load);
-    println!("\nprior contract (fixed + demand charges): {}", old_bill.total());
+    println!(
+        "\nprior contract (fixed + demand charges): {}",
+        old_bill.total()
+    );
     println!(
         "  of which demand charges: {} ({:.1}% of bill)",
         old_bill.demand_cost(),

@@ -17,10 +17,10 @@ fn main() {
     println!("== X5: regulation-signal following by site resources ==\n");
     let step = Duration::from_minutes(4.0);
     let n = 24 * 15; // one day of 4-minute intervals
-    // RegD-style signals are designed to be roughly energy-neutral over
-    // ~15 minutes, so the mean-reversion is strong; a weakly-reverting
-    // signal would saturate any MWh-scale battery (try it: the battery's
-    // score collapses below the diesel's).
+                     // RegD-style signals are designed to be roughly energy-neutral over
+                     // ~15 minutes, so the mean-reversion is strong; a weakly-reverting
+                     // signal would saturate any MWh-scale battery (try it: the battery's
+                     // score collapses below the diesel's).
     let params = RegulationParams {
         reversion: 0.35,
         ..Default::default()
@@ -34,13 +34,7 @@ fn main() {
     );
 
     // Battery: symmetric, instant; only constrained by state of charge.
-    let battery = Battery::new(
-        Energy::from_megawatt_hours(1.0),
-        capacity,
-        capacity,
-        0.92,
-    )
-    .unwrap();
+    let battery = Battery::new(Energy::from_megawatt_hours(1.0), capacity, capacity, 0.92).unwrap();
     let mut soc = battery.capacity * 0.5;
     let mut battery_response = Vec::with_capacity(n);
     for &s in signal.values() {
@@ -95,9 +89,18 @@ fn main() {
     let b_score = tracking_score(&signal, &battery_response, capacity).unwrap();
     let d_score = tracking_score(&signal, &diesel_response, capacity).unwrap();
     let o_score = tracking_score(&signal, &office_response, capacity).unwrap();
-    t.row(vec!["battery (1 MWh / 1 MW)".to_string(), format!("{b_score:.3}")]);
-    t.row(vec!["diesel (inject-only)".to_string(), format!("{d_score:.3}")]);
-    t.row(vec!["office shed (reduce-only, 40%)".to_string(), format!("{o_score:.3}")]);
+    t.row(vec![
+        "battery (1 MWh / 1 MW)".to_string(),
+        format!("{b_score:.3}"),
+    ]);
+    t.row(vec![
+        "diesel (inject-only)".to_string(),
+        format!("{d_score:.3}"),
+    ]);
+    t.row(vec![
+        "office shed (reduce-only, 40%)".to_string(),
+        format!("{o_score:.3}"),
+    ]);
     println!("{}", t.render());
 
     println!(

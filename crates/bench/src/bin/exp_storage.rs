@@ -57,7 +57,10 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    assert!(best_saving > 0.0, "some battery must shave the demand charge");
+    assert!(
+        best_saving > 0.0,
+        "some battery must shave the demand charge"
+    );
 
     // Arbitrage against a dynamic price strip.
     println!("-- dynamic-tariff arbitrage --");

@@ -15,7 +15,10 @@ fn main() {
     println!("{}", t.render());
 
     let sites = SurveyCorpus::interview_sites();
-    let us = sites.iter().filter(|s| s.country == "United States").count();
+    let us = sites
+        .iter()
+        .filter(|s| s.country == "United States")
+        .count();
     let eu = sites.len() - us;
     println!("paper: 4 US sites, 6 European sites | measured: {us} US, {eu} European");
     assert_eq!((us, eu), (4, 6));

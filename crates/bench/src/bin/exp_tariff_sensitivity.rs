@@ -8,12 +8,18 @@
 //! how much money that buys. The paper's claim corresponds to the
 //! observation that the achievable saving is a small fraction of the bill —
 //! far below the hardware-depreciation stakes (see E4).
+//!
+//! The tariff sweep runs through the `hpcgrid-engine` sweep runner: each
+//! tariff structure is a [`hpcgrid_engine::ScenarioSpec`], billed in
+//! parallel with fault isolation, and cached content-addressed (set
+//! `HPCGRID_SWEEP_CACHE` to skip recomputation across runs).
 
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::tariff::Tariff;
 use hpcgrid_dr::shift::{expensive_windows, price_spread};
+use hpcgrid_engine::ScenarioSpec;
 use hpcgrid_scheduler::policy::{Policy, PowerConstraints};
 use hpcgrid_scheduler::sim::ScheduleSimulator;
 use hpcgrid_units::{Calendar, EnergyPrice};
@@ -56,14 +62,37 @@ fn main() {
         .build()
         .unwrap();
 
+    // Sweep the three tariff structures through the engine: one spec per
+    // structure, billed in parallel, results cached by content hash.
+    let contracts = [("fixed", &fixed), ("tou", &tou), ("dynamic", &dynamic)];
+    let specs: Vec<ScenarioSpec> = contracts
+        .iter()
+        .map(|(name, _)| {
+            experiment_spec("tariff_sensitivity", 7)
+                .contract(*name)
+                .param("mean_price", mean)
+                .build()
+        })
+        .collect();
+    let mut runner = experiment_runner::<f64>();
+    let outcome = runner.run(&specs, |ctx| {
+        let (_, c) = contracts
+            .iter()
+            .find(|(name, _)| *name == ctx.spec.contract)
+            .ok_or_else(|| format!("unknown contract {}", ctx.spec.contract))?;
+        Ok(bill(c, &load).total().as_dollars())
+    });
+    println!("sweep engine report:\n{}", outcome.report.summary_table());
+    let bills = outcome.expect_all("tariff sweep");
+    let b_fixed = bills[0];
+
     let mut t = TextTable::new(vec!["tariff", "bill (30 days)", "Δ vs fixed"]);
-    let b_fixed = bill(&fixed, &load).total();
-    for (name, c) in [("fixed", &fixed), ("time-of-use", &tou), ("dynamic", &dynamic)] {
-        let b = bill(c, &load).total();
+    let labels = ["fixed", "time-of-use", "dynamic"];
+    for (name, b) in labels.iter().zip(bills.iter()) {
         t.row(vec![
             name.to_string(),
-            b.to_string(),
-            format!("{:+.2}%", (b.as_dollars() / b_fixed.as_dollars() - 1.0) * 100.0),
+            format!("${b:.2}"),
+            format!("{:+.2}%", (b / b_fixed - 1.0) * 100.0),
         ]);
     }
     println!("{}", t.render());
@@ -72,9 +101,7 @@ fn main() {
     // jobs out of the top-15% price hours.
     let windows = expensive_windows(&strip, 0.15).unwrap();
     let (inside, outside) = price_spread(&strip, &windows).unwrap();
-    println!(
-        "price spread: {inside} inside the top-15% windows vs {outside} outside\n"
-    );
+    println!("price spread: {inside} inside the top-15% windows vs {outside} outside\n");
     let constraints = PowerConstraints {
         avoid_windows: windows,
         ..Default::default()

@@ -3,11 +3,19 @@
 //! One reference facility, one reference workload, one reference market —
 //! so every experiment sweeps parameters against the same baseline world
 //! and results are comparable across experiment binaries.
+//!
+//! Experiments that sweep a parameter axis do so through the
+//! `hpcgrid-engine` orchestration layer: build [`ScenarioSpec`]s with
+//! [`experiment_spec`], run them on an [`experiment_runner`], and print the
+//! engine's `RunReport` next to the result table. Set `HPCGRID_SWEEP_CACHE`
+//! to a directory to persist results between runs (re-running an experiment
+//! then only recomputes changed scenarios).
 
 use hpcgrid_core::billing::BillingEngine;
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::tariff::Tariff;
+use hpcgrid_engine::{ScenarioSpecBuilder, SweepRunner};
 use hpcgrid_facility::node::NodeSpec;
 use hpcgrid_facility::site::{Country, SiteSpec};
 use hpcgrid_grid::demand::{demand_series, DemandParams};
@@ -73,8 +81,8 @@ pub fn reference_market_prices(seed: u64, days: u64) -> PriceSeries {
     let step = Duration::from_hours(1.0);
     let start = SimTime::EPOCH;
     let peak = Power::from_megawatts(3_000.0);
-    let demand = demand_series(&DemandParams::default(), &cal, start, step, n, seed)
-        .expect("valid demand");
+    let demand =
+        demand_series(&DemandParams::default(), &cal, start, step, n, seed).expect("valid demand");
     let solar = solar_series(
         &SolarParams {
             capacity: Power::from_megawatts(400.0),
@@ -125,6 +133,32 @@ pub fn bill(contract: &Contract, load: &PowerSeries) -> hpcgrid_core::billing::B
         .expect("billing succeeds on experiment loads")
 }
 
+/// Start a [`hpcgrid_engine::ScenarioSpec`] pre-filled with the reference
+/// world's identity (site, horizon) so specs — and therefore cache keys —
+/// from different experiment binaries agree on what the baseline is.
+pub fn experiment_spec(experiment: &str, trace_seed: u64) -> ScenarioSpecBuilder {
+    hpcgrid_engine::ScenarioSpec::builder(experiment)
+        .site("exp-site")
+        .trace_seed(trace_seed)
+        .horizon_days(HORIZON_DAYS)
+}
+
+/// A sweep runner for experiment binaries. Honours `HPCGRID_SWEEP_CACHE`:
+/// when set, results persist as JSON artifacts under that directory and
+/// re-runs only compute the delta; otherwise the cache is in-memory (still
+/// deduplicates within one process).
+pub fn experiment_runner<R>() -> SweepRunner<R>
+where
+    R: Clone + Send + serde::Serialize + serde::Deserialize,
+{
+    match std::env::var("HPCGRID_SWEEP_CACHE") {
+        Ok(dir) if !dir.is_empty() => {
+            SweepRunner::with_artifact_dir(dir).expect("HPCGRID_SWEEP_CACHE directory is creatable")
+        }
+        _ => SweepRunner::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +166,11 @@ mod tests {
     #[test]
     fn reference_run_produces_busy_machine() {
         let (outcome, load) = reference_run(1);
-        assert!(outcome.utilization() > 0.3, "util {}", outcome.utilization());
+        assert!(
+            outcome.utilization() > 0.3,
+            "util {}",
+            outcome.utilization()
+        );
         assert!(load.peak().unwrap() > Power::from_kilowatts(100.0));
         assert!(load.peak().unwrap() <= reference_site().feeder_rating);
     }
@@ -141,10 +179,9 @@ mod tests {
     fn reference_market_prices_vary() {
         let prices = reference_market_prices(3, 7);
         assert_eq!(prices.len(), 7 * 24);
-        let min = prices
-            .values()
-            .iter()
-            .fold(f64::INFINITY, |a, p| a.min(p.as_dollars_per_kilowatt_hour()));
+        let min = prices.values().iter().fold(f64::INFINITY, |a, p| {
+            a.min(p.as_dollars_per_kilowatt_hour())
+        });
         let max = prices
             .values()
             .iter()

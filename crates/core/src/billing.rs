@@ -75,9 +75,17 @@ impl Bill {
     pub fn render(&self) -> String {
         let mut out = format!("Bill for contract '{}'\n", self.contract);
         for item in &self.items {
-            out.push_str(&format!("  {:<40} {:>15}\n", item.label, item.amount.to_string()));
+            out.push_str(&format!(
+                "  {:<40} {:>15}\n",
+                item.label,
+                item.amount.to_string()
+            ));
         }
-        out.push_str(&format!("  {:<40} {:>15}\n", "TOTAL", self.total().to_string()));
+        out.push_str(&format!(
+            "  {:<40} {:>15}\n",
+            "TOTAL",
+            self.total().to_string()
+        ));
         out
     }
 }
@@ -158,7 +166,10 @@ impl BillingEngine {
         if let Some(em) = &contract.emergency {
             let assessment = em.assess(load, events)?;
             items.push(LineItem {
-                label: format!("Emergency DR penalties ({} events)", assessment.events.len()),
+                label: format!(
+                    "Emergency DR penalties ({} events)",
+                    assessment.events.len()
+                ),
                 kind: Some(ContractComponentKind::EmergencyDr),
                 amount: assessment.total_penalty,
             });
@@ -216,7 +227,9 @@ mod tests {
 
     #[test]
     fn bill_decomposes_into_line_items() {
-        let bill = engine().bill(&full_contract(), &flat_load(24, 10.0)).unwrap();
+        let bill = engine()
+            .bill(&full_contract(), &flat_load(24, 10.0))
+            .unwrap();
         // Energy: 240 MWh × $80/MWh = $19 200.
         let energy = bill
             .item_for(ContractComponentKind::FixedTariff)
@@ -244,7 +257,9 @@ mod tests {
 
     #[test]
     fn demand_share_matches_decomposition() {
-        let bill = engine().bill(&full_contract(), &flat_load(24, 10.0)).unwrap();
+        let bill = engine()
+            .bill(&full_contract(), &flat_load(24, 10.0))
+            .unwrap();
         let expected = 120_000.0 / (19_200.0 + 120_000.0 + 1_000.0);
         assert!((bill.demand_share() - expected).abs() < 1e-9);
         assert_eq!(bill.energy_cost().as_dollars(), 19_200.0);
@@ -260,9 +275,8 @@ mod tests {
         peaky_values[11] = Power::ZERO;
         let peaky = Series::new(SimTime::EPOCH, Duration::from_hours(1.0), peaky_values).unwrap();
         assert!(
-            (flat.total_energy().as_kilowatt_hours()
-                - peaky.total_energy().as_kilowatt_hours())
-            .abs()
+            (flat.total_energy().as_kilowatt_hours() - peaky.total_energy().as_kilowatt_hours())
+                .abs()
                 < 1e-9
         );
         let c = Contract::builder("dc-only")
@@ -341,7 +355,9 @@ mod tests {
 
     #[test]
     fn render_contains_items_and_total() {
-        let bill = engine().bill(&full_contract(), &flat_load(24, 10.0)).unwrap();
+        let bill = engine()
+            .bill(&full_contract(), &flat_load(24, 10.0))
+            .unwrap();
         let s = bill.render();
         assert!(s.contains("TOTAL"));
         assert!(s.contains("Demand charges"));

@@ -105,11 +105,7 @@ pub fn compare(
 /// constant power) under a contract — the upper bound on what peak
 /// management can ever save, and the number to weigh against demand-charge
 /// negotiation.
-pub fn flattening_value(
-    contract: &Contract,
-    load: &PowerSeries,
-    cal: &Calendar,
-) -> Result<Money> {
+pub fn flattening_value(contract: &Contract, load: &PowerSeries, cal: &Calendar) -> Result<Money> {
     let engine = BillingEngine::new(*cal);
     let actual = engine.bill(contract, load)?.total();
     let mean = load
@@ -173,7 +169,10 @@ mod tests {
         let r = compare(&candidates(), &peaky_load(), &Calendar::default()).unwrap();
         let v = r.switching_value("dc-heavy").unwrap();
         assert!(v >= Money::ZERO);
-        assert_eq!(r.switching_value(r.best().name.as_str()).unwrap(), Money::ZERO);
+        assert_eq!(
+            r.switching_value(r.best().name.as_str()).unwrap(),
+            Money::ZERO
+        );
         assert!(r.switching_value("nonexistent").is_none());
     }
 
@@ -185,16 +184,20 @@ mod tests {
         let flat_rate = &candidates()[0];
         let v_dc = flattening_value(dc, &load, &cal).unwrap();
         let v_flat = flattening_value(flat_rate, &load, &cal).unwrap();
-        assert!(v_dc > Money::ZERO, "flattening must help under a demand charge");
+        assert!(
+            v_dc > Money::ZERO,
+            "flattening must help under a demand charge"
+        );
         // Same energy at a fixed tariff: flattening changes nothing.
         assert!(v_flat.abs() < Money::from_dollars(1e-6));
         // The flattening bound is the demand-charge delta between peak and
         // mean demand.
-        let expected = (Power::from_megawatts(10.0)
-            - load.mean_power().unwrap())
-        .as_kilowatts()
-            * 18.0;
-        assert!((v_dc.as_dollars() - expected).abs() < 1.0, "{v_dc} vs {expected}");
+        let expected =
+            (Power::from_megawatts(10.0) - load.mean_power().unwrap()).as_kilowatts() * 18.0;
+        assert!(
+            (v_dc.as_dollars() - expected).abs() < 1.0,
+            "{v_dc} vs {expected}"
+        );
     }
 
     #[test]

@@ -127,7 +127,9 @@ mod tests {
         IntervalSet::from_intervals(
             windows
                 .into_iter()
-                .map(|(a, b)| Interval::new(SimTime::from_hours(a as f64), SimTime::from_hours(b as f64)))
+                .map(|(a, b)| {
+                    Interval::new(SimTime::from_hours(a as f64), SimTime::from_hours(b as f64))
+                })
                 .collect(),
         )
     }
@@ -159,7 +161,9 @@ mod tests {
     #[test]
     fn no_events_no_penalty() {
         let clause = EmergencyDrClause::reference(Power::from_megawatts(5.0));
-        let a = clause.assess(&load(vec![10.0]), &IntervalSet::empty()).unwrap();
+        let a = clause
+            .assess(&load(vec![10.0]), &IntervalSet::empty())
+            .unwrap();
         assert!(a.events.is_empty());
         assert_eq!(a.total_penalty, Money::ZERO);
     }

@@ -270,10 +270,8 @@ mod tests {
         let dy = get(ContractComponentKind::DynamicTariff);
         assert_eq!((dy.table_count, dy.text_count), (3, 2));
         // Powerband and emergency agree.
-        assert!(!d
-            .iter()
-            .any(|x| x.kind == ContractComponentKind::Powerband
-                || x.kind == ContractComponentKind::EmergencyDr));
+        assert!(!d.iter().any(|x| x.kind == ContractComponentKind::Powerband
+            || x.kind == ContractComponentKind::EmergencyDr));
     }
 
     #[test]
@@ -324,9 +322,15 @@ mod tests {
         // present=5 (powerband): min p = 10/210.
         assert!(close(get(ContractComponentKind::Powerband), 10.0 / 210.0));
         // present=3 (dynamic): min p = 7/210.
-        assert!(close(get(ContractComponentKind::DynamicTariff), 7.0 / 210.0));
+        assert!(close(
+            get(ContractComponentKind::DynamicTariff),
+            7.0 / 210.0
+        ));
         // present=2 (TOU, emergency): min p = 28/210 — cannot be significant.
-        assert!(close(get(ContractComponentKind::TimeOfUseTariff), 28.0 / 210.0));
+        assert!(close(
+            get(ContractComponentKind::TimeOfUseTariff),
+            28.0 / 210.0
+        ));
         assert!(close(get(ContractComponentKind::EmergencyDr), 28.0 / 210.0));
         // Global floor: nothing below 1/30.
         for g in &feas {

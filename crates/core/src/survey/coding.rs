@@ -101,7 +101,11 @@ pub fn cohens_kappa(
     if (1.0 - expected).abs() < 1e-12 {
         // Degenerate marginals (all-yes or all-no on both sides): agreement
         // is complete by construction.
-        return Some(if (observed - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+        return Some(if (observed - 1.0).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        });
     }
     Some((observed - expected) / (1.0 - expected))
 }

@@ -21,9 +21,7 @@ use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Anonymous site identifier, 1–10 as in Table 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SiteId(pub u8);
 
@@ -209,35 +207,120 @@ impl SurveyCorpus {
     /// The corpus exactly as printed in Table 2.
     pub fn published() -> SurveyCorpus {
         use Rnp::*;
-        let row = |site: u8,
-                   dc: bool,
-                   pb: bool,
-                   f: bool,
-                   v: bool,
-                   d: bool,
-                   e: bool,
-                   rnp: Rnp| SiteResponse {
-            site: SiteId(site),
-            demand_charges: dc,
-            powerband: pb,
-            fixed: f,
-            variable: v,
-            dynamic: d,
-            emergency_dr: e,
-            rnp,
+        let row = |site: u8, dc: bool, pb: bool, f: bool, v: bool, d: bool, e: bool, rnp: Rnp| {
+            SiteResponse {
+                site: SiteId(site),
+                demand_charges: dc,
+                powerband: pb,
+                fixed: f,
+                variable: v,
+                dynamic: d,
+                emergency_dr: e,
+                rnp,
+            }
         };
         SurveyCorpus {
             responses: vec![
-                row(1, true, false, true, true, false, false, ExternalOrganization),
-                row(2, true, true, true, false, false, false, InternalOrganization),
-                row(3, true, false, true, false, false, true, InternalOrganization),
-                row(4, true, false, false, false, true, false, InternalOrganization),
-                row(5, true, true, true, false, false, false, InternalOrganization),
-                row(6, false, true, true, false, false, false, SupercomputingCenter),
-                row(7, true, true, false, false, true, true, InternalOrganization),
-                row(8, false, false, false, false, true, false, InternalOrganization),
-                row(9, true, true, true, true, false, false, ExternalOrganization),
-                row(10, false, false, true, false, false, false, ExternalOrganization),
+                row(
+                    1,
+                    true,
+                    false,
+                    true,
+                    true,
+                    false,
+                    false,
+                    ExternalOrganization,
+                ),
+                row(
+                    2,
+                    true,
+                    true,
+                    true,
+                    false,
+                    false,
+                    false,
+                    InternalOrganization,
+                ),
+                row(
+                    3,
+                    true,
+                    false,
+                    true,
+                    false,
+                    false,
+                    true,
+                    InternalOrganization,
+                ),
+                row(
+                    4,
+                    true,
+                    false,
+                    false,
+                    false,
+                    true,
+                    false,
+                    InternalOrganization,
+                ),
+                row(
+                    5,
+                    true,
+                    true,
+                    true,
+                    false,
+                    false,
+                    false,
+                    InternalOrganization,
+                ),
+                row(
+                    6,
+                    false,
+                    true,
+                    true,
+                    false,
+                    false,
+                    false,
+                    SupercomputingCenter,
+                ),
+                row(
+                    7,
+                    true,
+                    true,
+                    false,
+                    false,
+                    true,
+                    true,
+                    InternalOrganization,
+                ),
+                row(
+                    8,
+                    false,
+                    false,
+                    false,
+                    false,
+                    true,
+                    false,
+                    InternalOrganization,
+                ),
+                row(
+                    9,
+                    true,
+                    true,
+                    true,
+                    true,
+                    false,
+                    false,
+                    ExternalOrganization,
+                ),
+                row(
+                    10,
+                    false,
+                    false,
+                    true,
+                    false,
+                    false,
+                    false,
+                    ExternalOrganization,
+                ),
             ],
         }
     }
@@ -272,11 +355,7 @@ impl SurveyCorpus {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_9905);
         let published = SurveyCorpus::published();
         let prevalence = |kind: ContractComponentKind| {
-            published
-                .responses()
-                .iter()
-                .filter(|r| r.has(kind))
-                .count() as f64
+            published.responses().iter().filter(|r| r.has(kind)).count() as f64
                 / published.len() as f64
         };
         let p_dc = prevalence(ContractComponentKind::DemandCharge);
@@ -411,7 +490,10 @@ mod tests {
     fn interview_sites_match_table1() {
         let sites = SurveyCorpus::interview_sites();
         assert_eq!(sites.len(), 10);
-        let us = sites.iter().filter(|s| s.country == "United States").count();
+        let us = sites
+            .iter()
+            .filter(|s| s.country == "United States")
+            .count();
         let de = sites.iter().filter(|s| s.country == "Germany").count();
         assert_eq!(us, 4);
         assert_eq!(de, 4);
@@ -450,9 +532,8 @@ mod tests {
     fn synthetic_corpus_matches_prevalences_roughly() {
         let c = SurveyCorpus::synthetic(1, 2_000);
         assert_eq!(c.len(), 2_000);
-        let frac = |kind| {
-            c.responses().iter().filter(|r| r.has(kind)).count() as f64 / c.len() as f64
-        };
+        let frac =
+            |kind| c.responses().iter().filter(|r| r.has(kind)).count() as f64 / c.len() as f64;
         assert!((frac(ContractComponentKind::DemandCharge) - 0.7).abs() < 0.05);
         assert!((frac(ContractComponentKind::Powerband) - 0.5).abs() < 0.05);
         // Every synthetic row has a tariff.
@@ -461,8 +542,14 @@ mod tests {
             .iter()
             .all(|r| r.fixed || r.variable || r.dynamic));
         // Deterministic per seed.
-        assert_eq!(SurveyCorpus::synthetic(2, 50), SurveyCorpus::synthetic(2, 50));
-        assert_ne!(SurveyCorpus::synthetic(2, 50), SurveyCorpus::synthetic(3, 50));
+        assert_eq!(
+            SurveyCorpus::synthetic(2, 50),
+            SurveyCorpus::synthetic(2, 50)
+        );
+        assert_ne!(
+            SurveyCorpus::synthetic(2, 50),
+            SurveyCorpus::synthetic(3, 50)
+        );
     }
 
     #[test]

@@ -147,11 +147,17 @@ mod tests {
     #[test]
     fn question_names_match_section_titles() {
         let i = SurveyInstrument::standard();
-        assert_eq!(i.questions[0].short_name, "Contract Negotiation Responsibility");
+        assert_eq!(
+            i.questions[0].short_name,
+            "Contract Negotiation Responsibility"
+        );
         assert_eq!(i.questions[1].short_name, "Details on Pricing Structure");
         assert_eq!(i.questions[2].short_name, "Obligations Towards the ESP");
         assert_eq!(i.questions[3].short_name, "Services Provided to ESP");
-        assert_eq!(i.questions[4].short_name, "Future Relationship with your ESP");
+        assert_eq!(
+            i.questions[4].short_name,
+            "Future Relationship with your ESP"
+        );
         assert_eq!(i.questions[5].short_name, "DR Potential");
     }
 

@@ -140,24 +140,41 @@ pub fn code_rnp(text: &str) -> Option<Rnp> {
     let lower = text.to_lowercase();
     // Most specific first: external multi-site bodies, then internal
     // campus/university organizations, then the center itself.
-    if ["department of energy", "doe", "ministry", "national procurement",
-        "external organization", "parent agency"]
-        .iter()
-        .any(|p| lower.contains(p))
+    if [
+        "department of energy",
+        "doe",
+        "ministry",
+        "national procurement",
+        "external organization",
+        "parent agency",
+    ]
+    .iter()
+    .any(|p| lower.contains(p))
     {
         return Some(Rnp::ExternalOrganization);
     }
-    if ["university", "campus", "facilities department", "institute",
-        "internal organization", "utility division"]
-        .iter()
-        .any(|p| lower.contains(p))
+    if [
+        "university",
+        "campus",
+        "facilities department",
+        "institute",
+        "internal organization",
+        "utility division",
+    ]
+    .iter()
+    .any(|p| lower.contains(p))
     {
         return Some(Rnp::InternalOrganization);
     }
-    if ["we negotiate", "the center negotiates", "ourselves", "our own staff",
-        "the hpc facility itself"]
-        .iter()
-        .any(|p| lower.contains(p))
+    if [
+        "we negotiate",
+        "the center negotiates",
+        "ourselves",
+        "our own staff",
+        "the hpc facility itself",
+    ]
+    .iter()
+    .any(|p| lower.contains(p))
     {
         return Some(Rnp::SupercomputingCenter);
     }
@@ -165,7 +182,11 @@ pub fn code_rnp(text: &str) -> Option<Rnp> {
 }
 
 /// Code a full interview (Q1 + Q2/Q3 text) into a Table 2 row.
-pub fn code_interview(site: SiteId, q1_answer: &str, contract_answers: &str) -> Option<SiteResponse> {
+pub fn code_interview(
+    site: SiteId,
+    q1_answer: &str,
+    contract_answers: &str,
+) -> Option<SiteResponse> {
     let rnp = code_rnp(q1_answer)?;
     let coding = code_answer(contract_answers);
     Some(SiteResponse {
@@ -216,11 +237,12 @@ mod tests {
 
     #[test]
     fn sentence_boundary_limits_negation() {
-        let c = code_answer(
-            "There is no powerband. Demand charges apply every month.",
-        );
+        let c = code_answer("There is no powerband. Demand charges apply every month.");
         assert!(!c.has(Powerband));
-        assert!(c.has(DemandCharge), "negation must not leak past the period");
+        assert!(
+            c.has(DemandCharge),
+            "negation must not leak past the period"
+        );
     }
 
     #[test]

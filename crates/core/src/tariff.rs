@@ -320,8 +320,7 @@ impl Tariff {
             let mut month_kwh: std::collections::BTreeMap<u64, f64> =
                 std::collections::BTreeMap::new();
             for (t, p) in load.iter() {
-                *month_kwh.entry(cal.billing_month(t)).or_insert(0.0) +=
-                    p.as_kilowatts() * step_h;
+                *month_kwh.entry(cal.billing_month(t)).or_insert(0.0) += p.as_kilowatts() * step_h;
             }
             return Ok(month_kwh
                 .values()
@@ -359,7 +358,10 @@ mod tests {
         // 1 MW for 10 h at $0.10/kWh = $1000.
         let cost = t.cost(&cal(), &flat_load(10, 1.0)).unwrap();
         assert!((cost.as_dollars() - 1_000.0).abs() < 1e-6);
-        assert_eq!(t.kind(), crate::typology::ContractComponentKind::FixedTariff);
+        assert_eq!(
+            t.kind(),
+            crate::typology::ContractComponentKind::FixedTariff
+        );
     }
 
     #[test]
@@ -378,11 +380,13 @@ mod tests {
         assert_eq!(t.price_at(&c, sat_10).as_dollars_per_kilowatt_hour(), 0.05);
         // Boundaries: 08:00 in, 20:00 out.
         assert_eq!(
-            t.price_at(&c, SimTime::from_hours(8.0)).as_dollars_per_kilowatt_hour(),
+            t.price_at(&c, SimTime::from_hours(8.0))
+                .as_dollars_per_kilowatt_hour(),
             0.20
         );
         assert_eq!(
-            t.price_at(&c, SimTime::from_hours(20.0)).as_dollars_per_kilowatt_hour(),
+            t.price_at(&c, SimTime::from_hours(20.0))
+                .as_dollars_per_kilowatt_hour(),
             0.05
         );
     }
@@ -401,15 +405,18 @@ mod tests {
         };
         let c = cal();
         assert_eq!(
-            tou.price_at(&c, SimTime::from_hours(23.0)).as_dollars_per_kilowatt_hour(),
+            tou.price_at(&c, SimTime::from_hours(23.0))
+                .as_dollars_per_kilowatt_hour(),
             0.03
         );
         assert_eq!(
-            tou.price_at(&c, SimTime::from_hours(3.0)).as_dollars_per_kilowatt_hour(),
+            tou.price_at(&c, SimTime::from_hours(3.0))
+                .as_dollars_per_kilowatt_hour(),
             0.03
         );
         assert_eq!(
-            tou.price_at(&c, SimTime::from_hours(12.0)).as_dollars_per_kilowatt_hour(),
+            tou.price_at(&c, SimTime::from_hours(12.0))
+                .as_dollars_per_kilowatt_hour(),
             0.10
         );
     }
@@ -426,7 +433,8 @@ mod tests {
         assert_eq!(c.month(july_weekday_2pm), Month::July);
         assert!(!c.weekday(july_weekday_2pm).is_weekend());
         assert_eq!(
-            t.price_at(&c, july_weekday_2pm).as_dollars_per_kilowatt_hour(),
+            t.price_at(&c, july_weekday_2pm)
+                .as_dollars_per_kilowatt_hour(),
             0.30
         );
         // January 2 pm weekday → base.
@@ -464,16 +472,24 @@ mod tests {
         );
         let c = cal();
         assert!(
-            (t.price_at(&c, SimTime::EPOCH).as_dollars_per_kilowatt_hour() - 0.03).abs() < 1e-12
+            (t.price_at(&c, SimTime::EPOCH)
+                .as_dollars_per_kilowatt_hour()
+                - 0.03)
+                .abs()
+                < 1e-12
         );
         assert!(
-            (t.price_at(&c, SimTime::from_hours(1.5)).as_dollars_per_kilowatt_hour() - 0.51)
+            (t.price_at(&c, SimTime::from_hours(1.5))
+                .as_dollars_per_kilowatt_hour()
+                - 0.51)
                 .abs()
                 < 1e-12
         );
         // Outside the strip: fallback.
         assert!(
-            (t.price_at(&c, SimTime::from_hours(5.0)).as_dollars_per_kilowatt_hour() - 0.10)
+            (t.price_at(&c, SimTime::from_hours(5.0))
+                .as_dollars_per_kilowatt_hour()
+                - 0.10)
                 .abs()
                 < 1e-12
         );
@@ -504,29 +520,53 @@ mod tests {
     fn block_tariff_validation() {
         let ok = BlockTariff {
             blocks: vec![
-                BlockStep { up_to_kwh: Some(1_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
-                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+                BlockStep {
+                    up_to_kwh: Some(1_000.0),
+                    price: EnergyPrice::per_kilowatt_hour(0.12),
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::per_kilowatt_hour(0.06),
+                },
             ],
         };
         assert!(ok.validate().is_ok());
         let empty = BlockTariff { blocks: vec![] };
         assert!(empty.validate().is_err());
         let bounded_last = BlockTariff {
-            blocks: vec![BlockStep { up_to_kwh: Some(10.0), price: EnergyPrice::ZERO }],
+            blocks: vec![BlockStep {
+                up_to_kwh: Some(10.0),
+                price: EnergyPrice::ZERO,
+            }],
         };
         assert!(bounded_last.validate().is_err());
         let non_increasing = BlockTariff {
             blocks: vec![
-                BlockStep { up_to_kwh: Some(100.0), price: EnergyPrice::ZERO },
-                BlockStep { up_to_kwh: Some(100.0), price: EnergyPrice::ZERO },
-                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
+                BlockStep {
+                    up_to_kwh: Some(100.0),
+                    price: EnergyPrice::ZERO,
+                },
+                BlockStep {
+                    up_to_kwh: Some(100.0),
+                    price: EnergyPrice::ZERO,
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::ZERO,
+                },
             ],
         };
         assert!(non_increasing.validate().is_err());
         let middle_unbounded = BlockTariff {
             blocks: vec![
-                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
-                BlockStep { up_to_kwh: None, price: EnergyPrice::ZERO },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::ZERO,
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::ZERO,
+                },
             ],
         };
         assert!(middle_unbounded.validate().is_err());
@@ -537,8 +577,14 @@ mod tests {
         // 0.12 $/kWh for the first 1 000 kWh, 0.06 after (declining block).
         let b = BlockTariff {
             blocks: vec![
-                BlockStep { up_to_kwh: Some(1_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
-                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+                BlockStep {
+                    up_to_kwh: Some(1_000.0),
+                    price: EnergyPrice::per_kilowatt_hour(0.12),
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::per_kilowatt_hour(0.06),
+                },
             ],
         };
         assert!((b.monthly_cost(500.0).as_dollars() - 60.0).abs() < 1e-9);
@@ -552,8 +598,14 @@ mod tests {
     fn block_tariff_cost_accumulates_per_month() {
         let b = BlockTariff {
             blocks: vec![
-                BlockStep { up_to_kwh: Some(1_000_000.0), price: EnergyPrice::per_kilowatt_hour(0.12) },
-                BlockStep { up_to_kwh: None, price: EnergyPrice::per_kilowatt_hour(0.06) },
+                BlockStep {
+                    up_to_kwh: Some(1_000_000.0),
+                    price: EnergyPrice::per_kilowatt_hour(0.12),
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::per_kilowatt_hour(0.06),
+                },
             ],
         };
         let t = Tariff::Block(b.clone());
@@ -568,7 +620,10 @@ mod tests {
         let naive = load.total_energy().as_kilowatt_hours() * 0.12;
         assert!(cost.as_dollars() < naive);
         // Classification: still the typology's fixed leaf.
-        assert_eq!(t.kind(), crate::typology::ContractComponentKind::FixedTariff);
+        assert_eq!(
+            t.kind(),
+            crate::typology::ContractComponentKind::FixedTariff
+        );
     }
 
     #[test]
@@ -578,8 +633,7 @@ mod tests {
             Tariff::day_night(EnergyPrice::ZERO, EnergyPrice::ZERO).kind(),
             TimeOfUseTariff
         );
-        let strip =
-            PriceSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        let strip = PriceSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
         assert_eq!(
             Tariff::dynamic(strip, EnergyPrice::ZERO, EnergyPrice::ZERO).kind(),
             DynamicTariff

@@ -172,7 +172,11 @@ impl Typology {
         let branches = Self::branches();
         for (bi, branch) in branches.iter().enumerate() {
             let last_branch = bi + 1 == branches.len();
-            let bprefix = if last_branch { "└── " } else { "├── " };
+            let bprefix = if last_branch {
+                "└── "
+            } else {
+                "├── "
+            };
             out.push_str(bprefix);
             out.push_str(branch.label());
             out.push('\n');
@@ -180,7 +184,11 @@ impl Typology {
             for (li, leaf) in leaves.iter().enumerate() {
                 let last_leaf = li + 1 == leaves.len();
                 out.push_str(if last_branch { "    " } else { "│   " });
-                out.push_str(if last_leaf { "└── " } else { "├── " });
+                out.push_str(if last_leaf {
+                    "└── "
+                } else {
+                    "├── "
+                });
                 out.push_str(leaf.label());
                 let enc = leaf.encourages();
                 let mut tags: Vec<&str> = Vec::new();

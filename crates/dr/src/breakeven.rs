@@ -49,9 +49,7 @@ impl DepreciationModel {
             return Err(DrError::BadParameter("capex must be non-negative".into()));
         }
         if self.node_power <= Power::ZERO {
-            return Err(DrError::BadParameter(
-                "node power must be positive".into(),
-            ));
+            return Err(DrError::BadParameter("node power must be positive".into()));
         }
         Ok(())
     }
@@ -100,11 +98,14 @@ pub fn breakeven(
     energy_price: EnergyPrice,
 ) -> Result<BreakevenReport> {
     let forfeit = model.forfeit_per_kwh()?;
-    let gain =
-        offered.as_dollars_per_kilowatt_hour() + energy_price.as_dollars_per_kilowatt_hour();
+    let gain = offered.as_dollars_per_kilowatt_hour() + energy_price.as_dollars_per_kilowatt_hour();
     let cost = forfeit.as_dollars_per_kilowatt_hour();
     let net = gain - cost;
-    let required_multiple = if gain > 0.0 { cost / gain } else { f64::INFINITY };
+    let required_multiple = if gain > 0.0 {
+        cost / gain
+    } else {
+        f64::INFINITY
+    };
     Ok(BreakevenReport {
         forfeit_per_kwh: forfeit,
         offered,

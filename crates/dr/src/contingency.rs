@@ -133,10 +133,7 @@ impl ContingencyPlan {
     /// The stage armed by an event of `severity`: the highest-trigger stage
     /// whose trigger is ≤ the severity.
     pub fn stage_for(&self, severity: Severity) -> Option<&ContingencyStage> {
-        self.stages
-            .iter()
-            .rev()
-            .find(|s| s.trigger <= severity)
+        self.stages.iter().rev().find(|s| s.trigger <= severity)
     }
 }
 
@@ -226,9 +223,7 @@ pub fn execute_plan(
             armed.push((idx, ev));
         }
     }
-    let windows = IntervalSet::from_intervals(
-        armed.iter().map(|(_, ev)| ev.window).collect(),
-    );
+    let windows = IntervalSet::from_intervals(armed.iter().map(|(_, ev)| ev.window).collect());
 
     // Derive the standing scheduler strategy from the strictest armed stage.
     let mut strategy = ResponseStrategy::none();

@@ -120,9 +120,7 @@ pub fn simulate_events(
         });
     }
     if let Some(cap) = strategy.cap {
-        let fleet = site
-            .fleet()
-            .map_err(|e| DrError::Sim(e.to_string()))?;
+        let fleet = site.fleet().map_err(|e| DrError::Sim(e.to_string()))?;
         let cooling = CoolingModel::new(site.pue_full, site.pue_idle, fleet.peak_it_power())
             .map_err(|e| DrError::Sim(e.to_string()))?;
         let actuator = CapActuator::new(fleet, cooling, CapStrategy::LimitNodes);
@@ -145,7 +143,8 @@ pub fn simulate_events(
 
     // Settle each event against the (aligned prefix of the) two series.
     let n = baseline_load.len().min(response_load.len());
-    let base_al = baseline_load.slice_time(baseline_load.start(), baseline_load.time_at(n - 1) + step);
+    let base_al =
+        baseline_load.slice_time(baseline_load.start(), baseline_load.time_at(n - 1) + step);
     let resp_al =
         response_load.slice_time(response_load.start(), response_load.time_at(n - 1) + step);
     let mut settlements = Vec::new();
@@ -301,7 +300,10 @@ mod tests {
             .iter()
             .map(|s| s.curtailed.as_kilowatt_hours())
             .sum();
-        assert!(total_curtailed > 0.0, "DVFS should curtail event-window load");
+        assert!(
+            total_curtailed > 0.0,
+            "DVFS should curtail event-window load"
+        );
         // All work still completes (dilated, not dropped).
         assert_eq!(out.response.records().len(), out.baseline.records().len());
     }

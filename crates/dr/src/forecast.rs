@@ -80,8 +80,7 @@ pub fn good_neighbor_value(
 ) -> Result<GoodNeighborReport> {
     let unin = uninformed_forecast(actual, windows)?;
     let inf = informed_forecast(actual, windows, announced_level)?;
-    let uninformed =
-        settle(&unin, actual, pricing).map_err(|e| DrError::Sim(e.to_string()))?;
+    let uninformed = settle(&unin, actual, pricing).map_err(|e| DrError::Sim(e.to_string()))?;
     let informed = settle(&inf, actual, pricing).map_err(|e| DrError::Sim(e.to_string()))?;
     Ok(GoodNeighborReport {
         uninformed,
@@ -146,9 +145,7 @@ mod tests {
         // A perfect announcement removes the entire imbalance.
         assert_eq!(report.informed.total(), Money::ZERO);
         // Uninformed: 4 h × 8 MW under-consumption at the surplus price.
-        assert!(
-            (report.uninformed.total().as_dollars() - 4.0 * 8_000.0 * 0.025).abs() < 1e-6
-        );
+        assert!((report.uninformed.total().as_dollars() - 4.0 * 8_000.0 * 0.025).abs() < 1e-6);
     }
 
     #[test]
@@ -169,10 +166,8 @@ mod tests {
     #[test]
     fn all_window_horizon_rejected() {
         let (load, _) = load_with_maintenance();
-        let whole = IntervalSet::from_intervals(vec![Interval::new(
-            SimTime::EPOCH,
-            SimTime::from_days(2),
-        )]);
+        let whole =
+            IntervalSet::from_intervals(vec![Interval::new(SimTime::EPOCH, SimTime::from_days(2))]);
         assert!(uninformed_forecast(&load, &whole).is_err());
     }
 }

@@ -50,8 +50,8 @@ impl Bid {
     /// Materialize the bid as a contract (no demand charges — removing them
     /// was part of the CSCS specification).
     pub fn to_contract(&self) -> Result<Contract> {
-        let effective_base = self.vars.base
-            + self.vars.renewable_premium * self.renewable_share.as_fraction();
+        let effective_base =
+            self.vars.base + self.vars.renewable_premium * self.renewable_share.as_fraction();
         let tou = TouTariff {
             windows: vec![TouWindow {
                 months: None,
@@ -220,8 +220,13 @@ mod tests {
     #[test]
     fn renewable_floor_disqualifies() {
         let bids = vec![bid("dirty", 0.01, 50.0), bid("green", 0.08, 85.0)];
-        let r = run_auction(&bids, &ProcurementSpec::default(), &Calendar::default(), &load())
-            .unwrap();
+        let r = run_auction(
+            &bids,
+            &ProcurementSpec::default(),
+            &Calendar::default(),
+            &load(),
+        )
+        .unwrap();
         assert_eq!(r.disqualified.len(), 1);
         assert_eq!(r.disqualified[0].0, "dirty");
         assert_eq!(r.winner().unwrap().bidder, "green");
@@ -234,8 +239,13 @@ mod tests {
             bid("cheap", 0.06, 82.0),
             bid("mid", 0.07, 95.0),
         ];
-        let r = run_auction(&bids, &ProcurementSpec::default(), &Calendar::default(), &load())
-            .unwrap();
+        let r = run_auction(
+            &bids,
+            &ProcurementSpec::default(),
+            &Calendar::default(),
+            &load(),
+        )
+        .unwrap();
         assert_eq!(r.ranking.len(), 3);
         assert_eq!(r.winner().unwrap().bidder, "cheap");
         assert!(r.ranking[0].annual_cost <= r.ranking[1].annual_cost);

@@ -141,10 +141,10 @@ mod tests {
         assert!((p.idle_floor.as_kilowatts() - 34.0 * 0.12 * 1.2).abs() < 1e-9);
         // Office: 5 kW × 50 %.
         assert!((p.office.as_kilowatts() - 2.5).abs() < 1e-9);
-        assert!((p.total().as_kilowatts()
-            - (p.impact_free() + p.impactful).as_kilowatts())
-        .abs()
-            < 1e-12);
+        assert!(
+            (p.total().as_kilowatts() - (p.impact_free() + p.impactful).as_kilowatts()).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub fn price_spread(
         }
     }
     let inside = if in_n > 0 { in_sum / in_n as f64 } else { 0.0 };
-    let outside = if out_n > 0 { out_sum / out_n as f64 } else { 0.0 };
+    let outside = if out_n > 0 {
+        out_sum / out_n as f64
+    } else {
+        0.0
+    };
     Ok((
         EnergyPrice::per_kilowatt_hour(inside),
         EnergyPrice::per_kilowatt_hour(outside),

@@ -1,0 +1,200 @@
+//! Content-addressed result cache: in-memory map plus an optional JSON
+//! artifact directory.
+//!
+//! Keys are [`ContentHash`]es of scenario specs. The memory tier serves
+//! repeat lookups within a process; the artifact tier (`<hex>.json` files)
+//! makes results durable across processes, so an overnight sweep interrupted
+//! halfway resumes from where it stopped. Artifacts store the spec alongside
+//! the result, which makes the directory self-describing and lets the cache
+//! verify an artifact actually belongs to its key.
+
+use crate::error::EngineError;
+use crate::hash::ContentHash;
+use crate::spec::ScenarioSpec;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Where a cache lookup was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-process map.
+    Memory,
+    /// JSON artifact directory.
+    Artifact,
+}
+
+/// A content-addressed result cache.
+///
+/// `R` is the scenario result type; it must round-trip through the serde
+/// value model for the artifact tier to work.
+#[derive(Debug)]
+pub struct ResultCache<R> {
+    mem: HashMap<ContentHash, R>,
+    dir: Option<PathBuf>,
+}
+
+impl<R> Default for ResultCache<R> {
+    fn default() -> Self {
+        ResultCache {
+            mem: HashMap::new(),
+            dir: None,
+        }
+    }
+}
+
+impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
+    /// Memory-only cache.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Cache backed by a JSON artifact directory (created if absent).
+    pub fn with_artifact_dir(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            mem: HashMap::new(),
+            dir: Some(dir),
+        })
+    }
+
+    /// The artifact directory, if configured.
+    pub fn artifact_dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of results in the memory tier.
+    pub fn len_memory(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Look up a result, promoting artifact hits into memory.
+    ///
+    /// Returns the tier that served the hit. A corrupt or mismatched
+    /// artifact is reported as an error (the caller decides whether to
+    /// recompute).
+    pub fn get(&mut self, key: ContentHash) -> Result<Option<(R, CacheTier)>, EngineError> {
+        if let Some(r) = self.mem.get(&key) {
+            return Ok(Some((r.clone(), CacheTier::Memory)));
+        }
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
+        let path = artifact_path(dir, key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let artifact: Value = serde_json::from_str(&text)
+            .map_err(|e| EngineError::Serialize(format!("parsing {}: {e}", path.display())))?;
+        let stored_key = artifact
+            .get("spec_hash")
+            .and_then(Value::as_str)
+            .and_then(ContentHash::from_hex);
+        if stored_key != Some(key) {
+            return Err(EngineError::Serialize(format!(
+                "artifact {} does not match its key",
+                path.display()
+            )));
+        }
+        let result_value = artifact.get("result").ok_or_else(|| {
+            EngineError::Serialize(format!("artifact {} has no result", path.display()))
+        })?;
+        let result = R::from_value(result_value)
+            .map_err(|e| EngineError::Serialize(format!("decoding {}: {e}", path.display())))?;
+        self.mem.insert(key, result.clone());
+        Ok(Some((result, CacheTier::Artifact)))
+    }
+
+    /// Store a result under its spec's hash, writing an artifact if a
+    /// directory is configured.
+    pub fn put(&mut self, spec: &ScenarioSpec, result: &R) -> Result<(), EngineError> {
+        let key = spec.content_hash();
+        self.mem.insert(key, result.clone());
+        if let Some(dir) = &self.dir {
+            let artifact = Value::Map(vec![
+                ("spec_hash".to_string(), Value::Str(key.to_hex())),
+                ("spec".to_string(), spec.to_value()),
+                ("result".to_string(), result.to_value()),
+            ]);
+            let text = serde_json::to_string_pretty(&artifact)
+                .map_err(|e| EngineError::Serialize(e.to_string()))?;
+            // Write-then-rename so concurrent sweeps never observe a torn
+            // artifact.
+            let final_path = artifact_path(dir, key);
+            let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp_path, text)?;
+            std::fs::rename(&tmp_path, &final_path)?;
+        }
+        Ok(())
+    }
+
+    /// Drop the memory tier (artifacts are untouched). Used by tests to
+    /// prove artifact-tier round trips.
+    pub fn clear_memory(&mut self) {
+        self.mem.clear();
+    }
+}
+
+fn artifact_path(dir: &Path, key: ContentHash) -> PathBuf {
+    dir.join(format!("{}.json", key.to_hex()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::builder("cache-test")
+            .trace_seed(seed)
+            .param("x", 1.5)
+            .build()
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut c: ResultCache<f64> = ResultCache::in_memory();
+        let s = spec(1);
+        assert!(c.get(s.content_hash()).unwrap().is_none());
+        c.put(&s, &42.5).unwrap();
+        let (v, tier) = c.get(s.content_hash()).unwrap().unwrap();
+        assert_eq!(v, 42.5);
+        assert_eq!(tier, CacheTier::Memory);
+    }
+
+    #[test]
+    fn artifact_round_trip_across_processes() {
+        let dir = std::env::temp_dir().join(format!("hpcgrid-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = spec(2);
+        {
+            let mut c: ResultCache<Vec<f64>> = ResultCache::with_artifact_dir(&dir).unwrap();
+            c.put(&s, &vec![1.0, 2.25, -3.5]).unwrap();
+        }
+        // Fresh cache: memory tier empty, must hit the artifact.
+        let mut c2: ResultCache<Vec<f64>> = ResultCache::with_artifact_dir(&dir).unwrap();
+        let (v, tier) = c2.get(s.content_hash()).unwrap().unwrap();
+        assert_eq!(v, vec![1.0, 2.25, -3.5]);
+        assert_eq!(tier, CacheTier::Artifact);
+        // Promoted to memory on the way through.
+        let (_, tier2) = c2.get(s.content_hash()).unwrap().unwrap();
+        assert_eq!(tier2, CacheTier::Memory);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_an_error_not_a_panic() {
+        let dir =
+            std::env::temp_dir().join(format!("hpcgrid-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = spec(3);
+        let path = dir.join(format!("{}.json", s.content_hash().to_hex()));
+        std::fs::write(&path, "{ not json").unwrap();
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        assert!(c.get(s.content_hash()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Typed scenario and engine errors, plus the retry policy.
+
+use crate::hash::ContentHash;
+use std::fmt;
+
+/// Why one scenario failed. A failed scenario never takes the sweep down:
+/// the runner records the error in that scenario's result slot and the rest
+/// of the sweep completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The scenario closure panicked (after exhausting the retry budget).
+    Panicked {
+        /// The failing spec's content hash.
+        spec: ContentHash,
+        /// Rendered panic payload from the final attempt.
+        message: String,
+        /// How many attempts were made (1 = no retries configured).
+        attempts: u32,
+    },
+    /// The scenario closure returned an application error.
+    Failed {
+        /// The failing spec's content hash.
+        spec: ContentHash,
+        /// The error message returned by the closure.
+        message: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// A cached artifact existed but could not be read back.
+    CorruptArtifact {
+        /// The spec whose artifact was unreadable.
+        spec: ContentHash,
+        /// What went wrong (I/O or parse error).
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    /// The content hash of the scenario this error belongs to.
+    pub fn spec_hash(&self) -> ContentHash {
+        match self {
+            ScenarioError::Panicked { spec, .. }
+            | ScenarioError::Failed { spec, .. }
+            | ScenarioError::CorruptArtifact { spec, .. } => *spec,
+        }
+    }
+
+    /// True if the failure was a panic (as opposed to a returned error).
+    pub fn is_panic(&self) -> bool {
+        matches!(self, ScenarioError::Panicked { .. })
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Panicked {
+                spec,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "scenario {spec} panicked after {attempts} attempt(s): {message}"
+            ),
+            ScenarioError::Failed {
+                spec,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "scenario {spec} failed after {attempts} attempt(s): {message}"
+            ),
+            ScenarioError::CorruptArtifact { spec, message } => {
+                write!(f, "scenario {spec} has a corrupt cache artifact: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Engine-level (non-scenario) error: cache directory setup, artifact I/O.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem error touching the artifact directory.
+    Io(std::io::Error),
+    /// An artifact failed to serialize.
+    Serialize(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
+            EngineError::Serialize(m) => write!(f, "engine serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> EngineError {
+        EngineError::Io(e)
+    }
+}
+
+/// How many times a failing scenario is re-attempted.
+///
+/// Scenario execution is deterministic (seeds derive from the spec hash), so
+/// retries only help against *environmental* failures — resource exhaustion,
+/// artifact races — not against deterministic bugs. The default budget is
+/// therefore 0; sweeps that want resilience opt in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure.
+    pub budget: u32,
+}
+
+impl RetryPolicy {
+    /// No retries: first failure is final.
+    pub const NONE: RetryPolicy = RetryPolicy { budget: 0 };
+
+    /// Retry up to `budget` extra times.
+    pub fn with_budget(budget: u32) -> RetryPolicy {
+        RetryPolicy { budget }
+    }
+
+    /// Total attempts allowed (first try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.budget + 1
+    }
+}

@@ -1,0 +1,59 @@
+//! # hpcgrid-engine
+//!
+//! Deterministic, fault-isolated scenario orchestration with
+//! content-addressed result caching.
+//!
+//! The experiment binaries in this workspace all share one shape: build a
+//! list of scenario descriptions (tariff × load × policy points), simulate
+//! each independently, and tabulate. This crate factors that shape into an
+//! engine:
+//!
+//! * [`ScenarioSpec`] — a complete, serializable description of one
+//!   simulation point, with a stable [`ContentHash`] used as the cache key
+//!   and as the source of the scenario's deterministic RNG seed.
+//! * [`SweepRunner`] — a bounded work-stealing worker pool that executes
+//!   scenario closures, isolates per-scenario panics into typed
+//!   [`ScenarioError`]s (one bad scenario never takes down the sweep),
+//!   honours a configurable [`RetryPolicy`], and preserves submission order.
+//! * [`ResultCache`] — content-addressed results, in memory plus an optional
+//!   JSON artifact directory, so re-running an overlapping sweep only
+//!   computes the delta.
+//! * [`RunReport`] — per-scenario wall time, cache hit/miss counters, retry
+//!   counts, worker utilization, and a printable summary table.
+//!
+//! ```
+//! use hpcgrid_engine::{ScenarioSpec, SweepRunner};
+//!
+//! let specs: Vec<ScenarioSpec> = [0.8, 1.0, 1.2]
+//!     .iter()
+//!     .map(|m| {
+//!         ScenarioSpec::builder("tariff_sensitivity")
+//!             .param("multiplier", *m)
+//!             .build()
+//!     })
+//!     .collect();
+//!
+//! let mut runner: SweepRunner<f64> = SweepRunner::new();
+//! let outcome = runner.run(&specs, |ctx| {
+//!     let m = ctx.spec.param_f64("multiplier")?;
+//!     Ok(m * 100.0) // stand-in for a full simulation
+//! });
+//! println!("{}", outcome.report.summary_table());
+//! assert_eq!(outcome.successes().count(), 3);
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod hash;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod table;
+
+pub use cache::{CacheTier, ResultCache};
+pub use error::{EngineError, RetryPolicy, ScenarioError};
+pub use hash::{content_hash, ContentHash};
+pub use report::{Disposition, RunReport, ScenarioRecord};
+pub use runner::{ScenarioCtx, SweepConfig, SweepOutcome, SweepRunner};
+pub use spec::{ParamValue, ScenarioSpec, ScenarioSpecBuilder};
+pub use table::TextTable;

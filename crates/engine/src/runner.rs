@@ -1,0 +1,468 @@
+//! The sweep runner: a bounded work-stealing worker pool that executes
+//! scenarios deterministically, isolates per-scenario panics, consults the
+//! content-addressed cache, and preserves submission order in its results.
+
+use crate::cache::{CacheTier, ResultCache};
+use crate::error::{EngineError, RetryPolicy, ScenarioError};
+use crate::report::{Disposition, RunReport, ScenarioRecord};
+use crate::spec::ScenarioSpec;
+use hpcgrid_timeseries::par::{default_threads, panic_message};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepConfig {
+    /// Worker pool size; `None` uses the machine's available parallelism
+    /// bounded by the number of cache misses.
+    pub threads: Option<usize>,
+    /// Retry budget for failing scenarios.
+    pub retry: RetryPolicy,
+}
+
+/// What a scenario closure receives: the spec plus a deterministic seed
+/// derived from the spec's content hash. Using `ctx.seed` (rather than ad-hoc
+/// seeds) makes a scenario's randomness a pure function of its spec — the
+/// property the cache relies on.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCtx<'a> {
+    /// The scenario being executed.
+    pub spec: &'a ScenarioSpec,
+    /// Deterministic per-scenario RNG seed.
+    pub seed: u64,
+}
+
+/// The outcome of one sweep: per-scenario results in submission order, plus
+/// the run report.
+#[derive(Debug)]
+pub struct SweepOutcome<R> {
+    /// One slot per submitted spec, in submission order.
+    pub results: Vec<Result<R, ScenarioError>>,
+    /// Observability for the run.
+    pub report: RunReport,
+}
+
+impl<R> SweepOutcome<R> {
+    /// Successful results, in submission order.
+    pub fn successes(&self) -> impl Iterator<Item = &R> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Scenario errors, in submission order.
+    pub fn errors(&self) -> impl Iterator<Item = &ScenarioError> {
+        self.results.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Unwrap every result, panicking with a summary if any scenario failed.
+    pub fn expect_all(self, context: &str) -> Vec<R> {
+        let n_failed = self.errors().count();
+        if n_failed > 0 {
+            let mut lines: Vec<String> = self.errors().map(ScenarioError::to_string).collect();
+            lines.truncate(5);
+            panic!(
+                "{context}: {n_failed} scenario(s) failed:\n  {}",
+                lines.join("\n  ")
+            );
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.expect("checked above"))
+            .collect()
+    }
+}
+
+/// Scenario orchestration engine entry point.
+///
+/// Holds the result cache across sweeps, so consecutive sweeps in one process
+/// share hits; configure an artifact directory to share across processes.
+///
+/// ```
+/// use hpcgrid_engine::{ScenarioSpec, SweepRunner};
+///
+/// let specs: Vec<ScenarioSpec> = (0..4)
+///     .map(|i| {
+///         ScenarioSpec::builder("doubling")
+///             .param("x", i as i64)
+///             .build()
+///     })
+///     .collect();
+/// let mut runner: SweepRunner<i64> = SweepRunner::new();
+/// let outcome = runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("x")? * 2));
+/// assert_eq!(outcome.results[3].as_ref().unwrap(), &6);
+/// // Identical re-run: served entirely from cache.
+/// let again = runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("x")? * 2));
+/// assert_eq!(again.report.cache_hits(), 4);
+/// assert_eq!(again.report.executed, 0);
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner<R> {
+    cache: ResultCache<R>,
+    config: SweepConfig,
+}
+
+impl<R: Clone + Send + Serialize + Deserialize> Default for SweepRunner<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
+    /// Runner with an in-memory cache and default configuration.
+    pub fn new() -> Self {
+        SweepRunner {
+            cache: ResultCache::in_memory(),
+            config: SweepConfig::default(),
+        }
+    }
+
+    /// Runner whose cache persists JSON artifacts under `dir`.
+    pub fn with_artifact_dir(dir: impl Into<std::path::PathBuf>) -> Result<Self, EngineError> {
+        Ok(SweepRunner {
+            cache: ResultCache::with_artifact_dir(dir)?,
+            config: SweepConfig::default(),
+        })
+    }
+
+    /// Replace the configuration.
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the retry budget.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Set the worker pool size.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Access the underlying cache.
+    pub fn cache_mut(&mut self) -> &mut ResultCache<R> {
+        &mut self.cache
+    }
+
+    /// Run a sweep: execute `f` for every spec not already cached, in
+    /// parallel, panics isolated per scenario; return results in submission
+    /// order plus the run report.
+    pub fn run<F>(&mut self, specs: &[ScenarioSpec], f: F) -> SweepOutcome<R>
+    where
+        F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+    {
+        let t0 = Instant::now();
+        let mut report = RunReport {
+            total: specs.len(),
+            ..RunReport::default()
+        };
+
+        // Phase 1 — cache consultation (sequential; lookups are cheap
+        // relative to scenario execution). Duplicate specs within one
+        // submission execute once; later occurrences alias the first slot.
+        let hashes: Vec<_> = specs.iter().map(ScenarioSpec::content_hash).collect();
+        let mut slots: Vec<Option<Result<R, ScenarioError>>> = Vec::with_capacity(specs.len());
+        let mut dispositions: Vec<Disposition> = Vec::with_capacity(specs.len());
+        // Indices (into `specs`) that must execute, and hash → executing slot.
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut pending: HashMap<crate::hash::ContentHash, usize> = HashMap::new();
+        for (i, &key) in hashes.iter().enumerate() {
+            if pending.contains_key(&key) {
+                // Alias of an earlier miss in this same sweep.
+                slots.push(None);
+                dispositions.push(Disposition::MemoryHit);
+                report.memory_hits += 1;
+                continue;
+            }
+            match self.cache.get(key) {
+                Ok(Some((value, tier))) => {
+                    slots.push(Some(Ok(value)));
+                    let d = match tier {
+                        CacheTier::Memory => {
+                            report.memory_hits += 1;
+                            Disposition::MemoryHit
+                        }
+                        CacheTier::Artifact => {
+                            report.artifact_hits += 1;
+                            Disposition::ArtifactHit
+                        }
+                    };
+                    dispositions.push(d);
+                }
+                Ok(None) => {
+                    slots.push(None);
+                    dispositions.push(Disposition::Executed);
+                    pending.insert(key, i);
+                    to_run.push(i);
+                }
+                Err(_) => {
+                    // Corrupt artifact: recompute rather than fail the sweep.
+                    slots.push(None);
+                    dispositions.push(Disposition::Executed);
+                    pending.insert(key, i);
+                    to_run.push(i);
+                }
+            }
+        }
+
+        // Phase 2 — execute the misses on a bounded work-stealing pool.
+        let workers = self
+            .config
+            .threads
+            .unwrap_or_else(|| default_threads(to_run.len()))
+            .max(1)
+            .min(to_run.len().max(1));
+        report.workers = if to_run.is_empty() { 0 } else { workers };
+        let retry = self.config.retry;
+        let next = AtomicUsize::new(0);
+        type Done<R> = (usize, Result<R, ScenarioError>, Duration, u32);
+        let done: Mutex<Vec<Done<R>>> = Mutex::new(Vec::with_capacity(to_run.len()));
+        let busy: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(workers));
+        if !to_run.is_empty() {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let mut local: Vec<Done<R>> = Vec::new();
+                        let mut my_busy = Duration::ZERO;
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= to_run.len() {
+                                break;
+                            }
+                            let slot = to_run[k];
+                            let spec = &specs[slot];
+                            let ctx = ScenarioCtx {
+                                spec,
+                                seed: spec.derived_seed(),
+                            };
+                            let started = Instant::now();
+                            let mut attempts = 0u32;
+                            let result = loop {
+                                attempts += 1;
+                                match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                                    Ok(Ok(value)) => break Ok(value),
+                                    Ok(Err(message)) => {
+                                        if attempts >= retry.max_attempts() {
+                                            break Err(ScenarioError::Failed {
+                                                spec: hashes[slot],
+                                                message,
+                                                attempts,
+                                            });
+                                        }
+                                    }
+                                    Err(payload) => {
+                                        if attempts >= retry.max_attempts() {
+                                            break Err(ScenarioError::Panicked {
+                                                spec: hashes[slot],
+                                                message: panic_message(payload.as_ref()),
+                                                attempts,
+                                            });
+                                        }
+                                    }
+                                }
+                            };
+                            let wall = started.elapsed();
+                            my_busy += wall;
+                            local.push((slot, result, wall, attempts));
+                        }
+                        done.lock().expect("result mutex poisoned").extend(local);
+                        busy.lock().expect("busy mutex poisoned").push(my_busy);
+                    });
+                }
+            });
+        }
+        report.worker_busy = busy.into_inner().expect("busy mutex poisoned");
+
+        // Phase 3 — commit results: fill slots, populate the cache, resolve
+        // duplicate aliases, build records.
+        let mut exec_info: HashMap<usize, (Duration, u32)> = HashMap::new();
+        let mut computed = done.into_inner().expect("result mutex poisoned");
+        computed.sort_by_key(|(slot, ..)| *slot);
+        for (slot, result, wall, attempts) in computed {
+            report.executed += 1;
+            report.retries += attempts.saturating_sub(1);
+            if let Ok(value) = &result {
+                // Cache commit failures (disk full, permissions) don't fail
+                // the scenario — the computed value is still returned.
+                let _ = self.cache.put(&specs[slot], value);
+            } else {
+                report.failed += 1;
+            }
+            exec_info.insert(slot, (wall, attempts));
+            slots[slot] = Some(result);
+        }
+
+        // Resolve duplicate aliases from the slot that executed (or was
+        // cached) for the same hash.
+        let mut by_hash: HashMap<crate::hash::ContentHash, usize> = HashMap::new();
+        for i in 0..specs.len() {
+            if slots[i].is_some() {
+                by_hash.entry(hashes[i]).or_insert(i);
+            }
+        }
+        for i in 0..specs.len() {
+            if slots[i].is_none() {
+                let src = by_hash
+                    .get(&hashes[i])
+                    .copied()
+                    .expect("every alias has an executed source slot");
+                let aliased = slots[src]
+                    .as_ref()
+                    .expect("source slot resolved in phase 3")
+                    .clone();
+                slots[i] = Some(aliased);
+            }
+        }
+
+        for (i, spec) in specs.iter().enumerate() {
+            let (wall, attempts) = exec_info.get(&i).copied().unwrap_or((Duration::ZERO, 0));
+            let failed = matches!(slots[i], Some(Err(_)));
+            report.scenarios.push(ScenarioRecord {
+                spec: hashes[i],
+                label: spec.label(),
+                disposition: if failed && exec_info.contains_key(&i) {
+                    Disposition::Failed
+                } else {
+                    dispositions[i]
+                },
+                wall,
+                attempts,
+            });
+        }
+
+        report.wall = t0.elapsed();
+        SweepOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("all slots resolved"))
+                .collect(),
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RetryPolicy;
+
+    fn specs(n: u64) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| {
+                ScenarioSpec::builder("runner-test")
+                    .trace_seed(i)
+                    .param("i", i as i64)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preserves_submission_order() {
+        let specs = specs(64);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("i")? * 10));
+        let values: Vec<i64> = outcome
+            .results
+            .iter()
+            .map(|r| *r.as_ref().unwrap())
+            .collect();
+        assert_eq!(values, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(outcome.report.executed, 64);
+        assert_eq!(outcome.report.cache_hits(), 0);
+        assert!(outcome.report.worker_utilization() >= 0.0);
+    }
+
+    #[test]
+    fn second_run_is_all_hits() {
+        let specs = specs(16);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("i")?));
+        let again = runner.run(&specs, |_| panic!("must not execute"));
+        assert_eq!(again.report.executed, 0);
+        assert_eq!(again.report.memory_hits, 16);
+        assert_eq!(again.report.workers, 0);
+        assert_eq!(
+            again.results.iter().filter_map(|r| r.as_ref().ok()).count(),
+            16
+        );
+    }
+
+    #[test]
+    fn duplicates_execute_once() {
+        let one = specs(1);
+        let tripled = vec![one[0].clone(), one[0].clone(), one[0].clone()];
+        let count = AtomicUsize::new(0);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run(&tripled, |ctx| {
+            count.fetch_add(1, Ordering::SeqCst);
+            Ok(ctx.spec.param_i64("i")?)
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(outcome.report.executed, 1);
+        assert_eq!(outcome.report.memory_hits, 2);
+        assert!(outcome.results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn returned_error_is_typed_not_fatal() {
+        let specs = specs(8);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run(&specs, |ctx| {
+            let i = ctx.spec.param_i64("i")?;
+            if i == 3 {
+                Err("bad scenario".to_string())
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(outcome.report.failed, 1);
+        match &outcome.results[3] {
+            Err(ScenarioError::Failed {
+                message, attempts, ..
+            }) => {
+                assert_eq!(message, "bad scenario");
+                assert_eq!(*attempts, 1);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(outcome.successes().count(), 7);
+    }
+
+    #[test]
+    fn retry_budget_is_spent_and_reported() {
+        let specs = specs(2);
+        let mut runner: SweepRunner<i64> = SweepRunner::new().retry(RetryPolicy::with_budget(2));
+        let outcome = runner.run(&specs, |ctx| {
+            if ctx.spec.param_i64("i")? == 0 {
+                Err("always fails".to_string())
+            } else {
+                Ok(1)
+            }
+        });
+        // Scenario 0: 1 try + 2 retries, all failing.
+        assert_eq!(outcome.report.retries, 2);
+        match &outcome.results[0] {
+            Err(ScenarioError::Failed { attempts, .. }) => assert_eq!(*attempts, 3),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_seed_is_stable() {
+        let specs = specs(4);
+        let mut runner: SweepRunner<u64> = SweepRunner::new();
+        let first = runner.run(&specs, |ctx| Ok(ctx.seed));
+        let mut fresh: SweepRunner<u64> = SweepRunner::new();
+        let second = fresh.run(&specs, |ctx| Ok(ctx.seed));
+        for (a, b) in first.results.iter().zip(second.results.iter()) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+}

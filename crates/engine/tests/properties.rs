@@ -1,0 +1,164 @@
+//! Property tests for the engine's hashing and caching invariants.
+
+use hpcgrid_engine::{ParamValue, ResultCache, ScenarioSpec, SweepRunner};
+use proptest::prelude::*;
+
+/// Build a spec from a parameter list, inserting params in the given order.
+fn spec_from(seed: u64, horizon: u64, contract: &str, params: &[(String, f64)]) -> ScenarioSpec {
+    let mut b = ScenarioSpec::builder("prop")
+        .trace_seed(seed)
+        .horizon_days(horizon)
+        .contract(contract);
+    for (k, v) in params {
+        b = b.param(k.clone(), *v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hashing is deterministic: the same spec always hashes the same, even
+    /// when rebuilt from scratch or round-tripped through JSON.
+    #[test]
+    fn hash_is_deterministic(
+        seed in 0u64..1_000_000,
+        horizon in 1u64..3650,
+        contract in prop::sample::select(vec!["typical", "tou", "dynamic", "powerband"]),
+        a in -1.0e6f64..1.0e6,
+        b in -1.0e6f64..1.0e6,
+    ) {
+        let params = vec![("alpha".to_string(), a), ("beta".to_string(), b)];
+        let x = spec_from(seed, horizon, contract, &params);
+        let y = spec_from(seed, horizon, contract, &params);
+        prop_assert_eq!(x.content_hash(), y.content_hash());
+        prop_assert_eq!(x.derived_seed(), y.derived_seed());
+
+        let text = serde_json::to_string(&x).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back.content_hash(), x.content_hash());
+    }
+
+    /// Hashing is order-insensitive for the map-like `params` field:
+    /// inserting the same parameters in any order yields the same hash.
+    #[test]
+    fn hash_ignores_param_insertion_order(
+        seed in 0u64..1000,
+        vals in prop::collection::vec(-100.0f64..100.0, 2..6),
+    ) {
+        let forward: Vec<(String, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("p{i}"), *v))
+            .collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        // A rotation as a third order, to not only test reversal.
+        let mut rotated = forward.clone();
+        rotated.rotate_left(1);
+
+        let a = spec_from(seed, 30, "typical", &forward);
+        let b = spec_from(seed, 30, "typical", &reversed);
+        let c = spec_from(seed, 30, "typical", &rotated);
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.content_hash(), c.content_hash());
+        prop_assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    /// Distinct parameter values give distinct hashes (no accidental
+    /// collisions across a sweep axis).
+    #[test]
+    fn hash_separates_sweep_points(
+        base in -1.0e3f64..1.0e3,
+        delta in 1.0e-6f64..1.0e3,
+    ) {
+        let x = spec_from(1, 30, "typical", &[("v".to_string(), base)]);
+        let y = spec_from(1, 30, "typical", &[("v".to_string(), base + delta)]);
+        prop_assume!(base + delta != base);
+        prop_assert_ne!(x.content_hash(), y.content_hash());
+    }
+
+    /// Cache round trip is bit-identical for arbitrary float payloads, both
+    /// in memory and through JSON artifacts.
+    #[test]
+    fn cache_round_trip_is_bit_identical(
+        seed in 0u64..100_000,
+        payload in prop::collection::vec(-1.0e9f64..1.0e9, 1..8),
+    ) {
+        let spec = spec_from(seed, 30, "typical", &[("x".to_string(), 1.0)]);
+
+        let mut mem: ResultCache<Vec<f64>> = ResultCache::in_memory();
+        mem.put(&spec, &payload).unwrap();
+        let (got, _) = mem.get(spec.content_hash()).unwrap().unwrap();
+        for (a, b) in payload.iter().zip(got.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let dir = std::env::temp_dir().join(format!(
+            "hpcgrid-prop-cache-{}-{}",
+            std::process::id(),
+            seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut disk: ResultCache<Vec<f64>> = ResultCache::with_artifact_dir(&dir).unwrap();
+        disk.put(&spec, &payload).unwrap();
+        disk.clear_memory();
+        let (from_disk, _) = disk.get(spec.content_hash()).unwrap().unwrap();
+        for (a, b) in payload.iter().zip(from_disk.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A panicking scenario in a random position yields exactly one
+    /// `ScenarioError` while every other scenario completes.
+    #[test]
+    fn one_panic_never_takes_down_a_sweep(
+        n in 10u64..40,
+        frac in 0.0f64..1.0,
+    ) {
+        let bad = ((n as f64 - 1.0) * frac) as i64;
+        let specs: Vec<ScenarioSpec> = (0..n)
+            .map(|i| {
+                ScenarioSpec::builder("prop-panic")
+                    .trace_seed(n)
+                    .param("i", i as i64)
+                    .build()
+            })
+            .collect();
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run(&specs, |ctx| {
+            let i = ctx.spec.param_i64("i")?;
+            if i == bad {
+                panic!("prop fault");
+            }
+            Ok(i)
+        });
+        prop_assert_eq!(outcome.errors().count(), 1);
+        prop_assert_eq!(outcome.successes().count(), n as usize - 1);
+        prop_assert!(outcome.results[bad as usize].is_err());
+        prop_assert_eq!(outcome.report.failed, 1);
+    }
+}
+
+/// `ParamValue` conversions keep their type through serialization (an Int
+/// never silently becomes a Float, which would change the hash).
+#[test]
+fn param_value_types_survive_round_trip() {
+    let spec = ScenarioSpec::builder("types")
+        .param("f", 3.0f64)
+        .param("i", 3i64)
+        .param("s", "three")
+        .param("b", true)
+        .build();
+    let text = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.params["f"], ParamValue::Float(3.0));
+    assert_eq!(back.params["i"], ParamValue::Int(3));
+    assert_eq!(back.params["s"], ParamValue::Text("three".to_string()));
+    assert_eq!(back.params["b"], ParamValue::Flag(true));
+    // And the float/int distinction is hash-relevant.
+    let f = ScenarioSpec::builder("types").param("v", 3.0f64).build();
+    let i = ScenarioSpec::builder("types").param("v", 3i64).build();
+    assert_ne!(f.content_hash(), i.content_hash());
+}

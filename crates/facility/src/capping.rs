@@ -102,9 +102,9 @@ impl CapActuator {
                 it_power: it,
             }
         };
-        let per_node_budget = Power::from_kilowatts(
-            (budget - idle_floor).as_kilowatts() / self.fleet.count as f64,
-        ) + spec.idle;
+        let per_node_budget =
+            Power::from_kilowatts((budget - idle_floor).as_kilowatts() / self.fleet.count as f64)
+                + spec.idle;
         Ok(match self.strategy {
             CapStrategy::LimitNodes => decide_limit(full_level),
             CapStrategy::Dvfs => match spec.level_under_cap(per_node_budget) {

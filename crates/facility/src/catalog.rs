@@ -59,11 +59,7 @@ impl CatalogSite {
     /// The synthetic specification for this site.
     pub fn spec(self) -> SiteSpec {
         let node = NodeSpec::reference_hpc();
-        let mk = |name: &str,
-                  country: Country,
-                  nodes: usize,
-                  feeder_mw: f64,
-                  office_kw: f64| {
+        let mk = |name: &str, country: Country, nodes: usize, feeder_mw: f64, office_kw: f64| {
             SiteSpec::new(
                 name,
                 country,
@@ -133,7 +129,10 @@ mod tests {
             .iter()
             .filter(|s| s.region() == Region::UnitedStates)
             .count();
-        let eu = sites.iter().filter(|s| s.region() == Region::Europe).count();
+        let eu = sites
+            .iter()
+            .filter(|s| s.region() == Region::Europe)
+            .count();
         assert_eq!(us, 4); // LANL, NCSA, ORNL, LLNL
         assert_eq!(eu, 6); // ECMWF, GSI, JSC, HLRS, LRZ, CSCS
         let german = sites

@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(g.output_at(Duration::ZERO), Power::ZERO);
         let half = g.output_at(Duration::from_minutes(5.0));
         assert!((half.as_megawatts() - 1.0).abs() < 1e-9);
-        assert_eq!(g.output_at(Duration::from_minutes(10.0)).as_megawatts(), 2.0);
+        assert_eq!(
+            g.output_at(Duration::from_minutes(10.0)).as_megawatts(),
+            2.0
+        );
         assert_eq!(g.output_at(Duration::from_hours(4.0)).as_megawatts(), 2.0);
         assert_eq!(g.output_at(Duration::from_hours(8.0)), Power::ZERO);
     }

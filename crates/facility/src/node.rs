@@ -152,16 +152,25 @@ mod tests {
 
     #[test]
     fn spec_validation() {
-        assert!(NodeSpec::new(Power::from_watts(100.0), Power::from_watts(50.0), vec![1.0]).is_err());
-        assert!(NodeSpec::new(Power::from_watts(-1.0), Power::from_watts(50.0), vec![1.0]).is_err());
+        assert!(
+            NodeSpec::new(Power::from_watts(100.0), Power::from_watts(50.0), vec![1.0]).is_err()
+        );
+        assert!(
+            NodeSpec::new(Power::from_watts(-1.0), Power::from_watts(50.0), vec![1.0]).is_err()
+        );
         assert!(NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![]).is_err());
-        assert!(
-            NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![0.8, 0.8, 1.0])
-                .is_err()
-        );
-        assert!(
-            NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![0.5, 0.9]).is_err()
-        );
+        assert!(NodeSpec::new(
+            Power::from_watts(10.0),
+            Power::from_watts(50.0),
+            vec![0.8, 0.8, 1.0]
+        )
+        .is_err());
+        assert!(NodeSpec::new(
+            Power::from_watts(10.0),
+            Power::from_watts(50.0),
+            vec![0.5, 0.9]
+        )
+        .is_err());
         assert!(NodeSpec::new(Power::from_watts(10.0), Power::from_watts(50.0), vec![1.0]).is_ok());
     }
 

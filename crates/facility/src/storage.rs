@@ -188,10 +188,34 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(Battery::new(Energy::ZERO, Power::from_megawatts(1.0), Power::from_megawatts(1.0), 0.9).is_err());
-        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::ZERO, Power::from_megawatts(1.0), 0.9).is_err());
-        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::from_megawatts(1.0), Power::from_megawatts(1.0), 0.0).is_err());
-        assert!(Battery::new(Energy::from_megawatt_hours(1.0), Power::from_megawatts(1.0), Power::from_megawatts(1.0), 1.1).is_err());
+        assert!(Battery::new(
+            Energy::ZERO,
+            Power::from_megawatts(1.0),
+            Power::from_megawatts(1.0),
+            0.9
+        )
+        .is_err());
+        assert!(Battery::new(
+            Energy::from_megawatt_hours(1.0),
+            Power::ZERO,
+            Power::from_megawatts(1.0),
+            0.9
+        )
+        .is_err());
+        assert!(Battery::new(
+            Energy::from_megawatt_hours(1.0),
+            Power::from_megawatts(1.0),
+            Power::from_megawatts(1.0),
+            0.0
+        )
+        .is_err());
+        assert!(Battery::new(
+            Energy::from_megawatt_hours(1.0),
+            Power::from_megawatts(1.0),
+            Power::from_megawatts(1.0),
+            1.1
+        )
+        .is_err());
     }
 
     #[test]

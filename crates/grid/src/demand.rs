@@ -168,7 +168,15 @@ mod tests {
         let p = DemandParams::default();
         let cal = Calendar::default();
         let mk = |seed| {
-            demand_series(&p, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 48, seed).unwrap()
+            demand_series(
+                &p,
+                &cal,
+                SimTime::EPOCH,
+                Duration::from_hours(1.0),
+                48,
+                seed,
+            )
+            .unwrap()
         };
         assert_eq!(mk(1), mk(1));
         assert_ne!(mk(1), mk(2));
@@ -181,22 +189,16 @@ mod tests {
             base_fraction: 0.0,
             ..Default::default()
         };
-        assert!(
-            demand_series(&p, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
-        );
+        assert!(demand_series(&p, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
         let p2 = DemandParams {
             noise_persistence: 1.0,
             ..Default::default()
         };
-        assert!(
-            demand_series(&p2, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
-        );
+        assert!(demand_series(&p2, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
         let p3 = DemandParams {
             seasonal_amplitude: 1.0,
             ..Default::default()
         };
-        assert!(
-            demand_series(&p3, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err()
-        );
+        assert!(demand_series(&p3, &cal, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
     }
 }

@@ -166,7 +166,11 @@ mod tests {
     fn small_fleet() -> GeneratorFleet {
         GeneratorFleet::new(vec![
             Generator::typical("nuke", FuelKind::Nuclear, Power::from_megawatts(100.0)),
-            Generator::typical("ccgt", FuelKind::GasCombinedCycle, Power::from_megawatts(100.0)),
+            Generator::typical(
+                "ccgt",
+                FuelKind::GasCombinedCycle,
+                Power::from_megawatts(100.0),
+            ),
             Generator::typical("peaker", FuelKind::GasPeaker, Power::from_megawatts(50.0)),
         ])
         .unwrap()
@@ -258,13 +262,9 @@ mod tests {
             4,
         )
         .unwrap();
-        let misaligned = PowerSeries::constant(
-            SimTime::EPOCH,
-            Duration::from_hours(1.0),
-            Power::ZERO,
-            3,
-        )
-        .unwrap();
+        let misaligned =
+            PowerSeries::constant(SimTime::EPOCH, Duration::from_hours(1.0), Power::ZERO, 3)
+                .unwrap();
         assert!(m.dispatch(&demand, Some(&misaligned)).is_err());
     }
 

@@ -112,10 +112,7 @@ impl GeneratorFleet {
 
     /// Total available (derated) capacity.
     pub fn total_available(&self) -> Power {
-        self.units
-            .iter()
-            .map(Generator::available_capacity)
-            .sum()
+        self.units.iter().map(Generator::available_capacity).sum()
     }
 
     /// A stylized regional fleet sized to `peak_demand`, with a generation
@@ -152,7 +149,11 @@ mod tests {
         let fleet = GeneratorFleet::new(vec![
             Generator::typical("peaker", FuelKind::GasPeaker, Power::from_megawatts(100.0)),
             Generator::typical("nuke", FuelKind::Nuclear, Power::from_megawatts(1000.0)),
-            Generator::typical("ccgt", FuelKind::GasCombinedCycle, Power::from_megawatts(400.0)),
+            Generator::typical(
+                "ccgt",
+                FuelKind::GasCombinedCycle,
+                Power::from_megawatts(400.0),
+            ),
         ])
         .unwrap();
         let names: Vec<&str> = fleet.units().iter().map(|u| u.name.as_str()).collect();
@@ -161,7 +162,10 @@ mod tests {
 
     #[test]
     fn empty_fleet_rejected() {
-        assert_eq!(GeneratorFleet::new(vec![]).unwrap_err(), GridError::EmptyFleet);
+        assert_eq!(
+            GeneratorFleet::new(vec![]).unwrap_err(),
+            GridError::EmptyFleet
+        );
     }
 
     #[test]
@@ -200,15 +204,21 @@ mod tests {
 
     #[test]
     fn marginal_cost_ordering_matches_fuel_ladder() {
-        assert!(FuelKind::Hydro.typical_marginal_cost() < FuelKind::Nuclear.typical_marginal_cost());
+        assert!(
+            FuelKind::Hydro.typical_marginal_cost() < FuelKind::Nuclear.typical_marginal_cost()
+        );
         assert!(FuelKind::Nuclear.typical_marginal_cost() < FuelKind::Coal.typical_marginal_cost());
-        assert!(FuelKind::Coal.typical_marginal_cost() < FuelKind::GasCombinedCycle.typical_marginal_cost());
+        assert!(
+            FuelKind::Coal.typical_marginal_cost()
+                < FuelKind::GasCombinedCycle.typical_marginal_cost()
+        );
         assert!(
             FuelKind::GasCombinedCycle.typical_marginal_cost()
                 < FuelKind::GasPeaker.typical_marginal_cost()
         );
         assert!(
-            FuelKind::GasPeaker.typical_marginal_cost() < FuelKind::OilPeaker.typical_marginal_cost()
+            FuelKind::GasPeaker.typical_marginal_cost()
+                < FuelKind::OilPeaker.typical_marginal_cost()
         );
     }
 }

@@ -170,7 +170,10 @@ mod tests {
         assert!(cap.trough().unwrap() < max);
         // Long-run mean availability close to the analytic value.
         let mean = cap.mean_power().unwrap().as_megawatts() / max.as_megawatts();
-        assert!((mean - OutageParams::default().availability()).abs() < 0.05, "mean {mean}");
+        assert!(
+            (mean - OutageParams::default().availability()).abs() < 0.05,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -219,7 +222,15 @@ mod tests {
             mttf: Duration::ZERO,
             mttr: Duration::from_days(1),
         };
-        assert!(sample_available_capacity(&f, &bad, SimTime::EPOCH, Duration::from_hours(1.0), 4, 1).is_err());
+        assert!(sample_available_capacity(
+            &f,
+            &bad,
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            4,
+            1
+        )
+        .is_err());
         let demand = Series::constant(
             SimTime::EPOCH,
             Duration::from_hours(1.0),

@@ -48,9 +48,7 @@ pub fn regulation_signal(
     seed: u64,
 ) -> Result<RegulationSignal> {
     if params.reversion <= 0.0 || params.reversion > 1.0 {
-        return Err(GridError::BadParameter(
-            "reversion must be in (0,1]".into(),
-        ));
+        return Err(GridError::BadParameter("reversion must be in (0,1]".into()));
     }
     if params.ramp_limit <= 0.0 {
         return Err(GridError::BadParameter(
@@ -62,8 +60,8 @@ pub fn regulation_signal(
     let values = (0..n)
         .map(|_| {
             let innov: f64 = rng.gen_range(-1.0..1.0) * params.volatility;
-            let delta = (-params.reversion * x + innov)
-                .clamp(-params.ramp_limit, params.ramp_limit);
+            let delta =
+                (-params.reversion * x + innov).clamp(-params.ramp_limit, params.ramp_limit);
             x = (x + delta).clamp(-1.0, 1.0);
             x
         })
@@ -88,9 +86,7 @@ pub fn tracking_score(
         )));
     }
     if capacity <= Power::ZERO {
-        return Err(GridError::BadParameter(
-            "capacity must be positive".into(),
-        ));
+        return Err(GridError::BadParameter("capacity must be positive".into()));
     }
     if signal.is_empty() {
         return Err(GridError::BadSeries("empty signal".into()));

@@ -192,10 +192,16 @@ mod tests {
         let s = solar_series(&SolarParams::default(), &cal, start, step, n, 7).unwrap();
         // Midnight hours are zero.
         for day in 0..30 {
-            assert_eq!(s.values()[day * 24].as_kilowatts(), 0.0, "midnight day {day}");
+            assert_eq!(
+                s.values()[day * 24].as_kilowatts(),
+                0.0,
+                "midnight day {day}"
+            );
         }
         // At least some noon hours produce power.
-        let noon_total: f64 = (0..30).map(|d| s.values()[d * 24 + 12].as_kilowatts()).sum();
+        let noon_total: f64 = (0..30)
+            .map(|d| s.values()[d * 24 + 12].as_kilowatts())
+            .sum();
         assert!(noon_total > 0.0);
     }
 
@@ -254,7 +260,7 @@ mod tests {
         assert_eq!(power_curve(12.0, &p), 1.0);
         assert_eq!(power_curve(20.0, &p), 1.0);
         assert_eq!(power_curve(25.0, &p), 0.0); // cut-out
-        // Monotone below rated.
+                                                // Monotone below rated.
         assert!(power_curve(6.0, &p) < power_curve(9.0, &p));
     }
 

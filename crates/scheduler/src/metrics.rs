@@ -234,11 +234,7 @@ impl SimOutcome {
 
     /// Metered facility-load series: IT load through the site's PUE model
     /// plus its office base load.
-    pub fn to_load_series_with_step(
-        &self,
-        site: &SiteSpec,
-        step: Duration,
-    ) -> PowerSeries {
+    pub fn to_load_series_with_step(&self, site: &SiteSpec, step: Duration) -> PowerSeries {
         let it = self.it_power_series(site, step);
         site.facility_load(&it)
             .expect("site validated at construction")

@@ -151,7 +151,10 @@ mod tests {
             (SimTime::from_hours(2.0), 500),
             (SimTime::from_hours(10.0), 100),
         ]);
-        assert_eq!(c.next_change_after(SimTime::EPOCH), Some(SimTime::from_hours(2.0)));
+        assert_eq!(
+            c.next_change_after(SimTime::EPOCH),
+            Some(SimTime::from_hours(2.0))
+        );
         assert_eq!(
             c.next_change_after(SimTime::from_hours(2.0)),
             Some(SimTime::from_hours(10.0))

@@ -210,7 +210,15 @@ impl ScheduleSimulator {
 
         if fits(head_idx, *free, busy) {
             start_job(
-                jobs, head_idx, head_pos, queue, running, running_info, free, records, now,
+                jobs,
+                head_idx,
+                head_pos,
+                queue,
+                running,
+                running_info,
+                free,
+                records,
+                now,
                 self.constraints.dvfs.as_ref(),
             );
             return true;
@@ -268,7 +276,15 @@ impl ScheduleSimulator {
             let finishes_before_shadow = now + j.walltime <= shadow;
             if finishes_before_shadow || j.nodes <= spare_now {
                 start_job(
-                    jobs, idx, pos, queue, running, running_info, free, records, now,
+                    jobs,
+                    idx,
+                    pos,
+                    queue,
+                    running,
+                    running_info,
+                    free,
+                    records,
+                    now,
                     self.constraints.dvfs.as_ref(),
                 );
                 return true;
@@ -294,11 +310,8 @@ impl ScheduleSimulator {
         window_blocked: &dyn Fn(usize) -> bool,
     ) -> bool {
         let cap = self.constraints.cap.max_busy_at(now);
-        let mut profile = AvailabilityProfile::from_running(
-            now,
-            *free,
-            running_info.iter().flatten(),
-        );
+        let mut profile =
+            AvailabilityProfile::from_running(now, *free, running_info.iter().flatten());
         for pos in 0..queue.len() {
             let idx = queue[pos];
             if window_blocked(idx) {
@@ -311,7 +324,15 @@ impl ScheduleSimulator {
                 let busy = self.nodes - *free;
                 if j.nodes <= *free && busy + j.nodes <= cap {
                     start_job(
-                        jobs, idx, pos, queue, running, running_info, free, records, now,
+                        jobs,
+                        idx,
+                        pos,
+                        queue,
+                        running,
+                        running_info,
+                        free,
+                        records,
+                        now,
                         self.constraints.dvfs.as_ref(),
                     );
                     return true;
@@ -505,8 +526,8 @@ mod tests {
     fn easy_backfills_small_job() {
         let jobs = vec![
             job(0, 0.0, 80, 4.0),
-            job(1, 0.0, 80, 1.0),  // reservation at t=6h (walltime of job 0)
-            job(2, 0.0, 10, 0.5),  // short+small: backfills immediately
+            job(1, 0.0, 80, 1.0), // reservation at t=6h (walltime of job 0)
+            job(2, 0.0, 10, 0.5), // short+small: backfills immediately
         ];
         let trace = trace_of(jobs, 100, 1);
         let out = ScheduleSimulator::new(100, Policy::EasyBackfill).run(&trace);
@@ -591,8 +612,8 @@ mod tests {
             cap: CapSchedule::constant(80),
             ..Default::default()
         };
-        let out = ScheduleSimulator::with_constraints(200, Policy::EasyBackfill, constraints)
-            .run(&trace);
+        let out =
+            ScheduleSimulator::with_constraints(200, Policy::EasyBackfill, constraints).run(&trace);
         // Only two 40-node jobs may run at once.
         let r2 = out.records().iter().find(|r| r.id == JobId(2)).unwrap();
         assert!(r2.start >= SimTime::from_hours(1.0));
@@ -604,14 +625,11 @@ mod tests {
         let jobs = vec![job(0, 0.0, 100, 1.0)];
         let trace = trace_of(jobs, 100, 1);
         let constraints = PowerConstraints {
-            cap: CapSchedule::new(vec![
-                (SimTime::EPOCH, 50),
-                (SimTime::from_hours(2.0), 100),
-            ]),
+            cap: CapSchedule::new(vec![(SimTime::EPOCH, 50), (SimTime::from_hours(2.0), 100)]),
             ..Default::default()
         };
-        let out = ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints)
-            .run(&trace);
+        let out =
+            ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints).run(&trace);
         assert_eq!(out.records()[0].start, SimTime::from_hours(2.0));
     }
 
@@ -629,8 +647,8 @@ mod tests {
             )]),
             ..Default::default()
         };
-        let out = ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints)
-            .run(&trace);
+        let out =
+            ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints).run(&trace);
         let r0 = out.records().iter().find(|r| r.id == JobId(0)).unwrap();
         let r1 = out.records().iter().find(|r| r.id == JobId(1)).unwrap();
         assert_eq!(r1.start, SimTime::EPOCH);
@@ -647,7 +665,9 @@ mod tests {
     #[test]
     fn zero_node_machine_rejected() {
         let trace = trace_of(vec![], 100, 1);
-        assert!(ScheduleSimulator::new(0, Policy::Fcfs).try_run(&trace).is_err());
+        assert!(ScheduleSimulator::new(0, Policy::Fcfs)
+            .try_run(&trace)
+            .is_err());
     }
 
     #[test]
@@ -658,8 +678,7 @@ mod tests {
             cap: CapSchedule::constant(50),
             ..Default::default()
         };
-        let r = ScheduleSimulator::with_constraints(100, Policy::Fcfs, constraints)
-            .try_run(&trace);
+        let r = ScheduleSimulator::with_constraints(100, Policy::Fcfs, constraints).try_run(&trace);
         assert!(r.is_err());
     }
 
@@ -690,10 +709,10 @@ mod tests {
         // only reservation is the head, job 1) starts it, conservative must
         // not.
         let jobs = vec![
-            job(0, 0.0, 60, 4.0),  // runs now; walltime 6 h
-            job(1, 0.1, 80, 1.0),  // head: reserves at job 0's expected end
-            job(2, 0.2, 30, 1.0),  // reserves after job 1 (needs 30 ≤ free 20? no → after)
-            job(3, 0.3, 40, 8.0),  // long: harmless to job 1 (40 ≤ spare?) but delays job 2
+            job(0, 0.0, 60, 4.0), // runs now; walltime 6 h
+            job(1, 0.1, 80, 1.0), // head: reserves at job 0's expected end
+            job(2, 0.2, 30, 1.0), // reserves after job 1 (needs 30 ≤ free 20? no → after)
+            job(3, 0.3, 40, 8.0), // long: harmless to job 1 (40 ≤ spare?) but delays job 2
         ];
         let trace = trace_of(jobs.clone(), 100, 2);
         let easy = ScheduleSimulator::new(100, Policy::EasyBackfill).run(&trace);
@@ -747,8 +766,8 @@ mod tests {
             }),
             ..Default::default()
         };
-        let out = ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints)
-            .run(&trace);
+        let out =
+            ScheduleSimulator::with_constraints(100, Policy::EasyBackfill, constraints).run(&trace);
         let r0 = out.records().iter().find(|r| r.id == JobId(0)).unwrap();
         let r1 = out.records().iter().find(|r| r.id == JobId(1)).unwrap();
         // Job 0 started inside the window: half intensity, double runtime.

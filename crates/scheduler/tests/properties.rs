@@ -9,16 +9,14 @@ use hpcgrid_workload::trace::{JobTrace, WorkloadBuilder};
 use proptest::prelude::*;
 
 fn random_trace() -> impl Strategy<Value = JobTrace> {
-    (0u64..1000, 2u64..6, 2.0f64..25.0, 0.0f64..0.5).prop_map(
-        |(seed, days, rate, deferrable)| {
-            WorkloadBuilder::new(seed)
-                .nodes(128)
-                .days(days)
-                .arrivals_per_hour(rate)
-                .deferrable_fraction(deferrable)
-                .build()
-        },
-    )
+    (0u64..1000, 2u64..6, 2.0f64..25.0, 0.0f64..0.5).prop_map(|(seed, days, rate, deferrable)| {
+        WorkloadBuilder::new(seed)
+            .nodes(128)
+            .days(days)
+            .arrivals_per_hour(rate)
+            .deferrable_fraction(deferrable)
+            .build()
+    })
 }
 
 fn check_conservation(trace: &JobTrace, outcome: &hpcgrid_scheduler::metrics::SimOutcome) {

@@ -124,7 +124,11 @@ pub fn error(forecast: &PowerSeries, actual: &PowerSeries) -> Result<ForecastErr
     Ok(ForecastError {
         mae_kw: abs_sum / n,
         rmse_kw: (sq_sum / n).sqrt(),
-        mape: if pct_n > 0 { pct_sum / pct_n as f64 } else { 0.0 },
+        mape: if pct_n > 0 {
+            pct_sum / pct_n as f64
+        } else {
+            0.0
+        },
     })
 }
 
@@ -164,12 +168,18 @@ mod tests {
         assert_eq!(f.len(), 3);
         assert_eq!(f.start(), SimTime::from_hours(1.0));
         assert_eq!(
-            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            f.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![1.0, 2.0, 3.0]
         );
         let a = Forecaster::Persistence.actuals(&h).unwrap();
         assert_eq!(
-            a.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            a.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![2.0, 3.0, 4.0]
         );
     }
@@ -177,9 +187,14 @@ mod tests {
     #[test]
     fn moving_average_uses_trailing_window() {
         let h = series(vec![2.0, 4.0, 6.0, 8.0]);
-        let f = Forecaster::MovingAverage { window: 2 }.one_step(&h).unwrap();
+        let f = Forecaster::MovingAverage { window: 2 }
+            .one_step(&h)
+            .unwrap();
         assert_eq!(
-            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            f.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![3.0, 5.0]
         );
     }
@@ -188,9 +203,14 @@ mod tests {
     fn seasonal_naive_repeats_season() {
         // Two-interval season: forecast repeats values two steps back.
         let h = series(vec![1.0, 9.0, 2.0, 8.0, 3.0]);
-        let f = Forecaster::SeasonalNaive { season: 2 }.one_step(&h).unwrap();
+        let f = Forecaster::SeasonalNaive { season: 2 }
+            .one_step(&h)
+            .unwrap();
         assert_eq!(
-            f.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            f.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![1.0, 9.0, 2.0]
         );
     }
@@ -200,7 +220,11 @@ mod tests {
         // A strongly diurnal load: day 800 kW, night 200 kW, hourly data.
         let h = Series::from_fn(SimTime::EPOCH, Duration::from_hours(1.0), 24 * 7, |t| {
             let hour = (t.as_secs() % 86_400) / 3_600;
-            Power::from_kilowatts(if (8..20).contains(&hour) { 800.0 } else { 200.0 })
+            Power::from_kilowatts(if (8..20).contains(&hour) {
+                800.0
+            } else {
+                200.0
+            })
         })
         .unwrap();
         let e_persist = backtest(Forecaster::Persistence, &h).unwrap();
@@ -231,9 +255,15 @@ mod tests {
     #[test]
     fn validation() {
         let h = series(vec![1.0, 2.0]);
-        assert!(Forecaster::MovingAverage { window: 0 }.one_step(&h).is_err());
-        assert!(Forecaster::SeasonalNaive { season: 0 }.one_step(&h).is_err());
-        assert!(Forecaster::SeasonalNaive { season: 5 }.one_step(&h).is_err());
+        assert!(Forecaster::MovingAverage { window: 0 }
+            .one_step(&h)
+            .is_err());
+        assert!(Forecaster::SeasonalNaive { season: 0 }
+            .one_step(&h)
+            .is_err());
+        assert!(Forecaster::SeasonalNaive { season: 5 }
+            .one_step(&h)
+            .is_err());
         let one = series(vec![1.0]);
         assert!(Forecaster::Persistence.one_step(&one).is_err());
         let misaligned = series(vec![1.0, 2.0, 3.0]);

@@ -117,12 +117,9 @@ impl IntervalSet {
 
     /// Membership test (binary search).
     pub fn contains(&self, t: SimTime) -> bool {
-        match self
-            .intervals
-            .binary_search_by(|iv| iv.start.cmp(&t))
-        {
-            Ok(_) => true,                       // t is exactly a start
-            Err(0) => false,                     // before the first interval
+        match self.intervals.binary_search_by(|iv| iv.start.cmp(&t)) {
+            Ok(_) => true,   // t is exactly a start
+            Err(0) => false, // before the first interval
             Err(i) => self.intervals[i - 1].contains(t),
         }
     }

@@ -9,7 +9,7 @@
 //! (kW → kWh), windowed peak extraction, interval masking (time-of-use
 //! periods), and resampling between meter resolutions. This crate provides
 //! those operations, together with summary statistics (peak-to-average ratio,
-//! load factor, ramp rates) and crossbeam-based parallel batch helpers for
+//! load factor, ramp rates) and scoped-thread parallel batch helpers for
 //! Monte-Carlo parameter sweeps.
 //!
 //! ## Semantics

@@ -145,10 +145,8 @@ mod tests {
     fn billing_period_peaks_split_on_boundary() {
         // 8 intervals = 2 h; periods of 1 h each.
         let s = mk(vec![1.0, 5.0, 2.0, 3.0, 7.0, 1.0, 6.0, 2.0]);
-        let peaks = billing_period_peaks(&s, Duration::from_minutes(15.0), |t| {
-            t.as_secs() / 3600
-        })
-        .unwrap();
+        let peaks =
+            billing_period_peaks(&s, Duration::from_minutes(15.0), |t| t.as_secs() / 3600).unwrap();
         assert_eq!(peaks.len(), 2);
         assert_eq!(peaks[0].0, 0);
         assert_eq!(peaks[0].1.demand.as_kilowatts(), 5.0);
@@ -171,12 +169,8 @@ mod tests {
     #[test]
     fn exceedance_count() {
         let s = mk(vec![1.0, 5.0, 2.0, 3.0]);
-        let n = count_exceedances(
-            &s,
-            Duration::from_minutes(15.0),
-            Power::from_kilowatts(2.5),
-        )
-        .unwrap();
+        let n = count_exceedances(&s, Duration::from_minutes(15.0), Power::from_kilowatts(2.5))
+            .unwrap();
         assert_eq!(n, 2);
     }
 
@@ -185,8 +179,6 @@ mod tests {
         let s = mk(vec![]);
         assert!(max_demand(&s, Duration::from_minutes(15.0)).is_err());
         assert!(top_k_peaks(&s, Duration::from_minutes(15.0), 1).is_err());
-        assert!(
-            billing_period_peaks(&s, Duration::from_minutes(15.0), |_| 0).is_err()
-        );
+        assert!(billing_period_peaks(&s, Duration::from_minutes(15.0), |_| 0).is_err());
     }
 }

@@ -125,7 +125,10 @@ mod tests {
         let fine = upsample_hold(&s, Duration::from_minutes(15.0)).unwrap();
         assert_eq!(fine.len(), 4);
         assert_eq!(
-            fine.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            fine.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![2.0, 2.0, 6.0, 6.0]
         );
         assert!(

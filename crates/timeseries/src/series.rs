@@ -383,10 +383,7 @@ mod tests {
     fn zip_requires_alignment() {
         let a = mk(vec![1.0, 2.0]);
         let b = mk(vec![1.0, 2.0, 3.0]);
-        assert!(matches!(
-            a.add_series(&b),
-            Err(TsError::Misaligned { .. })
-        ));
+        assert!(matches!(a.add_series(&b), Err(TsError::Misaligned { .. })));
         let c = mk(vec![10.0, 20.0]);
         let sum = a.add_series(&c).unwrap();
         assert_eq!(sum.values()[1].as_kilowatts(), 22.0);
@@ -450,9 +447,8 @@ mod tests {
         })
         .unwrap();
         assert_eq!(s.values()[2].as_kilowatts(), 2.0);
-        let c =
-            PowerSeries::constant(SimTime::EPOCH, Duration::from_hours(1.0), Power::ZERO, 5)
-                .unwrap();
+        let c = PowerSeries::constant(SimTime::EPOCH, Duration::from_hours(1.0), Power::ZERO, 5)
+            .unwrap();
         assert_eq!(c.len(), 5);
     }
 

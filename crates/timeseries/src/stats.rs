@@ -59,7 +59,11 @@ pub fn load_stats(s: &PowerSeries) -> Result<LoadStats> {
         peak: Power::from_kilowatts(peak),
         trough: Power::from_kilowatts(trough),
         std_dev: Power::from_kilowatts(var.sqrt()),
-        peak_to_average: if mean > 0.0 { peak / mean } else { f64::INFINITY },
+        peak_to_average: if mean > 0.0 {
+            peak / mean
+        } else {
+            f64::INFINITY
+        },
         load_factor: if peak > 0.0 { mean / peak } else { 0.0 },
         max_ramp_kw_per_hour: max_ramp,
         mean_ramp_kw_per_hour: mean_ramp,

@@ -100,7 +100,10 @@ mod tests {
         let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
         let m = rolling_mean(&s, Duration::from_minutes(30.0)).unwrap();
         assert_eq!(
-            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            m.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![1.5, 2.5, 3.5]
         );
     }
@@ -110,7 +113,10 @@ mod tests {
         let s = mk(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]);
         let m = rolling_max(&s, Duration::from_minutes(45.0)).unwrap();
         assert_eq!(
-            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            m.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![4.0, 4.0, 5.0, 9.0, 9.0]
         );
     }
@@ -120,7 +126,10 @@ mod tests {
         let s = mk(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
         let m = rolling_min(&s, Duration::from_minutes(30.0)).unwrap();
         assert_eq!(
-            m.values().iter().map(|p| p.as_kilowatts()).collect::<Vec<_>>(),
+            m.values()
+                .iter()
+                .map(|p| p.as_kilowatts())
+                .collect::<Vec<_>>(),
             vec![1.0, 1.0, 1.0, 1.0]
         );
     }

@@ -7,18 +7,16 @@ use hpcgrid_units::{Duration, Power, SimTime};
 use proptest::prelude::*;
 
 fn power_series(max_len: usize) -> impl Strategy<Value = PowerSeries> {
-    (
-        prop::collection::vec(0.0f64..50_000.0, 1..max_len),
-        1u64..8,
-    )
-        .prop_map(|(kw, step_quarters)| {
+    (prop::collection::vec(0.0f64..50_000.0, 1..max_len), 1u64..8).prop_map(
+        |(kw, step_quarters)| {
             Series::new(
                 SimTime::EPOCH,
                 Duration::from_secs(step_quarters * 900),
                 kw.into_iter().map(Power::from_kilowatts).collect(),
             )
             .unwrap()
-        })
+        },
+    )
 }
 
 proptest! {
@@ -42,7 +40,7 @@ proptest! {
     #[test]
     fn upsample_conserves_energy(s in power_series(64), divisor in 1u64..6) {
         let step = s.step().as_secs();
-        prop_assume!(step % divisor == 0);
+        prop_assume!(step.is_multiple_of(divisor));
         let up = resample::upsample_hold(&s, Duration::from_secs(step / divisor)).unwrap();
         let a = s.total_energy().as_kilowatt_hours();
         let b = up.total_energy().as_kilowatt_hours();

@@ -35,10 +35,14 @@ impl EnergyPrice {
     /// Checked constructor: rejects NaN/infinite and negative prices.
     pub fn try_per_kilowatt_hour(d: f64) -> crate::Result<Self> {
         if !d.is_finite() {
-            return Err(UnitError::NotFinite { what: "energy price" });
+            return Err(UnitError::NotFinite {
+                what: "energy price",
+            });
         }
         if d < 0.0 {
-            return Err(UnitError::Negative { what: "energy price" });
+            return Err(UnitError::Negative {
+                what: "energy price",
+            });
         }
         Ok(EnergyPrice(d))
     }
@@ -133,10 +137,14 @@ impl DemandPrice {
     /// Checked constructor: rejects NaN/infinite and negative prices.
     pub fn try_per_kilowatt_month(d: f64) -> crate::Result<Self> {
         if !d.is_finite() {
-            return Err(UnitError::NotFinite { what: "demand price" });
+            return Err(UnitError::NotFinite {
+                what: "demand price",
+            });
         }
         if d < 0.0 {
-            return Err(UnitError::Negative { what: "demand price" });
+            return Err(UnitError::Negative {
+                what: "demand price",
+            });
         }
         Ok(DemandPrice(d))
     }

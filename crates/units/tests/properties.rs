@@ -1,8 +1,6 @@
 //! Property-based tests for the unit system and the billing calendar.
 
-use hpcgrid_units::{
-    Calendar, Duration, Energy, EnergyPrice, Month, Power, SimTime, Weekday,
-};
+use hpcgrid_units::{Calendar, Duration, Energy, EnergyPrice, Month, Power, SimTime, Weekday};
 use proptest::prelude::*;
 
 proptest! {

@@ -111,14 +111,8 @@ mod tests {
     #[test]
     fn daytime_has_more_arrivals_than_night() {
         let mut rng = StdRng::seed_from_u64(3);
-        let arr = poisson_arrivals(
-            &mut rng,
-            SimTime::EPOCH,
-            SimTime::from_days(30),
-            8.0,
-            0.1,
-        )
-        .unwrap();
+        let arr =
+            poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(30), 8.0, 0.1).unwrap();
         let day = arr
             .iter()
             .filter(|t| {
@@ -134,7 +128,9 @@ mod tests {
     #[test]
     fn parameter_validation() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(1), 0.0, 0.5).is_err());
+        assert!(
+            poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(1), 0.0, 0.5).is_err()
+        );
         assert!(
             poisson_arrivals(&mut rng, SimTime::EPOCH, SimTime::from_days(1), 5.0, 1.5).is_err()
         );

@@ -66,10 +66,7 @@ mod tests {
             .unwrap();
         // Day 14, 42, 70 → three windows.
         assert_eq!(windows.intervals().len(), 3);
-        assert_eq!(
-            windows.total_duration(),
-            Duration::from_hours(36.0)
-        );
+        assert_eq!(windows.total_duration(), Duration::from_hours(36.0));
         assert!(windows.contains(SimTime::from_days(14)));
         assert!(!windows.contains(SimTime::from_days(15)));
     }
@@ -107,7 +104,9 @@ mod tests {
     #[test]
     fn empty_horizon_no_windows() {
         let sched = MaintenanceSchedule::reference_monthly();
-        let w = sched.windows(SimTime::EPOCH, SimTime::from_days(7)).unwrap();
+        let w = sched
+            .windows(SimTime::EPOCH, SimTime::from_days(7))
+            .unwrap();
         assert!(w.is_empty());
     }
 }

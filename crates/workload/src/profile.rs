@@ -85,7 +85,10 @@ mod tests {
         assert_eq!(p.intensity_at(rt, rt), 0.0); // finished
         assert_eq!(p.mean_intensity(rt), 0.7);
         // Out-of-range intensity clamps.
-        assert_eq!(PowerProfile::Constant(1.8).intensity_at(Duration::ZERO, rt), 1.0);
+        assert_eq!(
+            PowerProfile::Constant(1.8).intensity_at(Duration::ZERO, rt),
+            1.0
+        );
     }
 
     #[test]

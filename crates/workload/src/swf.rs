@@ -53,17 +53,13 @@ pub fn parse_swf(input: &str, machine_nodes: usize) -> Result<JobTrace> {
             )));
         }
         let parse_i64 = |i: usize, what: &str| -> Result<i64> {
-            fields
-                .get(i)
-                .unwrap_or(&"-1")
-                .parse::<i64>()
-                .map_err(|_| {
-                    WorkloadError::BadParameter(format!(
-                        "line {}: field {} ({what}) is not an integer",
-                        lineno + 1,
-                        i + 1
-                    ))
-                })
+            fields.get(i).unwrap_or(&"-1").parse::<i64>().map_err(|_| {
+                WorkloadError::BadParameter(format!(
+                    "line {}: field {} ({what}) is not an integer",
+                    lineno + 1,
+                    i + 1
+                ))
+            })
         };
         let id = parse_i64(0, "job number")?;
         let submit = parse_i64(1, "submit time")?;

@@ -68,7 +68,11 @@ fn main() {
     let plan = ContingencyPlan::reference(Power::from_kilowatts(220.0));
     println!("\ncontingency plan:");
     for (i, stage) in plan.stages().iter().enumerate() {
-        println!("  stage #{i} @ {:?}: {} actions", stage.trigger, stage.actions.len());
+        println!(
+            "  stage #{i} @ {:?}: {} actions",
+            stage.trigger,
+            stage.actions.len()
+        );
     }
     let resources = ContingencyResources {
         generators: vec![OnsiteGenerator::reference_diesel()],

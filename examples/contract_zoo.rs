@@ -58,7 +58,10 @@ fn main() {
     }
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    println!("{:<8} {:>14} {:>14}  components", "site", "bill", "demand share");
+    println!(
+        "{:<8} {:>14} {:>14}  components",
+        "site", "bill", "demand share"
+    );
     println!("{}", "-".repeat(78));
     for (site, total, share, kinds) in &results {
         println!(

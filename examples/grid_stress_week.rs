@@ -32,10 +32,7 @@ fn main() {
     let outcome = market.dispatch(&demand, Some(&renewables)).unwrap();
 
     println!("summer week dispatch:");
-    println!(
-        "  renewable share: {}",
-        outcome.renewable_share()
-    );
+    println!("  renewable share: {}", outcome.renewable_share());
     let max_price = outcome
         .prices
         .values()
@@ -82,9 +79,7 @@ fn main() {
     let a_shed = clause.assess(&sc_shed, &windows).unwrap();
     println!(
         "\nSC emergency clause (limit {}): ignoring events costs {}, shedding costs {}",
-        clause.limit,
-        a_ignore.total_penalty,
-        a_shed.total_penalty
+        clause.limit, a_ignore.total_penalty, a_shed.total_penalty
     );
     println!(
         "Mandatory emergency DR is the 'Other' branch of the typology: not a \

@@ -26,8 +26,9 @@ const EMBEDDED: &str = "\
 fn main() {
     let machine_nodes = 512;
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => EMBEDDED.to_string(),
     };
     let trace = parse_swf(&text, machine_nodes).expect("valid SWF");

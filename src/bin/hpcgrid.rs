@@ -100,7 +100,16 @@ fn build_site(nodes: usize) -> Result<SiteSpec, String> {
     .map_err(|e| e.to_string())
 }
 
-fn run_simulation(args: &Args) -> Result<(SiteSpec, hpcgrid::scheduler::metrics::SimOutcome, PowerSeries), String> {
+fn run_simulation(
+    args: &Args,
+) -> Result<
+    (
+        SiteSpec,
+        hpcgrid::scheduler::metrics::SimOutcome,
+        PowerSeries,
+    ),
+    String,
+> {
     let nodes = args.get_u64("nodes", 512)? as usize;
     let days = args.get_u64("days", 7)?;
     let seed = args.get_u64("seed", 42)?;
@@ -142,13 +151,19 @@ fn build_contract(args: &Args) -> Result<Contract, String> {
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let (site, outcome, load) = run_simulation(args)?;
-    println!("site: {} nodes, feeder {}", site.node_count, site.feeder_rating);
+    println!(
+        "site: {} nodes, feeder {}",
+        site.node_count, site.feeder_rating
+    );
     println!("jobs completed:   {}", outcome.records().len());
     println!("utilization:      {:.1}%", outcome.utilization() * 100.0);
     println!("mean wait:        {}", outcome.mean_wait());
     println!("mean slowdown:    {:.2}", outcome.mean_bounded_slowdown());
     println!("metered energy:   {}", load.total_energy());
-    println!("metered peak:     {}", load.peak().map_err(|e| e.to_string())?);
+    println!(
+        "metered peak:     {}",
+        load.peak().map_err(|e| e.to_string())?
+    );
     let stats = hpcgrid::timeseries::stats::load_stats(&load).map_err(|e| e.to_string())?;
     println!("peak-to-average:  {:.2}", stats.peak_to_average);
     println!("max ramp:         {:.0} kW/h", stats.max_ramp_kw_per_hour);
@@ -162,7 +177,10 @@ fn cmd_bill(args: &Args) -> Result<(), String> {
         .bill(&contract, &load)
         .map_err(|e| e.to_string())?;
     print!("{}", bill.render());
-    println!("\nkWh-domain share: {:.1}%", (1.0 - bill.demand_share()) * 100.0);
+    println!(
+        "\nkWh-domain share: {:.1}%",
+        (1.0 - bill.demand_share()) * 100.0
+    );
     println!("kW-domain share:  {:.1}%", bill.demand_share() * 100.0);
     Ok(())
 }
@@ -205,16 +223,12 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             .build()
             .map_err(|e| e.to_string())?,
     ];
-    let report = compare::compare(&candidates, &load, &Calendar::default())
-        .map_err(|e| e.to_string())?;
+    let report =
+        compare::compare(&candidates, &load, &Calendar::default()).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     println!("shopping value (worst → best): {}", report.shopping_value());
-    let flattening = compare::flattening_value(
-        &candidates[1],
-        &load,
-        &Calendar::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let flattening = compare::flattening_value(&candidates[1], &load, &Calendar::default())
+        .map_err(|e| e.to_string())?;
     println!("perfect-flattening value under the demand-charge contract: {flattening}");
     Ok(())
 }
@@ -244,7 +258,11 @@ fn cmd_survey(which: &str) -> Result<(), String> {
                 );
             }
         }
-        other => return Err(format!("unknown survey artifact '{other}' (table1|table2|claims)")),
+        other => {
+            return Err(format!(
+                "unknown survey artifact '{other}' (table1|table2|claims)"
+            ))
+        }
     }
     Ok(())
 }

@@ -16,7 +16,10 @@
 //!   a grid/market simulator ([`grid`]), an SC facility model ([`facility`]),
 //!   synthetic HPC workloads ([`workload`]), a power-aware job scheduler
 //!   ([`scheduler`]), and demand-response programs and procurement auctions
-//!   ([`dr`]).
+//!   ([`dr`]);
+//! * the **sweep orchestration engine** ([`engine`]): deterministic,
+//!   fault-isolated scenario execution with content-addressed result
+//!   caching, used by the experiment binaries.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -45,6 +48,7 @@
 
 pub use hpcgrid_core as core;
 pub use hpcgrid_dr as dr;
+pub use hpcgrid_engine as engine;
 pub use hpcgrid_facility as facility;
 pub use hpcgrid_grid as grid;
 pub use hpcgrid_scheduler as scheduler;
@@ -61,6 +65,9 @@ pub mod prelude {
     pub use hpcgrid_core::survey::corpus::SurveyCorpus;
     pub use hpcgrid_core::tariff::Tariff;
     pub use hpcgrid_core::typology::{ContractComponentKind, Typology};
+    pub use hpcgrid_engine::{
+        ResultCache, RetryPolicy, RunReport, ScenarioError, ScenarioSpec, SweepRunner,
+    };
     pub use hpcgrid_facility::site::SiteSpec;
     pub use hpcgrid_scheduler::policy::Policy;
     pub use hpcgrid_scheduler::sim::ScheduleSimulator;

@@ -17,7 +17,11 @@ fn minute_load() -> PowerSeries {
             let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
             let base = 6.0 + 2.0 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
             let into_day = t.as_secs() % 86_400;
-            let spike = if (46_800..47_000).contains(&into_day) { 4.0 } else { 0.0 };
+            let spike = if (46_800..47_000).contains(&into_day) {
+                4.0
+            } else {
+                0.0
+            };
             Power::from_megawatts(base + spike)
         },
     )
@@ -43,7 +47,10 @@ fn a1_energy_cost_is_resolution_invariant() {
     for minutes in [15.0, 60.0] {
         let coarse = downsample_mean(&fine, Duration::from_minutes(minutes)).unwrap();
         let e = engine.bill(&c, &coarse).unwrap().energy_cost().as_dollars();
-        assert!((e - e1).abs() < 1e-6 * e1, "{minutes}min energy cost {e} vs {e1}");
+        assert!(
+            (e - e1).abs() < 1e-6 * e1,
+            "{minutes}min energy cost {e} vs {e1}"
+        );
     }
 }
 
@@ -65,7 +72,10 @@ fn a1_demand_charge_shrinks_with_coarser_metering() {
             .build()
             .unwrap();
         let dc = engine.bill(&c, &load).unwrap().demand_cost().as_dollars();
-        assert!(dc <= last + 1e-9, "demand cost must not grow with coarser metering");
+        assert!(
+            dc <= last + 1e-9,
+            "demand cost must not grow with coarser metering"
+        );
         last = dc;
     }
 }

@@ -156,9 +156,7 @@ fn battery_follows_regulation_signal_well() {
 
 #[test]
 fn contingency_plan_with_battery_relief() {
-    use hpcgrid::dr::contingency::{
-        execute_plan, ContingencyPlan, ContingencyResources,
-    };
+    use hpcgrid::dr::contingency::{execute_plan, ContingencyPlan, ContingencyResources};
     use hpcgrid::grid::events::{GridEvent, Severity};
     use hpcgrid::timeseries::intervals::Interval;
     let s = site(256);

@@ -17,7 +17,10 @@ use hpcgrid::prelude::*;
 fn t1_ten_sites_four_us_six_eu() {
     let sites = SurveyCorpus::interview_sites();
     assert_eq!(sites.len(), 10);
-    let us = sites.iter().filter(|s| s.country == "United States").count();
+    let us = sites
+        .iter()
+        .filter(|s| s.country == "United States")
+        .count();
     assert_eq!(us, 4);
     assert_eq!(sites.iter().filter(|s| s.country == "Germany").count(), 4);
 }
@@ -57,7 +60,11 @@ fn f1_typology_structure() {
 #[test]
 fn c1_paper_internal_discrepancies() {
     let d = discrepancies(&SurveyCorpus::published(), &ProseFacts::published());
-    assert_eq!(d.len(), 4, "prose and table disagree in exactly 4 components");
+    assert_eq!(
+        d.len(),
+        4,
+        "prose and table disagree in exactly 4 components"
+    );
 }
 
 #[test]
@@ -110,15 +117,10 @@ fn e2_demand_share_grows_with_peakiness() {
     for pa in [1.0, 2.0, 3.0] {
         let peak: f64 = 500.0 * pa;
         let floor = (500.0 - 0.25 * peak).max(0.0) / 0.75;
-        let load = Series::from_fn(
-            SimTime::EPOCH,
-            Duration::from_minutes(15.0),
-            30 * 96,
-            |t| {
-                let h = (t.as_secs() % 86_400) / 3_600;
-                Power::from_kilowatts(if (12..18).contains(&h) { peak } else { floor })
-            },
-        )
+        let load = Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), 30 * 96, |t| {
+            let h = (t.as_secs() % 86_400) / 3_600;
+            Power::from_kilowatts(if (12..18).contains(&h) { peak } else { floor })
+        })
         .unwrap();
         shares.push(engine.bill(&contract, &load).unwrap().demand_share());
     }

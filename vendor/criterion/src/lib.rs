@@ -1,0 +1,183 @@
+//! Offline shim for `criterion`, covering the surface the `hpcgrid` benches
+//! use: `Criterion`, `bench_function`, `benchmark_group` (+ `sample_size`,
+//! `finish`), `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up once, time a fixed batch,
+//! print mean ns/iter — enough to compare hot paths locally without the real
+//! crate's statistics machinery (unavailable offline).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (shim constant).
+const ITERS: u32 = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Configure the nominal sample count (accepted, unused by the shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self._sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark. The id is anything printable, matching the
+    /// upstream `IntoBenchmarkId` flexibility (`&str`, `String`, ...).
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Criterion
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configure the nominal sample count (accepted, unused by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup (accepted, uniform in the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup per iteration.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let per_iter = if self.iters > 0 {
+            self.total_ns / self.iters as u128
+        } else {
+            0
+        };
+        println!("bench: {id:60} {per_iter:>12} ns/iter");
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn runs_groups() {
+        benches();
+    }
+}

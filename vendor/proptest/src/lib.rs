@@ -1,0 +1,249 @@
+//! Offline shim for `proptest`, covering the surface the `hpcgrid` test
+//! suites use:
+//!
+//! * the [`proptest!`] macro (`fn name(x in strategy, ...) { body }`);
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples of
+//!   strategies, fixed arrays of plain values (uniform choice), and `Just`;
+//! * `prop::collection::vec(strategy, size_range)`;
+//! * `prop::sample::select(values)`;
+//! * `prop_assert!` / `prop_assert_eq!` (forwarded to `assert!`).
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed number
+//! of deterministic cases (default 32, override with `PROPTEST_CASES`). The
+//! per-test RNG is seeded from the test name, so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Number of cases each property runs. Reads `PROPTEST_CASES`, defaults 32.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]` inside a
+/// [`proptest!`] block. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases each property in the block runs (`PROPTEST_CASES` overrides).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count: the env var wins so CI can globally dial
+    /// properties up or down, matching how `cases()` behaves.
+    pub fn effective_cases(&self) -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases as usize)
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::*;
+
+    /// Why a property-test case stopped early. The [`crate::proptest!`]
+    /// expansion wraps each case body in a closure returning
+    /// `Result<(), TestCaseError>`, matching upstream's shape so bodies may
+    /// `return Ok(())` and `prop_assume!` may reject.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` precondition failed: skip this case.
+        Reject,
+    }
+
+    /// The RNG driving strategy sampling, deterministic per test name.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Seed from the test's name (FNV-1a) so each test has a stable,
+        /// distinct stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+/// Strategy combinators namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s whose length is drawn from `size` and
+        /// whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Strategy choosing uniformly from the given values.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select { values }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Run each declared property over a set of deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __cases = $crate::ProptestConfig::effective_cases(&($cfg));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $crate::__run_case!($body);
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __cases = $crate::cases();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $crate::__run_case!($body);
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: run one case body inside a `Result`-returning closure so bodies
+/// may `return Ok(())` early and `prop_assume!` may reject the case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_case {
+    ($body:block) => {
+        let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+            (|| {
+                $body;
+                Ok(())
+            })();
+        match __outcome {
+            Ok(()) => {}
+            Err($crate::test_runner::TestCaseError::Reject) => {}
+        }
+    };
+}
+
+/// Property assertion (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Case precondition: skips the rest of the case when false (no rejection
+/// budget in the shim). Valid inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Property equality assertion (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 1u64..10, f in 0.5f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn arrays_select_one(p in [2u32, 3, 5, 7]) {
+            prop_assert!([2, 3, 5, 7].contains(&p));
+        }
+
+        #[test]
+        fn mapped_strategy(e in even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple(v in prop::collection::vec((0u64..5, 1.0f64..2.0), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!((1.0..2.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn select_choice(s in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("t");
+        let mut r2 = crate::test_runner::TestRng::deterministic("t");
+        let s = 0u64..100;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}
