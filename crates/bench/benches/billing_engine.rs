@@ -1,16 +1,21 @@
 //! Bench: the billing engine hot path (harness behind experiments E1/E2/E5).
 //!
 //! Prices one year of 15-minute interval data under each tariff leaf and
-//! under the full typical contract (tariff + demand charge + powerband).
+//! under the full typical contract (tariff + demand charge + powerband),
+//! then compares the interpreted path against the compiled kernel
+//! (segment timelines + month-boundary index) on the acceptance workload:
+//! one month of 15-minute samples under a TOU contract.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpcgrid_core::billing::BillingEngine;
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::powerband::Powerband;
-use hpcgrid_core::tariff::Tariff;
+use hpcgrid_core::tariff::{DayFilter, Tariff, TouTariff, TouWindow};
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
-use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime};
+use hpcgrid_units::{
+    Calendar, DemandPrice, Duration, EnergyPrice, MonthSet, Power, SimTime, TimeOfDay,
+};
 use std::hint::black_box;
 
 fn year_load() -> PowerSeries {
@@ -86,5 +91,87 @@ fn bench_billing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_billing);
+fn month_load() -> PowerSeries {
+    let n = 30 * 96; // one month of 15-min intervals
+    Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), n, |t| {
+        let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+        let diurnal = 1.0 + 0.3 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        Power::from_megawatts(8.0 * diurnal)
+    })
+    .unwrap()
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let load = month_load();
+    let cal = Calendar::default();
+    let engine = BillingEngine::new(cal);
+    // Utility-shaped TOU: the weekday/month filters are what force the
+    // interpreter to consult the calendar per sample.
+    let tou = Contract::builder("tou")
+        .tariff(Tariff::TimeOfUse(TouTariff {
+            windows: vec![
+                TouWindow {
+                    months: Some(MonthSet::summer()),
+                    days: DayFilter::WeekdaysOnly,
+                    from: TimeOfDay::new(14, 0),
+                    to: TimeOfDay::new(20, 0),
+                    price: EnergyPrice::per_kilowatt_hour(0.24),
+                },
+                TouWindow {
+                    months: None,
+                    days: DayFilter::WeekdaysOnly,
+                    from: TimeOfDay::new(7, 0),
+                    to: TimeOfDay::new(22, 0),
+                    price: EnergyPrice::per_kilowatt_hour(0.11),
+                },
+                TouWindow {
+                    months: None,
+                    days: DayFilter::All,
+                    from: TimeOfDay::new(22, 0),
+                    to: TimeOfDay::new(7, 0),
+                    price: EnergyPrice::per_kilowatt_hour(0.04),
+                },
+            ],
+            base: EnergyPrice::per_kilowatt_hour(0.08),
+        }))
+        .build()
+        .unwrap();
+    let compiled = engine.compile(&tou, load.start(), load.end()).unwrap();
+    assert_eq!(
+        engine.bill(&tou, &load).unwrap(),
+        compiled.bill(&load).unwrap(),
+        "bench contract must bill bit-identically on both paths"
+    );
+
+    let mut g = c.benchmark_group("billing_month_15min_tou");
+    g.sample_size(20);
+    g.bench_function("interpreted", |b| {
+        b.iter(|| black_box(engine.bill(&tou, &load).unwrap().total()))
+    });
+    g.bench_function("compiled", |b| {
+        b.iter(|| black_box(compiled.bill(&load).unwrap().total()))
+    });
+    g.bench_function("compile_only", |b| {
+        b.iter(|| black_box(engine.compile(&tou, load.start(), load.end()).unwrap()))
+    });
+    g.finish();
+
+    // Batch throughput: 32 sites under one contract — compile once, fan out.
+    let loads: Vec<PowerSeries> = (0..32).map(|i| load.scale(0.5 + 0.05 * i as f64)).collect();
+    let mut g = c.benchmark_group("billing_batch_32_loads");
+    g.sample_size(10);
+    g.bench_function("interpreted_loop", |b| {
+        b.iter(|| {
+            for l in &loads {
+                black_box(engine.bill(&tou, l).unwrap().total());
+            }
+        })
+    });
+    g.bench_function("bill_many", |b| {
+        b.iter(|| black_box(engine.bill_many(&tou, &loads).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_billing, bench_compiled);
 criterion_main!(benches);

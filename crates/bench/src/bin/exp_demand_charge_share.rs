@@ -44,10 +44,13 @@ fn main() {
         "demand share",
     ]);
     let mut shares = Vec::new();
-    for pa in [1.0, 1.25, 1.5, 2.0, 2.5, 3.0] {
-        let load = shaped_load(pa);
-        let stats = load_stats(&load).unwrap();
-        let b = bill(&contract, &load);
+    // One contract, six load shapes: compile the contract once and batch-bill
+    // every shape against the shared segment timeline.
+    let ratios = [1.0, 1.25, 1.5, 2.0, 2.5, 3.0];
+    let loads: Vec<PowerSeries> = ratios.iter().map(|pa| shaped_load(*pa)).collect();
+    let bills = bill_many(&contract, &loads);
+    for ((pa, load), b) in ratios.iter().zip(&loads).zip(&bills) {
+        let stats = load_stats(load).unwrap();
         shares.push(b.demand_share());
         t.row(vec![
             format!("{pa:.2}"),

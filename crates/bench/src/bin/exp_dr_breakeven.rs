@@ -32,6 +32,7 @@ struct BreakevenPoint {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EventResult {
     revenue_dollars: f64,
+    bill_dollars: f64,
     utilization_delta: f64,
     wait_delta_secs: u64,
 }
@@ -182,6 +183,14 @@ fn main() {
                 .build()
         })
         .collect();
+    // Every strategy is billed under the same typical contract; compile it
+    // once over a horizon generous enough for jobs that drain past day 30
+    // and share the kernel across the sweep closures.
+    let compiled_typical = compile_contract(
+        &typical_contract(),
+        SimTime::EPOCH,
+        SimTime::from_days(2 * HORIZON_DAYS),
+    );
     let mut event_runner = experiment_runner::<EventResult>();
     let event_outcome = event_runner.run(&event_specs, |ctx| {
         let strat = strategy_for(ctx.spec.param_str("strategy")?)?;
@@ -195,8 +204,12 @@ fn main() {
             meter_step(),
         )
         .map_err(|e| e.to_string())?;
+        let bill = compiled_typical
+            .bill(&out.response_load)
+            .map_err(|e| e.to_string())?;
         Ok(EventResult {
             revenue_dollars: out.net_revenue().as_dollars(),
+            bill_dollars: bill.total().as_dollars(),
             utilization_delta: out.utilization_delta(),
             wait_delta_secs: out.wait_delta().as_secs(),
         })
@@ -210,6 +223,8 @@ fn main() {
     let mut t2 = TextTable::new(vec![
         "strategy",
         "net DR revenue",
+        "energy bill",
+        "revenue/bill",
         "utilization Δ",
         "mean-wait Δ",
     ]);
@@ -221,6 +236,8 @@ fn main() {
         t2.row(vec![
             name.to_string(),
             Money::from_dollars(out.revenue_dollars).to_string(),
+            Money::from_dollars(out.bill_dollars).to_string(),
+            format!("{:.2}%", out.revenue_dollars / out.bill_dollars * 100.0),
             format!("{:+.4}", -out.utilization_delta),
             format!("+{}", Duration::from_secs(out.wait_delta_secs)),
         ]);

@@ -22,7 +22,7 @@ use hpcgrid_dr::shift::{expensive_windows, price_spread};
 use hpcgrid_engine::ScenarioSpec;
 use hpcgrid_scheduler::policy::{Policy, PowerConstraints};
 use hpcgrid_scheduler::sim::ScheduleSimulator;
-use hpcgrid_units::{Calendar, EnergyPrice};
+use hpcgrid_units::EnergyPrice;
 
 fn calibrated_mean(prices: &hpcgrid_timeseries::series::PriceSeries) -> f64 {
     prices
@@ -63,8 +63,15 @@ fn main() {
         .unwrap();
 
     // Sweep the three tariff structures through the engine: one spec per
-    // structure, billed in parallel, results cached by content hash.
+    // structure, billed in parallel, results cached by content hash. Each
+    // contract is lowered once by the compiled billing kernel; the sweep
+    // closure evaluates segment timelines instead of re-deriving calendar
+    // facts per sample.
     let contracts = [("fixed", &fixed), ("tou", &tou), ("dynamic", &dynamic)];
+    let compiled: Vec<_> = contracts
+        .iter()
+        .map(|(name, c)| (*name, compile_contract(c, load.start(), load.end())))
+        .collect();
     let specs: Vec<ScenarioSpec> = contracts
         .iter()
         .map(|(name, _)| {
@@ -76,11 +83,14 @@ fn main() {
         .collect();
     let mut runner = experiment_runner::<f64>();
     let outcome = runner.run(&specs, |ctx| {
-        let (_, c) = contracts
+        let (_, c) = compiled
             .iter()
             .find(|(name, _)| *name == ctx.spec.contract)
             .ok_or_else(|| format!("unknown contract {}", ctx.spec.contract))?;
-        Ok(bill(c, &load).total().as_dollars())
+        Ok(c.bill(&load)
+            .map_err(|e| e.to_string())?
+            .total()
+            .as_dollars())
     });
     println!("sweep engine report:\n{}", outcome.report.summary_table());
     let bills = outcome.expect_all("tariff sweep");
@@ -110,9 +120,11 @@ fn main() {
         ScheduleSimulator::with_constraints(trace.machine_nodes, Policy::EasyBackfill, constraints)
             .run(&trace);
     let shifted_load = shifted.to_load_series_with_step(&site, meter_step());
-    let cal = Calendar::default();
-    let passive_cost = dynamic.tariffs[0].cost(&cal, &load).unwrap();
-    let active_cost = dynamic.tariffs[0].cost(&cal, &shifted_load).unwrap();
+    // Same contract, two loads: the batch API compiles the dynamic contract
+    // once and bills both series against the shared price timeline.
+    let passive_active = bill_many(&dynamic, &[load.clone(), shifted_load]);
+    let passive_cost = passive_active[0].total();
+    let active_cost = passive_active[1].total();
     let saving_pct = (1.0 - active_cost.as_dollars() / passive_cost.as_dollars()) * 100.0;
 
     let baseline = ScheduleSimulator::new(trace.machine_nodes, Policy::EasyBackfill).run(&trace);

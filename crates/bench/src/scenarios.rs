@@ -133,6 +133,29 @@ pub fn bill(contract: &Contract, load: &PowerSeries) -> hpcgrid_core::billing::B
         .expect("billing succeeds on experiment loads")
 }
 
+/// Bill many loads under one contract with the default calendar. The
+/// contract is compiled once (segment timelines + month-boundary index) and
+/// evaluation fans out across threads; bills are bit-identical to [`bill`]
+/// and returned in load order.
+pub fn bill_many(contract: &Contract, loads: &[PowerSeries]) -> Vec<hpcgrid_core::billing::Bill> {
+    BillingEngine::new(Calendar::default())
+        .bill_many(contract, loads)
+        .expect("batch billing succeeds on experiment loads")
+}
+
+/// Compile a contract under the default calendar for loads inside
+/// `[start, end)` — the shared kernel for sweeps whose scenarios differ only
+/// in load.
+pub fn compile_contract(
+    contract: &Contract,
+    start: SimTime,
+    end: SimTime,
+) -> hpcgrid_core::compiled::CompiledContract {
+    BillingEngine::new(Calendar::default())
+        .compile(contract, start, end)
+        .expect("experiment contracts compile")
+}
+
 /// Start a [`hpcgrid_engine::ScenarioSpec`] pre-filled with the reference
 /// world's identity (site, horizon) so specs — and therefore cache keys —
 /// from different experiment binaries agree on what the baseline is.
@@ -195,5 +218,18 @@ mod tests {
         let b = bill(&typical_contract(), &load);
         assert!(b.total() > Money::ZERO);
         assert!(b.demand_share() > 0.0);
+    }
+
+    #[test]
+    fn batch_and_compiled_bills_match_interpreted() {
+        let (_, load) = reference_run(4);
+        let contract = typical_contract();
+        let loads = vec![load.clone(), load.scale(0.5), load.scale(2.0)];
+        let batch = bill_many(&contract, &loads);
+        for (l, b) in loads.iter().zip(&batch) {
+            assert_eq!(bill(&contract, l), *b);
+        }
+        let compiled = compile_contract(&contract, load.start(), load.end());
+        assert_eq!(compiled.bill(&load).unwrap(), bill(&contract, &load));
     }
 }

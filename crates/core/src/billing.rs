@@ -5,10 +5,12 @@
 //! on — in particular the *demand-charge share* of the total, which \[34\]
 //! (cited in §2) showed grows with the peak-to-average ratio.
 
+use crate::compiled::CompiledContract;
 use crate::contract::Contract;
 use crate::typology::ContractComponentKind;
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::intervals::IntervalSet;
+use hpcgrid_timeseries::par::try_par_map;
 use hpcgrid_timeseries::series::PowerSeries;
 use hpcgrid_units::{Calendar, Money};
 use serde::{Deserialize, Serialize};
@@ -121,6 +123,60 @@ impl BillingEngine {
     /// Bill a load under a contract (no emergency events).
     pub fn bill(&self, contract: &Contract, load: &PowerSeries) -> Result<Bill> {
         self.bill_with_events(contract, load, &IntervalSet::empty())
+    }
+
+    /// Lower a contract into a [`CompiledContract`] for loads inside
+    /// `[start, end)`. Bills computed through it are bit-identical to
+    /// [`BillingEngine::bill`]; compilation amortizes after about two bills
+    /// per contract, or one bill over a month-scale series.
+    pub fn compile(
+        &self,
+        contract: &Contract,
+        start: hpcgrid_units::SimTime,
+        end: hpcgrid_units::SimTime,
+    ) -> Result<CompiledContract> {
+        CompiledContract::compile(&self.calendar, contract, start, end)
+    }
+
+    /// Bill many loads under one contract (no emergency events): the
+    /// contract is compiled once over the union of the load horizons, then
+    /// evaluation fans out across threads. Bills are returned in load order
+    /// and are bit-identical to billing each load with [`BillingEngine::bill`].
+    pub fn bill_many(&self, contract: &Contract, loads: &[PowerSeries]) -> Result<Vec<Bill>> {
+        self.bill_many_with_events(contract, loads, &IntervalSet::empty())
+    }
+
+    /// [`BillingEngine::bill_many`] with emergency event windows, assessed
+    /// against every load.
+    pub fn bill_many_with_events(
+        &self,
+        contract: &Contract,
+        loads: &[PowerSeries],
+        events: &IntervalSet,
+    ) -> Result<Vec<Bill>> {
+        if loads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut start = None;
+        let mut end = None;
+        for load in loads {
+            if load.is_empty() {
+                return Err(CoreError::BadSeries("load series is empty".into()));
+            }
+            start = Some(start.map_or(load.start(), |s: hpcgrid_units::SimTime| {
+                s.min(load.start())
+            }));
+            end = Some(end.map_or(load.end(), |e: hpcgrid_units::SimTime| e.max(load.end())));
+        }
+        let (start, end) = (
+            start.expect("non-empty loads"),
+            end.expect("non-empty loads"),
+        );
+        let compiled = CompiledContract::compile(&self.calendar, contract, start, end)?;
+        try_par_map(loads, |load| compiled.bill_with_events(load, events))
+            .map_err(|e| CoreError::BatchPanic(e.to_string()))?
+            .into_iter()
+            .collect()
     }
 
     /// Bill a load under a contract, assessing the emergency clause against
@@ -351,6 +407,48 @@ mod tests {
             .unwrap()
             .amount;
         assert!(((b2.total() - b1.total()).as_dollars() - dc.as_dollars()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bill_many_matches_per_load_bills() {
+        let e = engine();
+        let c = full_contract();
+        let loads: Vec<PowerSeries> = (1..=6).map(|i| flat_load(40 * 24, i as f64)).collect();
+        let batch = e.bill_many(&c, &loads).unwrap();
+        assert_eq!(batch.len(), loads.len());
+        for (load, bill) in loads.iter().zip(&batch) {
+            assert_eq!(e.bill(&c, load).unwrap(), *bill);
+        }
+    }
+
+    #[test]
+    fn bill_many_empty_batch_and_empty_load() {
+        let e = engine();
+        let c = full_contract();
+        assert!(e.bill_many(&c, &[]).unwrap().is_empty());
+        let empty = PowerSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        assert!(e.bill_many(&c, &[flat_load(24, 1.0), empty]).is_err());
+    }
+
+    #[test]
+    fn bill_many_with_events_matches() {
+        use crate::emergency::EmergencyDrClause;
+        use hpcgrid_timeseries::intervals::Interval;
+        let c = Contract::builder("em")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08)))
+            .emergency(EmergencyDrClause::reference(Power::from_megawatts(5.0)))
+            .build()
+            .unwrap();
+        let events = IntervalSet::from_intervals(vec![Interval::new(
+            SimTime::from_hours(10.0),
+            SimTime::from_hours(12.0),
+        )]);
+        let e = engine();
+        let loads = vec![flat_load(24, 10.0), flat_load(24, 2.0)];
+        let batch = e.bill_many_with_events(&c, &loads, &events).unwrap();
+        for (load, bill) in loads.iter().zip(&batch) {
+            assert_eq!(e.bill_with_events(&c, load, &events).unwrap(), *bill);
+        }
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! The compiled billing kernel: contracts lowered to flat segment timelines.
+//!
+//! [`crate::billing::BillingEngine::bill`] re-derives civil-calendar facts for
+//! every sample — `Calendar::month`, `weekday`, `time_of_day` per interval in
+//! [`crate::tariff::TouTariff::price_at`], `Calendar::billing_month` per
+//! interval in block-tariff bucketing — so sweep cost is dominated by
+//! redundant calendar arithmetic. This module compiles a
+//! [`Contract`] + [`Calendar`] + time horizon once into:
+//!
+//! * a **price timeline** per energy tariff: piecewise-constant `$ / kWh`
+//!   segments whose breakpoints are precomputed `SimTime` seconds (TOU window
+//!   edges per day, dynamic-strip interval edges), so pricing a
+//!   [`PowerSeries`] is a single linear merge of two sorted sequences;
+//! * a **month-boundary index**: the billing-month start midnights inside the
+//!   horizon, shared by demand-charge bucketing, block-tariff bucketing, and
+//!   the service-fee month count.
+//!
+//! Evaluation is **bit-identical** to the interpreted path: segment prices
+//! are computed with the same `price_at` calls the interpreter would make,
+//! and every floating-point accumulation replicates the interpreter's
+//! expression shape and summation order (see `compiled_equivalence`
+//! integration tests). Compilation costs one `price_at` call per candidate
+//! breakpoint (a few per day of horizon), so it amortizes after roughly two
+//! bills per contract, or a single bill over a month-scale series.
+
+use crate::billing::{Bill, LineItem};
+use crate::contract::Contract;
+use crate::demand_charge::{DemandAssessment, DemandCharge};
+use crate::emergency::EmergencyDrClause;
+use crate::powerband::Powerband;
+use crate::tariff::{BlockTariff, Tariff};
+use crate::typology::ContractComponentKind;
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::intervals::IntervalSet;
+use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_units::time::SECS_PER_DAY;
+use hpcgrid_units::{Calendar, Money, SimTime};
+
+/// A piecewise-constant price timeline: segment `i` covers
+/// `[breaks[i], breaks[i+1])` (the last segment extends to the compile
+/// horizon's end) at `prices[i]` dollars per kWh. Adjacent segments with
+/// bitwise-equal prices are merged at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTimeline {
+    /// Segment start times in seconds; `breaks[0]` is the horizon start.
+    breaks: Vec<u64>,
+    /// Segment prices in `$ / kWh`, one per break.
+    prices: Vec<f64>,
+}
+
+impl PriceTimeline {
+    /// Lower a time-based tariff (fixed, TOU, or dynamic) over `[start, end)`.
+    ///
+    /// Candidate breakpoints are the horizon start plus, for TOU, each
+    /// window's `from`/`to` edge and midnight of every day in the horizon;
+    /// for dynamic tariffs, every strip interval edge. Segment prices are
+    /// computed with the interpreter's own [`Tariff::price_at`], so any
+    /// sample inside a segment sees the exact `f64` the interpreted path
+    /// would use. A window-membership change can only happen at a candidate
+    /// breakpoint: month and weekday are constant within a day, and
+    /// `Calendar::time_of_day` truncates to minutes while window edges are
+    /// minute-aligned.
+    fn compile(cal: &Calendar, tariff: &Tariff, start: SimTime, end: SimTime) -> PriceTimeline {
+        let s0 = start.as_secs();
+        let e = end.as_secs();
+        let mut cuts: Vec<u64> = Vec::new();
+        match tariff {
+            Tariff::Fixed(_) => {}
+            Tariff::TimeOfUse(tou) => {
+                let mut offsets: Vec<u64> = vec![0];
+                for w in &tou.windows {
+                    offsets.push(w.from.seconds_into_day());
+                    offsets.push(w.to.seconds_into_day());
+                }
+                offsets.sort_unstable();
+                offsets.dedup();
+                let first_day = s0 / SECS_PER_DAY;
+                let last_day = (e - 1) / SECS_PER_DAY;
+                for day in first_day..=last_day {
+                    let base = day * SECS_PER_DAY;
+                    for &off in &offsets {
+                        let cut = base + off;
+                        if cut > s0 && cut < e {
+                            cuts.push(cut);
+                        }
+                    }
+                }
+            }
+            Tariff::Dynamic(d) => {
+                let step = d.prices.step().as_secs();
+                let strip_start = d.prices.start().as_secs();
+                for i in 0..=d.prices.len() as u64 {
+                    let cut = strip_start + i * step;
+                    if cut > s0 && cut < e {
+                        cuts.push(cut);
+                    }
+                }
+            }
+            Tariff::Block(_) => unreachable!("block tariffs are not strip-compiled"),
+        }
+        let mut breaks = vec![s0];
+        let mut prices = vec![tariff.price_at(cal, start).as_dollars_per_kilowatt_hour()];
+        for cut in cuts {
+            let p = tariff
+                .price_at(cal, SimTime::from_secs(cut))
+                .as_dollars_per_kilowatt_hour();
+            // Merge bitwise-equal neighbours: the merged segment prices every
+            // sample with the same f64 either way.
+            if p.to_bits() != prices[prices.len() - 1].to_bits() {
+                breaks.push(cut);
+                prices.push(p);
+            }
+        }
+        PriceTimeline { breaks, prices }
+    }
+
+    /// Number of price segments.
+    pub fn segments(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Energy cost of a load: the linear merge of the sample sequence and
+    /// the segment sequence. Replicates `PowerSeries::cost_against` exactly:
+    /// `Σ v[i]·h·price`, accumulated in sample order.
+    fn cost(&self, load: &PowerSeries) -> Money {
+        let h = load.step().as_hours();
+        let step = load.step().as_secs();
+        let t0 = load.start().as_secs();
+        let values = load.values();
+        let mut dollars = 0.0f64;
+        // Segment covering the first sample: breaks[seg] <= t0 < breaks[seg+1]
+        // (breaks[0] is the horizon start, which bounds the load from below).
+        let mut seg = self.breaks.partition_point(|b| *b <= t0) - 1;
+        let mut i = 0usize;
+        while i < values.len() {
+            // Sample `j` (at t0 + j·step) lies in this segment while its time
+            // is below the next break; run the whole slice at one price so
+            // the segment lookup leaves the per-sample loop.
+            let i_end = match self.breaks.get(seg + 1) {
+                Some(&b) => ((b - t0).div_ceil(step) as usize).min(values.len()),
+                None => values.len(),
+            };
+            let price = self.prices[seg];
+            for p in &values[i..i_end] {
+                dollars += p.as_kilowatts() * h * price;
+            }
+            i = i_end;
+            seg += 1;
+        }
+        Money::from_dollars(dollars)
+    }
+}
+
+/// One lowered energy-tariff component.
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledTariff {
+    /// Fixed, TOU, and dynamic tariffs lower to a price timeline.
+    Strip {
+        kind: ContractComponentKind,
+        timeline: PriceTimeline,
+    },
+    /// Block tariffs keep their schedule (the marginal price depends on
+    /// cumulative monthly volume, not time) but bucket through the shared
+    /// month-boundary index.
+    Block(BlockTariff),
+}
+
+impl CompiledTariff {
+    fn kind(&self) -> ContractComponentKind {
+        match self {
+            CompiledTariff::Strip { kind, .. } => *kind,
+            CompiledTariff::Block(_) => ContractComponentKind::FixedTariff,
+        }
+    }
+}
+
+/// A contract lowered against a calendar and a `[start, end)` horizon.
+///
+/// Billing any load inside the horizon makes **no calendar calls**: tariff
+/// pricing is a segment merge, and month bucketing (demand charges, block
+/// tariffs, service fees) is binary search + cursor walk over the
+/// precomputed month-boundary index. Results are bit-identical to
+/// [`crate::billing::BillingEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledContract {
+    name: String,
+    start: SimTime,
+    end: SimTime,
+    /// Billing-month index of `start`.
+    first_month: u64,
+    /// Month-start midnights strictly inside `(start, end)`, in seconds.
+    month_starts: Vec<u64>,
+    tariffs: Vec<CompiledTariff>,
+    demand_charge: Option<DemandCharge>,
+    powerband: Option<Powerband>,
+    emergency: Option<EmergencyDrClause>,
+    monthly_fee: Money,
+}
+
+impl CompiledContract {
+    /// Lower `contract` under `calendar` for loads inside `[start, end)`.
+    ///
+    /// Component parameters are validated here, once, instead of on every
+    /// bill. Errors if the horizon is empty.
+    pub fn compile(
+        calendar: &Calendar,
+        contract: &Contract,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<CompiledContract> {
+        if start >= end {
+            return Err(CoreError::BadSeries(format!(
+                "compile horizon [{start}, {end}) is empty"
+            )));
+        }
+        let mut month_starts = Vec::new();
+        let mut t = start;
+        loop {
+            let b = calendar.next_month_start(t);
+            if b >= end {
+                break;
+            }
+            month_starts.push(b.as_secs());
+            t = b;
+        }
+        let mut tariffs = Vec::with_capacity(contract.tariffs.len());
+        for tariff in &contract.tariffs {
+            tariffs.push(match tariff {
+                Tariff::Block(b) => {
+                    b.validate()?;
+                    CompiledTariff::Block(b.clone())
+                }
+                other => CompiledTariff::Strip {
+                    kind: other.kind(),
+                    timeline: PriceTimeline::compile(calendar, other, start, end),
+                },
+            });
+        }
+        if let Some(dc) = &contract.demand_charge {
+            dc.validate()?;
+        }
+        if let Some(pb) = &contract.powerband {
+            pb.validate()?;
+        }
+        Ok(CompiledContract {
+            name: contract.name.clone(),
+            start,
+            end,
+            first_month: calendar.billing_month(start),
+            month_starts,
+            tariffs,
+            demand_charge: contract.demand_charge,
+            powerband: contract.powerband,
+            emergency: contract.emergency,
+            monthly_fee: contract.monthly_fee,
+        })
+    }
+
+    /// The compile horizon `[start, end)`.
+    pub fn horizon(&self) -> (SimTime, SimTime) {
+        (self.start, self.end)
+    }
+
+    /// Number of billing months the horizon touches.
+    pub fn month_count(&self) -> usize {
+        self.month_starts.len() + 1
+    }
+
+    /// Total price segments across all lowered tariffs (block tariffs
+    /// contribute none).
+    pub fn segment_count(&self) -> usize {
+        self.tariffs
+            .iter()
+            .map(|t| match t {
+                CompiledTariff::Strip { timeline, .. } => timeline.segments(),
+                CompiledTariff::Block(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Index of the first month boundary after `t_secs`.
+    fn boundary_after(&self, t_secs: u64) -> usize {
+        self.month_starts.partition_point(|b| *b <= t_secs)
+    }
+
+    fn check_in_horizon(&self, load: &PowerSeries) -> Result<()> {
+        if load.start() < self.start || load.end() > self.end {
+            return Err(CoreError::BadSeries(format!(
+                "load [{}, {}) is outside the compiled horizon [{}, {})",
+                load.start(),
+                load.end(),
+                self.start,
+                self.end
+            )));
+        }
+        Ok(())
+    }
+
+    /// Demand-charge assessment through the month-boundary index; produces
+    /// the same `(cursor, boundary)` slices as `DemandCharge::assess`.
+    fn assess_demand(
+        &self,
+        dc: &DemandCharge,
+        load: &PowerSeries,
+    ) -> Result<Vec<DemandAssessment>> {
+        let mut out = Vec::new();
+        let mut cursor = load.start();
+        let end = load.end();
+        let mut bi = self.boundary_after(cursor.as_secs());
+        let mut month = self.first_month + bi as u64;
+        while cursor < end {
+            let boundary = match self.month_starts.get(bi) {
+                Some(&b) => SimTime::from_secs(b).min(end),
+                None => end,
+            };
+            let slice = load.slice_time(cursor, boundary);
+            if !slice.is_empty() {
+                let billed = dc.billed_demand(&slice)?;
+                out.push(DemandAssessment {
+                    month,
+                    billed_demand: billed,
+                    charge: billed * dc.price,
+                });
+            }
+            cursor = boundary;
+            bi += 1;
+            month += 1;
+        }
+        Ok(out)
+    }
+
+    /// Block-tariff cost through the month-boundary index. Replicates the
+    /// interpreter's per-month accumulation (a `BTreeMap` filled in time
+    /// order) as a cursor walk: same adds in the same order, months with no
+    /// samples contribute nothing, monthly costs folded chronologically.
+    fn block_cost(&self, b: &BlockTariff, load: &PowerSeries) -> Money {
+        let step_h = load.step().as_hours();
+        let step = load.step().as_secs();
+        let mut t = load.start().as_secs();
+        let mut bi = self.boundary_after(t);
+        let mut monthly: Vec<f64> = Vec::new();
+        let mut cur = 0.0f64;
+        let mut have = false;
+        for p in load.values() {
+            while bi < self.month_starts.len() && self.month_starts[bi] <= t {
+                bi += 1;
+                if have {
+                    monthly.push(cur);
+                    cur = 0.0;
+                    have = false;
+                }
+            }
+            cur += p.as_kilowatts() * step_h;
+            have = true;
+            t += step;
+        }
+        if have {
+            monthly.push(cur);
+        }
+        monthly
+            .iter()
+            .map(|kwh| b.monthly_cost(*kwh))
+            .fold(Money::ZERO, |a, m| a + m)
+    }
+
+    /// Billing months touched by `load` (for the service fee), from the
+    /// boundary index alone.
+    fn months_covered(&self, load: &PowerSeries) -> u64 {
+        let first = self.boundary_after(load.start().as_secs());
+        let last = self.boundary_after(load.end().as_secs() - 1);
+        (last - first) as u64 + 1
+    }
+
+    /// Bill a load (no emergency events).
+    pub fn bill(&self, load: &PowerSeries) -> Result<Bill> {
+        self.bill_with_events(load, &IntervalSet::empty())
+    }
+
+    /// Bill a load, assessing the emergency clause against the given event
+    /// windows. The load must lie inside the compile horizon.
+    pub fn bill_with_events(&self, load: &PowerSeries, events: &IntervalSet) -> Result<Bill> {
+        if load.is_empty() {
+            return Err(CoreError::BadSeries("load series is empty".into()));
+        }
+        self.check_in_horizon(load)?;
+        let mut items = Vec::new();
+        for (i, ct) in self.tariffs.iter().enumerate() {
+            let amount = match ct {
+                CompiledTariff::Strip { timeline, .. } => timeline.cost(load),
+                CompiledTariff::Block(b) => self.block_cost(b, load),
+            };
+            items.push(LineItem {
+                label: format!("{} tariff #{}", ct.kind().label(), i + 1),
+                kind: Some(ct.kind()),
+                amount,
+            });
+        }
+        if let Some(dc) = &self.demand_charge {
+            let assessments = self.assess_demand(dc, load)?;
+            let amount = assessments.iter().map(|a| a.charge).sum();
+            items.push(LineItem {
+                label: format!("Demand charges ({} billing months)", assessments.len()),
+                kind: Some(ContractComponentKind::DemandCharge),
+                amount,
+            });
+        }
+        if let Some(pb) = &self.powerband {
+            // Already a single calendar-free pass; evaluated directly.
+            let report = pb.evaluate(load)?;
+            items.push(LineItem {
+                label: format!(
+                    "Powerband excursions ({} intervals)",
+                    report.violations.len()
+                ),
+                kind: Some(ContractComponentKind::Powerband),
+                amount: report.penalty_cost,
+            });
+        }
+        if let Some(em) = &self.emergency {
+            let assessment = em.assess(load, events)?;
+            items.push(LineItem {
+                label: format!(
+                    "Emergency DR penalties ({} events)",
+                    assessment.events.len()
+                ),
+                kind: Some(ContractComponentKind::EmergencyDr),
+                amount: assessment.total_penalty,
+            });
+        }
+        if self.monthly_fee > Money::ZERO {
+            let months = self.months_covered(load);
+            items.push(LineItem {
+                label: format!("Service fee ({months} months)"),
+                kind: None,
+                amount: self.monthly_fee * months as f64,
+            });
+        }
+        Ok(Bill {
+            contract: self.name.clone(),
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::BillingEngine;
+    use crate::tariff::TouTariff;
+    use hpcgrid_timeseries::series::Series;
+    use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Power};
+
+    fn load_15min(days: u64, mw: f64) -> PowerSeries {
+        Series::constant(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            Power::from_megawatts(mw),
+            (days * 96) as usize,
+        )
+        .unwrap()
+    }
+
+    fn tou_contract() -> Contract {
+        Contract::builder("tou")
+            .tariff(Tariff::TimeOfUse(TouTariff::day_night(
+                EnergyPrice::per_kilowatt_hour(0.20),
+                EnergyPrice::per_kilowatt_hour(0.05),
+            )))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .monthly_fee(Money::from_dollars(1_000.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_exactly() {
+        let cal = Calendar::default();
+        let load = load_15min(40, 8.0);
+        let engine = BillingEngine::new(cal);
+        let compiled =
+            CompiledContract::compile(&cal, &tou_contract(), load.start(), load.end()).unwrap();
+        let a = engine.bill(&tou_contract(), &load).unwrap();
+        let b = compiled.bill(&load).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeline_merges_constant_prices() {
+        let cal = Calendar::default();
+        let c = Contract::builder("fixed")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .build()
+            .unwrap();
+        let compiled =
+            CompiledContract::compile(&cal, &c, SimTime::EPOCH, SimTime::from_days(365)).unwrap();
+        assert_eq!(compiled.segment_count(), 1);
+        assert_eq!(compiled.month_count(), 12);
+    }
+
+    #[test]
+    fn rejects_loads_outside_horizon() {
+        let cal = Calendar::default();
+        let compiled = CompiledContract::compile(
+            &cal,
+            &tou_contract(),
+            SimTime::EPOCH,
+            SimTime::from_days(10),
+        )
+        .unwrap();
+        let outside = load_15min(20, 5.0);
+        assert!(matches!(
+            compiled.bill(&outside),
+            Err(CoreError::BadSeries(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_horizon_and_empty_load() {
+        let cal = Calendar::default();
+        assert!(
+            CompiledContract::compile(&cal, &tou_contract(), SimTime::EPOCH, SimTime::EPOCH)
+                .is_err()
+        );
+        let compiled =
+            CompiledContract::compile(&cal, &tou_contract(), SimTime::EPOCH, SimTime::from_days(1))
+                .unwrap();
+        let empty = PowerSeries::new(SimTime::EPOCH, Duration::from_hours(1.0), vec![]).unwrap();
+        assert!(compiled.bill(&empty).is_err());
+    }
+
+    #[test]
+    fn mid_horizon_load_bills_identically() {
+        // Compile a wide horizon; bill a load that starts mid-February.
+        let cal = Calendar::default();
+        let engine = BillingEngine::new(cal);
+        let load = Series::constant(
+            SimTime::from_days(45) + Duration::from_hours(7.0),
+            Duration::from_minutes(15.0),
+            Power::from_megawatts(6.0),
+            50 * 96,
+        )
+        .unwrap();
+        let compiled = CompiledContract::compile(
+            &cal,
+            &tou_contract(),
+            SimTime::EPOCH,
+            SimTime::from_days(365),
+        )
+        .unwrap();
+        assert_eq!(
+            engine.bill(&tou_contract(), &load).unwrap(),
+            compiled.bill(&load).unwrap()
+        );
+    }
+}

@@ -81,7 +81,7 @@ impl DemandCharge {
     }
 
     /// Billed demand of one period's load slice.
-    fn billed_demand(&self, slice: &PowerSeries) -> Result<Power> {
+    pub(crate) fn billed_demand(&self, slice: &PowerSeries) -> Result<Power> {
         let demand = match self.basis {
             DemandBasis::MaxPeak => {
                 peaks::max_demand(slice, self.demand_interval)
@@ -107,27 +107,14 @@ impl DemandCharge {
         if load.is_empty() {
             return Ok(Vec::new());
         }
-        // Split the load at billing-month boundaries.
+        // Split the load at billing-month boundaries: one O(1) calendar
+        // step per month instead of re-scanning samples.
         let mut out = Vec::new();
         let mut cursor = load.start();
         let end = load.end();
         while cursor < end {
             let month = cal.billing_month(cursor);
-            // Find the end of this month: scan forward day by day (months
-            // are at least 28 days, so jump conservatively).
-            let mut probe = cursor;
-            while probe < end && cal.billing_month(probe) == month {
-                probe += Duration::from_days(1);
-            }
-            // Snap back to the exact boundary by scanning hours.
-            let mut boundary = probe.min(end);
-            if boundary < end {
-                let mut t = probe - Duration::from_days(1);
-                while cal.billing_month(t) == month {
-                    t += Duration::from_hours(1.0);
-                }
-                boundary = t;
-            }
+            let boundary = cal.next_month_start(cursor).min(end);
             let slice = load.slice_time(cursor, boundary);
             if !slice.is_empty() {
                 let billed = self.billed_demand(&slice)?;

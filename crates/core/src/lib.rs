@@ -24,6 +24,7 @@
 
 pub mod billing;
 pub mod compare;
+pub mod compiled;
 pub mod contract;
 pub mod demand_charge;
 pub mod emergency;
@@ -34,6 +35,7 @@ pub mod tariff;
 pub mod typology;
 
 pub use billing::{Bill, BillingEngine};
+pub use compiled::CompiledContract;
 pub use contract::{Contract, ContractBuilder};
 pub use demand_charge::DemandCharge;
 pub use emergency::EmergencyDrClause;
@@ -52,6 +54,8 @@ pub enum CoreError {
     BadSeries(String),
     /// Survey analysis error.
     BadSurvey(String),
+    /// A worker task panicked during a parallel batch billing run.
+    BatchPanic(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -61,6 +65,7 @@ impl std::fmt::Display for CoreError {
             CoreError::NoTariff => write!(f, "contract has no tariff component"),
             CoreError::BadSeries(d) => write!(f, "bad series: {d}"),
             CoreError::BadSurvey(d) => write!(f, "bad survey data: {d}"),
+            CoreError::BatchPanic(d) => write!(f, "batch billing worker panicked: {d}"),
         }
     }
 }

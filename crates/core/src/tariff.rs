@@ -16,7 +16,9 @@
 
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
-use hpcgrid_units::{Calendar, Duration, EnergyPrice, Money, Month, SimTime, TimeOfDay, Weekday};
+use hpcgrid_units::{
+    Calendar, Duration, EnergyPrice, Money, MonthSet, SimTime, TimeOfDay, Weekday,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which days a TOU window applies to.
@@ -46,7 +48,7 @@ impl DayFilter {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TouWindow {
     /// Months the window applies to (`None` = all year).
-    pub months: Option<Vec<Month>>,
+    pub months: Option<MonthSet>,
     /// Day filter.
     pub days: DayFilter,
     /// Window start (inclusive).
@@ -60,8 +62,8 @@ pub struct TouWindow {
 impl TouWindow {
     /// Does the window cover civil time `t` under `cal`?
     pub fn covers(&self, cal: &Calendar, t: SimTime) -> bool {
-        if let Some(months) = &self.months {
-            if !months.contains(&cal.month(t)) {
+        if let Some(months) = self.months {
+            if !months.contains(cal.month(t)) {
                 return false;
             }
         }
@@ -111,12 +113,7 @@ impl TouTariff {
     pub fn summer_peak(peak: EnergyPrice, base: EnergyPrice) -> TouTariff {
         TouTariff {
             windows: vec![TouWindow {
-                months: Some(vec![
-                    Month::June,
-                    Month::July,
-                    Month::August,
-                    Month::September,
-                ]),
+                months: Some(MonthSet::summer()),
                 days: DayFilter::WeekdaysOnly,
                 from: TimeOfDay::new(12, 0),
                 to: TimeOfDay::new(18, 0),
@@ -336,7 +333,7 @@ impl Tariff {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcgrid_units::Power;
+    use hpcgrid_units::{Month, Power};
 
     fn cal() -> Calendar {
         Calendar::default()

@@ -47,7 +47,7 @@ pub use money::Money;
 pub use power::Power;
 pub use price::{DemandPrice, EnergyPrice};
 pub use ratio::Ratio;
-pub use time::{Calendar, Duration, Month, SimTime, TimeOfDay, Weekday};
+pub use time::{Calendar, Duration, Month, MonthSet, SimTime, TimeOfDay, Weekday};
 
 /// Errors produced when constructing or combining quantities.
 #[derive(Debug, Clone, PartialEq, Eq)]

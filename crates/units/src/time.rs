@@ -401,6 +401,86 @@ impl Month {
             Month::June | Month::July | Month::August | Month::September
         )
     }
+
+    /// This month's bit in a 12-bit month mask (January = bit 0).
+    #[inline]
+    pub fn bit(self) -> u16 {
+        1 << self.index()
+    }
+}
+
+/// A set of months as a 12-bit mask (January = bit 0), replacing linear
+/// `Vec<Month>` scans in TOU-window coverage checks with a single AND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+#[serde(transparent)]
+pub struct MonthSet(u16);
+
+impl MonthSet {
+    /// Mask of all twelve months.
+    pub const ALL_MASK: u16 = 0x0FFF;
+
+    /// The empty set.
+    pub const EMPTY: MonthSet = MonthSet(0);
+
+    /// Every month of the year.
+    pub const ALL: MonthSet = MonthSet(Self::ALL_MASK);
+
+    /// The set containing exactly the given months.
+    pub fn of(months: &[Month]) -> MonthSet {
+        MonthSet(months.iter().fold(0, |mask, m| mask | m.bit()))
+    }
+
+    /// June–September, the typical US summer-peak season.
+    pub fn summer() -> MonthSet {
+        MonthSet::of(&[Month::June, Month::July, Month::August, Month::September])
+    }
+
+    /// The raw 12-bit mask.
+    #[inline]
+    pub const fn mask(self) -> u16 {
+        self.0 & Self::ALL_MASK
+    }
+
+    /// Does the set contain `month`? A single AND — no scan.
+    #[inline]
+    pub fn contains(self, month: Month) -> bool {
+        self.0 & month.bit() != 0
+    }
+
+    /// True if no month is in the set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 & Self::ALL_MASK == 0
+    }
+
+    /// Number of months in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        (self.0 & Self::ALL_MASK).count_ones() as usize
+    }
+
+    /// Add a month, returning the enlarged set.
+    #[inline]
+    #[must_use]
+    pub fn with(self, month: Month) -> MonthSet {
+        MonthSet(self.0 | month.bit())
+    }
+
+    /// The months in the set, in calendar order.
+    pub fn months(self) -> Vec<Month> {
+        Month::ALL
+            .iter()
+            .copied()
+            .filter(|m| self.contains(*m))
+            .collect()
+    }
+}
+
+impl FromIterator<Month> for MonthSet {
+    fn from_iter<I: IntoIterator<Item = Month>>(iter: I) -> MonthSet {
+        iter.into_iter().fold(MonthSet::EMPTY, |set, m| set.with(m))
+    }
 }
 
 /// A time of day with minute resolution, for defining TOU windows.
@@ -530,6 +610,26 @@ impl Calendar {
     #[inline]
     pub fn hour_of_day(&self, t: SimTime) -> u8 {
         ((t.as_secs() % SECS_PER_DAY) / SECS_PER_HOUR) as u8
+    }
+
+    /// Day-of-month (0-based) of the timestamp.
+    pub fn day_of_month(&self, t: SimTime) -> u64 {
+        let mut doy = self.day_of_year(t);
+        for m in Month::ALL {
+            if doy < m.days() {
+                return doy;
+            }
+            doy -= m.days();
+        }
+        unreachable!("day_of_year is always < 365")
+    }
+
+    /// The first instant of the billing month after the one containing `t`:
+    /// the midnight at which [`Calendar::billing_month`] next increments.
+    /// O(1) in the time distance — no day-by-day or hour-by-hour scanning.
+    pub fn next_month_start(&self, t: SimTime) -> SimTime {
+        let days_left = self.month(t).days() - self.day_of_month(t);
+        SimTime::from_days(self.day_number(t) + days_left)
     }
 
     /// Billing-month index (0-based) of the timestamp: the number of calendar
@@ -699,5 +799,96 @@ mod tests {
     fn summer_months() {
         assert!(Month::July.is_summer());
         assert!(!Month::December.is_summer());
+    }
+
+    #[test]
+    fn month_bits_are_distinct() {
+        let mut seen = 0u16;
+        for m in Month::ALL {
+            assert_eq!(m.bit().count_ones(), 1);
+            assert_eq!(seen & m.bit(), 0, "bit collision at {m:?}");
+            seen |= m.bit();
+        }
+        assert_eq!(seen, MonthSet::ALL_MASK);
+    }
+
+    #[test]
+    fn month_set_matches_vec_contains() {
+        let months = [Month::June, Month::July, Month::August, Month::September];
+        let set = MonthSet::of(&months);
+        for m in Month::ALL {
+            assert_eq!(set.contains(m), months.contains(&m), "{m:?}");
+        }
+        assert_eq!(set, MonthSet::summer());
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.months(), months.to_vec());
+        assert!(MonthSet::EMPTY.is_empty());
+        assert!(!MonthSet::ALL.is_empty());
+        assert_eq!(MonthSet::ALL.len(), 12);
+        for m in Month::ALL {
+            assert!(MonthSet::ALL.contains(m));
+        }
+    }
+
+    #[test]
+    fn month_set_builders() {
+        let set: MonthSet = [Month::January, Month::December].into_iter().collect();
+        assert!(set.contains(Month::January));
+        assert!(set.contains(Month::December));
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            MonthSet::EMPTY.with(Month::May),
+            MonthSet::of(&[Month::May])
+        );
+    }
+
+    #[test]
+    fn day_of_month_tracks_calendar() {
+        let cal = Calendar::default();
+        assert_eq!(cal.day_of_month(SimTime::EPOCH), 0);
+        assert_eq!(cal.day_of_month(SimTime::from_days(30)), 30); // Jan 31
+        assert_eq!(cal.day_of_month(SimTime::from_days(31)), 0); // Feb 1
+        let mid = Calendar::new(Weekday::Wednesday, Month::June, 15).unwrap();
+        assert_eq!(mid.day_of_month(SimTime::EPOCH), 14); // June 15, 0-based
+    }
+
+    #[test]
+    fn next_month_start_lands_on_boundary() {
+        let cal = Calendar::default();
+        // From anywhere in January (even mid-day) → Feb 1 midnight.
+        let feb1 = SimTime::from_days(31);
+        assert_eq!(cal.next_month_start(SimTime::EPOCH), feb1);
+        assert_eq!(
+            cal.next_month_start(SimTime::from_days(30) + Duration::from_hours(13.5)),
+            feb1
+        );
+        // Exactly at a boundary → the boundary after it.
+        assert_eq!(cal.next_month_start(feb1), SimTime::from_days(59));
+        // Consistency with billing_month across two years of walking.
+        let mut cursor = SimTime::EPOCH;
+        let mut months = 0u64;
+        while cursor < SimTime::from_days(2 * 365) {
+            let next = cal.next_month_start(cursor);
+            assert!(next > cursor);
+            assert_eq!(cal.billing_month(next), cal.billing_month(cursor) + 1);
+            assert_eq!(
+                cal.billing_month(next - Duration::from_secs(1)),
+                cal.billing_month(cursor)
+            );
+            cursor = next;
+            months += 1;
+        }
+        assert_eq!(months, 24);
+    }
+
+    #[test]
+    fn next_month_start_mid_year_anchor() {
+        let cal = Calendar::new(Weekday::Wednesday, Month::June, 15).unwrap();
+        // June 15 anchor: July 1 is 16 days in.
+        assert_eq!(cal.next_month_start(SimTime::EPOCH), SimTime::from_days(16));
+        assert_eq!(
+            cal.next_month_start(SimTime::from_days(16)),
+            SimTime::from_days(16 + 31)
+        );
     }
 }
