@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpcgrid_core::billing::BillingEngine;
-use hpcgrid_core::contract::Contract;
+use hpcgrid_core::contract::{Contract, ContractDelta};
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::powerband::Powerband;
 use hpcgrid_core::tariff::{DayFilter, Tariff, TouTariff, TouWindow};
@@ -173,5 +173,102 @@ fn bench_compiled(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_billing, bench_compiled);
+/// A month-coverage hourly strip whose level varies by revision index, like
+/// a day-ahead republication.
+fn revision_strip(revision: usize) -> PriceSeries {
+    let offset = 0.002 * (revision % 17) as f64;
+    Series::from_fn(SimTime::EPOCH, Duration::from_hours(1.0), 30 * 24, |t| {
+        let h = (t.as_secs() % 86_400) as f64 / 3_600.0;
+        EnergyPrice::per_kilowatt_hour(
+            0.05 + offset + 0.03 * (h / 24.0 * std::f64::consts::TAU).sin().abs(),
+        )
+    })
+    .unwrap()
+}
+
+fn bench_patch(c: &mut Criterion) {
+    let cal = Calendar::default();
+    let engine = BillingEngine::new(cal);
+    // The rich sweep contract from `exp_billing_kernel`: four tariffs plus
+    // demand charge. A market revision touches only tariff index 3 (the
+    // dynamic strip); the patch path re-lowers that one piece and shares the
+    // rest, while the recompile path re-lowers everything over the year.
+    let dynamic_index = 3;
+    let base_strip = revision_strip(0);
+    let contract = Contract::builder("rich")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.015)))
+        .tariff(Tariff::TimeOfUse(TouTariff {
+            windows: vec![
+                TouWindow {
+                    months: Some(MonthSet::summer()),
+                    days: DayFilter::WeekdaysOnly,
+                    from: TimeOfDay::new(14, 0),
+                    to: TimeOfDay::new(20, 0),
+                    price: EnergyPrice::per_kilowatt_hour(0.24),
+                },
+                TouWindow {
+                    months: None,
+                    days: DayFilter::All,
+                    from: TimeOfDay::new(22, 0),
+                    to: TimeOfDay::new(7, 0),
+                    price: EnergyPrice::per_kilowatt_hour(0.04),
+                },
+            ],
+            base: EnergyPrice::per_kilowatt_hour(0.08),
+        }))
+        .tariff(Tariff::day_night(
+            EnergyPrice::per_kilowatt_hour(0.03),
+            EnergyPrice::per_kilowatt_hour(0.012),
+        ))
+        .tariff(Tariff::dynamic(
+            base_strip,
+            EnergyPrice::per_kilowatt_hour(0.01),
+            EnergyPrice::per_kilowatt_hour(0.08),
+        ))
+        .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+        .build()
+        .unwrap();
+    let year_end = SimTime::from_days(365);
+    let kernel = engine.compile(&contract, SimTime::EPOCH, year_end).unwrap();
+    let strips: Vec<PriceSeries> = (1..65).map(revision_strip).collect();
+
+    let mut g = c.benchmark_group("patch_vs_recompile");
+    g.sample_size(20);
+    g.bench_function("recompile_year_kernel", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let strip = &strips[i % strips.len()];
+            i += 1;
+            let revised = contract
+                .apply(&ContractDelta::price_strip(dynamic_index, strip.clone()))
+                .unwrap();
+            black_box(engine.compile(&revised, SimTime::EPOCH, year_end).unwrap())
+        })
+    });
+    g.bench_function("patch_with_price_strip", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let strip = &strips[i % strips.len()];
+            i += 1;
+            black_box(kernel.with_price_strip(strip).unwrap())
+        })
+    });
+    g.bench_function("patch_set_demand_charge", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let rate = 6.0 + (i % 8) as f64;
+            i += 1;
+            black_box(
+                kernel
+                    .patch(&ContractDelta::SetDemandCharge(Some(
+                        DemandCharge::monthly(DemandPrice::per_kilowatt_month(rate)),
+                    )))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_billing, bench_compiled, bench_patch);
 criterion_main!(benches);

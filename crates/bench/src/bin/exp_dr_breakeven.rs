@@ -11,13 +11,15 @@
 
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::contract::ContractDelta;
+use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_dr::breakeven::{breakeven, DepreciationModel};
 use hpcgrid_dr::event::{simulate_events, ResponseStrategy};
 use hpcgrid_dr::program::CurtailmentProgram;
 use hpcgrid_engine::ScenarioSpec;
 use hpcgrid_scheduler::policy::Policy;
 use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
-use hpcgrid_units::{Duration, EnergyPrice, Money, Power, SimTime};
+use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One point of the E4a incentive sweep.
@@ -247,6 +249,84 @@ fn main() {
         "Even at a generous $0.50/kWh, a month of weekly 4-hour events earns \
          {revenue_cap} for the responding site — against a flagship's ~$40 k/day \
          depreciation, confirming the paper's 'incentive too low' conclusion."
+    );
+
+    // E4c — demand-charge sensitivity on the patch path. The demand charge
+    // dominates the incentive calculus (see exp_demand_charge_share), so
+    // sweep its rate by patching the already-compiled typical kernel:
+    // `patch(SetDemandCharge)` swaps one scalar piece and shares every
+    // lowered tariff timeline with the base kernel by reference.
+    println!("\n== E4c: demand-charge rate sweep via compiled-kernel patch ==\n");
+    let (_, baseline_load) = reference_run(13);
+    let base_hex = compiled_typical.fingerprint().to_hex();
+    let rates = [0.0, 6.0, 12.0, 18.0, 24.0];
+    let delta_for = |rate: f64| -> ContractDelta {
+        if rate == 0.0 {
+            ContractDelta::SetDemandCharge(None)
+        } else {
+            ContractDelta::SetDemandCharge(Some(DemandCharge::monthly(
+                DemandPrice::per_kilowatt_month(rate),
+            )))
+        }
+    };
+    let rate_specs: Vec<ScenarioSpec> = rates
+        .iter()
+        .map(|rate| {
+            experiment_spec("dr_demand_charge", 13)
+                .base_contract(base_hex.clone())
+                .delta(delta_for(*rate).label())
+                .param("rate", *rate)
+                .build()
+        })
+        .collect();
+    let mut rate_runner = experiment_runner::<(f64, f64)>();
+    let rate_outcome = rate_runner.run(&rate_specs, |ctx| {
+        let patched = compiled_typical
+            .patch(&delta_for(ctx.spec.param_f64("rate")?))
+            .map_err(|e| e.to_string())?;
+        let bill = patched.bill(&baseline_load).map_err(|e| e.to_string())?;
+        Ok((bill.total().as_dollars(), bill.demand_share()))
+    });
+    println!(
+        "sweep engine report:\n{}",
+        rate_outcome.report.summary_table()
+    );
+    let rate_results = rate_outcome.expect_all("demand-charge rate sweep");
+    let mut t3 = TextTable::new(vec!["$/kW-month", "bill (30 days)", "demand share"]);
+    for (rate, (total, share)) in rates.iter().zip(rate_results.iter()) {
+        t3.row(vec![
+            format!("{rate:.0}"),
+            format!("${total:.2}"),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    println!("{}", t3.render());
+
+    // Sampled bit-identity check: a patched kernel must bill exactly like a
+    // fresh compile of the modified contract.
+    let sampled_delta = delta_for(rates[4]);
+    let patched = compiled_typical
+        .patch(&sampled_delta)
+        .expect("patch succeeds");
+    let fresh = compile_contract(
+        &typical_contract()
+            .apply(&sampled_delta)
+            .expect("delta applies"),
+        SimTime::EPOCH,
+        SimTime::from_days(2 * HORIZON_DAYS),
+    );
+    assert_eq!(
+        patched.bill(&baseline_load).expect("patched bill"),
+        fresh.bill(&baseline_load).expect("fresh bill"),
+        "patched kernel must be bit-identical to full recompilation"
+    );
+    // The demand share must rise monotonically with the rate.
+    for pair in rate_results.windows(2) {
+        assert!(pair[0].1 <= pair[1].1, "demand share must grow with rate");
+    }
+    println!(
+        "bit-identity: patch at ${}/kW-mo == fresh recompile ✓",
+        rates[4]
     );
     println!("E4 OK");
 }

@@ -5,7 +5,7 @@
 //! and results are comparable across experiment binaries.
 //!
 //! Experiments that sweep a parameter axis do so through the
-//! `hpcgrid-engine` orchestration layer: build [`ScenarioSpec`]s with
+//! `hpcgrid-engine` orchestration layer: build [`hpcgrid_engine::ScenarioSpec`]s with
 //! [`experiment_spec`], run them on an [`experiment_runner`], and print the
 //! engine's `RunReport` next to the result table. Set `HPCGRID_SWEEP_CACHE`
 //! to a directory to persist results between runs (re-running an experiment

@@ -142,6 +142,40 @@ impl BillingEngine {
     /// contract is compiled once over the union of the load horizons, then
     /// evaluation fans out across threads. Bills are returned in load order
     /// and are bit-identical to billing each load with [`BillingEngine::bill`].
+    ///
+    /// ```
+    /// use hpcgrid_core::billing::BillingEngine;
+    /// use hpcgrid_core::contract::Contract;
+    /// use hpcgrid_core::tariff::Tariff;
+    /// use hpcgrid_timeseries::series::Series;
+    /// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+    ///
+    /// let contract = Contract::builder("flat")
+    ///     .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.05)))
+    ///     .build()?;
+    /// let engine = BillingEngine::new(Calendar::default());
+    ///
+    /// // Three day-long loads at 1, 2, and 3 MW.
+    /// let loads: Vec<_> = (1..=3)
+    ///     .map(|mw| {
+    ///         Series::constant(
+    ///             SimTime::from_days(mw),
+    ///             Duration::from_hours(1.0),
+    ///             Power::from_megawatts(mw as f64),
+    ///             24,
+    ///         )
+    ///     })
+    ///     .collect::<Result<_, _>>()?;
+    ///
+    /// let bills = engine.bill_many(&contract, &loads)?;
+    /// for (mw, bill) in (1..=3).zip(&bills) {
+    ///     // mw MW · 24 h · 0.05 $/kWh, and identical to the one-load path.
+    ///     let expected = mw as f64 * 1_000.0 * 24.0 * 0.05;
+    ///     assert!((bill.total().as_dollars() - expected).abs() < 1e-9);
+    ///     assert_eq!(bill, &engine.bill(&contract, &loads[mw - 1])?);
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn bill_many(&self, contract: &Contract, loads: &[PowerSeries]) -> Result<Vec<Bill>> {
         self.bill_many_with_events(contract, loads, &IntervalSet::empty())
     }

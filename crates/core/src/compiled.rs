@@ -1,4 +1,5 @@
-//! The compiled billing kernel: contracts lowered to flat segment timelines.
+//! The compiled billing kernel: contracts lowered to flat segment timelines,
+//! with incremental recompilation for sweep workloads.
 //!
 //! [`crate::billing::BillingEngine::bill`] re-derives civil-calendar facts for
 //! every sample — `Calendar::month`, `weekday`, `time_of_day` per interval in
@@ -15,26 +16,49 @@
 //!   horizon, shared by demand-charge bucketing, block-tariff bucketing, and
 //!   the service-fee month count.
 //!
+//! # Incremental recompilation
+//!
+//! Each lowered tariff is an independent **piece** held behind an [`Arc`] and
+//! keyed by a [`ComponentFingerprint`] of its source component. Sweep-style
+//! workloads (the paper's procurement auctions; TARDIS-style multi-center
+//! cost optimization) mutate one component per scenario, so
+//! [`CompiledContract::patch`] re-lowers *only* the changed piece and shares
+//! the rest by reference count — a thousand scenario variants of a rich
+//! contract hold one copy of every unchanged timeline. Market-price
+//! revisions go through [`CompiledContract::with_price_strip`], which lowers
+//! the dynamic tariff's markup/fallback logic into a fresh strip timeline at
+//! strip resolution (a tight segment splice with no calendar calls) and
+//! leaves every other piece untouched.
+//!
+//! # Bit-identical billing
+//!
 //! Evaluation is **bit-identical** to the interpreted path: segment prices
-//! are computed with the same `price_at` calls the interpreter would make,
-//! and every floating-point accumulation replicates the interpreter's
-//! expression shape and summation order (see `compiled_equivalence`
-//! integration tests). Compilation costs one `price_at` call per candidate
-//! breakpoint (a few per day of horizon), so it amortizes after roughly two
-//! bills per contract, or a single bill over a month-scale series.
+//! are computed with the same `price_at` expressions the interpreter would
+//! use, and every floating-point accumulation replicates the interpreter's
+//! expression shape and summation order (see the `compiled_equivalence`
+//! integration tests). The same holds for every patched kernel: `patch` and
+//! `with_price_strip` produce kernels equal to a fresh
+//! [`CompiledContract::compile`] of [`Contract::apply`]'s output (see the
+//! `patch_equivalence` property tests), because pieces are lowered by one
+//! shared routine and unchanged pieces are reused verbatim. Compilation
+//! costs one `price_at` call per candidate breakpoint (a few per day of
+//! horizon), so it amortizes after roughly two bills per contract — and a
+//! patch amortizes immediately.
 
 use crate::billing::{Bill, LineItem};
-use crate::contract::Contract;
+use crate::contract::{Contract, ContractDelta};
 use crate::demand_charge::{DemandAssessment, DemandCharge};
 use crate::emergency::EmergencyDrClause;
+use crate::fingerprint::{self, ComponentFingerprint};
 use crate::powerband::Powerband;
-use crate::tariff::{BlockTariff, Tariff};
+use crate::tariff::{BlockTariff, DynamicTariff, Tariff};
 use crate::typology::ContractComponentKind;
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::intervals::IntervalSet;
-use hpcgrid_timeseries::series::PowerSeries;
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::time::SECS_PER_DAY;
 use hpcgrid_units::{Calendar, Money, SimTime};
+use std::sync::Arc;
 
 /// A piecewise-constant price timeline: segment `i` covers
 /// `[breaks[i], breaks[i+1])` (the last segment extends to the compile
@@ -86,16 +110,7 @@ impl PriceTimeline {
                     }
                 }
             }
-            Tariff::Dynamic(d) => {
-                let step = d.prices.step().as_secs();
-                let strip_start = d.prices.start().as_secs();
-                for i in 0..=d.prices.len() as u64 {
-                    let cut = strip_start + i * step;
-                    if cut > s0 && cut < e {
-                        cuts.push(cut);
-                    }
-                }
-            }
+            Tariff::Dynamic(d) => return PriceTimeline::compile_dynamic(d, start, end),
             Tariff::Block(_) => unreachable!("block tariffs are not strip-compiled"),
         }
         let mut breaks = vec![s0];
@@ -111,6 +126,45 @@ impl PriceTimeline {
                 prices.push(p);
             }
         }
+        PriceTimeline { breaks, prices }
+    }
+
+    /// Lower a dynamic tariff's markup/fallback logic into the strip
+    /// timeline at strip resolution: one candidate breakpoint per strip
+    /// interval edge, priced `values[i] + markup` inside the strip and
+    /// `fallback` outside — the exact `f64` expressions of
+    /// [`DynamicTariff::price_at`], with no calendar calls and no per-cut
+    /// index division. This single routine serves both full compilation and
+    /// the [`CompiledContract::with_price_strip`] splice, which is what
+    /// makes a market-price revision bit-identical to a recompile.
+    fn compile_dynamic(d: &DynamicTariff, start: SimTime, end: SimTime) -> PriceTimeline {
+        let s0 = start.as_secs();
+        let e = end.as_secs();
+        let step = d.prices.step().as_secs();
+        let strip_start = d.prices.start().as_secs();
+        let n = d.prices.len();
+        let values = d.prices.values();
+        let markup = d.markup;
+        let fallback = d.fallback.as_dollars_per_kilowatt_hour();
+        let mut breaks = vec![s0];
+        let mut prices = vec![d.price_at(start).as_dollars_per_kilowatt_hour()];
+        let push = |cut: u64, p: f64, breaks: &mut Vec<u64>, prices: &mut Vec<f64>| {
+            if cut > s0 && cut < e && p.to_bits() != prices[prices.len() - 1].to_bits() {
+                breaks.push(cut);
+                prices.push(p);
+            }
+        };
+        for (i, v) in values.iter().enumerate() {
+            let cut = strip_start + i as u64 * step;
+            let p = (*v + markup).as_dollars_per_kilowatt_hour();
+            push(cut, p, &mut breaks, &mut prices);
+        }
+        push(
+            strip_start + n as u64 * step,
+            fallback,
+            &mut breaks,
+            &mut prices,
+        );
         PriceTimeline { breaks, prices }
     }
 
@@ -151,27 +205,56 @@ impl PriceTimeline {
     }
 }
 
-/// One lowered energy-tariff component.
+/// The lowered form of one tariff component.
 #[derive(Debug, Clone, PartialEq)]
-enum CompiledTariff {
+enum LoweredTariff {
     /// Fixed, TOU, and dynamic tariffs lower to a price timeline.
-    Strip {
-        kind: ContractComponentKind,
-        timeline: PriceTimeline,
-    },
+    Strip(PriceTimeline),
     /// Block tariffs keep their schedule (the marginal price depends on
     /// cumulative monthly volume, not time) but bucket through the shared
     /// month-boundary index.
     Block(BlockTariff),
 }
 
+/// One compiled tariff piece: the source component, its fingerprint (the
+/// piece's cache key), and its lowered form. Pieces are immutable and shared
+/// behind [`Arc`] — patching a contract clones `Arc`s, not timelines.
+#[derive(Debug, PartialEq)]
+struct CompiledTariff {
+    source: Tariff,
+    fingerprint: ComponentFingerprint,
+    lowered: LoweredTariff,
+}
+
 impl CompiledTariff {
     fn kind(&self) -> ContractComponentKind {
-        match self {
-            CompiledTariff::Strip { kind, .. } => *kind,
-            CompiledTariff::Block(_) => ContractComponentKind::FixedTariff,
-        }
+        self.source.kind()
     }
+}
+
+/// Lower one tariff component into a shared piece. The single lowering
+/// routine used by [`CompiledContract::compile`] and
+/// [`CompiledContract::patch`]: a piece depends only on
+/// `(calendar, tariff, start, end)`, so a reused piece is byte-for-byte what
+/// a recompile would have produced.
+fn lower_tariff(
+    cal: &Calendar,
+    tariff: &Tariff,
+    start: SimTime,
+    end: SimTime,
+) -> Result<Arc<CompiledTariff>> {
+    let lowered = match tariff {
+        Tariff::Block(b) => {
+            b.validate()?;
+            LoweredTariff::Block(b.clone())
+        }
+        other => LoweredTariff::Strip(PriceTimeline::compile(cal, other, start, end)),
+    };
+    Ok(Arc::new(CompiledTariff {
+        fingerprint: fingerprint::of_tariff(tariff),
+        source: tariff.clone(),
+        lowered,
+    }))
 }
 
 /// A contract lowered against a calendar and a `[start, end)` horizon.
@@ -181,16 +264,47 @@ impl CompiledTariff {
 /// tariffs, service fees) is binary search + cursor walk over the
 /// precomputed month-boundary index. Results are bit-identical to
 /// [`crate::billing::BillingEngine`].
+///
+/// # Example: compile once, bill
+///
+/// ```
+/// use hpcgrid_core::compiled::CompiledContract;
+/// use hpcgrid_core::contract::Contract;
+/// use hpcgrid_core::tariff::Tariff;
+/// use hpcgrid_timeseries::series::Series;
+/// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+///
+/// let contract = Contract::builder("flat")
+///     .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+///     .build()?;
+/// let cal = Calendar::default();
+/// let compiled =
+///     CompiledContract::compile(&cal, &contract, SimTime::EPOCH, SimTime::from_days(30))?;
+///
+/// // 24 hours at a constant 8 MW: 8000 kW · 24 h · 0.07 $/kWh.
+/// let load = Series::constant(
+///     SimTime::EPOCH,
+///     Duration::from_hours(1.0),
+///     Power::from_megawatts(8.0),
+///     24,
+/// )?;
+/// let bill = compiled.bill(&load)?;
+/// assert!((bill.total().as_dollars() - 8_000.0 * 24.0 * 0.07).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledContract {
     name: String,
+    /// The calendar the kernel was lowered under; kept so `patch` can
+    /// re-lower a single piece under identical conditions.
+    calendar: Calendar,
     start: SimTime,
     end: SimTime,
     /// Billing-month index of `start`.
     first_month: u64,
     /// Month-start midnights strictly inside `(start, end)`, in seconds.
     month_starts: Vec<u64>,
-    tariffs: Vec<CompiledTariff>,
+    tariffs: Vec<Arc<CompiledTariff>>,
     demand_charge: Option<DemandCharge>,
     powerband: Option<Powerband>,
     emergency: Option<EmergencyDrClause>,
@@ -225,16 +339,7 @@ impl CompiledContract {
         }
         let mut tariffs = Vec::with_capacity(contract.tariffs.len());
         for tariff in &contract.tariffs {
-            tariffs.push(match tariff {
-                Tariff::Block(b) => {
-                    b.validate()?;
-                    CompiledTariff::Block(b.clone())
-                }
-                other => CompiledTariff::Strip {
-                    kind: other.kind(),
-                    timeline: PriceTimeline::compile(calendar, other, start, end),
-                },
-            });
+            tariffs.push(lower_tariff(calendar, tariff, start, end)?);
         }
         if let Some(dc) = &contract.demand_charge {
             dc.validate()?;
@@ -244,6 +349,7 @@ impl CompiledContract {
         }
         Ok(CompiledContract {
             name: contract.name.clone(),
+            calendar: *calendar,
             start,
             end,
             first_month: calendar.billing_month(start),
@@ -256,9 +362,233 @@ impl CompiledContract {
         })
     }
 
+    /// Re-lower only the component changed by `delta`, sharing every other
+    /// piece with `self` by reference count.
+    ///
+    /// The patched kernel equals a fresh [`CompiledContract::compile`] of
+    /// [`Contract::apply`]'s output — bills are bit-identical — but the work
+    /// is proportional to the changed component alone. A replacement tariff
+    /// whose [`ComponentFingerprint`] matches the piece already in place
+    /// reuses that piece outright. Non-tariff deltas (demand charge,
+    /// powerband, emergency clause, service fee) never touch a timeline:
+    /// those components are interpreted against the shared month-boundary
+    /// index, so the patch is a validated field write.
+    ///
+    /// ```
+    /// use hpcgrid_core::compiled::CompiledContract;
+    /// use hpcgrid_core::contract::{Contract, ContractDelta};
+    /// use hpcgrid_core::demand_charge::DemandCharge;
+    /// use hpcgrid_core::tariff::Tariff;
+    /// use hpcgrid_timeseries::series::Series;
+    /// use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Power, SimTime};
+    ///
+    /// let base = Contract::builder("base")
+    ///     .tariff(Tariff::day_night(
+    ///         EnergyPrice::per_kilowatt_hour(0.20),
+    ///         EnergyPrice::per_kilowatt_hour(0.05),
+    ///     ))
+    ///     .build()?;
+    /// let cal = Calendar::default();
+    /// let horizon_end = SimTime::from_days(30);
+    /// let compiled = CompiledContract::compile(&cal, &base, SimTime::EPOCH, horizon_end)?;
+    ///
+    /// // One scenario of a demand-charge sweep: patch, don't recompile.
+    /// let delta = ContractDelta::SetDemandCharge(Some(DemandCharge::monthly(
+    ///     DemandPrice::per_kilowatt_month(12.0),
+    /// )));
+    /// let patched = compiled.patch(&delta)?;
+    ///
+    /// // Bit-identical to compiling the mutated contract from scratch.
+    /// let recompiled =
+    ///     CompiledContract::compile(&cal, &base.apply(&delta)?, SimTime::EPOCH, horizon_end)?;
+    /// let load = Series::constant(
+    ///     SimTime::EPOCH,
+    ///     Duration::from_minutes(15.0),
+    ///     Power::from_megawatts(8.0),
+    ///     30 * 96,
+    /// )?;
+    /// assert_eq!(patched.bill(&load)?, recompiled.bill(&load)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn patch(&self, delta: &ContractDelta) -> Result<CompiledContract> {
+        let mut out = self.clone();
+        match delta {
+            ContractDelta::ReplaceTariff { index, tariff } => {
+                let slot = out.tariffs.get_mut(*index).ok_or_else(|| {
+                    CoreError::BadComponent(format!(
+                        "tariff index {index} out of range (contract has {} tariffs)",
+                        self.tariffs.len()
+                    ))
+                })?;
+                if fingerprint::of_tariff(tariff) != slot.fingerprint {
+                    *slot = lower_tariff(&self.calendar, tariff, self.start, self.end)?;
+                }
+            }
+            ContractDelta::ReplacePriceStrip { index, strip } => {
+                let slot = out.tariffs.get_mut(*index).ok_or_else(|| {
+                    CoreError::BadComponent(format!(
+                        "tariff index {index} out of range (contract has {} tariffs)",
+                        self.tariffs.len()
+                    ))
+                })?;
+                let d = match &slot.source {
+                    Tariff::Dynamic(d) => d,
+                    other => {
+                        return Err(CoreError::BadComponent(format!(
+                            "tariff #{index} is a {} tariff, not dynamic; \
+                             only dynamic tariffs carry a price strip",
+                            other.kind().label()
+                        )))
+                    }
+                };
+                let revised = Tariff::Dynamic(DynamicTariff {
+                    prices: strip.clone(),
+                    markup: d.markup,
+                    fallback: d.fallback,
+                });
+                *slot = lower_tariff(&self.calendar, &revised, self.start, self.end)?;
+            }
+            ContractDelta::SetDemandCharge(dc) => {
+                if let Some(dc) = dc {
+                    dc.validate()?;
+                }
+                out.demand_charge = *dc;
+            }
+            ContractDelta::SetPowerband(pb) => {
+                if let Some(pb) = pb {
+                    pb.validate()?;
+                }
+                out.powerband = *pb;
+            }
+            ContractDelta::SetEmergency(e) => {
+                if let Some(e) = e {
+                    e.validate()?;
+                }
+                out.emergency = *e;
+            }
+            ContractDelta::SetMonthlyFee(fee) => {
+                if *fee < Money::ZERO {
+                    return Err(CoreError::BadComponent(
+                        "monthly fee must be non-negative".into(),
+                    ));
+                }
+                out.monthly_fee = *fee;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splice a revised market-price strip into the contract's dynamic
+    /// tariff, leaving every other piece shared with `self`.
+    ///
+    /// This is the sweep-facing form of
+    /// [`ContractDelta::ReplacePriceStrip`]: the contract must contain
+    /// exactly one dynamic tariff (errors otherwise — with several, address
+    /// one by index through [`CompiledContract::patch`]). The revised
+    /// tariff keeps the original markup and fallback; only the strip
+    /// timeline is re-lowered, via the same routine full compilation uses,
+    /// so the resulting bills are bit-identical to a recompile.
+    ///
+    /// ```
+    /// use hpcgrid_core::compiled::CompiledContract;
+    /// use hpcgrid_core::contract::Contract;
+    /// use hpcgrid_core::tariff::Tariff;
+    /// use hpcgrid_timeseries::series::Series;
+    /// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+    ///
+    /// let day = Duration::from_hours(24.0);
+    /// let strip = |p: f64| {
+    ///     Series::constant(SimTime::EPOCH, Duration::from_hours(1.0),
+    ///                      EnergyPrice::per_kilowatt_hour(p), 24 * 30)
+    /// };
+    /// let contract = Contract::builder("market")
+    ///     .tariff(Tariff::dynamic(
+    ///         strip(0.05)?,
+    ///         EnergyPrice::per_kilowatt_hour(0.01),  // retail markup
+    ///         EnergyPrice::per_kilowatt_hour(0.09),  // fallback off-strip
+    ///     ))
+    ///     .build()?;
+    /// let cal = Calendar::default();
+    /// let compiled =
+    ///     CompiledContract::compile(&cal, &contract, SimTime::EPOCH, SimTime::from_days(30))?;
+    ///
+    /// // A market revision doubles prices: splice, don't recompile.
+    /// let revised = compiled.with_price_strip(&strip(0.10)?)?;
+    /// let load = Series::constant(SimTime::EPOCH, Duration::from_hours(1.0),
+    ///                             Power::from_megawatts(8.0), 24)?;
+    /// let before = compiled.bill(&load)?.total().as_dollars();
+    /// let after = revised.bill(&load)?.total().as_dollars();
+    /// assert!((before - 8_000.0 * 24.0 * 0.06).abs() < 1e-9);
+    /// assert!((after - 8_000.0 * 24.0 * 0.11).abs() < 1e-9);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn with_price_strip(&self, strip: &PriceSeries) -> Result<CompiledContract> {
+        let mut dynamic_index = None;
+        for (i, t) in self.tariffs.iter().enumerate() {
+            if matches!(t.source, Tariff::Dynamic(_)) {
+                if dynamic_index.is_some() {
+                    return Err(CoreError::BadComponent(
+                        "contract has multiple dynamic tariffs; use \
+                         ContractDelta::ReplacePriceStrip to address one by index"
+                            .into(),
+                    ));
+                }
+                dynamic_index = Some(i);
+            }
+        }
+        let index = dynamic_index.ok_or_else(|| {
+            CoreError::BadComponent("contract has no dynamic tariff to revise".into())
+        })?;
+        self.patch(&ContractDelta::ReplacePriceStrip {
+            index,
+            strip: strip.clone(),
+        })
+    }
+
     /// The compile horizon `[start, end)`.
     pub fn horizon(&self) -> (SimTime, SimTime) {
         (self.start, self.end)
+    }
+
+    /// The calendar the kernel was lowered under.
+    pub fn calendar(&self) -> Calendar {
+        self.calendar
+    }
+
+    /// Reconstruct the source [`Contract`] this kernel was lowered from
+    /// (with any patches applied).
+    pub fn contract(&self) -> Contract {
+        Contract {
+            name: self.name.clone(),
+            tariffs: self.tariffs.iter().map(|t| t.source.clone()).collect(),
+            demand_charge: self.demand_charge,
+            powerband: self.powerband,
+            emergency: self.emergency,
+            monthly_fee: self.monthly_fee,
+        }
+    }
+
+    /// The whole-contract [`ComponentFingerprint`], folded from the cached
+    /// per-piece fingerprints — equal to
+    /// [`fingerprint::of_contract`] of [`CompiledContract::contract`], but
+    /// computed without re-walking any strip payload. Scenario specs use
+    /// this as the `base_contract` key when describing a sweep point as
+    /// "base kernel + delta".
+    pub fn fingerprint(&self) -> ComponentFingerprint {
+        let fps: Vec<ComponentFingerprint> = self.tariffs.iter().map(|t| t.fingerprint).collect();
+        fingerprint::of_contract_parts(
+            &self.name,
+            &fps,
+            &self.demand_charge,
+            &self.powerband,
+            &self.emergency,
+            self.monthly_fee,
+        )
+    }
+
+    /// Per-tariff piece fingerprints, in tariff order.
+    pub fn tariff_fingerprints(&self) -> Vec<ComponentFingerprint> {
+        self.tariffs.iter().map(|t| t.fingerprint).collect()
     }
 
     /// Number of billing months the horizon touches.
@@ -271,9 +601,9 @@ impl CompiledContract {
     pub fn segment_count(&self) -> usize {
         self.tariffs
             .iter()
-            .map(|t| match t {
-                CompiledTariff::Strip { timeline, .. } => timeline.segments(),
-                CompiledTariff::Block(_) => 0,
+            .map(|t| match &t.lowered {
+                LoweredTariff::Strip(timeline) => timeline.segments(),
+                LoweredTariff::Block(_) => 0,
             })
             .sum()
     }
@@ -385,9 +715,9 @@ impl CompiledContract {
         self.check_in_horizon(load)?;
         let mut items = Vec::new();
         for (i, ct) in self.tariffs.iter().enumerate() {
-            let amount = match ct {
-                CompiledTariff::Strip { timeline, .. } => timeline.cost(load),
-                CompiledTariff::Block(b) => self.block_cost(b, load),
+            let amount = match &ct.lowered {
+                LoweredTariff::Strip(timeline) => timeline.cost(load),
+                LoweredTariff::Block(b) => self.block_cost(b, load),
             };
             items.push(LineItem {
                 label: format!("{} tariff #{}", ct.kind().label(), i + 1),
@@ -472,6 +802,30 @@ mod tests {
             .unwrap()
     }
 
+    fn hourly_strip(start: SimTime, prices: &[f64]) -> PriceSeries {
+        Series::new(
+            start,
+            Duration::from_hours(1.0),
+            prices
+                .iter()
+                .map(|p| EnergyPrice::per_kilowatt_hour(*p))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn dynamic_contract(strip: PriceSeries) -> Contract {
+        Contract::builder("dyn")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.03)))
+            .tariff(Tariff::dynamic(
+                strip,
+                EnergyPrice::per_kilowatt_hour(0.01),
+                EnergyPrice::per_kilowatt_hour(0.09),
+            ))
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn compiled_matches_interpreted_exactly() {
         let cal = Calendar::default();
@@ -549,6 +903,162 @@ mod tests {
         .unwrap();
         assert_eq!(
             engine.bill(&tou_contract(), &load).unwrap(),
+            compiled.bill(&load).unwrap()
+        );
+    }
+
+    #[test]
+    fn patch_equals_recompile_of_applied_contract() {
+        let cal = Calendar::default();
+        let strip = hourly_strip(SimTime::EPOCH, &[0.05; 24 * 10]);
+        let base = dynamic_contract(strip);
+        let end = SimTime::from_days(40);
+        let compiled = CompiledContract::compile(&cal, &base, SimTime::EPOCH, end).unwrap();
+        let load = load_15min(40, 8.0);
+
+        let deltas = [
+            ContractDelta::price_strip(1, hourly_strip(SimTime::from_days(2), &[0.11; 24 * 5])),
+            ContractDelta::SetDemandCharge(Some(DemandCharge::monthly(
+                DemandPrice::per_kilowatt_month(15.0),
+            ))),
+            ContractDelta::SetMonthlyFee(Money::from_dollars(500.0)),
+            ContractDelta::ReplaceTariff {
+                index: 0,
+                tariff: Tariff::day_night(
+                    EnergyPrice::per_kilowatt_hour(0.12),
+                    EnergyPrice::per_kilowatt_hour(0.04),
+                ),
+            },
+        ];
+        for delta in &deltas {
+            let patched = compiled.patch(delta).unwrap();
+            let recompiled =
+                CompiledContract::compile(&cal, &base.apply(delta).unwrap(), SimTime::EPOCH, end)
+                    .unwrap();
+            assert_eq!(patched, recompiled, "kernel mismatch for {}", delta.label());
+            assert_eq!(
+                patched.bill(&load).unwrap(),
+                recompiled.bill(&load).unwrap(),
+                "bill mismatch for {}",
+                delta.label()
+            );
+            assert_eq!(patched.fingerprint(), recompiled.fingerprint());
+        }
+        // The base kernel is untouched by patching.
+        assert_eq!(
+            compiled,
+            CompiledContract::compile(&cal, &base, SimTime::EPOCH, end).unwrap()
+        );
+    }
+
+    #[test]
+    fn patch_shares_unchanged_pieces() {
+        let cal = Calendar::default();
+        let base = dynamic_contract(hourly_strip(SimTime::EPOCH, &[0.05; 24]));
+        let compiled =
+            CompiledContract::compile(&cal, &base, SimTime::EPOCH, SimTime::from_days(30)).unwrap();
+        let patched = compiled
+            .patch(&ContractDelta::price_strip(
+                1,
+                hourly_strip(SimTime::EPOCH, &[0.20; 24]),
+            ))
+            .unwrap();
+        // Piece 0 (the fixed tariff) is the same allocation; piece 1 is new.
+        assert!(Arc::ptr_eq(&compiled.tariffs[0], &patched.tariffs[0]));
+        assert!(!Arc::ptr_eq(&compiled.tariffs[1], &patched.tariffs[1]));
+        // Replacing a tariff with an identical one reuses the piece.
+        let same = compiled
+            .patch(&ContractDelta::ReplaceTariff {
+                index: 0,
+                tariff: Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.03)),
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&compiled.tariffs[0], &same.tariffs[0]));
+    }
+
+    #[test]
+    fn with_price_strip_requires_exactly_one_dynamic_tariff() {
+        let cal = Calendar::default();
+        let strip = hourly_strip(SimTime::EPOCH, &[0.05; 24]);
+        let horizon = SimTime::from_days(30);
+
+        let none = Contract::builder("none")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .build()
+            .unwrap();
+        let compiled_none =
+            CompiledContract::compile(&cal, &none, SimTime::EPOCH, horizon).unwrap();
+        assert!(compiled_none.with_price_strip(&strip).is_err());
+
+        let two = Contract::builder("two")
+            .tariff(Tariff::dynamic(
+                strip.clone(),
+                EnergyPrice::ZERO,
+                EnergyPrice::ZERO,
+            ))
+            .tariff(Tariff::dynamic(
+                strip.clone(),
+                EnergyPrice::ZERO,
+                EnergyPrice::ZERO,
+            ))
+            .build()
+            .unwrap();
+        let compiled_two = CompiledContract::compile(&cal, &two, SimTime::EPOCH, horizon).unwrap();
+        assert!(compiled_two.with_price_strip(&strip).is_err());
+
+        let one = dynamic_contract(strip.clone());
+        let compiled_one = CompiledContract::compile(&cal, &one, SimTime::EPOCH, horizon).unwrap();
+        let spliced = compiled_one
+            .with_price_strip(&hourly_strip(SimTime::EPOCH, &[0.50; 24]))
+            .unwrap();
+        // Markup and fallback survive the splice.
+        match &spliced.contract().tariffs[1] {
+            Tariff::Dynamic(d) => {
+                assert_eq!(d.markup, EnergyPrice::per_kilowatt_hour(0.01));
+                assert_eq!(d.fallback, EnergyPrice::per_kilowatt_hour(0.09));
+            }
+            other => panic!("expected dynamic tariff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contract_round_trips_through_compile() {
+        let cal = Calendar::default();
+        let base = dynamic_contract(hourly_strip(SimTime::EPOCH, &[0.05, 0.06, 0.07]));
+        let compiled =
+            CompiledContract::compile(&cal, &base, SimTime::EPOCH, SimTime::from_days(30)).unwrap();
+        assert_eq!(compiled.contract(), base);
+        assert_eq!(compiled.fingerprint(), fingerprint::of_contract(&base));
+        assert_eq!(compiled.calendar(), cal);
+        assert_eq!(
+            compiled.tariff_fingerprints(),
+            base.tariffs
+                .iter()
+                .map(fingerprint::of_tariff)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dynamic_lowering_matches_price_at_on_and_off_strip() {
+        // Strip starts mid-horizon and ends before the horizon does, so the
+        // timeline must fall back on both sides.
+        let cal = Calendar::default();
+        let strip = hourly_strip(SimTime::from_days(3), &[0.05, 0.30, 0.05, 0.30]);
+        let c = Contract::builder("offset")
+            .tariff(Tariff::dynamic(
+                strip,
+                EnergyPrice::per_kilowatt_hour(0.015),
+                EnergyPrice::per_kilowatt_hour(0.08),
+            ))
+            .build()
+            .unwrap();
+        let engine = BillingEngine::new(cal);
+        let compiled =
+            CompiledContract::compile(&cal, &c, SimTime::EPOCH, SimTime::from_days(10)).unwrap();
+        let load = load_15min(10, 7.5);
+        assert_eq!(
+            engine.bill(&c, &load).unwrap(),
             compiled.bill(&load).unwrap()
         );
     }

@@ -13,6 +13,7 @@ use crate::powerband::Powerband;
 use crate::tariff::Tariff;
 use crate::typology::ContractComponentKind;
 use crate::{CoreError, Result};
+use hpcgrid_timeseries::series::PriceSeries;
 use hpcgrid_units::Money;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -76,6 +77,145 @@ impl Contract {
         self.component_kinds()
             .iter()
             .any(|k| k.encourages().dynamic_dr)
+    }
+
+    /// Apply a single-component mutation, returning the revised contract.
+    ///
+    /// The revised contract is validated with the same rules as
+    /// [`ContractBuilder::build`], plus the delta's structural constraints
+    /// (tariff index in range, price-strip replacement only on a dynamic
+    /// tariff). `apply` is the interpreted twin of
+    /// [`crate::compiled::CompiledContract::patch`]: patching a compiled
+    /// contract is bit-identical to applying the same delta here and
+    /// recompiling from scratch.
+    pub fn apply(&self, delta: &ContractDelta) -> Result<Contract> {
+        let mut out = self.clone();
+        match delta {
+            ContractDelta::ReplaceTariff { index, tariff } => {
+                let slot = out.tariffs.get_mut(*index).ok_or_else(|| {
+                    CoreError::BadComponent(format!(
+                        "tariff index {index} out of range (contract has {} tariffs)",
+                        self.tariffs.len()
+                    ))
+                })?;
+                *slot = tariff.clone();
+            }
+            ContractDelta::ReplacePriceStrip { index, strip } => {
+                let slot = out.tariffs.get_mut(*index).ok_or_else(|| {
+                    CoreError::BadComponent(format!(
+                        "tariff index {index} out of range (contract has {} tariffs)",
+                        self.tariffs.len()
+                    ))
+                })?;
+                match slot {
+                    Tariff::Dynamic(d) => d.prices = strip.clone(),
+                    other => {
+                        return Err(CoreError::BadComponent(format!(
+                            "tariff #{index} is a {} tariff, not dynamic; \
+                             only dynamic tariffs carry a price strip",
+                            other.kind().label()
+                        )))
+                    }
+                }
+            }
+            ContractDelta::SetDemandCharge(dc) => {
+                if let Some(dc) = dc {
+                    dc.validate()?;
+                }
+                out.demand_charge = *dc;
+            }
+            ContractDelta::SetPowerband(pb) => {
+                if let Some(pb) = pb {
+                    pb.validate()?;
+                }
+                out.powerband = *pb;
+            }
+            ContractDelta::SetEmergency(e) => {
+                if let Some(e) = e {
+                    e.validate()?;
+                }
+                out.emergency = *e;
+            }
+            ContractDelta::SetMonthlyFee(fee) => {
+                if *fee < Money::ZERO {
+                    return Err(CoreError::BadComponent(
+                        "monthly fee must be non-negative".into(),
+                    ));
+                }
+                out.monthly_fee = *fee;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A single-component contract mutation.
+///
+/// Deltas are the unit of incremental recompilation: a sweep holds one base
+/// contract and describes each scenario as the base plus a delta, which
+/// [`crate::compiled::CompiledContract::patch`] turns into a re-lowering of
+/// only the changed component. Deltas serialize, so a scenario artifact (or
+/// an `hpcgrid-engine` spec) can carry a base-contract fingerprint plus the
+/// delta instead of a full contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ContractDelta {
+    /// Replace the tariff component at `index` wholesale.
+    ReplaceTariff {
+        /// Position in [`Contract::tariffs`].
+        index: usize,
+        /// The replacement tariff.
+        tariff: Tariff,
+    },
+    /// Replace the market-price strip of the dynamic tariff at `index`,
+    /// keeping its markup and fallback. Errors if that tariff is not
+    /// [`Tariff::Dynamic`].
+    ReplacePriceStrip {
+        /// Position in [`Contract::tariffs`].
+        index: usize,
+        /// The revised market-price strip.
+        strip: PriceSeries,
+    },
+    /// Set or clear the demand-charge component.
+    SetDemandCharge(Option<DemandCharge>),
+    /// Set or clear the powerband component.
+    SetPowerband(Option<Powerband>),
+    /// Set or clear the emergency-DR clause.
+    SetEmergency(Option<EmergencyDrClause>),
+    /// Set the fixed monthly service fee.
+    SetMonthlyFee(Money),
+}
+
+impl ContractDelta {
+    /// Convenience constructor for a dynamic-strip revision.
+    pub fn price_strip(index: usize, strip: PriceSeries) -> ContractDelta {
+        ContractDelta::ReplacePriceStrip { index, strip }
+    }
+
+    /// Short human label (for scenario specs and reports), e.g.
+    /// `"replace_tariff#0"` or `"set_monthly_fee=1000"`.
+    pub fn label(&self) -> String {
+        match self {
+            ContractDelta::ReplaceTariff { index, tariff } => {
+                format!("replace_tariff#{index}={}", tariff.kind().label())
+            }
+            ContractDelta::ReplacePriceStrip { index, strip } => {
+                format!("replace_strip#{index}[{}]", strip.len())
+            }
+            ContractDelta::SetDemandCharge(Some(dc)) => {
+                format!(
+                    "set_demand_charge={}",
+                    dc.price.as_dollars_per_kilowatt_month()
+                )
+            }
+            ContractDelta::SetDemandCharge(None) => "clear_demand_charge".into(),
+            ContractDelta::SetPowerband(Some(_)) => "set_powerband".into(),
+            ContractDelta::SetPowerband(None) => "clear_powerband".into(),
+            ContractDelta::SetEmergency(Some(_)) => "set_emergency".into(),
+            ContractDelta::SetEmergency(None) => "clear_emergency".into(),
+            ContractDelta::SetMonthlyFee(fee) => {
+                format!("set_monthly_fee={}", fee.as_dollars())
+            }
+        }
     }
 }
 
@@ -204,6 +344,86 @@ mod tests {
             .build()
             .unwrap();
         assert!(with_emergency.encourages_dynamic_dr());
+    }
+
+    #[test]
+    fn apply_replaces_components_and_validates() {
+        use hpcgrid_timeseries::series::Series;
+        use hpcgrid_units::{Duration, SimTime};
+        let base = Contract::builder("base")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .tariff(Tariff::Dynamic(crate::tariff::DynamicTariff {
+                prices: Series::constant(
+                    SimTime::EPOCH,
+                    Duration::from_hours(1.0),
+                    EnergyPrice::per_kilowatt_hour(0.05),
+                    24,
+                )
+                .unwrap(),
+                markup: EnergyPrice::per_kilowatt_hour(0.01),
+                fallback: EnergyPrice::per_kilowatt_hour(0.09),
+            }))
+            .build()
+            .unwrap();
+
+        let strip = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            EnergyPrice::per_kilowatt_hour(0.12),
+            24,
+        )
+        .unwrap();
+        let revised = base
+            .apply(&ContractDelta::price_strip(1, strip.clone()))
+            .unwrap();
+        match &revised.tariffs[1] {
+            Tariff::Dynamic(d) => assert_eq!(d.prices, strip),
+            other => panic!("expected dynamic tariff, got {other:?}"),
+        }
+        // Markup/fallback survive a strip replacement.
+        match (&base.tariffs[1], &revised.tariffs[1]) {
+            (Tariff::Dynamic(a), Tariff::Dynamic(b)) => {
+                assert_eq!(a.markup, b.markup);
+                assert_eq!(a.fallback, b.fallback);
+            }
+            _ => unreachable!(),
+        }
+
+        // Strip replacement on a non-dynamic tariff is rejected.
+        assert!(base
+            .apply(&ContractDelta::price_strip(0, strip.clone()))
+            .is_err());
+        // Out-of-range indices are rejected.
+        assert!(base.apply(&ContractDelta::price_strip(2, strip)).is_err());
+        assert!(base
+            .apply(&ContractDelta::ReplaceTariff {
+                index: 9,
+                tariff: Tariff::fixed(EnergyPrice::ZERO),
+            })
+            .is_err());
+
+        // Component setters validate like the builder.
+        assert!(base
+            .apply(&ContractDelta::SetMonthlyFee(Money::from_dollars(-1.0)))
+            .is_err());
+        assert!(base
+            .apply(&ContractDelta::SetPowerband(Some(Powerband::ceiling(
+                Power::ZERO,
+                EnergyPrice::ZERO
+            ))))
+            .is_err());
+        let with_dc = base
+            .apply(&ContractDelta::SetDemandCharge(Some(
+                DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)),
+            )))
+            .unwrap();
+        assert!(with_dc.has(ContractComponentKind::DemandCharge));
+        let cleared = with_dc
+            .apply(&ContractDelta::SetDemandCharge(None))
+            .unwrap();
+        assert_eq!(cleared.demand_charge, None);
+        // The base contract is untouched throughout.
+        assert_eq!(base.demand_charge, None);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Stable fingerprints of contract components.
+//!
+//! Incremental recompilation ([`crate::compiled::CompiledContract::patch`])
+//! needs to decide whether a replacement component is *the same* component —
+//! in which case its cached lowered piece can be reused — without holding the
+//! original around for a deep comparison. A [`ComponentFingerprint`] is a
+//! 64-bit FNV-1a digest over the component's canonical serialized form
+//! (object keys sorted, floats hashed by bit pattern), so equal fingerprints
+//! mean the serialized components are identical and therefore lower to
+//! identical pieces.
+//!
+//! Dynamic tariffs get a dedicated fast path: their dominant payload is the
+//! price strip (thousands of `f64`s), which is absorbed directly from the
+//! raw values instead of materializing a serde value tree, keeping
+//! fingerprinting O(strip) with no allocation. The digest is defined by this
+//! crate, not by `std::hash` (whose output is explicitly unstable across
+//! releases), so fingerprints are usable as cross-process sweep-cache keys —
+//! e.g. in `hpcgrid-engine` scenario specs that carry a base-contract hash
+//! plus a delta label.
+
+use crate::contract::Contract;
+use crate::demand_charge::DemandCharge;
+use crate::emergency::EmergencyDrClause;
+use crate::powerband::Powerband;
+use crate::tariff::Tariff;
+use hpcgrid_units::Money;
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// A stable 64-bit fingerprint of one contract component (or of a whole
+/// contract), printable as 16 hex digits.
+///
+/// Equal fingerprints are treated as "same component" by the incremental
+/// recompiler; the collision probability of the 64-bit digest is negligible
+/// at sweep scale (~2⁻⁶⁴ per pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentFingerprint(pub u64);
+
+impl ComponentFingerprint {
+    /// Hex rendering, usable as a cache-key string.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for ComponentFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x00000100000001b3;
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Debug, Clone)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> ComponentFingerprint {
+        ComponentFingerprint(self.0)
+    }
+}
+
+/// Absorb a serde value in canonical form: map keys sorted, every node
+/// tagged, strings and sequences length-prefixed, floats by bit pattern.
+fn absorb_value(h: &mut Fnv64, v: &Value) {
+    match v {
+        Value::Null => h.update(b"n"),
+        Value::Bool(b) => h.update(if *b { b"T" } else { b"F" }),
+        Value::Int(i) => {
+            h.update(b"i");
+            h.update(&i.to_le_bytes());
+        }
+        Value::UInt(u) => {
+            h.update(b"u");
+            h.update(&u.to_le_bytes());
+        }
+        Value::Float(f) => {
+            h.update(b"f");
+            h.update(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            h.update(b"s");
+            h.update(&(s.len() as u64).to_le_bytes());
+            h.update(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            h.update(b"[");
+            h.update(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                absorb_value(h, item);
+            }
+        }
+        Value::Map(entries) => {
+            let mut sorted: Vec<&(String, Value)> = entries.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            h.update(b"{");
+            h.update(&(sorted.len() as u64).to_le_bytes());
+            for (k, val) in sorted {
+                h.update(b"k");
+                h.update(&(k.len() as u64).to_le_bytes());
+                h.update(k.as_bytes());
+                absorb_value(h, val);
+            }
+        }
+    }
+}
+
+/// Fingerprint any serializable component through its canonical serialized
+/// form.
+pub fn of_component<T: Serialize>(component: &T) -> ComponentFingerprint {
+    let mut h = Fnv64::new();
+    absorb_value(&mut h, &component.to_value());
+    h.finish()
+}
+
+/// Fingerprint a tariff component.
+///
+/// Dynamic tariffs are absorbed field-by-field — strip axis as integers,
+/// strip values / markup / fallback by `f64` bit pattern — so fingerprinting
+/// a market-price revision never allocates a value tree for the strip. All
+/// other tariff kinds go through [`of_component`].
+pub fn of_tariff(t: &Tariff) -> ComponentFingerprint {
+    match t {
+        Tariff::Dynamic(d) => {
+            let mut h = Fnv64::new();
+            h.update(b"Dynamic");
+            h.update(&d.prices.start().as_secs().to_le_bytes());
+            h.update(&d.prices.step().as_secs().to_le_bytes());
+            h.update(&(d.prices.len() as u64).to_le_bytes());
+            for p in d.prices.values() {
+                h.update(&p.as_dollars_per_kilowatt_hour().to_bits().to_le_bytes());
+            }
+            h.update(
+                &d.markup
+                    .as_dollars_per_kilowatt_hour()
+                    .to_bits()
+                    .to_le_bytes(),
+            );
+            h.update(
+                &d.fallback
+                    .as_dollars_per_kilowatt_hour()
+                    .to_bits()
+                    .to_le_bytes(),
+            );
+            h.finish()
+        }
+        other => of_component(other),
+    }
+}
+
+/// Fingerprint a whole contract: the name plus every component's
+/// fingerprint, folded in component order. This is the natural
+/// `base_contract` key for `hpcgrid-engine` scenario specs built from a
+/// base contract plus a delta.
+pub fn of_contract(c: &Contract) -> ComponentFingerprint {
+    let fps: Vec<ComponentFingerprint> = c.tariffs.iter().map(of_tariff).collect();
+    of_contract_parts(
+        &c.name,
+        &fps,
+        &c.demand_charge,
+        &c.powerband,
+        &c.emergency,
+        c.monthly_fee,
+    )
+}
+
+/// The contract digest from already-computed tariff fingerprints — the
+/// compiled kernel caches per-tariff fingerprints, so its whole-contract
+/// fingerprint never re-walks strip payloads.
+pub(crate) fn of_contract_parts(
+    name: &str,
+    tariffs: &[ComponentFingerprint],
+    demand_charge: &Option<DemandCharge>,
+    powerband: &Option<Powerband>,
+    emergency: &Option<EmergencyDrClause>,
+    monthly_fee: Money,
+) -> ComponentFingerprint {
+    let mut h = Fnv64::new();
+    h.update(b"contract");
+    h.update(&(name.len() as u64).to_le_bytes());
+    h.update(name.as_bytes());
+    h.update(&(tariffs.len() as u64).to_le_bytes());
+    for fp in tariffs {
+        h.update(&fp.0.to_le_bytes());
+    }
+    h.update(&of_component(demand_charge).0.to_le_bytes());
+    h.update(&of_component(powerband).0.to_le_bytes());
+    h.update(&of_component(emergency).0.to_le_bytes());
+    h.update(&monthly_fee.as_dollars().to_bits().to_le_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tariff::DynamicTariff;
+    use hpcgrid_timeseries::series::{PriceSeries, Series};
+    use hpcgrid_units::{Duration, EnergyPrice, SimTime};
+
+    fn strip(values: &[f64]) -> PriceSeries {
+        Series::new(
+            SimTime::EPOCH,
+            Duration::from_hours(1.0),
+            values
+                .iter()
+                .map(|p| EnergyPrice::per_kilowatt_hour(*p))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn dynamic(values: &[f64]) -> Tariff {
+        Tariff::Dynamic(DynamicTariff {
+            prices: strip(values),
+            markup: EnergyPrice::per_kilowatt_hour(0.01),
+            fallback: EnergyPrice::per_kilowatt_hour(0.09),
+        })
+    }
+
+    #[test]
+    fn equal_components_equal_fingerprints() {
+        let a = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07));
+        let b = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07));
+        assert_eq!(of_tariff(&a), of_tariff(&b));
+        assert_eq!(
+            of_tariff(&dynamic(&[0.1, 0.2])),
+            of_tariff(&dynamic(&[0.1, 0.2]))
+        );
+    }
+
+    #[test]
+    fn changed_components_change_fingerprints() {
+        let base = dynamic(&[0.1, 0.2, 0.3]);
+        assert_ne!(of_tariff(&base), of_tariff(&dynamic(&[0.1, 0.2, 0.31])));
+        assert_ne!(
+            of_tariff(&Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07))),
+            of_tariff(&Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08)))
+        );
+    }
+
+    #[test]
+    fn tariff_kinds_do_not_collide() {
+        // A fixed tariff and a 1-sample dynamic strip with the same number
+        // must not fingerprint identically.
+        let fixed = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07));
+        assert_ne!(of_tariff(&fixed), of_tariff(&dynamic(&[0.07])));
+    }
+
+    #[test]
+    fn contract_fingerprint_tracks_every_component() {
+        use crate::demand_charge::DemandCharge;
+        use hpcgrid_units::{DemandPrice, Money};
+        let base = Contract::builder("fp")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .monthly_fee(Money::from_dollars(100.0))
+            .build()
+            .unwrap();
+        let same = base.clone();
+        assert_eq!(of_contract(&base), of_contract(&same));
+        let mut renamed = base.clone();
+        renamed.name = "fp2".into();
+        assert_ne!(of_contract(&base), of_contract(&renamed));
+        let mut refee = base.clone();
+        refee.monthly_fee = Money::from_dollars(101.0);
+        assert_ne!(of_contract(&base), of_contract(&refee));
+        let mut retariff = base;
+        retariff.tariffs[0] = Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.08));
+        assert_ne!(of_contract(&retariff), of_contract(&renamed));
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`contract`] — composable contracts built from those components;
 //! * [`billing`] — the billing engine that prices a metered load series
 //!   under any contract;
+//! * [`compiled`] + [`fingerprint`] — the compiled billing kernel for
+//!   sweep workloads, with incremental recompilation
+//!   ([`compiled::CompiledContract::patch`]) keyed by component
+//!   fingerprints;
 //! * [`survey`] — the survey instrument, the encoded ten-site corpus, the
 //!   coding step that regenerates Table 2 from per-site contracts, and the
 //!   statistical analysis (component counts, text-vs-table consistency,
@@ -28,6 +32,7 @@ pub mod compiled;
 pub mod contract;
 pub mod demand_charge;
 pub mod emergency;
+pub mod fingerprint;
 pub mod powerband;
 pub mod report;
 pub mod survey;
@@ -36,9 +41,10 @@ pub mod typology;
 
 pub use billing::{Bill, BillingEngine};
 pub use compiled::CompiledContract;
-pub use contract::{Contract, ContractBuilder};
+pub use contract::{Contract, ContractBuilder, ContractDelta};
 pub use demand_charge::DemandCharge;
 pub use emergency::EmergencyDrClause;
+pub use fingerprint::ComponentFingerprint;
 pub use powerband::Powerband;
 pub use tariff::Tariff;
 pub use typology::{ContractComponentKind, Typology};

@@ -1,0 +1,323 @@
+//! Property tests: incremental recompilation is **bit-identical** to a fresh
+//! compile.
+//!
+//! The contract under test always carries all four tariff kinds (TOU with
+//! arbitrary — including wrap-midnight — windows, fixed, dynamic, block),
+//! and the randomized delta sequences replace tariffs, splice price strips,
+//! and set/clear every non-tariff component. `CompiledContract` derives
+//! `PartialEq` down to raw `f64` segment prices, and `Bill` compares `Money`
+//! exactly, so `prop_assert_eq!` demands bit-level equality of both the
+//! patched kernel and its bills against `compile(contract.apply(...))`.
+
+use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::compiled::CompiledContract;
+use hpcgrid_core::contract::{Contract, ContractDelta};
+use hpcgrid_core::demand_charge::DemandCharge;
+use hpcgrid_core::emergency::EmergencyDrClause;
+use hpcgrid_core::fingerprint;
+use hpcgrid_core::powerband::Powerband;
+use hpcgrid_core::tariff::{BlockStep, BlockTariff, DayFilter, Tariff, TouTariff, TouWindow};
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries, Series};
+use hpcgrid_units::{
+    Calendar, DemandPrice, Duration, EnergyPrice, Money, Month, MonthSet, Power, SimTime,
+    TimeOfDay, Weekday,
+};
+use proptest::prelude::*;
+
+/// A load on a random start (second resolution), step, and length.
+fn load_strategy() -> impl Strategy<Value = PowerSeries> {
+    (
+        0u64..40 * 86_400,
+        prop::sample::select(vec![900u64, 3_600, 7_200]),
+        prop::collection::vec(0.0f64..20_000.0, 1..400),
+    )
+        .prop_map(|(start, step, kw)| {
+            Series::new(
+                SimTime::from_secs(start),
+                Duration::from_secs(step),
+                kw.into_iter().map(Power::from_kilowatts).collect(),
+            )
+            .unwrap()
+        })
+}
+
+/// A TOU window with arbitrary edges — wrap-midnight (`to <= from`)
+/// included — and a random month filter.
+fn window_strategy() -> impl Strategy<Value = TouWindow> {
+    (
+        (0u8..24, [0u8, 15, 30, 45]),
+        (0u8..24, [0u8, 15, 30, 45]),
+        0u8..3,
+        0u16..0x1000,
+        1u32..60,
+    )
+        .prop_map(
+            |((fh, fm), (th, tm), day_sel, month_mask, cents)| TouWindow {
+                months: match month_mask % 3 {
+                    0 => None,
+                    1 => Some(MonthSet::summer()),
+                    _ => Some(
+                        Month::ALL
+                            .iter()
+                            .copied()
+                            .filter(|m| month_mask & m.bit() != 0)
+                            .collect(),
+                    ),
+                },
+                days: match day_sel {
+                    0 => DayFilter::All,
+                    1 => DayFilter::WeekdaysOnly,
+                    _ => DayFilter::WeekendsOnly,
+                },
+                from: TimeOfDay::new(fh, fm),
+                to: TimeOfDay::new(th, tm),
+                price: EnergyPrice::per_kilowatt_hour(cents as f64 / 100.0),
+            },
+        )
+}
+
+/// An hourly market-price strip on a random start.
+fn strip_strategy() -> impl Strategy<Value = PriceSeries> {
+    (
+        prop::collection::vec(0.01f64..0.40, 3..30),
+        0u64..30 * 86_400,
+    )
+        .prop_map(|(vals, start)| {
+            PriceSeries::new(
+                SimTime::from_secs(start),
+                Duration::from_hours(1.0),
+                vals.into_iter()
+                    .map(EnergyPrice::per_kilowatt_hour)
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+/// A replacement tariff of any kind.
+fn tariff_strategy() -> impl Strategy<Value = Tariff> {
+    prop_oneof![
+        (1u32..40).prop_map(|c| Tariff::fixed(EnergyPrice::per_kilowatt_hour(c as f64 / 100.0))),
+        (window_strategy(), 1u32..40).prop_map(|(w, base)| Tariff::TimeOfUse(TouTariff {
+            windows: vec![w],
+            base: EnergyPrice::per_kilowatt_hour(base as f64 / 100.0),
+        })),
+        strip_strategy().prop_map(|s| Tariff::dynamic(
+            s,
+            EnergyPrice::per_kilowatt_hour(0.012),
+            EnergyPrice::per_kilowatt_hour(0.08),
+        )),
+        (10u32..30, 1u32..9).prop_map(|(hi, lo)| Tariff::Block(BlockTariff {
+            blocks: vec![
+                BlockStep {
+                    up_to_kwh: Some(600_000.0),
+                    price: EnergyPrice::per_kilowatt_hour(hi as f64 / 100.0),
+                },
+                BlockStep {
+                    up_to_kwh: None,
+                    price: EnergyPrice::per_kilowatt_hour(lo as f64 / 100.0),
+                },
+            ],
+        })),
+    ]
+}
+
+/// The base contract: all four tariff kinds at fixed indices (0 = TOU,
+/// 1 = fixed, 2 = dynamic, 3 = block) so delta sequences stay valid by
+/// construction, plus demand charge and fee.
+fn base_contract_strategy() -> impl Strategy<Value = Contract> {
+    (
+        window_strategy(),
+        window_strategy(),
+        1u32..40,
+        strip_strategy(),
+    )
+        .prop_map(|(w1, w2, base_cents, strip)| {
+            Contract::builder("patch-base")
+                .tariff(Tariff::TimeOfUse(TouTariff {
+                    windows: vec![w1, w2],
+                    base: EnergyPrice::per_kilowatt_hour(base_cents as f64 / 100.0),
+                }))
+                .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.03)))
+                .tariff(Tariff::dynamic(
+                    strip,
+                    EnergyPrice::per_kilowatt_hour(0.011),
+                    EnergyPrice::per_kilowatt_hour(0.09),
+                ))
+                .tariff(Tariff::Block(BlockTariff {
+                    blocks: vec![
+                        BlockStep {
+                            up_to_kwh: Some(500_000.0),
+                            price: EnergyPrice::per_kilowatt_hour(0.13),
+                        },
+                        BlockStep {
+                            up_to_kwh: None,
+                            price: EnergyPrice::per_kilowatt_hour(0.065),
+                        },
+                    ],
+                }))
+                .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(11.0)))
+                .monthly_fee(Money::from_dollars(750.0))
+                .build()
+                .unwrap()
+        })
+}
+
+/// A single-component mutation valid against any contract produced by
+/// [`base_contract_strategy`] (and any chain of these deltas): tariff
+/// replacements target indices 0–1, strip splices target the dynamic tariff
+/// at index 2.
+fn delta_strategy() -> impl Strategy<Value = ContractDelta> {
+    prop_oneof![
+        (0usize..2, tariff_strategy())
+            .prop_map(|(index, tariff)| ContractDelta::ReplaceTariff { index, tariff }),
+        strip_strategy().prop_map(|strip| ContractDelta::ReplacePriceStrip { index: 2, strip }),
+        prop_oneof![
+            Just(None),
+            (5u32..20).prop_map(
+                |p| Some(DemandCharge::monthly(DemandPrice::per_kilowatt_month(
+                    p as f64
+                )))
+            ),
+        ]
+        .prop_map(ContractDelta::SetDemandCharge),
+        prop_oneof![
+            Just(None),
+            (5u32..20).prop_map(|mw| Some(Powerband::ceiling(
+                Power::from_megawatts(mw as f64),
+                EnergyPrice::per_kilowatt_hour(0.5),
+            ))),
+        ]
+        .prop_map(ContractDelta::SetPowerband),
+        prop_oneof![
+            Just(None),
+            (1u32..10).prop_map(
+                |mw| Some(EmergencyDrClause::reference(Power::from_megawatts(
+                    mw as f64
+                )))
+            ),
+        ]
+        .prop_map(ContractDelta::SetEmergency),
+        (0u32..2_000).prop_map(|d| ContractDelta::SetMonthlyFee(Money::from_dollars(d as f64))),
+    ]
+}
+
+fn calendars() -> Vec<Calendar> {
+    vec![
+        Calendar::default(),
+        Calendar::new(Weekday::Wednesday, Month::June, 15).unwrap(),
+        Calendar::new(Weekday::Sunday, Month::December, 31).unwrap(),
+    ]
+}
+
+proptest! {
+    /// The tentpole property: `patch` composed over a random sequence of
+    /// 1–8 deltas produces a kernel — and bills — bit-identical to a fresh
+    /// `compile` of the final contract, and the final contract is in turn
+    /// bit-identical to the interpreter. Fingerprints track the chain.
+    #[test]
+    fn patch_chain_is_bit_identical_to_fresh_compile(
+        base in base_contract_strategy(),
+        deltas in prop::collection::vec(delta_strategy(), 1..=8),
+        load in load_strategy(),
+        cal_idx in 0usize..3,
+    ) {
+        let cal = calendars()[cal_idx];
+        let mut contract = base.clone();
+        let mut kernel =
+            CompiledContract::compile(&cal, &base, load.start(), load.end()).unwrap();
+        for delta in &deltas {
+            contract = contract.apply(delta).unwrap();
+            kernel = kernel.patch(delta).unwrap();
+        }
+        let fresh =
+            CompiledContract::compile(&cal, &contract, load.start(), load.end()).unwrap();
+        prop_assert_eq!(&kernel, &fresh);
+        prop_assert_eq!(kernel.bill(&load).unwrap(), fresh.bill(&load).unwrap());
+        prop_assert_eq!(
+            BillingEngine::new(cal).bill(&contract, &load).unwrap(),
+            kernel.bill(&load).unwrap()
+        );
+        prop_assert_eq!(kernel.fingerprint(), fingerprint::of_contract(&contract));
+        prop_assert_eq!(kernel.contract(), contract);
+    }
+
+    /// Market-price revisions through `with_price_strip`: every splice off
+    /// the same base kernel equals a fresh compile of the strip-revised
+    /// contract, bit for bit.
+    #[test]
+    fn price_strip_splice_is_bit_identical(
+        window in window_strategy(),
+        base_strip in strip_strategy(),
+        revisions in prop::collection::vec(strip_strategy(), 1..6),
+        load in load_strategy(),
+        cal_idx in 0usize..3,
+    ) {
+        let cal = calendars()[cal_idx];
+        let contract = Contract::builder("strip-base")
+            .tariff(Tariff::TimeOfUse(TouTariff {
+                windows: vec![window],
+                base: EnergyPrice::per_kilowatt_hour(0.10),
+            }))
+            .tariff(Tariff::dynamic(
+                base_strip,
+                EnergyPrice::per_kilowatt_hour(0.011),
+                EnergyPrice::per_kilowatt_hour(0.09),
+            ))
+            .build()
+            .unwrap();
+        let kernel =
+            CompiledContract::compile(&cal, &contract, load.start(), load.end()).unwrap();
+        for strip in &revisions {
+            let spliced = kernel.with_price_strip(strip).unwrap();
+            let delta = ContractDelta::ReplacePriceStrip { index: 1, strip: strip.clone() };
+            let fresh = CompiledContract::compile(
+                &cal,
+                &contract.apply(&delta).unwrap(),
+                load.start(),
+                load.end(),
+            )
+            .unwrap();
+            prop_assert_eq!(&spliced, &fresh);
+            prop_assert_eq!(spliced.bill(&load).unwrap(), fresh.bill(&load).unwrap());
+        }
+    }
+
+    /// Month-straddling horizons under patched kernels: the load starts
+    /// shortly before a billing-month boundary and spans one or more of
+    /// them, exercising demand-charge bucketing, block bucketing, and the
+    /// fee month count of a patched kernel against the boundary index.
+    #[test]
+    fn month_straddling_patch_is_bit_identical(
+        base in base_contract_strategy(),
+        deltas in prop::collection::vec(delta_strategy(), 1..=4),
+        hours_before in 1u64..72,
+        days_after in 1u64..70,
+        kw in prop::collection::vec(100.0f64..18_000.0, 1..50),
+        cal_idx in 0usize..3,
+    ) {
+        let cal = calendars()[cal_idx];
+        let boundary = cal.next_month_start(SimTime::EPOCH);
+        let hours_before = hours_before.min(boundary.as_secs() / 3_600);
+        let start = boundary - Duration::from_hours(hours_before as f64);
+        let span_secs = hours_before * 3_600 + days_after * 86_400;
+        let step = Duration::from_minutes(15.0);
+        let n = (span_secs / step.as_secs()) as usize;
+        let values: Vec<Power> = (0..n)
+            .map(|i| Power::from_kilowatts(kw[i % kw.len()]))
+            .collect();
+        let load = Series::new(start, step, values).unwrap();
+        prop_assert!(load.start() < boundary && load.end() > boundary);
+        let mut contract = base.clone();
+        let mut kernel =
+            CompiledContract::compile(&cal, &base, load.start(), load.end()).unwrap();
+        for delta in &deltas {
+            contract = contract.apply(delta).unwrap();
+            kernel = kernel.patch(delta).unwrap();
+        }
+        prop_assert_eq!(
+            BillingEngine::new(cal).bill(&contract, &load).unwrap(),
+            kernel.bill(&load).unwrap()
+        );
+    }
+}

@@ -28,6 +28,20 @@ pub enum CacheTier {
 ///
 /// `R` is the scenario result type; it must round-trip through the serde
 /// value model for the artifact tier to work.
+///
+/// ```
+/// use hpcgrid_engine::{CacheTier, ResultCache, ScenarioSpec};
+///
+/// let spec = ScenarioSpec::builder("demo").param("x", 1.0).build();
+/// let mut cache: ResultCache<f64> = ResultCache::in_memory();
+/// assert!(cache.get(spec.content_hash())?.is_none());
+///
+/// cache.put(&spec, &12.5)?;
+/// let (value, tier) = cache.get(spec.content_hash())?.expect("just stored");
+/// assert_eq!(value, 12.5);
+/// assert_eq!(tier, CacheTier::Memory);
+/// # Ok::<(), hpcgrid_engine::EngineError>(())
+/// ```
 #[derive(Debug)]
 pub struct ResultCache<R> {
     mem: HashMap<ContentHash, R>,
@@ -134,6 +148,13 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
     /// prove artifact-tier round trips.
     pub fn clear_memory(&mut self) {
         self.mem.clear();
+    }
+
+    /// The artifact file path a key maps to, if a directory is configured.
+    /// The file need not exist; callers use this to report which artifact a
+    /// failed read came from.
+    pub fn artifact_path_for(&self, key: ContentHash) -> Option<PathBuf> {
+        self.dir.as_deref().map(|dir| artifact_path(dir, key))
     }
 }
 

@@ -42,6 +42,8 @@
 //! assert_eq!(outcome.successes().count(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod error;
 pub mod hash;

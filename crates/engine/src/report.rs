@@ -48,6 +48,10 @@ pub struct RunReport {
     pub failed: usize,
     /// Total retry attempts beyond each scenario's first try.
     pub retries: u32,
+    /// Artifact-tier cache reads that failed to deserialize (corrupt or
+    /// incompatible JSON). Each such scenario was recomputed; a nonzero
+    /// count means the artifact directory needs attention.
+    pub cache_corrupt: usize,
     /// End-to-end wall time of the sweep.
     pub wall: Duration,
     /// Worker pool size used for the execution phase.
@@ -139,6 +143,12 @@ impl RunReport {
         t.row(vec!["executed".to_string(), self.executed.to_string()]);
         t.row(vec!["failed".to_string(), self.failed.to_string()]);
         t.row(vec!["retries".to_string(), self.retries.to_string()]);
+        if self.cache_corrupt > 0 {
+            t.row(vec![
+                "corrupt artifacts".to_string(),
+                self.cache_corrupt.to_string(),
+            ]);
+        }
         t.row(vec![
             "hit ratio".to_string(),
             format!("{:.1}%", self.hit_ratio() * 100.0),
@@ -188,6 +198,7 @@ mod tests {
             executed: 2,
             failed: 1,
             retries: 3,
+            cache_corrupt: 0,
             wall: Duration::from_millis(100),
             workers: 2,
             worker_busy: vec![Duration::from_millis(80), Duration::from_millis(40)],

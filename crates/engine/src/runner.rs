@@ -201,8 +201,20 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
                     pending.insert(key, i);
                     to_run.push(i);
                 }
-                Err(_) => {
-                    // Corrupt artifact: recompute rather than fail the sweep.
+                Err(err) => {
+                    // Corrupt artifact: recompute rather than fail the sweep,
+                    // but count it and log the path so a damaged artifact
+                    // directory does not degrade silently.
+                    report.cache_corrupt += 1;
+                    let path = self
+                        .cache
+                        .artifact_path_for(key)
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<no artifact dir>".to_string());
+                    eprintln!(
+                        "hpcgrid-engine: corrupt cache artifact for scenario `{}` at {path}: {err}; recomputing",
+                        specs[i].label()
+                    );
                     slots.push(None);
                     dispositions.push(Disposition::Executed);
                     pending.insert(key, i);
@@ -452,6 +464,32 @@ mod tests {
             Err(ScenarioError::Failed { attempts, .. }) => assert_eq!(*attempts, 3),
             other => panic!("expected Failed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_artifact_is_counted_and_recomputed() {
+        let dir =
+            std::env::temp_dir().join(format!("hpcgrid-runner-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs = specs(1);
+        let mut runner: SweepRunner<i64> = SweepRunner::with_artifact_dir(&dir).unwrap();
+        let path = runner
+            .cache_mut()
+            .artifact_path_for(specs[0].content_hash())
+            .unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        let outcome = runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("i")?));
+        assert_eq!(outcome.report.executed, 1);
+        assert_eq!(outcome.report.cache_corrupt, 1);
+        assert_eq!(*outcome.results[0].as_ref().unwrap(), 0);
+        assert!(outcome.report.summary_table().contains("corrupt artifacts"));
+        // The recomputation overwrote the artifact, so a fresh runner (empty
+        // memory tier) now reads it cleanly.
+        let mut fresh: SweepRunner<i64> = SweepRunner::with_artifact_dir(&dir).unwrap();
+        let again = fresh.run(&specs, |_| panic!("must not execute"));
+        assert_eq!(again.report.artifact_hits, 1);
+        assert_eq!(again.report.cache_corrupt, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -146,6 +146,20 @@ impl ScenarioSpec {
     }
 
     /// The spec's stable content hash — the engine's cache key.
+    ///
+    /// Parameter insertion order never leaks into the hash, and any real
+    /// change to the scenario does:
+    ///
+    /// ```
+    /// use hpcgrid_engine::ScenarioSpec;
+    ///
+    /// let a = ScenarioSpec::builder("sweep").param("x", 1.0).param("y", 2.0).build();
+    /// let b = ScenarioSpec::builder("sweep").param("y", 2.0).param("x", 1.0).build();
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    ///
+    /// let c = ScenarioSpec::builder("sweep").param("x", 1.5).param("y", 2.0).build();
+    /// assert_ne!(a.content_hash(), c.content_hash());
+    /// ```
     pub fn content_hash(&self) -> ContentHash {
         content_hash(&self.to_value())
     }
@@ -204,6 +218,26 @@ impl ScenarioSpec {
             .ok_or_else(|| DeError::custom(format!("param `{key}` is not text")))
     }
 
+    /// The base-contract fingerprint recorded by
+    /// [`ScenarioSpecBuilder::base_contract`], if any.
+    pub fn base_contract(&self) -> Option<&str> {
+        self.params.get(Self::BASE_CONTRACT_PARAM)?.as_str()
+    }
+
+    /// The contract-delta label recorded by [`ScenarioSpecBuilder::delta`],
+    /// if any.
+    pub fn delta(&self) -> Option<&str> {
+        self.params.get(Self::DELTA_PARAM)?.as_str()
+    }
+
+    /// Reserved param key naming the compiled base contract a patch-path
+    /// scenario splices on top of.
+    pub const BASE_CONTRACT_PARAM: &'static str = "base_contract";
+
+    /// Reserved param key naming the contract delta a patch-path scenario
+    /// applies to its base.
+    pub const DELTA_PARAM: &'static str = "delta";
+
     /// The canonical serialized form (sorted keys at every level) — what the
     /// content hash is computed over.
     pub fn canonical_json(&self) -> String {
@@ -260,6 +294,25 @@ impl ScenarioSpecBuilder {
     pub fn param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
         self.spec.params.insert(key.into(), value.into());
         self
+    }
+
+    /// Record the compiled base contract a patch-path scenario splices on
+    /// top of, as the reserved [`ScenarioSpec::BASE_CONTRACT_PARAM`] param.
+    ///
+    /// Pass the base kernel's component fingerprint in hex (e.g.
+    /// `CompiledContract::fingerprint().to_hex()` from `hpcgrid-core`): two
+    /// sweeps over the same deltas but different base kernels then cache
+    /// under different keys.
+    pub fn base_contract(self, fingerprint: impl Into<String>) -> Self {
+        self.param(ScenarioSpec::BASE_CONTRACT_PARAM, fingerprint.into())
+    }
+
+    /// Record the contract delta a patch-path scenario applies to its base,
+    /// as the reserved [`ScenarioSpec::DELTA_PARAM`] param. Use a stable
+    /// human-readable label (e.g. `ContractDelta::label()` from
+    /// `hpcgrid-core`).
+    pub fn delta(self, label: impl Into<String>) -> Self {
+        self.param(ScenarioSpec::DELTA_PARAM, label.into())
     }
 
     /// Finish the spec.
@@ -339,6 +392,26 @@ mod tests {
         let back: ScenarioSpec = serde_json::from_str(&text).unwrap();
         assert_eq!(a, back);
         assert_eq!(a.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn base_contract_and_delta_are_reserved_params() {
+        let plain = spec();
+        assert_eq!(plain.base_contract(), None);
+        assert_eq!(plain.delta(), None);
+
+        let patched = ScenarioSpec::builder("tariff_sensitivity")
+            .base_contract("a1b2c3d4e5f60718")
+            .delta("replace_strip#2[720]")
+            .build();
+        assert_eq!(patched.base_contract(), Some("a1b2c3d4e5f60718"));
+        assert_eq!(patched.delta(), Some("replace_strip#2[720]"));
+        // Reserved params participate in the content hash like any other.
+        let other_base = ScenarioSpec::builder("tariff_sensitivity")
+            .base_contract("ffffffffffffffff")
+            .delta("replace_strip#2[720]")
+            .build();
+        assert_ne!(patched.content_hash(), other_base.content_hash());
     }
 
     #[test]

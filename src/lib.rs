@@ -60,8 +60,9 @@ pub use hpcgrid_workload as workload;
 pub mod prelude {
     pub use hpcgrid_core::billing::{Bill, BillingEngine};
     pub use hpcgrid_core::compiled::CompiledContract;
-    pub use hpcgrid_core::contract::{Contract, ContractBuilder};
+    pub use hpcgrid_core::contract::{Contract, ContractBuilder, ContractDelta};
     pub use hpcgrid_core::demand_charge::DemandCharge;
+    pub use hpcgrid_core::fingerprint::ComponentFingerprint;
     pub use hpcgrid_core::powerband::Powerband;
     pub use hpcgrid_core::survey::corpus::SurveyCorpus;
     pub use hpcgrid_core::tariff::Tariff;

@@ -114,7 +114,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
     };
 }
 
@@ -165,6 +166,18 @@ macro_rules! __run_case {
             Ok(()) => {}
             Err($crate::test_runner::TestCaseError::Reject) => {}
         }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type,
+/// mirroring `proptest::prop_oneof!` (without per-variant weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
     };
 }
 
@@ -234,6 +247,15 @@ mod tests {
         #[test]
         fn select_choice(s in prop::sample::select(vec!["a", "b"])) {
             prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn oneof_mixes_variants(x in prop_oneof![
+            (0u64..10).prop_map(|v| v as i64),
+            Just(-1i64),
+            (100u64..110).prop_map(|v| v as i64),
+        ]) {
+            prop_assert!((0..10).contains(&x) || x == -1 || (100..110).contains(&x));
         }
     }
 

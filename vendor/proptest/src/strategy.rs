@@ -178,6 +178,29 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
+/// Output of the [`crate::prop_oneof!`] macro: a uniform choice among
+/// heterogeneous strategies sharing one value type. (Upstream supports
+/// per-variant weights; the shim chooses uniformly.)
+pub struct Union<T> {
+    variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed variants; panics on an empty list.
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.variants.len());
+        self.variants[i].sample(rng)
+    }
+}
+
 /// Output of [`crate::prop::sample::select`].
 pub struct Select<T: Clone> {
     pub(crate) values: Vec<T>,
