@@ -180,9 +180,28 @@ fn main() {
         "spliced kernel must be bit-identical to full recompilation"
     );
     println!(
-        "bit-identity: splice of revision {} == fresh recompile ✓\n",
+        "bit-identity: splice of revision {} == fresh recompile ✓",
         revision_seeds[0]
     );
+
+    // Fast-mode tolerance check: the spliced kernel re-billed under
+    // `Precision::Fast` (the vectorized segment-replay path E1b runs with
+    // when `HPCGRID_PRECISION=fast`) must agree with the bit-exact bill to
+    // within the documented 1e-12 relative tolerance.
+    let exact_total = sampled.bill(&load).expect("bit-exact bill").total();
+    let fast_total = sampled
+        .clone()
+        .with_precision(hpcgrid_core::billing::Precision::Fast)
+        .bill(&load)
+        .expect("fast bill")
+        .total();
+    let rel = (exact_total.as_dollars() - fast_total.as_dollars()).abs()
+        / exact_total.as_dollars().abs().max(1.0);
+    assert!(
+        rel <= 1e-12,
+        "fast-mode total drifted {rel:e} past the 1e-12 tolerance"
+    );
+    println!("fast-mode tolerance: |fast - exact| / exact = {rel:.2e} <= 1e-12 ✓\n");
 
     // Now let the scheduler *act* on the dynamic price: shift deferrable
     // jobs out of the top-15% price hours.

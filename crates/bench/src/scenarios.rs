@@ -11,7 +11,7 @@
 //! to a directory to persist results between runs (re-running an experiment
 //! then only recomputes changed scenarios).
 
-use hpcgrid_core::billing::BillingEngine;
+use hpcgrid_core::billing::{BillingEngine, Precision};
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::tariff::Tariff;
@@ -159,11 +159,17 @@ pub fn compile_contract(
 /// Start a [`hpcgrid_engine::ScenarioSpec`] pre-filled with the reference
 /// world's identity (site, horizon) so specs — and therefore cache keys —
 /// from different experiment binaries agree on what the baseline is.
+///
+/// The active billing [`Precision`] (the `HPCGRID_PRECISION` selection the
+/// experiment helpers bill under) is recorded as the reserved `precision`
+/// param, so bit-exact and fast runs of one experiment cache under
+/// different content hashes and can never serve each other's results.
 pub fn experiment_spec(experiment: &str, trace_seed: u64) -> ScenarioSpecBuilder {
     hpcgrid_engine::ScenarioSpec::builder(experiment)
         .site("exp-site")
         .trace_seed(trace_seed)
         .horizon_days(HORIZON_DAYS)
+        .precision(Precision::from_env().label())
 }
 
 /// A sweep runner for experiment binaries. Honours `HPCGRID_SWEEP_CACHE`:
@@ -218,6 +224,16 @@ mod tests {
         let b = bill(&typical_contract(), &load);
         assert!(b.total() > Money::ZERO);
         assert!(b.demand_share() > 0.0);
+    }
+
+    #[test]
+    fn experiment_specs_record_the_active_precision() {
+        let spec = experiment_spec("demo", 1).build();
+        assert_eq!(
+            spec.precision(),
+            Some(Precision::from_env().label()),
+            "specs must pin the precision their results were billed at"
+        );
     }
 
     #[test]

@@ -30,22 +30,35 @@
 //! strip resolution (a tight segment splice with no calendar calls) and
 //! leaves every other piece untouched.
 //!
-//! # Bit-identical billing
+//! # Precision modes
 //!
-//! Evaluation is **bit-identical** to the interpreted path: segment prices
-//! are computed with the same `price_at` expressions the interpreter would
-//! use, and every floating-point accumulation replicates the interpreter's
-//! expression shape and summation order (see the `compiled_equivalence`
-//! integration tests). The same holds for every patched kernel: `patch` and
-//! `with_price_strip` produce kernels equal to a fresh
-//! [`CompiledContract::compile`] of [`Contract::apply`]'s output (see the
-//! `patch_equivalence` property tests), because pieces are lowered by one
-//! shared routine and unchanged pieces are reused verbatim. Compilation
-//! costs one `price_at` call per candidate breakpoint (a few per day of
-//! horizon), so it amortizes after roughly two bills per contract — and a
-//! patch amortizes immediately.
+//! Under the default [`Precision::BitExact`], evaluation is **bit-identical**
+//! to the interpreted path: segment prices are computed with the same
+//! `price_at` expressions the interpreter would use, and every
+//! floating-point accumulation replicates the interpreter's expression shape
+//! and summation order (see the `compiled_equivalence` integration tests).
+//! The same holds for every patched kernel: `patch` and `with_price_strip`
+//! produce kernels equal to a fresh [`CompiledContract::compile`] of
+//! [`Contract::apply`]'s output (see the `patch_equivalence` property
+//! tests), because pieces are lowered by one shared routine and unchanged
+//! pieces are reused verbatim. Compilation costs one `price_at` call per
+//! candidate breakpoint (a few per day of horizon), so it amortizes after
+//! roughly two bills per contract — and a patch amortizes immediately.
+//!
+//! [`Precision::Fast`] opts into the vectorized kernels from
+//! `hpcgrid_units::kernels`: 8-lane pairwise summation for energy costs and
+//! block-tariff buckets (within a `1e-12` relative tolerance of the exact
+//! path for horizons up to a year; property-tested in `fast_equivalence`),
+//! and a branchless lane-max demand scan that is *bit-equal* to the exact
+//! peak whenever the demand interval is no coarser than the load's step.
+//! Both modes route through a reusable **segment map** — the
+//! segment→sample-range index for a load geometry `(start, step, len)`,
+//! cached per timeline and shared across `bill_many`/sweep revisions (and,
+//! via `Arc`-shared pieces, across `patch`/`with_price_strip`), so repeated
+//! bills of one geometry skip the `partition_point`/`div_ceil` merge
+//! entirely.
 
-use crate::billing::{Bill, LineItem};
+use crate::billing::{Bill, LineItem, Precision};
 use crate::contract::{Contract, ContractDelta};
 use crate::demand_charge::{DemandAssessment, DemandCharge};
 use crate::emergency::EmergencyDrClause;
@@ -57,19 +70,90 @@ use crate::{CoreError, Result};
 use hpcgrid_timeseries::intervals::IntervalSet;
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::time::SECS_PER_DAY;
-use hpcgrid_units::{Calendar, Money, SimTime};
-use std::sync::Arc;
+use hpcgrid_units::{kernels, Calendar, Money, Power, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The sample geometry of a load series — everything the segment→sample
+/// mapping of a [`PriceTimeline`] depends on. Two loads with the same
+/// geometry (start, step, length) share one [`SegmentMap`] regardless of
+/// their power values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SampleGeometry {
+    start: u64,
+    step: u64,
+    len: usize,
+}
+
+impl SampleGeometry {
+    fn of(load: &PowerSeries) -> SampleGeometry {
+        SampleGeometry {
+            start: load.start().as_secs(),
+            step: load.step().as_secs(),
+            len: load.len(),
+        }
+    }
+}
+
+/// The segment→sample-range index for one load geometry: run `k` covers
+/// sample indexes `[runs[k-1].0, runs[k].0)` at `runs[k].1` dollars per kWh
+/// (the first run starts at 0). Zero-length segments (shorter than one
+/// sample step) are dropped — they price no samples. Replaying the runs
+/// makes the same per-sample multiply-adds in the same order as the direct
+/// merge, so routing the bit-exact path through a map changes nothing.
+#[derive(Debug)]
+struct SegmentMap {
+    runs: Vec<(usize, f64)>,
+}
+
+/// Upper bound on cached geometries per timeline. Sweeps bill one or a few
+/// geometries thousands of times; 16 covers every workload in the repo while
+/// bounding memory for adversarial geometry churn (oldest entry evicted).
+const SEGMENT_MAP_CACHE_CAP: usize = 16;
+
+/// Per-timeline cache of [`SegmentMap`]s keyed by [`SampleGeometry`], with
+/// hit/miss counters for bench observability. The cache is *derived* state:
+/// it never participates in equality, and cloning a timeline starts a fresh
+/// (empty) cache. Because compiled tariff pieces are shared behind [`Arc`],
+/// the cache survives [`CompiledContract::patch`]/`with_price_strip` for
+/// every piece the patch does not re-lower.
+#[derive(Debug, Default)]
+struct SegmentMapCache {
+    entries: Mutex<Vec<(SampleGeometry, Arc<SegmentMap>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// A piecewise-constant price timeline: segment `i` covers
 /// `[breaks[i], breaks[i+1])` (the last segment extends to the compile
 /// horizon's end) at `prices[i]` dollars per kWh. Adjacent segments with
 /// bitwise-equal prices are merged at compile time.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct PriceTimeline {
     /// Segment start times in seconds; `breaks[0]` is the horizon start.
     breaks: Vec<u64>,
     /// Segment prices in `$ / kWh`, one per break.
     prices: Vec<f64>,
+    /// Reusable segment→sample-range maps, keyed by load geometry.
+    maps: SegmentMapCache,
+}
+
+impl Clone for PriceTimeline {
+    fn clone(&self) -> PriceTimeline {
+        PriceTimeline {
+            breaks: self.breaks.clone(),
+            prices: self.prices.clone(),
+            maps: SegmentMapCache::default(),
+        }
+    }
+}
+
+/// Equality is over the priced segments alone; the segment-map cache is
+/// derived state and never observable through billing.
+impl PartialEq for PriceTimeline {
+    fn eq(&self, other: &PriceTimeline) -> bool {
+        self.breaks == other.breaks && self.prices == other.prices
+    }
 }
 
 impl PriceTimeline {
@@ -126,7 +210,11 @@ impl PriceTimeline {
                 prices.push(p);
             }
         }
-        PriceTimeline { breaks, prices }
+        PriceTimeline {
+            breaks,
+            prices,
+            maps: SegmentMapCache::default(),
+        }
     }
 
     /// Lower a dynamic tariff's markup/fallback logic into the strip
@@ -165,7 +253,11 @@ impl PriceTimeline {
             &mut breaks,
             &mut prices,
         );
-        PriceTimeline { breaks, prices }
+        PriceTimeline {
+            breaks,
+            prices,
+            maps: SegmentMapCache::default(),
+        }
     }
 
     /// Number of price segments.
@@ -173,35 +265,104 @@ impl PriceTimeline {
         self.prices.len()
     }
 
-    /// Energy cost of a load: the linear merge of the sample sequence and
-    /// the segment sequence. Replicates `PowerSeries::cost_against` exactly:
-    /// `Σ v[i]·h·price`, accumulated in sample order.
-    fn cost(&self, load: &PowerSeries) -> Money {
-        let h = load.step().as_hours();
-        let step = load.step().as_secs();
-        let t0 = load.start().as_secs();
-        let values = load.values();
-        let mut dollars = 0.0f64;
+    /// Build the segment→sample-range index for one geometry: the same
+    /// `partition_point` + `div_ceil` merge the direct cost loop performed
+    /// per bill, done once and replayed thereafter. Prices are embedded in
+    /// the runs, so replaying cannot skew segment indexes.
+    fn build_map(&self, geom: SampleGeometry) -> SegmentMap {
+        let SampleGeometry {
+            start: t0,
+            step,
+            len,
+        } = geom;
+        let mut runs = Vec::new();
         // Segment covering the first sample: breaks[seg] <= t0 < breaks[seg+1]
         // (breaks[0] is the horizon start, which bounds the load from below).
         let mut seg = self.breaks.partition_point(|b| *b <= t0) - 1;
         let mut i = 0usize;
-        while i < values.len() {
+        while i < len {
             // Sample `j` (at t0 + j·step) lies in this segment while its time
-            // is below the next break; run the whole slice at one price so
-            // the segment lookup leaves the per-sample loop.
+            // is below the next break.
             let i_end = match self.breaks.get(seg + 1) {
-                Some(&b) => ((b - t0).div_ceil(step) as usize).min(values.len()),
-                None => values.len(),
+                Some(&b) => ((b - t0).div_ceil(step) as usize).min(len),
+                None => len,
             };
-            let price = self.prices[seg];
-            for p in &values[i..i_end] {
-                dollars += p.as_kilowatts() * h * price;
+            if i_end > i {
+                runs.push((i_end, self.prices[seg]));
             }
             i = i_end;
             seg += 1;
         }
+        SegmentMap { runs }
+    }
+
+    /// The cached [`SegmentMap`] for `load`'s geometry, built on first use.
+    /// The build happens under the cache lock so concurrent `bill_many`
+    /// workers hitting one new geometry build it exactly once.
+    fn map_for(&self, load: &PowerSeries) -> Arc<SegmentMap> {
+        let geom = SampleGeometry::of(load);
+        let mut entries = self
+            .maps
+            .entries
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some((_, map)) = entries.iter().find(|(g, _)| *g == geom) {
+            self.maps.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(map);
+        }
+        self.maps.misses.fetch_add(1, Ordering::Relaxed);
+        let map = Arc::new(self.build_map(geom));
+        if entries.len() >= SEGMENT_MAP_CACHE_CAP {
+            entries.remove(0);
+        }
+        entries.push((geom, Arc::clone(&map)));
+        map
+    }
+
+    /// `(hits, misses)` of this timeline's segment-map cache.
+    fn map_stats(&self) -> (u64, u64) {
+        (
+            self.maps.hits.load(Ordering::Relaxed),
+            self.maps.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Energy cost of a load: replay the cached segment map over the sample
+    /// sequence. Replicates `PowerSeries::cost_against` exactly —
+    /// `Σ v[i]·h·price`, accumulated in sample order — so the result is
+    /// bit-identical to the interpreted path.
+    fn cost(&self, load: &PowerSeries) -> Money {
+        let map = self.map_for(load);
+        let h = load.step().as_hours();
+        let values = load.values();
+        let mut dollars = 0.0f64;
+        let mut i = 0usize;
+        for &(end, price) in &map.runs {
+            for p in &values[i..end] {
+                dollars += p.as_kilowatts() * h * price;
+            }
+            i = end;
+        }
         Money::from_dollars(dollars)
+    }
+
+    /// Energy cost via the vectorized fast path: each run is reduced with
+    /// 8-lane pairwise summation and scaled by `h·price` once, and the
+    /// per-run totals are pairwise-summed in turn. Within a `1e-12` relative
+    /// tolerance of [`PriceTimeline::cost`] for horizons up to a year (the
+    /// pairwise tree error is `O(log n)` rounding terms over same-sign
+    /// addends).
+    fn cost_fast(&self, load: &PowerSeries) -> Money {
+        let map = self.map_for(load);
+        let h = load.step().as_hours();
+        let kw = Power::kilowatts_slice(load.values());
+        let mut run_totals = Vec::with_capacity(map.runs.len());
+        let mut i = 0usize;
+        for &(end, price) in &map.runs {
+            run_totals.push(kernels::sum_pairwise(&kw[i..end]) * (h * price));
+            i = end;
+        }
+        Money::from_dollars(kernels::sum_pairwise(&run_totals))
     }
 }
 
@@ -309,6 +470,9 @@ pub struct CompiledContract {
     powerband: Option<Powerband>,
     emergency: Option<EmergencyDrClause>,
     monthly_fee: Money,
+    /// Numerical fidelity of evaluation (see [`Precision`]); defaults to
+    /// the `HPCGRID_PRECISION` env selection at compile time.
+    precision: Precision,
 }
 
 impl CompiledContract {
@@ -359,7 +523,39 @@ impl CompiledContract {
             powerband: contract.powerband,
             emergency: contract.emergency,
             monthly_fee: contract.monthly_fee,
+            precision: Precision::from_env(),
         })
+    }
+
+    /// The same kernel evaluating at an explicit [`Precision`]. Lowered
+    /// pieces (and their segment-map caches) are shared with `self`, so
+    /// switching precision costs nothing.
+    pub fn with_precision(mut self, precision: Precision) -> CompiledContract {
+        self.precision = precision;
+        self
+    }
+
+    /// The precision this kernel bills at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Aggregate `(hits, misses)` of the per-timeline segment-map caches.
+    /// Hits are bills that skipped the `partition_point`/`div_ceil` segment
+    /// merge entirely by reusing a cached geometry map. Patched kernels
+    /// share unchanged pieces by `Arc`, so their cache stats (like the maps
+    /// themselves) carry across [`CompiledContract::patch`].
+    pub fn segment_map_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for t in &self.tariffs {
+            if let LoweredTariff::Strip(timeline) = &t.lowered {
+                let (h, m) = timeline.map_stats();
+                hits += h;
+                misses += m;
+            }
+        }
+        (hits, misses)
     }
 
     /// Re-lower only the component changed by `delta`, sharing every other
@@ -659,6 +855,47 @@ impl CompiledContract {
         Ok(out)
     }
 
+    /// Fast demand-charge assessment: a branchless lane-max scan per billing
+    /// month over the raw sample slice. Applies only when metering is an
+    /// identity ([`DemandCharge::metering_is_identity`]); then the billed
+    /// peak is *bit-equal* to [`CompiledContract::assess_demand`] because
+    /// `f64::max` is associative over finite values. The month sample
+    /// ranges replicate `Series::slice_time` exactly — floor start index,
+    /// ceil end index — including its one-sample overlap at month boundaries
+    /// that are not step-aligned.
+    fn assess_demand_fast(&self, dc: &DemandCharge, load: &PowerSeries) -> Vec<DemandAssessment> {
+        let kw = Power::kilowatts_slice(load.values());
+        let t0 = load.start().as_secs();
+        let step = load.step().as_secs();
+        let len = load.len();
+        let mut out = Vec::new();
+        let mut cursor = load.start();
+        let end = load.end();
+        let mut bi = self.boundary_after(cursor.as_secs());
+        let mut month = self.first_month + bi as u64;
+        while cursor < end {
+            let boundary = match self.month_starts.get(bi) {
+                Some(&b) => SimTime::from_secs(b).min(end),
+                None => end,
+            };
+            let i0 = ((cursor.as_secs() - t0) / step) as usize;
+            let i1 = ((boundary.as_secs() - t0).div_ceil(step) as usize).min(len);
+            if i1 > i0 {
+                let peak = Power::from_kilowatts(kernels::max_lanes(&kw[i0..i1]));
+                let billed = dc.apply_floor(peak);
+                out.push(DemandAssessment {
+                    month,
+                    billed_demand: billed,
+                    charge: billed * dc.price,
+                });
+            }
+            cursor = boundary;
+            bi += 1;
+            month += 1;
+        }
+        out
+    }
+
     /// Block-tariff cost through the month-boundary index. Replicates the
     /// interpreter's per-month accumulation (a `BTreeMap` filled in time
     /// order) as a cursor walk: same adds in the same order, months with no
@@ -693,6 +930,40 @@ impl CompiledContract {
             .fold(Money::ZERO, |a, m| a + m)
     }
 
+    /// Fast block-tariff cost: each billing month's kWh is an 8-lane
+    /// pairwise sum scaled by the step width once, folded through
+    /// `monthly_cost` chronologically. A sample belongs to the month its
+    /// *start* lies in (month ranges do NOT overlap — unlike the demand
+    /// slices), matching the interpreter's bucketing. `monthly_cost` is
+    /// continuous piecewise-linear in kWh, so the pairwise perturbation of
+    /// each bucket propagates within the documented `1e-12` relative
+    /// tolerance.
+    fn block_cost_fast(&self, b: &BlockTariff, load: &PowerSeries) -> Money {
+        let kw = Power::kilowatts_slice(load.values());
+        let step_h = load.step().as_hours();
+        let step = load.step().as_secs();
+        let t0 = load.start().as_secs();
+        let len = load.len();
+        let mut total = Money::ZERO;
+        let mut i = 0usize;
+        let mut bi = self.boundary_after(t0);
+        while i < len {
+            // Samples whose start time is below the boundary: strict `<`,
+            // so the exclusive end index is ceil((boundary - t0) / step).
+            let i_end = match self.month_starts.get(bi) {
+                Some(&bnd) => ((bnd - t0).div_ceil(step) as usize).min(len),
+                None => len,
+            };
+            bi += 1;
+            if i_end > i {
+                let kwh = kernels::sum_pairwise(&kw[i..i_end]) * step_h;
+                total += b.monthly_cost(kwh);
+                i = i_end;
+            }
+        }
+        total
+    }
+
     /// Billing months touched by `load` (for the service fee), from the
     /// boundary index alone.
     fn months_covered(&self, load: &PowerSeries) -> u64 {
@@ -713,11 +984,14 @@ impl CompiledContract {
             return Err(CoreError::BadSeries("load series is empty".into()));
         }
         self.check_in_horizon(load)?;
+        let fast = self.precision == Precision::Fast;
         let mut items = Vec::new();
         for (i, ct) in self.tariffs.iter().enumerate() {
-            let amount = match &ct.lowered {
-                LoweredTariff::Strip(timeline) => timeline.cost(load),
-                LoweredTariff::Block(b) => self.block_cost(b, load),
+            let amount = match (&ct.lowered, fast) {
+                (LoweredTariff::Strip(timeline), false) => timeline.cost(load),
+                (LoweredTariff::Strip(timeline), true) => timeline.cost_fast(load),
+                (LoweredTariff::Block(b), false) => self.block_cost(b, load),
+                (LoweredTariff::Block(b), true) => self.block_cost_fast(b, load),
             };
             items.push(LineItem {
                 label: format!("{} tariff #{}", ct.kind().label(), i + 1),
@@ -726,7 +1000,11 @@ impl CompiledContract {
             });
         }
         if let Some(dc) = &self.demand_charge {
-            let assessments = self.assess_demand(dc, load)?;
+            let assessments = if fast && dc.metering_is_identity(load.step()) {
+                self.assess_demand_fast(dc, load)
+            } else {
+                self.assess_demand(dc, load)?
+            };
             let amount = assessments.iter().map(|a| a.charge).sum();
             items.push(LineItem {
                 label: format!("Demand charges ({} billing months)", assessments.len()),
@@ -1036,6 +1314,112 @@ mod tests {
                 .iter()
                 .map(fingerprint::of_tariff)
                 .collect::<Vec<_>>()
+        );
+    }
+
+    fn assert_close(a: Money, b: Money) {
+        let (a, b) = (a.as_dollars(), b.as_dollars());
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() / scale <= 1e-12,
+            "fast/exact mismatch: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn fast_path_within_tolerance_and_demand_bit_equal() {
+        let cal = Calendar::default();
+        let load = load_15min(40, 8.0);
+        let exact = CompiledContract::compile(&cal, &tou_contract(), load.start(), load.end())
+            .unwrap()
+            .with_precision(Precision::BitExact);
+        // `clone` shares the lowered pieces (and their segment-map caches);
+        // only the precision knob differs.
+        let fast = exact.clone().with_precision(Precision::Fast);
+        assert_eq!(fast.precision(), Precision::Fast);
+        let a = exact.bill(&load).unwrap();
+        let b = fast.bill(&load).unwrap();
+        assert_eq!(a.items.len(), b.items.len());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.label, y.label);
+            assert_close(x.amount, y.amount);
+        }
+        // The demand charge (15-min interval over 15-min samples) takes the
+        // lane-max path and is bit-equal, not merely close.
+        let dc_kind = ContractComponentKind::DemandCharge;
+        assert_eq!(
+            a.item_for(dc_kind).unwrap().amount,
+            b.item_for(dc_kind).unwrap().amount
+        );
+    }
+
+    #[test]
+    fn segment_maps_are_cached_per_geometry() {
+        let cal = Calendar::default();
+        let load = load_15min(30, 8.0);
+        let compiled =
+            CompiledContract::compile(&cal, &tou_contract(), load.start(), load.end()).unwrap();
+        assert_eq!(compiled.segment_map_stats(), (0, 0));
+        compiled.bill(&load).unwrap();
+        let (h1, m1) = compiled.segment_map_stats();
+        assert_eq!((h1, m1), (0, 1), "first geometry is a miss");
+        compiled.bill(&load).unwrap();
+        compiled
+            .clone()
+            .with_precision(Precision::Fast)
+            .bill(&load)
+            .unwrap();
+        let (h2, m2) = compiled.segment_map_stats();
+        assert_eq!(m2, 1, "same geometry never rebuilds");
+        assert!(h2 >= 2, "repeat bills hit the cache: {h2}");
+        // A different geometry is a fresh miss.
+        compiled.bill(&load_15min(10, 8.0)).unwrap();
+        assert_eq!(compiled.segment_map_stats().1, 2);
+    }
+
+    #[test]
+    fn patched_kernel_shares_segment_maps_of_unchanged_pieces() {
+        let cal = Calendar::default();
+        let base = dynamic_contract(hourly_strip(SimTime::EPOCH, &[0.05; 24 * 30]));
+        let compiled =
+            CompiledContract::compile(&cal, &base, SimTime::EPOCH, SimTime::from_days(30)).unwrap();
+        let load = load_15min(30, 8.0);
+        compiled.bill(&load).unwrap();
+        let misses_before = compiled.segment_map_stats().1;
+        // A non-tariff patch shares every piece: billing the same geometry
+        // through the patched kernel is all hits, zero rebuilds.
+        let patched = compiled
+            .patch(&ContractDelta::SetMonthlyFee(Money::from_dollars(99.0)))
+            .unwrap();
+        patched.bill(&load).unwrap();
+        assert_eq!(patched.segment_map_stats().1, misses_before);
+        assert!(patched.segment_map_stats().0 > 0);
+    }
+
+    #[test]
+    fn fast_block_tariff_within_tolerance() {
+        let cal = Calendar::default();
+        let c = Contract::builder("block")
+            .tariff(Tariff::Block(BlockTariff {
+                blocks: vec![
+                    crate::tariff::BlockStep {
+                        up_to_kwh: Some(1_000_000.0),
+                        price: EnergyPrice::per_kilowatt_hour(0.10),
+                    },
+                    crate::tariff::BlockStep {
+                        up_to_kwh: None,
+                        price: EnergyPrice::per_kilowatt_hour(0.06),
+                    },
+                ],
+            }))
+            .build()
+            .unwrap();
+        let load = load_15min(45, 7.3);
+        let exact = CompiledContract::compile(&cal, &c, load.start(), load.end()).unwrap();
+        let fast = exact.clone().with_precision(Precision::Fast);
+        assert_close(
+            exact.bill(&load).unwrap().total(),
+            fast.bill(&load).unwrap().total(),
         );
     }
 

@@ -80,6 +80,28 @@ impl DemandCharge {
         Ok(())
     }
 
+    /// True when metering a series of the given step at this charge's
+    /// demand interval is an exact identity, making the billed demand a
+    /// plain maximum over raw samples. Holds for the [`DemandBasis::MaxPeak`]
+    /// basis whenever the demand interval is no coarser than the step:
+    /// a finer interval meters at the data's own resolution, and an equal
+    /// one downsamples by a factor of 1 — both return the samples verbatim
+    /// (see `hpcgrid_timeseries::peaks::metered_demand`). This is the gate
+    /// for the compiled kernel's lane-max fast path, which is then
+    /// *bit-equal* to the exact scan because `f64::max` is associative over
+    /// finite values.
+    pub(crate) fn metering_is_identity(&self, step: Duration) -> bool {
+        self.basis == DemandBasis::MaxPeak && self.demand_interval.as_secs() <= step.as_secs()
+    }
+
+    /// Apply the ratchet floor (if any) to a raw billed demand.
+    pub(crate) fn apply_floor(&self, demand: Power) -> Power {
+        match self.floor {
+            Some(floor) => demand.max(floor),
+            None => demand,
+        }
+    }
+
     /// Billed demand of one period's load slice.
     pub(crate) fn billed_demand(&self, slice: &PowerSeries) -> Result<Power> {
         let demand = match self.basis {
@@ -95,10 +117,7 @@ impl DemandCharge {
                 Power::from_kilowatts(sum / top.len() as f64)
             }
         };
-        Ok(match self.floor {
-            Some(floor) => demand.max(floor),
-            None => demand,
-        })
+        Ok(self.apply_floor(demand))
     }
 
     /// Assess the charge for every billing month covered by `load`.
@@ -262,6 +281,21 @@ mod tests {
         let bc = coarse.assess(&cal, &load).unwrap()[0].billed_demand;
         assert_eq!(bf.as_megawatts(), 20.0);
         assert!((bc.as_megawatts() - 6.5).abs() < 1e-9); // (20+2+2+2)/4
+    }
+
+    #[test]
+    fn metering_identity_gate() {
+        // 15-min MaxPeak: identity for 15-min or coarser data, not finer.
+        let dc = DemandCharge::monthly(DemandPrice::per_kilowatt_month(1.0));
+        assert!(dc.metering_is_identity(Duration::from_minutes(15.0)));
+        assert!(dc.metering_is_identity(Duration::from_hours(1.0)));
+        assert!(!dc.metering_is_identity(Duration::from_minutes(5.0)));
+        // Top-k averaging is never a plain max.
+        let topk = DemandCharge {
+            basis: DemandBasis::TopKAverage(3),
+            ..dc
+        };
+        assert!(!topk.metering_is_identity(Duration::from_hours(1.0)));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod survey;
 pub mod tariff;
 pub mod typology;
 
-pub use billing::{Bill, BillingEngine};
+pub use billing::{Bill, BillingEngine, Precision};
 pub use compiled::CompiledContract;
 pub use contract::{Contract, ContractBuilder, ContractDelta};
 pub use demand_charge::DemandCharge;

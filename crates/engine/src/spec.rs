@@ -230,6 +230,13 @@ impl ScenarioSpec {
         self.params.get(Self::DELTA_PARAM)?.as_str()
     }
 
+    /// The billing-precision label recorded by
+    /// [`ScenarioSpecBuilder::precision`], if any. `None` means the
+    /// scenario bills at the default bit-exact precision.
+    pub fn precision(&self) -> Option<&str> {
+        self.params.get(Self::PRECISION_PARAM)?.as_str()
+    }
+
     /// Reserved param key naming the compiled base contract a patch-path
     /// scenario splices on top of.
     pub const BASE_CONTRACT_PARAM: &'static str = "base_contract";
@@ -237,6 +244,10 @@ impl ScenarioSpec {
     /// Reserved param key naming the contract delta a patch-path scenario
     /// applies to its base.
     pub const DELTA_PARAM: &'static str = "delta";
+
+    /// Reserved param key naming the billing precision a scenario evaluates
+    /// at (`"bit_exact"` or `"fast"`).
+    pub const PRECISION_PARAM: &'static str = "precision";
 
     /// The canonical serialized form (sorted keys at every level) — what the
     /// content hash is computed over.
@@ -313,6 +324,16 @@ impl ScenarioSpecBuilder {
     /// `hpcgrid-core`).
     pub fn delta(self, label: impl Into<String>) -> Self {
         self.param(ScenarioSpec::DELTA_PARAM, label.into())
+    }
+
+    /// Record the billing precision a scenario evaluates at, as the
+    /// reserved [`ScenarioSpec::PRECISION_PARAM`] param. Use the stable
+    /// label from `Precision::label()` in `hpcgrid-core` (`"bit_exact"` or
+    /// `"fast"`): bit-exact and fast runs of the same sweep then cache
+    /// under different content hashes, so a tolerance-mode re-run never
+    /// serves results computed at the other precision.
+    pub fn precision(self, label: impl Into<String>) -> Self {
+        self.param(ScenarioSpec::PRECISION_PARAM, label.into())
     }
 
     /// Finish the spec.
@@ -412,6 +433,23 @@ mod tests {
             .delta("replace_strip#2[720]")
             .build();
         assert_ne!(patched.content_hash(), other_base.content_hash());
+    }
+
+    #[test]
+    fn precision_is_a_reserved_param() {
+        let plain = spec();
+        assert_eq!(plain.precision(), None);
+
+        let fast = ScenarioSpec::builder("tariff_sensitivity")
+            .precision("fast")
+            .build();
+        assert_eq!(fast.precision(), Some("fast"));
+        // Precision separates cache keys: the same sweep at bit-exact
+        // precision must never be served a fast-mode result (or vice versa).
+        let exact = ScenarioSpec::builder("tariff_sensitivity")
+            .precision("bit_exact")
+            .build();
+        assert_ne!(fast.content_hash(), exact.content_hash());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::series::PowerSeries;
 use crate::{Result, TsError};
-use hpcgrid_units::{Duration, Power};
+use hpcgrid_units::{kernels, Duration, Power};
 use serde::{Deserialize, Serialize};
 
 /// A bundle of summary statistics over a load series.
@@ -37,11 +37,15 @@ pub fn load_stats(s: &PowerSeries) -> Result<LoadStats> {
         return Err(TsError::Empty);
     }
     let n = s.len() as f64;
-    let kw: Vec<f64> = s.values().iter().map(|p| p.as_kilowatts()).collect();
-    let mean = kw.iter().sum::<f64>() / n;
-    let peak = kw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let trough = kw.iter().cloned().fold(f64::INFINITY, f64::min);
-    let var = kw.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    // Pairwise-summation kernels over a zero-copy f64 view: a naive left
+    // fold accumulates O(n) rounding error on long series (a 1e7-sample
+    // constant series drifts visibly in the mean); the shared tree kernels
+    // bound the error at O(log n) terms.
+    let kw = Power::kilowatts_slice(s.values());
+    let mean = kernels::sum_pairwise(kw) / n;
+    let peak = kernels::max_lanes(kw);
+    let trough = kernels::min_lanes(kw);
+    let var = kernels::sum_squared_deviations(kw, mean) / n;
     let step_h = s.step().as_hours();
     let (mut max_ramp, mut sum_ramp) = (0.0f64, 0.0f64);
     for w in kw.windows(2) {
@@ -163,6 +167,35 @@ mod tests {
         assert!((st.mean_ramp_kw_per_hour - 8.0).abs() < 1e-9);
         // Population std dev of 2,4,6,8 is sqrt(5).
         assert!((st.std_dev.as_kilowatts() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_constant_series_has_exact_mean_and_zero_spread() {
+        // Regression for the naive left-fold drift this module used to have:
+        // summing 1e7 copies of 0.1 left-to-right loses ~1e-10 relative
+        // accuracy; the pairwise kernels keep the mean within a few ULP and
+        // the standard deviation at (numerically) zero.
+        let s = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            Power::from_kilowatts(0.1),
+            10_000_000,
+        )
+        .unwrap();
+        let st = load_stats(&s).unwrap();
+        assert!(
+            (st.mean.as_kilowatts() - 0.1).abs() < 1e-15,
+            "mean drifted: {:e}",
+            st.mean.as_kilowatts() - 0.1
+        );
+        assert!(
+            st.std_dev.as_kilowatts() < 1e-12,
+            "constant series std_dev {:e}",
+            st.std_dev.as_kilowatts()
+        );
+        assert_eq!(st.peak.as_kilowatts(), 0.1);
+        assert_eq!(st.trough.as_kilowatts(), 0.1);
+        assert!((st.peak_to_average - 1.0).abs() < 1e-12);
     }
 
     #[test]

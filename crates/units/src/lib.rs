@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod kernels;
 pub mod money;
 pub mod power;
 pub mod price;

@@ -107,6 +107,17 @@ impl Power {
     pub fn lerp(self, other: Power, t: f64) -> Power {
         Power(self.0 + (other.0 - self.0) * t)
     }
+
+    /// View a slice of `Power` values as their raw kilowatt `f64`s without
+    /// copying — the entry point to the [`crate::kernels`] reductions for
+    /// metered load series.
+    #[inline]
+    pub fn kilowatts_slice(powers: &[Power]) -> &[f64] {
+        // SAFETY: `Power` is `#[repr(transparent)]` over `f64`, so a
+        // `&[Power]` has exactly the layout, alignment, and validity of a
+        // `&[f64]` of the same length.
+        unsafe { std::slice::from_raw_parts(powers.as_ptr().cast::<f64>(), powers.len()) }
+    }
 }
 
 impl Add for Power {
@@ -285,6 +296,17 @@ mod tests {
         assert!(Power::try_from_kilowatts(f64::NAN).is_err());
         assert!(Power::try_from_kilowatts(f64::INFINITY).is_err());
         assert!(Power::try_from_kilowatts(-3.0).is_ok());
+    }
+
+    #[test]
+    fn kilowatts_slice_is_a_zero_copy_view() {
+        let powers: Vec<Power> = (0..5)
+            .map(|i| Power::from_kilowatts(i as f64 * 1.5))
+            .collect();
+        let kw = Power::kilowatts_slice(&powers);
+        assert_eq!(kw, &[0.0, 1.5, 3.0, 4.5, 6.0]);
+        assert_eq!(kw.as_ptr().cast::<Power>(), powers.as_ptr());
+        assert!(Power::kilowatts_slice(&[]).is_empty());
     }
 
     #[test]
