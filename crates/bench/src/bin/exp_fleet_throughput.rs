@@ -1,0 +1,331 @@
+//! Experiment X7 (extension) — streaming meter-fleet throughput.
+//!
+//! Measures `MeterFleet` folding one day of 15-minute samples (96 ticks)
+//! across one million streaming meters sharded over four contract shapes
+//! drawn from the paper's typology (flat, utility TOU, TOU + demand
+//! charge, TOU + demand + powerband + fee). Emits the measured numbers as
+//! `BENCH_fleet.json` so the baseline is committed next to the code it
+//! describes.
+//!
+//! Two passes over the same workload separate the accrual cursor modes:
+//!
+//! * **cold** — freshly compiled kernels, empty segment-map caches: every
+//!   strip accrual advances its segment cursor sample by sample;
+//! * **warm** — the same kernel `Arc`s after one reference bill seeded
+//!   their segment-map caches: strip accruals replay the cached map
+//!   (geometry-known fast path) and only fall back to the cursor past its
+//!   end.
+//!
+//! Correctness gates run before any timing: a small fleet's finalized
+//! bills must be bit-identical to batch `CompiledContract::bill` over the
+//! equivalent series, per meter, for every contract shape. The throughput
+//! floor is asserted on the warm pass in release builds only.
+//!
+//! `HPCGRID_FLEET_METERS` overrides the fleet size (CI smoke runs at
+//! 10 000); `HPCGRID_FLEET_SHARDS` overrides the shards-per-contract count
+//! exactly as it does for any other `MeterFleet` user.
+
+use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::billing::Precision;
+use hpcgrid_core::compiled::CompiledContract;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::demand_charge::DemandCharge;
+use hpcgrid_core::fleet::{MeterFleet, MeterId, Sample};
+use hpcgrid_core::powerband::Powerband;
+use hpcgrid_core::tariff::{DayFilter, Tariff, TouTariff, TouWindow};
+use hpcgrid_timeseries::series::{PowerSeries, Series};
+use hpcgrid_units::{
+    Calendar, DemandPrice, Duration, EnergyPrice, Money, MonthSet, Power, SimTime, TimeOfDay,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One day of 15-minute ticks.
+const TICKS: usize = 96;
+/// Committed-baseline fleet size; `HPCGRID_FLEET_METERS` overrides.
+const DEFAULT_METERS: usize = 1_000_000;
+/// Meter load profile classes (diurnal shapes at staggered scales).
+const PROFILES: usize = 8;
+/// Warm-pass throughput floor, meter-samples per second (release builds).
+const FLOOR_SAMPLES_PER_SEC: f64 = 1_000_000.0;
+
+/// The same utility-shaped TOU schedule the billing-kernel baseline uses.
+fn tou_schedule() -> Tariff {
+    Tariff::TimeOfUse(TouTariff {
+        windows: vec![
+            TouWindow {
+                months: Some(MonthSet::summer()),
+                days: DayFilter::WeekdaysOnly,
+                from: TimeOfDay::new(14, 0),
+                to: TimeOfDay::new(20, 0),
+                price: EnergyPrice::per_kilowatt_hour(0.24),
+            },
+            TouWindow {
+                months: None,
+                days: DayFilter::WeekdaysOnly,
+                from: TimeOfDay::new(7, 0),
+                to: TimeOfDay::new(22, 0),
+                price: EnergyPrice::per_kilowatt_hour(0.11),
+            },
+            TouWindow {
+                months: None,
+                days: DayFilter::All,
+                from: TimeOfDay::new(22, 0),
+                to: TimeOfDay::new(7, 0),
+                price: EnergyPrice::per_kilowatt_hour(0.04),
+            },
+        ],
+        base: EnergyPrice::per_kilowatt_hour(0.08),
+    })
+}
+
+/// The four contract shapes meters rotate through — enough typology
+/// coverage to exercise every accrual component without drowning the
+/// throughput signal in kernel variety.
+fn contract_shapes() -> Vec<Contract> {
+    vec![
+        Contract::builder("flat")
+            .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+            .build()
+            .unwrap(),
+        Contract::builder("tou")
+            .tariff(tou_schedule())
+            .build()
+            .unwrap(),
+        Contract::builder("tou+demand")
+            .tariff(tou_schedule())
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .build()
+            .unwrap(),
+        Contract::builder("tou+demand+band+fee")
+            .tariff(tou_schedule())
+            .demand_charge(DemandCharge::monthly(DemandPrice::per_kilowatt_month(12.0)))
+            .powerband(Powerband::ceiling(
+                Power::from_megawatts(6.0),
+                EnergyPrice::per_kilowatt_hour(0.45),
+            ))
+            .monthly_fee(Money::from_dollars(750.0))
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// Meter `i`'s load at tick `tick`: one of [`PROFILES`] diurnal shapes at a
+/// per-class scale. Deterministic so the batch-equivalence gate can rebuild
+/// the exact series any meter streamed.
+fn meter_power(i: usize, tick: usize) -> Power {
+    let class = i % PROFILES;
+    let base_mw = 0.5 + 0.75 * class as f64;
+    let h = tick as f64 * 0.25;
+    let phase = 14.0 + class as f64;
+    let diurnal = 1.0 + 0.3 * ((h - phase) / 24.0 * std::f64::consts::TAU).cos();
+    Power::from_megawatts(base_mw * diurnal)
+}
+
+/// The batch series equivalent to meter `i`'s full tick stream.
+fn meter_series(i: usize) -> PowerSeries {
+    Series::from_fn(SimTime::EPOCH, Duration::from_minutes(15.0), TICKS, |t| {
+        meter_power(i, (t.as_secs() / 900) as usize)
+    })
+    .unwrap()
+}
+
+/// Compile every contract shape bit-exact over the fleet horizon.
+fn compile_kernels(
+    calendar: Calendar,
+    shapes: &[Contract],
+    start: SimTime,
+    end: SimTime,
+) -> Vec<Arc<CompiledContract>> {
+    shapes
+        .iter()
+        .map(|c| {
+            Arc::new(
+                CompiledContract::compile(&calendar, c, start, end)
+                    .unwrap()
+                    .with_precision(Precision::BitExact),
+            )
+        })
+        .collect()
+}
+
+/// Register `meters` meters round-robin across the kernels, stream all
+/// [`TICKS`] ticks through a reused sample buffer, and return the fleet
+/// plus the wall-clock seconds spent registering and ticking.
+fn run_fleet(
+    calendar: Calendar,
+    kernels: &[Arc<CompiledContract>],
+    meters: usize,
+    start: SimTime,
+    end: SimTime,
+) -> (MeterFleet, f64, f64) {
+    let step = Duration::from_minutes(15.0);
+    let t0 = Instant::now();
+    let mut fleet = MeterFleet::new(calendar, start, end);
+    let mut ids: Vec<MeterId> = Vec::with_capacity(meters);
+    for i in 0..meters {
+        let kernel = Arc::clone(&kernels[i % kernels.len()]);
+        ids.push(
+            fleet
+                .register_compiled(kernel, SimTime::EPOCH, step)
+                .unwrap(),
+        );
+    }
+    let register_s = t0.elapsed().as_secs_f64();
+
+    // Per-tick powers collapse to PROFILES distinct values; precompute the
+    // table so the driver loop is a lookup, not a cosine, per meter.
+    let t1 = Instant::now();
+    let mut buf: Vec<Sample> = ids
+        .iter()
+        .map(|&m| Sample {
+            meter: m,
+            power: Power::from_megawatts(0.0),
+        })
+        .collect();
+    for tick in 0..TICKS {
+        let by_class: Vec<Power> = (0..PROFILES).map(|c| meter_power(c, tick)).collect();
+        for (i, s) in buf.iter_mut().enumerate() {
+            s.power = by_class[i % PROFILES];
+        }
+        fleet.advance_tick(&buf).unwrap();
+    }
+    let stream_s = t1.elapsed().as_secs_f64();
+    (fleet, register_s, stream_s)
+}
+
+fn main() {
+    println!("== X7: streaming meter-fleet throughput ==\n");
+    let meters: usize = std::env::var("HPCGRID_FLEET_METERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n >= PROFILES)
+        .unwrap_or(DEFAULT_METERS);
+    let calendar = Calendar::default();
+    let (start, end) = (SimTime::EPOCH, SimTime::from_days(30));
+    let shapes = contract_shapes();
+
+    // Correctness gate first: a small fleet's finalized bills must be
+    // bit-identical to batch bills of the equivalent series, for every
+    // contract shape and profile class.
+    let gate_kernels = compile_kernels(calendar, &shapes, start, end);
+    let gate_meters = 4 * PROFILES;
+    let (gate_fleet, _, _) = run_fleet(calendar, &gate_kernels, gate_meters, start, end);
+    for i in 0..gate_meters {
+        let streamed = gate_fleet.finalize(MeterId(i)).unwrap();
+        let batch = gate_kernels[i % gate_kernels.len()]
+            .bill(&meter_series(i))
+            .unwrap();
+        assert_eq!(
+            streamed, batch,
+            "meter #{i}: streamed bill must be bit-identical to the batch bill"
+        );
+    }
+    println!(
+        "correctness: {gate_meters} meters x {TICKS} ticks bit-identical to batch bills \
+         across {} contract shapes\n",
+        shapes.len()
+    );
+
+    // Cold pass: fresh kernels, empty segment-map caches — accruals run in
+    // cursor mode.
+    let cold_kernels = compile_kernels(calendar, &shapes, start, end);
+    let (cold_fleet, cold_reg_s, cold_stream_s) =
+        run_fleet(calendar, &cold_kernels, meters, start, end);
+    let cold = cold_fleet.stats();
+    drop(cold_fleet); // free ~bytes_per_meter * meters before the warm pass
+
+    // Warm pass: same kernel Arcs after one reference bill seeded each
+    // timeline's segment-map cache — accruals replay the cached maps.
+    for (i, k) in cold_kernels.iter().enumerate() {
+        k.bill(&meter_series(i)).unwrap();
+    }
+    let (warm_fleet, warm_reg_s, warm_stream_s) =
+        run_fleet(calendar, &cold_kernels, meters, start, end);
+    let warm = warm_fleet.stats();
+
+    let mut t = TextTable::new(vec![
+        "pass",
+        "register s",
+        "stream s",
+        "meter-samples/s (in-tick)",
+    ]);
+    for (pass, reg, stream, stats) in [
+        ("cold (cursor mode)", cold_reg_s, cold_stream_s, &cold),
+        ("warm (map replay)", warm_reg_s, warm_stream_s, &warm),
+    ] {
+        t.row(vec![
+            pass.to_string(),
+            format!("{reg:.2}"),
+            format!("{stream:.2}"),
+            format!("{:.0}", stats.meter_samples_per_sec),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "fleet: {meters} meters, {} shards, {} contracts, {:.0} bytes/meter, \
+         kernel reuse {:.4}%\n",
+        warm.shards,
+        warm.contracts,
+        warm.bytes_per_meter,
+        warm.kernel_reuse_rate() * 100.0
+    );
+
+    // Registration reuses each contract's kernel for all but its first
+    // meter; anything else means fingerprint sharding broke.
+    assert!(
+        warm.kernel_reuse_rate() > 0.99,
+        "kernel reuse rate {:.4} below 0.99 — shards are not sharing kernels",
+        warm.kernel_reuse_rate()
+    );
+
+    let workload = serde_json::json!({
+        "meters": meters,
+        "ticks": TICKS,
+        "step_minutes": 15usize,
+        "horizon_days": 30usize,
+        "contracts": shapes.len(),
+        "profile_classes": PROFILES,
+    });
+    let cold_json = serde_json::json!({
+        "register_seconds": cold_reg_s,
+        "stream_seconds": cold_stream_s,
+        "meter_samples_per_sec": cold.meter_samples_per_sec,
+    });
+    let warm_json = serde_json::json!({
+        "register_seconds": warm_reg_s,
+        "stream_seconds": warm_stream_s,
+        "meter_samples_per_sec": warm.meter_samples_per_sec,
+    });
+    let env_json = serde_json::json!({
+        "HPCGRID_FLEET_METERS": std::env::var("HPCGRID_FLEET_METERS").ok(),
+        "HPCGRID_FLEET_SHARDS": std::env::var("HPCGRID_FLEET_SHARDS").ok(),
+    });
+    let json = serde_json::json!({
+        "experiment": "fleet_throughput_baseline",
+        "workload": workload,
+        "cold": cold_json,
+        "warm": warm_json,
+        "bytes_per_meter": warm.bytes_per_meter,
+        "kernel_reuse_rate": warm.kernel_reuse_rate(),
+        "shards": warm.shards,
+        "floor_meter_samples_per_sec": FLOOR_SAMPLES_PER_SEC,
+        "env": env_json,
+        "optimized_build": cfg!(not(debug_assertions)),
+    });
+    let out = std::env::var("HPCGRID_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    let pretty = serde_json::to_string_pretty(&json).expect("serialize bench baseline");
+    std::fs::write(&out, pretty + "\n").expect("write BENCH_fleet.json");
+    println!("wrote {out}");
+
+    // The throughput bar is a release-build claim; debug builds run the
+    // same passes unguarded so CI smoke still exercises every path.
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            warm.meter_samples_per_sec >= FLOOR_SAMPLES_PER_SEC,
+            "warm throughput {:.0} meter-samples/s below the {FLOOR_SAMPLES_PER_SEC:.0} floor",
+            warm.meter_samples_per_sec
+        );
+    }
+    println!("X7 OK");
+}

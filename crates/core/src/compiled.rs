@@ -70,7 +70,7 @@ use crate::{CoreError, Result};
 use hpcgrid_timeseries::intervals::IntervalSet;
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::time::SECS_PER_DAY;
-use hpcgrid_units::{kernels, Calendar, Money, Power, SimTime};
+use hpcgrid_units::{kernels, Calendar, EnergyPrice, Money, Power, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -83,6 +83,14 @@ struct SampleGeometry {
     start: u64,
     step: u64,
     len: usize,
+}
+
+impl SampleGeometry {
+    /// Start time of the sample one past the end of this geometry — the
+    /// sample a one-step extension would add.
+    fn next_sample_start(&self) -> u64 {
+        self.start + self.len as u64 * self.step
+    }
 }
 
 impl SampleGeometry {
@@ -102,8 +110,26 @@ impl SampleGeometry {
 /// makes the same per-sample multiply-adds in the same order as the direct
 /// merge, so routing the bit-exact path through a map changes nothing.
 #[derive(Debug)]
-struct SegmentMap {
-    runs: Vec<(usize, f64)>,
+pub(crate) struct SegmentMap {
+    pub(crate) runs: Vec<(usize, f64)>,
+    /// Timeline segment index in force at the map's final sample: where a
+    /// one-step extension must stay ([`SegmentMap::extendable_by`]) and
+    /// where cursor-mode evaluation resumes when a stream outgrows the map.
+    pub(crate) last_seg: usize,
+}
+
+impl SegmentMap {
+    /// True if appending one sample starting at `t_new` keeps the map's
+    /// final segment in force — the cheap check that lets a cached map grow
+    /// by one step instead of missing. `breaks` must be the timeline this
+    /// map was built against.
+    pub(crate) fn extendable_by(&self, breaks: &[u64], t_new: u64) -> bool {
+        !self.runs.is_empty()
+            && match breaks.get(self.last_seg + 1) {
+                Some(&b) => t_new < b,
+                None => true,
+            }
+    }
 }
 
 /// Upper bound on cached geometries per timeline. Sweeps bill one or a few
@@ -131,9 +157,9 @@ struct SegmentMapCache {
 #[derive(Debug)]
 pub struct PriceTimeline {
     /// Segment start times in seconds; `breaks[0]` is the horizon start.
-    breaks: Vec<u64>,
+    pub(crate) breaks: Vec<u64>,
     /// Segment prices in `$ / kWh`, one per break.
-    prices: Vec<f64>,
+    pub(crate) prices: Vec<f64>,
     /// Reusable segment→sample-range maps, keyed by load geometry.
     maps: SegmentMapCache,
 }
@@ -279,6 +305,7 @@ impl PriceTimeline {
         // Segment covering the first sample: breaks[seg] <= t0 < breaks[seg+1]
         // (breaks[0] is the horizon start, which bounds the load from below).
         let mut seg = self.breaks.partition_point(|b| *b <= t0) - 1;
+        let mut last_seg = seg;
         let mut i = 0usize;
         while i < len {
             // Sample `j` (at t0 + j·step) lies in this segment while its time
@@ -289,11 +316,12 @@ impl PriceTimeline {
             };
             if i_end > i {
                 runs.push((i_end, self.prices[seg]));
+                last_seg = seg;
             }
             i = i_end;
             seg += 1;
         }
-        SegmentMap { runs }
+        SegmentMap { runs, last_seg }
     }
 
     /// The cached [`SegmentMap`] for `load`'s geometry, built on first use.
@@ -310,6 +338,32 @@ impl PriceTimeline {
             self.maps.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(map);
         }
+        // One-step growth of a cached geometry: if the appended sample stays
+        // inside the old map's final segment, extend the map (O(runs) clone)
+        // instead of redoing the full `partition_point`/`div_ceil` merge.
+        // Counts as a hit — the merge was skipped.
+        if geom.len >= 1 {
+            let shorter = SampleGeometry {
+                len: geom.len - 1,
+                ..geom
+            };
+            if let Some((_, map)) = entries.iter().find(|(g, _)| *g == shorter) {
+                if map.extendable_by(&self.breaks, shorter.next_sample_start()) {
+                    let mut runs = map.runs.clone();
+                    runs.last_mut().expect("extendable map has runs").0 += 1;
+                    let grown = Arc::new(SegmentMap {
+                        runs,
+                        last_seg: map.last_seg,
+                    });
+                    self.maps.hits.fetch_add(1, Ordering::Relaxed);
+                    if entries.len() >= SEGMENT_MAP_CACHE_CAP {
+                        entries.remove(0);
+                    }
+                    entries.push((geom, Arc::clone(&grown)));
+                    return grown;
+                }
+            }
+        }
         self.maps.misses.fetch_add(1, Ordering::Relaxed);
         let map = Arc::new(self.build_map(geom));
         if entries.len() >= SEGMENT_MAP_CACHE_CAP {
@@ -317,6 +371,25 @@ impl PriceTimeline {
         }
         entries.push((geom, Arc::clone(&map)));
         map
+    }
+
+    /// The longest cached map sharing `(start, step)` with a stream anchored
+    /// at `start` — the geometry-known fast path for accrual: a cached map's
+    /// prefix prices the stream's first `len` samples with the exact `f64`s
+    /// cursor advance would produce. Returns the map and its geometry
+    /// length; does not touch hit/miss counters (nothing was built or
+    /// skipped yet).
+    pub(crate) fn prefix_map(&self, start: u64, step: u64) -> Option<(Arc<SegmentMap>, usize)> {
+        let entries = self
+            .maps
+            .entries
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        entries
+            .iter()
+            .filter(|(g, _)| g.start == start && g.step == step)
+            .max_by_key(|(g, _)| g.len)
+            .map(|(g, m)| (Arc::clone(m), g.len))
     }
 
     /// `(hits, misses)` of this timeline's segment-map cache.
@@ -368,7 +441,7 @@ impl PriceTimeline {
 
 /// The lowered form of one tariff component.
 #[derive(Debug, Clone, PartialEq)]
-enum LoweredTariff {
+pub(crate) enum LoweredTariff {
     /// Fixed, TOU, and dynamic tariffs lower to a price timeline.
     Strip(PriceTimeline),
     /// Block tariffs keep their schedule (the marginal price depends on
@@ -381,14 +454,14 @@ enum LoweredTariff {
 /// piece's cache key), and its lowered form. Pieces are immutable and shared
 /// behind [`Arc`] — patching a contract clones `Arc`s, not timelines.
 #[derive(Debug, PartialEq)]
-struct CompiledTariff {
-    source: Tariff,
-    fingerprint: ComponentFingerprint,
-    lowered: LoweredTariff,
+pub(crate) struct CompiledTariff {
+    pub(crate) source: Tariff,
+    pub(crate) fingerprint: ComponentFingerprint,
+    pub(crate) lowered: LoweredTariff,
 }
 
 impl CompiledTariff {
-    fn kind(&self) -> ContractComponentKind {
+    pub(crate) fn kind(&self) -> ContractComponentKind {
         self.source.kind()
     }
 }
@@ -455,21 +528,23 @@ fn lower_tariff(
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledContract {
-    name: String,
+    pub(crate) name: String,
     /// The calendar the kernel was lowered under; kept so `patch` can
     /// re-lower a single piece under identical conditions.
     calendar: Calendar,
-    start: SimTime,
-    end: SimTime,
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
     /// Billing-month index of `start`.
-    first_month: u64,
+    pub(crate) first_month: u64,
     /// Month-start midnights strictly inside `(start, end)`, in seconds.
-    month_starts: Vec<u64>,
-    tariffs: Vec<Arc<CompiledTariff>>,
-    demand_charge: Option<DemandCharge>,
-    powerband: Option<Powerband>,
-    emergency: Option<EmergencyDrClause>,
-    monthly_fee: Money,
+    /// Shared behind `Arc` so a [`MonthCursor`] (and every streaming accrual
+    /// holding one) costs a pointer, not a copy.
+    pub(crate) month_starts: Arc<[u64]>,
+    pub(crate) tariffs: Vec<Arc<CompiledTariff>>,
+    pub(crate) demand_charge: Option<DemandCharge>,
+    pub(crate) powerband: Option<Powerband>,
+    pub(crate) emergency: Option<EmergencyDrClause>,
+    pub(crate) monthly_fee: Money,
     /// Numerical fidelity of evaluation (see [`Precision`]); defaults to
     /// the `HPCGRID_PRECISION` env selection at compile time.
     precision: Precision,
@@ -517,7 +592,7 @@ impl CompiledContract {
             start,
             end,
             first_month: calendar.billing_month(start),
-            month_starts,
+            month_starts: month_starts.into(),
             tariffs,
             demand_charge: contract.demand_charge,
             powerband: contract.powerband,
@@ -805,8 +880,48 @@ impl CompiledContract {
     }
 
     /// Index of the first month boundary after `t_secs`.
-    fn boundary_after(&self, t_secs: u64) -> usize {
+    pub(crate) fn boundary_after(&self, t_secs: u64) -> usize {
         self.month_starts.partition_point(|b| *b <= t_secs)
+    }
+
+    /// The contract name this kernel was lowered from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A monotone price cursor over tariff `index`'s lowered segment
+    /// timeline — the public form of the kernel's internal breakpoints, so
+    /// streaming consumers ([`crate::accrual::BillAccrual`]) never re-derive
+    /// them. Errors if `index` is out of range or names a block tariff
+    /// (block pricing depends on cumulative monthly volume, not time, so it
+    /// has no strip timeline).
+    pub fn segment_cursor(&self, index: usize) -> Result<SegmentCursor> {
+        let piece = self.tariffs.get(index).ok_or_else(|| {
+            CoreError::BadComponent(format!(
+                "tariff index {index} out of range (contract has {} tariffs)",
+                self.tariffs.len()
+            ))
+        })?;
+        match &piece.lowered {
+            LoweredTariff::Strip(_) => Ok(SegmentCursor {
+                piece: Arc::clone(piece),
+                seg: 0,
+            }),
+            LoweredTariff::Block(_) => Err(CoreError::BadComponent(format!(
+                "tariff #{index} is a block tariff; block pricing has no segment timeline"
+            ))),
+        }
+    }
+
+    /// A cursor over the kernel's month-boundary index — billing-month
+    /// lookups without re-deriving calendar facts. Cheap to clone per meter:
+    /// the boundary array is shared behind `Arc`.
+    pub fn month_cursor(&self) -> MonthCursor {
+        MonthCursor {
+            starts: Arc::clone(&self.month_starts),
+            first_month: self.first_month,
+            bi: 0,
+        }
     }
 
     fn check_in_horizon(&self, load: &PowerSeries) -> Result<()> {
@@ -1047,6 +1162,127 @@ impl CompiledContract {
             contract: self.name.clone(),
             items,
         })
+    }
+}
+
+/// A monotone cursor over one lowered tariff's price timeline, from
+/// [`CompiledContract::segment_cursor`].
+///
+/// The invariant it encapsulates: segment `i` covers
+/// `[breaks[i], breaks[i+1])` (the last segment extends to the horizon end)
+/// and prices are the exact `f64`s the interpreter's `price_at` would
+/// produce, so the price in force at any in-horizon instant is
+/// `prices[partition_point(breaks, <= t) - 1]`. The cursor amortizes that
+/// lookup to O(1) for non-decreasing query times — the streaming-accrual
+/// access pattern — and re-seeks by binary search when queried backwards.
+#[derive(Debug, Clone)]
+pub struct SegmentCursor {
+    piece: Arc<CompiledTariff>,
+    seg: usize,
+}
+
+impl SegmentCursor {
+    fn timeline(&self) -> &PriceTimeline {
+        match &self.piece.lowered {
+            LoweredTariff::Strip(tl) => tl,
+            LoweredTariff::Block(_) => unreachable!("segment cursors wrap strip pieces only"),
+        }
+    }
+
+    /// The `$ / kWh` price in force at `t` (which must lie inside the
+    /// compile horizon). Amortized O(1) for monotone `t`.
+    pub fn price_at(&mut self, t: SimTime) -> EnergyPrice {
+        let tl = match &self.piece.lowered {
+            LoweredTariff::Strip(tl) => tl,
+            LoweredTariff::Block(_) => unreachable!("segment cursors wrap strip pieces only"),
+        };
+        let ts = t.as_secs();
+        if tl.breaks[self.seg] > ts {
+            // Backward query: re-seek. partition_point ≥ 1 for in-horizon t
+            // because breaks[0] is the horizon start.
+            self.seg = tl.breaks.partition_point(|b| *b <= ts).saturating_sub(1);
+        } else {
+            while let Some(&b) = tl.breaks.get(self.seg + 1) {
+                if b <= ts {
+                    self.seg += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        EnergyPrice::per_kilowatt_hour(tl.prices[self.seg])
+    }
+
+    /// Index of the segment the cursor currently rests on.
+    pub fn segment(&self) -> usize {
+        self.seg
+    }
+
+    /// Number of segments in the underlying timeline.
+    pub fn segment_count(&self) -> usize {
+        self.timeline().segments()
+    }
+}
+
+/// A cursor over a kernel's month-boundary index, from
+/// [`CompiledContract::month_cursor`].
+///
+/// The invariant it encapsulates: the kernel precomputes the billing-month
+/// start midnights strictly inside its horizon, and **boundary `i` closes
+/// every sample whose start time is `>= starts[i]`** — a sample belongs to
+/// the billing month its *start* lies in. `index_at(t)` is therefore
+/// `partition_point(starts, <= t)`: the number of boundaries at or before
+/// `t`, which is also the 0-based month slot of `t` within the horizon.
+/// Cloning is a pointer copy (the boundary array is `Arc`-shared with the
+/// kernel), so every meter in a fleet can hold one.
+#[derive(Debug, Clone)]
+pub struct MonthCursor {
+    starts: Arc<[u64]>,
+    first_month: u64,
+    bi: usize,
+}
+
+impl MonthCursor {
+    /// Number of month boundaries at or before `t` — `t`'s 0-based month
+    /// slot. Pure binary search; does not move the cursor.
+    pub fn index_of(&self, t: SimTime) -> usize {
+        let ts = t.as_secs();
+        self.starts.partition_point(|b| *b <= ts)
+    }
+
+    /// Like [`MonthCursor::index_of`] but amortized O(1) for non-decreasing
+    /// `t` (re-seeks by binary search when queried backwards).
+    pub fn advance_to(&mut self, t: SimTime) -> usize {
+        let ts = t.as_secs();
+        if self.bi > 0 && self.starts[self.bi - 1] > ts {
+            self.bi = self.index_of(t);
+        } else {
+            while self.starts.get(self.bi).is_some_and(|b| *b <= ts) {
+                self.bi += 1;
+            }
+        }
+        self.bi
+    }
+
+    /// The billing-month number (as [`Calendar::billing_month`] counts them)
+    /// in force at `t`. Amortized O(1) for monotone `t`.
+    pub fn month_of(&mut self, t: SimTime) -> u64 {
+        self.first_month + self.advance_to(t) as u64
+    }
+
+    /// The `i`-th month boundary, if it exists.
+    pub fn boundary(&self, i: usize) -> Option<SimTime> {
+        self.starts.get(i).map(|s| SimTime::from_secs(*s))
+    }
+
+    /// Billing-month number of the horizon start.
+    pub fn first_month(&self) -> u64 {
+        self.first_month
+    }
+
+    /// Number of billing months the horizon touches (boundaries + 1).
+    pub fn month_count(&self) -> usize {
+        self.starts.len() + 1
     }
 }
 
@@ -1445,5 +1681,117 @@ mod tests {
             engine.bill(&c, &load).unwrap(),
             compiled.bill(&load).unwrap()
         );
+    }
+
+    #[test]
+    fn segment_cursor_matches_price_at() {
+        let cal = Calendar::default();
+        let c = tou_contract();
+        let compiled =
+            CompiledContract::compile(&cal, &c, SimTime::EPOCH, SimTime::from_days(7)).unwrap();
+        let mut cursor = compiled.segment_cursor(0).unwrap();
+        // Forward sweep at 15-min resolution, then a backward re-seek.
+        for i in 0..(7 * 96) {
+            let t = SimTime::from_secs(i * 900);
+            assert_eq!(cursor.price_at(t), c.tariffs[0].price_at(&cal, t));
+        }
+        let back = SimTime::from_secs(3600);
+        assert_eq!(cursor.price_at(back), c.tariffs[0].price_at(&cal, back));
+        assert!(cursor.segment() < cursor.segment_count());
+        // Out-of-range and block indexes are rejected.
+        assert!(compiled.segment_cursor(1).is_err());
+        let block = Contract::builder("b")
+            .tariff(Tariff::Block(BlockTariff {
+                blocks: vec![
+                    crate::tariff::BlockStep {
+                        up_to_kwh: Some(500.0),
+                        price: EnergyPrice::per_kilowatt_hour(0.05),
+                    },
+                    crate::tariff::BlockStep {
+                        up_to_kwh: None,
+                        price: EnergyPrice::per_kilowatt_hour(0.09),
+                    },
+                ],
+            }))
+            .build()
+            .unwrap();
+        let cb =
+            CompiledContract::compile(&cal, &block, SimTime::EPOCH, SimTime::from_days(7)).unwrap();
+        assert!(cb.segment_cursor(0).is_err());
+    }
+
+    #[test]
+    fn month_cursor_matches_boundary_index() {
+        let cal = Calendar::default();
+        let compiled = CompiledContract::compile(
+            &cal,
+            &tou_contract(),
+            SimTime::EPOCH,
+            SimTime::from_days(365),
+        )
+        .unwrap();
+        let mut mc = compiled.month_cursor();
+        assert_eq!(mc.month_count(), compiled.month_count());
+        assert_eq!(mc.first_month(), cal.billing_month(SimTime::EPOCH));
+        for d in 0..365 {
+            let t = SimTime::from_days(d) + Duration::from_hours(3.0);
+            assert_eq!(mc.index_of(t), compiled.boundary_after(t.as_secs()));
+            assert_eq!(mc.advance_to(t), compiled.boundary_after(t.as_secs()));
+            assert_eq!(mc.month_of(t), cal.billing_month(t));
+        }
+        // Backward query re-seeks.
+        let t = SimTime::from_days(2);
+        assert_eq!(mc.advance_to(t), compiled.boundary_after(t.as_secs()));
+        assert_eq!(
+            mc.boundary(0).map(|b| b.as_secs()),
+            compiled.month_starts.first().copied()
+        );
+    }
+
+    #[test]
+    fn one_step_geometry_growth_extends_cached_map() {
+        let cal = Calendar::default();
+        let compiled = CompiledContract::compile(
+            &cal,
+            &tou_contract(),
+            SimTime::EPOCH,
+            SimTime::from_days(40),
+        )
+        .unwrap();
+        let n = 30 * 96;
+        compiled.bill(&load_15min(30, 8.0)).unwrap();
+        assert_eq!(compiled.segment_map_stats(), (0, 1));
+        // Same start/step, one more sample: the extension path reuses the
+        // cached map — a hit, not a rebuild.
+        let grown = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            Power::from_megawatts(8.0),
+            n + 1,
+        )
+        .unwrap();
+        let bill = compiled.bill(&grown).unwrap();
+        assert_eq!(compiled.segment_map_stats(), (1, 1));
+        // And the extended map prices exactly what a cold kernel computes.
+        let cold = CompiledContract::compile(
+            &cal,
+            &tou_contract(),
+            SimTime::EPOCH,
+            SimTime::from_days(40),
+        )
+        .unwrap();
+        assert_eq!(bill, cold.bill(&grown).unwrap());
+        assert_eq!(cold.segment_map_stats(), (0, 1));
+        // Growth by more than one step has no cached predecessor geometry
+        // and falls back to a full rebuild.
+        let jumped = Series::constant(
+            SimTime::EPOCH,
+            Duration::from_minutes(15.0),
+            Power::from_megawatts(8.0),
+            n + 3,
+        )
+        .unwrap();
+        compiled.bill(&jumped).unwrap();
+        assert_eq!(compiled.segment_map_stats().1, 2);
     }
 }

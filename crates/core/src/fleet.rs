@@ -1,0 +1,503 @@
+//! Sharded meter fleets: utility-scale streaming billing.
+//!
+//! A [`MeterFleet`] manages many [`BillAccrual`] meters at once, sharded by
+//! contract fingerprint so every meter under the same contract shares one
+//! `Arc`'d [`CompiledContract`] kernel — and with it the kernel's reusable
+//! segment-map cache. Ticks ([`MeterFleet::advance_tick`]) scatter the
+//! batch of samples to their shards and fan the shards across the
+//! `try_par_map` worker pool; each shard is owned by exactly one task per
+//! tick, so the per-shard locks never contend.
+//!
+//! The fleet preserves the accrual layer's bit-identity invariant meter by
+//! meter: `finalize(meter)` equals the batch bill of that meter's sample
+//! history under `Precision::BitExact`, regardless of shard count or tick
+//! batching. The shard count (default: available parallelism, override
+//! with [`MeterFleet::with_shards`] or the `HPCGRID_FLEET_SHARDS` env var)
+//! is therefore pure deployment tuning.
+
+use crate::accrual::{AccrualSnapshot, BillAccrual};
+use crate::billing::Bill;
+use crate::compiled::CompiledContract;
+use crate::contract::{Contract, ContractDelta};
+use crate::fingerprint;
+use crate::{CoreError, Result};
+use hpcgrid_timeseries::par::try_par_map;
+use hpcgrid_units::{Calendar, Duration, Power, SimTime};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Environment variable overriding the fleet's shards-per-contract count.
+pub const ENV_SHARDS: &str = "HPCGRID_FLEET_SHARDS";
+
+/// Opaque handle to a registered meter. Returned by
+/// [`MeterFleet::register`] and stable for the fleet's lifetime (meters
+/// are never deregistered, only re-sharded by [`MeterFleet::apply_delta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeterId(pub usize);
+
+impl std::fmt::Display for MeterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "meter#{}", self.0)
+    }
+}
+
+/// One metered power reading for one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The meter the reading belongs to.
+    pub meter: MeterId,
+    /// Mean power over the meter's sample interval.
+    pub power: Power,
+}
+
+/// A group of meters sharing one compiled kernel, advanced by one worker
+/// task per tick.
+struct Shard {
+    /// `CompiledContract::fingerprint().0` of the shard's kernel.
+    fingerprint: u64,
+    kernel: Arc<CompiledContract>,
+    /// Meters plus the tick's scatter buffer. Locked once per tick per
+    /// worker; `advance_tick` holds `&mut self`, so scatter uses the
+    /// lock-free `get_mut` path.
+    state: Mutex<ShardState>,
+}
+
+struct ShardState {
+    /// `(meter id, accrual)` — slot positions are tracked in the fleet
+    /// directory and patched up on `swap_remove`.
+    meters: Vec<(MeterId, BillAccrual)>,
+    /// `(slot, power)` pairs scattered for the in-flight tick. Kept
+    /// per-shard so its capacity is reused across ticks.
+    buf: Vec<(usize, Power)>,
+}
+
+/// Operating statistics of a [`MeterFleet`] — the `BENCH_fleet.json`
+/// ingredients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetStats {
+    /// Registered meters.
+    pub meters: usize,
+    /// Live shards.
+    pub shards: usize,
+    /// Distinct compiled kernels (one per distinct contract).
+    pub contracts: usize,
+    /// Registrations and delta moves that reused an existing kernel.
+    pub kernel_hits: u64,
+    /// Registrations and delta moves that had to compile a kernel.
+    pub kernel_misses: u64,
+    /// Mean accrual state size per meter, in bytes (excludes the shared
+    /// kernels — that is the point of sharding).
+    pub bytes_per_meter: f64,
+    /// Ticks advanced so far.
+    pub ticks: u64,
+    /// Wall-clock seconds spent inside `advance_tick`.
+    pub tick_seconds: f64,
+    /// Samples folded across all ticks.
+    pub samples: u64,
+    /// `samples / tick_seconds` — the fleet's streaming throughput.
+    pub meter_samples_per_sec: f64,
+}
+
+impl FleetStats {
+    /// Fraction of kernel lookups served by an already-compiled kernel.
+    pub fn kernel_reuse_rate(&self) -> f64 {
+        let total = self.kernel_hits + self.kernel_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.kernel_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded fleet of streaming meters over one calendar and compile
+/// horizon.
+///
+/// ```
+/// use hpcgrid_core::fleet::{MeterFleet, Sample};
+/// use hpcgrid_core::contract::Contract;
+/// use hpcgrid_core::tariff::Tariff;
+/// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+///
+/// let contract = Contract::builder("flat")
+///     .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+///     .build()?;
+/// let mut fleet = MeterFleet::new(Calendar::default(), SimTime::EPOCH, SimTime::from_days(30));
+/// let step = Duration::from_minutes(15.0);
+/// let a = fleet.register(&contract, SimTime::EPOCH, step)?;
+/// let b = fleet.register(&contract, SimTime::EPOCH, step)?; // shares a's kernel
+/// for _ in 0..96 {
+///     fleet.advance_tick(&[
+///         Sample { meter: a, power: Power::from_megawatts(8.0) },
+///         Sample { meter: b, power: Power::from_megawatts(5.0) },
+///     ])?;
+/// }
+/// let bill = fleet.finalize(a)?;
+/// assert!(bill.total().as_dollars() > 0.0);
+/// assert_eq!(fleet.stats().contracts, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MeterFleet {
+    calendar: Calendar,
+    start: SimTime,
+    end: SimTime,
+    /// Max sub-shards per distinct contract.
+    shards_per_contract: usize,
+    /// Compiled kernels by `fingerprint().0`.
+    kernels: HashMap<u64, Arc<CompiledContract>>,
+    /// Shard indexes per kernel fingerprint, in creation order.
+    shard_index: HashMap<u64, Vec<usize>>,
+    /// Round-robin counters per kernel fingerprint.
+    rr: HashMap<u64, usize>,
+    shards: Vec<Shard>,
+    /// `meter id -> (shard, slot)`.
+    directory: Vec<(usize, usize)>,
+    kernel_hits: u64,
+    kernel_misses: u64,
+    ticks: u64,
+    tick_nanos: u128,
+    samples: u64,
+}
+
+impl MeterFleet {
+    /// An empty fleet billing under `calendar` for loads inside
+    /// `[start, end)`, with the default shard count: `HPCGRID_FLEET_SHARDS`
+    /// if set, otherwise the machine's available parallelism.
+    pub fn new(calendar: Calendar, start: SimTime, end: SimTime) -> MeterFleet {
+        let shards = std::env::var(ENV_SHARDS)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| hpcgrid_timeseries::par::default_threads(usize::MAX));
+        MeterFleet::with_shards(calendar, start, end, shards)
+    }
+
+    /// Like [`MeterFleet::new`] with an explicit shards-per-contract count
+    /// (clamped to at least 1). Shard count never affects bills — only how
+    /// ticks spread across the worker pool.
+    pub fn with_shards(
+        calendar: Calendar,
+        start: SimTime,
+        end: SimTime,
+        shards_per_contract: usize,
+    ) -> MeterFleet {
+        MeterFleet {
+            calendar,
+            start,
+            end,
+            shards_per_contract: shards_per_contract.max(1),
+            kernels: HashMap::new(),
+            shard_index: HashMap::new(),
+            rr: HashMap::new(),
+            shards: Vec::new(),
+            directory: Vec::new(),
+            kernel_hits: 0,
+            kernel_misses: 0,
+            ticks: 0,
+            tick_nanos: 0,
+            samples: 0,
+        }
+    }
+
+    /// The fleet's compile horizon.
+    pub fn horizon(&self) -> (SimTime, SimTime) {
+        (self.start, self.end)
+    }
+
+    /// Registered meter count.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True if no meters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Register a meter under `contract`, streaming from `start` at
+    /// interval `step`. Compiles the contract's kernel at most once per
+    /// distinct contract — subsequent registrations share it by `Arc`.
+    pub fn register(
+        &mut self,
+        contract: &Contract,
+        start: SimTime,
+        step: Duration,
+    ) -> Result<MeterId> {
+        let fp = fingerprint::of_contract(contract).0;
+        let kernel = match self.kernels.get(&fp) {
+            Some(k) => {
+                self.kernel_hits += 1;
+                Arc::clone(k)
+            }
+            None => {
+                self.kernel_misses += 1;
+                let k = Arc::new(CompiledContract::compile(
+                    &self.calendar,
+                    contract,
+                    self.start,
+                    self.end,
+                )?);
+                self.kernels.insert(fp, Arc::clone(&k));
+                k
+            }
+        };
+        self.add_meter(kernel, start, step)
+    }
+
+    /// Register a meter against an already-compiled kernel — the warm path
+    /// when the caller compiled (and possibly pre-seeded segment maps on)
+    /// the kernel itself. The kernel must share the fleet's horizon.
+    pub fn register_compiled(
+        &mut self,
+        kernel: Arc<CompiledContract>,
+        start: SimTime,
+        step: Duration,
+    ) -> Result<MeterId> {
+        if kernel.horizon() != (self.start, self.end) {
+            return Err(CoreError::BadSeries(format!(
+                "kernel horizon {:?} does not match the fleet horizon [{}, {})",
+                kernel.horizon(),
+                self.start,
+                self.end
+            )));
+        }
+        let fp = kernel.fingerprint().0;
+        match self.kernels.get(&fp) {
+            Some(_) => self.kernel_hits += 1,
+            None => {
+                self.kernel_misses += 1;
+                self.kernels.insert(fp, Arc::clone(&kernel));
+            }
+        }
+        self.add_meter(kernel, start, step)
+    }
+
+    /// Place a fresh accrual on one of its kernel's sub-shards.
+    fn add_meter(
+        &mut self,
+        kernel: Arc<CompiledContract>,
+        start: SimTime,
+        step: Duration,
+    ) -> Result<MeterId> {
+        let accrual = BillAccrual::new(Arc::clone(&kernel), start, step)?;
+        let id = MeterId(self.directory.len());
+        let (shard, slot) = self.place(kernel, accrual, id);
+        self.directory.push((shard, slot));
+        Ok(id)
+    }
+
+    /// Round-robin an accrual across its kernel's sub-shards, creating
+    /// sub-shards lazily up to the per-contract cap.
+    fn place(
+        &mut self,
+        kernel: Arc<CompiledContract>,
+        accrual: BillAccrual,
+        id: MeterId,
+    ) -> (usize, usize) {
+        let fp = kernel.fingerprint().0;
+        let list = self.shard_index.entry(fp).or_default();
+        let shard = if list.len() < self.shards_per_contract {
+            let idx = self.shards.len();
+            self.shards.push(Shard {
+                fingerprint: fp,
+                kernel,
+                state: Mutex::new(ShardState {
+                    meters: Vec::new(),
+                    buf: Vec::new(),
+                }),
+            });
+            list.push(idx);
+            idx
+        } else {
+            let rr = self.rr.entry(fp).or_insert(0);
+            let idx = list[*rr % list.len()];
+            *rr += 1;
+            idx
+        };
+        let meters = &mut lock_mut(&mut self.shards[shard].state).meters;
+        meters.push((id, accrual));
+        (shard, meters.len() - 1)
+    }
+
+    /// Advance the fleet by one tick: scatter `samples` to their shards,
+    /// then fold every shard's batch in parallel. A meter absent from
+    /// `samples` simply lags — its accrual keeps its own clock. Samples
+    /// for the same meter fold in slice order.
+    pub fn advance_tick(&mut self, samples: &[Sample]) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        for s in samples {
+            let (shard, slot) = *self
+                .directory
+                .get(s.meter.0)
+                .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", s.meter)))?;
+            lock_mut(&mut self.shards[shard].state)
+                .buf
+                .push((slot, s.power));
+        }
+        let worked = try_par_map(&self.shards, |shard| -> Result<()> {
+            let state = &mut *lock(&shard.state);
+            // Split-borrow meters and buf out of the guard.
+            let ShardState { meters, buf } = state;
+            for &(slot, power) in buf.iter() {
+                meters[slot].1.push_next(power)?;
+            }
+            buf.clear();
+            Ok(())
+        })
+        .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
+        worked.into_iter().collect::<Result<()>>()?;
+        self.ticks += 1;
+        self.samples += samples.len() as u64;
+        self.tick_nanos += t0.elapsed().as_nanos();
+        Ok(())
+    }
+
+    /// Close the books of one meter — bit-identical to the batch bill of
+    /// its pushed history (see the [`crate::accrual`] invariant).
+    pub fn finalize(&self, meter: MeterId) -> Result<Bill> {
+        let (shard, slot) = self.locate(meter)?;
+        lock(&self.shards[shard].state).meters[slot].1.finalize()
+    }
+
+    /// Close the books of every meter, in parallel, returned in meter-id
+    /// order.
+    pub fn finalize_all(&self) -> Result<Vec<(MeterId, Bill)>> {
+        let per_shard = try_par_map(&self.shards, |shard| -> Result<Vec<(MeterId, Bill)>> {
+            let state = lock(&shard.state);
+            state
+                .meters
+                .iter()
+                .map(|(id, acc)| acc.finalize().map(|b| (*id, b)))
+                .collect()
+        })
+        .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
+        let mut bills: Vec<(MeterId, Bill)> = Vec::with_capacity(self.directory.len());
+        for part in per_shard {
+            bills.extend(part?);
+        }
+        bills.sort_by_key(|(id, _)| *id);
+        Ok(bills)
+    }
+
+    /// Serialize one meter's accrual state for checkpointing.
+    pub fn snapshot(&self, meter: MeterId) -> Result<AccrualSnapshot> {
+        let (shard, slot) = self.locate(meter)?;
+        Ok(lock(&self.shards[shard].state).meters[slot].1.snapshot())
+    }
+
+    /// Restore one meter's accrual state from a snapshot taken against the
+    /// same contract (validated by kernel fingerprint). The restored meter
+    /// continues streaming bit-identically to the original.
+    pub fn restore(&mut self, meter: MeterId, snap: &AccrualSnapshot) -> Result<()> {
+        let (shard, slot) = self.locate(meter)?;
+        let kernel = Arc::clone(&self.shards[shard].kernel);
+        let restored = BillAccrual::restore(kernel, snap)?;
+        lock_mut(&mut self.shards[shard].state).meters[slot].1 = restored;
+        Ok(())
+    }
+
+    /// Patch one meter's contract mid-stream and move it to the patched
+    /// kernel's shard group. The accrual continues without replaying
+    /// history, so only accrual-preserving deltas are accepted — see
+    /// [`BillAccrual::rebind`] for the exact rules. On error the meter is
+    /// left untouched on its current kernel.
+    pub fn apply_delta(&mut self, meter: MeterId, delta: &ContractDelta) -> Result<()> {
+        let (shard, slot) = self.locate(meter)?;
+        let old_fp = self.shards[shard].fingerprint;
+        let patched = self.shards[shard].kernel.patch(delta)?;
+        let new_fp = patched.fingerprint().0;
+        if new_fp == old_fp {
+            return Ok(()); // delta was a no-op; kernel content unchanged
+        }
+        let kernel = match self.kernels.get(&new_fp) {
+            Some(k) => {
+                self.kernel_hits += 1;
+                Arc::clone(k)
+            }
+            None => {
+                self.kernel_misses += 1;
+                let k = Arc::new(patched);
+                self.kernels.insert(new_fp, Arc::clone(&k));
+                k
+            }
+        };
+        // Rebind first: if the delta is not accrual-preserving this fails
+        // and the meter stays where it is.
+        let mut accrual = {
+            let state = lock_mut(&mut self.shards[shard].state);
+            state.meters[slot].1.clone()
+        };
+        accrual.rebind(Arc::clone(&kernel))?;
+        // Remove from the old shard, patching the directory entry of
+        // whichever meter swap_remove moved into the vacated slot.
+        {
+            let state = lock_mut(&mut self.shards[shard].state);
+            state.meters.swap_remove(slot);
+            if let Some((moved_id, _)) = state.meters.get(slot) {
+                self.directory[moved_id.0] = (shard, slot);
+            }
+        }
+        let (new_shard, new_slot) = self.place(kernel, accrual, meter);
+        self.directory[meter.0] = (new_shard, new_slot);
+        Ok(())
+    }
+
+    /// Operating statistics: meter count, memory per meter, kernel reuse,
+    /// and streaming throughput.
+    pub fn stats(&self) -> FleetStats {
+        let mut bytes: usize = 0;
+        for shard in &self.shards {
+            let state = lock(&shard.state);
+            bytes += state
+                .meters
+                .iter()
+                .map(|(_, acc)| acc.approx_bytes())
+                .sum::<usize>();
+        }
+        let meters = self.directory.len();
+        let secs = self.tick_nanos as f64 / 1e9;
+        FleetStats {
+            meters,
+            shards: self.shards.len(),
+            contracts: self.kernels.len(),
+            kernel_hits: self.kernel_hits,
+            kernel_misses: self.kernel_misses,
+            bytes_per_meter: if meters == 0 {
+                0.0
+            } else {
+                bytes as f64 / meters as f64
+            },
+            ticks: self.ticks,
+            tick_seconds: secs,
+            samples: self.samples,
+            meter_samples_per_sec: if secs > 0.0 {
+                self.samples as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn locate(&self, meter: MeterId) -> Result<(usize, usize)> {
+        self.directory
+            .get(meter.0)
+            .copied()
+            .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", meter)))
+    }
+}
+
+/// Lock a shard from a shared borrow (the parallel tick path). Poisoning
+/// cannot leave half-applied state — a panicking task dies before its
+/// `advance_tick` result is observed — so poisoned locks are recovered.
+fn lock(state: &Mutex<ShardState>) -> std::sync::MutexGuard<'_, ShardState> {
+    state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Lock a shard through `&mut` (registration/scatter): no locking at all.
+fn lock_mut(state: &mut Mutex<ShardState>) -> &mut ShardState {
+    match state.get_mut() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    }
+}

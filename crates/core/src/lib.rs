@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accrual;
 pub mod billing;
 pub mod compare;
 pub mod compiled;
@@ -33,18 +34,21 @@ pub mod contract;
 pub mod demand_charge;
 pub mod emergency;
 pub mod fingerprint;
+pub mod fleet;
 pub mod powerband;
 pub mod report;
 pub mod survey;
 pub mod tariff;
 pub mod typology;
 
+pub use accrual::{AccrualSnapshot, BillAccrual};
 pub use billing::{Bill, BillingEngine, Precision};
 pub use compiled::CompiledContract;
 pub use contract::{Contract, ContractBuilder, ContractDelta};
 pub use demand_charge::DemandCharge;
 pub use emergency::EmergencyDrClause;
 pub use fingerprint::ComponentFingerprint;
+pub use fleet::{FleetStats, MeterFleet, MeterId, Sample};
 pub use powerband::Powerband;
 pub use tariff::Tariff;
 pub use typology::{ContractComponentKind, Typology};

@@ -204,6 +204,27 @@ impl<T> Series<T> {
             values: self.values[i0 as usize..i1 as usize].to_vec(),
         }
     }
+
+    /// Append one sample to the end of the series (the interval
+    /// `[end, end + step)`). The building block for turning a sample
+    /// stream back into a batch series.
+    pub fn push(&mut self, value: T) {
+        self.values.push(value);
+    }
+
+    /// The sub-series holding the first `n` samples (all of them if the
+    /// series is shorter). Streaming-vs-batch equivalence tests compare an
+    /// accrual after `n` pushes against the batch bill of `prefix(n)`.
+    pub fn prefix(&self, n: usize) -> Series<T>
+    where
+        T: Clone,
+    {
+        Series {
+            start: self.start,
+            step: self.step,
+            values: self.values[..n.min(self.values.len())].to_vec(),
+        }
+    }
 }
 
 impl<T: Clone> Series<T> {
@@ -332,6 +353,26 @@ mod tests {
     fn rejects_zero_step() {
         let r = PowerSeries::new(SimTime::EPOCH, Duration::ZERO, vec![]);
         assert_eq!(r.unwrap_err(), TsError::ZeroStep);
+    }
+
+    #[test]
+    fn push_extends_end() {
+        let mut s = mk(vec![1.0, 2.0]);
+        s.push(Power::from_kilowatts(3.0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.end(), SimTime::from_secs(3 * 900));
+        assert_eq!(s.values()[2], Power::from_kilowatts(3.0));
+    }
+
+    #[test]
+    fn prefix_clips_to_len() {
+        let s = mk(vec![1.0, 2.0, 3.0, 4.0]);
+        let p = s.prefix(2);
+        assert_eq!(p.start(), s.start());
+        assert_eq!(p.step(), s.step());
+        assert_eq!(p.values(), &s.values()[..2]);
+        assert_eq!(s.prefix(99).len(), 4);
+        assert!(s.prefix(0).is_empty());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! * **contracts** between supercomputing centers (SCs) and electricity
 //!   service providers (ESPs) — the paper's contract typology as a typed,
-//!   executable billing engine ([`core`]);
+//!   executable billing engine ([`core`]), batch or streamed one sample at
+//!   a time across sharded meter fleets ([`core::fleet`]);
 //! * the **survey corpus** of ten SC sites and its qualitative analysis
 //!   (Tables 1–2, Figure 1 of the paper);
 //! * the **substrates** needed to exercise those contracts quantitatively:
@@ -58,11 +59,13 @@ pub use hpcgrid_workload as workload;
 
 /// Commonly used items across the workspace, for glob import.
 pub mod prelude {
+    pub use hpcgrid_core::accrual::{AccrualSnapshot, BillAccrual};
     pub use hpcgrid_core::billing::{Bill, BillingEngine, Precision};
     pub use hpcgrid_core::compiled::CompiledContract;
     pub use hpcgrid_core::contract::{Contract, ContractBuilder, ContractDelta};
     pub use hpcgrid_core::demand_charge::DemandCharge;
     pub use hpcgrid_core::fingerprint::ComponentFingerprint;
+    pub use hpcgrid_core::fleet::{FleetStats, MeterFleet, MeterId, Sample};
     pub use hpcgrid_core::powerband::Powerband;
     pub use hpcgrid_core::survey::corpus::SurveyCorpus;
     pub use hpcgrid_core::tariff::Tariff;
