@@ -11,16 +11,19 @@
 
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::compiled::CompiledContract;
 use hpcgrid_core::contract::ContractDelta;
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_dr::breakeven::{breakeven, DepreciationModel};
 use hpcgrid_dr::event::{simulate_events, ResponseStrategy};
 use hpcgrid_dr::program::CurtailmentProgram;
-use hpcgrid_engine::ScenarioSpec;
+use hpcgrid_engine::{ScenarioSpec, SharedInputs};
 use hpcgrid_scheduler::policy::Policy;
 use hpcgrid_timeseries::intervals::{Interval, IntervalSet};
+use hpcgrid_timeseries::series::PowerSeries;
 use hpcgrid_units::{DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One point of the E4a incentive sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -188,11 +191,11 @@ fn main() {
     // Every strategy is billed under the same typical contract; compile it
     // once over a horizon generous enough for jobs that drain past day 30
     // and share the kernel across the sweep closures.
-    let compiled_typical = compile_contract(
+    let compiled_typical = Arc::new(compile_contract(
         &typical_contract(),
         SimTime::EPOCH,
         SimTime::from_days(2 * HORIZON_DAYS),
-    );
+    ));
     let mut event_runner = experiment_runner::<EventResult>();
     let event_outcome = event_runner.run(&event_specs, |ctx| {
         let strat = strategy_for(ctx.spec.param_str("strategy")?)?;
@@ -256,9 +259,16 @@ fn main() {
     // sweep its rate by patching the already-compiled typical kernel:
     // `patch(SetDemandCharge)` swaps one scalar piece and shares every
     // lowered tariff timeline with the base kernel by reference.
+    //
+    // The base kernel and the baseline load enter the scenario closures via
+    // the engine's zero-copy `SharedInputs` registry — one `Arc` each,
+    // looked up by key, shared by every scenario in the sweep.
     println!("\n== E4c: demand-charge rate sweep via compiled-kernel patch ==\n");
     let (_, baseline_load) = reference_run(13);
     let base_hex = compiled_typical.fingerprint().to_hex();
+    let mut shared = SharedInputs::new();
+    let kernel_k = share_kernel(&mut shared, Arc::clone(&compiled_typical));
+    let load_k = share_series(&mut shared, "dr_baseline_load", baseline_load.clone());
     let rates = [0.0, 6.0, 12.0, 18.0, 24.0];
     let delta_for = |rate: f64| -> ContractDelta {
         if rate == 0.0 {
@@ -279,12 +289,14 @@ fn main() {
                 .build()
         })
         .collect();
-    let mut rate_runner = experiment_runner::<(f64, f64)>();
+    let mut rate_runner = experiment_runner::<(f64, f64)>().shared_inputs(shared);
     let rate_outcome = rate_runner.run(&rate_specs, |ctx| {
-        let patched = compiled_typical
+        let kernel: Arc<CompiledContract> = ctx.shared.expect(&kernel_k)?;
+        let load: Arc<PowerSeries> = ctx.shared.expect(&load_k)?;
+        let patched = kernel
             .patch(&delta_for(ctx.spec.param_f64("rate")?))
             .map_err(|e| e.to_string())?;
-        let bill = patched.bill(&baseline_load).map_err(|e| e.to_string())?;
+        let bill = patched.bill(&load).map_err(|e| e.to_string())?;
         Ok((bill.total().as_dollars(), bill.demand_share()))
     });
     println!(

@@ -16,13 +16,16 @@
 
 use hpcgrid_bench::scenarios::*;
 use hpcgrid_bench::table::TextTable;
+use hpcgrid_core::compiled::CompiledContract;
 use hpcgrid_core::contract::{Contract, ContractDelta};
 use hpcgrid_core::tariff::Tariff;
 use hpcgrid_dr::shift::{expensive_windows, price_spread};
-use hpcgrid_engine::ScenarioSpec;
+use hpcgrid_engine::{series_key, ScenarioSpec, SharedInputs};
 use hpcgrid_scheduler::policy::{Policy, PowerConstraints};
 use hpcgrid_scheduler::sim::ScheduleSimulator;
+use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::EnergyPrice;
+use std::sync::Arc;
 
 fn calibrated_mean(prices: &hpcgrid_timeseries::series::PriceSeries) -> f64 {
     prices
@@ -113,18 +116,32 @@ fn main() {
     // `with_price_strip` (only the dynamic piece is re-lowered; every other
     // piece is shared by reference). Each revision is a content-addressed
     // scenario carrying the base kernel's fingerprint plus the delta label.
+    //
+    // The base kernel, the metered load, and every revised strip ride into
+    // the scenario closures through the engine's zero-copy `SharedInputs`
+    // registry: one `Arc` per input, looked up by key inside the closure,
+    // instead of ad-hoc captures of the enclosing scope.
     println!("== E1b: market-price revisions via compiled-kernel splice ==\n");
-    let dyn_kernel = &compiled
-        .iter()
-        .find(|(name, _)| *name == "dynamic")
-        .expect("dynamic kernel compiled above")
-        .1;
+    let dyn_kernel = Arc::new(
+        compiled
+            .iter()
+            .find(|(name, _)| *name == "dynamic")
+            .expect("dynamic kernel compiled above")
+            .1
+            .clone(),
+    );
     let base_hex = dyn_kernel.fingerprint().to_hex();
     let revision_seeds: Vec<u64> = (100..108).collect();
     let revised_strips: Vec<_> = revision_seeds
         .iter()
         .map(|seed| reference_market_prices(*seed, HORIZON_DAYS))
         .collect();
+    let mut shared = SharedInputs::new();
+    let kernel_k = share_kernel(&mut shared, Arc::clone(&dyn_kernel));
+    let load_k = share_series(&mut shared, "reference_load", load.clone());
+    for (seed, s) in revision_seeds.iter().zip(&revised_strips) {
+        share_series(&mut shared, &format!("revision/{seed}"), s.clone());
+    }
     let revision_specs: Vec<ScenarioSpec> = revision_seeds
         .iter()
         .zip(&revised_strips)
@@ -137,12 +154,15 @@ fn main() {
                 .build()
         })
         .collect();
-    let mut revision_runner = experiment_runner::<f64>();
+    let mut revision_runner = experiment_runner::<f64>().shared_inputs(shared);
     let revision_outcome = revision_runner.run(&revision_specs, |ctx| {
-        let i = ctx.spec.param_i64("revision_seed")? as u64 - revision_seeds[0];
-        let patched = dyn_kernel
-            .with_price_strip(&revised_strips[i as usize])
-            .map_err(|e| e.to_string())?;
+        let seed = ctx.spec.param_i64("revision_seed")?;
+        let kernel: Arc<CompiledContract> = ctx.shared.expect(&kernel_k)?;
+        let strip: Arc<PriceSeries> = ctx
+            .shared
+            .expect(&series_key(&format!("revision/{seed}")))?;
+        let load: Arc<PowerSeries> = ctx.shared.expect(&load_k)?;
+        let patched = kernel.with_price_strip(&strip).map_err(|e| e.to_string())?;
         Ok(patched
             .bill(&load)
             .map_err(|e| e.to_string())?

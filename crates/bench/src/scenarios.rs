@@ -10,12 +10,19 @@
 //! engine's `RunReport` next to the result table. Set `HPCGRID_SWEEP_CACHE`
 //! to a directory to persist results between runs (re-running an experiment
 //! then only recomputes changed scenarios).
+//!
+//! Heavy per-sweep substrate — compiled kernels, load and price series —
+//! rides into scenario closures through the engine's zero-copy
+//! [`hpcgrid_engine::SharedInputs`] registry rather than ad-hoc closure
+//! captures: stock a registry with [`share_kernel`] / [`share_series`],
+//! attach it with `SweepRunner::shared_inputs`, and read entries back by
+//! key via `ctx.shared` inside the closure.
 
 use hpcgrid_core::billing::{BillingEngine, Precision};
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::demand_charge::DemandCharge;
 use hpcgrid_core::tariff::Tariff;
-use hpcgrid_engine::{ScenarioSpecBuilder, SweepRunner};
+use hpcgrid_engine::{ScenarioSpecBuilder, SharedInputs, SweepRunner};
 use hpcgrid_facility::node::NodeSpec;
 use hpcgrid_facility::site::{Country, SiteSpec};
 use hpcgrid_grid::demand::{demand_series, DemandParams};
@@ -28,6 +35,7 @@ use hpcgrid_scheduler::sim::ScheduleSimulator;
 use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::{Calendar, DemandPrice, Duration, EnergyPrice, Money, Power, SimTime};
 use hpcgrid_workload::trace::{JobTrace, WorkloadBuilder};
+use std::sync::Arc;
 
 /// The default experiment horizon: 30 days.
 pub const HORIZON_DAYS: u64 = 30;
@@ -173,7 +181,9 @@ pub fn experiment_spec(experiment: &str, trace_seed: u64) -> ScenarioSpecBuilder
 }
 
 /// A sweep runner for experiment binaries. Honours `HPCGRID_SWEEP_CACHE`:
-/// when set, results persist as JSON artifacts under that directory and
+/// when set, results persist as content-addressed artifacts under that
+/// directory (compact checksummed binary by default;
+/// `HPCGRID_SWEEP_ARTIFACT_FORMAT=json` keeps the legacy JSON encoding) and
 /// re-runs only compute the delta; otherwise the cache is in-memory (still
 /// deduplicates within one process).
 pub fn experiment_runner<R>() -> SweepRunner<R>
@@ -186,6 +196,34 @@ where
         }
         _ => SweepRunner::new(),
     }
+}
+
+/// Register a compiled kernel in a [`SharedInputs`] registry under the
+/// workspace key convention (`kernel/<fingerprint hex>`), returning the key
+/// scenario closures look it up with
+/// (`ctx.shared.expect::<CompiledContract>(&key)?`). The `Arc` is shared,
+/// not cloned: a sweep, a [`hpcgrid_core::fleet::MeterFleet`], and the
+/// driver can all hold the same compiled kernel.
+pub fn share_kernel(
+    shared: &mut SharedInputs,
+    kernel: Arc<hpcgrid_core::compiled::CompiledContract>,
+) -> String {
+    let key = hpcgrid_engine::kernel_key(&kernel.fingerprint().to_hex());
+    shared.insert_arc(key.clone(), kernel);
+    key
+}
+
+/// Register a named series (load strip, price strip, …) in a
+/// [`SharedInputs`] registry under the `series/<name>` convention,
+/// returning the key scenario closures look it up with.
+pub fn share_series<T: std::any::Any + Send + Sync>(
+    shared: &mut SharedInputs,
+    name: &str,
+    series: T,
+) -> String {
+    let key = hpcgrid_engine::series_key(name);
+    shared.insert(key.clone(), series);
+    key
 }
 
 #[cfg(test)]
@@ -234,6 +272,29 @@ mod tests {
             Some(Precision::from_env().label()),
             "specs must pin the precision their results were billed at"
         );
+    }
+
+    #[test]
+    fn shared_input_helpers_use_the_engine_key_conventions() {
+        let contract = typical_contract();
+        let kernel = Arc::new(compile_contract(
+            &contract,
+            SimTime::EPOCH,
+            SimTime::from_days(HORIZON_DAYS),
+        ));
+        let mut shared = SharedInputs::new();
+        let kernel_k = share_kernel(&mut shared, Arc::clone(&kernel));
+        let series_k = share_series(&mut shared, "baseline", vec![1.0_f64, 2.0]);
+        assert_eq!(
+            kernel_k,
+            hpcgrid_engine::kernel_key(&kernel.fingerprint().to_hex())
+        );
+        assert_eq!(series_k, hpcgrid_engine::series_key("baseline"));
+        // share_kernel shares the Arc, it does not clone the kernel.
+        let got: Arc<hpcgrid_core::compiled::CompiledContract> = shared.expect(&kernel_k).unwrap();
+        assert!(Arc::ptr_eq(&got, &kernel));
+        let series: Arc<Vec<f64>> = shared.expect(&series_k).unwrap();
+        assert_eq!(*series, vec![1.0, 2.0]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::accrual::{AccrualSnapshot, BillAccrual};
 use crate::billing::Bill;
 use crate::compiled::CompiledContract;
 use crate::contract::{Contract, ContractDelta};
-use crate::fingerprint;
+use crate::kernels::KernelCache;
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::par::try_par_map;
 use hpcgrid_units::{Calendar, Duration, Power, SimTime};
@@ -139,13 +139,11 @@ impl FleetStats {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct MeterFleet {
-    calendar: Calendar,
-    start: SimTime,
-    end: SimTime,
+    /// One compiled kernel per distinct contract, shared by `Arc` across
+    /// shards (and, via [`MeterFleet::kernel_cache`], with sweep drivers).
+    kernels: KernelCache,
     /// Max sub-shards per distinct contract.
     shards_per_contract: usize,
-    /// Compiled kernels by `fingerprint().0`.
-    kernels: HashMap<u64, Arc<CompiledContract>>,
     /// Shard indexes per kernel fingerprint, in creation order.
     shard_index: HashMap<u64, Vec<usize>>,
     /// Round-robin counters per kernel fingerprint.
@@ -153,8 +151,6 @@ pub struct MeterFleet {
     shards: Vec<Shard>,
     /// `meter id -> (shard, slot)`.
     directory: Vec<(usize, usize)>,
-    kernel_hits: u64,
-    kernel_misses: u64,
     ticks: u64,
     tick_nanos: u128,
     samples: u64,
@@ -183,17 +179,12 @@ impl MeterFleet {
         shards_per_contract: usize,
     ) -> MeterFleet {
         MeterFleet {
-            calendar,
-            start,
-            end,
+            kernels: KernelCache::new(calendar, start, end),
             shards_per_contract: shards_per_contract.max(1),
-            kernels: HashMap::new(),
             shard_index: HashMap::new(),
             rr: HashMap::new(),
             shards: Vec::new(),
             directory: Vec::new(),
-            kernel_hits: 0,
-            kernel_misses: 0,
             ticks: 0,
             tick_nanos: 0,
             samples: 0,
@@ -202,7 +193,14 @@ impl MeterFleet {
 
     /// The fleet's compile horizon.
     pub fn horizon(&self) -> (SimTime, SimTime) {
-        (self.start, self.end)
+        self.kernels.horizon()
+    }
+
+    /// The fleet's kernel cache — peek at compiled kernels (e.g. to stock a
+    /// sweep's `SharedInputs` registry with the same `Arc`s the fleet
+    /// bills through).
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
     }
 
     /// Registered meter count.
@@ -224,24 +222,7 @@ impl MeterFleet {
         start: SimTime,
         step: Duration,
     ) -> Result<MeterId> {
-        let fp = fingerprint::of_contract(contract).0;
-        let kernel = match self.kernels.get(&fp) {
-            Some(k) => {
-                self.kernel_hits += 1;
-                Arc::clone(k)
-            }
-            None => {
-                self.kernel_misses += 1;
-                let k = Arc::new(CompiledContract::compile(
-                    &self.calendar,
-                    contract,
-                    self.start,
-                    self.end,
-                )?);
-                self.kernels.insert(fp, Arc::clone(&k));
-                k
-            }
-        };
+        let kernel = self.kernels.get_or_compile(contract)?;
         self.add_meter(kernel, start, step)
     }
 
@@ -254,22 +235,14 @@ impl MeterFleet {
         start: SimTime,
         step: Duration,
     ) -> Result<MeterId> {
-        if kernel.horizon() != (self.start, self.end) {
+        let (start_h, end_h) = self.kernels.horizon();
+        if kernel.horizon() != (start_h, end_h) {
             return Err(CoreError::BadSeries(format!(
-                "kernel horizon {:?} does not match the fleet horizon [{}, {})",
+                "kernel horizon {:?} does not match the fleet horizon [{start_h}, {end_h})",
                 kernel.horizon(),
-                self.start,
-                self.end
             )));
         }
-        let fp = kernel.fingerprint().0;
-        match self.kernels.get(&fp) {
-            Some(_) => self.kernel_hits += 1,
-            None => {
-                self.kernel_misses += 1;
-                self.kernels.insert(fp, Arc::clone(&kernel));
-            }
-        }
+        let kernel = self.kernels.get_or_insert(kernel)?;
         self.add_meter(kernel, start, step)
     }
 
@@ -410,18 +383,7 @@ impl MeterFleet {
         if new_fp == old_fp {
             return Ok(()); // delta was a no-op; kernel content unchanged
         }
-        let kernel = match self.kernels.get(&new_fp) {
-            Some(k) => {
-                self.kernel_hits += 1;
-                Arc::clone(k)
-            }
-            None => {
-                self.kernel_misses += 1;
-                let k = Arc::new(patched);
-                self.kernels.insert(new_fp, Arc::clone(&k));
-                k
-            }
-        };
+        let kernel = self.kernels.get_or_insert(Arc::new(patched))?;
         // Rebind first: if the delta is not accrual-preserving this fails
         // and the meter stays where it is.
         let mut accrual = {
@@ -461,8 +423,8 @@ impl MeterFleet {
             meters,
             shards: self.shards.len(),
             contracts: self.kernels.len(),
-            kernel_hits: self.kernel_hits,
-            kernel_misses: self.kernel_misses,
+            kernel_hits: self.kernels.hits(),
+            kernel_misses: self.kernels.misses(),
             bytes_per_meter: if meters == 0 {
                 0.0
             } else {

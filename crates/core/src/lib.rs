@@ -35,6 +35,7 @@ pub mod demand_charge;
 pub mod emergency;
 pub mod fingerprint;
 pub mod fleet;
+pub mod kernels;
 pub mod powerband;
 pub mod report;
 pub mod survey;
@@ -49,6 +50,7 @@ pub use demand_charge::DemandCharge;
 pub use emergency::EmergencyDrClause;
 pub use fingerprint::ComponentFingerprint;
 pub use fleet::{FleetStats, MeterFleet, MeterId, Sample};
+pub use kernels::KernelCache;
 pub use powerband::Powerband;
 pub use tariff::Tariff;
 pub use typology::{ContractComponentKind, Typology};

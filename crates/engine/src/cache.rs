@@ -1,18 +1,47 @@
-//! Content-addressed result cache: in-memory map plus an optional JSON
-//! artifact directory.
+//! Content-addressed result cache: in-memory map, a sharded artifact
+//! directory, and an in-memory artifact index.
 //!
 //! Keys are [`ContentHash`]es of scenario specs. The memory tier serves
-//! repeat lookups within a process; the artifact tier (`<hex>.json` files)
-//! makes results durable across processes, so an overnight sweep interrupted
-//! halfway resumes from where it stopped. Artifacts store the spec alongside
-//! the result, which makes the directory self-describing and lets the cache
-//! verify an artifact actually belongs to its key.
+//! repeat lookups within a process; the artifact tier makes results durable
+//! across processes, so an overnight sweep interrupted halfway resumes from
+//! where it stopped.
+//!
+//! At population scale (10⁵–10⁷ scenarios) three artifact-tier costs
+//! dominate, and this cache removes each:
+//!
+//! * **Per-scenario `stat` probes.** An in-memory *index* of every artifact
+//!   key is built by one directory walk when the cache opens and updated on
+//!   every put, so hit/miss checks are a hash-map lookup — the filesystem is
+//!   only touched to *fetch* artifacts the index says exist.
+//!   [`ResultCache::probe_stats`] exposes index-answered probes vs disk
+//!   reads; the sweep runner copies the deltas into its `RunReport`.
+//! * **Flat-directory scaling.** Artifacts live in `xx/yy/<hash>.<ext>`
+//!   fan-out subdirectories (first four hex digits of the key), so no single
+//!   directory holds millions of entries. Legacy flat `<hash>.json`
+//!   artifacts from earlier releases are still found by the opening walk and
+//!   read transparently.
+//! * **JSON serde per hit.** The default artifact format is the compact
+//!   checksummed binary codec in [`crate::binary`] (version byte +
+//!   content-hash header + CRC32). JSON remains available for debugging via
+//!   [`ArtifactFormat::Json`] or `HPCGRID_SWEEP_ARTIFACT_FORMAT=json`; both
+//!   formats decode to bit-identical results and can coexist in one
+//!   directory.
+//!
+//! Every artifact embeds its own `spec_hash`, so the cache can verify an
+//! artifact actually belongs to its key. JSON artifacts additionally embed
+//! the full spec (a human can read what produced a result without the sweep
+//! driver); binary artifacts store only hash + result, since the content
+//! hash already commits to the spec and the driver probing the cache holds
+//! it anyway. The artifact directory itself is created lazily on the first
+//! put, so a sweep that turns out to be 100% memory-served never touches the
+//! filesystem.
 
+use crate::binary;
 use crate::error::EngineError;
 use crate::hash::ContentHash;
 use crate::spec::ScenarioSpec;
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Where a cache lookup was served from.
@@ -20,8 +49,71 @@ use std::path::{Path, PathBuf};
 pub enum CacheTier {
     /// In-process map.
     Memory,
-    /// JSON artifact directory.
+    /// Artifact directory (binary or JSON).
     Artifact,
+}
+
+/// On-disk artifact encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArtifactFormat {
+    /// Length-prefixed, checksummed binary (see [`crate::binary`]) under
+    /// sharded `xx/yy/<hash>.bin` paths. The default.
+    #[default]
+    Binary,
+    /// Pretty-printed JSON under sharded `xx/yy/<hash>.json` paths. Larger
+    /// and slower, but human-readable — keep it for debugging via
+    /// `HPCGRID_SWEEP_ARTIFACT_FORMAT=json`.
+    Json,
+}
+
+impl ArtifactFormat {
+    /// The format selected by `HPCGRID_SWEEP_ARTIFACT_FORMAT` (`binary` or
+    /// `json`, case-insensitive); anything else — including unset — is
+    /// [`ArtifactFormat::Binary`].
+    pub fn from_env() -> ArtifactFormat {
+        match std::env::var("HPCGRID_SWEEP_ARTIFACT_FORMAT") {
+            Ok(v) if v.eq_ignore_ascii_case("json") => ArtifactFormat::Json,
+            _ => ArtifactFormat::Binary,
+        }
+    }
+
+    /// Stable label (`"binary"` / `"json"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactFormat::Binary => "binary",
+            ArtifactFormat::Json => "json",
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            ArtifactFormat::Binary => "bin",
+            ArtifactFormat::Json => "json",
+        }
+    }
+}
+
+/// Where (and how) one key's artifact is stored — the index's value type.
+/// One byte per entry instead of a `PathBuf`: the path is derived from the
+/// key and the location kind, which keeps a 10⁷-entry index small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArtifactLoc {
+    /// Sharded `xx/yy/<hash>.bin`.
+    Binary,
+    /// Sharded `xx/yy/<hash>.json`.
+    Json,
+    /// Flat `<hash>.json` written by pre-sharding releases.
+    LegacyJson,
+}
+
+/// Index-probe and disk-read counters (see [`ResultCache::probe_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Artifact-tier membership checks answered by the in-memory index
+    /// (no filesystem touch).
+    pub index_probes: u64,
+    /// Artifact files actually read from disk (fetches of present keys).
+    pub disk_reads: u64,
 }
 
 /// A content-addressed result cache.
@@ -46,6 +138,15 @@ pub enum CacheTier {
 pub struct ResultCache<R> {
     mem: HashMap<ContentHash, R>,
     dir: Option<PathBuf>,
+    format: ArtifactFormat,
+    /// Every key with an artifact on disk, by storage location. Built by one
+    /// walk at open; updated on put. Hit/miss checks consult this map, never
+    /// the filesystem.
+    index: HashMap<ContentHash, ArtifactLoc>,
+    /// Shard subdirectories (`xx * 256 + yy`) known to exist, so repeat puts
+    /// into a warm shard skip the `create_dir_all` syscalls.
+    shards_ready: HashSet<u16>,
+    probes: ProbeStats,
 }
 
 impl<R> Default for ResultCache<R> {
@@ -53,6 +154,10 @@ impl<R> Default for ResultCache<R> {
         ResultCache {
             mem: HashMap::new(),
             dir: None,
+            format: ArtifactFormat::default(),
+            index: HashMap::new(),
+            shards_ready: HashSet::new(),
+            probes: ProbeStats::default(),
         }
     }
 }
@@ -63,13 +168,33 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         Self::default()
     }
 
-    /// Cache backed by a JSON artifact directory (created if absent).
+    /// Cache backed by an artifact directory, in the format selected by
+    /// `HPCGRID_SWEEP_ARTIFACT_FORMAT` (binary unless overridden).
+    ///
+    /// The directory is *not* created here — creation is deferred to the
+    /// first [`ResultCache::put`], so a fully memory-served sweep leaves no
+    /// trace on disk and a read-only directory still serves reads. If the
+    /// directory exists, one walk indexes every artifact in it (sharded
+    /// binary/JSON plus legacy flat JSON).
     pub fn with_artifact_dir(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        Self::with_artifact_dir_and_format(dir, ArtifactFormat::from_env())
+    }
+
+    /// [`ResultCache::with_artifact_dir`] with an explicit write format,
+    /// ignoring the environment.
+    pub fn with_artifact_dir_and_format(
+        dir: impl Into<PathBuf>,
+        format: ArtifactFormat,
+    ) -> Result<Self, EngineError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        let index = build_index(&dir)?;
         Ok(ResultCache {
             mem: HashMap::new(),
             dir: Some(dir),
+            format,
+            index,
+            shards_ready: HashSet::new(),
+            probes: ProbeStats::default(),
         })
     }
 
@@ -78,16 +203,58 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         self.dir.as_deref()
     }
 
+    /// The write-side artifact format.
+    pub fn artifact_format(&self) -> ArtifactFormat {
+        self.format
+    }
+
     /// Number of results in the memory tier.
     pub fn len_memory(&self) -> usize {
         self.mem.len()
     }
 
+    /// Number of artifacts the in-memory index knows about.
+    pub fn len_index(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Index-answered probes vs disk reads since the cache opened.
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.probes
+    }
+
+    /// Whether `key` is present in either tier, answered without touching
+    /// the filesystem (memory map, then artifact index).
+    pub fn contains(&mut self, key: ContentHash) -> bool {
+        if self.mem.contains_key(&key) {
+            return true;
+        }
+        if self.dir.is_none() {
+            return false;
+        }
+        self.probes.index_probes += 1;
+        self.index.contains_key(&key)
+    }
+
+    /// The legacy probe: check artifact presence by `stat`ing every path the
+    /// key could live at (binary, sharded JSON, flat JSON). This is what a
+    /// per-scenario hit check cost before the index existed; it is kept so
+    /// the `exp_sweep_throughput` baseline can measure the index's speedup
+    /// against it. Not used on any hot path.
+    pub fn probe_disk_stat(&self, key: ContentHash) -> bool {
+        let Some(dir) = &self.dir else {
+            return false;
+        };
+        sharded_path(dir, key, "bin").exists()
+            || sharded_path(dir, key, "json").exists()
+            || legacy_path(dir, key).exists()
+    }
+
     /// Look up a result, promoting artifact hits into memory.
     ///
-    /// Returns the tier that served the hit. A corrupt or mismatched
-    /// artifact is reported as an error (the caller decides whether to
-    /// recompute).
+    /// Misses are answered by the in-memory index without a filesystem
+    /// probe. A corrupt or mismatched artifact is reported as an error (the
+    /// caller decides whether to recompute).
     pub fn get(&mut self, key: ContentHash) -> Result<Option<(R, CacheTier)>, EngineError> {
         if let Some(r) = self.mem.get(&key) {
             return Ok(Some((r.clone(), CacheTier::Memory)));
@@ -95,13 +262,23 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         let Some(dir) = &self.dir else {
             return Ok(None);
         };
-        let path = artifact_path(dir, key);
-        if !path.exists() {
+        self.probes.index_probes += 1;
+        let Some(&loc) = self.index.get(&key) else {
             return Ok(None);
-        }
-        let text = std::fs::read_to_string(&path)?;
-        let artifact: Value = serde_json::from_str(&text)
-            .map_err(|e| EngineError::Serialize(format!("parsing {}: {e}", path.display())))?;
+        };
+        let path = loc_path(dir, key, loc);
+        self.probes.disk_reads += 1;
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // The artifact vanished behind our back (external cleanup);
+                // treat as a miss and forget it.
+                self.index.remove(&key);
+                return Ok(None);
+            }
+            Err(e) => return Err(EngineError::Io(e)),
+        };
+        let artifact = decode_artifact_value(&bytes, key, loc, &path)?;
         let stored_key = artifact
             .get("spec_hash")
             .and_then(Value::as_str)
@@ -123,24 +300,56 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
 
     /// Store a result under its spec's hash, writing an artifact if a
     /// directory is configured.
+    ///
+    /// The memory tier is updated *first* and unconditionally, so an
+    /// artifact-write failure (read-only directory, disk full) still leaves
+    /// the result servable in-process; the error reports the artifact
+    /// problem to callers that care.
     pub fn put(&mut self, spec: &ScenarioSpec, result: &R) -> Result<(), EngineError> {
         let key = spec.content_hash();
         self.mem.insert(key, result.clone());
-        if let Some(dir) = &self.dir {
-            let artifact = Value::Map(vec![
+        let Some(dir) = self.dir.clone() else {
+            return Ok(());
+        };
+        // Binary artifacts are the compact tier: spec_hash + result only —
+        // the content hash already commits to the full spec, and the sweep
+        // driver that probes the cache holds the spec anyway. JSON artifacts
+        // keep the full spec embedded so a human can read what produced a
+        // result without the driver.
+        let artifact = match self.format {
+            ArtifactFormat::Binary => Value::Map(vec![
+                ("spec_hash".to_string(), Value::Str(key.to_hex())),
+                ("result".to_string(), result.to_value()),
+            ]),
+            ArtifactFormat::Json => Value::Map(vec![
                 ("spec_hash".to_string(), Value::Str(key.to_hex())),
                 ("spec".to_string(), spec.to_value()),
                 ("result".to_string(), result.to_value()),
-            ]);
-            let text = serde_json::to_string_pretty(&artifact)
-                .map_err(|e| EngineError::Serialize(e.to_string()))?;
-            // Write-then-rename so concurrent sweeps never observe a torn
-            // artifact.
-            let final_path = artifact_path(dir, key);
-            let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
-            std::fs::write(&tmp_path, text)?;
-            std::fs::rename(&tmp_path, &final_path)?;
-        }
+            ]),
+        };
+        self.ensure_shard(&dir, key)?;
+        let final_path = sharded_path(&dir, key, self.format.extension());
+        let bytes = match self.format {
+            ArtifactFormat::Binary => binary::encode_artifact(key.0, &artifact),
+            ArtifactFormat::Json => {
+                let mut text = serde_json::to_string_pretty(&artifact)
+                    .map_err(|e| EngineError::Serialize(e.to_string()))?;
+                text.push('\n');
+                text.into_bytes()
+            }
+        };
+        // Write-then-rename so concurrent sweeps never observe a torn
+        // artifact.
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp_path, bytes)?;
+        std::fs::rename(&tmp_path, &final_path)?;
+        self.index.insert(
+            key,
+            match self.format {
+                ArtifactFormat::Binary => ArtifactLoc::Binary,
+                ArtifactFormat::Json => ArtifactLoc::Json,
+            },
+        );
         Ok(())
     }
 
@@ -150,16 +359,133 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         self.mem.clear();
     }
 
-    /// The artifact file path a key maps to, if a directory is configured.
-    /// The file need not exist; callers use this to report which artifact a
-    /// failed read came from.
+    /// The artifact file path a key maps to, if a directory is configured:
+    /// the indexed location when the key has an artifact, otherwise where
+    /// the current write format would put one. Callers use this to report
+    /// which artifact a failed read came from.
     pub fn artifact_path_for(&self, key: ContentHash) -> Option<PathBuf> {
-        self.dir.as_deref().map(|dir| artifact_path(dir, key))
+        let dir = self.dir.as_deref()?;
+        Some(match self.index.get(&key) {
+            Some(&loc) => loc_path(dir, key, loc),
+            None => sharded_path(dir, key, self.format.extension()),
+        })
+    }
+
+    /// Create the artifact directory and the key's `xx/yy` shard on first
+    /// use, caching which shards exist to keep warm puts syscall-free.
+    fn ensure_shard(&mut self, dir: &Path, key: ContentHash) -> Result<(), EngineError> {
+        let shard = shard_of(key);
+        if self.shards_ready.contains(&shard) {
+            return Ok(());
+        }
+        std::fs::create_dir_all(shard_dir(dir, key))?;
+        self.shards_ready.insert(shard);
+        Ok(())
     }
 }
 
-fn artifact_path(dir: &Path, key: ContentHash) -> PathBuf {
+/// The `xx * 256 + yy` shard a key fans out to (its top two hex bytes).
+fn shard_of(key: ContentHash) -> u16 {
+    (key.0 >> 112) as u16
+}
+
+fn shard_dir(dir: &Path, key: ContentHash) -> PathBuf {
+    let shard = shard_of(key);
+    dir.join(format!("{:02x}", shard >> 8))
+        .join(format!("{:02x}", shard & 0xff))
+}
+
+fn sharded_path(dir: &Path, key: ContentHash, ext: &str) -> PathBuf {
+    shard_dir(dir, key).join(format!("{}.{ext}", key.to_hex()))
+}
+
+fn legacy_path(dir: &Path, key: ContentHash) -> PathBuf {
     dir.join(format!("{}.json", key.to_hex()))
+}
+
+fn loc_path(dir: &Path, key: ContentHash, loc: ArtifactLoc) -> PathBuf {
+    match loc {
+        ArtifactLoc::Binary => sharded_path(dir, key, "bin"),
+        ArtifactLoc::Json => sharded_path(dir, key, "json"),
+        ArtifactLoc::LegacyJson => legacy_path(dir, key),
+    }
+}
+
+/// Decode an artifact file into its `Value` tree, per storage location.
+fn decode_artifact_value(
+    bytes: &[u8],
+    key: ContentHash,
+    loc: ArtifactLoc,
+    path: &Path,
+) -> Result<Value, EngineError> {
+    match loc {
+        ArtifactLoc::Binary => binary::decode_artifact(bytes, key.0).map_err(|e| {
+            EngineError::Serialize(format!("decoding binary artifact {}: {e}", path.display()))
+        }),
+        ArtifactLoc::Json | ArtifactLoc::LegacyJson => {
+            let text = std::str::from_utf8(bytes).map_err(|e| {
+                EngineError::Serialize(format!("artifact {} is not UTF-8: {e}", path.display()))
+            })?;
+            serde_json::from_str(text)
+                .map_err(|e| EngineError::Serialize(format!("parsing {}: {e}", path.display())))
+        }
+    }
+}
+
+/// Walk an artifact directory once, indexing every sharded binary/JSON
+/// artifact plus legacy flat JSON artifacts. A missing directory is an empty
+/// index (creation is deferred to the first put).
+fn build_index(dir: &Path) -> Result<HashMap<ContentHash, ArtifactLoc>, EngineError> {
+    let mut index = HashMap::new();
+    let top = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(index),
+        Err(e) => return Err(EngineError::Io(e)),
+    };
+    for entry in top {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let file_type = entry.file_type()?;
+        if file_type.is_file() {
+            // Legacy flat artifact: `<32 hex>.json`.
+            if let Some(key) = parse_artifact_name(&name, "json") {
+                index.entry(key).or_insert(ArtifactLoc::LegacyJson);
+            }
+        } else if file_type.is_dir() && is_hex_pair(&name) {
+            for sub in std::fs::read_dir(entry.path())? {
+                let sub = sub?;
+                if !sub.file_type()?.is_dir() || !is_hex_pair(&sub.file_name().to_string_lossy()) {
+                    continue;
+                }
+                for file in std::fs::read_dir(sub.path())? {
+                    let file = file?;
+                    let fname = file.file_name();
+                    let fname = fname.to_string_lossy();
+                    if let Some(key) = parse_artifact_name(&fname, "bin") {
+                        // Binary wins over a JSON sibling: it is the default
+                        // write format, so it is the fresher of the two.
+                        index.insert(key, ArtifactLoc::Binary);
+                    } else if let Some(key) = parse_artifact_name(&fname, "json") {
+                        index.entry(key).or_insert(ArtifactLoc::Json);
+                    }
+                }
+            }
+        }
+    }
+    Ok(index)
+}
+
+fn is_hex_pair(s: &str) -> bool {
+    s.len() == 2 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn parse_artifact_name(name: &str, ext: &str) -> Option<ContentHash> {
+    let stem = name.strip_suffix(&format!(".{ext}"))?;
+    if stem.len() != 32 {
+        return None;
+    }
+    ContentHash::from_hex(stem)
 }
 
 #[cfg(test)]
@@ -172,6 +498,12 @@ mod tests {
             .trace_seed(seed)
             .param("x", 1.5)
             .build()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpcgrid-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -187,35 +519,173 @@ mod tests {
 
     #[test]
     fn artifact_round_trip_across_processes() {
-        let dir = std::env::temp_dir().join(format!("hpcgrid-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let s = spec(2);
-        {
-            let mut c: ResultCache<Vec<f64>> = ResultCache::with_artifact_dir(&dir).unwrap();
-            c.put(&s, &vec![1.0, 2.25, -3.5]).unwrap();
+        for format in [ArtifactFormat::Binary, ArtifactFormat::Json] {
+            let dir = temp_dir(&format!("roundtrip-{}", format.label()));
+            let s = spec(2);
+            {
+                let mut c: ResultCache<Vec<f64>> =
+                    ResultCache::with_artifact_dir_and_format(&dir, format).unwrap();
+                c.put(&s, &vec![1.0, 2.25, -3.5]).unwrap();
+            }
+            // Fresh cache: memory tier empty, must hit the artifact through
+            // the index built by the opening walk.
+            let mut c2: ResultCache<Vec<f64>> =
+                ResultCache::with_artifact_dir_and_format(&dir, format).unwrap();
+            assert_eq!(c2.len_index(), 1);
+            let (v, tier) = c2.get(s.content_hash()).unwrap().unwrap();
+            assert_eq!(v, vec![1.0, 2.25, -3.5]);
+            assert_eq!(tier, CacheTier::Artifact);
+            // Promoted to memory on the way through.
+            let (_, tier2) = c2.get(s.content_hash()).unwrap().unwrap();
+            assert_eq!(tier2, CacheTier::Memory);
+            std::fs::remove_dir_all(&dir).unwrap();
         }
-        // Fresh cache: memory tier empty, must hit the artifact.
-        let mut c2: ResultCache<Vec<f64>> = ResultCache::with_artifact_dir(&dir).unwrap();
-        let (v, tier) = c2.get(s.content_hash()).unwrap().unwrap();
-        assert_eq!(v, vec![1.0, 2.25, -3.5]);
+    }
+
+    #[test]
+    fn artifacts_are_sharded_by_key_prefix() {
+        let dir = temp_dir("sharded");
+        let s = spec(3);
+        let mut c: ResultCache<f64> =
+            ResultCache::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+        c.put(&s, &1.0).unwrap();
+        let hex = s.content_hash().to_hex();
+        let expected = dir
+            .join(&hex[0..2])
+            .join(&hex[2..4])
+            .join(format!("{hex}.bin"));
+        assert!(expected.exists(), "expected {}", expected.display());
+        assert_eq!(c.artifact_path_for(s.content_hash()), Some(expected));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_flat_json_artifacts_are_still_readable() {
+        let dir = temp_dir("legacy");
+        let s = spec(4);
+        // Write a legacy flat artifact by hand, exactly as the pre-sharding
+        // cache laid it out.
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = Value::Map(vec![
+            (
+                "spec_hash".to_string(),
+                Value::Str(s.content_hash().to_hex()),
+            ),
+            ("spec".to_string(), s.to_value()),
+            ("result".to_string(), Value::Float(7.25)),
+        ]);
+        std::fs::write(
+            dir.join(format!("{}.json", s.content_hash().to_hex())),
+            serde_json::to_string_pretty(&artifact).unwrap(),
+        )
+        .unwrap();
+
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        let (v, tier) = c.get(s.content_hash()).unwrap().unwrap();
+        assert_eq!(v, 7.25);
         assert_eq!(tier, CacheTier::Artifact);
-        // Promoted to memory on the way through.
-        let (_, tier2) = c2.get(s.content_hash()).unwrap().unwrap();
-        assert_eq!(tier2, CacheTier::Memory);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_answers_misses_without_disk_probes() {
+        let dir = temp_dir("index-miss");
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        c.put(&spec(10), &1.0).unwrap();
+        c.clear_memory();
+        for seed in 11..100 {
+            assert!(c.get(spec(seed).content_hash()).unwrap().is_none());
+        }
+        let stats = c.probe_stats();
+        assert_eq!(stats.index_probes, 89, "one index probe per miss");
+        assert_eq!(stats.disk_reads, 0, "misses must never touch the disk");
+        // The one real fetch reads exactly one file.
+        assert!(c.get(spec(10).content_hash()).unwrap().is_some());
+        assert_eq!(c.probe_stats().disk_reads, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_creation_leaves_no_directory_until_first_put() {
+        let dir = temp_dir("deferred");
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        assert!(c.get(spec(5).content_hash()).unwrap().is_none());
+        assert!(!dir.exists(), "lookups alone must not create the directory");
+        c.put(&spec(5), &1.0).unwrap();
+        assert!(dir.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn corrupt_artifact_is_an_error_not_a_panic() {
-        let dir =
-            std::env::temp_dir().join(format!("hpcgrid-cache-corrupt-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("corrupt");
         let s = spec(3);
-        let path = dir.join(format!("{}.json", s.content_hash().to_hex()));
-        std::fs::write(&path, "{ not json").unwrap();
-        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
-        assert!(c.get(s.content_hash()).is_err());
+        let mut c: ResultCache<f64> =
+            ResultCache::with_artifact_dir_and_format(&dir, ArtifactFormat::Json).unwrap();
+        c.put(&s, &1.0).unwrap();
+        std::fs::write(c.artifact_path_for(s.content_hash()).unwrap(), "{ not json").unwrap();
+        // Re-open so the memory tier is empty and the read really happens.
+        let mut fresh: ResultCache<f64> =
+            ResultCache::with_artifact_dir_and_format(&dir, ArtifactFormat::Json).unwrap();
+        assert!(fresh.get(s.content_hash()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_binary_artifact_is_an_error_not_a_panic() {
+        let dir = temp_dir("truncated-bin");
+        let s = spec(6);
+        {
+            let mut c: ResultCache<Vec<f64>> =
+                ResultCache::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+            c.put(&s, &vec![1.0, 2.0, 3.0]).unwrap();
+        }
+        let path = sharded_path(&dir, s.content_hash(), "bin");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut c: ResultCache<Vec<f64>> =
+            ResultCache::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+        let err = c.get(s.content_hash()).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated") || err.to_string().contains("CRC"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vanished_artifact_is_a_miss_not_an_error() {
+        let dir = temp_dir("vanished");
+        let s = spec(7);
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        c.put(&s, &1.0).unwrap();
+        c.clear_memory();
+        std::fs::remove_file(c.artifact_path_for(s.content_hash()).unwrap()).unwrap();
+        assert!(c.get(s.content_hash()).unwrap().is_none());
+        // Forgotten from the index: the next probe is index-answered.
+        assert_eq!(c.len_index(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_disk_stat_agrees_with_the_index() {
+        let dir = temp_dir("probe-agree");
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        c.put(&spec(20), &2.0).unwrap();
+        assert!(c.probe_disk_stat(spec(20).content_hash()));
+        assert!(!c.probe_disk_stat(spec(21).content_hash()));
+        assert!(c.contains(spec(20).content_hash()));
+        assert!(!c.contains(spec(21).content_hash()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_env_knob_selects_json() {
+        // Only inspects the parser, not the process env (tests run in
+        // parallel; mutating the env here would race other suites).
+        assert_eq!(ArtifactFormat::default(), ArtifactFormat::Binary);
+        assert_eq!(ArtifactFormat::Binary.label(), "binary");
+        assert_eq!(ArtifactFormat::Json.label(), "json");
+        assert_eq!(ArtifactFormat::Binary.extension(), "bin");
     }
 }

@@ -16,8 +16,13 @@
 //!   [`ScenarioError`]s (one bad scenario never takes down the sweep),
 //!   honours a configurable [`RetryPolicy`], and preserves submission order.
 //! * [`ResultCache`] — content-addressed results, in memory plus an optional
-//!   JSON artifact directory, so re-running an overlapping sweep only
-//!   computes the delta.
+//!   sharded artifact directory (compact checksummed binary by default, JSON
+//!   on request) fronted by an in-memory index, so re-running an overlapping
+//!   sweep only computes the delta and hit checks never stat the filesystem.
+//! * [`SharedInputs`] — zero-copy registry of `Arc`'d inputs (compiled
+//!   kernels, load series) common to every scenario in a sweep.
+//! * [`SweepRunner::run_fold`] — streaming monoid reduction for
+//!   population-scale sweeps that must never materialize `Vec<R>`.
 //! * [`RunReport`] — per-scenario wall time, cache hit/miss counters, retry
 //!   counts, worker utilization, and a printable summary table.
 //!
@@ -44,18 +49,21 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod cache;
 pub mod error;
 pub mod hash;
 pub mod report;
 pub mod runner;
+pub mod shared;
 pub mod spec;
 pub mod table;
 
-pub use cache::{CacheTier, ResultCache};
+pub use cache::{ArtifactFormat, CacheTier, ProbeStats, ResultCache};
 pub use error::{EngineError, RetryPolicy, ScenarioError};
 pub use hash::{content_hash, ContentHash};
 pub use report::{Disposition, RunReport, ScenarioRecord};
-pub use runner::{ScenarioCtx, SweepConfig, SweepOutcome, SweepRunner};
+pub use runner::{FoldOutcome, ScenarioCtx, SweepConfig, SweepOutcome, SweepRunner};
+pub use shared::{kernel_key, series_key, SharedInputs};
 pub use spec::{ParamValue, ScenarioSpec, ScenarioSpecBuilder};
 pub use table::TextTable;

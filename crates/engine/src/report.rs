@@ -10,7 +10,7 @@ use std::time::Duration;
 pub enum Disposition {
     /// Served from the in-memory cache.
     MemoryHit,
-    /// Served from a JSON artifact on disk.
+    /// Served from an artifact on disk (binary or JSON).
     ArtifactHit,
     /// Computed by executing the scenario closure.
     Executed,
@@ -48,10 +48,15 @@ pub struct RunReport {
     pub failed: usize,
     /// Total retry attempts beyond each scenario's first try.
     pub retries: u32,
-    /// Artifact-tier cache reads that failed to deserialize (corrupt or
-    /// incompatible JSON). Each such scenario was recomputed; a nonzero
-    /// count means the artifact directory needs attention.
+    /// Artifact-tier cache reads that failed to decode (corrupt or
+    /// incompatible binary/JSON). Each such scenario was recomputed; a
+    /// nonzero count means the artifact directory needs attention.
     pub cache_corrupt: usize,
+    /// Artifact-tier hit/miss probes answered by the in-memory index
+    /// without touching the filesystem.
+    pub index_probes: u64,
+    /// Artifact files actually read from disk (fetches of indexed keys).
+    pub disk_reads: u64,
     /// End-to-end wall time of the sweep.
     pub wall: Duration,
     /// Worker pool size used for the execution phase.
@@ -153,6 +158,12 @@ impl RunReport {
             "hit ratio".to_string(),
             format!("{:.1}%", self.hit_ratio() * 100.0),
         ]);
+        if self.index_probes > 0 || self.disk_reads > 0 {
+            t.row(vec![
+                "artifact probes (index / disk reads)".to_string(),
+                format!("{} / {}", self.index_probes, self.disk_reads),
+            ]);
+        }
         t.row(vec![
             "wall time".to_string(),
             format!("{:.3} s", self.wall.as_secs_f64()),
@@ -199,6 +210,8 @@ mod tests {
             failed: 1,
             retries: 3,
             cache_corrupt: 0,
+            index_probes: 3,
+            disk_reads: 1,
             wall: Duration::from_millis(100),
             workers: 2,
             worker_busy: vec![Duration::from_millis(80), Duration::from_millis(40)],

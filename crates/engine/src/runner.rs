@@ -1,17 +1,28 @@
 //! The sweep runner: a bounded work-stealing worker pool that executes
 //! scenarios deterministically, isolates per-scenario panics, consults the
 //! content-addressed cache, and preserves submission order in its results.
+//!
+//! Two entry points share the machinery:
+//!
+//! * [`SweepRunner::run`] — materializes one result slot per submitted spec
+//!   (submission order preserved). Right for sweeps whose results are then
+//!   tabulated individually.
+//! * [`SweepRunner::run_fold`] — streams results into an order-insensitive
+//!   monoid fold as workers finish, never materializing `Vec<R>`. Right for
+//!   population-scale sweeps (10⁵–10⁷ scenarios) whose output is an
+//!   aggregate: totals, histograms, argmins.
 
-use crate::cache::{CacheTier, ResultCache};
+use crate::cache::{ArtifactFormat, CacheTier, ResultCache};
 use crate::error::{EngineError, RetryPolicy, ScenarioError};
 use crate::report::{Disposition, RunReport, ScenarioRecord};
+use crate::shared::SharedInputs;
 use crate::spec::ScenarioSpec;
 use hpcgrid_timeseries::par::{default_threads, panic_message};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Runner configuration.
@@ -24,16 +35,21 @@ pub struct SweepConfig {
     pub retry: RetryPolicy,
 }
 
-/// What a scenario closure receives: the spec plus a deterministic seed
-/// derived from the spec's content hash. Using `ctx.seed` (rather than ad-hoc
-/// seeds) makes a scenario's randomness a pure function of its spec — the
-/// property the cache relies on.
+/// What a scenario closure receives: the spec, a deterministic seed derived
+/// from the spec's content hash, and the sweep's zero-copy
+/// [`SharedInputs`]. Using `ctx.seed` (rather than ad-hoc seeds) makes a
+/// scenario's randomness a pure function of its spec — the property the
+/// cache relies on.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioCtx<'a> {
     /// The scenario being executed.
     pub spec: &'a ScenarioSpec,
     /// Deterministic per-scenario RNG seed.
     pub seed: u64,
+    /// `Arc`'d inputs common to every scenario in the sweep (compiled
+    /// kernels, load series). See [`SharedInputs`] for the cache-safety
+    /// contract: shared inputs must not carry state the spec doesn't hash.
+    pub shared: &'a SharedInputs,
 }
 
 /// The outcome of one sweep: per-scenario results in submission order, plus
@@ -75,6 +91,38 @@ impl<R> SweepOutcome<R> {
     }
 }
 
+/// The outcome of a streaming [`SweepRunner::run_fold`]: the folded
+/// aggregate plus the errors of scenarios that failed (which therefore
+/// contributed nothing to the aggregate).
+#[derive(Debug)]
+pub struct FoldOutcome<A> {
+    /// The fold of every successful scenario result into `init`.
+    pub value: A,
+    /// Errors of failed scenarios, in no particular order.
+    pub errors: Vec<ScenarioError>,
+    /// Observability for the run. `scenarios` records are *not* populated
+    /// in fold mode — per-scenario bookkeeping is exactly the memory cost
+    /// streaming exists to avoid.
+    pub report: RunReport,
+}
+
+impl<A> FoldOutcome<A> {
+    /// Unwrap the aggregate, panicking with a summary if any scenario
+    /// failed.
+    pub fn expect_all(self, context: &str) -> A {
+        if !self.errors.is_empty() {
+            let mut lines: Vec<String> = self.errors.iter().map(ScenarioError::to_string).collect();
+            lines.truncate(5);
+            panic!(
+                "{context}: {} scenario(s) failed:\n  {}",
+                self.errors.len(),
+                lines.join("\n  ")
+            );
+        }
+        self.value
+    }
+}
+
 /// Scenario orchestration engine entry point.
 ///
 /// Holds the result cache across sweeps, so consecutive sweeps in one process
@@ -102,6 +150,7 @@ impl<R> SweepOutcome<R> {
 pub struct SweepRunner<R> {
     cache: ResultCache<R>,
     config: SweepConfig,
+    shared: Arc<SharedInputs>,
 }
 
 impl<R: Clone + Send + Serialize + Deserialize> Default for SweepRunner<R> {
@@ -116,14 +165,30 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         SweepRunner {
             cache: ResultCache::in_memory(),
             config: SweepConfig::default(),
+            shared: Arc::new(SharedInputs::new()),
         }
     }
 
-    /// Runner whose cache persists JSON artifacts under `dir`.
+    /// Runner whose cache persists artifacts under `dir` (binary by
+    /// default; `HPCGRID_SWEEP_ARTIFACT_FORMAT=json` keeps JSON).
     pub fn with_artifact_dir(dir: impl Into<std::path::PathBuf>) -> Result<Self, EngineError> {
         Ok(SweepRunner {
             cache: ResultCache::with_artifact_dir(dir)?,
             config: SweepConfig::default(),
+            shared: Arc::new(SharedInputs::new()),
+        })
+    }
+
+    /// Runner whose cache persists artifacts under `dir` in an explicit
+    /// format, ignoring the environment.
+    pub fn with_artifact_dir_and_format(
+        dir: impl Into<std::path::PathBuf>,
+        format: ArtifactFormat,
+    ) -> Result<Self, EngineError> {
+        Ok(SweepRunner {
+            cache: ResultCache::with_artifact_dir_and_format(dir, format)?,
+            config: SweepConfig::default(),
+            shared: Arc::new(SharedInputs::new()),
         })
     }
 
@@ -145,6 +210,13 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         self
     }
 
+    /// Set the sweep's zero-copy [`SharedInputs`], available to every
+    /// scenario via [`ScenarioCtx::shared`].
+    pub fn shared_inputs(mut self, shared: SharedInputs) -> Self {
+        self.shared = Arc::new(shared);
+        self
+    }
+
     /// Access the underlying cache.
     pub fn cache_mut(&mut self) -> &mut ResultCache<R> {
         &mut self.cache
@@ -158,6 +230,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
     {
         let t0 = Instant::now();
+        let probes0 = self.cache.probe_stats();
         let mut report = RunReport {
             total: specs.len(),
             ..RunReport::default()
@@ -232,6 +305,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             .min(to_run.len().max(1));
         report.workers = if to_run.is_empty() { 0 } else { workers };
         let retry = self.config.retry;
+        let shared = Arc::clone(&self.shared);
         let next = AtomicUsize::new(0);
         type Done<R> = (usize, Result<R, ScenarioError>, Duration, u32);
         let done: Mutex<Vec<Done<R>>> = Mutex::new(Vec::with_capacity(to_run.len()));
@@ -252,33 +326,11 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
                             let ctx = ScenarioCtx {
                                 spec,
                                 seed: spec.derived_seed(),
+                                shared: &shared,
                             };
                             let started = Instant::now();
-                            let mut attempts = 0u32;
-                            let result = loop {
-                                attempts += 1;
-                                match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
-                                    Ok(Ok(value)) => break Ok(value),
-                                    Ok(Err(message)) => {
-                                        if attempts >= retry.max_attempts() {
-                                            break Err(ScenarioError::Failed {
-                                                spec: hashes[slot],
-                                                message,
-                                                attempts,
-                                            });
-                                        }
-                                    }
-                                    Err(payload) => {
-                                        if attempts >= retry.max_attempts() {
-                                            break Err(ScenarioError::Panicked {
-                                                spec: hashes[slot],
-                                                message: panic_message(payload.as_ref()),
-                                                attempts,
-                                            });
-                                        }
-                                    }
-                                }
-                            };
+                            let (result, attempts) =
+                                execute_with_retries(&f, ctx, hashes[slot], retry);
                             let wall = started.elapsed();
                             my_busy += wall;
                             local.push((slot, result, wall, attempts));
@@ -348,6 +400,9 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             });
         }
 
+        let probes1 = self.cache.probe_stats();
+        report.index_probes = probes1.index_probes - probes0.index_probes;
+        report.disk_reads = probes1.disk_reads - probes0.disk_reads;
         report.wall = t0.elapsed();
         SweepOutcome {
             results: slots
@@ -357,6 +412,254 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             report,
         }
     }
+
+    /// Run a sweep as a streaming reduction: every successful result is
+    /// folded into an accumulator *as workers finish*, so the sweep never
+    /// materializes `Vec<R>` — memory stays O(workers + failures) no matter
+    /// how many scenarios are submitted.
+    ///
+    /// `fold` absorbs one result into an accumulator; `merge` combines two
+    /// accumulators. Together with `init` they must form a **commutative
+    /// monoid** (fold/merge order is whatever order workers finish in):
+    /// sums, counts, min/max, histograms qualify; order-sensitive folds do
+    /// not. When they do, the aggregate is exactly what
+    /// `run(...)` + a sequential fold would produce.
+    ///
+    /// Panic isolation, the retry budget, cache consultation, artifact
+    /// commits, and duplicate-spec deduplication all behave exactly as in
+    /// [`SweepRunner::run`] (a duplicate spec executes once and is folded
+    /// once per occurrence).
+    ///
+    /// ```
+    /// use hpcgrid_engine::{ScenarioSpec, SweepRunner};
+    ///
+    /// let specs: Vec<ScenarioSpec> = (0..1000)
+    ///     .map(|i| ScenarioSpec::builder("sum").param("x", i as i64).build())
+    ///     .collect();
+    /// let mut runner: SweepRunner<i64> = SweepRunner::new();
+    /// let total = runner
+    ///     .run_fold(
+    ///         &specs,
+    ///         |ctx| Ok(ctx.spec.param_i64("x")?),
+    ///         0_i64,
+    ///         |acc, x| acc + x,
+    ///         |a, b| a + b,
+    ///     )
+    ///     .expect_all("sum sweep");
+    /// assert_eq!(total, 499_500);
+    /// ```
+    pub fn run_fold<A, F, Fold, Merge>(
+        &mut self,
+        specs: &[ScenarioSpec],
+        f: F,
+        init: A,
+        fold: Fold,
+        merge: Merge,
+    ) -> FoldOutcome<A>
+    where
+        A: Clone + Send,
+        F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+        Fold: Fn(A, R) -> A + Sync,
+        Merge: Fn(A, A) -> A,
+    {
+        let t0 = Instant::now();
+        let probes0 = self.cache.probe_stats();
+        let mut report = RunReport {
+            total: specs.len(),
+            ..RunReport::default()
+        };
+
+        // Phase 1 — cache consultation. Hits fold immediately (streaming:
+        // nothing is retained); misses are deduplicated, remembering each
+        // unique spec's multiplicity so duplicates still fold once per
+        // occurrence.
+        let mut acc = init.clone();
+        // Unique specs to execute: (index into `specs`, occurrence count).
+        let mut to_run: Vec<(usize, usize)> = Vec::new();
+        let mut pending: HashMap<crate::hash::ContentHash, usize> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let key = spec.content_hash();
+            if let Some(&run_idx) = pending.get(&key) {
+                to_run[run_idx].1 += 1;
+                report.memory_hits += 1;
+                continue;
+            }
+            match self.cache.get(key) {
+                Ok(Some((value, tier))) => {
+                    match tier {
+                        CacheTier::Memory => report.memory_hits += 1,
+                        CacheTier::Artifact => report.artifact_hits += 1,
+                    }
+                    acc = fold(acc, value);
+                }
+                Ok(None) => {
+                    pending.insert(key, to_run.len());
+                    to_run.push((i, 1));
+                }
+                Err(err) => {
+                    report.cache_corrupt += 1;
+                    let path = self
+                        .cache
+                        .artifact_path_for(key)
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<no artifact dir>".to_string());
+                    eprintln!(
+                        "hpcgrid-engine: corrupt cache artifact for scenario `{}` at {path}: {err}; recomputing",
+                        spec.label()
+                    );
+                    pending.insert(key, to_run.len());
+                    to_run.push((i, 1));
+                }
+            }
+        }
+
+        // Phase 2 — execute misses; each worker folds into its own
+        // accumulator and commits artifacts through a shared cache handle as
+        // it goes, so results are dropped the moment they are absorbed.
+        let workers = self
+            .config
+            .threads
+            .unwrap_or_else(|| default_threads(to_run.len()))
+            .max(1)
+            .min(to_run.len().max(1));
+        report.workers = if to_run.is_empty() { 0 } else { workers };
+        let retry = self.config.retry;
+        let shared = Arc::clone(&self.shared);
+        let next = AtomicUsize::new(0);
+        let cache = Mutex::new(&mut self.cache);
+        let errors: Mutex<Vec<ScenarioError>> = Mutex::new(Vec::new());
+        // (worker index, accumulator, executed, retries, busy) per worker.
+        type WorkerOut<A> = (usize, A, usize, u32, Duration);
+        let outputs: Mutex<Vec<WorkerOut<A>>> = Mutex::new(Vec::with_capacity(workers));
+        if !to_run.is_empty() {
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let init = init.clone();
+                    let fold = &fold;
+                    let f = &f;
+                    let cache = &cache;
+                    let errors = &errors;
+                    let outputs = &outputs;
+                    let next = &next;
+                    let to_run = &to_run;
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let mut my_acc = init;
+                        let mut my_busy = Duration::ZERO;
+                        let mut my_executed = 0usize;
+                        let mut my_retries = 0u32;
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= to_run.len() {
+                                break;
+                            }
+                            let (slot, mult) = to_run[k];
+                            let spec = &specs[slot];
+                            let ctx = ScenarioCtx {
+                                spec,
+                                seed: spec.derived_seed(),
+                                shared,
+                            };
+                            let started = Instant::now();
+                            let (result, attempts) =
+                                execute_with_retries(f, ctx, spec.content_hash(), retry);
+                            my_busy += started.elapsed();
+                            my_executed += 1;
+                            my_retries += attempts.saturating_sub(1);
+                            match result {
+                                Ok(value) => {
+                                    // Artifact commit failures don't fail
+                                    // the scenario (mirrors `run`).
+                                    let _ = cache
+                                        .lock()
+                                        .expect("cache mutex poisoned")
+                                        .put(spec, &value);
+                                    for _ in 1..mult {
+                                        my_acc = fold(my_acc, value.clone());
+                                    }
+                                    my_acc = fold(my_acc, value);
+                                }
+                                Err(e) => {
+                                    errors.lock().expect("error mutex poisoned").push(e);
+                                }
+                            }
+                        }
+                        outputs.lock().expect("output mutex poisoned").push((
+                            w,
+                            my_acc,
+                            my_executed,
+                            my_retries,
+                            my_busy,
+                        ));
+                    });
+                }
+            });
+        }
+
+        // Phase 3 — merge worker accumulators (in worker order, for what
+        // little determinism that buys a commutative monoid) and finish the
+        // report. (`cache`'s borrow of `self.cache` has ended by now, so the
+        // probe-stat reads below can take their own shared borrow.)
+        let mut outputs = outputs.into_inner().expect("output mutex poisoned");
+        outputs.sort_by_key(|(w, ..)| *w);
+        for (_, worker_acc, executed, retries, busy) in outputs {
+            acc = merge(acc, worker_acc);
+            report.executed += executed;
+            report.retries += retries;
+            report.worker_busy.push(busy);
+        }
+        let errors = errors.into_inner().expect("error mutex poisoned");
+        report.failed = errors.len();
+        let probes1 = self.cache.probe_stats();
+        report.index_probes = probes1.index_probes - probes0.index_probes;
+        report.disk_reads = probes1.disk_reads - probes0.disk_reads;
+        report.wall = t0.elapsed();
+        FoldOutcome {
+            value: acc,
+            errors,
+            report,
+        }
+    }
+}
+
+/// One scenario's attempt loop: run `f` under panic isolation until it
+/// succeeds or the retry budget is spent. Returns the result and the number
+/// of attempts made.
+fn execute_with_retries<R, F>(
+    f: &F,
+    ctx: ScenarioCtx<'_>,
+    key: crate::hash::ContentHash,
+    retry: RetryPolicy,
+) -> (Result<R, ScenarioError>, u32)
+where
+    F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+{
+    let mut attempts = 0u32;
+    let result = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+            Ok(Ok(value)) => break Ok(value),
+            Ok(Err(message)) => {
+                if attempts >= retry.max_attempts() {
+                    break Err(ScenarioError::Failed {
+                        spec: key,
+                        message,
+                        attempts,
+                    });
+                }
+            }
+            Err(payload) => {
+                if attempts >= retry.max_attempts() {
+                    break Err(ScenarioError::Panicked {
+                        spec: key,
+                        message: panic_message(payload.as_ref()),
+                        attempts,
+                    });
+                }
+            }
+        }
+    };
+    (result, attempts)
 }
 
 #[cfg(test)]
@@ -472,12 +775,18 @@ mod tests {
             std::env::temp_dir().join(format!("hpcgrid-runner-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let specs = specs(1);
+        // Plant a corrupt artifact where the cache will index it, *before*
+        // the runner under test opens the directory.
+        {
+            let scout: SweepRunner<i64> = SweepRunner::with_artifact_dir(&dir).unwrap();
+            let path = scout
+                .cache
+                .artifact_path_for(specs[0].content_hash())
+                .unwrap();
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, "not a valid artifact").unwrap();
+        }
         let mut runner: SweepRunner<i64> = SweepRunner::with_artifact_dir(&dir).unwrap();
-        let path = runner
-            .cache_mut()
-            .artifact_path_for(specs[0].content_hash())
-            .unwrap();
-        std::fs::write(&path, "{ not json").unwrap();
         let outcome = runner.run(&specs, |ctx| Ok(ctx.spec.param_i64("i")?));
         assert_eq!(outcome.report.executed, 1);
         assert_eq!(outcome.report.cache_corrupt, 1);
@@ -489,6 +798,7 @@ mod tests {
         let again = fresh.run(&specs, |_| panic!("must not execute"));
         assert_eq!(again.report.artifact_hits, 1);
         assert_eq!(again.report.cache_corrupt, 0);
+        assert_eq!(again.report.disk_reads, 1, "one artifact fetch");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -502,5 +812,109 @@ mod tests {
         for (a, b) in first.results.iter().zip(second.results.iter()) {
             assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn shared_inputs_reach_scenarios_without_copies() {
+        let mut shared = SharedInputs::new();
+        shared.insert("series/base", vec![1.0_f64; 1024]);
+        let mut runner: SweepRunner<f64> = SweepRunner::new().shared_inputs(shared);
+        let specs = specs(8);
+        let outcome = runner.run(&specs, |ctx| {
+            let series = ctx.shared.expect::<Vec<f64>>("series/base")?;
+            Ok(series.iter().sum::<f64>() + ctx.spec.param_i64("i")? as f64)
+        });
+        assert_eq!(outcome.report.failed, 0);
+        assert_eq!(*outcome.results[3].as_ref().unwrap(), 1027.0);
+    }
+
+    #[test]
+    fn run_fold_matches_run_plus_sequential_fold() {
+        let specs = specs(100);
+        let mut a: SweepRunner<i64> = SweepRunner::new();
+        let expected: i64 = a
+            .run(&specs, |ctx| Ok(ctx.spec.param_i64("i")? * 3))
+            .expect_all("run")
+            .into_iter()
+            .sum();
+        let mut b: SweepRunner<i64> = SweepRunner::new();
+        let folded = b
+            .run_fold(
+                &specs,
+                |ctx| Ok(ctx.spec.param_i64("i")? * 3),
+                0_i64,
+                |acc, x| acc + x,
+                |x, y| x + y,
+            )
+            .expect_all("run_fold");
+        assert_eq!(folded, expected);
+    }
+
+    #[test]
+    fn run_fold_folds_duplicates_once_per_occurrence() {
+        let one = specs(1);
+        let tripled = vec![one[0].clone(), one[0].clone(), one[0].clone()];
+        let count = AtomicUsize::new(0);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run_fold(
+            &tripled,
+            |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+                Ok(5)
+            },
+            0_i64,
+            |acc, x| acc + x,
+            |x, y| x + y,
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 1, "duplicates execute once");
+        assert_eq!(outcome.value, 15, "but fold once per occurrence");
+        assert_eq!(outcome.report.executed, 1);
+        assert_eq!(outcome.report.memory_hits, 2);
+    }
+
+    #[test]
+    fn run_fold_isolates_failures_and_reports_them() {
+        let specs = specs(10);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        let outcome = runner.run_fold(
+            &specs,
+            |ctx| {
+                let i = ctx.spec.param_i64("i")?;
+                if i == 4 {
+                    panic!("boom");
+                }
+                Ok(i)
+            },
+            0_i64,
+            |acc, x| acc + x,
+            |x, y| x + y,
+        );
+        assert_eq!(outcome.errors.len(), 1);
+        assert!(matches!(outcome.errors[0], ScenarioError::Panicked { .. }));
+        assert_eq!(outcome.value, 45 - 4, "failed scenario contributes nothing");
+        assert_eq!(outcome.report.failed, 1);
+    }
+
+    #[test]
+    fn run_fold_populates_the_cache_for_later_runs() {
+        let specs = specs(12);
+        let mut runner: SweepRunner<i64> = SweepRunner::new();
+        runner.run_fold(
+            &specs,
+            |ctx| Ok(ctx.spec.param_i64("i")?),
+            0_i64,
+            |acc, x| acc + x,
+            |x, y| x + y,
+        );
+        let again = runner.run_fold(
+            &specs,
+            |_| panic!("must not execute"),
+            0_i64,
+            |acc, x| acc + x,
+            |x, y| x + y,
+        );
+        assert_eq!(again.report.executed, 0);
+        assert_eq!(again.report.memory_hits, 12);
+        assert_eq!(again.value, 66);
     }
 }

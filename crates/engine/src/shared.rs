@@ -1,0 +1,180 @@
+//! Zero-copy shared scenario inputs.
+//!
+//! A population-scale sweep typically varies a handful of parameters over a
+//! *common* substrate: one compiled contract kernel, one synthetic load
+//! series, one calendar. Before this module each scenario closure rebuilt
+//! that substrate (or captured it ad hoc from the enclosing scope, which
+//! made scenario closures impossible to factor into library helpers).
+//! [`SharedInputs`] is the explicit alternative: a registry of `Arc`'d
+//! values, built once by the sweep driver, handed to every scenario through
+//! [`crate::ScenarioCtx::shared`]. Cloning an `Arc` is a refcount bump, so N
+//! scenarios over one kernel do one compile instead of N — zero copies of
+//! the substrate itself.
+//!
+//! The engine crate deliberately knows nothing about domain types (contracts,
+//! load series live in downstream crates), so entries are type-erased behind
+//! `Arc<dyn Any + Send + Sync>` and recovered by type at the access site:
+//!
+//! ```
+//! use hpcgrid_engine::SharedInputs;
+//! use std::sync::Arc;
+//!
+//! let mut shared = SharedInputs::new();
+//! shared.insert("series/baseline", vec![1.0_f64, 2.0, 3.0]);
+//!
+//! // In a scenario closure: typed, zero-copy access.
+//! let series: Arc<Vec<f64>> = shared.expect("series/baseline")?;
+//! assert_eq!(series.len(), 3);
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! Keys are free-form strings; [`kernel_key`] and [`series_key`] give the
+//! conventions used by the workspace's experiment binaries (kernels are
+//! keyed by their `hpcgrid_core::ComponentFingerprint` hex so the PR 6
+//! fleet machinery and sweeps agree on identity).
+//!
+//! Shared inputs are *inputs*, not parameters: they must not influence a
+//! scenario's result beyond what the spec already describes, because the
+//! cache key is the spec's content hash alone. Putting load-bearing state
+//! here that is not reflected in the spec silently poisons the cache.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Conventional registry key for a compiled kernel, from its component
+/// fingerprint's 16-digit hex form: `kernel/<fp_hex>`.
+pub fn kernel_key(fingerprint_hex: &str) -> String {
+    format!("kernel/{fingerprint_hex}")
+}
+
+/// Conventional registry key for a named load/price series:
+/// `series/<name>`.
+pub fn series_key(name: &str) -> String {
+    format!("series/{name}")
+}
+
+/// A registry of `Arc`'d values shared by every scenario in a sweep.
+///
+/// Insertion happens on the driver side before the sweep starts; scenario
+/// closures only read. The registry itself is handed to workers behind an
+/// `Arc`, so there is no per-scenario cloning of anything but refcounts.
+#[derive(Default, Clone)]
+pub struct SharedInputs {
+    entries: HashMap<String, Arc<dyn Any + Send + Sync>>,
+}
+
+impl std::fmt::Debug for SharedInputs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        f.debug_struct("SharedInputs").field("keys", &keys).finish()
+    }
+}
+
+impl SharedInputs {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register `value` under `key`, wrapping it in a fresh `Arc`.
+    /// Replaces any previous entry under the same key.
+    pub fn insert<T: Any + Send + Sync>(&mut self, key: impl Into<String>, value: T) -> &mut Self {
+        self.insert_arc(key, Arc::new(value))
+    }
+
+    /// Register an already-`Arc`'d value under `key` — use this when the
+    /// driver also keeps a handle (e.g. a kernel shared with a
+    /// `MeterFleet`), so both sides point at one allocation.
+    pub fn insert_arc<T: Any + Send + Sync>(
+        &mut self,
+        key: impl Into<String>,
+        value: Arc<T>,
+    ) -> &mut Self {
+        self.entries.insert(key.into(), value);
+        self
+    }
+
+    /// Typed lookup: `None` if the key is absent *or* registered under a
+    /// different type.
+    pub fn get<T: Any + Send + Sync>(&self, key: &str) -> Option<Arc<T>> {
+        let entry = self.entries.get(key)?;
+        Arc::clone(entry).downcast::<T>().ok()
+    }
+
+    /// Typed lookup returning a `String` error naming the key, shaped for
+    /// direct use in scenario closures (`Fn(...) -> Result<R, String>`):
+    ///
+    /// ```ignore
+    /// let kernel = ctx.shared.expect::<CompiledContract>(&key)?;
+    /// ```
+    pub fn expect<T: Any + Send + Sync>(&self, key: &str) -> Result<Arc<T>, String> {
+        match self.entries.get(key) {
+            None => Err(format!("shared input `{key}` is not registered")),
+            Some(entry) => Arc::clone(entry).downcast::<T>().map_err(|_| {
+                format!("shared input `{key}` is registered under a different type than requested")
+            }),
+        }
+    }
+
+    /// Registered keys, sorted (for diagnostics).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_typed_get() {
+        let mut s = SharedInputs::new();
+        s.insert("series/load", vec![1.0_f64, 2.0]);
+        s.insert("count", 7_u64);
+        let series: Arc<Vec<f64>> = s.get("series/load").unwrap();
+        assert_eq!(*series, vec![1.0, 2.0]);
+        assert_eq!(*s.get::<u64>("count").unwrap(), 7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.keys(), vec!["count", "series/load"]);
+    }
+
+    #[test]
+    fn wrong_type_is_none_and_expect_names_the_key() {
+        let mut s = SharedInputs::new();
+        s.insert("x", 1.0_f64);
+        assert!(s.get::<u64>("x").is_none());
+        let err = s.expect::<u64>("x").unwrap_err();
+        assert!(err.contains("different type"), "{err}");
+        let err = s.expect::<f64>("missing").unwrap_err();
+        assert!(err.contains("`missing`"), "{err}");
+    }
+
+    #[test]
+    fn insert_arc_shares_the_allocation() {
+        let kernel = Arc::new(vec![0_u8; 16]);
+        let mut s = SharedInputs::new();
+        s.insert_arc(kernel_key("00000000deadbeef"), Arc::clone(&kernel));
+        let got: Arc<Vec<u8>> = s.get(&kernel_key("00000000deadbeef")).unwrap();
+        assert!(Arc::ptr_eq(&got, &kernel));
+    }
+
+    #[test]
+    fn key_conventions() {
+        assert_eq!(kernel_key("abcd"), "kernel/abcd");
+        assert_eq!(series_key("baseline"), "series/baseline");
+    }
+}

@@ -2,7 +2,7 @@
 //! sweep runner guarantees, exercised end to end.
 
 use hpcgrid_engine::{
-    Disposition, ResultCache, RunReport, ScenarioError, ScenarioSpec, SweepRunner,
+    ArtifactFormat, Disposition, ResultCache, RunReport, ScenarioError, ScenarioSpec, SweepRunner,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -86,7 +86,7 @@ fn sweep_isolates_one_panic_and_recaches_the_rest() {
 }
 
 /// Cached results are bit-identical to freshly computed ones, through both
-/// the memory tier and a JSON artifact round trip.
+/// the memory tier and an on-disk artifact round trip.
 #[test]
 fn cached_results_are_bit_identical_to_fresh() {
     let dir = std::env::temp_dir().join(format!("hpcgrid-engine-bits-{}", std::process::id()));
@@ -110,7 +110,7 @@ fn cached_results_are_bit_identical_to_fresh() {
     let mut cached: SweepRunner<Vec<f64>> =
         SweepRunner::with_artifact_dir(&dir).expect("artifact dir");
     cached.run(&specs, simulate);
-    // Drop the memory tier so the second pass must decode JSON artifacts.
+    // Drop the memory tier so the second pass must decode disk artifacts.
     cached.cache_mut().clear_memory();
     let from_disk = cached.run(&specs, |_| -> Result<Vec<f64>, String> {
         panic!("must be served from artifacts")
@@ -230,28 +230,53 @@ fn artifact_dir_is_shared_across_runners() {
     });
     assert_eq!(outcome.report.artifact_hits, 10);
     assert_eq!(outcome.report.executed, 0);
-    // Artifacts are self-describing: one JSON file per scenario, named by
-    // content hash.
-    let mut files: Vec<String> = std::fs::read_dir(&dir)
-        .unwrap()
-        .map(|e| e.unwrap().file_name().into_string().unwrap())
-        .collect();
+    // Every probe the second runner made was answered by the index; the only
+    // disk traffic was fetching the ten artifacts themselves.
+    assert_eq!(outcome.report.index_probes, 10);
+    assert_eq!(outcome.report.disk_reads, 10);
+    // Artifacts are self-describing files named by content hash, fanned out
+    // into xx/yy shard subdirectories keyed by the hash's leading hex
+    // digits (binary `.bin` by default; the CI matrix re-runs this suite
+    // with `HPCGRID_SWEEP_ARTIFACT_FORMAT=json`, hence the env-derived
+    // extension).
+    let ext = match ArtifactFormat::from_env() {
+        ArtifactFormat::Binary => "bin",
+        ArtifactFormat::Json => "json",
+    };
+    let mut files: Vec<String> = Vec::new();
+    collect_artifact_files(&dir, &mut files);
     files.sort();
-    assert_eq!(files.len(), 10);
-    for (spec, file) in {
-        let mut pairs: Vec<String> = specs
-            .iter()
-            .map(|s| format!("{}.json", s.content_hash().to_hex()))
-            .collect();
-        pairs.sort();
-        pairs
-    }
-    .iter()
-    .zip(files.iter())
-    {
-        assert_eq!(spec, file);
-    }
+    let mut expected: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            let hex = s.content_hash().to_hex();
+            format!("{}/{}/{hex}.{ext}", &hex[0..2], &hex[2..4])
+        })
+        .collect();
+    expected.sort();
+    assert_eq!(files, expected);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recursively collect artifact paths relative to `root`, `/`-separated.
+fn collect_artifact_files(root: &std::path::Path, out: &mut Vec<String>) {
+    fn walk(dir: &std::path::Path, root: &std::path::Path, out: &mut Vec<String>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap();
+                let parts: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(parts.join("/"));
+            }
+        }
+    }
+    walk(root, root, out);
 }
 
 /// A direct `ResultCache` user (no runner) sees the same artifacts the
@@ -268,4 +293,151 @@ fn runner_artifacts_are_plain_cache_artifacts() {
     let (value, _) = cache.get(specs[1].content_hash()).unwrap().unwrap();
     assert_eq!(value, (0.8 + 0.01) * 2.0);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A second identical sweep is served fully from artifacts — zero scenario
+/// executions — under both the binary and JSON artifact formats.
+#[test]
+fn second_sweep_is_fully_cache_served_under_both_formats() {
+    use hpcgrid_engine::ArtifactFormat;
+    for format in [ArtifactFormat::Binary, ArtifactFormat::Json] {
+        let dir = std::env::temp_dir().join(format!(
+            "hpcgrid-engine-zero-exec-{}-{}",
+            format.label(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs = sweep_specs(50);
+        {
+            let mut warm: SweepRunner<f64> =
+                SweepRunner::with_artifact_dir_and_format(&dir, format).unwrap();
+            let outcome = warm.run(&specs, |ctx| Ok(ctx.spec.param_f64("multiplier")? * 3.0));
+            assert_eq!(outcome.report.executed, 50);
+        }
+        let mut cold: SweepRunner<f64> =
+            SweepRunner::with_artifact_dir_and_format(&dir, format).unwrap();
+        let outcome = cold.run(&specs, |_| -> Result<f64, String> {
+            panic!("second sweep must not execute anything")
+        });
+        assert_eq!(outcome.report.executed, 0, "{}", format.label());
+        assert_eq!(outcome.report.artifact_hits, 50, "{}", format.label());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// An artifact directory that cannot be written (here: the shard path is
+/// blocked by a plain file) degrades to memory-tier operation — `put`
+/// reports the artifact failure but the value is still served in-process,
+/// and a runner sweep completes normally.
+#[test]
+fn unwritable_artifact_dir_still_serves_the_memory_tier() {
+    let dir = std::env::temp_dir().join(format!("hpcgrid-engine-rodir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let specs = sweep_specs(1);
+    // Block the shard subdirectory with a regular file so artifact writes
+    // fail no matter which user runs the test.
+    let hex = specs[0].content_hash().to_hex();
+    std::fs::write(dir.join(&hex[0..2]), "in the way").unwrap();
+
+    let mut cache: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+    assert!(
+        cache.put(&specs[0], &1.25).is_err(),
+        "artifact write must fail"
+    );
+    let (value, _) = cache.get(specs[0].content_hash()).unwrap().unwrap();
+    assert_eq!(value, 1.25, "memory tier still serves the value");
+
+    // The runner's contract: artifact-commit failure never fails a scenario.
+    let mut runner: SweepRunner<f64> = SweepRunner::with_artifact_dir(&dir).unwrap();
+    let outcome = runner.run(&specs, |ctx| Ok(ctx.spec.param_f64("multiplier")?));
+    assert_eq!(outcome.report.executed, 1);
+    assert_eq!(outcome.report.failed, 0);
+    let again = runner.run(&specs, |_| -> Result<f64, String> {
+        panic!("memory tier must serve the rerun")
+    });
+    assert_eq!(again.report.memory_hits, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A binary artifact truncated mid-file is treated exactly like corrupt
+/// JSON: counted in `cache_corrupt`, recomputed, and healed by the rerun.
+#[test]
+fn truncated_binary_artifact_recomputes_and_heals() {
+    use hpcgrid_engine::ArtifactFormat;
+    let dir = std::env::temp_dir().join(format!("hpcgrid-engine-trunc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = sweep_specs(1);
+    let path;
+    {
+        let mut warm: SweepRunner<Vec<f64>> =
+            SweepRunner::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+        warm.run(&specs, |ctx| {
+            Ok(vec![ctx.spec.param_f64("multiplier")?, 2.5, -3.75])
+        });
+        path = warm
+            .cache_mut()
+            .artifact_path_for(specs[0].content_hash())
+            .unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut runner: SweepRunner<Vec<f64>> =
+        SweepRunner::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+    let outcome = runner.run(&specs, |ctx| {
+        Ok(vec![ctx.spec.param_f64("multiplier")?, 2.5, -3.75])
+    });
+    assert_eq!(outcome.report.cache_corrupt, 1);
+    assert_eq!(outcome.report.executed, 1);
+    // The recomputation rewrote the artifact; a fresh runner reads it clean.
+    let mut fresh: SweepRunner<Vec<f64>> =
+        SweepRunner::with_artifact_dir_and_format(&dir, ArtifactFormat::Binary).unwrap();
+    let again = fresh.run(&specs, |_| -> Result<Vec<f64>, String> {
+        panic!("healed artifact must serve the rerun")
+    });
+    assert_eq!(again.report.artifact_hits, 1);
+    assert_eq!(again.report.cache_corrupt, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Binary and JSON artifacts written for the same results decode to
+/// bit-identical values.
+#[test]
+fn binary_and_json_artifacts_decode_bit_identical() {
+    use hpcgrid_engine::ArtifactFormat;
+    let base = std::env::temp_dir().join(format!("hpcgrid-engine-bits2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let specs = sweep_specs(16);
+    let simulate = |ctx: hpcgrid_engine::ScenarioCtx<'_>| -> Result<Vec<f64>, String> {
+        let i = ctx.spec.param_i64("index")? as f64;
+        Ok(vec![
+            i / 7.0,
+            (i + 0.1).sqrt(),
+            -i * 1e-17,
+            f64::from_bits(ctx.seed),
+        ])
+    };
+    let mut decoded: Vec<Vec<Vec<f64>>> = Vec::new();
+    for format in [ArtifactFormat::Binary, ArtifactFormat::Json] {
+        let dir = base.join(format.label());
+        {
+            let mut warm: SweepRunner<Vec<f64>> =
+                SweepRunner::with_artifact_dir_and_format(&dir, format).unwrap();
+            warm.run(&specs, simulate);
+        }
+        let mut cold: SweepRunner<Vec<f64>> =
+            SweepRunner::with_artifact_dir_and_format(&dir, format).unwrap();
+        let outcome = cold.run(&specs, |_| -> Result<Vec<f64>, String> {
+            panic!("must decode from artifacts")
+        });
+        assert_eq!(outcome.report.artifact_hits, 16);
+        decoded.push(outcome.expect_all("decode"));
+    }
+    for (b, j) in decoded[0].iter().zip(decoded[1].iter()) {
+        for (x, y) in b.iter().zip(j.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
 }

@@ -162,3 +162,120 @@ fn param_value_types_survive_round_trip() {
     let i = ScenarioSpec::builder("types").param("v", 3i64).build();
     assert_ne!(f.content_hash(), i.content_hash());
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The binary artifact codec round-trips arbitrary value trees exactly,
+    /// and binary vs JSON artifacts for the same payload decode to
+    /// bit-identical results.
+    #[test]
+    fn binary_and_json_artifacts_are_bit_identical(
+        seed in 0u64..100_000,
+        raw in prop::collection::vec(-1.0e18f64..1.0e18, 1..8),
+    ) {
+        use hpcgrid_engine::ArtifactFormat;
+        // Stretch the drawn values into awkward full-mantissa bit patterns.
+        let payload: Vec<f64> = raw.iter().map(|v| v / 3.0 + 1e-13 * v.abs().sqrt()).collect();
+        let spec = spec_from(seed, 30, "typical", &[("x".to_string(), 1.0)]);
+        let mut decoded: Vec<Vec<f64>> = Vec::new();
+        for format in [ArtifactFormat::Binary, ArtifactFormat::Json] {
+            let dir = std::env::temp_dir().join(format!(
+                "hpcgrid-prop-fmt-{}-{}-{}",
+                format.label(),
+                std::process::id(),
+                seed
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cache: ResultCache<Vec<f64>> =
+                ResultCache::with_artifact_dir_and_format(&dir, format).unwrap();
+            cache.put(&spec, &payload).unwrap();
+            cache.clear_memory();
+            let (got, _) = cache.get(spec.content_hash()).unwrap().unwrap();
+            prop_assert_eq!(got.len(), payload.len());
+            for (a, b) in payload.iter().zip(got.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            decoded.push(got);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        for (a, b) in decoded[0].iter().zip(decoded[1].iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streaming `run_fold` over a shuffled 1 000-scenario sweep is
+    /// bit-identical to `run` + a sequential fold — including when one
+    /// scenario panics on its first attempt and recovers on a retry.
+    /// (The fold is a commutative monoid over exact integer ops, so worker
+    /// finish order cannot leak into the aggregate.)
+    #[test]
+    fn run_fold_matches_run_over_shuffled_sweeps(
+        shuffle_seed in 0u64..u64::MAX,
+        flaky_pick in 0usize..1000,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let mut specs: Vec<ScenarioSpec> = (0..1000u64)
+            .map(|i| {
+                ScenarioSpec::builder("prop-fold")
+                    .trace_seed(7)
+                    .param("i", i as i64)
+                    .build()
+            })
+            .collect();
+        // Fisher–Yates with a simple LCG off the proptest-drawn seed.
+        let mut state = shuffle_seed | 1;
+        for i in (1..specs.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            specs.swap(i, j);
+        }
+        let flaky = specs[flaky_pick].content_hash();
+
+        // Scenario: an exact integer pair; fold: (wrapping sum, xor) —
+        // commutative, associative, and bit-exact in any order.
+        let scenario = |ctx: hpcgrid_engine::ScenarioCtx<'_>| -> Result<(u64, u64), String> {
+            let i = ctx.spec.param_i64("i")? as u64;
+            Ok((i.wrapping_mul(0x9E3779B97F4A7C15), ctx.seed))
+        };
+
+        let mut baseline: SweepRunner<(u64, u64)> = SweepRunner::new();
+        let expected = baseline
+            .run(&specs, scenario)
+            .expect_all("baseline run")
+            .into_iter()
+            .fold((0u64, 0u64), |(s, x), (a, b)| (s.wrapping_add(a), x ^ b));
+
+        // Fold runner: the picked scenario panics on its first attempt and
+        // succeeds on the retry, proving panic isolation + retry budget
+        // leave the aggregate bit-identical.
+        let first_attempt = AtomicUsize::new(0);
+        let mut folding: SweepRunner<(u64, u64)> =
+            SweepRunner::new().retry(hpcgrid_engine::RetryPolicy::with_budget(1));
+        let outcome = folding.run_fold(
+            &specs,
+            |ctx| {
+                if ctx.spec.content_hash() == flaky
+                    && first_attempt.fetch_add(1, Ordering::SeqCst) == 0
+                {
+                    panic!("transient prop fault");
+                }
+                scenario(ctx)
+            },
+            (0u64, 0u64),
+            |(s, x), (a, b)| (s.wrapping_add(a), x ^ b),
+            |(s1, x1), (s2, x2)| (s1.wrapping_add(s2), x1 ^ x2),
+        );
+        prop_assert!(outcome.errors.is_empty());
+        prop_assert_eq!(outcome.report.retries, 1);
+        prop_assert_eq!(outcome.report.executed, 1000);
+        prop_assert_eq!(outcome.value, expected);
+    }
+}

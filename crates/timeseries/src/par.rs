@@ -234,6 +234,13 @@ where
 /// Parallel fold: map every item and combine the results with `combine`,
 /// starting from `init`. Combination order is unspecified, so `combine`
 /// should be associative and commutative.
+///
+/// Streams: per-item results are combined into per-thread accumulators the
+/// moment they are produced, so the fold never materializes a `Vec` of
+/// mapped values — memory stays O(threads) for any input length.
+///
+/// # Panics
+/// Re-raises the first panic observed in a worker task.
 pub fn par_fold<T, A, F, C>(items: &[T], init: A, f: F, combine: C) -> A
 where
     T: Sync,
@@ -241,8 +248,109 @@ where
     F: Fn(&T) -> A + Sync,
     C: Fn(A, A) -> A + Sync,
 {
-    let partials = par_map(items, f);
-    partials.into_iter().fold(init, combine)
+    match try_par_fold_dynamic(items, init, f, combine) {
+        Ok(a) => a,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible streaming parallel fold with dynamic scheduling.
+///
+/// Each worker steals the next index, maps it with `f`, and immediately
+/// combines the result into its thread-local accumulator (seeded with a
+/// clone of `init`); thread accumulators are merged with `combine` at the
+/// end. Nothing proportional to `items.len()` is ever allocated.
+///
+/// `combine` must be associative and commutative (a commutative monoid with
+/// `init` as identity): the combination order is whatever order workers
+/// finish in.
+///
+/// A per-task panic stops the sweep and is returned as a [`ParError`]
+/// naming the lowest panicking input index, mirroring
+/// [`try_par_map_dynamic`]; tasks already running complete normally but
+/// their partial accumulators are discarded.
+pub fn try_par_fold_dynamic<T, A, F, C>(
+    items: &[T],
+    init: A,
+    f: F,
+    combine: C,
+) -> Result<A, ParError>
+where
+    T: Sync,
+    A: Send + Clone,
+    F: Fn(&T) -> A + Sync,
+    C: Fn(A, A) -> A + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return match items.first() {
+            None => Ok(init),
+            Some(item) => match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(a) => Ok(combine(init, a)),
+                Err(payload) => Err(ParError {
+                    index: 0,
+                    message: panic_message(payload.as_ref()),
+                }),
+            },
+        };
+    }
+    let threads = default_threads(n);
+    let next = AtomicUsize::new(0);
+    let first_panic = AtomicUsize::new(usize::MAX);
+    let partials: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+    let messages: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let init = init.clone();
+            let f = &f;
+            let combine = &combine;
+            let next = &next;
+            let first_panic = &first_panic;
+            let partials = &partials;
+            let messages = &messages;
+            s.spawn(move || {
+                let mut acc = init;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n || first_panic.load(Ordering::Relaxed) != usize::MAX {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        Ok(a) => acc = combine(acc, a),
+                        Err(payload) => {
+                            first_panic.fetch_min(i, Ordering::Relaxed);
+                            messages
+                                .lock()
+                                .expect("message mutex poisoned")
+                                .push((i, panic_message(payload.as_ref())));
+                        }
+                    }
+                }
+                partials.lock().expect("partial mutex poisoned").push(acc);
+            });
+        }
+    });
+    let panic_idx = first_panic.load(Ordering::Relaxed);
+    if panic_idx != usize::MAX {
+        let messages = messages.into_inner().expect("message mutex poisoned");
+        let message = messages
+            .into_iter()
+            .find(|(i, _)| *i == panic_idx)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| "worker panicked".to_string());
+        return Err(ParError {
+            index: panic_idx,
+            message,
+        });
+    }
+    let partials = partials.into_inner().expect("partial mutex poisoned");
+    // `init` already seeded every thread accumulator, so merge the partials
+    // into each other rather than folding `init` in again (identity or not,
+    // one extra combine is harmless — but for a true monoid it is exactly
+    // the identity, so this is the canonical reduction).
+    let mut iter = partials.into_iter();
+    let first = iter.next().unwrap_or(init);
+    Ok(iter.fold(first, &combine))
 }
 
 fn seq_map<T, U, F: Fn(&T) -> U>(items: &[T], f: &F) -> Result<Vec<U>, ParError> {
@@ -297,6 +405,72 @@ mod tests {
         let items: Vec<u64> = (1..=100).collect();
         let total = par_fold(&items, 0u64, |x| *x, |a, b| a + b);
         assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn try_par_fold_dynamic_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let total = try_par_fold_dynamic(
+            &items,
+            0u64,
+            |x| x.wrapping_mul(7),
+            |a, b| a.wrapping_add(b),
+        )
+        .unwrap();
+        let expected = items
+            .iter()
+            .map(|x| x.wrapping_mul(7))
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn try_par_fold_dynamic_handles_small_inputs() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(
+            try_par_fold_dynamic(&empty, 9u64, |x| *x, |a, b| a + b).unwrap(),
+            9
+        );
+        assert_eq!(
+            try_par_fold_dynamic(&[5u64], 1u64, |x| *x, |a, b| a + b).unwrap(),
+            6
+        );
+    }
+
+    #[test]
+    fn try_par_fold_dynamic_reports_first_panic() {
+        let items: Vec<u64> = (0..512).collect();
+        let err = try_par_fold_dynamic(
+            &items,
+            0u64,
+            |x| {
+                if *x == 31 || *x == 200 {
+                    panic!("fold boom at {x}");
+                }
+                *x
+            },
+            |a, b| a + b,
+        )
+        .unwrap_err();
+        assert!(err.index == 31 || err.index == 200);
+        assert!(err.message.contains("fold boom"), "{}", err.message);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel task")]
+    fn par_fold_repanics_on_worker_panic() {
+        let items: Vec<u64> = (0..64).collect();
+        par_fold(
+            &items,
+            0u64,
+            |x| {
+                if *x == 9 {
+                    panic!("fold contract");
+                }
+                *x
+            },
+            |a, b| a + b,
+        );
     }
 
     #[test]
