@@ -8,7 +8,7 @@
 //! `BENCH_sweep.json` so the baseline is committed next to the code it
 //! describes.
 //!
-//! Three quantities the PR that introduced this bench claims:
+//! Four quantities the PRs behind this bench claim:
 //!
 //! * **cold vs warm scenarios/sec** — cold executes every scenario and
 //!   writes its artifact; warm is a fresh process-equivalent (new runner,
@@ -18,7 +18,13 @@
 //!   the in-memory artifact index (one `HashMap` lookup) against the
 //!   pre-index behaviour of `stat`ing every candidate path;
 //! * **artifact bytes, binary vs JSON** — the same sweep persisted under
-//!   both encodings.
+//!   both encodings;
+//! * **journal overhead** — the warm artifact-served fold with every
+//!   completion journaled (`run_fold_journaled`) against the plain warm
+//!   fold, best of three each; crash safety must cost at most a few
+//!   percent. A resume smoke rides along: `SweepRunner::resume` over the
+//!   finished journal must execute nothing and reproduce the aggregate
+//!   bit-identically.
 //!
 //! Correctness gates run before any timing: the warm artifact-served sweep
 //! must reproduce the cold aggregate bit-identically (order-insensitive
@@ -50,10 +56,13 @@ const FLOOR_PROBE_SPEEDUP: f64 = 5.0;
 const FLOOR_BYTES_RATIO: f64 = 2.0;
 /// Release floor: warm (artifact-served) sweep throughput, scenarios/sec.
 const FLOOR_WARM_SCENARIOS_PER_SEC: f64 = 20_000.0;
+/// Release ceiling: journaling a warm sweep may slow it by at most this
+/// percentage over the plain warm fold.
+const CEILING_JOURNAL_OVERHEAD_PCT: f64 = 10.0;
 
 /// The streaming aggregate: dollar total for display, an order-insensitive
 /// checksum (xor of result bits) for bit-identity gates, and a count.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 struct Agg {
     dollars: f64,
     checksum: u64,
@@ -231,6 +240,72 @@ fn main() {
     );
     drop(warm_runner);
 
+    // Journal overhead: the identical warm artifact-served fold, once plain
+    // and once with every completion journaled, best of three each so one
+    // slow filesystem flush does not decide the ratio.
+    let journal_path = base.join("sweep.journal");
+    let mut plain_best = f64::INFINITY;
+    let mut journaled_best = f64::INFINITY;
+    let mut journaled_agg = Agg::default();
+    for _ in 0..3 {
+        let mut plain = SweepRunner::with_artifact_dir_and_format(&bin_dir, ArtifactFormat::Binary)
+            .expect("artifact dir reopens for plain timing")
+            .shared_inputs(shared.clone());
+        let (plain_outcome, plain_s) = run_pass(&mut plain, &specs);
+        assert_eq!(
+            plain_outcome.report.executed, 0,
+            "plain warm pass is served"
+        );
+        plain_best = plain_best.min(plain_s);
+
+        let _ = std::fs::remove_file(&journal_path);
+        let mut journaled =
+            SweepRunner::with_artifact_dir_and_format(&bin_dir, ArtifactFormat::Binary)
+                .expect("artifact dir reopens for journaled timing")
+                .shared_inputs(shared.clone());
+        let t = Instant::now();
+        let outcome = journaled
+            .run_fold_journaled(&journal_path, &specs, &scenario, Agg::default(), fold)
+            .expect("journaled warm sweep");
+        journaled_best = journaled_best.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            outcome.report.executed, 0,
+            "journaled warm pass is artifact-served"
+        );
+        assert!(
+            !outcome.report.interrupted,
+            "journaled pass runs to the end"
+        );
+        journaled_agg = outcome.value;
+    }
+    assert_eq!(
+        cold_agg.checksum, journaled_agg.checksum,
+        "journaled aggregate must be bit-identical to the cold one"
+    );
+    let journal_overhead_pct = (journaled_best / plain_best - 1.0) * 100.0;
+
+    // Resume smoke: a memory-only runner resuming the finished journal must
+    // replay everything and execute nothing — crash recovery costs zero
+    // re-execution even with no artifact cache behind it.
+    let mut resumer: SweepRunner<f64> = SweepRunner::new().shared_inputs(shared.clone());
+    let t_resume = Instant::now();
+    let resumed = resumer
+        .resume(&journal_path, &specs, &scenario, Agg::default(), fold)
+        .expect("resume over the finished journal");
+    let resume_s = t_resume.elapsed().as_secs_f64();
+    assert_eq!(resumed.report.executed, 0, "resume re-executes nothing");
+    assert_eq!(
+        resumed.report.journal_replayed, n,
+        "resume replays the whole journal"
+    );
+    assert_eq!(
+        cold_agg.checksum, resumed.value.checksum,
+        "resumed aggregate must be bit-identical to the cold one"
+    );
+    let journal_bytes = std::fs::metadata(&journal_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
     // Probe latency: a fresh cache (index populated by the open walk,
     // memory tier empty) answers presence probes from the index; the legacy
     // path stats candidate files. Same keys for both.
@@ -295,12 +370,23 @@ fn main() {
         "0".into(),
     ]);
     t.row(vec![
+        "warm binary + journal".into(),
+        format!("{journaled_best:.2}"),
+        format!("{:.0}", n as f64 / journaled_best),
+        "0".into(),
+    ]);
+    t.row(vec![
         "cold json (execute + persist)".into(),
         format!("{json_cold_s:.2}"),
         format!("{:.0}", n as f64 / json_cold_s),
         n.to_string(),
     ]);
     println!("{}", t.render());
+    println!(
+        "journal: {journal_overhead_pct:+.1}% over plain warm ({plain_best:.2} s -> \
+         {journaled_best:.2} s best-of-3), {journal_bytes} bytes for {n} completions; \
+         resume replayed {n} in {resume_s:.2} s with 0 executions"
+    );
     println!(
         "index: built in {index_build_s:.2} s at open; probes {index_ns:.0} ns indexed vs \
          {stat_ns:.0} ns stat ({probe_speedup:.1}x)"
@@ -339,10 +425,20 @@ fn main() {
         "json": json_bytes,
         "ratio": bytes_ratio,
     });
+    let journal_json = serde_json::json!({
+        "plain_warm_seconds": plain_best,
+        "journaled_warm_seconds": journaled_best,
+        "overhead_pct": journal_overhead_pct,
+        "journal_bytes": journal_bytes,
+        "resume_seconds": resume_s,
+        "resume_executed": 0usize,
+        "resume_replayed": n,
+    });
     let floors_json = serde_json::json!({
         "probe_speedup": FLOOR_PROBE_SPEEDUP,
         "bytes_ratio": FLOOR_BYTES_RATIO,
         "warm_scenarios_per_sec": FLOOR_WARM_SCENARIOS_PER_SEC,
+        "journal_overhead_pct_max": CEILING_JOURNAL_OVERHEAD_PCT,
     });
     let env_json = serde_json::json!({
         "HPCGRID_SWEEP_SCENARIOS": std::env::var("HPCGRID_SWEEP_SCENARIOS").ok(),
@@ -353,6 +449,7 @@ fn main() {
         "cold": cold_json,
         "warm": warm_json,
         "probe": probe_json,
+        "journal": journal_json,
         "artifact_bytes": bytes_json,
         "json_cold_seconds": json_cold_s,
         "floors": floors_json,
@@ -381,6 +478,11 @@ fn main() {
             warm_rate >= FLOOR_WARM_SCENARIOS_PER_SEC,
             "warm throughput {warm_rate:.0} scenarios/s below the \
              {FLOOR_WARM_SCENARIOS_PER_SEC:.0} floor"
+        );
+        assert!(
+            journal_overhead_pct <= CEILING_JOURNAL_OVERHEAD_PCT,
+            "journaling cost {journal_overhead_pct:.1}% of the warm fold, ceiling \
+             {CEILING_JOURNAL_OVERHEAD_PCT:.0}%"
         );
     }
     println!("X8 OK");

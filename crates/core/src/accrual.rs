@@ -286,6 +286,9 @@ pub struct BillAccrual {
     demand: Option<DemandAccrual>,
     band: Option<BandAccrual>,
     windows: Vec<WindowAccrual>,
+    /// Fault-injection latch: the next `push_next` panics. Transient test
+    /// state — never serialized, cleared by the panic it causes.
+    poison_next: bool,
 }
 
 /// Serialized checkpoint of a [`BillAccrual`], from
@@ -444,7 +447,17 @@ impl BillAccrual {
             demand,
             band,
             windows,
+            poison_next: false,
         })
+    }
+
+    /// Arm a one-shot injected panic on the next [`BillAccrual::push_next`]
+    /// — the fleet chaos hook behind
+    /// [`MeterFleet::chaos_poison_meter`](crate::fleet::MeterFleet::chaos_poison_meter).
+    /// Test-only plumbing; the latch is transient and never serialized.
+    #[doc(hidden)]
+    pub fn poison_next_push(&mut self) {
+        self.poison_next = true;
     }
 
     /// The kernel this accrual bills against.
@@ -476,6 +489,10 @@ impl BillAccrual {
 
     /// Fold one sample at the next grid instant (the fleet tick path).
     pub fn push_next(&mut self, power: Power) -> Result<()> {
+        if self.poison_next {
+            self.poison_next = false;
+            panic!("injected meter panic (chaos)");
+        }
         let t = self.start + self.n * self.step;
         if t + self.step > self.kernel.end.as_secs() {
             return Err(CoreError::BadSeries(format!(

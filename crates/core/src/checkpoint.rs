@@ -1,0 +1,238 @@
+//! Crash-safe fleet checkpoints: fingerprint-checked snapshots in a
+//! bounded generation ring.
+//!
+//! A long-running [`MeterFleet`](crate::fleet::MeterFleet) is state that
+//! exists nowhere else — its accruals fold a sample stream that cannot be
+//! replayed once the samples are gone. [`CheckpointStore`] persists that
+//! state so a killed billing process resumes instead of restarting:
+//!
+//! * **Atomic publication.** A checkpoint is written to a `*.tmp.<pid>`
+//!   sibling and `rename`d into place, so a crash mid-write never replaces
+//!   a good generation with a torn one.
+//! * **Checksummed frames.** Every file carries an FNV-64 of its JSON body
+//!   in a one-line header; [`CheckpointStore::load_latest`] verifies it and
+//!   falls back to the previous generation on any mismatch — a torn or
+//!   bit-rotted checkpoint degrades to slightly staler state, never to a
+//!   corrupt restore.
+//! * **Generation ring.** Only the newest `ring` generations are kept;
+//!   older files (and stale temp files from dead writers) are garbage
+//!   collected on every save.
+//!
+//! Snapshots themselves are fingerprint-checked one level deeper: each
+//! [`AccrualSnapshot`] records the kernel fingerprint it was taken against,
+//! and [`BillAccrual::restore`](crate::accrual::BillAccrual::restore)
+//! refuses a mismatch. A checkpoint therefore cannot silently re-animate a
+//! meter under the wrong contract.
+
+use crate::accrual::AccrualSnapshot;
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Version tag written into every checkpoint header line.
+const HEADER_MAGIC: &str = "hpcgrid-ckpt v1 fnv64=";
+
+/// A serialized fleet: every healthy meter's accrual snapshot plus the
+/// fleet clock, as produced by
+/// [`MeterFleet::snapshot_all`](crate::fleet::MeterFleet::snapshot_all) and
+/// consumed by
+/// [`MeterFleet::restore_checkpoint`](crate::fleet::MeterFleet::restore_checkpoint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// Monotone checkpoint number assigned by the store.
+    pub generation: u64,
+    /// The fleet's tick count at snapshot time.
+    pub ticks: u64,
+    /// `(meter id, accrual snapshot)` in meter-id order.
+    pub meters: Vec<(u64, AccrualSnapshot)>,
+}
+
+/// A directory of [`FleetCheckpoint`]s, newest-`ring` generations deep.
+///
+/// ```
+/// use hpcgrid_core::checkpoint::CheckpointStore;
+/// use hpcgrid_core::contract::Contract;
+/// use hpcgrid_core::fleet::{MeterFleet, Sample};
+/// use hpcgrid_core::tariff::Tariff;
+/// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+///
+/// let contract = Contract::builder("flat")
+///     .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+///     .build()?;
+/// let mut fleet = MeterFleet::new(Calendar::default(), SimTime::EPOCH, SimTime::from_days(30));
+/// let m = fleet.register(&contract, SimTime::EPOCH, Duration::from_minutes(15.0))?;
+/// fleet.advance_tick(&[Sample { meter: m, power: Power::from_megawatts(8.0) }])?;
+///
+/// let dir = std::env::temp_dir().join(format!("hpcgrid-ckpt-doc-{}", std::process::id()));
+/// let mut store = CheckpointStore::open(&dir, 3)?;
+/// store.save(&fleet)?;
+/// let ckpt = store.load_latest()?.expect("one generation saved");
+/// fleet.restore_checkpoint(&ckpt)?;
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    ring: usize,
+    next_generation: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory keeping the newest
+    /// `ring` generations (clamped to at least 1). The next generation
+    /// number continues from the files already present, so reopening after
+    /// a crash never reuses — and therefore never clobbers — a published
+    /// generation.
+    pub fn open(dir: impl AsRef<Path>, ring: usize) -> Result<CheckpointStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        let next_generation = list_generations(&dir)?
+            .last()
+            .map_or(0, |(g, _)| g.saturating_add(1));
+        Ok(CheckpointStore {
+            dir,
+            ring: ring.max(1),
+            next_generation,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot `fleet`'s healthy meters into the next generation:
+    /// serialize, checksum, write to a temp sibling, `rename` into place,
+    /// then garbage-collect generations beyond the ring (and temp files
+    /// left by dead writers). Returns the generation number published.
+    pub fn save(&mut self, fleet: &crate::fleet::MeterFleet) -> Result<u64> {
+        let generation = self.next_generation;
+        let ckpt = FleetCheckpoint {
+            generation,
+            ticks: fleet.stats().ticks,
+            meters: fleet.snapshot_all(),
+        };
+        let body = serde_json::to_string(&ckpt)
+            .map_err(|e| CoreError::Io(format!("checkpoint encode: {e}")))?;
+        let framed = format!("{HEADER_MAGIC}{:016x}\n{body}\n", fnv64(body.as_bytes()));
+        let path = self.dir.join(generation_name(generation));
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}",
+            generation_name(generation),
+            std::process::id()
+        ));
+        fs::write(&tmp, framed).map_err(io_err)?;
+        fs::rename(&tmp, &path).map_err(io_err)?;
+        self.next_generation = generation.saturating_add(1);
+        self.gc()?;
+        Ok(generation)
+    }
+
+    /// The newest generation whose checksum verifies, or `None` when the
+    /// ring is empty. Torn and corrupt files are skipped, not fatal — the
+    /// store falls back generation by generation.
+    pub fn load_latest(&self) -> Result<Option<FleetCheckpoint>> {
+        for (_, path) in list_generations(&self.dir)?.into_iter().rev() {
+            if let Some(ckpt) = read_checkpoint(&path)? {
+                return Ok(Some(ckpt));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Generation numbers currently on disk, oldest first (corrupt files
+    /// included — corruption is detected at load, not listing).
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        Ok(list_generations(&self.dir)?
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect())
+    }
+
+    /// Drop generations beyond the newest `ring`, plus any `*.tmp.*` debris
+    /// from writers that died mid-save.
+    fn gc(&self) -> Result<()> {
+        let all = list_generations(&self.dir)?;
+        if all.len() > self.ring {
+            for (_, path) in &all[..all.len() - self.ring] {
+                fs::remove_file(path).map_err(io_err)?;
+            }
+        }
+        for entry in fs::read_dir(&self.dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("ckpt-") && name.contains(".tmp.") {
+                // Best-effort: another live writer may own it.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `ckpt-<generation, zero-padded>.json` — zero padding keeps lexical and
+/// numeric order identical for any realistic generation count.
+fn generation_name(generation: u64) -> String {
+    format!("ckpt-{generation:010}.json")
+}
+
+/// Published checkpoint files in the directory, sorted oldest first.
+fn list_generations(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(gen) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((gen, entry.path()));
+        }
+    }
+    out.sort_by_key(|(g, _)| *g);
+    Ok(out)
+}
+
+/// Parse and verify one checkpoint file. `Ok(None)` means the file is torn
+/// or corrupt (bad frame, bad checksum, bad JSON) — recoverable by falling
+/// back a generation. `Err` is reserved for filesystem failures.
+fn read_checkpoint(path: &Path) -> Result<Option<FleetCheckpoint>> {
+    let raw = match fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(e)),
+    };
+    let Some((header, body)) = raw.split_once('\n') else {
+        return Ok(None);
+    };
+    let Some(sum_hex) = header.strip_prefix(HEADER_MAGIC) else {
+        return Ok(None);
+    };
+    let Ok(expected) = u64::from_str_radix(sum_hex, 16) else {
+        return Ok(None);
+    };
+    let body = body.strip_suffix('\n').unwrap_or(body);
+    if fnv64(body.as_bytes()) != expected {
+        return Ok(None);
+    }
+    Ok(serde_json::from_str(body).ok())
+}
+
+/// FNV-1a 64-bit — cheap, dependency-free corruption detection.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Io(e.to_string())
+}

@@ -150,6 +150,26 @@ struct SegmentMapCache {
     misses: AtomicU64,
 }
 
+impl SegmentMapCache {
+    /// The one way into `entries`. If a previous holder panicked mid-update
+    /// the list may hold a half-applied eviction (an entry removed but its
+    /// replacement never pushed), so recovery *clears* the cache rather
+    /// than trusting it: the maps are pure derived state, and one rebuild
+    /// per geometry is a price worth never replaying a torn entry.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<(SampleGeometry, Arc<SegmentMap>)>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poison) => {
+                // Un-poison so the clear happens once, not on every lock.
+                self.entries.clear_poison();
+                let mut guard = poison.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+}
+
 /// A piecewise-constant price timeline: segment `i` covers
 /// `[breaks[i], breaks[i+1])` (the last segment extends to the compile
 /// horizon's end) at `prices[i]` dollars per kWh. Adjacent segments with
@@ -329,11 +349,7 @@ impl PriceTimeline {
     /// workers hitting one new geometry build it exactly once.
     fn map_for(&self, load: &PowerSeries) -> Arc<SegmentMap> {
         let geom = SampleGeometry::of(load);
-        let mut entries = self
-            .maps
-            .entries
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
+        let mut entries = self.maps.lock_entries();
         if let Some((_, map)) = entries.iter().find(|(g, _)| *g == geom) {
             self.maps.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(map);
@@ -380,11 +396,7 @@ impl PriceTimeline {
     /// length; does not touch hit/miss counters (nothing was built or
     /// skipped yet).
     pub(crate) fn prefix_map(&self, start: u64, step: u64) -> Option<(Arc<SegmentMap>, usize)> {
-        let entries = self
-            .maps
-            .entries
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
+        let entries = self.maps.lock_entries();
         entries
             .iter()
             .filter(|(g, _)| g.start == start && g.step == step)
@@ -1793,5 +1805,38 @@ mod tests {
         .unwrap();
         compiled.bill(&jumped).unwrap();
         assert_eq!(compiled.segment_map_stats().1, 2);
+    }
+
+    #[test]
+    fn poisoned_segment_map_cache_is_cleared_not_trusted() {
+        let tl = PriceTimeline {
+            breaks: vec![0, 12 * 3600],
+            prices: vec![0.05, 0.11],
+            maps: SegmentMapCache::default(),
+        };
+        let load = load_15min(1, 8.0);
+        let expected = tl.cost(&load);
+        assert_eq!(tl.map_stats(), (0, 1));
+
+        // Poison the cache lock: a thread panics while holding the guard.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = tl.maps.entries.lock().unwrap();
+                panic!("injected panic while holding the segment-map lock");
+            })
+            .join()
+            .unwrap_err();
+        });
+        assert!(tl.maps.entries.is_poisoned());
+
+        // Recovery drops the (possibly torn) entries wholesale: the stream
+        // prefix probe sees an empty cache...
+        assert!(tl.prefix_map(0, 900).is_none());
+        // ...and the next bill rebuilds (a second miss) to the same cost.
+        assert_eq!(tl.cost(&load), expected);
+        assert_eq!(tl.map_stats(), (0, 2));
+        // The cache is healthy again: repeat geometry hits.
+        tl.cost(&load);
+        assert_eq!(tl.map_stats(), (1, 2));
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::accrual::{AccrualSnapshot, BillAccrual};
 use crate::billing::Bill;
+use crate::checkpoint::FleetCheckpoint;
 use crate::compiled::CompiledContract;
 use crate::contract::{Contract, ContractDelta};
 use crate::kernels::KernelCache;
@@ -25,6 +26,7 @@ use hpcgrid_timeseries::par::try_par_map;
 use hpcgrid_units::{Calendar, Duration, Power, SimTime};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 /// Environment variable overriding the fleet's shards-per-contract count.
@@ -70,6 +72,27 @@ struct ShardState {
     /// `(slot, power)` pairs scattered for the in-flight tick. Kept
     /// per-shard so its capacity is reused across ticks.
     buf: Vec<(usize, Power)>,
+}
+
+/// What one [`MeterFleet::advance_tick`] did with its sample batch.
+///
+/// Every offered sample lands in exactly one bucket: `applied` (folded into
+/// a healthy meter), `dropped` (its meter was quarantined — before this
+/// tick, or earlier in this tick by a panic), or the panicking sample
+/// itself, which is counted in `dropped` *and* names its meter in
+/// `newly_quarantined`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetTickReport {
+    /// Samples offered to the tick.
+    pub samples: usize,
+    /// Samples folded into healthy meters.
+    pub applied: usize,
+    /// Samples discarded because their meter is quarantined (including the
+    /// sample whose fold panicked).
+    pub dropped: usize,
+    /// Meters quarantined by this tick, with the panic message that
+    /// condemned them, in meter-id order.
+    pub newly_quarantined: Vec<(MeterId, String)>,
 }
 
 /// Operating statistics of a [`MeterFleet`] — the `BENCH_fleet.json`
@@ -151,6 +174,10 @@ pub struct MeterFleet {
     shards: Vec<Shard>,
     /// `meter id -> (shard, slot)`.
     directory: Vec<(usize, usize)>,
+    /// `meter id -> panic message` of meters retired by a panicking fold.
+    /// Quarantined meters drop their samples and refuse `finalize` /
+    /// `snapshot`; [`MeterFleet::restore`] rehabilitates them.
+    quarantined: HashMap<usize, String>,
     ticks: u64,
     tick_nanos: u128,
     samples: u64,
@@ -185,6 +212,7 @@ impl MeterFleet {
             rr: HashMap::new(),
             shards: Vec::new(),
             directory: Vec::new(),
+            quarantined: HashMap::new(),
             ticks: 0,
             tick_nanos: 0,
             samples: 0,
@@ -297,55 +325,106 @@ impl MeterFleet {
     /// then fold every shard's batch in parallel. A meter absent from
     /// `samples` simply lags — its accrual keeps its own clock. Samples
     /// for the same meter fold in slice order.
-    pub fn advance_tick(&mut self, samples: &[Sample]) -> Result<()> {
+    ///
+    /// The fleet degrades instead of dying: a fold that *panics* (a
+    /// poisoned accrual, an injected fault) quarantines that one meter —
+    /// its sample and the rest of its batch are dropped, every other meter
+    /// folds normally, and the casualty is reported in
+    /// [`FleetTickReport::newly_quarantined`]. Subsequent ticks drop the
+    /// quarantined meter's samples at scatter time until
+    /// [`MeterFleet::restore`] rehabilitates it from a known-good snapshot.
+    /// Typed errors (grid misuse, horizon overrun) still fail the tick.
+    pub fn advance_tick(&mut self, samples: &[Sample]) -> Result<FleetTickReport> {
         let t0 = std::time::Instant::now();
+        let mut report = FleetTickReport {
+            samples: samples.len(),
+            ..FleetTickReport::default()
+        };
         for s in samples {
             let (shard, slot) = *self
                 .directory
                 .get(s.meter.0)
                 .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", s.meter)))?;
+            if self.quarantined.contains_key(&s.meter.0) {
+                report.dropped += 1;
+                continue;
+            }
             lock_mut(&mut self.shards[shard].state)
                 .buf
                 .push((slot, s.power));
         }
-        let worked = try_par_map(&self.shards, |shard| -> Result<()> {
+        type ShardOutcome = (usize, usize, Vec<(MeterId, String)>);
+        let worked = try_par_map(&self.shards, |shard| -> Result<ShardOutcome> {
             let state = &mut *lock(&shard.state);
             // Split-borrow meters and buf out of the guard.
             let ShardState { meters, buf } = state;
+            let mut applied = 0usize;
+            let mut dropped = 0usize;
+            let mut panicked: Vec<(MeterId, String)> = Vec::new();
             for &(slot, power) in buf.iter() {
-                meters[slot].1.push_next(power)?;
+                let (id, accrual) = &mut meters[slot];
+                if panicked.iter().any(|(p, _)| p == id) {
+                    dropped += 1;
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| accrual.push_next(power))) {
+                    Ok(pushed) => {
+                        pushed?;
+                        applied += 1;
+                    }
+                    Err(payload) => {
+                        dropped += 1;
+                        panicked.push((*id, panic_message(payload)));
+                    }
+                }
             }
             buf.clear();
-            Ok(())
+            Ok((applied, dropped, panicked))
         })
         .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
-        worked.into_iter().collect::<Result<()>>()?;
+        for outcome in worked {
+            let (applied, dropped, panicked) = outcome?;
+            report.applied += applied;
+            report.dropped += dropped;
+            report.newly_quarantined.extend(panicked);
+        }
+        report.newly_quarantined.sort_by_key(|(id, _)| *id);
+        for (id, reason) in &report.newly_quarantined {
+            self.quarantined.insert(id.0, reason.clone());
+        }
         self.ticks += 1;
-        self.samples += samples.len() as u64;
+        self.samples += report.applied as u64;
         self.tick_nanos += t0.elapsed().as_nanos();
-        Ok(())
+        Ok(report)
     }
 
     /// Close the books of one meter — bit-identical to the batch bill of
-    /// its pushed history (see the [`crate::accrual`] invariant).
+    /// its pushed history (see the [`crate::accrual`] invariant). Errors
+    /// with [`CoreError::Quarantined`] for a quarantined meter: its accrual
+    /// died mid-fold and its state is not trustworthy.
     pub fn finalize(&self, meter: MeterId) -> Result<Bill> {
+        self.check_quarantine(meter)?;
         let (shard, slot) = self.locate(meter)?;
         lock(&self.shards[shard].state).meters[slot].1.finalize()
     }
 
-    /// Close the books of every meter, in parallel, returned in meter-id
-    /// order.
+    /// Close the books of every *healthy* meter, in parallel, returned in
+    /// meter-id order. Quarantined meters are skipped — inspect
+    /// [`MeterFleet::quarantined`] to account for them.
     pub fn finalize_all(&self) -> Result<Vec<(MeterId, Bill)>> {
+        let quarantined = &self.quarantined;
         let per_shard = try_par_map(&self.shards, |shard| -> Result<Vec<(MeterId, Bill)>> {
             let state = lock(&shard.state);
             state
                 .meters
                 .iter()
+                .filter(|(id, _)| !quarantined.contains_key(&id.0))
                 .map(|(id, acc)| acc.finalize().map(|b| (*id, b)))
                 .collect()
         })
         .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
-        let mut bills: Vec<(MeterId, Bill)> = Vec::with_capacity(self.directory.len());
+        let mut bills: Vec<(MeterId, Bill)> =
+            Vec::with_capacity(self.directory.len() - quarantined.len());
         for part in per_shard {
             bills.extend(part?);
         }
@@ -353,21 +432,88 @@ impl MeterFleet {
         Ok(bills)
     }
 
-    /// Serialize one meter's accrual state for checkpointing.
+    /// Serialize one meter's accrual state for checkpointing. Errors with
+    /// [`CoreError::Quarantined`] for a quarantined meter — a snapshot of a
+    /// half-folded accrual must never reach a checkpoint.
     pub fn snapshot(&self, meter: MeterId) -> Result<AccrualSnapshot> {
+        self.check_quarantine(meter)?;
         let (shard, slot) = self.locate(meter)?;
         Ok(lock(&self.shards[shard].state).meters[slot].1.snapshot())
     }
 
+    /// Snapshot every healthy meter in meter-id order — the payload of a
+    /// [`FleetCheckpoint`]. Quarantined meters are excluded by
+    /// construction, so a checkpoint only ever holds trustworthy state.
+    pub fn snapshot_all(&self) -> Vec<(u64, AccrualSnapshot)> {
+        (0..self.directory.len())
+            .filter(|id| !self.quarantined.contains_key(id))
+            .map(|id| {
+                let (shard, slot) = self.directory[id];
+                let snap = lock(&self.shards[shard].state).meters[slot].1.snapshot();
+                (id as u64, snap)
+            })
+            .collect()
+    }
+
     /// Restore one meter's accrual state from a snapshot taken against the
     /// same contract (validated by kernel fingerprint). The restored meter
-    /// continues streaming bit-identically to the original.
+    /// continues streaming bit-identically to the original. Restoring a
+    /// quarantined meter rehabilitates it — the snapshot replaces the
+    /// untrustworthy state wholesale.
     pub fn restore(&mut self, meter: MeterId, snap: &AccrualSnapshot) -> Result<()> {
         let (shard, slot) = self.locate(meter)?;
         let kernel = Arc::clone(&self.shards[shard].kernel);
         let restored = BillAccrual::restore(kernel, snap)?;
         lock_mut(&mut self.shards[shard].state).meters[slot].1 = restored;
+        self.quarantined.remove(&meter.0);
         Ok(())
+    }
+
+    /// Restore every meter recorded in `ckpt` (rehabilitating quarantined
+    /// ones) and adopt the checkpoint's tick count. Returns the number of
+    /// meters restored. Meters registered after the checkpoint was taken
+    /// are left untouched.
+    pub fn restore_checkpoint(&mut self, ckpt: &FleetCheckpoint) -> Result<usize> {
+        for (id, snap) in &ckpt.meters {
+            self.restore(MeterId(*id as usize), snap)?;
+        }
+        self.ticks = ckpt.ticks;
+        Ok(ckpt.meters.len())
+    }
+
+    /// Meters currently quarantined, with the panic message that condemned
+    /// each, in meter-id order.
+    pub fn quarantined(&self) -> Vec<(MeterId, String)> {
+        let mut out: Vec<(MeterId, String)> = self
+            .quarantined
+            .iter()
+            .map(|(id, reason)| (MeterId(*id), reason.clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// True if `meter` is quarantined.
+    pub fn is_quarantined(&self, meter: MeterId) -> bool {
+        self.quarantined.contains_key(&meter.0)
+    }
+
+    /// Arm a one-shot injected panic on `meter`'s next fold — the chaos
+    /// hook behind the fleet degradation tests. Test-only plumbing.
+    #[doc(hidden)]
+    pub fn chaos_poison_meter(&mut self, meter: MeterId) -> Result<()> {
+        let (shard, slot) = self.locate(meter)?;
+        lock_mut(&mut self.shards[shard].state).meters[slot]
+            .1
+            .poison_next_push();
+        Ok(())
+    }
+
+    fn check_quarantine(&self, meter: MeterId) -> Result<()> {
+        match self.quarantined.get(&meter.0) {
+            Some(reason) => Err(CoreError::Quarantined(format!("{meter}: {reason}"))),
+            None => Ok(()),
+        }
     }
 
     /// Patch one meter's contract mid-stream and move it to the patched
@@ -446,6 +592,17 @@ impl MeterFleet {
             .get(meter.0)
             .copied()
             .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", meter)))
+    }
+}
+
+/// Human-readable panic message out of a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
     }
 }
 

@@ -28,6 +28,7 @@
 
 pub mod accrual;
 pub mod billing;
+pub mod checkpoint;
 pub mod compare;
 pub mod compiled;
 pub mod contract;
@@ -44,12 +45,13 @@ pub mod typology;
 
 pub use accrual::{AccrualSnapshot, BillAccrual};
 pub use billing::{Bill, BillingEngine, Precision};
+pub use checkpoint::{CheckpointStore, FleetCheckpoint};
 pub use compiled::CompiledContract;
 pub use contract::{Contract, ContractBuilder, ContractDelta};
 pub use demand_charge::DemandCharge;
 pub use emergency::EmergencyDrClause;
 pub use fingerprint::ComponentFingerprint;
-pub use fleet::{FleetStats, MeterFleet, MeterId, Sample};
+pub use fleet::{FleetStats, FleetTickReport, MeterFleet, MeterId, Sample};
 pub use kernels::KernelCache;
 pub use powerband::Powerband;
 pub use tariff::Tariff;
@@ -68,6 +70,11 @@ pub enum CoreError {
     BadSurvey(String),
     /// A worker task panicked during a parallel batch billing run.
     BatchPanic(String),
+    /// The meter was quarantined after a panicking fold; its accrual state
+    /// is not trustworthy until restored from a snapshot.
+    Quarantined(String),
+    /// Filesystem i/o error while reading or writing a checkpoint.
+    Io(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -78,6 +85,8 @@ impl std::fmt::Display for CoreError {
             CoreError::BadSeries(d) => write!(f, "bad series: {d}"),
             CoreError::BadSurvey(d) => write!(f, "bad survey data: {d}"),
             CoreError::BatchPanic(d) => write!(f, "batch billing worker panicked: {d}"),
+            CoreError::Quarantined(d) => write!(f, "meter quarantined: {d}"),
+            CoreError::Io(d) => write!(f, "checkpoint i/o error: {d}"),
         }
     }
 }

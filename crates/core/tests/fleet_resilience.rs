@@ -1,0 +1,207 @@
+//! Fleet degradation and crash-safe checkpoints: a panicking meter is
+//! quarantined instead of killing the tick, and a `CheckpointStore` ring
+//! brings a dead fleet back bit-identically.
+
+use hpcgrid_core::checkpoint::CheckpointStore;
+use hpcgrid_core::contract::Contract;
+use hpcgrid_core::fleet::{MeterFleet, MeterId, Sample};
+use hpcgrid_core::tariff::Tariff;
+use hpcgrid_core::CoreError;
+use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+
+const METERS: usize = 6;
+const STEP_MIN: f64 = 15.0;
+
+fn contract() -> Contract {
+    Contract::builder("fleet-resilience")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+        .build()
+        .unwrap()
+}
+
+fn fleet_of(n: usize) -> (MeterFleet, Vec<MeterId>) {
+    let mut fleet = MeterFleet::with_shards(
+        Calendar::default(),
+        SimTime::EPOCH,
+        SimTime::from_days(30),
+        2,
+    );
+    let c = contract();
+    let step = Duration::from_minutes(STEP_MIN);
+    let ids = (0..n)
+        .map(|_| fleet.register(&c, SimTime::EPOCH, step).unwrap())
+        .collect();
+    (fleet, ids)
+}
+
+/// Deterministic per-meter, per-tick load.
+fn mw(meter: usize, tick: u64) -> Power {
+    Power::from_megawatts(1.0 + meter as f64 * 0.25 + tick as f64 * 0.01)
+}
+
+fn batch(ids: &[MeterId], tick: u64) -> Vec<Sample> {
+    ids.iter()
+        .map(|id| Sample {
+            meter: *id,
+            power: mw(id.0, tick),
+        })
+        .collect()
+}
+
+#[test]
+fn panicking_meter_is_quarantined_and_the_rest_of_the_fleet_ticks_on() {
+    let (mut fleet, ids) = fleet_of(METERS);
+    let (mut reference, ref_ids) = fleet_of(METERS);
+    for t in 0..10 {
+        fleet.advance_tick(&batch(&ids, t)).unwrap();
+        reference.advance_tick(&batch(&ref_ids, t)).unwrap();
+    }
+    let victim = ids[3];
+    let known_good = fleet.snapshot(victim).unwrap();
+
+    // Tick 10: the victim's fold panics; the other five meters are
+    // unaffected and the casualty is reported, not propagated.
+    fleet.chaos_poison_meter(victim).unwrap();
+    let report = fleet.advance_tick(&batch(&ids, 10)).unwrap();
+    assert_eq!(report.samples, METERS);
+    assert_eq!(report.applied, METERS - 1);
+    assert_eq!(report.dropped, 1);
+    assert_eq!(report.newly_quarantined.len(), 1);
+    assert_eq!(report.newly_quarantined[0].0, victim);
+    assert!(report.newly_quarantined[0]
+        .1
+        .contains("injected meter panic"));
+
+    // Tick 11: the quarantined meter's sample is dropped at scatter time.
+    let report = fleet.advance_tick(&batch(&ids, 11)).unwrap();
+    assert_eq!((report.applied, report.dropped), (METERS - 1, 1));
+    assert!(report.newly_quarantined.is_empty());
+
+    // The quarantined meter refuses finalize and snapshot with a typed
+    // error, and is excluded from fleet-wide operations.
+    assert!(fleet.is_quarantined(victim));
+    assert_eq!(fleet.quarantined().len(), 1);
+    assert!(matches!(
+        fleet.finalize(victim),
+        Err(CoreError::Quarantined(_))
+    ));
+    assert!(matches!(
+        fleet.snapshot(victim),
+        Err(CoreError::Quarantined(_))
+    ));
+    assert_eq!(fleet.finalize_all().unwrap().len(), METERS - 1);
+    assert_eq!(fleet.snapshot_all().len(), METERS - 1);
+
+    // Rehabilitation: restore the pre-fault snapshot, replay the two
+    // samples the quarantine dropped, and the whole fleet is bit-identical
+    // to one that never faulted.
+    reference.advance_tick(&batch(&ref_ids, 10)).unwrap();
+    reference.advance_tick(&batch(&ref_ids, 11)).unwrap();
+    fleet.restore(victim, &known_good).unwrap();
+    assert!(!fleet.is_quarantined(victim));
+    for t in [10, 11] {
+        let report = fleet
+            .advance_tick(&[Sample {
+                meter: victim,
+                power: mw(victim.0, t),
+            }])
+            .unwrap();
+        assert_eq!((report.applied, report.dropped), (1, 0));
+    }
+    let bills = fleet.finalize_all().unwrap();
+    assert_eq!(bills.len(), METERS);
+    assert_eq!(bills, reference.finalize_all().unwrap());
+}
+
+#[test]
+fn checkpoint_ring_survives_a_corrupt_generation_and_resumes_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("hpcgrid-ckpt-ring-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut fleet, ids) = fleet_of(3);
+    let mut store = CheckpointStore::open(&dir, 2).unwrap();
+
+    let mut tick = 0u64;
+    let advance = |fleet: &mut MeterFleet, n: u64, tick: &mut u64| {
+        for _ in 0..n {
+            fleet.advance_tick(&batch(&ids, *tick)).unwrap();
+            *tick += 1;
+        }
+    };
+    advance(&mut fleet, 5, &mut tick);
+    assert_eq!(store.save(&fleet).unwrap(), 0);
+    advance(&mut fleet, 3, &mut tick);
+    assert_eq!(store.save(&fleet).unwrap(), 1);
+    advance(&mut fleet, 2, &mut tick);
+    assert_eq!(store.save(&fleet).unwrap(), 2);
+    // Ring of 2: generation 0 was garbage collected.
+    assert_eq!(store.generations().unwrap(), vec![1, 2]);
+
+    // Tear the newest generation mid-file, as a crash mid-write upstream of
+    // the rename never could — load falls back to generation 1.
+    let newest = dir.join("ckpt-0000000002.json");
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    let ckpt = store.load_latest().unwrap().expect("generation 1 intact");
+    assert_eq!(ckpt.generation, 1);
+    assert_eq!(ckpt.ticks, 8);
+    assert_eq!(ckpt.meters.len(), 3);
+
+    // A cold process: same registrations, restore, replay the ticks after
+    // the checkpoint — bills are bit-identical to the uninterrupted fleet.
+    let (mut revived, _) = fleet_of(3);
+    assert_eq!(revived.restore_checkpoint(&ckpt).unwrap(), 3);
+    let mut t = ckpt.ticks;
+    while t < tick {
+        revived.advance_tick(&batch(&ids, t)).unwrap();
+        t += 1;
+    }
+    assert_eq!(
+        revived.finalize_all().unwrap(),
+        fleet.finalize_all().unwrap()
+    );
+
+    // Checkpoints are fingerprint-checked: a fleet billing a different
+    // contract refuses the restore.
+    let other = Contract::builder("other")
+        .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.99)))
+        .build()
+        .unwrap();
+    let mut wrong = MeterFleet::with_shards(
+        Calendar::default(),
+        SimTime::EPOCH,
+        SimTime::from_days(30),
+        2,
+    );
+    for _ in 0..3 {
+        wrong
+            .register(&other, SimTime::EPOCH, Duration::from_minutes(STEP_MIN))
+            .unwrap();
+    }
+    assert!(wrong.restore_checkpoint(&ckpt).is_err());
+
+    // Saving sweeps stale temp debris from dead writers.
+    let debris = dir.join("ckpt-0000000009.json.tmp.999999999");
+    std::fs::write(&debris, b"half a checkpoint").unwrap();
+    store.save(&fleet).unwrap();
+    assert!(!debris.exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopened_store_continues_the_generation_sequence() {
+    let dir = std::env::temp_dir().join(format!("hpcgrid-ckpt-reopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut fleet, ids) = fleet_of(2);
+    fleet.advance_tick(&batch(&ids, 0)).unwrap();
+    {
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(store.save(&fleet).unwrap(), 0);
+        assert_eq!(store.save(&fleet).unwrap(), 1);
+    }
+    // A new store (a restarted process) never reuses a published number.
+    let mut store = CheckpointStore::open(&dir, 3).unwrap();
+    assert_eq!(store.save(&fleet).unwrap(), 2);
+    assert_eq!(store.load_latest().unwrap().unwrap().generation, 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -194,6 +194,29 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
     }
 }
 
+/// Append a `Seq` header (tag + element count) to `out`; the caller must
+/// follow with exactly `len` encoded values. Lets hot paths stream a
+/// fixed-shape sequence without materializing a `Value::Seq`.
+pub(crate) fn encode_seq_header(len: usize, out: &mut Vec<u8>) {
+    out.push(TAG_SEQ);
+    write_varint(len as u64, out);
+}
+
+/// Append one encoded `UInt` value to `out`.
+pub(crate) fn encode_uint(v: u64, out: &mut Vec<u8>) {
+    out.push(TAG_UINT);
+    write_varint(v, out);
+}
+
+/// Decode one [`Value`] from the front of `buf`, returning it and the
+/// number of bytes consumed. The run journal uses this to decode framed
+/// record payloads with the same codec artifacts use.
+pub(crate) fn decode_value_prefix(buf: &[u8]) -> Result<(Value, usize), BinaryError> {
+    let mut cursor = Cursor { buf, pos: 0 };
+    let value = decode_value(&mut cursor)?;
+    Ok((value, cursor.pos))
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -37,12 +37,14 @@
 //! filesystem.
 
 use crate::binary;
+use crate::chaos::{self, sites, FailpointSet, FaultAction};
 use crate::error::EngineError;
 use crate::hash::ContentHash;
 use crate::spec::ScenarioSpec;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Where a cache lookup was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +149,10 @@ pub struct ResultCache<R> {
     /// into a warm shard skip the `create_dir_all` syscalls.
     shards_ready: HashSet<u16>,
     probes: ProbeStats,
+    /// Stale `*.tmp.<pid>` files of provably-dead processes reclaimed by the
+    /// opening walk.
+    reclaimed_tmp: usize,
+    chaos: Arc<FailpointSet>,
 }
 
 impl<R> Default for ResultCache<R> {
@@ -158,6 +164,8 @@ impl<R> Default for ResultCache<R> {
             index: HashMap::new(),
             shards_ready: HashSet::new(),
             probes: ProbeStats::default(),
+            reclaimed_tmp: 0,
+            chaos: chaos::env_failpoints(),
         }
     }
 }
@@ -182,12 +190,16 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
 
     /// [`ResultCache::with_artifact_dir`] with an explicit write format,
     /// ignoring the environment.
+    ///
+    /// The opening walk also garbage-collects stale `*.tmp.<pid>` files
+    /// left by the write-then-rename path of processes that died mid-put
+    /// (see [`ResultCache::reclaimed_tmp`]).
     pub fn with_artifact_dir_and_format(
         dir: impl Into<PathBuf>,
         format: ArtifactFormat,
     ) -> Result<Self, EngineError> {
         let dir = dir.into();
-        let index = build_index(&dir)?;
+        let (index, reclaimed_tmp) = build_index(&dir)?;
         Ok(ResultCache {
             mem: HashMap::new(),
             dir: Some(dir),
@@ -195,7 +207,24 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
             index,
             shards_ready: HashSet::new(),
             probes: ProbeStats::default(),
+            reclaimed_tmp,
+            chaos: chaos::env_failpoints(),
         })
+    }
+
+    /// Stale temp files of dead processes deleted when this cache opened
+    /// its artifact directory. A write-then-rename interrupted between the
+    /// two steps leaks its temp file; the next cache to open the directory
+    /// reclaims any whose owning pid is provably gone (per procfs — on
+    /// systems without `/proc`, files are left alone).
+    pub fn reclaimed_tmp(&self) -> usize {
+        self.reclaimed_tmp
+    }
+
+    /// Arm an explicit failpoint set for this cache's artifact I/O;
+    /// constructors default to the `HPCGRID_FAILPOINTS` environment set.
+    pub fn set_chaos(&mut self, set: Arc<FailpointSet>) {
+        self.chaos = set;
     }
 
     /// The artifact directory, if configured.
@@ -267,6 +296,11 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
             return Ok(None);
         };
         let path = loc_path(dir, key, loc);
+        if let Some(action) = self.chaos.fire(sites::ARTIFACT_READ) {
+            if let Some(err) = chaos::io_fault(sites::ARTIFACT_READ, action) {
+                return Err(EngineError::Io(err));
+            }
+        }
         self.probes.disk_reads += 1;
         let bytes = match std::fs::read(&path) {
             Ok(bytes) => bytes,
@@ -329,7 +363,7 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         };
         self.ensure_shard(&dir, key)?;
         let final_path = sharded_path(&dir, key, self.format.extension());
-        let bytes = match self.format {
+        let mut bytes = match self.format {
             ArtifactFormat::Binary => binary::encode_artifact(key.0, &artifact),
             ArtifactFormat::Json => {
                 let mut text = serde_json::to_string_pretty(&artifact)
@@ -338,6 +372,21 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
                 text.into_bytes()
             }
         };
+        if !self.chaos.is_empty() {
+            if let Some(action) = self.chaos.fire(sites::ARTIFACT_WRITE) {
+                if let Some(err) = chaos::io_fault(sites::ARTIFACT_WRITE, action) {
+                    return Err(EngineError::Io(err));
+                }
+            }
+            if let Some(action) = self.chaos.fire(sites::ARTIFACT_TRUNCATE) {
+                if !matches!(action, FaultAction::Stall(_)) {
+                    // Publish a torn artifact: the rename below still
+                    // happens, and the CRC / parse check must catch the
+                    // damage on the next cold read.
+                    bytes.truncate(bytes.len() / 2);
+                }
+            }
+        }
         // Write-then-rename so concurrent sweeps never observe a torn
         // artifact.
         let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
@@ -433,13 +482,16 @@ fn decode_artifact_value(
 }
 
 /// Walk an artifact directory once, indexing every sharded binary/JSON
-/// artifact plus legacy flat JSON artifacts. A missing directory is an empty
-/// index (creation is deferred to the first put).
-fn build_index(dir: &Path) -> Result<HashMap<ContentHash, ArtifactLoc>, EngineError> {
+/// artifact plus legacy flat JSON artifacts, and reclaiming stale
+/// `*.tmp.<pid>` files of dead processes along the way. A missing directory
+/// is an empty index (creation is deferred to the first put). Returns the
+/// index and the number of temp files reclaimed.
+fn build_index(dir: &Path) -> Result<(HashMap<ContentHash, ArtifactLoc>, usize), EngineError> {
     let mut index = HashMap::new();
+    let mut reclaimed = 0usize;
     let top = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(index),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((index, 0)),
         Err(e) => return Err(EngineError::Io(e)),
     };
     for entry in top {
@@ -451,6 +503,8 @@ fn build_index(dir: &Path) -> Result<HashMap<ContentHash, ArtifactLoc>, EngineEr
             // Legacy flat artifact: `<32 hex>.json`.
             if let Some(key) = parse_artifact_name(&name, "json") {
                 index.entry(key).or_insert(ArtifactLoc::LegacyJson);
+            } else if reclaim_stale_tmp(&name, &entry.path()) {
+                reclaimed += 1;
             }
         } else if file_type.is_dir() && is_hex_pair(&name) {
             for sub in std::fs::read_dir(entry.path())? {
@@ -468,12 +522,42 @@ fn build_index(dir: &Path) -> Result<HashMap<ContentHash, ArtifactLoc>, EngineEr
                         index.insert(key, ArtifactLoc::Binary);
                     } else if let Some(key) = parse_artifact_name(&fname, "json") {
                         index.entry(key).or_insert(ArtifactLoc::Json);
+                    } else if reclaim_stale_tmp(&fname, &file.path()) {
+                        reclaimed += 1;
                     }
                 }
             }
         }
     }
-    Ok(index)
+    Ok((index, reclaimed))
+}
+
+/// If `name` is a `put` temp file (`<32 hex>.tmp.<pid>`) whose owning
+/// process is provably dead, delete it. The pid check requires procfs: on
+/// systems without `/proc` ownership is unknowable and the file is kept.
+/// Temp files of *live* processes are in-flight writes, never touched.
+fn reclaim_stale_tmp(name: &str, path: &Path) -> bool {
+    let Some(pid) = parse_tmp_name(name) else {
+        return false;
+    };
+    if pid == std::process::id()
+        || !Path::new("/proc").is_dir()
+        || Path::new(&format!("/proc/{pid}")).exists()
+    {
+        return false;
+    }
+    std::fs::remove_file(path).is_ok()
+}
+
+/// Parse a `<32 hex>.tmp.<pid>` temp-file name, returning the pid.
+fn parse_tmp_name(name: &str) -> Option<u32> {
+    let (stem, pid) = name.rsplit_once('.')?;
+    let pid: u32 = pid.parse().ok()?;
+    let stem = stem.strip_suffix(".tmp")?;
+    if stem.len() != 32 || ContentHash::from_hex(stem).is_none() {
+        return None;
+    }
+    Some(pid)
 }
 
 fn is_hex_pair(s: &str) -> bool {
@@ -677,6 +761,47 @@ mod tests {
         assert!(c.contains(spec(20).content_hash()));
         assert!(!c.contains(spec(21).content_hash()));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_of_dead_processes_are_reclaimed_on_open() {
+        let dir = temp_dir("tmp-gc");
+        let s = spec(30);
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        c.put(&s, &1.0).unwrap();
+        let shard = sharded_path(&dir, s.content_hash(), "bin")
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        // A dead process's leak (pid far beyond pid_max) and a live one's
+        // in-flight write (our own pid).
+        let hex = s.content_hash().to_hex();
+        let dead = shard.join(format!("{hex}.tmp.999999999"));
+        let live = shard.join(format!("{hex}.tmp.{}", std::process::id()));
+        std::fs::write(&dead, b"torn").unwrap();
+        std::fs::write(&live, b"in flight").unwrap();
+
+        let fresh: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        if Path::new("/proc").is_dir() {
+            assert_eq!(fresh.reclaimed_tmp(), 1);
+            assert!(!dead.exists(), "dead process's temp file reclaimed");
+        } else {
+            assert_eq!(fresh.reclaimed_tmp(), 0);
+        }
+        assert!(live.exists(), "live process's temp file untouched");
+        // The real artifact still indexes and reads.
+        assert_eq!(fresh.len_index(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_name_parser_is_strict() {
+        let hex = "0123456789abcdef0123456789abcdef";
+        assert_eq!(parse_tmp_name(&format!("{hex}.tmp.123")), Some(123));
+        assert_eq!(parse_tmp_name(&format!("{hex}.bin")), None);
+        assert_eq!(parse_tmp_name(&format!("{hex}.tmp.notapid")), None);
+        assert_eq!(parse_tmp_name("short.tmp.123"), None);
+        assert_eq!(parse_tmp_name(&format!("{hex}.tmp")), None);
     }
 
     #[test]

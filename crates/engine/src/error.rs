@@ -2,6 +2,7 @@
 
 use crate::hash::ContentHash;
 use std::fmt;
+use std::time::Duration;
 
 /// Why one scenario failed. A failed scenario never takes the sweep down:
 /// the runner records the error in that scenario's result slot and the rest
@@ -33,6 +34,18 @@ pub enum ScenarioError {
         /// What went wrong (I/O or parse error).
         message: String,
     },
+    /// The scenario exceeded its per-scenario deadline on every attempt
+    /// (see [`crate::SweepRunner::deadline`]). The worker moved on; the
+    /// over-budget attempt keeps running in the background until it
+    /// finishes on its own.
+    TimedOut {
+        /// The failing spec's content hash.
+        spec: ContentHash,
+        /// The configured per-scenario time budget.
+        budget: Duration,
+        /// How many attempts were made.
+        attempts: u32,
+    },
 }
 
 impl ScenarioError {
@@ -41,13 +54,19 @@ impl ScenarioError {
         match self {
             ScenarioError::Panicked { spec, .. }
             | ScenarioError::Failed { spec, .. }
-            | ScenarioError::CorruptArtifact { spec, .. } => *spec,
+            | ScenarioError::CorruptArtifact { spec, .. }
+            | ScenarioError::TimedOut { spec, .. } => *spec,
         }
     }
 
     /// True if the failure was a panic (as opposed to a returned error).
     pub fn is_panic(&self) -> bool {
         matches!(self, ScenarioError::Panicked { .. })
+    }
+
+    /// True if the scenario exceeded its deadline.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ScenarioError::TimedOut { .. })
     }
 }
 
@@ -73,6 +92,15 @@ impl fmt::Display for ScenarioError {
             ScenarioError::CorruptArtifact { spec, message } => {
                 write!(f, "scenario {spec} has a corrupt cache artifact: {message}")
             }
+            ScenarioError::TimedOut {
+                spec,
+                budget,
+                attempts,
+            } => write!(
+                f,
+                "scenario {spec} exceeded its {:.3} s deadline on all {attempts} attempt(s)",
+                budget.as_secs_f64()
+            ),
         }
     }
 }
@@ -86,6 +114,9 @@ pub enum EngineError {
     Io(std::io::Error),
     /// An artifact failed to serialize.
     Serialize(String),
+    /// A run journal could not be created, replayed, or does not describe
+    /// the sweep being resumed.
+    Journal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -93,6 +124,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
             EngineError::Serialize(m) => write!(f, "engine serialization error: {m}"),
+            EngineError::Journal(m) => write!(f, "run journal error: {m}"),
         }
     }
 }
@@ -105,29 +137,133 @@ impl From<std::io::Error> for EngineError {
     }
 }
 
-/// How many times a failing scenario is re-attempted.
+/// How many times a failing scenario is re-attempted, and how long to wait
+/// between I/O-classed attempts.
 ///
 /// Scenario execution is deterministic (seeds derive from the spec hash), so
 /// retries only help against *environmental* failures — resource exhaustion,
 /// artifact races — not against deterministic bugs. The default budget is
 /// therefore 0; sweeps that want resilience opt in.
+///
+/// When a backoff base is configured ([`RetryPolicy::with_backoff`]),
+/// retries of **I/O-classed** failures (see [`io_classed`]) sleep
+/// `base · 2^(attempt-1)`, jittered into `[50%, 100%]` by a hash seeded from
+/// the scenario's derived seed — deterministic per scenario, decorrelated
+/// across a sweep, capped at `cap`. Panics and plain application errors
+/// retry immediately: backing off a deterministic bug only slows the sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Extra attempts after the first failure.
     pub budget: u32,
+    /// Base delay before the first I/O-classed retry; zero disables backoff.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
 }
 
 impl RetryPolicy {
     /// No retries: first failure is final.
-    pub const NONE: RetryPolicy = RetryPolicy { budget: 0 };
+    pub const NONE: RetryPolicy = RetryPolicy {
+        budget: 0,
+        backoff_base: Duration::ZERO,
+        backoff_cap: Duration::ZERO,
+    };
 
-    /// Retry up to `budget` extra times.
+    /// Retry up to `budget` extra times, immediately (no backoff).
     pub fn with_budget(budget: u32) -> RetryPolicy {
-        RetryPolicy { budget }
+        RetryPolicy {
+            budget,
+            ..RetryPolicy::NONE
+        }
+    }
+
+    /// Retry up to `budget` extra times, sleeping a seeded exponential
+    /// backoff (base `base`, capped at `cap`) before I/O-classed retries.
+    pub fn with_backoff(budget: u32, base: Duration, cap: Duration) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            backoff_base: base,
+            backoff_cap: cap.max(base),
+        }
     }
 
     /// Total attempts allowed (first try + retries).
     pub fn max_attempts(&self) -> u32 {
         self.budget + 1
+    }
+
+    /// The delay to sleep before retrying after failed attempt number
+    /// `attempt` (1-based), for a scenario with deterministic seed `seed`.
+    /// Zero when backoff is disabled.
+    pub fn backoff_delay(&self, attempt: u32, seed: u64) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let doubled = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let capped = doubled.min(self.backoff_cap);
+        // Jitter into [50%, 100%] of the exponential step, seeded so the
+        // same scenario backs off identically run to run.
+        let jitter = 0.5
+            + 0.5 * crate::chaos::unit_float(crate::chaos::splitmix64(seed ^ u64::from(attempt)));
+        capped.mul_f64(jitter)
+    }
+}
+
+/// Whether a scenario failure message describes an I/O-classed
+/// (environmental, plausibly transient) failure worth backing off before
+/// retrying. Classification is by message convention: `std::io::Error`
+/// renderings ("os error"), anything spelling out "I/O", and the engine's
+/// injected chaos faults all qualify.
+pub fn io_classed(message: &str) -> bool {
+    let lower = message.to_ascii_lowercase();
+    lower.contains("i/o") || lower.contains("io error") || lower.contains("os error")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_exponential_and_capped() {
+        let p = RetryPolicy::with_backoff(5, Duration::from_millis(10), Duration::from_millis(60));
+        assert_eq!(
+            p.backoff_delay(1, 7),
+            p.backoff_delay(1, 7),
+            "deterministic"
+        );
+        for attempt in 1..=5 {
+            let d = p.backoff_delay(attempt, 7);
+            let step =
+                Duration::from_millis(10 * (1 << (attempt - 1))).min(Duration::from_millis(60));
+            assert!(d <= step, "attempt {attempt}: {d:?} > {step:?}");
+            assert!(d >= step / 2, "attempt {attempt}: {d:?} < half of {step:?}");
+        }
+        assert_eq!(
+            RetryPolicy::with_budget(3).backoff_delay(1, 0),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn io_classification_by_message() {
+        assert!(io_classed("injected I/O fault (chaos failpoint x)"));
+        assert!(io_classed("No such file or directory (os error 2)"));
+        assert!(io_classed("engine IO error: disk full"));
+        assert!(!io_classed("bad scenario parameter"));
+    }
+
+    #[test]
+    fn timed_out_error_renders_and_classifies() {
+        let e = ScenarioError::TimedOut {
+            spec: ContentHash(9),
+            budget: Duration::from_millis(250),
+            attempts: 2,
+        };
+        assert!(e.is_timeout());
+        assert!(!e.is_panic());
+        assert!(e.to_string().contains("deadline"));
+        assert_eq!(e.spec_hash(), ContentHash(9));
     }
 }

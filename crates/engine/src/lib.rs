@@ -25,6 +25,16 @@
 //!   population-scale sweeps that must never materialize `Vec<R>`.
 //! * [`RunReport`] — per-scenario wall time, cache hit/miss counters, retry
 //!   counts, worker utilization, and a printable summary table.
+//! * [`SweepRunner::run_fold_journaled`] / [`SweepRunner::resume`] — the
+//!   crash-safe fold: an append-only CRC-framed [`RunJournal`] records every
+//!   completion and periodically checkpoints the accumulator, so a killed
+//!   sweep resumes with zero re-execution of journaled scenarios.
+//! * [`chaos`] — deterministic fault injection (`HPCGRID_FAILPOINTS`):
+//!   named, seeded failpoints for artifact I/O errors, torn writes, scenario
+//!   panics/stalls, and simulated crashes, inert unless armed.
+//! * [`SweepConfig::deadline`] — a per-scenario time budget enforced by a
+//!   watchdog; over-budget scenarios surface as
+//!   [`ScenarioError::TimedOut`] instead of wedging a worker.
 //!
 //! ```
 //! use hpcgrid_engine::{ScenarioSpec, SweepRunner};
@@ -51,8 +61,10 @@
 
 pub mod binary;
 pub mod cache;
+pub mod chaos;
 pub mod error;
 pub mod hash;
+pub mod journal;
 pub mod report;
 pub mod runner;
 pub mod shared;
@@ -60,8 +72,10 @@ pub mod spec;
 pub mod table;
 
 pub use cache::{ArtifactFormat, CacheTier, ProbeStats, ResultCache};
-pub use error::{EngineError, RetryPolicy, ScenarioError};
+pub use chaos::{FailpointSet, FaultAction};
+pub use error::{io_classed, EngineError, RetryPolicy, ScenarioError};
 pub use hash::{content_hash, ContentHash};
+pub use journal::{sweep_fingerprint, sweep_fingerprint_of, JournalReplay, RunJournal};
 pub use report::{Disposition, RunReport, ScenarioRecord};
 pub use runner::{FoldOutcome, ScenarioCtx, SweepConfig, SweepOutcome, SweepRunner};
 pub use shared::{kernel_key, series_key, SharedInputs};

@@ -63,6 +63,16 @@ pub struct RunReport {
     pub workers: usize,
     /// Per-worker busy time (length = `workers`; empty if nothing executed).
     pub worker_busy: Vec<Duration>,
+    /// Scenarios that exceeded their per-scenario deadline on every attempt
+    /// (subset of `failed`).
+    pub timed_out: usize,
+    /// Scenarios restored from a run journal on resume instead of being
+    /// re-executed (counted per submission, like `memory_hits`).
+    pub journal_replayed: usize,
+    /// True if the sweep stopped early — an injected crash failpoint fired
+    /// or the run journal became unwritable. The fold state up to the last
+    /// flush is journaled and the sweep can be [`crate::SweepRunner::resume`]d.
+    pub interrupted: bool,
     /// Per-scenario records, in submission order.
     pub scenarios: Vec<ScenarioRecord>,
 }
@@ -147,6 +157,18 @@ impl RunReport {
         ]);
         t.row(vec!["executed".to_string(), self.executed.to_string()]);
         t.row(vec!["failed".to_string(), self.failed.to_string()]);
+        if self.timed_out > 0 {
+            t.row(vec!["timed out".to_string(), self.timed_out.to_string()]);
+        }
+        if self.journal_replayed > 0 {
+            t.row(vec![
+                "journal replayed".to_string(),
+                self.journal_replayed.to_string(),
+            ]);
+        }
+        if self.interrupted {
+            t.row(vec!["interrupted".to_string(), "yes".to_string()]);
+        }
         t.row(vec!["retries".to_string(), self.retries.to_string()]);
         if self.cache_corrupt > 0 {
             t.row(vec![
@@ -215,6 +237,9 @@ mod tests {
             wall: Duration::from_millis(100),
             workers: 2,
             worker_busy: vec![Duration::from_millis(80), Duration::from_millis(40)],
+            timed_out: 1,
+            journal_replayed: 0,
+            interrupted: false,
             scenarios: vec![
                 record(Disposition::MemoryHit, 0),
                 record(Disposition::ArtifactHit, 0),
@@ -233,6 +258,8 @@ mod tests {
         let table = r.summary_table();
         assert!(table.contains("hit ratio"));
         assert!(table.contains("50.0%"));
+        assert!(table.contains("timed out"));
+        assert!(!table.contains("interrupted"));
     }
 
     #[test]

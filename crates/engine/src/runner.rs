@@ -13,26 +13,50 @@
 //!   aggregate: totals, histograms, argmins.
 
 use crate::cache::{ArtifactFormat, CacheTier, ResultCache};
-use crate::error::{EngineError, RetryPolicy, ScenarioError};
+use crate::chaos::{self, sites, FailpointSet};
+use crate::error::{io_classed, EngineError, RetryPolicy, ScenarioError};
+use crate::hash::ContentHash;
+use crate::journal::{sweep_fingerprint_of, RunJournal};
 use crate::report::{Disposition, RunReport, ScenarioRecord};
 use crate::shared::SharedInputs;
 use crate::spec::ScenarioSpec;
 use hpcgrid_timeseries::par::{default_threads, panic_message};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Runner configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Worker pool size; `None` uses the machine's available parallelism
     /// bounded by the number of cache misses.
     pub threads: Option<usize>,
     /// Retry budget for failing scenarios.
     pub retry: RetryPolicy,
+    /// Per-scenario wall-clock budget. When set, a worker waits at most this
+    /// long per attempt; over-budget attempts surface as
+    /// [`ScenarioError::TimedOut`] instead of wedging the worker. `None`
+    /// (the default) waits indefinitely and runs attempts inline.
+    pub deadline: Option<Duration>,
+    /// In journaled folds, checkpoint the serialized accumulator (and flush
+    /// the journal) every this many completed scenarios. Smaller values
+    /// bound replay work after a crash; larger values cost less I/O.
+    pub checkpoint_every: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: None,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            checkpoint_every: 256,
+        }
+    }
 }
 
 /// What a scenario closure receives: the spec, a deterministic seed derived
@@ -151,6 +175,7 @@ pub struct SweepRunner<R> {
     cache: ResultCache<R>,
     config: SweepConfig,
     shared: Arc<SharedInputs>,
+    chaos: Arc<FailpointSet>,
 }
 
 impl<R: Clone + Send + Serialize + Deserialize> Default for SweepRunner<R> {
@@ -166,6 +191,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             cache: ResultCache::in_memory(),
             config: SweepConfig::default(),
             shared: Arc::new(SharedInputs::new()),
+            chaos: chaos::env_failpoints(),
         }
     }
 
@@ -176,6 +202,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             cache: ResultCache::with_artifact_dir(dir)?,
             config: SweepConfig::default(),
             shared: Arc::new(SharedInputs::new()),
+            chaos: chaos::env_failpoints(),
         })
     }
 
@@ -189,6 +216,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             cache: ResultCache::with_artifact_dir_and_format(dir, format)?,
             config: SweepConfig::default(),
             shared: Arc::new(SharedInputs::new()),
+            chaos: chaos::env_failpoints(),
         })
     }
 
@@ -207,6 +235,35 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
     /// Set the worker pool size.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Set the per-scenario deadline (see [`SweepConfig::deadline`]).
+    ///
+    /// With a deadline, each attempt runs on a watchdog thread the worker
+    /// waits on; a timed-out attempt is abandoned (it finishes in the
+    /// background — a *bounded* stall drains by sweep end, a truly hung
+    /// scenario needs a process kill plus journal resume) and retried or
+    /// recorded as [`ScenarioError::TimedOut`].
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.config.deadline = Some(budget);
+        self
+    }
+
+    /// Set the journal checkpoint cadence (see
+    /// [`SweepConfig::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.config.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Arm an explicit failpoint set for this runner, its cache, and any
+    /// journal it writes — overrides the `HPCGRID_FAILPOINTS` default. Used
+    /// by chaos tests to inject faults deterministically.
+    pub fn chaos(mut self, set: FailpointSet) -> Self {
+        let set = Arc::new(set);
+        self.cache.set_chaos(Arc::clone(&set));
+        self.chaos = set;
         self
     }
 
@@ -305,7 +362,9 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             .min(to_run.len().max(1));
         report.workers = if to_run.is_empty() { 0 } else { workers };
         let retry = self.config.retry;
+        let deadline = self.config.deadline;
         let shared = Arc::clone(&self.shared);
+        let chaos = Arc::clone(&self.chaos);
         let next = AtomicUsize::new(0);
         type Done<R> = (usize, Result<R, ScenarioError>, Duration, u32);
         let done: Mutex<Vec<Done<R>>> = Mutex::new(Vec::with_capacity(to_run.len()));
@@ -313,7 +372,16 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         if !to_run.is_empty() {
             std::thread::scope(|s| {
                 for _ in 0..workers {
-                    s.spawn(|| {
+                    let f = &f;
+                    let specs = &specs;
+                    let hashes = &hashes;
+                    let to_run = &to_run;
+                    let next = &next;
+                    let done = &done;
+                    let busy = &busy;
+                    let shared = &shared;
+                    let chaos = &chaos;
+                    s.spawn(move || {
                         let mut local: Vec<Done<R>> = Vec::new();
                         let mut my_busy = Duration::ZERO;
                         loop {
@@ -326,11 +394,18 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
                             let ctx = ScenarioCtx {
                                 spec,
                                 seed: spec.derived_seed(),
-                                shared: &shared,
+                                shared,
                             };
                             let started = Instant::now();
-                            let (result, attempts) =
-                                execute_with_retries(&f, ctx, hashes[slot], retry);
+                            let (result, attempts) = execute_with_retries(
+                                s,
+                                f,
+                                ctx,
+                                hashes[slot],
+                                retry,
+                                chaos,
+                                deadline,
+                            );
                             let wall = started.elapsed();
                             my_busy += wall;
                             local.push((slot, result, wall, attempts));
@@ -351,12 +426,19 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         for (slot, result, wall, attempts) in computed {
             report.executed += 1;
             report.retries += attempts.saturating_sub(1);
-            if let Ok(value) = &result {
-                // Cache commit failures (disk full, permissions) don't fail
-                // the scenario — the computed value is still returned.
-                let _ = self.cache.put(&specs[slot], value);
-            } else {
-                report.failed += 1;
+            match &result {
+                Ok(value) => {
+                    // Cache commit failures (disk full, permissions) don't
+                    // fail the scenario — the computed value is still
+                    // returned.
+                    let _ = self.cache.put(&specs[slot], value);
+                }
+                Err(e) => {
+                    report.failed += 1;
+                    if e.is_timeout() {
+                        report.timed_out += 1;
+                    }
+                }
             }
             exec_info.insert(slot, (wall, attempts));
             slots[slot] = Some(result);
@@ -524,7 +606,9 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             .min(to_run.len().max(1));
         report.workers = if to_run.is_empty() { 0 } else { workers };
         let retry = self.config.retry;
+        let deadline = self.config.deadline;
         let shared = Arc::clone(&self.shared);
+        let chaos = Arc::clone(&self.chaos);
         let next = AtomicUsize::new(0);
         let cache = Mutex::new(&mut self.cache);
         let errors: Mutex<Vec<ScenarioError>> = Mutex::new(Vec::new());
@@ -543,6 +627,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
                     let next = &next;
                     let to_run = &to_run;
                     let shared = &shared;
+                    let chaos = &chaos;
                     s.spawn(move || {
                         let mut my_acc = init;
                         let mut my_busy = Duration::ZERO;
@@ -561,8 +646,15 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
                                 shared,
                             };
                             let started = Instant::now();
-                            let (result, attempts) =
-                                execute_with_retries(f, ctx, spec.content_hash(), retry);
+                            let (result, attempts) = execute_with_retries(
+                                s,
+                                f,
+                                ctx,
+                                spec.content_hash(),
+                                retry,
+                                chaos,
+                                deadline,
+                            );
                             my_busy += started.elapsed();
                             my_executed += 1;
                             my_retries += attempts.saturating_sub(1);
@@ -610,6 +702,7 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
         }
         let errors = errors.into_inner().expect("error mutex poisoned");
         report.failed = errors.len();
+        report.timed_out = errors.iter().filter(|e| e.is_timeout()).count();
         let probes1 = self.cache.probe_stats();
         report.index_probes = probes1.index_probes - probes0.index_probes;
         report.disk_reads = probes1.disk_reads - probes0.disk_reads;
@@ -620,26 +713,500 @@ impl<R: Clone + Send + Serialize + Deserialize> SweepRunner<R> {
             report,
         }
     }
+
+    /// Like [`SweepRunner::run_fold`], but crash-safe: every completed
+    /// scenario is recorded in an append-only run journal at `journal_path`
+    /// (created fresh, truncating any previous file), and the serialized
+    /// accumulator is checkpointed every [`SweepConfig::checkpoint_every`]
+    /// completions. A killed process loses at most the unflushed journal
+    /// tail; [`SweepRunner::resume`] finishes the sweep without re-executing
+    /// any journaled scenario.
+    ///
+    /// Differences from `run_fold`:
+    ///
+    /// * No `merge`: workers hand completed results to a single folding
+    ///   sink, so the fold happens sequentially **in journal append order**
+    ///   and every checkpoint is a faithful prefix of the fold. `fold` must
+    ///   still be a commutative monoid over `init` (append order varies with
+    ///   worker timing) — which is also exactly what makes a resumed fold
+    ///   bit-identical to an uninterrupted one.
+    /// * The accumulator must serialize (`A: Serialize + Deserialize`) so
+    ///   checkpoints can be written and restored.
+    /// * Failed scenarios are *not* journaled: a resume attempts them again.
+    /// * If the sweep stops early (an `engine.sweep.crash` failpoint fires,
+    ///   or the journal becomes unwritable), the outcome's
+    ///   `report.interrupted` is true and `value` holds the partial fold.
+    ///
+    /// Journal I/O is buffered: records are durable at checkpoint cadence,
+    /// not per scenario, which keeps the overhead of journaling a warm sweep
+    /// within a few percent.
+    pub fn run_fold_journaled<A, F, Fold>(
+        &mut self,
+        journal_path: impl AsRef<Path>,
+        specs: &[ScenarioSpec],
+        f: F,
+        init: A,
+        fold: Fold,
+    ) -> Result<FoldOutcome<A>, EngineError>
+    where
+        A: Send + Serialize + Deserialize,
+        F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+        Fold: Fn(A, R) -> A + Sync,
+    {
+        // Hash every spec exactly once: the fingerprint and the fold's
+        // bookkeeping share this pass (re-serializing specs dominates
+        // per-spec cost at population scale).
+        let hashes: Vec<ContentHash> = specs.iter().map(ScenarioSpec::content_hash).collect();
+        let journal = RunJournal::create(
+            journal_path.as_ref(),
+            sweep_fingerprint_of(&hashes),
+            specs.len(),
+            Arc::clone(&self.chaos),
+        )?;
+        self.journaled_fold_core(journal, specs, hashes, &HashSet::new(), f, fold, init)
+    }
+
+    /// Continue an interrupted [`SweepRunner::run_fold_journaled`] from its
+    /// journal: restore the fold from the latest checkpoint plus the
+    /// journaled results after it, then execute only the scenarios the
+    /// journal does not cover, appending to the same journal.
+    ///
+    /// `specs`, `f`, `init`, and `fold` must describe the same sweep that
+    /// wrote the journal. The spec list is validated against the journal's
+    /// fingerprint (order-insensitively); a mismatch is
+    /// [`EngineError::Journal`]. Journaled scenarios are never re-executed —
+    /// they surface in the report as `journal_replayed` (counted per
+    /// submission, like cache hits).
+    pub fn resume<A, F, Fold>(
+        &mut self,
+        journal_path: impl AsRef<Path>,
+        specs: &[ScenarioSpec],
+        f: F,
+        init: A,
+        fold: Fold,
+    ) -> Result<FoldOutcome<A>, EngineError>
+    where
+        A: Send + Serialize + Deserialize,
+        F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+        Fold: Fn(A, R) -> A + Sync,
+    {
+        let path = journal_path.as_ref();
+        let replay = RunJournal::replay(path)?;
+        let hashes: Vec<ContentHash> = specs.iter().map(ScenarioSpec::content_hash).collect();
+        let fingerprint = sweep_fingerprint_of(&hashes);
+        if replay.fingerprint != fingerprint {
+            return Err(EngineError::Journal(format!(
+                "journal {} was written for a different sweep \
+                 (its fingerprint {} != this spec list's {})",
+                path.display(),
+                replay.fingerprint,
+                fingerprint
+            )));
+        }
+        // Restore the fold: latest checkpoint, then the journaled results
+        // appended after it, in journal order.
+        let (covered, mut acc) = match &replay.checkpoint {
+            Some((k, acc_value)) => (
+                *k,
+                A::from_value(acc_value).map_err(|e| {
+                    EngineError::Journal(format!(
+                        "checkpoint accumulator in {} does not deserialize: {e}",
+                        path.display()
+                    ))
+                })?,
+            ),
+            None => (0, init),
+        };
+        for (_, mult, value) in &replay.entries[covered..] {
+            let result = R::from_value(value).map_err(|e| {
+                EngineError::Journal(format!(
+                    "journaled result in {} does not deserialize: {e}",
+                    path.display()
+                ))
+            })?;
+            for _ in 0..*mult {
+                acc = fold(acc, result.clone());
+            }
+        }
+        let skip = replay.done_set();
+        let journal = RunJournal::open_append(path, replay.entries.len(), Arc::clone(&self.chaos))?;
+        self.journaled_fold_core(journal, specs, hashes, &skip, f, fold, acc)
+    }
+
+    /// Shared machinery of [`SweepRunner::run_fold_journaled`] and
+    /// [`SweepRunner::resume`]: fold everything not in `skip` into `acc0`,
+    /// journaling each completion through a single locked sink.
+    #[allow(clippy::too_many_arguments)]
+    fn journaled_fold_core<A, F, Fold>(
+        &mut self,
+        journal: RunJournal,
+        specs: &[ScenarioSpec],
+        hashes: Vec<ContentHash>,
+        skip: &HashSet<ContentHash>,
+        f: F,
+        fold: Fold,
+        acc0: A,
+    ) -> Result<FoldOutcome<A>, EngineError>
+    where
+        A: Send + Serialize + Deserialize,
+        F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+        Fold: Fn(A, R) -> A + Sync,
+    {
+        let t0 = Instant::now();
+        let probes0 = self.cache.probe_stats();
+        let mut report = RunReport {
+            total: specs.len(),
+            ..RunReport::default()
+        };
+        let checkpoint_every = self.config.checkpoint_every.max(1);
+        let mut sink = FoldSink {
+            journal,
+            acc: Some(acc0),
+        };
+        let mut interrupted = false;
+
+        // Phase 1 — skip journaled scenarios, fold cache hits immediately
+        // (journaling them: the journal must cover every contribution to the
+        // fold), deduplicate misses with their submission multiplicities.
+        let mut counts: HashMap<ContentHash, u64> = HashMap::new();
+        for &h in &hashes {
+            *counts.entry(h).or_insert(0) += 1;
+        }
+        let mut to_run: Vec<(usize, u64)> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let key = hashes[i];
+            if !skip.is_empty() && skip.contains(&key) {
+                report.journal_replayed += 1;
+                continue;
+            }
+            // Removing the count doubles as the seen-set: a later
+            // occurrence of a spec already resolved or queued finds nothing.
+            let Some(mult) = counts.remove(&key) else {
+                report.memory_hits += 1;
+                continue;
+            };
+            match self.cache.get(key) {
+                Ok(Some((value, tier))) => {
+                    match tier {
+                        CacheTier::Memory => report.memory_hits += 1,
+                        CacheTier::Artifact => report.artifact_hits += 1,
+                    }
+                    if let Err(e) = absorb(&mut sink, key, mult, &value, &fold, checkpoint_every) {
+                        eprintln!(
+                            "hpcgrid-engine: run journal became unwritable: {e}; \
+                             stopping sweep (resume to finish)"
+                        );
+                        interrupted = true;
+                        break;
+                    }
+                }
+                Ok(None) => to_run.push((i, mult)),
+                Err(err) => {
+                    report.cache_corrupt += 1;
+                    let path = self
+                        .cache
+                        .artifact_path_for(key)
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<no artifact dir>".to_string());
+                    eprintln!(
+                        "hpcgrid-engine: corrupt cache artifact for scenario `{}` at {path}: {err}; recomputing",
+                        spec.label()
+                    );
+                    to_run.push((i, mult));
+                }
+            }
+        }
+
+        // Phase 2 — execute misses; workers commit artifacts through the
+        // shared cache handle, then journal + fold through the sink. Lock
+        // order is always cache before sink. A fired crash failpoint (or a
+        // journal write failure) raises `stop`, and every worker breaks
+        // before its next commit — simulating process death at a commit
+        // point.
+        let workers = self
+            .config
+            .threads
+            .unwrap_or_else(|| default_threads(to_run.len()))
+            .max(1)
+            .min(to_run.len().max(1));
+        report.workers = if to_run.is_empty() || interrupted {
+            0
+        } else {
+            workers
+        };
+        let retry = self.config.retry;
+        let deadline = self.config.deadline;
+        let shared = Arc::clone(&self.shared);
+        let chaos = Arc::clone(&self.chaos);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let cache = Mutex::new(&mut self.cache);
+        let sink = Mutex::new(sink);
+        let errors: Mutex<Vec<ScenarioError>> = Mutex::new(Vec::new());
+        // (executed, retries, busy) per worker.
+        type WorkerMeta = (usize, u32, Duration);
+        let metas: Mutex<Vec<WorkerMeta>> = Mutex::new(Vec::with_capacity(workers));
+        if !to_run.is_empty() && !interrupted {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let f = &f;
+                    let fold = &fold;
+                    let specs = &specs;
+                    let hashes = &hashes;
+                    let to_run = &to_run;
+                    let next = &next;
+                    let stop = &stop;
+                    let cache = &cache;
+                    let sink = &sink;
+                    let errors = &errors;
+                    let metas = &metas;
+                    let shared = &shared;
+                    let chaos = &chaos;
+                    s.spawn(move || {
+                        let mut my_busy = Duration::ZERO;
+                        let mut my_executed = 0usize;
+                        let mut my_retries = 0u32;
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= to_run.len() {
+                                break;
+                            }
+                            let (slot, mult) = to_run[k];
+                            let spec = &specs[slot];
+                            let ctx = ScenarioCtx {
+                                spec,
+                                seed: spec.derived_seed(),
+                                shared,
+                            };
+                            let started = Instant::now();
+                            let (result, attempts) = execute_with_retries(
+                                s,
+                                f,
+                                ctx,
+                                hashes[slot],
+                                retry,
+                                chaos,
+                                deadline,
+                            );
+                            my_busy += started.elapsed();
+                            my_executed += 1;
+                            my_retries += attempts.saturating_sub(1);
+                            match result {
+                                Ok(value) => {
+                                    let _ = cache
+                                        .lock()
+                                        .expect("cache mutex poisoned")
+                                        .put(spec, &value);
+                                    if chaos.fire(sites::SWEEP_CRASH).is_some() {
+                                        // Simulated process death between
+                                        // compute and commit: the result is
+                                        // dropped un-journaled, exactly what
+                                        // a kill here would lose.
+                                        stop.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    let mut sink = sink.lock().expect("sink mutex poisoned");
+                                    if let Err(e) = absorb(
+                                        &mut sink,
+                                        hashes[slot],
+                                        mult,
+                                        &value,
+                                        fold,
+                                        checkpoint_every,
+                                    ) {
+                                        eprintln!(
+                                            "hpcgrid-engine: run journal became unwritable: {e}; \
+                                             stopping sweep (resume to finish)"
+                                        );
+                                        stop.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    errors.lock().expect("error mutex poisoned").push(e);
+                                }
+                            }
+                        }
+                        metas.lock().expect("meta mutex poisoned").push((
+                            my_executed,
+                            my_retries,
+                            my_busy,
+                        ));
+                    });
+                }
+            });
+        }
+        interrupted = interrupted || stop.load(Ordering::Relaxed);
+
+        // Phase 3 — close out the journal and the report.
+        let mut sink = sink.into_inner().expect("sink mutex poisoned");
+        let acc = sink.acc.take().expect("sink accumulator present");
+        if interrupted {
+            // Best-effort flush: everything journaled so far is resumable.
+            let _ = sink.journal.flush();
+        } else {
+            // Final checkpoint covers the whole journal (resume restores in
+            // O(1) replay) and flushes the tail.
+            let done = sink.journal.done_count();
+            if let Err(e) = sink.journal.append_checkpoint(done, &acc.to_value()) {
+                eprintln!("hpcgrid-engine: final journal checkpoint failed: {e}");
+                interrupted = true;
+            }
+        }
+        report.interrupted = interrupted;
+        for (executed, retries, busy) in metas.into_inner().expect("meta mutex poisoned") {
+            report.executed += executed;
+            report.retries += retries;
+            report.worker_busy.push(busy);
+        }
+        let errors = errors.into_inner().expect("error mutex poisoned");
+        report.failed = errors.len();
+        report.timed_out = errors.iter().filter(|e| e.is_timeout()).count();
+        let probes1 = self.cache.probe_stats();
+        report.index_probes = probes1.index_probes - probes0.index_probes;
+        report.disk_reads = probes1.disk_reads - probes0.disk_reads;
+        report.wall = t0.elapsed();
+        Ok(FoldOutcome {
+            value: acc,
+            errors,
+            report,
+        })
+    }
+}
+
+/// The single folding sink of a journaled fold: completed results append to
+/// the journal and fold into the accumulator under one lock, so the journal
+/// is always a faithful prefix of the fold.
+struct FoldSink<A> {
+    journal: RunJournal,
+    /// `Option` so the fold closure can take the accumulator by value.
+    acc: Option<A>,
+}
+
+/// Journal one completed scenario and fold it into the sink's accumulator
+/// (once per submission occurrence), checkpointing at the configured
+/// cadence.
+fn absorb<A, R, Fold>(
+    sink: &mut FoldSink<A>,
+    key: ContentHash,
+    mult: u64,
+    value: &R,
+    fold: &Fold,
+    checkpoint_every: usize,
+) -> Result<(), EngineError>
+where
+    A: Serialize,
+    R: Clone + Serialize,
+    Fold: Fn(A, R) -> A,
+{
+    sink.journal.append_done(key, mult, &value.to_value())?;
+    let mut acc = sink.acc.take().expect("sink accumulator present");
+    for _ in 0..mult {
+        acc = fold(acc, value.clone());
+    }
+    sink.acc = Some(acc);
+    if sink.journal.done_count().is_multiple_of(checkpoint_every) {
+        let acc_value = sink.acc.as_ref().expect("just replaced").to_value();
+        let done = sink.journal.done_count();
+        sink.journal.append_checkpoint(done, &acc_value)?;
+    }
+    Ok(())
+}
+
+/// How one attempt of a scenario closure ended.
+enum AttemptOutcome<R> {
+    Ok(R),
+    Err(String),
+    Panicked(String),
+}
+
+/// Run one attempt: apply any armed scenario failpoints (stall, panic,
+/// transient error — in that order), then the closure, all under panic
+/// isolation.
+fn run_attempt<R, F>(f: &F, ctx: ScenarioCtx<'_>, chaos: &FailpointSet) -> AttemptOutcome<R>
+where
+    F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if !chaos.is_empty() {
+            if let Some(chaos::FaultAction::Stall(d)) = chaos.fire(sites::SCENARIO_STALL) {
+                std::thread::sleep(d);
+            }
+            if chaos.fire(sites::SCENARIO_PANIC).is_some() {
+                panic!("injected panic (chaos failpoint {})", sites::SCENARIO_PANIC);
+            }
+            if chaos.fire(sites::SCENARIO_ERR).is_some() {
+                return Err(format!(
+                    "injected transient I/O fault (chaos failpoint {})",
+                    sites::SCENARIO_ERR
+                ));
+            }
+        }
+        f(ctx)
+    }));
+    match outcome {
+        Ok(Ok(value)) => AttemptOutcome::Ok(value),
+        Ok(Err(message)) => AttemptOutcome::Err(message),
+        Err(payload) => AttemptOutcome::Panicked(panic_message(payload.as_ref())),
+    }
 }
 
 /// One scenario's attempt loop: run `f` under panic isolation until it
-/// succeeds or the retry budget is spent. Returns the result and the number
-/// of attempts made.
-fn execute_with_retries<R, F>(
-    f: &F,
-    ctx: ScenarioCtx<'_>,
-    key: crate::hash::ContentHash,
+/// succeeds or the retry budget is spent, sleeping a seeded exponential
+/// backoff before I/O-classed retries. Returns the result and the number of
+/// attempts made.
+///
+/// With a deadline, each attempt runs on a watchdog thread spawned in the
+/// sweep's own scope and the worker waits at most `budget` for it. An
+/// over-budget attempt is abandoned — its thread keeps running and its
+/// eventual result is dropped (the send fails against a dropped receiver).
+/// Bounded stalls therefore drain by scope exit; a truly hung scenario
+/// still needs a process kill, which the run journal makes cheap to recover
+/// from.
+fn execute_with_retries<'scope, 'env, R, F>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    f: &'env F,
+    ctx: ScenarioCtx<'env>,
+    key: ContentHash,
     retry: RetryPolicy,
+    chaos: &'env FailpointSet,
+    deadline: Option<Duration>,
 ) -> (Result<R, ScenarioError>, u32)
 where
+    R: Send + 'env,
     F: Fn(ScenarioCtx<'_>) -> Result<R, String> + Sync,
 {
     let mut attempts = 0u32;
     let result = loop {
         attempts += 1;
-        match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
-            Ok(Ok(value)) => break Ok(value),
-            Ok(Err(message)) => {
+        let outcome = match deadline {
+            None => run_attempt(f, ctx, chaos),
+            Some(budget) => {
+                let (tx, rx) = mpsc::channel();
+                scope.spawn(move || {
+                    let _ = tx.send(run_attempt(f, ctx, chaos));
+                });
+                match rx.recv_timeout(budget) {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        if attempts >= retry.max_attempts() {
+                            break Err(ScenarioError::TimedOut {
+                                spec: key,
+                                budget,
+                                attempts,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        match outcome {
+            AttemptOutcome::Ok(value) => break Ok(value),
+            AttemptOutcome::Err(message) => {
                 if attempts >= retry.max_attempts() {
                     break Err(ScenarioError::Failed {
                         spec: key,
@@ -647,12 +1214,18 @@ where
                         attempts,
                     });
                 }
+                if io_classed(&message) {
+                    let delay = retry.backoff_delay(attempts, ctx.seed);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
             }
-            Err(payload) => {
+            AttemptOutcome::Panicked(message) => {
                 if attempts >= retry.max_attempts() {
                     break Err(ScenarioError::Panicked {
                         spec: key,
-                        message: panic_message(payload.as_ref()),
+                        message,
                         attempts,
                     });
                 }

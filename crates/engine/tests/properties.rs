@@ -279,3 +279,98 @@ proptest! {
         prop_assert_eq!(outcome.value, expected);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Kill-and-resume: crash a journaled 1000-scenario fold at an arbitrary
+    /// commit point, resume from the journal on a fresh runner, and the
+    /// final fold is bit-identical to an uninterrupted run — with zero
+    /// re-execution of any journaled scenario.
+    #[test]
+    fn kill_and_resume_is_bit_identical_with_zero_reexecution(
+        crash_at in 1u64..=1000,
+        checkpoint_every in 1usize..200,
+    ) {
+        use hpcgrid_engine::{FailpointSet, RunJournal};
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        let specs: Vec<ScenarioSpec> = (0..1000u64)
+            .map(|i| {
+                ScenarioSpec::builder("prop-resume")
+                    .trace_seed(11)
+                    .param("i", i as i64)
+                    .build()
+            })
+            .collect();
+
+        // Exact integer fold — (wrapping sum, xor) is a commutative monoid,
+        // so "bit-identical" is meaningful regardless of completion order.
+        let scenario = |ctx: hpcgrid_engine::ScenarioCtx<'_>| -> Result<(u64, u64), String> {
+            let i = ctx.spec.param_i64("i")? as u64;
+            Ok((i.wrapping_mul(0x9E3779B97F4A7C15), ctx.seed))
+        };
+        let fold = |(s, x): (u64, u64), (a, b): (u64, u64)| (s.wrapping_add(a), x ^ b);
+        let expected = {
+            let mut baseline: SweepRunner<(u64, u64)> = SweepRunner::new();
+            baseline
+                .run(&specs, scenario)
+                .expect_all("baseline run")
+                .into_iter()
+                .fold((0u64, 0u64), fold)
+        };
+
+        let journal = std::env::temp_dir().join(format!(
+            "hpcgrid-prop-resume-{}-{crash_at}.hgj",
+            std::process::id()
+        ));
+        let chaos =
+            FailpointSet::parse(&format!("engine.sweep.crash=crash@nth:{crash_at}")).unwrap();
+        let mut crashing: SweepRunner<(u64, u64)> = SweepRunner::new()
+            .checkpoint_every(checkpoint_every)
+            .chaos(chaos);
+        let partial = crashing
+            .run_fold_journaled(&journal, &specs, scenario, (0u64, 0u64), fold)
+            .unwrap();
+        prop_assert!(partial.report.interrupted);
+
+        // What the journal holds at the moment of "death".
+        let journaled: HashSet<_> = RunJournal::replay(&journal).unwrap().done_set();
+        prop_assert!(journaled.len() < 1000);
+
+        // Resume on a fresh runner (cold cache), recording exactly which
+        // scenarios execute.
+        let executed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let mut resumed: SweepRunner<(u64, u64)> = SweepRunner::new();
+        let outcome = resumed
+            .resume(
+                &journal,
+                &specs,
+                |ctx| {
+                    executed
+                        .lock()
+                        .unwrap()
+                        .push(ctx.spec.param_i64("i")? as u64);
+                    scenario(ctx)
+                },
+                (0u64, 0u64),
+                fold,
+            )
+            .unwrap();
+
+        prop_assert_eq!(outcome.value, expected, "bit-identical final fold");
+        prop_assert!(!outcome.report.interrupted);
+        let executed = executed.into_inner().unwrap();
+        prop_assert_eq!(executed.len(), 1000 - journaled.len());
+        for i in &executed {
+            let hash = specs[*i as usize].content_hash();
+            prop_assert!(
+                !journaled.contains(&hash),
+                "journaled scenario {} was re-executed", i
+            );
+        }
+        prop_assert_eq!(outcome.report.journal_replayed, journaled.len());
+        std::fs::remove_file(&journal).unwrap();
+    }
+}

@@ -61,17 +61,19 @@ pub use hpcgrid_workload as workload;
 pub mod prelude {
     pub use hpcgrid_core::accrual::{AccrualSnapshot, BillAccrual};
     pub use hpcgrid_core::billing::{Bill, BillingEngine, Precision};
+    pub use hpcgrid_core::checkpoint::{CheckpointStore, FleetCheckpoint};
     pub use hpcgrid_core::compiled::CompiledContract;
     pub use hpcgrid_core::contract::{Contract, ContractBuilder, ContractDelta};
     pub use hpcgrid_core::demand_charge::DemandCharge;
     pub use hpcgrid_core::fingerprint::ComponentFingerprint;
-    pub use hpcgrid_core::fleet::{FleetStats, MeterFleet, MeterId, Sample};
+    pub use hpcgrid_core::fleet::{FleetStats, FleetTickReport, MeterFleet, MeterId, Sample};
     pub use hpcgrid_core::powerband::Powerband;
     pub use hpcgrid_core::survey::corpus::SurveyCorpus;
     pub use hpcgrid_core::tariff::Tariff;
     pub use hpcgrid_core::typology::{ContractComponentKind, Typology};
     pub use hpcgrid_engine::{
-        ResultCache, RetryPolicy, RunReport, ScenarioError, ScenarioSpec, SweepRunner,
+        FailpointSet, ResultCache, RetryPolicy, RunJournal, RunReport, ScenarioError, ScenarioSpec,
+        SweepRunner,
     };
     pub use hpcgrid_facility::site::SiteSpec;
     pub use hpcgrid_scheduler::policy::Policy;
