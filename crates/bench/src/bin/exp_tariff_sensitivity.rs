@@ -223,6 +223,129 @@ fn main() {
     );
     println!("fast-mode tolerance: |fast - exact| / exact = {rel:.2e} <= 1e-12 ✓\n");
 
+    // E1c — renegotiation timing through the contract ledger. A rate hike
+    // lands mid-horizon; when it takes effect decides how much of the load
+    // is billed at the old rate. Each timing is a ledger stream (same base
+    // contract, same delta, different effective day) billed as-of: the
+    // ledger slices the load at the effective date and bills each slice
+    // under the revision in force. Revision kernels are deduplicated by
+    // fingerprint across streams — the whole five-way sweep compiles the
+    // base kernel once and derives the revised kernel once by patch.
+    println!("== E1c: renegotiation timing via ledger as-of billing ==\n");
+    let hike = ContractDelta::ReplaceTariff {
+        index: 0,
+        tariff: Tariff::fixed(EnergyPrice::per_kilowatt_hour(mean * 1.2)),
+    };
+    let effective_days: Vec<i64> = vec![5, 10, 15, 20, 25];
+    let mut ledger = hpcgrid_core::ledger::ContractLedger::new(
+        hpcgrid_units::Calendar::default(),
+        load.start(),
+        load.end(),
+    );
+    let streams: Vec<(i64, hpcgrid_core::ledger::ContractId)> = effective_days
+        .iter()
+        .map(|day| {
+            let id = ledger
+                .create(fixed.clone(), &format!("created/{day}"), load.start())
+                .expect("stream created");
+            ledger
+                .append(
+                    id,
+                    hike.clone(),
+                    &format!("hike/{day}"),
+                    hpcgrid_units::SimTime::from_days(*day as u64),
+                )
+                .expect("hike appended");
+            (*day, id)
+        })
+        .collect();
+    let ledger = Arc::new(std::sync::Mutex::new(ledger));
+    let mut ledger_shared = SharedInputs::new();
+    let ledger_key = "ledger/e1c";
+    ledger_shared.insert_arc(ledger_key, Arc::clone(&ledger));
+    let load_k = share_series(&mut ledger_shared, "reference_load", load.clone());
+    let ledger_specs: Vec<ScenarioSpec> = effective_days
+        .iter()
+        .map(|day| {
+            experiment_spec("tariff_sensitivity_ledger", 7)
+                .contract("fixed")
+                .ledger_revision(1)
+                .param("effective_day", *day)
+                .build()
+        })
+        .collect();
+    let mut ledger_runner = experiment_runner::<f64>().shared_inputs(ledger_shared);
+    let ledger_outcome = ledger_runner.run(&ledger_specs, |ctx| {
+        let day = ctx.spec.param_i64("effective_day")?;
+        let (_, id) = streams
+            .iter()
+            .find(|(d, _)| *d == day)
+            .ok_or_else(|| format!("no ledger stream for day {day}"))?;
+        let ledger: Arc<std::sync::Mutex<hpcgrid_core::ledger::ContractLedger>> =
+            ctx.shared.expect(ledger_key)?;
+        let load: Arc<PowerSeries> = ctx.shared.expect(&load_k)?;
+        let mut ledger = ledger.lock().map_err(|e| e.to_string())?;
+        Ok(ledger
+            .bill_as_of(*id, &load)
+            .map_err(|e| e.to_string())?
+            .total()
+            .as_dollars())
+    });
+    println!(
+        "sweep engine report:\n{}",
+        ledger_outcome.report.summary_table()
+    );
+    let ledger_bills = ledger_outcome.expect_all("ledger timing sweep");
+    let mut tl = TextTable::new(vec!["hike effective day", "bill (30 days)", "Δ vs fixed"]);
+    for (day, b) in effective_days.iter().zip(ledger_bills.iter()) {
+        tl.row(vec![
+            format!("day {day}"),
+            format!("${b:.2}"),
+            format!("{:+.2}%", (b / b_fixed - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", tl.render());
+
+    // Bit-identity check: the as-of bill must equal billing the pre-/post-
+    // hike slices separately with their respective hydrated kernels.
+    {
+        let mut ledger = ledger.lock().expect("ledger lock");
+        let (day, id) = streams[0];
+        let cut = hpcgrid_units::SimTime::from_days(day as u64);
+        let asof = ledger.bill_as_of(id, &load).expect("as-of bill");
+        let before = ledger
+            .kernel_at(id, 0)
+            .expect("revision-0 kernel")
+            .bill(&load.slice_time(load.start(), cut))
+            .expect("pre-hike slice");
+        let after = ledger
+            .kernel_at(id, 1)
+            .expect("revision-1 kernel")
+            .bill(&load.slice_time(cut, load.end()))
+            .expect("post-hike slice");
+        assert_eq!(
+            asof.slices[0].bill, before,
+            "pre-hike slice must be bit-identical to manual slice billing"
+        );
+        assert_eq!(
+            asof.slices[1].bill, after,
+            "post-hike slice must be bit-identical to manual slice billing"
+        );
+        assert_eq!(asof.total(), before.total() + after.total());
+        println!("bit-identity: as-of bill == manual pre/post slice bills ✓");
+        // Five streams, two distinct revisions: fingerprint dedup means two
+        // cached kernels serve the whole sweep.
+        let cache = ledger.kernel_cache();
+        println!(
+            "kernel cache: {} kernels for {} streams ({} hits / {} misses)\n",
+            cache.len(),
+            streams.len(),
+            cache.hits(),
+            cache.misses()
+        );
+        assert_eq!(cache.len(), 2, "revision kernels must dedup across streams");
+    }
+
     // Now let the scheduler *act* on the dynamic price: shift deferrable
     // jobs out of the top-15% price hours.
     let windows = expensive_windows(&strip, 0.15).unwrap();

@@ -46,6 +46,16 @@
 //! penalty changes (same bounds), emergency-clause changes, and component
 //! removals. Deltas that would re-price history (tariff replacements,
 //! corridor moves, adding a demand charge mid-stream) are rejected.
+//!
+//! [`BillAccrual::rebind_at`] is the *prospective* dual, built for ledger
+//! events (see [`ContractLedger`](crate::ledger::ContractLedger)): instead
+//! of re-pricing history it closes the books on the current revision's
+//! slice at an effective instant and keeps streaming under the new kernel —
+//! any delta is allowed, because nothing accrued crosses the boundary.
+//! `finalize()` then folds the closed slices with the open one via
+//! [`Bill::fold`], bit-identical to
+//! [`ContractLedger::bill_as_of`](crate::ledger::ContractLedger::bill_as_of)
+//! over the same stream.
 
 use crate::billing::{Bill, LineItem};
 use crate::compiled::{CompiledContract, LoweredTariff, SegmentMap};
@@ -286,6 +296,9 @@ pub struct BillAccrual {
     demand: Option<DemandAccrual>,
     band: Option<BandAccrual>,
     windows: Vec<WindowAccrual>,
+    /// Bills of revision slices closed by [`BillAccrual::rebind_at`], in
+    /// time order; `finalize()` folds them with the open slice.
+    closed_slices: Vec<Bill>,
     /// Fault-injection latch: the next `push_next` panics. Transient test
     /// state — never serialized, cleared by the panic it causes.
     poison_next: bool,
@@ -308,6 +321,9 @@ pub struct AccrualSnapshot {
     demand: Option<DemandSnapshot>,
     band: Option<BandAccrual>,
     windows: Vec<WindowAccrual>,
+    /// Revision slices closed by [`BillAccrual::rebind_at`] before the
+    /// snapshot was taken (empty for a single-revision stream).
+    closed_slices: Vec<Bill>,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -447,6 +463,7 @@ impl BillAccrual {
             demand,
             band,
             windows,
+            closed_slices: Vec::new(),
             poison_next: false,
         })
     }
@@ -615,8 +632,30 @@ impl BillAccrual {
     ///
     /// Bit-identical to `CompiledContract::bill_with_events` over the
     /// samples pushed so far, under `Precision::BitExact`. Errors on an
-    /// empty stream, exactly like the batch path.
+    /// empty stream, exactly like the batch path. After
+    /// [`BillAccrual::rebind_at`] the closed revision slices are folded
+    /// with the open one via [`Bill::fold`] — bit-identical to the ledger's
+    /// as-of bill over the same samples.
     pub fn finalize(&self) -> Result<Bill> {
+        if self.n == 0 {
+            // A stream with closed slices but nothing in the open one yet
+            // (finalize right after a rebind_at) still has books to close.
+            return if self.closed_slices.is_empty() {
+                Err(CoreError::BadSeries("load series is empty".into()))
+            } else {
+                Bill::fold(&self.closed_slices)
+            };
+        }
+        let open = self.finalize_open()?;
+        if self.closed_slices.is_empty() {
+            return Ok(open);
+        }
+        Bill::fold(self.closed_slices.iter().chain(std::iter::once(&open)))
+    }
+
+    /// The open slice's bill: the batch-identical close of everything
+    /// pushed since the last [`BillAccrual::rebind_at`] (or since creation).
+    fn finalize_open(&self) -> Result<Bill> {
         if self.n == 0 {
             return Err(CoreError::BadSeries("load series is empty".into()));
         }
@@ -815,6 +854,54 @@ impl BillAccrual {
         Ok(())
     }
 
+    /// Splice a new revision into the stream *prospectively*: close the
+    /// books on the current kernel's slice at `at` (which must be the next
+    /// grid instant, [`BillAccrual::expected_next`]) and continue streaming
+    /// under `kernel` — the streaming form of a ledger event taking effect
+    /// (see [`ContractLedger::bill_as_of`](crate::ledger::ContractLedger::bill_as_of)).
+    ///
+    /// Unlike [`BillAccrual::rebind`], *any* delta is allowed — tariff
+    /// replacements included — because nothing accrued crosses the
+    /// boundary: the closed slice is billed under the old kernel, samples
+    /// from `at` on are billed under the new one, and `finalize()` folds
+    /// the slices via [`Bill::fold`]. The result is bit-identical to batch
+    /// billing each slice separately (demand months and service fees
+    /// restart at the boundary, exactly like two separate meters).
+    ///
+    /// The new kernel must share the old one's calendar and compile
+    /// horizon; the open slice must be non-empty (an empty slice bills as
+    /// nothing and would silently disagree with the ledger's slicing);
+    /// streams with emergency event windows are rejected — event penalties
+    /// are assessed per window, not per slice, so they cannot be spliced.
+    pub fn rebind_at(&mut self, kernel: Arc<CompiledContract>, at: SimTime) -> Result<()> {
+        if kernel.horizon() != self.kernel.horizon() || kernel.calendar() != self.kernel.calendar()
+        {
+            return Err(CoreError::BadComponent(
+                "rebind_at requires the same calendar and compile horizon".into(),
+            ));
+        }
+        if !self.windows.is_empty() {
+            return Err(CoreError::BadComponent(
+                "rebind_at cannot splice a stream with emergency event windows: \
+                 penalties are assessed per window, not per revision slice"
+                    .into(),
+            ));
+        }
+        let expected = self.expected_next();
+        if at != expected {
+            return Err(CoreError::BadSeries(format!(
+                "rebind_at({at}) must land on the next grid instant {expected}: \
+                 a revision takes effect between samples, never inside one"
+            )));
+        }
+        let closed = self.finalize_open()?;
+        let mut fresh = BillAccrual::new(kernel, at, Duration::from_secs(self.step))?;
+        fresh.closed_slices = std::mem::take(&mut self.closed_slices);
+        fresh.closed_slices.push(closed);
+        *self = fresh;
+        Ok(())
+    }
+
     /// Serialize the accrual's state for checkpointing. The snapshot is a
     /// plain serde struct — pair it with any format; restoring against a
     /// kernel with the same fingerprint resumes the stream bit-exactly
@@ -848,6 +935,7 @@ impl BillAccrual {
             }),
             band: self.band.clone(),
             windows: self.windows.clone(),
+            closed_slices: self.closed_slices.clone(),
         }
     }
 
@@ -965,6 +1053,7 @@ impl BillAccrual {
             }
         }
         acc.windows = snap.windows.clone();
+        acc.closed_slices = snap.closed_slices.clone();
         Ok(acc)
     }
 

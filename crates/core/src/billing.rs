@@ -73,6 +73,38 @@ impl Bill {
         self.items.iter().find(|i| i.kind == Some(kind))
     }
 
+    /// Fold several bills into one composite bill, in iteration order —
+    /// the splice rule behind [`AsOfBill::fold`](crate::ledger::AsOfBill)
+    /// and the as-of accrual
+    /// ([`BillAccrual::rebind_at`](crate::accrual::BillAccrual::rebind_at)).
+    ///
+    /// Line items with an identical `(label, kind)` pair are summed into
+    /// one item at the first occurrence's position; items whose labels
+    /// differ (e.g. per-slice demand-month counts) are appended in order,
+    /// so nothing is ever collapsed across genuinely different line items.
+    /// The contract name is taken from the first bill. Folding a single
+    /// bill is the identity. Errors on an empty iterator.
+    pub fn fold<'a, I: IntoIterator<Item = &'a Bill>>(bills: I) -> Result<Bill> {
+        let mut iter = bills.into_iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| CoreError::BadSeries("cannot fold an empty set of bills".into()))?;
+        let mut folded = first.clone();
+        for bill in iter {
+            for item in &bill.items {
+                match folded
+                    .items
+                    .iter_mut()
+                    .find(|i| i.label == item.label && i.kind == item.kind)
+                {
+                    Some(existing) => existing.amount += item.amount,
+                    None => folded.items.push(item.clone()),
+                }
+            }
+        }
+        Ok(folded)
+    }
+
     /// Render a human-readable bill.
     pub fn render(&self) -> String {
         let mut out = format!("Bill for contract '{}'\n", self.contract);

@@ -657,6 +657,11 @@ impl CompiledContract {
     /// those components are interpreted against the shared month-boundary
     /// index, so the patch is a validated field write.
     ///
+    /// This is also the primitive behind ledger hydration:
+    /// [`ContractLedger::kernel_at`](crate::ledger::ContractLedger::kernel_at)
+    /// walks forward from the nearest cached revision by patching one delta
+    /// per ledger event instead of recompiling the hydrated contract.
+    ///
     /// ```
     /// use hpcgrid_core::compiled::CompiledContract;
     /// use hpcgrid_core::contract::{Contract, ContractDelta};

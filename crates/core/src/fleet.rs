@@ -21,6 +21,7 @@ use crate::checkpoint::FleetCheckpoint;
 use crate::compiled::CompiledContract;
 use crate::contract::{Contract, ContractDelta};
 use crate::kernels::KernelCache;
+use crate::ledger::{EventPayload, LedgerEvent};
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::par::try_par_map;
 use hpcgrid_units::{Calendar, Duration, Power, SimTime};
@@ -549,6 +550,30 @@ impl MeterFleet {
         let (new_shard, new_slot) = self.place(kernel, accrual, meter);
         self.directory[meter.0] = (new_shard, new_slot);
         Ok(())
+    }
+
+    /// Apply a contract-ledger event to a live meter: the fleet-side hook a
+    /// ledger driver calls when a renegotiation lands, so a
+    /// [`LedgerEvent`] re-shards live meters through the existing
+    /// [`MeterFleet::apply_delta`] patch path (the meter's kernel is
+    /// patched, its accrual rebound, and the meter moves to the shard of
+    /// the revised fingerprint — a no-op if the event does not change the
+    /// kernel). `Created` events describe meters that do not exist yet —
+    /// register those with [`MeterFleet::register`] instead.
+    ///
+    /// The delta must be accrual-preserving (the
+    /// [`BillAccrual::rebind`] rules); events that would re-price history
+    /// are rejected and the meter stays where it is — close its books and
+    /// re-register to take such a revision mid-stream, or bill the horizon
+    /// through [`ContractLedger::bill_as_of`](crate::ledger::ContractLedger::bill_as_of).
+    pub fn apply_event(&mut self, meter: MeterId, event: &LedgerEvent) -> Result<()> {
+        match &event.payload {
+            EventPayload::Delta(delta) => self.apply_delta(meter, delta),
+            EventPayload::Created(_) => Err(CoreError::Ledger(format!(
+                "a created event opens a new stream; register a meter for it \
+                 instead of applying it to live {meter}"
+            ))),
+        }
     }
 
     /// Operating statistics: meter count, memory per meter, kernel reuse,

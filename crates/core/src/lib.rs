@@ -19,6 +19,9 @@
 //!   sweep workloads, with incremental recompilation
 //!   ([`compiled::CompiledContract::patch`]) keyed by component
 //!   fingerprints;
+//! * [`ledger`] — the event-sourced contract ledger: append-only revision
+//!   streams with idempotency keys and effective dates, patch-cached
+//!   hydration, and as-of billing across mid-horizon renegotiations;
 //! * [`survey`] — the survey instrument, the encoded ten-site corpus, the
 //!   coding step that regenerates Table 2 from per-site contracts, and the
 //!   statistical analysis (component counts, text-vs-table consistency,
@@ -37,6 +40,7 @@ pub mod emergency;
 pub mod fingerprint;
 pub mod fleet;
 pub mod kernels;
+pub mod ledger;
 pub mod powerband;
 pub mod report;
 pub mod survey;
@@ -53,6 +57,7 @@ pub use emergency::EmergencyDrClause;
 pub use fingerprint::ComponentFingerprint;
 pub use fleet::{FleetStats, FleetTickReport, MeterFleet, MeterId, Sample};
 pub use kernels::KernelCache;
+pub use ledger::{AppendOutcome, AsOfBill, BillSlice, ContractId, ContractLedger, LedgerEvent};
 pub use powerband::Powerband;
 pub use tariff::Tariff;
 pub use typology::{ContractComponentKind, Typology};
@@ -75,6 +80,9 @@ pub enum CoreError {
     Quarantined(String),
     /// Filesystem i/o error while reading or writing a checkpoint.
     Io(String),
+    /// Contract-ledger misuse: unknown stream or revision, or an amendment
+    /// whose effective date would rewrite history.
+    Ledger(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -87,6 +95,7 @@ impl std::fmt::Display for CoreError {
             CoreError::BatchPanic(d) => write!(f, "batch billing worker panicked: {d}"),
             CoreError::Quarantined(d) => write!(f, "meter quarantined: {d}"),
             CoreError::Io(d) => write!(f, "checkpoint i/o error: {d}"),
+            CoreError::Ledger(d) => write!(f, "contract ledger error: {d}"),
         }
     }
 }

@@ -148,6 +148,13 @@ pub struct ResultCache<R> {
     /// Shard subdirectories (`xx * 256 + yy`) known to exist, so repeat puts
     /// into a warm shard skip the `create_dir_all` syscalls.
     shards_ready: HashSet<u16>,
+    /// Whether the opening walk found any legacy flat `<hex>.json`
+    /// artifacts. Directories still fed by a legacy writer can grow flat
+    /// artifacts *after* the walk, so [`ResultCache::get`] gives index
+    /// misses a last-chance probe at the legacy path — but only when this
+    /// flag is set, so modern directories keep answering misses without
+    /// filesystem traffic.
+    has_legacy: bool,
     probes: ProbeStats,
     /// Stale `*.tmp.<pid>` files of provably-dead processes reclaimed by the
     /// opening walk.
@@ -163,6 +170,7 @@ impl<R> Default for ResultCache<R> {
             format: ArtifactFormat::default(),
             index: HashMap::new(),
             shards_ready: HashSet::new(),
+            has_legacy: false,
             probes: ProbeStats::default(),
             reclaimed_tmp: 0,
             chaos: chaos::env_failpoints(),
@@ -200,12 +208,16 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
     ) -> Result<Self, EngineError> {
         let dir = dir.into();
         let (index, reclaimed_tmp) = build_index(&dir)?;
+        let has_legacy = index
+            .values()
+            .any(|loc| matches!(loc, ArtifactLoc::LegacyJson));
         Ok(ResultCache {
             mem: HashMap::new(),
             dir: Some(dir),
             format,
             index,
             shards_ready: HashSet::new(),
+            has_legacy,
             probes: ProbeStats::default(),
             reclaimed_tmp,
             chaos: chaos::env_failpoints(),
@@ -282,8 +294,13 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
     /// Look up a result, promoting artifact hits into memory.
     ///
     /// Misses are answered by the in-memory index without a filesystem
-    /// probe. A corrupt or mismatched artifact is reported as an error (the
-    /// caller decides whether to recompute).
+    /// probe — except in a directory whose opening walk found legacy flat
+    /// `<hex>.json` artifacts, where a writer predating the sharded layout
+    /// may still be adding flat artifacts the index never saw; there an
+    /// index miss pays one last-chance probe at the legacy path (counted in
+    /// [`ProbeStats::disk_reads`] like every other artifact read, and
+    /// promoted into the index on a hit). A corrupt or mismatched artifact
+    /// is reported as an error (the caller decides whether to recompute).
     pub fn get(&mut self, key: ContentHash) -> Result<Option<(R, CacheTier)>, EngineError> {
         if let Some(r) = self.mem.get(&key) {
             return Ok(Some((r.clone(), CacheTier::Memory)));
@@ -292,8 +309,10 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
             return Ok(None);
         };
         self.probes.index_probes += 1;
-        let Some(&loc) = self.index.get(&key) else {
-            return Ok(None);
+        let loc = match self.index.get(&key) {
+            Some(&loc) => loc,
+            None if self.has_legacy => ArtifactLoc::LegacyJson,
+            None => return Ok(None),
         };
         let path = loc_path(dir, key, loc);
         if let Some(action) = self.chaos.fire(sites::ARTIFACT_READ) {
@@ -328,6 +347,9 @@ impl<R: Clone + Serialize + Deserialize> ResultCache<R> {
         })?;
         let result = R::from_value(result_value)
             .map_err(|e| EngineError::Serialize(format!("decoding {}: {e}", path.display())))?;
+        // No-op for indexed hits; registers a legacy artifact found by the
+        // last-chance probe so the next probe is index-answered.
+        self.index.insert(key, loc);
         self.mem.insert(key, result.clone());
         Ok(Some((result, CacheTier::Artifact)))
     }
@@ -668,6 +690,55 @@ mod tests {
         let (v, tier) = c.get(s.content_hash()).unwrap().unwrap();
         assert_eq!(v, 7.25);
         assert_eq!(tier, CacheTier::Artifact);
+        // The legacy read must be accounted like any other artifact read.
+        assert_eq!(c.probe_stats().disk_reads, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn write_legacy_artifact(dir: &Path, s: &ScenarioSpec, result: f64) {
+        std::fs::create_dir_all(dir).unwrap();
+        let artifact = Value::Map(vec![
+            (
+                "spec_hash".to_string(),
+                Value::Str(s.content_hash().to_hex()),
+            ),
+            ("spec".to_string(), s.to_value()),
+            ("result".to_string(), Value::Float(result)),
+        ]);
+        std::fs::write(
+            dir.join(format!("{}.json", s.content_hash().to_hex())),
+            serde_json::to_string_pretty(&artifact).unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn legacy_artifacts_appearing_after_open_are_found_and_counted() {
+        let dir = temp_dir("legacy-late");
+        let early = spec(21);
+        let late = spec(22);
+        // One legacy artifact exists at open, marking the directory as
+        // legacy-fed; a second lands after the opening index walk.
+        write_legacy_artifact(&dir, &early, 1.5);
+        let mut c: ResultCache<f64> = ResultCache::with_artifact_dir(&dir).unwrap();
+        write_legacy_artifact(&dir, &late, 2.5);
+
+        // The late artifact is invisible to the index, but the last-chance
+        // legacy probe finds it — and the read is counted.
+        let (v, tier) = c.get(late.content_hash()).unwrap().unwrap();
+        assert_eq!(v, 2.5);
+        assert_eq!(tier, CacheTier::Artifact);
+        assert_eq!(c.probe_stats().disk_reads, 1);
+
+        // The hit was promoted into the index and memory tier.
+        assert!(c.contains(late.content_hash()));
+        c.clear_memory();
+        assert!(c.get(late.content_hash()).unwrap().is_some());
+
+        // A genuinely-absent key pays one probing read and stays a miss.
+        let reads_before = c.probe_stats().disk_reads;
+        assert!(c.get(spec(23).content_hash()).unwrap().is_none());
+        assert_eq!(c.probe_stats().disk_reads, reads_before + 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -243,6 +243,13 @@ impl ScenarioSpec {
         self.params.get(Self::FLEET_METERS_PARAM)?.as_i64()
     }
 
+    /// The contract-ledger revision recorded by
+    /// [`ScenarioSpecBuilder::ledger_revision`], if any. `None` means the
+    /// scenario bills a fixed contract rather than a ledger stream.
+    pub fn ledger_revision(&self) -> Option<i64> {
+        self.params.get(Self::LEDGER_REVISION_PARAM)?.as_i64()
+    }
+
     /// Reserved param key naming the compiled base contract a patch-path
     /// scenario splices on top of.
     pub const BASE_CONTRACT_PARAM: &'static str = "base_contract";
@@ -258,6 +265,10 @@ impl ScenarioSpec {
     /// Reserved param key recording the meter count of a streaming-fleet
     /// scenario.
     pub const FLEET_METERS_PARAM: &'static str = "fleet_meters";
+
+    /// Reserved param key recording the contract-ledger revision an as-of
+    /// billing scenario hydrates at.
+    pub const LEDGER_REVISION_PARAM: &'static str = "ledger_revision";
 
     /// The canonical serialized form (sorted keys at every level) — what the
     /// content hash is computed over.
@@ -352,6 +363,16 @@ impl ScenarioSpecBuilder {
     /// baseline) then cache under different content hashes.
     pub fn fleet_meters(self, meters: i64) -> Self {
         self.param(ScenarioSpec::FLEET_METERS_PARAM, meters)
+    }
+
+    /// Record the contract-ledger revision an as-of billing scenario
+    /// hydrates at, as the reserved [`ScenarioSpec::LEDGER_REVISION_PARAM`]
+    /// param. Scenarios billing different revisions of the same stream
+    /// then cache under different content hashes, so a sweep over a
+    /// renegotiation's timing never serves a bill hydrated at another
+    /// revision.
+    pub fn ledger_revision(self, revision: i64) -> Self {
+        self.param(ScenarioSpec::LEDGER_REVISION_PARAM, revision)
     }
 
     /// Finish the spec.
@@ -485,6 +506,23 @@ mod tests {
             .fleet_meters(1_000_000)
             .build();
         assert_ne!(smoke.content_hash(), baseline.content_hash());
+    }
+
+    #[test]
+    fn ledger_revision_is_a_reserved_param() {
+        let plain = spec();
+        assert_eq!(plain.ledger_revision(), None);
+
+        let rev1 = ScenarioSpec::builder("ledger_asof")
+            .ledger_revision(1)
+            .build();
+        assert_eq!(rev1.ledger_revision(), Some(1));
+        // Revision separates cache keys: billing the same stream hydrated
+        // at a different revision must never share a cached result.
+        let rev2 = ScenarioSpec::builder("ledger_asof")
+            .ledger_revision(2)
+            .build();
+        assert_ne!(rev1.content_hash(), rev2.content_hash());
     }
 
     #[test]

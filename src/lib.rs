@@ -10,7 +10,9 @@
 //! * **contracts** between supercomputing centers (SCs) and electricity
 //!   service providers (ESPs) — the paper's contract typology as a typed,
 //!   executable billing engine ([`core`]), batch or streamed one sample at
-//!   a time across sharded meter fleets ([`core::fleet`]);
+//!   a time across sharded meter fleets ([`core::fleet`]), with contract
+//!   renegotiations recorded as event-sourced revision streams and billed
+//!   as-of their effective dates ([`core::ledger`]);
 //! * the **survey corpus** of ten SC sites and its qualitative analysis
 //!   (Tables 1–2, Figure 1 of the paper);
 //! * the **substrates** needed to exercise those contracts quantitatively:
@@ -67,6 +69,9 @@ pub mod prelude {
     pub use hpcgrid_core::demand_charge::DemandCharge;
     pub use hpcgrid_core::fingerprint::ComponentFingerprint;
     pub use hpcgrid_core::fleet::{FleetStats, FleetTickReport, MeterFleet, MeterId, Sample};
+    pub use hpcgrid_core::ledger::{
+        AppendOutcome, AsOfBill, BillSlice, ContractId, ContractLedger, LedgerEvent,
+    };
     pub use hpcgrid_core::powerband::Powerband;
     pub use hpcgrid_core::survey::corpus::SurveyCorpus;
     pub use hpcgrid_core::tariff::Tariff;
