@@ -1,0 +1,145 @@
+//! `bench_report` — diff committed `BENCH_*.json` baselines against a
+//! fresh run and print the trajectory.
+//!
+//! The committed baselines record what each subsystem measured when its PR
+//! landed, but that history was invisible: nothing compared a new run
+//! against them. This bin walks every `BENCH_*.json` in a baseline
+//! directory (default: the current directory, i.e. the committed files),
+//! pairs each with the same-named file in a current directory, flattens
+//! both to dotted-path numeric leaves, and prints one trajectory table per
+//! file: baseline value, current value, and the ratio.
+//!
+//! ```text
+//! bench_report <current-dir> [baseline-dir]
+//! ```
+//!
+//! The report is informational — pass/fail floors live in the `exp_*`
+//! bins that own them — but it exits nonzero if a baseline file has no
+//! counterpart in the current directory, so CI notices a bench that
+//! silently stopped regenerating. Non-numeric leaves (workload shapes,
+//! env echoes, flags) are skipped: the trajectory is about measurements,
+//! not configuration.
+
+use hpcgrid_bench::table::TextTable;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Flatten a JSON tree to `(dotted.path, number)` leaves, in document
+/// order. The `env` subtree is configuration echo, never a measurement.
+fn numeric_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Int(_) | Value::UInt(_) | Value::Float(_) => {
+            if let Some(x) = v.as_f64() {
+                out.push((prefix.to_string(), x));
+            }
+        }
+        Value::Map(entries) => {
+            for (k, child) in entries {
+                if prefix.is_empty() && k == "env" {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                numeric_leaves(&path, child, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (i, child) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load(path: &Path) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: Value = serde_json::from_str(&text).ok()?;
+    let mut leaves = Vec::new();
+    numeric_leaves("", &value, &mut leaves);
+    Some(leaves)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let current_dir = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+    let baseline_dir = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+
+    let mut baselines: Vec<PathBuf> = std::fs::read_dir(&baseline_dir)
+        .unwrap_or_else(|e| panic!("cannot read baseline dir {}: {e}", baseline_dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!(
+            "no BENCH_*.json baselines found in {}",
+            baseline_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut missing = 0usize;
+    for base_path in &baselines {
+        let name = base_path.file_name().unwrap().to_str().unwrap();
+        let cur_path = current_dir.join(name);
+        println!("== {name} ==");
+        let Some(base) = load(base_path) else {
+            eprintln!("  baseline unreadable: {}", base_path.display());
+            missing += 1;
+            continue;
+        };
+        let Some(cur) = load(&cur_path) else {
+            eprintln!(
+                "  no current run at {} — did the bench stop regenerating?",
+                cur_path.display()
+            );
+            missing += 1;
+            continue;
+        };
+        let mut t = TextTable::new(vec!["metric", "baseline", "current", "ratio"]);
+        for (key, b) in &base {
+            let Some((_, c)) = cur.iter().find(|(k, _)| k == key) else {
+                t.row(vec![key.clone(), fmt(*b), "(gone)".into(), String::new()]);
+                continue;
+            };
+            let ratio = if *b != 0.0 {
+                format!("{:.3}x", c / b)
+            } else {
+                String::new()
+            };
+            t.row(vec![key.clone(), fmt(*b), fmt(*c), ratio]);
+        }
+        for (key, c) in &cur {
+            if !base.iter().any(|(k, _)| k == key) {
+                t.row(vec![key.clone(), "(new)".into(), fmt(*c), String::new()]);
+            }
+        }
+        println!("{}", t.render());
+    }
+
+    if missing > 0 {
+        eprintln!("{missing} baseline file(s) had no readable current counterpart");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compact numeric formatting: integers as-is, small floats with
+/// precision, big rates with thousands separators elided.
+fn fmt(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.6}")
+    }
+}

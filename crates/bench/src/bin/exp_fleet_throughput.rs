@@ -16,10 +16,24 @@
 //!   (geometry-known fast path) and only fall back to the cursor past its
 //!   end.
 //!
+//! The warm pass is then measured over all three ingest shapes (the
+//! "hot-path data layout" ladder in `docs/ARCHITECTURE.md`):
+//!
+//! * **scalar** — AoS `advance_tick`: per-sample directory probes and
+//!   shard-buffer pushes at scatter, `catch_unwind` per push;
+//! * **frames** — columnar `advance_frame`: one cached `ScatterPlan`
+//!   resolves the whole frame shape, workers pull the power lane through
+//!   prefix-sum buckets;
+//! * **fused** — `advance_window` over 16-tick windows: one `push_run`
+//!   per meter per window, `catch_unwind` once per meter-window.
+//!
 //! Correctness gates run before any timing: a small fleet's finalized
 //! bills must be bit-identical to batch `CompiledContract::bill` over the
-//! equivalent series, per meter, for every contract shape. The throughput
-//! floor is asserted on the warm pass in release builds only.
+//! equivalent series, per meter, for every contract shape — fed through
+//! every ingest shape. The throughput floors are asserted on the warm
+//! passes in release builds only: an absolute scalar floor, an absolute
+//! batched floor, and (at the committed full-scale workload) the fused
+//! path's ≥2.5× claim over the committed scalar baseline.
 //!
 //! `HPCGRID_FLEET_METERS` overrides the fleet size (CI smoke runs at
 //! 10 000); `HPCGRID_FLEET_SHARDS` overrides the shards-per-contract count
@@ -30,7 +44,7 @@ use hpcgrid_core::billing::Precision;
 use hpcgrid_core::compiled::CompiledContract;
 use hpcgrid_core::contract::Contract;
 use hpcgrid_core::demand_charge::DemandCharge;
-use hpcgrid_core::fleet::{MeterFleet, MeterId, Sample};
+use hpcgrid_core::fleet::{MeterFleet, MeterId, Sample, TickFrame};
 use hpcgrid_core::powerband::Powerband;
 use hpcgrid_core::tariff::{DayFilter, Tariff, TouTariff, TouWindow};
 use hpcgrid_timeseries::series::{PowerSeries, Series};
@@ -48,6 +62,18 @@ const DEFAULT_METERS: usize = 1_000_000;
 const PROFILES: usize = 8;
 /// Warm-pass throughput floor, meter-samples per second (release builds).
 const FLOOR_SAMPLES_PER_SEC: f64 = 1_000_000.0;
+/// Fused-window width for the batched warm pass.
+const WINDOW_TICKS: usize = 16;
+/// Batched/windowed warm-pass floor at any fleet size (release builds) —
+/// the CI bench-smoke bar at `HPCGRID_FLEET_METERS=10000`.
+const BATCHED_FLOOR_SAMPLES_PER_SEC: f64 = 2_500_000.0;
+/// The committed warm scalar baseline this PR's tentpole is measured
+/// against (`BENCH_fleet.json` before columnar frames landed).
+const COMMITTED_SCALAR_BASELINE: f64 = 18_400_000.0;
+/// Full-scale claim: fused warm throughput must clear this multiple of
+/// [`COMMITTED_SCALAR_BASELINE`] at the committed [`DEFAULT_METERS`]
+/// workload.
+const FUSED_SPEEDUP_FLOOR: f64 = 2.5;
 
 /// The same utility-shaped TOU schedule the billing-kernel baseline uses.
 fn tou_schedule() -> Tariff {
@@ -194,6 +220,53 @@ fn run_fleet(
     (fleet, register_s, stream_s)
 }
 
+/// Like [`run_fleet`], but streaming columnar [`TickFrame`]s in windows of
+/// `window` ticks: `window == 1` exercises the per-frame plan-scatter path
+/// (`advance_frame`), wider windows the fused `push_run` path
+/// (`advance_window`). Frame construction (power-lane fill from the
+/// profile table) is timed, exactly like `run_fleet` times its sample
+/// buffer fill — the comparison is driver-to-driver fair.
+fn run_fleet_batched(
+    calendar: Calendar,
+    kernels: &[Arc<CompiledContract>],
+    meters: usize,
+    start: SimTime,
+    end: SimTime,
+    window: usize,
+) -> (MeterFleet, f64, f64) {
+    let step = Duration::from_minutes(15.0);
+    let t0 = Instant::now();
+    let mut fleet = MeterFleet::new(calendar, start, end);
+    let mut ids: Vec<MeterId> = Vec::with_capacity(meters);
+    for i in 0..meters {
+        let kernel = Arc::clone(&kernels[i % kernels.len()]);
+        ids.push(
+            fleet
+                .register_compiled(kernel, SimTime::EPOCH, step)
+                .unwrap(),
+        );
+    }
+    let ids: Arc<[MeterId]> = ids.into();
+    let register_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut tick = 0usize;
+    while tick < TICKS {
+        let w = window.min(TICKS - tick);
+        let frames: Vec<TickFrame> = (tick..tick + w)
+            .map(|t| {
+                let by_class: Vec<Power> = (0..PROFILES).map(|c| meter_power(c, t)).collect();
+                let powers: Vec<Power> = (0..meters).map(|i| by_class[i % PROFILES]).collect();
+                TickFrame::new(Arc::clone(&ids), powers).unwrap()
+            })
+            .collect();
+        fleet.advance_window(&frames).unwrap();
+        tick += w;
+    }
+    let stream_s = t1.elapsed().as_secs_f64();
+    (fleet, register_s, stream_s)
+}
+
 fn main() {
     println!("== X7: streaming meter-fleet throughput ==\n");
     let meters: usize = std::env::var("HPCGRID_FLEET_METERS")
@@ -210,20 +283,36 @@ fn main() {
     // contract shape and profile class.
     let gate_kernels = compile_kernels(calendar, &shapes, start, end);
     let gate_meters = 4 * PROFILES;
-    let (gate_fleet, _, _) = run_fleet(calendar, &gate_kernels, gate_meters, start, end);
+    let (gate_scalar, _, _) = run_fleet(calendar, &gate_kernels, gate_meters, start, end);
+    let (gate_frames, _, _) =
+        run_fleet_batched(calendar, &gate_kernels, gate_meters, start, end, 1);
+    let (gate_fused, _, _) = run_fleet_batched(
+        calendar,
+        &gate_kernels,
+        gate_meters,
+        start,
+        end,
+        WINDOW_TICKS,
+    );
     for i in 0..gate_meters {
-        let streamed = gate_fleet.finalize(MeterId(i)).unwrap();
         let batch = gate_kernels[i % gate_kernels.len()]
             .bill(&meter_series(i))
             .unwrap();
-        assert_eq!(
-            streamed, batch,
-            "meter #{i}: streamed bill must be bit-identical to the batch bill"
-        );
+        for (path, fleet) in [
+            ("scalar", &gate_scalar),
+            ("frames", &gate_frames),
+            ("fused", &gate_fused),
+        ] {
+            assert_eq!(
+                fleet.finalize(MeterId(i)).unwrap(),
+                batch,
+                "meter #{i} via {path}: streamed bill must be bit-identical to the batch bill"
+            );
+        }
     }
     println!(
         "correctness: {gate_meters} meters x {TICKS} ticks bit-identical to batch bills \
-         across {} contract shapes\n",
+         across {} contract shapes and all 3 ingest shapes\n",
         shapes.len()
     );
 
@@ -243,6 +332,18 @@ fn main() {
     let (warm_fleet, warm_reg_s, warm_stream_s) =
         run_fleet(calendar, &cold_kernels, meters, start, end);
     let warm = warm_fleet.stats();
+    drop(warm_fleet);
+
+    // Batched warm passes over the same seeded kernels: columnar frames
+    // (plan scatter, one tick per advance), then fused 16-tick windows
+    // (one push_run per meter per window).
+    let (frames_fleet, frames_reg_s, frames_stream_s) =
+        run_fleet_batched(calendar, &cold_kernels, meters, start, end, 1);
+    let warm_frames = frames_fleet.stats();
+    drop(frames_fleet);
+    let (fused_fleet, fused_reg_s, fused_stream_s) =
+        run_fleet_batched(calendar, &cold_kernels, meters, start, end, WINDOW_TICKS);
+    let warm_fused = fused_fleet.stats();
 
     let mut t = TextTable::new(vec![
         "pass",
@@ -251,8 +352,25 @@ fn main() {
         "meter-samples/s (in-tick)",
     ]);
     for (pass, reg, stream, stats) in [
-        ("cold (cursor mode)", cold_reg_s, cold_stream_s, &cold),
-        ("warm (map replay)", warm_reg_s, warm_stream_s, &warm),
+        (
+            "cold scalar (cursor mode)",
+            cold_reg_s,
+            cold_stream_s,
+            &cold,
+        ),
+        ("warm scalar (map replay)", warm_reg_s, warm_stream_s, &warm),
+        (
+            "warm frames (plan scatter)",
+            frames_reg_s,
+            frames_stream_s,
+            &warm_frames,
+        ),
+        (
+            "warm fused (16-tick window)",
+            fused_reg_s,
+            fused_stream_s,
+            &warm_fused,
+        ),
     ] {
         t.row(vec![
             pass.to_string(),
@@ -262,6 +380,17 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    println!(
+        "plan reuse: frames {}/{} builds/advances, fused {}/{} — speedup vs warm scalar: \
+         frames {:.2}x, fused {:.2}x; fused vs committed {COMMITTED_SCALAR_BASELINE:.0}: {:.2}x",
+        warm_frames.plan_builds,
+        warm_frames.plan_builds + warm_frames.plan_hits,
+        warm_fused.plan_builds,
+        warm_fused.plan_builds + warm_fused.plan_hits,
+        warm_frames.meter_samples_per_sec / warm.meter_samples_per_sec,
+        warm_fused.meter_samples_per_sec / warm.meter_samples_per_sec,
+        warm_fused.meter_samples_per_sec / COMMITTED_SCALAR_BASELINE,
+    );
     println!(
         "fleet: {meters} meters, {} shards, {} contracts, {:.0} bytes/meter, \
          kernel reuse {:.4}%\n",
@@ -297,6 +426,24 @@ fn main() {
         "stream_seconds": warm_stream_s,
         "meter_samples_per_sec": warm.meter_samples_per_sec,
     });
+    let frames_json = serde_json::json!({
+        "register_seconds": frames_reg_s,
+        "stream_seconds": frames_stream_s,
+        "meter_samples_per_sec": warm_frames.meter_samples_per_sec,
+        "plan_builds": warm_frames.plan_builds,
+        "plan_hits": warm_frames.plan_hits,
+    });
+    let fused_json = serde_json::json!({
+        "register_seconds": fused_reg_s,
+        "stream_seconds": fused_stream_s,
+        "meter_samples_per_sec": warm_fused.meter_samples_per_sec,
+        "window_ticks": WINDOW_TICKS,
+        "plan_builds": warm_fused.plan_builds,
+        "plan_hits": warm_fused.plan_hits,
+        "speedup_vs_warm_scalar": warm_fused.meter_samples_per_sec / warm.meter_samples_per_sec,
+        "speedup_vs_committed_baseline":
+            warm_fused.meter_samples_per_sec / COMMITTED_SCALAR_BASELINE,
+    });
     let env_json = serde_json::json!({
         "HPCGRID_FLEET_METERS": std::env::var("HPCGRID_FLEET_METERS").ok(),
         "HPCGRID_FLEET_SHARDS": std::env::var("HPCGRID_FLEET_SHARDS").ok(),
@@ -306,10 +453,13 @@ fn main() {
         "workload": workload,
         "cold": cold_json,
         "warm": warm_json,
+        "warm_frames": frames_json,
+        "warm_fused": fused_json,
         "bytes_per_meter": warm.bytes_per_meter,
         "kernel_reuse_rate": warm.kernel_reuse_rate(),
         "shards": warm.shards,
         "floor_meter_samples_per_sec": FLOOR_SAMPLES_PER_SEC,
+        "batched_floor_meter_samples_per_sec": BATCHED_FLOOR_SAMPLES_PER_SEC,
         "env": env_json,
         "optimized_build": cfg!(not(debug_assertions)),
     });
@@ -326,6 +476,28 @@ fn main() {
             "warm throughput {:.0} meter-samples/s below the {FLOOR_SAMPLES_PER_SEC:.0} floor",
             warm.meter_samples_per_sec
         );
+        // The batched/windowed floor holds at every fleet size — this is
+        // the bar CI bench-smoke runs at HPCGRID_FLEET_METERS=10000.
+        for (path, rate) in [
+            ("frames", warm_frames.meter_samples_per_sec),
+            ("fused", warm_fused.meter_samples_per_sec),
+        ] {
+            assert!(
+                rate >= BATCHED_FLOOR_SAMPLES_PER_SEC,
+                "warm {path} throughput {rate:.0} meter-samples/s below the \
+                 {BATCHED_FLOOR_SAMPLES_PER_SEC:.0} batched floor"
+            );
+        }
+        // The tentpole claim is scoped to the committed full-scale
+        // workload: fused ≥ 2.5x the pre-columnar scalar baseline.
+        if meters >= DEFAULT_METERS {
+            assert!(
+                warm_fused.meter_samples_per_sec >= FUSED_SPEEDUP_FLOOR * COMMITTED_SCALAR_BASELINE,
+                "fused warm throughput {:.0} meter-samples/s below {FUSED_SPEEDUP_FLOOR}x \
+                 the committed {COMMITTED_SCALAR_BASELINE:.0} scalar baseline",
+                warm_fused.meter_samples_per_sec
+            );
+        }
     }
     println!("X7 OK");
 }

@@ -57,13 +57,13 @@
 //! [`ContractLedger::bill_as_of`](crate::ledger::ContractLedger::bill_as_of)
 //! over the same stream.
 
-use crate::billing::{Bill, LineItem};
+use crate::billing::{Bill, LineItem, Precision};
 use crate::compiled::{CompiledContract, LoweredTariff, SegmentMap};
 use crate::demand_charge::{DemandAssessment, DemandBasis, DemandCharge};
 use crate::typology::ContractComponentKind;
 use crate::{CoreError, Result};
 use hpcgrid_timeseries::intervals::IntervalSet;
-use hpcgrid_units::{Duration, Energy, Money, Power, SimTime};
+use hpcgrid_units::{kernels, Duration, Energy, Money, Power, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -625,6 +625,251 @@ impl BillAccrual {
         self.last_kw = kw;
         self.n += 1;
         Ok(())
+    }
+
+    /// Fold a contiguous run of samples at the next grid instants — the
+    /// fused form of calling [`BillAccrual::push_next`] once per sample,
+    /// built for the fleet's windowed tick path
+    /// ([`MeterFleet::advance_window`](crate::fleet::MeterFleet::advance_window)).
+    ///
+    /// Fusing keeps the segment cursor, map-replay position, and month
+    /// cursors hot across the whole run: price/boundary lookups happen once
+    /// per *run segment* instead of once per sample, and the inner loops
+    /// are tight multiply-adds over the contiguous power slice.
+    ///
+    /// # Equivalence contract
+    ///
+    /// Under a [`Precision::BitExact`] kernel the accrued state after
+    /// `push_run(powers)` is **bit-identical** to the state after
+    /// `powers.len()` sequential `push_next` calls: every accumulator sees
+    /// the same per-sample `f64` expressions in the same order — only
+    /// cursor bookkeeping is hoisted out of the inner loops. Under a
+    /// [`Precision::Fast`] kernel, constant-price runs fold through the
+    /// 8-lane pairwise kernels in [`hpcgrid_units::kernels`] instead,
+    /// within the fast path's documented 1e-12 relative tolerance.
+    ///
+    /// Error behaviour is per-sample-identical too: a run crossing the
+    /// compile horizon applies the fitting prefix and then returns exactly
+    /// the error `push_next` would have returned for the first overrunning
+    /// sample. An empty run is a no-op (zero `push_next` calls).
+    pub fn push_run(&mut self, powers: &[Power]) -> Result<()> {
+        if powers.is_empty() {
+            return Ok(());
+        }
+        if self.poison_next {
+            self.poison_next = false;
+            panic!("injected meter panic (chaos)");
+        }
+        let end = self.kernel.end.as_secs();
+        let t0 = self.start + self.n * self.step;
+        // Sample `j` of the run occupies [t0 + j·step, t0 + (j+1)·step);
+        // it fits while that interval ends at or before the horizon end.
+        let fit = ((end - t0) / self.step) as usize;
+        let run = powers.len().min(fit);
+        self.fold_run(&powers[..run]);
+        if run < powers.len() {
+            let t = self.start + self.n * self.step;
+            return Err(CoreError::BadSeries(format!(
+                "sample [{}, {}) runs past the compiled horizon end {}",
+                SimTime::from_secs(t),
+                SimTime::from_secs(t + self.step),
+                self.kernel.end
+            )));
+        }
+        Ok(())
+    }
+
+    /// The fused fold over a run already validated to fit the horizon.
+    ///
+    /// Component-outer: each accumulator walks the whole run before the
+    /// next one starts. Components never read each other's state (demand's
+    /// boundary re-feed needs the *previous sample's* kW, which comes from
+    /// the run slice itself or `self.last_kw` for the run's first sample),
+    /// so per-component order equals per-sample order — the bit-identity
+    /// argument reduces to each inner loop replicating `push_next`'s
+    /// expressions, which they do.
+    fn fold_run(&mut self, powers: &[Power]) {
+        if powers.is_empty() {
+            return;
+        }
+        let len = powers.len() as u64;
+        let kws = Power::kilowatts_slice(powers);
+        let g0 = self.n;
+        let start = self.start;
+        let step = self.step;
+        let step_h = self.step_h;
+        let fast = self.kernel.precision() == Precision::Fast;
+        let starts: &[u64] = &self.kernel.month_starts;
+
+        for (slot, state) in self.kernel.tariffs.iter().zip(self.tariffs.iter_mut()) {
+            match state {
+                TariffAccrual::Strip {
+                    dollars,
+                    seg,
+                    replay,
+                } => {
+                    let tl = match &slot.lowered {
+                        LoweredTariff::Strip(tl) => tl,
+                        LoweredTariff::Block(_) => unreachable!("strip state on block slot"),
+                    };
+                    let mut acc = *dollars;
+                    let mut j = 0u64;
+                    while j < len {
+                        let g = g0 + j;
+                        // The price in force at sample `g` and the global
+                        // index its constant-price run extends to.
+                        let (price, g_end) = if let Some(rep) = replay.as_mut() {
+                            if g < rep.len {
+                                while rep.map.runs[rep.run].0 as u64 <= g {
+                                    rep.run += 1;
+                                }
+                                let (run_end, price) = rep.map.runs[rep.run];
+                                (price, (run_end as u64).min(rep.len))
+                            } else {
+                                // Map exhausted: resume cursor advance from
+                                // the map's final segment (push_next's
+                                // exhaustion path), then re-enter the loop.
+                                *seg = rep.map.last_seg;
+                                *replay = None;
+                                continue;
+                            }
+                        } else {
+                            advance_seg(seg, &tl.breaks, start + g * step);
+                            let g_end = match tl.breaks.get(*seg + 1) {
+                                Some(&b) => (b - start).div_ceil(step),
+                                None => u64::MAX,
+                            };
+                            (tl.prices[*seg], g_end)
+                        };
+                        let j_end = (g_end - g0).min(len);
+                        let chunk = &kws[j as usize..j_end as usize];
+                        if fast {
+                            acc += kernels::sum_pairwise(chunk) * step_h * price;
+                        } else {
+                            // push_next's exact expression and order.
+                            for &kw in chunk {
+                                acc += kw * step_h * price;
+                            }
+                        }
+                        j = j_end;
+                    }
+                    *dollars = acc;
+                }
+                TariffAccrual::Block {
+                    bi,
+                    cur_kwh,
+                    have,
+                    total,
+                } => {
+                    let b = match &slot.lowered {
+                        LoweredTariff::Block(b) => b,
+                        LoweredTariff::Strip(_) => unreachable!("block state on strip slot"),
+                    };
+                    let mut j = 0u64;
+                    while j < len {
+                        let t = start + (g0 + j) * step;
+                        while *bi < starts.len() && starts[*bi] <= t {
+                            *bi += 1;
+                            if *have {
+                                *total += b.monthly_cost(*cur_kwh);
+                                *cur_kwh = 0.0;
+                                *have = false;
+                            }
+                        }
+                        let j_end = match starts.get(*bi) {
+                            Some(&nb) => ((nb - start).div_ceil(step) - g0).min(len),
+                            None => len,
+                        };
+                        let chunk = &kws[j as usize..j_end as usize];
+                        if fast {
+                            *cur_kwh += kernels::sum_pairwise(chunk) * step_h;
+                        } else {
+                            for &kw in chunk {
+                                *cur_kwh += kw * step_h;
+                            }
+                        }
+                        *have = true;
+                        j = j_end;
+                    }
+                }
+            }
+        }
+
+        if let (Some(d), Some(dc)) = (self.demand.as_mut(), self.kernel.demand_charge.as_ref()) {
+            let mut j = 0u64;
+            while j < len {
+                let t = start + (g0 + j) * step;
+                // kW of the most recently folded sample, for the snap-out
+                // re-feed when a boundary splits it.
+                let prev_kw = if j == 0 {
+                    self.last_kw
+                } else {
+                    kws[j as usize - 1]
+                };
+                while d.bi < starts.len() && starts[d.bi] <= t {
+                    let bnd = starts[d.bi];
+                    if let Some(a) = d.closing_assessment(dc) {
+                        d.closed.push(a);
+                    }
+                    d.bi += 1;
+                    d.month += 1;
+                    d.month_i0 = (bnd - start) / step;
+                    d.chunk_sum = 0.0;
+                    d.chunk_count = 0;
+                    d.chunk_idx = 0;
+                    d.peak = PeakState::new(dc.basis);
+                    if !(bnd - start).is_multiple_of(step) {
+                        d.feed(dc, prev_kw);
+                    }
+                }
+                let j_end = match starts.get(d.bi) {
+                    Some(&nb) => ((nb - start).div_ceil(step) - g0).min(len),
+                    None => len,
+                };
+                for &kw in &kws[j as usize..j_end as usize] {
+                    d.feed(dc, kw);
+                }
+                j = j_end;
+            }
+        }
+
+        if let (Some(band), Some(pb)) = (self.band.as_mut(), self.kernel.powerband.as_ref()) {
+            let upper = pb.upper;
+            let lower = pb.lower;
+            for &power in powers {
+                if power > upper {
+                    band.over_kwh += (power - upper).as_kilowatts() * step_h;
+                    band.violations += 1;
+                } else if let Some(lo) = lower {
+                    if power < lo {
+                        band.under_kwh += (lo - power).as_kilowatts() * step_h;
+                        band.violations += 1;
+                    }
+                }
+            }
+        }
+
+        if !self.windows.is_empty() {
+            for w in &mut self.windows {
+                // Member samples: i >= first_index and t < window end.
+                let lo = w.first_index.max(g0);
+                let hi = if w.end <= start {
+                    g0
+                } else {
+                    (w.end - start).div_ceil(step).min(g0 + len)
+                };
+                if lo < hi {
+                    let mut worst = w.worst;
+                    for &p in &powers[(lo - g0) as usize..(hi - g0) as usize] {
+                        worst = Some(worst.map_or(p, |a| a.max(p)));
+                    }
+                    w.worst = worst;
+                }
+            }
+        }
+
+        self.last_kw = kws[kws.len() - 1];
+        self.n = g0 + len;
     }
 
     /// Close the books at the current instant. Non-consuming: the stream

@@ -72,7 +72,7 @@ use hpcgrid_timeseries::series::{PowerSeries, PriceSeries};
 use hpcgrid_units::time::SECS_PER_DAY;
 use hpcgrid_units::{kernels, Calendar, EnergyPrice, Money, Power, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// The sample geometry of a load series — everything the segment→sample
 /// mapping of a [`PriceTimeline`] depends on. Two loads with the same
@@ -137,36 +137,59 @@ impl SegmentMap {
 /// bounding memory for adversarial geometry churn (oldest entry evicted).
 const SEGMENT_MAP_CACHE_CAP: usize = 16;
 
+/// One immutable cache snapshot: geometry-keyed segment maps in insertion
+/// order (oldest first, for capacity eviction).
+type MapEntries = Vec<(SampleGeometry, Arc<SegmentMap>)>;
+
 /// Per-timeline cache of [`SegmentMap`]s keyed by [`SampleGeometry`], with
 /// hit/miss counters for bench observability. The cache is *derived* state:
 /// it never participates in equality, and cloning a timeline starts a fresh
 /// (empty) cache. Because compiled tariff pieces are shared behind [`Arc`],
 /// the cache survives [`CompiledContract::patch`]/`with_price_strip` for
 /// every piece the patch does not re-lower.
+///
+/// The entry list is a read-mostly copy-on-write snapshot: readers clone
+/// one `Arc` under a briefly-held read lock and then search lock-free,
+/// writers rebuild the (≤[`SEGMENT_MAP_CACHE_CAP`]-entry) list and swap the
+/// `Arc` under the write lock. Million-meter fleet shards sharing one
+/// kernel therefore never serialize on the steady-state lookup — the old
+/// `Mutex` design made every concurrent bill queue behind a single lock.
+/// The published snapshot is always whole (the swap is one `Arc` store), so
+/// a panicking writer cannot tear it; poisoned locks are simply recovered.
+/// The one trade: a cold geometry hit by many workers at once may be built
+/// more than once, with [`SegmentMapCache::publish`] deduplicating to a
+/// single winner — bounded, one-time work, in exchange for a contention-free
+/// hot path.
 #[derive(Debug, Default)]
 struct SegmentMapCache {
-    entries: Mutex<Vec<(SampleGeometry, Arc<SegmentMap>)>>,
+    entries: RwLock<Arc<MapEntries>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl SegmentMapCache {
-    /// The one way into `entries`. If a previous holder panicked mid-update
-    /// the list may hold a half-applied eviction (an entry removed but its
-    /// replacement never pushed), so recovery *clears* the cache rather
-    /// than trusting it: the maps are pure derived state, and one rebuild
-    /// per geometry is a price worth never replaying a torn entry.
-    fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<(SampleGeometry, Arc<SegmentMap>)>> {
-        match self.entries.lock() {
-            Ok(guard) => guard,
-            Err(poison) => {
-                // Un-poison so the clear happens once, not on every lock.
-                self.entries.clear_poison();
-                let mut guard = poison.into_inner();
-                guard.clear();
-                guard
-            }
+    /// The current entry snapshot: one `Arc` clone under the read lock,
+    /// searched lock-free afterwards.
+    fn snapshot(&self) -> Arc<MapEntries> {
+        Arc::clone(&self.entries.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Publish `map` for `geom` copy-on-write, evicting the oldest entry at
+    /// capacity. If another worker raced the build and published first,
+    /// theirs wins and is returned — all callers share one map per
+    /// geometry.
+    fn publish(&self, geom: SampleGeometry, map: Arc<SegmentMap>) -> Arc<SegmentMap> {
+        let mut guard = self.entries.write().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, existing)) = guard.iter().find(|(g, _)| *g == geom) {
+            return Arc::clone(existing);
         }
+        let mut next: MapEntries = guard.iter().cloned().collect();
+        if next.len() >= SEGMENT_MAP_CACHE_CAP {
+            next.remove(0);
+        }
+        next.push((geom, Arc::clone(&map)));
+        *guard = Arc::new(next);
+        map
     }
 }
 
@@ -345,11 +368,12 @@ impl PriceTimeline {
     }
 
     /// The cached [`SegmentMap`] for `load`'s geometry, built on first use.
-    /// The build happens under the cache lock so concurrent `bill_many`
-    /// workers hitting one new geometry build it exactly once.
+    /// The steady-state hit is a lock-free snapshot search; concurrent
+    /// workers racing one cold geometry may build it more than once, with
+    /// [`SegmentMapCache::publish`] deduplicating to a single winner.
     fn map_for(&self, load: &PowerSeries) -> Arc<SegmentMap> {
         let geom = SampleGeometry::of(load);
-        let mut entries = self.maps.lock_entries();
+        let entries = self.maps.snapshot();
         if let Some((_, map)) = entries.iter().find(|(g, _)| *g == geom) {
             self.maps.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(map);
@@ -372,21 +396,13 @@ impl PriceTimeline {
                         last_seg: map.last_seg,
                     });
                     self.maps.hits.fetch_add(1, Ordering::Relaxed);
-                    if entries.len() >= SEGMENT_MAP_CACHE_CAP {
-                        entries.remove(0);
-                    }
-                    entries.push((geom, Arc::clone(&grown)));
-                    return grown;
+                    return self.maps.publish(geom, grown);
                 }
             }
         }
         self.maps.misses.fetch_add(1, Ordering::Relaxed);
         let map = Arc::new(self.build_map(geom));
-        if entries.len() >= SEGMENT_MAP_CACHE_CAP {
-            entries.remove(0);
-        }
-        entries.push((geom, Arc::clone(&map)));
-        map
+        self.maps.publish(geom, map)
     }
 
     /// The longest cached map sharing `(start, step)` with a stream anchored
@@ -396,7 +412,7 @@ impl PriceTimeline {
     /// length; does not touch hit/miss counters (nothing was built or
     /// skipped yet).
     pub(crate) fn prefix_map(&self, start: u64, step: u64) -> Option<(Arc<SegmentMap>, usize)> {
-        let entries = self.maps.lock_entries();
+        let entries = self.maps.snapshot();
         entries
             .iter()
             .filter(|(g, _)| g.start == start && g.step == step)
@@ -1813,7 +1829,7 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_segment_map_cache_is_cleared_not_trusted() {
+    fn poisoned_segment_map_cache_keeps_whole_snapshots() {
         let tl = PriceTimeline {
             breaks: vec![0, 12 * 3600],
             prices: vec![0.05, 0.11],
@@ -1823,10 +1839,13 @@ mod tests {
         let expected = tl.cost(&load);
         assert_eq!(tl.map_stats(), (0, 1));
 
-        // Poison the cache lock: a thread panics while holding the guard.
+        // Poison the cache lock: a thread panics while holding the write
+        // guard. Under copy-on-write the published snapshot is always whole
+        // (the swap is one Arc store), so unlike the old Mutex'd Vec there
+        // is no torn state to distrust.
         std::thread::scope(|s| {
             s.spawn(|| {
-                let _guard = tl.maps.entries.lock().unwrap();
+                let _guard = tl.maps.entries.write().unwrap();
                 panic!("injected panic while holding the segment-map lock");
             })
             .join()
@@ -1834,14 +1853,15 @@ mod tests {
         });
         assert!(tl.maps.entries.is_poisoned());
 
-        // Recovery drops the (possibly torn) entries wholesale: the stream
-        // prefix probe sees an empty cache...
-        assert!(tl.prefix_map(0, 900).is_none());
-        // ...and the next bill rebuilds (a second miss) to the same cost.
+        // Recovery keeps the snapshot: the stream prefix probe still sees
+        // the cached map...
+        assert!(tl.prefix_map(0, 900).is_some());
+        // ...and the next bill is a cache hit to the same cost.
         assert_eq!(tl.cost(&load), expected);
-        assert_eq!(tl.map_stats(), (0, 2));
-        // The cache is healthy again: repeat geometry hits.
-        tl.cost(&load);
+        assert_eq!(tl.map_stats(), (1, 1));
+        // Writes keep working after recovery: a new geometry publishes.
+        tl.cost(&load_15min(7, 8.0));
         assert_eq!(tl.map_stats(), (1, 2));
+        assert_eq!(tl.cost(&load_15min(7, 8.0)), tl.cost(&load_15min(7, 8.0)));
     }
 }

@@ -3,17 +3,43 @@
 //! A [`MeterFleet`] manages many [`BillAccrual`] meters at once, sharded by
 //! contract fingerprint so every meter under the same contract shares one
 //! `Arc`'d [`CompiledContract`] kernel — and with it the kernel's reusable
-//! segment-map cache. Ticks ([`MeterFleet::advance_tick`]) scatter the
-//! batch of samples to their shards and fan the shards across the
-//! `try_par_map` worker pool; each shard is owned by exactly one task per
-//! tick, so the per-shard locks never contend.
+//! segment-map cache. Ticks scatter the batch of samples to their shards
+//! and fan the shards across the `try_par_map` worker pool; each shard is
+//! owned by exactly one task per tick, so the per-shard locks never
+//! contend.
+//!
+//! # Hot-path data layout
+//!
+//! The ingest path comes in three shapes, fastest last:
+//!
+//! * [`MeterFleet::advance_tick`] — one tick of AoS [`Sample`]s. Samples
+//!   are scattered to per-shard buffers (pre-reserved at bucket size) and
+//!   folded one `push_next` per sample.
+//! * [`MeterFleet::advance_frame`] — one tick as a columnar [`TickFrame`]
+//!   (SoA: a shared meter-id lane plus a contiguous power lane). The fleet
+//!   resolves directory lookups, quarantine membership, and shard
+//!   bucketing **once** into a cached `ScatterPlan` with prefix-sum
+//!   bucket offsets; steady-state scatter is then a plan-indexed pull of
+//!   the power lane, with no per-sample map probes and no per-sample
+//!   locks.
+//! * [`MeterFleet::advance_window`] — many frames at once. Each meter's
+//!   samples across the window are gathered into one contiguous run and
+//!   folded by a single [`BillAccrual::push_run`] call — segment cursors
+//!   stay hot across the whole window and `catch_unwind` is paid once per
+//!   meter-window instead of once per sample.
+//!
+//! The scatter plan is reused while the population is stable and
+//! invalidated by anything that moves meters or changes quarantine
+//! membership: [`MeterFleet::register`], [`MeterFleet::apply_delta`],
+//! [`MeterFleet::restore`] of a quarantined meter, and in-tick panics.
 //!
 //! The fleet preserves the accrual layer's bit-identity invariant meter by
-//! meter: `finalize(meter)` equals the batch bill of that meter's sample
-//! history under `Precision::BitExact`, regardless of shard count or tick
-//! batching. The shard count (default: available parallelism, override
-//! with [`MeterFleet::with_shards`] or the `HPCGRID_FLEET_SHARDS` env var)
-//! is therefore pure deployment tuning.
+//! meter and *per ingest shape*: `finalize(meter)` equals the batch bill
+//! of that meter's sample history under `Precision::BitExact`, regardless
+//! of shard count, tick batching, or whether the samples arrived as AoS
+//! ticks, frames, or fused windows. The shard count (default: available
+//! parallelism, override with [`MeterFleet::with_shards`] or the
+//! `HPCGRID_FLEET_SHARDS` env var) is therefore pure deployment tuning.
 
 use crate::accrual::{AccrualSnapshot, BillAccrual};
 use crate::billing::Bill;
@@ -29,6 +55,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Environment variable overriding the fleet's shards-per-contract count.
 pub const ENV_SHARDS: &str = "HPCGRID_FLEET_SHARDS";
@@ -54,6 +81,130 @@ pub struct Sample {
     pub power: Power,
 }
 
+/// One tick's samples in columnar (SoA) form: a meter-id lane shared by
+/// `Arc` and a contiguous power lane.
+///
+/// Frames are the fleet's batched ingest currency: a driver builds the
+/// meter-id lane once, then publishes one frame per tick by cloning the
+/// `Arc` and filling a fresh power lane (or updating one in place via
+/// [`TickFrame::powers_mut`]). Frames sharing one id lane compare by
+/// pointer inside the fleet, so the cached `ScatterPlan` match costs a
+/// pointer compare, not a scan.
+///
+/// ```
+/// use hpcgrid_core::fleet::{MeterFleet, TickFrame};
+/// use hpcgrid_core::contract::Contract;
+/// use hpcgrid_core::tariff::Tariff;
+/// use hpcgrid_units::{Calendar, Duration, EnergyPrice, Power, SimTime};
+/// use std::sync::Arc;
+///
+/// let contract = Contract::builder("flat")
+///     .tariff(Tariff::fixed(EnergyPrice::per_kilowatt_hour(0.07)))
+///     .build()?;
+/// let mut fleet = MeterFleet::new(Calendar::default(), SimTime::EPOCH, SimTime::from_days(30));
+/// let step = Duration::from_minutes(15.0);
+/// let ids = Arc::from(vec![
+///     fleet.register(&contract, SimTime::EPOCH, step)?,
+///     fleet.register(&contract, SimTime::EPOCH, step)?,
+/// ]);
+/// // One frame per tick, sharing the id lane.
+/// let frames: Vec<TickFrame> = (0..4)
+///     .map(|_| {
+///         TickFrame::new(
+///             Arc::clone(&ids),
+///             vec![Power::from_megawatts(8.0), Power::from_megawatts(5.0)],
+///         )
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let report = fleet.advance_window(&frames)?;
+/// assert_eq!(report.applied, 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickFrame {
+    /// Meter ids, position-aligned with `powers`.
+    meters: Arc<[MeterId]>,
+    /// Mean power per meter over this tick.
+    powers: Vec<Power>,
+}
+
+impl TickFrame {
+    /// A frame from an id lane and a position-aligned power lane. Errors
+    /// if the lanes disagree in length.
+    pub fn new(meters: Arc<[MeterId]>, powers: Vec<Power>) -> Result<TickFrame> {
+        if meters.len() != powers.len() {
+            return Err(CoreError::BadSeries(format!(
+                "tick frame lanes disagree: {} meter ids vs {} powers",
+                meters.len(),
+                powers.len()
+            )));
+        }
+        Ok(TickFrame { meters, powers })
+    }
+
+    /// Transpose an AoS sample batch into a frame (one allocation per
+    /// lane). Drivers that can build frames directly should — frames built
+    /// per tick from the same `Arc`'d id lane skip the plan re-match scan.
+    pub fn from_samples(samples: &[Sample]) -> TickFrame {
+        TickFrame {
+            meters: samples.iter().map(|s| s.meter).collect(),
+            powers: samples.iter().map(|s| s.power).collect(),
+        }
+    }
+
+    /// The shared meter-id lane.
+    pub fn meters(&self) -> &Arc<[MeterId]> {
+        &self.meters
+    }
+
+    /// The power lane, position-aligned with [`TickFrame::meters`].
+    pub fn powers(&self) -> &[Power] {
+        &self.powers
+    }
+
+    /// Mutable power lane — overwrite in place to reuse one frame
+    /// allocation across ticks.
+    pub fn powers_mut(&mut self) -> &mut [Power] {
+        &mut self.powers
+    }
+
+    /// Samples in the frame.
+    pub fn len(&self) -> usize {
+        self.meters.len()
+    }
+
+    /// True if the frame carries no samples.
+    pub fn is_empty(&self) -> bool {
+        self.meters.is_empty()
+    }
+}
+
+/// The cached scatter resolution for one frame shape against one fleet
+/// population: every directory lookup, quarantine probe, and shard bucket
+/// assignment done once, with prefix-sum offsets so each shard's pull is a
+/// contiguous entry range.
+#[derive(Debug)]
+struct ScatterPlan {
+    /// Fleet population version the plan was built against.
+    version: u64,
+    /// The frame meter-id lane the plan serves.
+    meters: Arc<[MeterId]>,
+    /// Per-shard entry ranges: shard `s` owns entries
+    /// `[offsets[s], offsets[s+1])`.
+    offsets: Vec<usize>,
+    /// Entry → shard-local meter slot.
+    slots: Vec<u32>,
+    /// Entry → frame position (index into the power lane).
+    positions: Vec<u32>,
+    /// Frame positions dropped every tick because their meter is
+    /// quarantined.
+    dropped_per_tick: usize,
+    /// True if no meter id appears twice in the frame — the precondition
+    /// for fusing a window per meter (duplicates must fold in frame
+    /// order, which per-meter fusion would reorder).
+    unique: bool,
+}
+
 /// A group of meters sharing one compiled kernel, advanced by one worker
 /// task per tick.
 struct Shard {
@@ -75,25 +226,38 @@ struct ShardState {
     buf: Vec<(usize, Power)>,
 }
 
-/// What one [`MeterFleet::advance_tick`] did with its sample batch.
+/// What one fleet advance (tick, frame, or window) did with its samples.
 ///
 /// Every offered sample lands in exactly one bucket: `applied` (folded into
 /// a healthy meter), `dropped` (its meter was quarantined — before this
-/// tick, or earlier in this tick by a panic), or the panicking sample
+/// advance, or earlier in this advance by a panic), or the panicking sample
 /// itself, which is counted in `dropped` *and* names its meter in
 /// `newly_quarantined`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FleetTickReport {
-    /// Samples offered to the tick.
+    /// Samples offered to the advance.
     pub samples: usize,
     /// Samples folded into healthy meters.
     pub applied: usize,
     /// Samples discarded because their meter is quarantined (including the
-    /// sample whose fold panicked).
+    /// sample whose fold panicked and, for windows, the rest of that
+    /// meter's window).
     pub dropped: usize,
-    /// Meters quarantined by this tick, with the panic message that
-    /// condemned them, in meter-id order.
-    pub newly_quarantined: Vec<(MeterId, String)>,
+    /// Meters quarantined by this advance, with the panic message that
+    /// condemned them, in meter-id order. The reason is shared (`Arc`)
+    /// with the fleet's quarantine map, not cloned per consumer.
+    pub newly_quarantined: Vec<(MeterId, Arc<str>)>,
+}
+
+impl FleetTickReport {
+    /// Merge another report into this one (used when a window degrades to
+    /// per-frame ticks).
+    fn absorb(&mut self, other: FleetTickReport) {
+        self.samples += other.samples;
+        self.applied += other.applied;
+        self.dropped += other.dropped;
+        self.newly_quarantined.extend(other.newly_quarantined);
+    }
 }
 
 /// Operating statistics of a [`MeterFleet`] — the `BENCH_fleet.json`
@@ -110,12 +274,17 @@ pub struct FleetStats {
     pub kernel_hits: u64,
     /// Registrations and delta moves that had to compile a kernel.
     pub kernel_misses: u64,
+    /// Frame/window advances that reused the cached scatter plan.
+    pub plan_hits: u64,
+    /// Scatter plan builds (first frame, population changes, new frame
+    /// shapes).
+    pub plan_builds: u64,
     /// Mean accrual state size per meter, in bytes (excludes the shared
     /// kernels — that is the point of sharding).
     pub bytes_per_meter: f64,
     /// Ticks advanced so far.
     pub ticks: u64,
-    /// Wall-clock seconds spent inside `advance_tick`.
+    /// Wall-clock seconds spent inside tick/frame/window advances.
     pub tick_seconds: f64,
     /// Samples folded across all ticks.
     pub samples: u64,
@@ -133,7 +302,21 @@ impl FleetStats {
             self.kernel_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of frame/window advances served by the cached scatter
+    /// plan.
+    pub fn plan_reuse_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
 }
+
+/// Per-shard fold outcome: `(applied, dropped, quarantined)`.
+type ShardOutcome = (usize, usize, Vec<(MeterId, Arc<str>)>);
 
 /// A sharded fleet of streaming meters over one calendar and compile
 /// horizon.
@@ -177,8 +360,21 @@ pub struct MeterFleet {
     directory: Vec<(usize, usize)>,
     /// `meter id -> panic message` of meters retired by a panicking fold.
     /// Quarantined meters drop their samples and refuse `finalize` /
-    /// `snapshot`; [`MeterFleet::restore`] rehabilitates them.
-    quarantined: HashMap<usize, String>,
+    /// `snapshot`; [`MeterFleet::restore`] rehabilitates them. Reasons are
+    /// `Arc`-shared with the tick reports that minted them.
+    quarantined: HashMap<usize, Arc<str>>,
+    /// Monotone population version: bumped by anything that moves meters
+    /// between shards or changes quarantine membership. A `ScatterPlan`
+    /// is valid only while its version matches.
+    pop_version: u64,
+    /// The cached scatter plan of the most recent frame shape.
+    plan: Option<ScatterPlan>,
+    plan_hits: u64,
+    plan_builds: u64,
+    /// Epoch-stamped scratch for duplicate-meter detection during plan
+    /// builds (meter id → last epoch seen), reused across rebuilds.
+    stamp: Vec<u32>,
+    stamp_epoch: u32,
     ticks: u64,
     tick_nanos: u128,
     samples: u64,
@@ -214,6 +410,12 @@ impl MeterFleet {
             shards: Vec::new(),
             directory: Vec::new(),
             quarantined: HashMap::new(),
+            pop_version: 0,
+            plan: None,
+            plan_hits: 0,
+            plan_builds: 0,
+            stamp: Vec::new(),
+            stamp_epoch: 0,
             ticks: 0,
             tick_nanos: 0,
             samples: 0,
@@ -286,6 +488,7 @@ impl MeterFleet {
         let id = MeterId(self.directory.len());
         let (shard, slot) = self.place(kernel, accrual, id);
         self.directory.push((shard, slot));
+        self.pop_version += 1;
         Ok(id)
     }
 
@@ -322,6 +525,31 @@ impl MeterFleet {
         (shard, meters.len() - 1)
     }
 
+    /// Reserve each shard's scatter buffer at its expected bucket size —
+    /// the cached plan's bucket counts when the plan is current, the
+    /// shard's population otherwise — so the first tick lands in one
+    /// allocation instead of doubling up from empty. Capacity persists
+    /// across ticks (`buf.clear()` keeps it), so this is a no-op after
+    /// the first reservation.
+    fn reserve_shard_bufs(&mut self) {
+        let plan_counts: Option<Vec<usize>> = self
+            .plan
+            .as_ref()
+            .filter(|p| p.version == self.pop_version)
+            .map(|p| p.offsets.windows(2).map(|w| w[1] - w[0]).collect());
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let st = lock_mut(&mut shard.state);
+            let want = match &plan_counts {
+                Some(counts) => counts[s],
+                None => st.meters.len(),
+            };
+            if st.buf.capacity() < want {
+                let additional = want - st.buf.len();
+                st.buf.reserve_exact(additional);
+            }
+        }
+    }
+
     /// Advance the fleet by one tick: scatter `samples` to their shards,
     /// then fold every shard's batch in parallel. A meter absent from
     /// `samples` simply lags — its accrual keeps its own clock. Samples
@@ -336,17 +564,19 @@ impl MeterFleet {
     /// [`MeterFleet::restore`] rehabilitates it from a known-good snapshot.
     /// Typed errors (grid misuse, horizon overrun) still fail the tick.
     pub fn advance_tick(&mut self, samples: &[Sample]) -> Result<FleetTickReport> {
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         let mut report = FleetTickReport {
             samples: samples.len(),
             ..FleetTickReport::default()
         };
+        self.reserve_shard_bufs();
+        let check_quarantine = !self.quarantined.is_empty();
         for s in samples {
             let (shard, slot) = *self
                 .directory
                 .get(s.meter.0)
                 .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", s.meter)))?;
-            if self.quarantined.contains_key(&s.meter.0) {
+            if check_quarantine && self.quarantined.contains_key(&s.meter.0) {
                 report.dropped += 1;
                 continue;
             }
@@ -354,35 +584,256 @@ impl MeterFleet {
                 .buf
                 .push((slot, s.power));
         }
-        type ShardOutcome = (usize, usize, Vec<(MeterId, String)>);
         let worked = try_par_map(&self.shards, |shard| -> Result<ShardOutcome> {
             let state = &mut *lock(&shard.state);
             // Split-borrow meters and buf out of the guard.
             let ShardState { meters, buf } = state;
-            let mut applied = 0usize;
-            let mut dropped = 0usize;
-            let mut panicked: Vec<(MeterId, String)> = Vec::new();
-            for &(slot, power) in buf.iter() {
-                let (id, accrual) = &mut meters[slot];
-                if panicked.iter().any(|(p, _)| p == id) {
-                    dropped += 1;
-                    continue;
-                }
-                match catch_unwind(AssertUnwindSafe(|| accrual.push_next(power))) {
-                    Ok(pushed) => {
-                        pushed?;
-                        applied += 1;
-                    }
-                    Err(payload) => {
-                        dropped += 1;
-                        panicked.push((*id, panic_message(payload)));
-                    }
-                }
-            }
+            let out = fold_shard(meters, buf.iter().copied());
             buf.clear();
-            Ok((applied, dropped, panicked))
+            out
         })
         .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
+        self.absorb_outcomes(&mut report, worked)?;
+        self.ticks += 1;
+        self.samples += report.applied as u64;
+        self.tick_nanos += t0.elapsed().as_nanos();
+        Ok(report)
+    }
+
+    /// Advance the fleet by one columnar [`TickFrame`] — semantically
+    /// identical to [`MeterFleet::advance_tick`] over the equivalent AoS
+    /// batch (bills bit-identical, same degradation rules), but the
+    /// scatter resolves through the cached `ScatterPlan`: on the steady
+    /// state (same id lane, unchanged population) no directory or
+    /// quarantine probes happen at all, and shard workers pull the power
+    /// lane directly through the plan's prefix-sum buckets.
+    pub fn advance_frame(&mut self, frame: &TickFrame) -> Result<FleetTickReport> {
+        let t0 = Instant::now();
+        self.ensure_plan(&frame.meters)?;
+        let mut report;
+        let worked;
+        {
+            let plan = self.plan.as_ref().expect("plan was just ensured");
+            report = FleetTickReport {
+                samples: frame.len(),
+                dropped: plan.dropped_per_tick,
+                ..FleetTickReport::default()
+            };
+            let powers = frame.powers();
+            let shards = &self.shards;
+            let shard_ids: Vec<usize> = (0..shards.len()).collect();
+            worked = try_par_map(&shard_ids, |&s| -> Result<ShardOutcome> {
+                let state = &mut *lock(&shards[s].state);
+                let (lo, hi) = (plan.offsets[s], plan.offsets[s + 1]);
+                fold_shard(
+                    &mut state.meters,
+                    plan.slots[lo..hi]
+                        .iter()
+                        .zip(&plan.positions[lo..hi])
+                        .map(|(&slot, &pos)| (slot as usize, powers[pos as usize])),
+                )
+            })
+            .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
+        }
+        self.absorb_outcomes(&mut report, worked)?;
+        self.ticks += 1;
+        self.samples += report.applied as u64;
+        self.tick_nanos += t0.elapsed().as_nanos();
+        Ok(report)
+    }
+
+    /// Advance the fleet by a whole window of frames in one fused pass —
+    /// semantically identical to calling [`MeterFleet::advance_frame`]
+    /// once per frame in order, but each meter's window of samples is
+    /// gathered into one contiguous run and folded by a single
+    /// [`BillAccrual::push_run`], so cursor state stays hot and
+    /// `catch_unwind` is paid once per meter-window.
+    ///
+    /// The fused pass needs one scatter plan for the whole window: every
+    /// frame must carry the same meter-id lane (share it by `Arc` to make
+    /// the check a pointer compare) with no duplicate meters. Windows that
+    /// don't qualify degrade gracefully to per-frame advances — same
+    /// bills, same report, just without the fusion win.
+    ///
+    /// A meter that panics mid-window is quarantined and the *rest of its
+    /// window* is dropped; every other meter still folds its full window.
+    pub fn advance_window(&mut self, frames: &[TickFrame]) -> Result<FleetTickReport> {
+        let (first, rest) = match frames.split_first() {
+            None => return Ok(FleetTickReport::default()),
+            Some(split) => split,
+        };
+        if rest.is_empty() {
+            return self.advance_frame(first);
+        }
+        let homogeneous = rest
+            .iter()
+            .all(|f| Arc::ptr_eq(&f.meters, &first.meters) || f.meters[..] == first.meters[..]);
+        if homogeneous {
+            self.ensure_plan(&first.meters)?;
+            if self.plan.as_ref().is_some_and(|p| p.unique) {
+                return self.advance_window_fused(frames);
+            }
+        }
+        let mut report = FleetTickReport::default();
+        for frame in frames {
+            report.absorb(self.advance_frame(frame)?);
+        }
+        report.newly_quarantined.sort_by_key(|(id, _)| *id);
+        Ok(report)
+    }
+
+    /// The fused window fold: one `push_run` per meter per window. The
+    /// plan is already ensured, current, and duplicate-free.
+    fn advance_window_fused(&mut self, frames: &[TickFrame]) -> Result<FleetTickReport> {
+        let t0 = Instant::now();
+        let w = frames.len();
+        let mut report;
+        let worked;
+        {
+            let plan = self.plan.as_ref().expect("plan ensured by advance_window");
+            report = FleetTickReport {
+                samples: frames[0].len() * w,
+                dropped: plan.dropped_per_tick * w,
+                ..FleetTickReport::default()
+            };
+            let shards = &self.shards;
+            let shard_ids: Vec<usize> = (0..shards.len()).collect();
+            worked = try_par_map(&shard_ids, |&s| -> Result<ShardOutcome> {
+                let state = &mut *lock(&shards[s].state);
+                let meters = &mut state.meters;
+                let mut run: Vec<Power> = Vec::with_capacity(w);
+                let mut applied = 0usize;
+                let mut dropped = 0usize;
+                let mut panicked: Vec<(MeterId, Arc<str>)> = Vec::new();
+                for k in plan.offsets[s]..plan.offsets[s + 1] {
+                    let slot = plan.slots[k] as usize;
+                    let pos = plan.positions[k] as usize;
+                    run.clear();
+                    run.extend(frames.iter().map(|f| f.powers[pos]));
+                    let (id, accrual) = &mut meters[slot];
+                    let before = accrual.samples();
+                    match catch_unwind(AssertUnwindSafe(|| accrual.push_run(&run))) {
+                        Ok(pushed) => {
+                            pushed?;
+                            applied += w;
+                        }
+                        Err(payload) => {
+                            // The fold got `done` samples in before dying;
+                            // the rest of this meter's window is dropped.
+                            let done = (accrual.samples() - before) as usize;
+                            applied += done;
+                            dropped += w - done;
+                            panicked.push((*id, panic_reason(payload)));
+                        }
+                    }
+                }
+                Ok((applied, dropped, panicked))
+            })
+            .map_err(|e| CoreError::BatchPanic(e.to_string()))?;
+        }
+        self.absorb_outcomes(&mut report, worked)?;
+        self.ticks += w as u64;
+        self.samples += report.applied as u64;
+        self.tick_nanos += t0.elapsed().as_nanos();
+        Ok(report)
+    }
+
+    /// Reuse the cached scatter plan when it matches `meters` and the
+    /// current population; rebuild it otherwise.
+    fn ensure_plan(&mut self, meters: &Arc<[MeterId]>) -> Result<()> {
+        if let Some(p) = &self.plan {
+            if p.version == self.pop_version
+                && (Arc::ptr_eq(&p.meters, meters) || p.meters[..] == meters[..])
+            {
+                self.plan_hits += 1;
+                return Ok(());
+            }
+        }
+        let plan = self.build_plan(meters)?;
+        self.plan = Some(plan);
+        self.plan_builds += 1;
+        Ok(())
+    }
+
+    /// Resolve one frame shape against the current population: two O(n)
+    /// passes (bucket counts, then prefix-sum fill), with quarantine
+    /// membership folded in (quarantined positions are dropped from the
+    /// plan, so the steady-state tick never probes the quarantine map).
+    fn build_plan(&mut self, meters: &Arc<[MeterId]>) -> Result<ScatterPlan> {
+        if meters.len() > u32::MAX as usize {
+            return Err(CoreError::BadSeries(format!(
+                "tick frame of {} samples exceeds the plan's u32 position space",
+                meters.len()
+            )));
+        }
+        let nshards = self.shards.len();
+        let mut counts = vec![0usize; nshards];
+        let mut dropped_per_tick = 0usize;
+        let check_quarantine = !self.quarantined.is_empty();
+        for m in meters.iter() {
+            let (shard, _) = *self
+                .directory
+                .get(m.0)
+                .ok_or_else(|| CoreError::BadSeries(format!("unknown {}", m)))?;
+            if check_quarantine && self.quarantined.contains_key(&m.0) {
+                dropped_per_tick += 1;
+                continue;
+            }
+            counts[shard] += 1;
+        }
+        let mut offsets = vec![0usize; nshards + 1];
+        for s in 0..nshards {
+            offsets[s + 1] = offsets[s] + counts[s];
+        }
+        let total = offsets[nshards];
+        let mut slots = vec![0u32; total];
+        let mut positions = vec![0u32; total];
+        let mut cursor = offsets.clone();
+        // Epoch-stamped duplicate detection: one u32 store per meter, no
+        // clearing between rebuilds.
+        self.stamp_epoch = self.stamp_epoch.wrapping_add(1);
+        if self.stamp_epoch == 0 {
+            self.stamp.clear();
+            self.stamp_epoch = 1;
+        }
+        if self.stamp.len() < self.directory.len() {
+            self.stamp.resize(self.directory.len(), 0);
+        }
+        let mut unique = true;
+        for (pos, m) in meters.iter().enumerate() {
+            if check_quarantine && self.quarantined.contains_key(&m.0) {
+                continue;
+            }
+            let (shard, slot) = self.directory[m.0];
+            if self.stamp[m.0] == self.stamp_epoch {
+                unique = false;
+            } else {
+                self.stamp[m.0] = self.stamp_epoch;
+            }
+            let k = cursor[shard];
+            slots[k] = slot as u32;
+            positions[k] = pos as u32;
+            cursor[shard] += 1;
+        }
+        Ok(ScatterPlan {
+            version: self.pop_version,
+            meters: Arc::clone(meters),
+            offsets,
+            slots,
+            positions,
+            dropped_per_tick,
+            unique,
+        })
+    }
+
+    /// Aggregate per-shard fold outcomes into `report` and quarantine the
+    /// casualties (bumping the population version so the scatter plan
+    /// drops them at rebuild).
+    fn absorb_outcomes(
+        &mut self,
+        report: &mut FleetTickReport,
+        worked: Vec<Result<ShardOutcome>>,
+    ) -> Result<()> {
         for outcome in worked {
             let (applied, dropped, panicked) = outcome?;
             report.applied += applied;
@@ -390,13 +841,13 @@ impl MeterFleet {
             report.newly_quarantined.extend(panicked);
         }
         report.newly_quarantined.sort_by_key(|(id, _)| *id);
-        for (id, reason) in &report.newly_quarantined {
-            self.quarantined.insert(id.0, reason.clone());
+        if !report.newly_quarantined.is_empty() {
+            for (id, reason) in &report.newly_quarantined {
+                self.quarantined.insert(id.0, Arc::clone(reason));
+            }
+            self.pop_version += 1;
         }
-        self.ticks += 1;
-        self.samples += report.applied as u64;
-        self.tick_nanos += t0.elapsed().as_nanos();
-        Ok(report)
+        Ok(())
     }
 
     /// Close the books of one meter — bit-identical to the batch bill of
@@ -466,7 +917,10 @@ impl MeterFleet {
         let kernel = Arc::clone(&self.shards[shard].kernel);
         let restored = BillAccrual::restore(kernel, snap)?;
         lock_mut(&mut self.shards[shard].state).meters[slot].1 = restored;
-        self.quarantined.remove(&meter.0);
+        if self.quarantined.remove(&meter.0).is_some() {
+            // Rehabilitation re-admits the meter to scatter plans.
+            self.pop_version += 1;
+        }
         Ok(())
     }
 
@@ -483,12 +937,12 @@ impl MeterFleet {
     }
 
     /// Meters currently quarantined, with the panic message that condemned
-    /// each, in meter-id order.
-    pub fn quarantined(&self) -> Vec<(MeterId, String)> {
-        let mut out: Vec<(MeterId, String)> = self
+    /// each, in meter-id order. Reasons are shared `Arc`s, not copies.
+    pub fn quarantined(&self) -> Vec<(MeterId, Arc<str>)> {
+        let mut out: Vec<(MeterId, Arc<str>)> = self
             .quarantined
             .iter()
-            .map(|(id, reason)| (MeterId(*id), reason.clone()))
+            .map(|(id, reason)| (MeterId(*id), Arc::clone(reason)))
             .collect();
         out.sort_by_key(|(id, _)| *id);
         out
@@ -549,6 +1003,8 @@ impl MeterFleet {
         }
         let (new_shard, new_slot) = self.place(kernel, accrual, meter);
         self.directory[meter.0] = (new_shard, new_slot);
+        // Two directory entries moved; cached scatter plans are stale.
+        self.pop_version += 1;
         Ok(())
     }
 
@@ -576,8 +1032,8 @@ impl MeterFleet {
         }
     }
 
-    /// Operating statistics: meter count, memory per meter, kernel reuse,
-    /// and streaming throughput.
+    /// Operating statistics: meter count, memory per meter, kernel and
+    /// scatter-plan reuse, and streaming throughput.
     pub fn stats(&self) -> FleetStats {
         let mut bytes: usize = 0;
         for shard in &self.shards {
@@ -596,6 +1052,8 @@ impl MeterFleet {
             contracts: self.kernels.len(),
             kernel_hits: self.kernels.hits(),
             kernel_misses: self.kernels.misses(),
+            plan_hits: self.plan_hits,
+            plan_builds: self.plan_builds,
             bytes_per_meter: if meters == 0 {
                 0.0
             } else {
@@ -620,14 +1078,52 @@ impl MeterFleet {
     }
 }
 
-/// Human-readable panic message out of a `catch_unwind` payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Fold one shard's scattered `(slot, power)` pulls in tick order,
+/// quarantining panicking meters per-push. Membership of the panicked set
+/// is a lazily-allocated slot bitmap: O(1) per sample, and the common
+/// panic-free tick never allocates or probes it.
+fn fold_shard(
+    meters: &mut [(MeterId, BillAccrual)],
+    pulls: impl Iterator<Item = (usize, Power)>,
+) -> Result<ShardOutcome> {
+    let mut applied = 0usize;
+    let mut dropped = 0usize;
+    let mut panicked: Vec<(MeterId, Arc<str>)> = Vec::new();
+    let mut bits: Vec<u64> = Vec::new();
+    let words = meters.len().div_ceil(64).max(1);
+    for (slot, power) in pulls {
+        if !bits.is_empty() && bits[slot / 64] & (1 << (slot % 64)) != 0 {
+            dropped += 1;
+            continue;
+        }
+        let (id, accrual) = &mut meters[slot];
+        match catch_unwind(AssertUnwindSafe(|| accrual.push_next(power))) {
+            Ok(pushed) => {
+                pushed?;
+                applied += 1;
+            }
+            Err(payload) => {
+                dropped += 1;
+                if bits.is_empty() {
+                    bits = vec![0u64; words];
+                }
+                bits[slot / 64] |= 1 << (slot % 64);
+                panicked.push((*id, panic_reason(payload)));
+            }
+        }
+    }
+    Ok((applied, dropped, panicked))
+}
+
+/// Human-readable panic message out of a `catch_unwind` payload, shared
+/// behind one `Arc` by the tick report and the quarantine map.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> Arc<str> {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
+        Arc::from(*s)
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        Arc::from(s.as_str())
     } else {
-        "panic payload of unknown type".to_string()
+        Arc::from("panic payload of unknown type")
     }
 }
 

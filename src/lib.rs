@@ -68,7 +68,9 @@ pub mod prelude {
     pub use hpcgrid_core::contract::{Contract, ContractBuilder, ContractDelta};
     pub use hpcgrid_core::demand_charge::DemandCharge;
     pub use hpcgrid_core::fingerprint::ComponentFingerprint;
-    pub use hpcgrid_core::fleet::{FleetStats, FleetTickReport, MeterFleet, MeterId, Sample};
+    pub use hpcgrid_core::fleet::{
+        FleetStats, FleetTickReport, MeterFleet, MeterId, Sample, TickFrame,
+    };
     pub use hpcgrid_core::ledger::{
         AppendOutcome, AsOfBill, BillSlice, ContractId, ContractLedger, LedgerEvent,
     };
